@@ -1,0 +1,382 @@
+(* Benchmark harness reproducing the paper's evaluation (Section 7).
+
+   Experiments (see DESIGN.md's per-experiment index):
+     fig1a      Figure 1(a) — "Conflict of interests" (Example 1)
+     fig1b      Figure 1(b) — "Conference workload"   (Example 2)
+     fig_simp   simplification cost (the paper reports < 50 ms)
+     ex45       the relational ISSN example (Examples 4/5)
+     ablations  datalog- vs xquery-level optimized checks; After without
+                Optimize; early rejection vs rollback
+     micro      Bechamel micro-benchmarks of the moving parts
+     all        everything above (default)
+
+   Document sizes are scaled-down stand-ins for the paper's 32–256 MB
+   (same 1:8 spread); absolute numbers differ from the paper's testbed,
+   the *shape* of the curves is what is reproduced. *)
+
+open Xic_core
+module Conf = Xic_workload.Conference
+module Gen = Xic_workload.Generator
+module T = Xic_datalog.Term
+
+let default_sizes = [ 32_000; 64_000; 128_000; 256_000 ]
+
+let now () = Unix.gettimeofday ()
+
+(* Mean wall-clock ms of [f] over [reps] runs after one warm-up. *)
+let time_ms ?(reps = 5) f =
+  ignore (f ());
+  let t0 = now () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (now () -. t0) *. 1000.0 /. float_of_int reps
+
+type setup = {
+  repo : Repository.t;
+  pattern : Pattern.t;
+  ds : Gen.dataset;
+}
+
+let setup ~size ~constraint_ () =
+  let s = Conf.schema () in
+  let ds = Gen.generate ~seed:42 ~target_bytes:size () in
+  let repo = Repository.create s in
+  (* validation is part of loading; skip it here to keep setup fast *)
+  Repository.load_document ~validate:false repo ds.Gen.pub_xml;
+  Repository.load_document ~validate:false repo ds.Gen.rev_xml;
+  Repository.add_constraint repo (constraint_ s);
+  let pattern = Conf.submission_pattern s in
+  Repository.register_pattern repo pattern;
+  { repo; pattern; ds }
+
+(* The three curves of Figure 1: full check, optimized check, and
+   update + full check + rollback (the paper's diamonds, squares and
+   triangles). *)
+let figure ~name ~constraint_ ~sizes ~reps () =
+  Printf.printf "# %s\n" name;
+  Printf.printf
+    "# %-12s %-10s %-14s %-14s %-20s %s\n" "size(bytes)" "subs"
+    "original(ms)" "optimized(ms)" "upd+check+undo(ms)" "speedup";
+  List.iter
+    (fun size ->
+      let { repo; pattern; ds } = setup ~size ~constraint_ () in
+      let legal =
+        Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench Paper"
+          ~author:ds.Gen.legal_author
+      in
+      let valuation =
+        match Repository.match_update repo legal with
+        | Some (_, v) -> v
+        | None -> failwith "bench update must match the pattern"
+      in
+      let t_orig = time_ms ~reps (fun () -> Repository.check_full repo) in
+      let t_opt =
+        time_ms ~reps:(reps * 20) (fun () ->
+            Repository.check_optimized repo pattern valuation)
+      in
+      let t_upd =
+        time_ms ~reps (fun () ->
+            let undo = Repository.apply_unchecked repo legal in
+            let r = Repository.check_full repo in
+            Repository.rollback repo undo;
+            r)
+      in
+      Printf.printf "%-14d %-10d %-14.3f %-14.4f %-20.3f %.0fx\n%!"
+        ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions t_orig t_opt t_upd
+        (t_orig /. (t_opt +. 1e-9)))
+    sizes;
+  print_newline ()
+
+let fig1a ~sizes ~reps () =
+  figure ~name:"Figure 1(a) — Conflict of interests (Example 1)"
+    ~constraint_:Conf.conflict ~sizes ~reps ()
+
+let fig1b ~sizes ~reps () =
+  figure ~name:"Figure 1(b) — Conference workload (Example 2)"
+    ~constraint_:Conf.workload ~sizes ~reps ()
+
+(* ------------------------------------------------------------------ *)
+(* Simplification cost (§7, footnote 4: "less than 50 ms")             *)
+(* ------------------------------------------------------------------ *)
+
+let fig_simp () =
+  Printf.printf "# Simplification cost (paper: < 50 ms per constraint)\n";
+  Printf.printf "# %-12s %-14s %s\n" "constraint" "simp(ms)" "denials in/out";
+  let s = Conf.schema () in
+  let pattern = Conf.submission_pattern s in
+  List.iter
+    (fun make ->
+      let c = make s in
+      let t =
+        time_ms ~reps:50 (fun () -> Pattern.simplify s pattern c)
+      in
+      let out = Pattern.simplify s pattern c in
+      Printf.printf "%-14s %-14.3f %d -> %d\n%!" c.Constr.name t
+        (List.length c.Constr.datalog) (List.length out))
+    [ Conf.conflict; Conf.workload; Conf.track_load ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Examples 4/5: the relational ISSN catalogue                          *)
+(* ------------------------------------------------------------------ *)
+
+let ex45 () =
+  Printf.printf "# Examples 4/5 — relational ISSN uniqueness\n";
+  let phi = Xic_datalog.Parser.parse_denial ":- p(X, Y), p(X, Z), Y != Z" in
+  let u = [ Xic_datalog.Parser.parse_atom "p(%i, %t)" ] in
+  let simplified = Xic_simplify.Simp.simp ~update:u [ phi ] in
+  Printf.printf "Simp^U({phi}) = %s\n"
+    (String.concat " ; " (List.map T.denial_str simplified));
+  let store = Xic_datalog.Store.create () in
+  for k = 1 to 50_000 do
+    Xic_datalog.Store.add store "p"
+      [ T.Str (Printf.sprintf "issn-%d" k); T.Str (Printf.sprintf "title %d" k) ]
+  done;
+  let params = [ ("i", T.Str "issn-77"); ("t", T.Str "another title") ] in
+  let t_full = time_ms ~reps:5 (fun () -> Xic_datalog.Eval.violated store phi) in
+  let t_simp =
+    time_ms ~reps:500 (fun () ->
+        List.exists (fun d -> Xic_datalog.Eval.violated ~params store d) simplified)
+  in
+  Printf.printf
+    "50k tuples: full check %.3f ms, simplified check %.5f ms (%.0fx)\n\n%!"
+    t_full t_simp (t_full /. (t_simp +. 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablations ~reps () =
+  let size = 128_000 in
+  Printf.printf "# Ablations (%d-byte dataset)\n" size;
+  let { repo; pattern; ds } = setup ~size ~constraint_:Conf.conflict () in
+  let s = Repository.schema repo in
+  Repository.add_constraint repo (Conf.workload s);
+  Repository.add_constraint repo (Conf.track_load s);
+
+  (* (a) optimized check: XQuery evaluation vs Datalog store evaluation *)
+  let legal =
+    Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench"
+      ~author:ds.Gen.legal_author
+  in
+  let valuation =
+    match Repository.match_update repo legal with
+    | Some (_, v) -> v
+    | None -> failwith "must match"
+  in
+  ignore (Repository.store repo);  (* shred outside the timed region *)
+  let t_xq =
+    time_ms ~reps:(reps * 10) (fun () ->
+        Repository.check_optimized repo pattern valuation)
+  in
+  let t_dl =
+    time_ms ~reps:(reps * 10) (fun () ->
+        Repository.check_optimized_datalog repo pattern valuation)
+  in
+  Printf.printf "optimized check: xquery %.4f ms | datalog store %.4f ms\n%!"
+    t_xq t_dl;
+
+  (* (b) After without Optimize: the unoptimized output contains the
+     original constraints, so checking it costs as much as a full check *)
+  let c = Conf.conflict s in
+  let after_only = Xic_simplify.After.denials pattern.Pattern.atoms c.Constr.datalog in
+  let simplified = Pattern.simplify s pattern c in
+  Printf.printf "After alone: %d denials; Simp: %d denials\n"
+    (List.length after_only) (List.length simplified);
+  let mapping = Schema.mapping s in
+  let doc = Repository.doc repo in
+  let params = Pattern.xquery_params valuation in
+  (* After-only denials still mention fresh-id parameters; bind them to a
+     nonexistent placeholder node for the measurement of the translatable
+     subset. *)
+  let translatable =
+    List.filter_map
+      (fun d ->
+        match Xic_translate.Translate.denial mapping d with
+        | q -> if List.for_all (fun p -> List.mem_assoc p params || p = "p") (Xic_xquery.Ast.params q) then Some q else None
+        | exception Xic_translate.Translate.Untranslatable _ -> None)
+      after_only
+  in
+  let t_after =
+    time_ms ~reps (fun () ->
+        List.exists (fun q -> Xic_xquery.Eval.eval_bool doc ~params q) translatable)
+  in
+  let t_simp =
+    time_ms ~reps:(reps * 10) (fun () ->
+        Repository.check_optimized repo pattern valuation)
+  in
+  Printf.printf
+    "checking After-only output (%d translatable denials): %.3f ms | Simp output: %.4f ms\n%!"
+    (List.length translatable) t_after t_simp;
+
+  (* (c) early rejection vs apply + detect + rollback for illegal updates *)
+  let illegal =
+    Conf.insert_submission ~select:ds.Gen.conflict_select ~title:"Bad"
+      ~author:ds.Gen.conflict_reviewer
+  in
+  let bad_valuation =
+    match Repository.match_update repo illegal with
+    | Some (_, v) -> v
+    | None -> failwith "must match"
+  in
+  let t_early =
+    time_ms ~reps:(reps * 10) (fun () ->
+        Repository.check_optimized repo pattern bad_valuation)
+  in
+  let t_late =
+    time_ms ~reps (fun () ->
+        let undo = Repository.apply_unchecked repo illegal in
+        let r = Repository.check_full repo in
+        Repository.rollback repo undo;
+        r)
+  in
+  Printf.printf
+    "illegal update: early rejection %.4f ms | apply+detect+rollback %.3f ms (%.0fx)\n%!"
+    t_early t_late (t_late /. (t_early +. 1e-9));
+
+  (* (d) runtime simplification (Section 7, footnote 4): an unregistered
+     update pattern still gets a pre-execution check by running Simp on
+     the fly; compare against the execute–check–compensate strategy. *)
+  let fresh_repo () =
+    let s2 = Conf.schema () in
+    let r = Repository.create s2 in
+    Repository.load_document ~validate:false r ds.Gen.pub_xml;
+    Repository.load_document ~validate:false r ds.Gen.rev_xml;
+    Repository.add_constraint r (Conf.conflict s2);
+    Repository.add_constraint r (Conf.workload s2);
+    Repository.add_constraint r (Conf.track_load s2);
+    r
+  in
+  let r1 = fresh_repo () in
+  let illegal2 =
+    Conf.insert_submission ~select:ds.Gen.conflict_select ~title:"Bad"
+      ~author:ds.Gen.conflict_reviewer
+  in
+  let t_runtime =
+    time_ms ~reps (fun () ->
+        match Repository.guarded_update ~fallback:`Runtime_simplification r1 illegal2 with
+        | Repository.Rejected_early _ -> true
+        | _ -> failwith "expected early rejection")
+  in
+  let r2 = fresh_repo () in
+  let t_fullfb =
+    time_ms ~reps (fun () ->
+        match Repository.guarded_update ~fallback:`Full_check r2 illegal2 with
+        | Repository.Rolled_back _ -> true
+        | _ -> failwith "expected rollback")
+  in
+  Printf.printf
+    "unregistered illegal update: runtime simplification %.3f ms | full-check fallback %.3f ms (%.0fx)\n\n%!"
+    t_runtime t_fullfb (t_fullfb /. (t_runtime +. 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let s = Conf.schema () in
+  let ds = Gen.generate ~seed:42 ~target_bytes:64_000 () in
+  let repo = Repository.create s in
+  Repository.load_document ~validate:false repo ds.Gen.pub_xml;
+  Repository.load_document ~validate:false repo ds.Gen.rev_xml;
+  Repository.add_constraint repo (Conf.conflict s);
+  let pattern = Conf.submission_pattern s in
+  Repository.register_pattern repo pattern;
+  let doc = Repository.doc repo in
+  let mapping = Schema.mapping s in
+  let legal =
+    Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench"
+      ~author:ds.Gen.legal_author
+  in
+  let valuation =
+    match Repository.match_update repo legal with
+    | Some (_, v) -> v
+    | None -> failwith "must match"
+  in
+  let xpath_all_subs = Xic_xpath.Parser.parse "//sub" in
+  let c1 = Conf.conflict s in
+  let tests =
+    [
+      Test.make ~name:"xml_parse_64k" (Staged.stage (fun () ->
+          ignore (Xic_xml.Xml_parser.parse_string ds.Gen.rev_xml)));
+      Test.make ~name:"xpath_descendant" (Staged.stage (fun () ->
+          ignore (Xic_xpath.Eval.select doc xpath_all_subs)));
+      Test.make ~name:"shred_64k" (Staged.stage (fun () ->
+          ignore (Xic_relmap.Shred.shred mapping doc)));
+      Test.make ~name:"compile_constraint" (Staged.stage (fun () ->
+          ignore (Conf.conflict s)));
+      Test.make ~name:"simplify_conflict" (Staged.stage (fun () ->
+          ignore (Pattern.simplify s pattern c1)));
+      Test.make ~name:"optimized_check" (Staged.stage (fun () ->
+          ignore (Repository.check_optimized repo pattern valuation)));
+      Test.make ~name:"pattern_match" (Staged.stage (fun () ->
+          ignore (Repository.match_update repo legal)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"micro" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  Printf.printf "# Micro-benchmarks (monotonic clock, ns/run)\n";
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-30s %14.1f ns/run\n%!" name est
+      | _ -> Printf.printf "%-30s (no estimate)\n%!" name)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let reps = ref 3 in
+  let sizes = ref default_sizes in
+  let which = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--reps" :: n :: rest ->
+      reps := int_of_string n;
+      parse rest
+    | "--sizes" :: s :: rest ->
+      sizes := List.map int_of_string (String.split_on_char ',' s);
+      parse rest
+    | x :: rest ->
+      which := x :: !which;
+      parse rest
+  in
+  parse args;
+  let which = if !which = [] then [ "all" ] else List.rev !which in
+  let reps = !reps and sizes = !sizes in
+  let run = function
+    | "fig1a" -> fig1a ~sizes ~reps ()
+    | "fig1b" -> fig1b ~sizes ~reps ()
+    | "fig_simp" -> fig_simp ()
+    | "ex45" -> ex45 ()
+    | "ablations" -> ablations ~reps ()
+    | "micro" -> micro ()
+    | "all" ->
+      fig1a ~sizes ~reps ();
+      fig1b ~sizes ~reps ();
+      fig_simp ();
+      ex45 ();
+      ablations ~reps ();
+      micro ()
+    | other ->
+      Printf.eprintf
+        "unknown experiment %S (expected fig1a|fig1b|fig_simp|ex45|ablations|micro|all)\n"
+        other;
+      exit 2
+  in
+  List.iter run which

@@ -1,0 +1,395 @@
+(* xicheck — command-line front end for the XML integrity checker.
+
+   Subcommands:
+     schema     derive and print the relational mapping of a set of DTDs
+     compile    compile XPathLog constraints to Datalog and XQuery
+     validate   validate documents against their DTDs
+     check      evaluate constraints against documents
+     simplify   simplify constraints w.r.t. an update pattern
+     guard      run an XUpdate statement under integrity control
+     generate   emit a synthetic conference dataset
+
+   DTDs are given as FILE=ROOT pairs; constraints as files of XPathLog
+   denials (one per line, optionally labelled "name: <- …"); update
+   patterns as XUpdate statement templates whose text values may be
+   %name parameters. *)
+
+open Cmdliner
+open Xic_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("xicheck: " ^ s); exit 1) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let dtd_arg =
+  let doc = "DTD file and its root element, as FILE=ROOT.  Repeatable." in
+  Arg.(non_empty & opt_all string [] & info [ "dtd" ] ~docv:"FILE=ROOT" ~doc)
+
+let docs_arg =
+  let doc = "XML document file.  Repeatable." in
+  Arg.(value & opt_all file [] & info [ "doc" ] ~docv:"FILE" ~doc)
+
+let constraints_arg =
+  let doc = "File of XPathLog denials (one per line; 'name: <- …')." in
+  Arg.(value & opt (some file) None & info [ "constraints" ] ~docv:"FILE" ~doc)
+
+let pattern_arg =
+  let doc =
+    "XUpdate statement template whose text values may be %name parameters; \
+     used as the update pattern."
+  in
+  Arg.(value & opt (some file) None & info [ "pattern" ] ~docv:"FILE" ~doc)
+
+let no_validate_arg =
+  let doc = "Skip DTD validation when loading documents." in
+  Arg.(value & flag & info [ "no-validate" ] ~doc)
+
+let load_schema specs =
+  let parse spec =
+    match String.index_opt spec '=' with
+    | Some i ->
+      let file = String.sub spec 0 i in
+      let root = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (read_file file, root)
+    | None -> die "bad --dtd %S (expected FILE=ROOT)" spec
+  in
+  match Schema.create (List.map parse specs) with
+  | s -> s
+  | exception Schema.Schema_error m -> die "%s" m
+  | exception Sys_error m -> die "%s" m
+
+let load_repo ~validate schema docs =
+  let repo = Repository.create schema in
+  List.iter
+    (fun path ->
+      match Repository.load_document ~validate repo (read_file path) with
+      | () -> ()
+      | exception Repository.Repository_error m -> die "%s: %s" path m)
+    docs;
+  repo
+
+let load_constraints schema = function
+  | None -> []
+  | Some path ->
+    read_file path |> String.split_on_char '\n'
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || (String.length line >= 2 && String.sub line 0 2 = "--")
+           then None
+           else Some line)
+    |> List.mapi (fun i line ->
+           let name, src =
+             match String.index_opt line ':' with
+             | Some j
+               when j + 1 < String.length line
+                    && line.[j + 1] <> '-'
+                    && String.for_all
+                         (fun c ->
+                           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                           || (c >= '0' && c <= '9') || c = '_')
+                         (String.sub line 0 j) ->
+               (String.sub line 0 j, String.sub line (j + 1) (String.length line - j - 1))
+             | _ -> (Printf.sprintf "c%d" (i + 1), line)
+           in
+           match Constr.make schema ~name src with
+           | c -> c
+           | exception Constr.Constraint_error m -> die "%s" m)
+
+let load_pattern schema = function
+  | None -> None
+  | Some path ->
+    (match Xic_xupdate.Xupdate.parse_string (read_file path) with
+     | [ m ] ->
+       (match Pattern.of_modification schema ~name:"pattern" m with
+        | p -> Some p
+        | exception Pattern.Pattern_error e -> die "%s" e)
+     | _ -> die "%s: the pattern template must contain one modification" path
+     | exception Xic_xupdate.Xupdate.Xupdate_error m -> die "%s: %s" path m)
+
+(* ------------------------------------------------------------------ *)
+(* schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema_cmd =
+  let run dtds =
+    let s = load_schema dtds in
+    print_endline (Schema.to_string s)
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Print the relational mapping derived from the DTDs")
+    Term.(const run $ dtd_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run dtds constraints =
+    let s = load_schema dtds in
+    List.iter
+      (fun (c : Constr.t) ->
+        Printf.printf "-- %s\n%s\n" c.Constr.name c.Constr.source;
+        Printf.printf "datalog:\n%s\n"
+          (Xic_datalog.Term.denials_str c.Constr.datalog);
+        Printf.printf "xquery:\n%s\n\n" (Xic_xquery.Ast.to_string c.Constr.xquery))
+      (load_constraints s constraints)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile XPathLog constraints to Datalog denials and XQuery checks")
+    Term.(const run $ dtd_arg $ constraints_arg)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let run dtds docs =
+    let s = load_schema dtds in
+    let repo = Repository.create s in
+    let ok = ref true in
+    List.iter
+      (fun path ->
+        match Repository.load_document ~validate:true repo (read_file path) with
+        | () -> Printf.printf "%s: valid\n" path
+        | exception Repository.Repository_error m ->
+          ok := false;
+          Printf.printf "%s: INVALID (%s)\n" path m)
+      docs;
+    if not !ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate documents against their DTDs")
+    Term.(const run $ dtd_arg $ docs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let datalog_arg =
+    let doc = "Evaluate over the relational mirror instead of XQuery." in
+    Arg.(value & flag & info [ "datalog" ] ~doc)
+  in
+  let explain_arg =
+    let doc = "Print a violation witness (bindings and node paths) per violated constraint." in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run dtds docs constraints no_validate use_datalog explain =
+    let s = load_schema dtds in
+    let repo = load_repo ~validate:(not no_validate) s docs in
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    if explain then begin
+      match Repository.explain repo with
+      | [] -> print_endline "consistent"
+      | ws ->
+        List.iter (fun w -> print_endline (Repository.witness_to_string w)) ws;
+        exit 1
+    end
+    else begin
+      let violated =
+        if use_datalog then Repository.check_full_datalog repo
+        else Repository.check_full repo
+      in
+      match violated with
+      | [] -> print_endline "consistent"
+      | vs ->
+        List.iter (Printf.printf "VIOLATED: %s\n") vs;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check integrity constraints against the documents")
+    Term.(
+      const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
+      $ datalog_arg $ explain_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simplify                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simplify_cmd =
+  let run dtds constraints pattern =
+    let s = load_schema dtds in
+    let pattern =
+      match load_pattern s pattern with
+      | Some p -> p
+      | None -> die "simplify requires --pattern"
+    in
+    Printf.printf "-- update pattern U = { %s }\n"
+      (String.concat ", " (List.map Xic_datalog.Term.atom_str pattern.Pattern.atoms));
+    Printf.printf "-- freshness hypotheses:\n%s\n\n"
+      (Xic_datalog.Term.denials_str (Pattern.hypotheses s pattern));
+    List.iter
+      (fun (c : Constr.t) ->
+        let simplified = Pattern.simplify s pattern c in
+        Printf.printf "-- %s\n" c.Constr.name;
+        (match simplified with
+         | [] -> print_endline "(nothing to check for this pattern)"
+         | ds ->
+           print_endline (Xic_datalog.Term.denials_str ds);
+           Printf.printf "xquery: %s\n"
+             (Xic_xquery.Ast.to_string
+                (Xic_translate.Translate.denials (Schema.mapping s) ds)));
+        print_newline ())
+      (load_constraints s constraints)
+  in
+  Cmd.v
+    (Cmd.info "simplify"
+       ~doc:"Simplify constraints w.r.t. an update pattern (Simp of Section 5)")
+    Term.(const run $ dtd_arg $ constraints_arg $ pattern_arg)
+
+(* ------------------------------------------------------------------ *)
+(* guard                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let guard_cmd =
+  let update_arg =
+    let doc = "XUpdate statement to execute under integrity control." in
+    Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
+  in
+  let output_arg =
+    let doc = "Write the resulting collection to this file prefix (one file per root)." in
+    Arg.(value & opt (some string) None & info [ "output" ] ~docv:"PREFIX" ~doc)
+  in
+  let runtime_simp_arg =
+    let doc =
+      "For updates matching no pattern, derive a one-off pattern and \
+       simplify at runtime instead of execute-check-compensate."
+    in
+    Arg.(value & flag & info [ "runtime-simp" ] ~doc)
+  in
+  let run dtds docs constraints pattern no_validate runtime_simp update output =
+    let s = load_schema dtds in
+    let repo = load_repo ~validate:(not no_validate) s docs in
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    (match load_pattern s pattern with
+     | Some p -> Repository.register_pattern repo p
+     | None -> ());
+    let u =
+      match Xic_xupdate.Xupdate.parse_string (read_file update) with
+      | u -> u
+      | exception Xic_xupdate.Xupdate.Xupdate_error m -> die "%s: %s" update m
+    in
+    let fallback =
+      if runtime_simp then `Runtime_simplification else `Full_check
+    in
+    (match Repository.guarded_update ~fallback repo u with
+     | Repository.Applied `Optimized ->
+       print_endline "applied (validated by the optimized pre-check)"
+     | Repository.Applied `Runtime_simplified ->
+       print_endline "applied (validated by a runtime-simplified pre-check)"
+     | Repository.Applied `Full_check ->
+       print_endline "applied (validated by the full check)"
+     | Repository.Rejected_early c ->
+       Printf.printf "rejected before execution: violates %s\n" c;
+       exit 1
+     | Repository.Rolled_back c ->
+       Printf.printf "rolled back: violates %s\n" c;
+       exit 1);
+    match output with
+    | None -> ()
+    | Some prefix ->
+      let doc = Repository.doc repo in
+      List.iteri
+        (fun i root ->
+          let path = Printf.sprintf "%s.%d.xml" prefix i in
+          let oc = open_out path in
+          output_string oc (Xic_xml.Xml_printer.node_to_string ~indent:true doc root);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        (Xic_xml.Doc.roots doc)
+  in
+  Cmd.v
+    (Cmd.info "guard"
+       ~doc:"Execute an XUpdate statement under integrity control")
+    Term.(
+      const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
+      $ no_validate_arg $ runtime_simp_arg $ update_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* publish                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let publish_cmd =
+  let output_arg =
+    let doc = "Bundle file to write." in
+    Arg.(required & opt (some string) None & info [ "output" ] ~docv:"FILE" ~doc)
+  in
+  let run dtds constraints pattern output =
+    let s = load_schema dtds in
+    let repo = Repository.create s in
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    (match load_pattern s pattern with
+     | Some p -> Repository.register_pattern repo p
+     | None -> ());
+    Bundle.save_file repo output;
+    Printf.printf "wrote %s\n" output
+  in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:
+         "Compile constraints and patterns into a design-time bundle (the \
+          simplified checks are persisted for runtimes and reviewers)")
+    Term.(const run $ dtd_arg $ constraints_arg $ pattern_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let size_arg =
+    let doc = "Approximate combined size in bytes." in
+    Arg.(value & opt int 100_000 & info [ "size" ] ~docv:"BYTES" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let prefix_arg =
+    let doc = "Output file prefix (PREFIX.pub.xml and PREFIX.rev.xml)." in
+    Arg.(value & opt string "dataset" & info [ "output" ] ~docv:"PREFIX" ~doc)
+  in
+  let run size seed prefix =
+    let ds = Xic_workload.Generator.generate ~seed ~target_bytes:size () in
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    write (prefix ^ ".pub.xml") ds.Xic_workload.Generator.pub_xml;
+    write (prefix ^ ".rev.xml") ds.Xic_workload.Generator.rev_xml;
+    let st = ds.Xic_workload.Generator.stats in
+    Printf.printf "%d pubs, %d tracks, %d reviewers, %d submissions (%d bytes)\n"
+      st.Xic_workload.Generator.pubs st.Xic_workload.Generator.tracks
+      st.Xic_workload.Generator.reviewers st.Xic_workload.Generator.submissions
+      st.Xic_workload.Generator.bytes
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic conference dataset")
+    Term.(const run $ size_arg $ seed_arg $ prefix_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "xicheck" ~version:"1.0.0"
+      ~doc:"Efficient integrity checking over XML documents (EDBT 2006)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schema_cmd; compile_cmd; validate_cmd; check_cmd; simplify_cmd;
+            guard_cmd; publish_cmd; generate_cmd ]))

@@ -1,0 +1,1 @@
+examples/conference.ml: Constr List Pattern Printf Repository Schema String Xic_core Xic_datalog Xic_workload Xic_xquery

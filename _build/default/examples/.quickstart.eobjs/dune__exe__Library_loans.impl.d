@@ -1,0 +1,1 @@
+examples/library_loans.ml: Constr List Option Pattern Printf Repository Schema String Xic_core Xic_datalog Xic_xml Xic_xpath Xic_xquery Xic_xupdate

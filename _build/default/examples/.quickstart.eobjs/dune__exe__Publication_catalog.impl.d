@@ -1,0 +1,1 @@
+examples/publication_catalog.ml: Constr List Pattern Printf Repository Schema String Xic_core Xic_datalog Xic_xpath Xic_xupdate

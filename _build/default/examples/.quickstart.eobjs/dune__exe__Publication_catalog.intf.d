@@ -1,0 +1,1 @@
+examples/publication_catalog.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Constr List Pattern Printf Repository Schema Xic_core Xic_datalog Xic_xml Xic_xpath Xic_xquery Xic_xupdate

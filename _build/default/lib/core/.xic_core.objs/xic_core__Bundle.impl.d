@@ -1,0 +1,1 @@
+lib/core/bundle.ml: Buffer Constr List Pattern Printf Repository String Xic_datalog Xic_xpath Xic_xupdate

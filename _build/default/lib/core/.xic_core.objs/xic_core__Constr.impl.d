@@ -1,0 +1,1 @@
+lib/core/constr.ml: List Printf Schema Xic_datalog Xic_translate Xic_xpathlog Xic_xquery

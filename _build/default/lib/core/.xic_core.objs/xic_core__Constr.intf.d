@@ -1,0 +1,1 @@
+lib/core/constr.mli: Schema Xic_datalog Xic_xml Xic_xpathlog Xic_xquery

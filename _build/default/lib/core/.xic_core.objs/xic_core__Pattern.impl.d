@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Constr Doc Hashtbl List Option Printf Schema String Xic_datalog Xic_relmap Xic_simplify Xic_xml Xic_xpath Xic_xupdate

@@ -1,0 +1,1 @@
+lib/core/pattern.mli: Constr Doc Schema Xic_datalog Xic_xml Xic_xquery Xic_xupdate

@@ -1,0 +1,1 @@
+lib/core/repository.ml: Constr Doc List Pattern Printf Schema String Xic_datalog Xic_relmap Xic_simplify Xic_translate Xic_xml Xic_xquery Xic_xupdate Xml_parser

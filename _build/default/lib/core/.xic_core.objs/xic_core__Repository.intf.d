@@ -1,0 +1,1 @@
+lib/core/repository.mli: Constr Doc Pattern Schema Xic_datalog Xic_xml Xic_xquery Xic_xupdate

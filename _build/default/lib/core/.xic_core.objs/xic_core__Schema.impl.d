@@ -1,0 +1,1 @@
+lib/core/schema.ml: Doc Dtd List Printf Xic_relmap Xic_xml Xml_parser

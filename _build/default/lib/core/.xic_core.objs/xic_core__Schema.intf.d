@@ -1,0 +1,1 @@
+lib/core/schema.mli: Doc Dtd Xic_relmap Xic_xml

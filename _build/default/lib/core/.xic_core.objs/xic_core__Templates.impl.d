@@ -1,0 +1,1 @@
+lib/core/templates.ml: Constr Option Printf Schema Xic_relmap

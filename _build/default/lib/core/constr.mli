@@ -1,0 +1,27 @@
+(** A compiled integrity constraint: the XPathLog source together with its
+    Datalog denials (Section 4.2) and the full XQuery check (Section 6). *)
+
+type t = {
+  name : string;
+  source : string;                        (** XPathLog concrete syntax *)
+  xpathlog : Xic_xpathlog.Ast.denial option;  (* None when written directly in Datalog *)
+  datalog : Xic_datalog.Term.denial list; (** one per disjunct *)
+  xquery : Xic_xquery.Ast.expr;           (** true ⇔ violated *)
+}
+
+exception Constraint_error of string
+
+val make : Schema.t -> name:string -> string -> t
+(** Parse, compile and translate an XPathLog denial.
+    @raise Constraint_error on parse/compile/translation failures. *)
+
+val of_datalog : Schema.t -> name:string -> Xic_datalog.Term.denial list -> t
+(** Wrap denials written directly in Datalog (source is their printed
+    form). *)
+
+val violated_xquery : Xic_xml.Doc.t -> t -> bool
+(** Evaluate the full XQuery check: [true] means the constraint is
+    violated. *)
+
+val violated_datalog : Xic_datalog.Store.t -> t -> bool
+(** Evaluate the Datalog denials over a shredded store. *)

@@ -1,0 +1,288 @@
+open Xic_xml
+module T = Xic_datalog.Term
+module XU = Xic_xupdate.Xupdate
+
+type optimized_check = {
+  constraint_name : string;
+  simplified : T.denial list;
+  simplified_xquery : Xic_xquery.Ast.expr;
+}
+
+type t = {
+  schema : Schema.t;
+  doc : Doc.t;
+  mutable constraints : Constr.t list;
+  mutable compiled : (Pattern.t * optimized_check list) list;
+  mutable store : Xic_datalog.Store.t option;
+}
+
+exception Repository_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
+
+let create schema =
+  { schema; doc = Doc.create (); constraints = []; compiled = []; store = None }
+
+let schema t = t.schema
+let doc t = t.doc
+
+let invalidate_store t = t.store <- None
+
+let add_document_root ?(validate = true) t root =
+  if validate then begin
+    match Schema.validate_root t.schema t.doc root with
+    | Ok () -> ()
+    | Error m -> fail "document rejected: %s" m
+  end;
+  Doc.add_root t.doc root;
+  invalidate_store t
+
+let load_document ?validate t source =
+  let nodes =
+    try Xml_parser.parse_fragment t.doc source
+    with Xml_parser.Parse_error { line; col; msg } ->
+      fail "XML parse error at %d:%d: %s" line col msg
+  in
+  match List.filter (Doc.is_element t.doc) nodes with
+  | [ root ] -> add_document_root ?validate t root
+  | _ -> fail "expected exactly one root element"
+
+let compile_checks t (p : Pattern.t) =
+  List.map
+    (fun (c : Constr.t) ->
+      let simplified = Pattern.simplify t.schema p c in
+      let simplified_xquery =
+        Xic_translate.Translate.denials (Schema.mapping t.schema) simplified
+      in
+      { constraint_name = c.Constr.name; simplified; simplified_xquery })
+    t.constraints
+
+let recompile t =
+  t.compiled <- List.map (fun (p, _) -> (p, compile_checks t p)) t.compiled
+
+let add_constraint ?(verify = false) t c =
+  if List.exists (fun c' -> c'.Constr.name = c.Constr.name) t.constraints then
+    fail "duplicate constraint name %s" c.Constr.name;
+  if verify && Constr.violated_xquery t.doc c then
+    fail "the current documents already violate %s" c.Constr.name;
+  t.constraints <- t.constraints @ [ c ];
+  recompile t
+
+let register_pattern t p =
+  if List.exists (fun (p', _) -> p'.Pattern.name = p.Pattern.name) t.compiled then
+    fail "duplicate pattern name %s" p.Pattern.name;
+  t.compiled <- t.compiled @ [ (p, compile_checks t p) ]
+
+let constraints t = t.constraints
+let patterns t = List.map fst t.compiled
+
+let optimized_checks t p =
+  match
+    List.find_opt (fun (p', _) -> p'.Pattern.name = p.Pattern.name) t.compiled
+  with
+  | Some (_, checks) -> checks
+  | None -> fail "pattern %s is not registered" p.Pattern.name
+
+let store t =
+  match t.store with
+  | Some s -> s
+  | None ->
+    let s = Xic_relmap.Shred.shred (Schema.mapping t.schema) t.doc in
+    t.store <- Some s;
+    s
+
+let check_full t =
+  List.filter_map
+    (fun c -> if Constr.violated_xquery t.doc c then Some c.Constr.name else None)
+    t.constraints
+
+let check_full_datalog t =
+  let s = store t in
+  List.filter_map
+    (fun c -> if Constr.violated_datalog s c then Some c.Constr.name else None)
+    t.constraints
+
+let match_update t (u : XU.t) =
+  match u with
+  | [ m ] ->
+    List.find_map
+      (fun (p, _) ->
+        match Pattern.match_modification t.schema t.doc p m with
+        | Some v -> Some (p, v)
+        | None -> None)
+      t.compiled
+  | _ -> None
+
+let check_optimized t p valuation =
+  let checks = optimized_checks t p in
+  let params = Pattern.xquery_params valuation in
+  List.filter_map
+    (fun ch ->
+      match Xic_xquery.Eval.eval_bool t.doc ~params ch.simplified_xquery with
+      | true -> Some ch.constraint_name
+      | false -> None
+      | exception Xic_xquery.Eval.Eval_error m ->
+        fail "optimized check %s failed: %s" ch.constraint_name m)
+    checks
+
+let check_optimized_datalog t p valuation =
+  let checks = optimized_checks t p in
+  let params = Pattern.datalog_params p valuation in
+  let s = store t in
+  List.filter_map
+    (fun ch ->
+      if List.exists (fun d -> Xic_datalog.Eval.violated ~params s d) ch.simplified
+      then Some ch.constraint_name
+      else None)
+    checks
+
+type witness = {
+  witness_constraint : string;
+  denial : T.denial;
+  bindings : (string * T.const) list;
+  nodes : (string * Doc.node_id * string) list;
+}
+
+(* Variables standing in id or parent positions of the denial's atoms
+   denote document nodes. *)
+let node_vars_of (d : T.denial) =
+  List.concat_map
+    (function
+      | T.Rel a | T.Not a ->
+        (match a.T.args with
+         | id :: _ :: par :: _ ->
+           List.concat_map T.term_vars [ id; par ]
+         | _ -> [])
+      | _ -> [])
+    d.T.body
+  |> List.sort_uniq compare
+
+let explain t =
+  let s = store t in
+  List.concat_map
+    (fun (c : Constr.t) ->
+      List.filter_map
+        (fun d ->
+          match Xic_datalog.Eval.violation s d with
+          | None -> None
+          | Some bindings ->
+            let node_vars = node_vars_of d in
+            let nodes =
+              List.filter_map
+                (fun (v, const) ->
+                  match const with
+                  | T.Int id
+                    when List.mem v node_vars && Doc.live t.doc id ->
+                    Some (v, id, Xic_relmap.Shred.path_to_node t.doc id)
+                  | _ -> None)
+                bindings
+            in
+            Some { witness_constraint = c.Constr.name; denial = d; bindings; nodes })
+        c.Constr.datalog)
+    t.constraints
+
+let witness_to_string w =
+  (* internal (underscore-prefixed) variables are noise for humans *)
+  let named (v, _) = String.length v > 0 && v.[0] <> '_' in
+  let shown = List.filter named w.bindings in
+  let nodes = List.filter (fun (v, _, _) -> named (v, ())) w.nodes in
+  let nodes = if nodes = [] then w.nodes else nodes in
+  Printf.sprintf "%s is violated:\n  %s%s%s" w.witness_constraint
+    (T.denial_str w.denial)
+    (match shown with
+     | [] -> ""
+     | bs ->
+       "\n  with "
+       ^ String.concat ", " (List.map (fun (v, c) -> v ^ " = " ^ T.const_str c) bs))
+    (match nodes with
+     | [] -> ""
+     | ns ->
+       "\n  at "
+       ^ String.concat ", " (List.map (fun (v, _, p) -> v ^ " -> " ^ p) ns))
+
+type outcome =
+  | Applied of [ `Optimized | `Runtime_simplified | `Full_check ]
+  | Rejected_early of string
+  | Rolled_back of string
+
+(* The relational mirror is maintained incrementally for insert-only
+   updates (the paper's focus); anything touching removal invalidates it
+   and the next [store] call re-shreds. *)
+let apply_unchecked t u =
+  let undo = XU.apply t.doc u in
+  (match t.store with
+   | Some s when XU.removed_nodes undo = [] ->
+     List.iter
+       (Xic_relmap.Shred.shred_into (Schema.mapping t.schema) t.doc s)
+       (XU.inserted_nodes undo)
+   | Some _ -> invalidate_store t
+   | None -> ());
+  undo
+
+let rollback t undo =
+  (match t.store with
+   | Some s when XU.removed_nodes undo = [] ->
+     (* unshred while the inserted nodes are still alive *)
+     List.iter
+       (Xic_relmap.Shred.unshred_from (Schema.mapping t.schema) t.doc s)
+       (XU.inserted_nodes undo)
+   | Some _ -> invalidate_store t
+   | None -> ());
+  XU.rollback t.doc undo
+
+let full_check_fallback t u =
+  let undo = apply_unchecked t u in
+  match check_full t with
+  | [] -> Applied `Full_check
+  | violated :: _ ->
+    rollback t undo;
+    Rolled_back violated
+
+(* Derive a one-off pattern from the concrete statement, simplify on the
+   spot and pre-check; any failure along the way reverts to the
+   execute–check–compensate strategy. *)
+let runtime_simplified t (m : XU.modification) =
+  match Pattern.of_modification t.schema ~name:"<runtime>" m with
+  | exception Pattern.Pattern_error _ -> None
+  | p ->
+    (match Pattern.match_modification t.schema t.doc p m with
+     | None -> None
+     | Some valuation ->
+       let params = Pattern.xquery_params valuation in
+       let rec check = function
+         | [] -> Some `Consistent
+         | (c : Constr.t) :: rest ->
+           (match Pattern.simplify t.schema p c with
+            | exception Xic_simplify.After.Unsupported _ -> None
+            | simplified ->
+              (match
+                 Xic_translate.Translate.denials (Schema.mapping t.schema)
+                   simplified
+               with
+               | exception Xic_translate.Translate.Untranslatable _ -> None
+               | q ->
+                 (match Xic_xquery.Eval.eval_bool t.doc ~params q with
+                  | exception Xic_xquery.Eval.Eval_error _ -> None
+                  | true -> Some (`Violated c.Constr.name)
+                  | false -> check rest)))
+       in
+       check t.constraints)
+
+let guarded_update ?(fallback = `Full_check) t (u : XU.t) =
+  match match_update t u with
+  | Some (p, valuation) ->
+    (match check_optimized t p valuation with
+     | [] ->
+       let _undo = apply_unchecked t u in
+       Applied `Optimized
+     | violated :: _ -> Rejected_early violated)
+  | None ->
+    (match (fallback, u) with
+     | `Runtime_simplification, [ m ] ->
+       (match runtime_simplified t m with
+        | Some `Consistent ->
+          let _undo = apply_unchecked t u in
+          Applied `Runtime_simplified
+        | Some (`Violated c) -> Rejected_early c
+        | None -> full_check_fallback t u)
+     | _ -> full_check_fallback t u)

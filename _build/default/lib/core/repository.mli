@@ -1,0 +1,128 @@
+(** The repository: an XML document collection with declared constraints
+    and update patterns, supporting full and optimized (incremental)
+    integrity checking with early detection of illegal updates.
+
+    Checking semantics (Section 7 of the paper):
+    {ul
+    {- {e full check}: evaluate every constraint's XQuery translation
+       against the current documents;}
+    {- {e optimized check}: when an incoming update instantiates a
+       registered pattern, evaluate the pattern's pre-compiled simplified
+       checks with the extracted parameter valuation — {e before} the
+       update executes, so illegal updates are never applied;}
+    {- {e fallback}: updates matching no pattern are applied, fully
+       checked, and rolled back on violation (compensating action).}} *)
+
+open Xic_xml
+
+type t
+
+(** A simplified check, pre-compiled at pattern-registration time. *)
+type optimized_check = {
+  constraint_name : string;
+  simplified : Xic_datalog.Term.denial list;
+  simplified_xquery : Xic_xquery.Ast.expr;
+}
+
+exception Repository_error of string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val doc : t -> Doc.t
+
+val load_document : ?validate:bool -> t -> string -> unit
+(** Parse an XML document and add it to the collection; with [validate]
+    (default true) it must conform to the DTD declaring its root type.
+    @raise Repository_error on parse or validation failure. *)
+
+val add_document_root : ?validate:bool -> t -> Doc.node_id -> unit
+(** Register an already-built tree (e.g. from a generator) as a root. *)
+
+val add_constraint : ?verify:bool -> t -> Constr.t -> unit
+(** Register a constraint; simplified checks are (re)compiled for every
+    registered pattern.  With [verify] (default false), the constraint is
+    first evaluated against the current documents and registration fails
+    if they already violate it — the simplification framework assumes a
+    consistent starting state. *)
+
+val register_pattern : t -> Pattern.t -> unit
+(** Register an update pattern: runs [Simp] against every constraint and
+    pre-translates the simplified checks to XQuery. *)
+
+val constraints : t -> Constr.t list
+val patterns : t -> Pattern.t list
+
+val optimized_checks : t -> Pattern.t -> optimized_check list
+(** The pre-compiled simplified checks of a registered pattern.
+    @raise Repository_error for unregistered patterns. *)
+
+val check_full : t -> string list
+(** Names of currently violated constraints (empty = consistent), via the
+    full XQuery checks. *)
+
+val check_full_datalog : t -> string list
+(** Same, evaluated over the relational mirror (shredded on demand). *)
+
+val match_update : t -> Xic_xupdate.Xupdate.t -> (Pattern.t * Pattern.valuation) option
+(** Recognize a single-modification update against the registered
+    patterns (first match wins). *)
+
+val check_optimized : t -> Pattern.t -> Pattern.valuation -> string list
+(** Names of constraints whose simplified check reports a violation for
+    the proposed update (evaluated on the {e current} state). *)
+
+val check_optimized_datalog : t -> Pattern.t -> Pattern.valuation -> string list
+(** Ablation variant: evaluate the simplified denials over the relational
+    mirror instead of via XQuery. *)
+
+(** Result of a guarded update. *)
+type outcome =
+  | Applied of [ `Optimized | `Runtime_simplified | `Full_check ]
+      (** executed; which checking strategy validated it *)
+  | Rejected_early of string
+      (** refused before execution (optimized check); the violated
+          constraint's name *)
+  | Rolled_back of string
+      (** executed, found violating by the full check, compensated *)
+
+val guarded_update :
+  ?fallback:[ `Full_check | `Runtime_simplification ] ->
+  t ->
+  Xic_xupdate.Xupdate.t ->
+  outcome
+(** Apply an update under integrity control.
+
+    When the update instantiates a registered pattern, its pre-compiled
+    simplified checks run before execution.  Otherwise [fallback] decides
+    (Section 7, footnote 4 of the paper): with [`Full_check] (default) the
+    update is executed, fully checked, and compensated on violation; with
+    [`Runtime_simplification] a one-off pattern is derived from the
+    concrete statement (its text values as constants), [Simp] runs on the
+    spot, and the residual checks still execute {e before} the update —
+    reverting to the full-check strategy only when the statement falls
+    outside the simplifiable fragment. *)
+
+val apply_unchecked : t -> Xic_xupdate.Xupdate.t -> Xic_xupdate.Xupdate.undo
+val rollback : t -> Xic_xupdate.Xupdate.undo -> unit
+
+val store : t -> Xic_datalog.Store.t
+(** The relational mirror of the current documents (rebuilt lazily after
+    updates). *)
+
+(** A concrete witness of a constraint violation. *)
+type witness = {
+  witness_constraint : string;
+  denial : Xic_datalog.Term.denial;  (** the violated disjunct *)
+  bindings : (string * Xic_datalog.Term.const) list;
+      (** satisfying substitution over the denial's variables *)
+  nodes : (string * Doc.node_id * string) list;
+      (** variable, node, and its positional root path, for the bindings
+          that denote document nodes *)
+}
+
+val explain : t -> witness list
+(** One witness per violated constraint disjunct (evaluated over the
+    relational mirror) — empty iff consistent.  Use the [nodes] paths to
+    point users at the offending elements. *)
+
+val witness_to_string : witness -> string

@@ -1,0 +1,61 @@
+open Xic_xml
+
+type t = {
+  dtds : (Dtd.t * string) list;
+  mapping : Xic_relmap.Mapping.t;
+}
+
+exception Schema_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let of_dtds dtds =
+  match Xic_relmap.Mapping.build dtds with
+  | mapping -> { dtds; mapping }
+  | exception Xic_relmap.Mapping.Mapping_error m -> fail "%s" m
+
+let create sources =
+  let dtds =
+    List.map
+      (fun (src, root) ->
+        match Dtd.parse src with
+        | dtd -> (dtd, root)
+        | exception Dtd.Parse_error m -> fail "DTD for <%s>: %s" root m)
+      sources
+  in
+  of_dtds dtds
+
+let of_inline_doctypes sources =
+  let dtds =
+    List.map
+      (fun src ->
+        match Xml_parser.parse_string src with
+        | { Xml_parser.doc; dtd_text = Some text } ->
+          let root = Doc.name doc (Doc.root doc) in
+          (match Dtd.parse text with
+           | dtd -> (dtd, root)
+           | exception Dtd.Parse_error m -> fail "DOCTYPE for <%s>: %s" root m)
+        | { Xml_parser.dtd_text = None; _ } ->
+          fail "document has no internal DOCTYPE subset"
+        | exception Xml_parser.Parse_error { line; col; msg } ->
+          fail "XML error at %d:%d: %s" line col msg)
+      sources
+  in
+  of_dtds dtds
+
+let mapping t = t.mapping
+let dtds t = t.dtds
+
+let dtd_for_root t root =
+  List.assoc_opt root (List.map (fun (d, r) -> (r, d)) t.dtds)
+
+let validate_root t doc node =
+  if not (Doc.is_element doc node) then Error "root is not an element"
+  else begin
+    let name = Doc.name doc node in
+    match dtd_for_root t name with
+    | None -> Error (Printf.sprintf "no DTD declares <%s> as a root" name)
+    | Some dtd -> Dtd.validate ~root:node dtd doc
+  end
+
+let to_string t = Xic_relmap.Mapping.schema_to_string t.mapping

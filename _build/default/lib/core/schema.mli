@@ -1,0 +1,33 @@
+(** A repository schema: the DTDs of the document collection plus the
+    relational mapping derived from them. *)
+
+open Xic_xml
+
+type t
+
+exception Schema_error of string
+
+val create : (string * string) list -> t
+(** [create [(dtd_source, root_name); …]] parses each DTD and builds the
+    combined mapping.  @raise Schema_error on DTD or mapping errors. *)
+
+val of_dtds : (Dtd.t * string) list -> t
+
+val of_inline_doctypes : string list -> t
+(** Build the schema from XML documents carrying internal DOCTYPE subsets
+    ([<!DOCTYPE root [ <!ELEMENT …> ]>]); the root element name is taken
+    from each document.  @raise Schema_error when a document lacks an
+    internal subset or does not parse. *)
+
+val mapping : t -> Xic_relmap.Mapping.t
+val dtds : t -> (Dtd.t * string) list
+
+val dtd_for_root : t -> string -> Dtd.t option
+(** The DTD whose declared root element is the given name. *)
+
+val validate_root : t -> Doc.t -> Doc.node_id -> (unit, string) result
+(** Validate one tree of the collection against the DTD matching its root
+    element name. *)
+
+val to_string : t -> string
+(** The derived relational schema, in the paper's notation. *)

@@ -1,0 +1,76 @@
+type field =
+  | Child of string
+  | Attr of string
+  | Text
+
+exception Template_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Template_error s)) fmt
+
+let field_path = function
+  | Child c -> c ^ "/text()"
+  | Attr a -> "@" ^ a
+  | Text -> "text()"
+
+let field_label = function Child c -> c | Attr a -> a | Text -> "text"
+
+let make schema name src =
+  match Constr.make schema ~name src with
+  | c -> c
+  | exception Constr.Constraint_error m -> fail "%s" m
+
+let key schema ?name ~elem ~field () =
+  let name = Option.value name ~default:(Printf.sprintf "key_%s_%s" elem (field_label field)) in
+  make schema name
+    (Printf.sprintf
+       "<- //%s[%s -> V] -> E1 and //%s[%s -> V] -> E2 and E1 != E2"
+       elem (field_path field) elem (field_path field))
+
+let foreign_key schema ?name ~from:(felem, ffield) ~into:(telem, tfield) () =
+  let name =
+    Option.value name
+      ~default:(Printf.sprintf "fk_%s_%s__%s_%s" felem (field_label ffield) telem (field_label tfield))
+  in
+  make schema name
+    (Printf.sprintf "<- //%s/%s -> V and not(//%s[%s -> V])"
+       felem (field_path ffield) telem (field_path tfield))
+
+(* An elided root cannot be bound to a variable; since it is the unique
+   instance of its type, counting its children is counting all instances
+   of the child type below it. *)
+let is_elided schema parent =
+  match Xic_relmap.Mapping.repr_of (Schema.mapping schema) parent with
+  | Xic_relmap.Mapping.Elided -> true
+  | _ -> false
+  | exception Xic_relmap.Mapping.Mapping_error m -> fail "%s" m
+
+let children_count schema ?name ~parent ~child ~op n ~label =
+  let name = Option.value name ~default:(Printf.sprintf "%s_%d_%s_per_%s" label n child parent) in
+  if is_elided schema parent then
+    make schema name (Printf.sprintf "<- cnt{; /%s/%s} %s %d" parent child op n)
+  else
+    make schema name
+      (Printf.sprintf "<- //%s -> P and cnt{; P/%s} %s %d" parent child op n)
+
+let max_children schema ?name ~parent ~child n =
+  children_count schema ?name ~parent ~child ~op:">" n ~label:"max"
+
+let min_children schema ?name ~parent ~child n =
+  children_count schema ?name ~parent ~child ~op:"<" n ~label:"min"
+
+let forbidden_value schema ?name ~elem ~field value =
+  let name =
+    Option.value name ~default:(Printf.sprintf "no_%s_%s" elem (field_label field))
+  in
+  make schema name
+    (Printf.sprintf "<- //%s[%s -> V] and V = %S" elem (field_path field) value)
+
+let distinct_siblings schema ?name ~parent ~child ~field () =
+  let name =
+    Option.value name
+      ~default:(Printf.sprintf "distinct_%s_in_%s" child parent)
+  in
+  make schema name
+    (Printf.sprintf
+       "<- //%s -> P and P/%s[%s -> V] -> C1 and P/%s[%s -> V] -> C2 and C1 != C2"
+       parent child (field_path field) child (field_path field))

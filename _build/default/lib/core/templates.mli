@@ -1,0 +1,45 @@
+(** Ready-made constraint templates for the most common integrity
+    requirements — the XML Schema-style constraints the paper's Section 3
+    compares against, expressed through the same XPathLog pipeline so they
+    benefit from update-pattern simplification like any hand-written
+    denial. *)
+
+(** Where a scalar value lives on an element. *)
+type field =
+  | Child of string  (** a [(#PCDATA)] child, e.g. [issn] *)
+  | Attr of string   (** an XML attribute *)
+  | Text             (** the element's own text *)
+
+exception Template_error of string
+
+val key : Schema.t -> ?name:string -> elem:string -> field:field -> unit -> Constr.t
+(** No two [elem] elements share the field's value (a key/unique
+    constraint). *)
+
+val foreign_key :
+  Schema.t ->
+  ?name:string ->
+  from:string * field ->
+  into:string * field ->
+  unit ->
+  Constr.t
+(** Every value of [from] occurs as a value of [into] (referential
+    integrity).  Compiles to a safely negated denial. *)
+
+val max_children :
+  Schema.t -> ?name:string -> parent:string -> child:string -> int -> Constr.t
+(** At most [n] children of type [child] per [parent] element. *)
+
+val min_children :
+  Schema.t -> ?name:string -> parent:string -> child:string -> int -> Constr.t
+(** At least [n] children of type [child] per [parent] element (violated
+    by deletions; pairs with removal patterns). *)
+
+val forbidden_value :
+  Schema.t -> ?name:string -> elem:string -> field:field -> string -> Constr.t
+(** The field of [elem] never takes the given value. *)
+
+val distinct_siblings :
+  Schema.t -> ?name:string -> parent:string -> child:string -> field:field -> unit -> Constr.t
+(** Within one [parent], no two [child] elements share the field's value
+    (a relative key, as in XML Schema's scoped [xs:unique]). *)

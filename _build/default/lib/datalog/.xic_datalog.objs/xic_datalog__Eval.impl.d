@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Hashtbl List Printf Store String Subst Term

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: List Printf String Term

@@ -1,0 +1,1 @@
+lib/datalog/store.ml: Hashtbl List Term

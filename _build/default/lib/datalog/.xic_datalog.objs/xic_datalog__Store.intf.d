@@ -1,0 +1,1 @@
+lib/datalog/store.mli: Term

@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Hashtbl List Map Option String Term

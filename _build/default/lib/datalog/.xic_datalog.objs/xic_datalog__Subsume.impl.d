@@ -1,0 +1,1 @@
+lib/datalog/subsume.ml: List Option Subst Term

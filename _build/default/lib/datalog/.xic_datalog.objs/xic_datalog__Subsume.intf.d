@@ -1,0 +1,1 @@
+lib/datalog/subsume.mli: Subst Term

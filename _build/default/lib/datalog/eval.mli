@@ -1,0 +1,39 @@
+(** Evaluation of denials against a fact store.
+
+    A denial is {e violated} when its body is satisfiable.  The solver
+    uses a most-bound-literal-first join strategy over the first-column
+    index of {!Store}; negated and aggregate literals are scheduled once
+    the variables they share with the rest of the body are bound (safe
+    evaluation, with anti-join semantics for negations whose remaining
+    variables are purely local). *)
+
+exception Unsafe of string
+(** Raised on denials whose literals cannot be scheduled safely, or that
+    still contain parameters at evaluation time. *)
+
+val violation :
+  ?params:(string * Term.const) list ->
+  Store.t ->
+  Term.denial ->
+  (string * Term.const) list option
+(** First satisfying substitution (a violation witness), if any.  [params]
+    is the update-time parameter valuation. *)
+
+val violated : ?params:(string * Term.const) list -> Store.t -> Term.denial -> bool
+
+val violations :
+  ?params:(string * Term.const) list ->
+  Store.t ->
+  Term.denial ->
+  (string * Term.const) list list
+(** All satisfying substitutions. *)
+
+val consistent :
+  ?params:(string * Term.const) list -> Store.t -> Term.denial list -> bool
+(** No denial of the set is violated. *)
+
+val first_violated :
+  ?params:(string * Term.const) list ->
+  Store.t ->
+  Term.denial list ->
+  Term.denial option

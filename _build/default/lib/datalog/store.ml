@@ -1,0 +1,121 @@
+(** A mutable fact store: relation name → bag of tuples.
+
+    Tuples are lists of constants.  The store keeps insertion order and
+    supports removal of single tuples so that update transactions can be
+    rolled back; a first-argument hash index accelerates the joins
+    performed by {!Eval} (the first column of every mapped relation is the
+    node id, which is the most selective join key of the schema of
+    Section 4.1). *)
+
+type tuple = Term.const list
+
+type rel = {
+  mutable tuples : tuple list;        (* reverse insertion order *)
+  mutable count : int;
+  index : (Term.const, tuple list ref) Hashtbl.t;  (* first column → tuples *)
+}
+
+type t = (string, rel) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let get_rel (s : t) name =
+  match Hashtbl.find_opt s name with
+  | Some r -> r
+  | None ->
+    let r = { tuples = []; count = 0; index = Hashtbl.create 64 } in
+    Hashtbl.add s name r;
+    r
+
+let add (s : t) name (tup : tuple) =
+  let r = get_rel s name in
+  r.tuples <- tup :: r.tuples;
+  r.count <- r.count + 1;
+  match tup with
+  | [] -> ()
+  | key :: _ ->
+    (match Hashtbl.find_opt r.index key with
+     | Some l -> l := tup :: !l
+     | None -> Hashtbl.add r.index key (ref [ tup ]))
+
+let remove (s : t) name (tup : tuple) =
+  match Hashtbl.find_opt s name with
+  | None -> false
+  | Some r ->
+    let removed = ref false in
+    let rec drop_first = function
+      | [] -> []
+      | t :: rest when (not !removed) && t = tup ->
+        removed := true;
+        rest
+      | t :: rest -> t :: drop_first rest
+    in
+    r.tuples <- drop_first r.tuples;
+    if !removed then begin
+      r.count <- r.count - 1;
+      (match tup with
+       | [] -> ()
+       | key :: _ ->
+         (match Hashtbl.find_opt r.index key with
+          | Some l ->
+            let removed2 = ref false in
+            let rec drop = function
+              | [] -> []
+              | t :: rest when (not !removed2) && t = tup ->
+                removed2 := true;
+                rest
+              | t :: rest -> t :: drop rest
+            in
+            l := drop !l
+          | None -> ()))
+    end;
+    !removed
+
+let tuples (s : t) name =
+  match Hashtbl.find_opt s name with
+  | Some r -> List.rev r.tuples
+  | None -> []
+
+let tuples_with_key (s : t) name (key : Term.const) =
+  match Hashtbl.find_opt s name with
+  | None -> []
+  | Some r ->
+    (match Hashtbl.find_opt r.index key with
+     | Some l -> !l
+     | None -> [])
+
+let cardinality (s : t) name =
+  match Hashtbl.find_opt s name with Some r -> r.count | None -> 0
+
+let relations (s : t) =
+  Hashtbl.fold (fun name _ acc -> name :: acc) s [] |> List.sort compare
+
+let total_tuples (s : t) =
+  Hashtbl.fold (fun _ r acc -> acc + r.count) s 0
+
+let mem (s : t) name tup =
+  match tup with
+  | key :: _ -> List.mem tup (tuples_with_key s name key)
+  | [] -> (match Hashtbl.find_opt s name with Some r -> r.tuples <> [] | None -> false)
+
+let copy (s : t) : t =
+  let s' = create () in
+  Hashtbl.iter
+    (fun name r -> List.iter (fun tup -> add s' name tup) (List.rev r.tuples))
+    s;
+  s'
+
+let of_facts facts =
+  let s = create () in
+  List.iter (fun (name, tup) -> add s name tup) facts;
+  s
+
+let to_facts (s : t) =
+  List.concat_map (fun name -> List.map (fun t -> (name, t)) (tuples s name)) (relations s)
+
+let equal (a : t) (b : t) =
+  let norm s =
+    List.map (fun name -> (name, List.sort compare (tuples s name)))
+      (List.filter (fun n -> cardinality s n > 0) (relations s))
+  in
+  norm a = norm b

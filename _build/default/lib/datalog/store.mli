@@ -1,0 +1,34 @@
+(** A mutable fact store: relation name → bag of tuples.
+
+    Tuples are lists of constants.  The store keeps insertion order and
+    supports removal of single tuples so that update transactions can be
+    rolled back; a first-argument hash index accelerates the joins
+    performed by {!Eval} (the first column of every mapped relation is the
+    node id, the most selective join key of the Section 4.1 schema). *)
+
+type tuple = Term.const list
+
+type t
+
+val create : unit -> t
+val add : t -> string -> tuple -> unit
+
+val remove : t -> string -> tuple -> bool
+(** Remove one occurrence; [false] when absent. *)
+
+val tuples : t -> string -> tuple list
+(** All tuples of a relation, insertion order. *)
+
+val tuples_with_key : t -> string -> Term.const -> tuple list
+(** Tuples whose first column equals the key (indexed lookup). *)
+
+val cardinality : t -> string -> int
+val relations : t -> string list
+val total_tuples : t -> int
+val mem : t -> string -> tuple -> bool
+val copy : t -> t
+val of_facts : (string * tuple) list -> t
+val to_facts : t -> (string * tuple) list
+
+val equal : t -> t -> bool
+(** Same relations with the same tuple multisets. *)

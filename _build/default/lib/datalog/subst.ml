@@ -1,0 +1,100 @@
+(** Substitutions over Datalog terms: finite maps from variable names to
+    terms, applied simultaneously. *)
+
+module M = Map.Make (String)
+
+type t = Term.term M.t
+
+let empty : t = M.empty
+let is_empty = M.is_empty
+let bindings = M.bindings
+let of_list l = M.of_seq (List.to_seq l)
+let add v t (s : t) : t = M.add v t s
+let find v (s : t) = M.find_opt v s
+let mem v (s : t) = M.mem v s
+
+let rec apply_term (s : t) = function
+  | Term.Var v ->
+    (match M.find_opt v s with
+     | Some (Term.Var v') when v' = v -> Term.Var v
+     | Some t -> apply_term s t  (* follow chains; acyclic by construction *)
+     | None -> Term.Var v)
+  | (Term.Const _ | Term.Param _) as t -> t
+
+let apply_atom s (a : Term.atom) = { a with Term.args = List.map (apply_term s) a.args }
+
+let apply_agg s (g : Term.agg) =
+  {
+    g with
+    Term.target = Option.map (apply_term s) g.Term.target;
+    Term.atoms = List.map (apply_atom s) g.Term.atoms;
+    Term.bound = apply_term s g.Term.bound;
+  }
+
+let apply_lit s = function
+  | Term.Rel a -> Term.Rel (apply_atom s a)
+  | Term.Not a -> Term.Not (apply_atom s a)
+  | Term.Cmp (op, t1, t2) -> Term.Cmp (op, apply_term s t1, apply_term s t2)
+  | Term.Agg g -> Term.Agg (apply_agg s g)
+
+let apply_denial s (d : Term.denial) =
+  { d with Term.body = List.map (apply_lit s) d.Term.body }
+
+(** Substitute parameters by constants (the update-time valuation). *)
+let rec apply_params_term (vals : (string * Term.const) list) = function
+  | Term.Param p ->
+    (match List.assoc_opt p vals with
+     | Some c -> Term.Const c
+     | None -> Term.Param p)
+  | t -> t
+
+and apply_params_atom vals (a : Term.atom) =
+  { a with Term.args = List.map (apply_params_term vals) a.args }
+
+let apply_params_lit vals = function
+  | Term.Rel a -> Term.Rel (apply_params_atom vals a)
+  | Term.Not a -> Term.Not (apply_params_atom vals a)
+  | Term.Cmp (op, t1, t2) ->
+    Term.Cmp (op, apply_params_term vals t1, apply_params_term vals t2)
+  | Term.Agg g ->
+    Term.Agg
+      {
+        g with
+        Term.target = Option.map (apply_params_term vals) g.Term.target;
+        Term.atoms = List.map (apply_params_atom vals) g.Term.atoms;
+        Term.bound = apply_params_term vals g.Term.bound;
+      }
+
+let apply_params_denial vals (d : Term.denial) =
+  { d with Term.body = List.map (apply_params_lit vals) d.Term.body }
+
+(** Rename all variables of a denial with fresh names (used before
+    resolution/subsumption across denials to avoid capture). *)
+let rename_denial (d : Term.denial) =
+  let table = Hashtbl.create 8 in
+  let rename_var v =
+    match Hashtbl.find_opt table v with
+    | Some v' -> v'
+    | None ->
+      let v' = Term.fresh_var ~base:(if String.length v > 0 && v.[0] = '_' then "_R" else "R") () in
+      Hashtbl.add table v v';
+      v'
+  in
+  let rec go_term = function
+    | Term.Var v -> Term.Var (rename_var v)
+    | t -> t
+  and go_atom a = { a with Term.args = List.map go_term a.Term.args } in
+  let go_lit = function
+    | Term.Rel a -> Term.Rel (go_atom a)
+    | Term.Not a -> Term.Not (go_atom a)
+    | Term.Cmp (op, t1, t2) -> Term.Cmp (op, go_term t1, go_term t2)
+    | Term.Agg g ->
+      Term.Agg
+        {
+          g with
+          Term.target = Option.map go_term g.Term.target;
+          Term.atoms = List.map go_atom g.Term.atoms;
+          Term.bound = go_term g.Term.bound;
+        }
+  in
+  { d with Term.body = List.map go_lit d.Term.body }

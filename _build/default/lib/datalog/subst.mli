@@ -1,0 +1,33 @@
+(** Substitutions over Datalog terms: finite maps from variable names to
+    terms, applied with chain following (a variable may map to another
+    substituted variable; bindings are acyclic by construction). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val bindings : t -> (string * Term.term) list
+val of_list : (string * Term.term) list -> t
+val add : string -> Term.term -> t -> t
+val find : string -> t -> Term.term option
+val mem : string -> t -> bool
+
+val apply_term : t -> Term.term -> Term.term
+val apply_atom : t -> Term.atom -> Term.atom
+val apply_agg : t -> Term.agg -> Term.agg
+val apply_lit : t -> Term.lit -> Term.lit
+val apply_denial : t -> Term.denial -> Term.denial
+
+(** {2 Parameter valuation} *)
+
+val apply_params_term : (string * Term.const) list -> Term.term -> Term.term
+val apply_params_lit : (string * Term.const) list -> Term.lit -> Term.lit
+
+val apply_params_denial :
+  (string * Term.const) list -> Term.denial -> Term.denial
+(** Substitute parameters by the constants known at update time;
+    parameters absent from the valuation are left in place. *)
+
+val rename_denial : Term.denial -> Term.denial
+(** Rename all variables apart with fresh names (used before resolution or
+    subsumption across denials to avoid capture). *)

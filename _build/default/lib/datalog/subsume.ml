@@ -1,0 +1,136 @@
+(** Subsumption between denials.
+
+    [subsumes phi psi] holds when there is a substitution θ of [phi]'s
+    variables such that every literal of [phi]θ occurs in (or is implied
+    by) the body of [psi].  Then the denial [phi] logically implies the
+    denial [psi] (any model violating [psi] would violate [phi]), so [psi]
+    is redundant in a set containing [phi].
+
+    Comparison literals are normalized (only [=], [!=], [<], [<=] remain,
+    and symmetric operators also match with swapped arguments).  Aggregate
+    literals additionally allow integer-bound weakening: [cnt(a) > 3]
+    subsumes [cnt(a) > 4]. *)
+
+open Term
+
+(* Normalize a comparison literal: Gt/Ge become Lt/Le with swapped args. *)
+let norm_cmp (op, t1, t2) =
+  match op with
+  | Gt -> (Lt, t2, t1)
+  | Ge -> (Le, t2, t1)
+  | op -> (op, t1, t2)
+
+let norm_agg_cmp (g : agg) =
+  (* Put the aggregate expression on the left: [k < cnt(a)] is not
+     representable (bound is a term on the right), so only normalize the
+     operator direction on the bound. *)
+  g
+
+(* One-way matching of terms: extends [theta] mapping phi-variables to
+   psi-terms.  Parameters and constants match only themselves. *)
+let match_term theta (pt : term) (st : term) =
+  match pt with
+  | Const c -> (match st with Const c' when c = c' -> Some theta | _ -> None)
+  | Param p -> (match st with Param p' when p = p' -> Some theta | _ -> None)
+  | Var v ->
+    (match Subst.find v theta with
+     | Some t -> if t = st then Some theta else None
+     | None -> Some (Subst.add v st theta))
+
+let match_terms theta pts sts =
+  if List.length pts <> List.length sts then None
+  else
+    List.fold_left2
+      (fun acc pt st -> match acc with None -> None | Some th -> match_term th pt st)
+      (Some theta) pts sts
+
+let match_atom theta (pa : atom) (sa : atom) =
+  if pa.pred <> sa.pred then None else match_terms theta pa.args sa.args
+
+(* Integer-bound weakening: does [cmp x b1] imply [cmp x b2] ... we need
+   the converse direction: the phi-literal must be implied by the
+   psi-literal.  phi: agg cmp b_phi; psi: agg cmp b_psi.  psi implies phi
+   when for all x, (x cmp b_psi) → (x cmp b_phi). *)
+let bound_weakens cmp (b_phi : term) (b_psi : term) =
+  match (b_phi, b_psi) with
+  | t1, t2 when t1 = t2 -> true
+  | Const (Int k1), Const (Int k2) ->
+    (match cmp with
+     | Gt | Ge -> k1 <= k2
+     | Lt | Le -> k1 >= k2
+     | Eq | Neq -> k1 = k2)
+  | _ -> false
+
+let match_lit theta (pl : lit) (sl : lit) =
+  match (pl, sl) with
+  | Rel pa, Rel sa | Not pa, Not sa -> Option.to_list (match_atom theta pa sa)
+  | Cmp (po, p1, p2), Cmp (so, s1, s2) ->
+    let po, p1, p2 = norm_cmp (po, p1, p2) in
+    let so, s1, s2 = norm_cmp (so, s1, s2) in
+    if po <> so then []
+    else begin
+      let direct = match_terms theta [ p1; p2 ] [ s1; s2 ] in
+      let swapped =
+        if po = Eq || po = Neq then match_terms theta [ p1; p2 ] [ s2; s1 ] else None
+      in
+      List.filter_map (fun x -> x) [ direct; swapped ]
+    end
+  | Agg pg, Agg sg ->
+    let pg = norm_agg_cmp pg and sg = norm_agg_cmp sg in
+    if pg.op <> sg.op || pg.acmp <> sg.acmp then []
+    else begin
+      let match_atoms theta pas sas =
+        if List.length pas <> List.length sas then None
+        else
+          List.fold_left2
+            (fun acc pa sa ->
+              match acc with None -> None | Some th -> match_atom th pa sa)
+            (Some theta) pas sas
+      in
+      match match_atoms theta pg.atoms sg.atoms with
+      | None -> []
+      | Some theta ->
+        let theta_t =
+          match (pg.target, sg.target) with
+          | None, None -> Some theta
+          | Some pt, Some st -> match_term theta pt st
+          | _ -> None
+        in
+        (match theta_t with
+         | None -> []
+         | Some theta ->
+           (* Either the bounds match as terms, or integer weakening
+              applies to already-ground bounds. *)
+           (match match_term theta pg.bound sg.bound with
+            | Some theta' -> [ theta' ]
+            | None ->
+              let pb = Subst.apply_term theta pg.bound in
+              if bound_weakens pg.acmp pb sg.bound then [ theta ] else []))
+    end
+  | _ -> []
+
+(* Backtracking search: map every literal of [phi] into some literal of
+   [psi] (non-injectively), extending theta consistently. *)
+let subsumes_with (phi : denial) (psi : denial) =
+  let rec go theta = function
+    | [] -> Some theta
+    | pl :: rest ->
+      let candidates = List.concat_map (fun sl -> match_lit theta pl sl) psi.body in
+      List.fold_left
+        (fun found theta' -> match found with Some _ -> found | None -> go theta' rest)
+        None candidates
+  in
+  go Subst.empty phi.body
+
+let subsumes phi psi = subsumes_with phi psi <> None
+
+(** Equality up to variable renaming (both directions of subsumption and
+    equal body sizes). *)
+let variant phi psi =
+  List.length phi.body = List.length psi.body
+  && subsumes phi psi && subsumes psi phi
+
+(** Is [psi] implied (made redundant) by some denial in [set]?  Denials in
+    [set] are renamed apart first. *)
+let implied_by set psi =
+  List.exists (fun phi -> subsumes (Subst.rename_denial phi) psi) set

@@ -1,0 +1,26 @@
+(** Subsumption between denials.
+
+    [subsumes phi psi] holds when a substitution θ of [phi]'s variables
+    maps every literal of [phi] into (or onto one implied by) the body of
+    [psi]; then the denial [phi] logically implies the denial [psi], so
+    [psi] is redundant in any set containing [phi].
+
+    Comparison literals are normalized ([>]/[>=] become [<]/[<=] with
+    swapped arguments; [=]/[!=] also match commuted) and aggregate
+    literals allow integer-bound weakening: [cnt(a) > 3] subsumes
+    [cnt(a) > 4]. *)
+
+val match_term : Subst.t -> Term.term -> Term.term -> Subst.t option
+(** One-way matching: extends the substitution on the left term's
+    variables; constants and parameters match only themselves. *)
+
+val match_atom : Subst.t -> Term.atom -> Term.atom -> Subst.t option
+
+val subsumes_with : Term.denial -> Term.denial -> Subst.t option
+val subsumes : Term.denial -> Term.denial -> bool
+
+val variant : Term.denial -> Term.denial -> bool
+(** Equality up to variable renaming. *)
+
+val implied_by : Term.denial list -> Term.denial -> bool
+(** Is the denial implied by some member of the set (renamed apart)? *)

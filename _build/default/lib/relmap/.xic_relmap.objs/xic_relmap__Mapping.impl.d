@@ -1,0 +1,1 @@
+lib/relmap/mapping.ml: Dtd Hashtbl List Printf String Xic_xml

@@ -1,0 +1,1 @@
+lib/relmap/mapping.mli: Dtd Xic_xml

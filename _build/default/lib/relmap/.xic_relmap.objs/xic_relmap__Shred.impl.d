@@ -1,0 +1,1 @@
+lib/relmap/shred.ml: Doc List Mapping Option Printf Xic_datalog Xic_xml

@@ -1,0 +1,1 @@
+lib/relmap/shred.mli: Doc Mapping Xic_datalog Xic_xml

@@ -1,0 +1,93 @@
+open Xic_xml
+module T = Xic_datalog.Term
+module Store = Xic_datalog.Store
+
+exception Shred_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Shred_error s)) fmt
+
+let node_const id = T.Int id
+
+(* Text of the first child element named [name] (the embedded edge
+   guarantees at most one), or "" when absent. *)
+let embedded_text doc id name =
+  let rec find = function
+    | [] -> ""
+    | c :: rest ->
+      if Doc.is_element doc c && Doc.name doc c = name then Doc.text_content doc c
+      else find rest
+  in
+  find (Doc.children doc id)
+
+let fact_of_element mapping doc id =
+  if not (Doc.is_element doc id) then None
+  else begin
+    let tag = Doc.name doc id in
+    match Mapping.repr_of mapping tag with
+    | exception Mapping.Mapping_error m -> fail "%s" m
+    | Mapping.Embedded | Mapping.Elided -> None
+    | Mapping.Predicate schema ->
+      let cols =
+        List.map
+          (fun (c : Mapping.column) ->
+            match c.Mapping.source with
+            | Mapping.From_attr a ->
+              T.Str (Option.value ~default:"" (Doc.attr doc id a))
+            | Mapping.From_pcdata_child ch -> T.Str (embedded_text doc id ch)
+            | Mapping.From_text -> T.Str (Doc.text_content doc id))
+          schema.Mapping.columns
+      in
+      let parent = Doc.parent doc id in
+      Some
+        ( tag,
+          node_const id
+          :: T.Int (Doc.position doc id)
+          :: node_const parent
+          :: cols )
+  end
+
+let shred_into mapping doc store start =
+  let rec go id =
+    (match fact_of_element mapping doc id with
+     | Some (pred, tuple) -> Store.add store pred tuple
+     | None -> ());
+    List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
+  in
+  go start
+
+let unshred_from mapping doc store start =
+  let rec go id =
+    (match fact_of_element mapping doc id with
+     | Some (pred, tuple) -> ignore (Store.remove store pred tuple)
+     | None -> ());
+    List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
+  in
+  go start
+
+let shred mapping doc =
+  let store = Store.create () in
+  List.iter (shred_into mapping doc store) (Doc.roots doc);
+  store
+
+let path_to_node doc id =
+  (* index among same-name element siblings, the [n] of XPath steps *)
+  let sibling_index id =
+    let name = Doc.name doc id in
+    1
+    + List.length
+        (List.filter
+           (fun s -> Doc.is_element doc s && Doc.name doc s = name)
+           (Doc.preceding_siblings doc id))
+  in
+  let rec go id acc =
+    let p = Doc.parent doc id in
+    let label =
+      if Doc.is_element doc id then
+        Printf.sprintf "/%s[%d]" (Doc.name doc id) (sibling_index id)
+      else "/text()"
+    in
+    if p = Doc.no_node then
+      (if Doc.is_element doc id then "/" ^ Doc.name doc id else label) ^ acc
+    else go p (label ^ acc)
+  in
+  go id ""

@@ -1,0 +1,35 @@
+(** Shredding documents into the relational fact store of the mapping.
+
+    Each non-embedded, non-elided element [e] with node id [i], position
+    [p] (among its parent's element children) and parent node id [q]
+    yields the fact [e(i, p, q, c₁, …, cₙ)] where the [cᵢ] are attribute
+    values and embedded-child text contents ([""] when absent). *)
+
+open Xic_xml
+
+exception Shred_error of string
+
+val node_const : Doc.node_id -> Xic_datalog.Term.const
+(** The constant representing a node id ([Int]). *)
+
+val fact_of_element :
+  Mapping.t -> Doc.t -> Doc.node_id -> (string * Xic_datalog.Term.const list) option
+(** The fact contributed by one element node, if its type maps to a
+    predicate.  @raise Shred_error for element types outside the schema. *)
+
+val shred : Mapping.t -> Doc.t -> Xic_datalog.Store.t
+(** Shred all roots of the document/collection into a fresh store. *)
+
+val shred_into :
+  Mapping.t -> Doc.t -> Xic_datalog.Store.t -> Doc.node_id -> unit
+(** Shred the subtree rooted at the given node into an existing store
+    (used to mirror XUpdate insertions at the relational level). *)
+
+val unshred_from :
+  Mapping.t -> Doc.t -> Xic_datalog.Store.t -> Doc.node_id -> unit
+(** Remove the facts of the subtree rooted at the given node (rollback
+    mirror of {!shred_into}). *)
+
+val path_to_node : Doc.t -> Doc.node_id -> string
+(** A positional root path such as [/review/track[2]/rev[5]], the display
+    form the paper uses for node-valued parameters. *)

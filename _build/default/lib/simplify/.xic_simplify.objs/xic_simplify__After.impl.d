@@ -1,0 +1,1 @@
+lib/simplify/after.ml: Hashtbl List Option Printf String Xic_datalog

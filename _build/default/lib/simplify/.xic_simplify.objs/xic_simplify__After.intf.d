@@ -1,0 +1,1 @@
+lib/simplify/after.mli: Xic_datalog

@@ -1,0 +1,1 @@
+lib/simplify/optimize.ml: Hashtbl List String Xic_datalog

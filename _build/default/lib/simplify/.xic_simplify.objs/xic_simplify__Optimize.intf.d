@@ -1,0 +1,1 @@
+lib/simplify/optimize.mli: Xic_datalog

@@ -1,0 +1,1 @@
+lib/simplify/simp.ml: After List Optimize Xic_datalog

@@ -1,0 +1,1 @@
+lib/simplify/simp.mli: Xic_datalog

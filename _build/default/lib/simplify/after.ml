@@ -1,0 +1,297 @@
+module T = Xic_datalog.Term
+
+type update = T.atom list
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let additions_on update pred =
+  List.filter (fun (a : T.atom) -> a.T.pred = pred) update
+
+(* The per-position equalities asserting that the literal's arguments
+   match an addition's.  Statically equal pairs produce no condition;
+   statically different constants make the match impossible. *)
+let match_conditions (args : T.term list) (addition : T.atom) =
+  if List.length args <> List.length addition.T.args then
+    unsupported "arity mismatch between constraint and update on %s" addition.T.pred;
+  let rec go acc args adds =
+    match (args, adds) with
+    | [], [] -> Some (List.rev acc)
+    | t :: args', u :: adds' ->
+      if t = u then go acc args' adds'
+      else begin
+        match (t, u) with
+        | T.Const c1, T.Const c2 when c1 <> c2 -> None
+        | _ -> go ((t, u) :: acc) args' adds'
+      end
+    | _ -> None
+  in
+  go [] args addition.T.args
+
+(* One alternative for a literal: the literals that replace it. *)
+type alt = T.lit list
+
+(* Alternatives for a positive literal under the update. *)
+let positive_alts update (a : T.atom) : alt list =
+  let keep = [ T.Rel a ] in
+  let matches =
+    List.filter_map
+      (fun add ->
+        match match_conditions a.T.args add with
+        | Some conds -> Some (List.map (fun (t, u) -> T.Cmp (T.Eq, t, u)) conds)
+        | None -> None)
+      (additions_on update a.T.pred)
+  in
+  keep :: matches
+
+(* Alternatives for a negative literal ¬p(t̄): the negation stays, and for
+   every addition at least one argument must provably differ.  Argument
+   positions holding existential locals of the negation (anonymous
+   variables occurring only there) always match — ∃x. x = a is true — so
+   they contribute no disequality branch; if no other position remains,
+   the addition certainly satisfies p(t̄) and the denial becomes trivially
+   satisfied after the update. *)
+let negative_alts update body (a : T.atom) : alt list =
+  let this = T.Not a in
+  let local = function
+    | T.Var v ->
+      String.length v > 0 && v.[0] = '_'
+      && not
+           (List.exists
+              (fun l -> l <> this && List.mem v (T.lit_vars l))
+              body)
+    | _ -> false
+  in
+  let per_addition =
+    List.map
+      (fun add ->
+        match match_conditions a.T.args add with
+        | None -> [ [] ]  (* statically cannot match: no condition *)
+        | Some conds ->
+          (match List.filter (fun (t, _) -> not (local t)) conds with
+           | [] -> []  (* certain match: the denial is dropped *)
+           | conds -> List.map (fun (t, u) -> [ T.Cmp (T.Neq, t, u) ]) conds))
+      (additions_on update a.T.pred)
+  in
+  (* Cross product of the per-addition disequality choices, all combined
+     with the kept negative literal. *)
+  List.fold_left
+    (fun alts choices ->
+      List.concat_map (fun alt -> List.map (fun c -> alt @ c) choices) alts)
+    [ [ T.Not a ] ] per_addition
+
+(* Alternatives for a count aggregate.  Touched tuples (additions or
+   deletions) are folded one at a time; each yields a "joins the group"
+   branch with the bound shifted by [-shift] (an addition grows the
+   post-state count, so the present-state bound drops; a deletion raises
+   it) and one "provably does not join" branch per match condition. *)
+let agg_alts ~shift update (g : T.agg) : alt list =
+  let affected =
+    List.exists (fun a -> additions_on update a.T.pred <> []) g.T.atoms
+  in
+  if not affected then [ [ T.Agg g ] ]
+  else begin
+    (match g.T.op with
+     | T.Cnt | T.CntD -> ()
+     | op ->
+       unsupported "After on %s aggregates is not supported" (T.agg_op_str op));
+    let dec_bound g =
+      match g.T.bound with
+      | T.Const (T.Int k) -> { g with T.bound = T.Const (T.Int (k - shift)) }
+      | b ->
+        unsupported "count aggregate with non-integer bound %s" (T.term_str b)
+    in
+    (* An addition joins the pattern through atom [idx] iff (i) its values
+       agree with the atom's non-local arguments (equalities on group
+       variables/constants) and (ii) the rest of the conjunctive pattern,
+       with the atom's local variables instantiated by the addition's
+       values, still has a witness (the remaining atoms become ordinary
+       body literals of the match branch).  Local variables here are the
+       '_'-anonymous ones: by construction of the XPathLog compiler,
+       named variables inside aggregates are exactly the group
+       variables. *)
+    let branches_for_addition (g : T.agg) (idx : int) (add : T.atom) : (T.lit list * T.agg) list =
+      let atom = List.nth g.T.atoms idx in
+      let is_local = function
+        | T.Var v -> String.length v > 0 && v.[0] = '_'
+        | _ -> false
+      in
+      match match_conditions atom.T.args add with
+      | None -> [ ([], g) ]  (* cannot match: aggregate unchanged *)
+      | Some all_conds ->
+        let local_conds, conds =
+          List.partition (fun (t, _) -> is_local t) all_conds
+        in
+        (* Instantiate the pattern's local variables with the addition's
+           values and collect the remaining atoms as match witnesses. *)
+        let sigma =
+          List.fold_left
+            (fun s (t, u) ->
+              match t with
+              | T.Var v -> Xic_datalog.Subst.add v u s
+              | _ -> s)
+            Xic_datalog.Subst.empty local_conds
+        in
+        let remaining =
+          List.filteri (fun i _ -> i <> idx) g.T.atoms
+          |> List.map (Xic_datalog.Subst.apply_atom sigma)
+        in
+        (* The witness copies are separate existentials: rename their
+           remaining local variables apart from the aggregate's own. *)
+        let rename_locals (a : T.atom) =
+          let table = Hashtbl.create 4 in
+          { a with
+            T.args =
+              List.map
+                (fun t ->
+                  match t with
+                  | T.Var v when is_local t ->
+                    (match Hashtbl.find_opt table v with
+                     | Some v' -> T.Var v'
+                     | None ->
+                       let v' = T.fresh_var ~base:"_W" () in
+                       Hashtbl.add table v v';
+                       T.Var v')
+                  | t -> t)
+                a.T.args;
+          }
+        in
+        let remaining = List.map rename_locals remaining in
+        (* A local variable shared between two remaining atoms would make
+           the no-match branches (per-atom negations) unsound:
+           ¬(A ∧ B) with a shared existential is not ¬A ∨ ¬B. *)
+        let local_counts = Hashtbl.create 8 in
+        List.iter
+          (fun (a : T.atom) ->
+            List.sort_uniq compare (T.atom_vars a)
+            |> List.iter (fun v ->
+                   if is_local (T.Var v) then
+                     Hashtbl.replace local_counts v
+                       (1 + Option.value ~default:0 (Hashtbl.find_opt local_counts v))))
+          remaining;
+        if Hashtbl.fold (fun _ c acc -> acc || c > 1) local_counts false then
+          unsupported
+            "update joins aggregate %s through an atom whose siblings share \
+             local variables"
+            (T.lit_str (T.Agg g));
+        let match_branch =
+          ( List.map (fun (t, u) -> T.Cmp (T.Eq, t, u)) conds
+            @ List.map (fun a -> T.Rel a) remaining,
+            dec_bound g )
+        in
+        let nomatch_branches =
+          List.map (fun (t, u) -> ([ T.Cmp (T.Neq, t, u) ], g)) conds
+          @ List.map (fun a -> ([ T.Not a ], g)) remaining
+        in
+        if conds = [] && remaining = [] then [ ([], dec_bound g) ]
+        else match_branch :: nomatch_branches
+    in
+    let all_pairs =
+      List.concat
+        (List.mapi
+           (fun idx atom ->
+             List.map (fun add -> (idx, add)) (additions_on update atom.T.pred))
+           g.T.atoms)
+    in
+    let states =
+      List.fold_left
+        (fun states (idx, add) ->
+          List.concat_map
+            (fun (conds, g) ->
+              List.map
+                (fun (conds', g') -> (conds @ conds', g'))
+                (branches_for_addition g idx add))
+            states)
+        [ ([], g) ] all_pairs
+    in
+    List.map (fun (conds, g) -> conds @ [ T.Agg g ]) states
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deletions (set semantics)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A positive literal survives a deletion transaction iff it differs from
+   every deleted tuple in at least one position.  Unlike the negative-
+   literal case for insertions, positions holding the literal's own
+   (anonymous) variables stay: they are bound by the chosen tuple when the
+   disequality is evaluated. *)
+let del_positive_alts del (a : T.atom) : alt list =
+  let per_deletion =
+    List.map
+      (fun dd ->
+        match match_conditions a.T.args dd with
+        | None -> [ [] ]  (* statically different: unaffected *)
+        | Some [] -> []   (* statically identical: the tuple is gone *)
+        | Some conds -> List.map (fun (t, u) -> [ T.Cmp (T.Neq, t, u) ]) conds)
+      (additions_on del a.T.pred)
+  in
+  List.fold_left
+    (fun alts choices ->
+      List.concat_map (fun alt -> List.map (fun c -> alt @ c) choices) alts)
+    [ [ T.Rel a ] ] per_deletion
+
+(* ¬p(t̄) holds after deletions iff it held before or the (unique, by set
+   semantics) matching tuple is among the deleted ones.  Sound only when
+   t̄ is determined by the rest of the body: positions holding variables
+   local to the negation would need a universal quantification. *)
+let del_negative_alts del body (a : T.atom) : alt list =
+  let this = T.Not a in
+  List.iter
+    (fun t ->
+      match t with
+      | T.Var v
+        when not
+               (List.exists
+                  (fun l -> l <> this && List.mem v (T.lit_vars l))
+                  body) ->
+        unsupported
+          "deletion against a negated literal with local variables: %s"
+          (T.lit_str this)
+      | _ -> ())
+    a.T.args;
+  let became_absent =
+    List.filter_map
+      (fun dd ->
+        match match_conditions a.T.args dd with
+        | None -> None
+        | Some conds -> Some (List.map (fun (t, u) -> T.Cmp (T.Eq, t, u)) conds))
+      (additions_on del a.T.pred)
+  in
+  [ T.Not a ] :: became_absent
+
+let lit_alts update body = function
+  | T.Rel a -> positive_alts update a
+  | T.Not a -> negative_alts update body a
+  | T.Cmp _ as l -> [ [ l ] ]
+  | T.Agg g -> agg_alts ~shift:1 update g
+
+let del_lit_alts del body = function
+  | T.Rel a -> del_positive_alts del a
+  | T.Not a -> del_negative_alts del body a
+  | T.Cmp _ as l -> [ [ l ] ]
+  | T.Agg g -> agg_alts ~shift:(-1) del g
+
+let expand per_lit (d : T.denial) : T.denial list =
+  let alts_per_lit = List.map (per_lit d.T.body) d.T.body in
+  let bodies =
+    List.fold_left
+      (fun acc alts ->
+        List.concat_map (fun body -> List.map (fun alt -> body @ alt) alts) acc)
+      [ [] ] alts_per_lit
+  in
+  List.map (fun body -> { d with T.body = body }) bodies
+
+let denial update (d : T.denial) : T.denial list =
+  expand (fun body l -> lit_alts update body l) d
+
+let denials update ds = List.concat_map (denial update) ds
+
+let denial_mixed ~ins ~del (d : T.denial) : T.denial list =
+  (* insertions first, then deletions on every resulting denial; the two
+     transformations commute on disjoint transactions. *)
+  expand (fun body l -> lit_alts ins body l) d
+  |> List.concat_map (expand (fun body l -> del_lit_alts del body l))
+
+let denials_mixed ~ins ~del ds = List.concat_map (denial_mixed ~ins ~del) ds

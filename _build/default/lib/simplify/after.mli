@@ -1,0 +1,63 @@
+(** The [After] transformation (Definition 2 of the paper, extended to
+    negated literals and count aggregates).
+
+    Given an insertion transaction [U] (ground atoms, possibly containing
+    parameters) and a set of denials that must hold {e after} [U], [After]
+    produces denials that hold in the {e present} state iff the originals
+    hold after the update:
+
+    {ul
+    {- a positive literal [p(t̄)] becomes the disjunction
+       [p(t̄) ∨ t̄=ā₁ ∨ …] over the additions [p(āᵢ)], expanded into one
+       output denial per choice;}
+    {- a negative literal [¬p(t̄)] becomes
+       [¬p(t̄) ∧ ¬(t̄=ā₁) ∧ …], each [¬(t̄=āᵢ)] expanded into one output
+       denial per differing argument position;}
+    {- a count aggregate [cnt{…} ⋈ k] is case-split per matching
+       addition: a branch where the addition joins the aggregate's group
+       (bound [k−1]) and branches where it provably does not (bound [k]).
+       For [cntd] this relies on the added tuple being distinct from all
+       existing ones, which the freshness hypotheses of new node
+       identifiers guarantee (see {!Simp.freshness_hypotheses}).}}
+
+    @raise Unsupported for [sum]/[max]/[min] aggregates affected by the
+    update, or count aggregates with a non-integer bound. *)
+
+type update = Xic_datalog.Term.atom list
+
+exception Unsupported of string
+
+val denial :
+  update -> Xic_datalog.Term.denial -> Xic_datalog.Term.denial list
+
+val denials :
+  update -> Xic_datalog.Term.denial list -> Xic_datalog.Term.denial list
+
+(** {2 Deletions}
+
+    The dual transformation for deletion transactions, under set
+    semantics (guaranteed by the XML mapping, whose first column is a
+    unique node id) and assuming {e effective} deletions — every deleted
+    tuple is present in the current state, which holds by construction
+    when the deletion mirrors the removal of existing XML nodes:
+
+    {ul
+    {- a positive literal [p(t̄)] additionally requires [t̄ ≠ āᵢ] for every
+       deletion [p(āᵢ)] (one output denial per differing position);}
+    {- a negative literal [¬p(t̄)] becomes [¬p(t̄) ∨ t̄ = āᵢ]; it must be
+       ground w.r.t. the rest of the body ({!Unsupported} otherwise);}
+    {- count aggregates case-split like insertions with the bound
+       {e incremented} on the matching branch.}} *)
+
+val denial_mixed :
+  ins:update ->
+  del:update ->
+  Xic_datalog.Term.denial ->
+  Xic_datalog.Term.denial list
+(** Insertions and deletions in one transaction (assumed disjoint). *)
+
+val denials_mixed :
+  ins:update ->
+  del:update ->
+  Xic_datalog.Term.denial list ->
+  Xic_datalog.Term.denial list

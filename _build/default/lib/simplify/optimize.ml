@@ -1,0 +1,211 @@
+module T = Xic_datalog.Term
+module Subst = Xic_datalog.Subst
+module Subsume = Xic_datalog.Subsume
+
+(* ------------------------------------------------------------------ *)
+(* Normalization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Ground/trivial comparison evaluation: Some true / Some false when
+   decidable, None otherwise.  Identical terms (including parameters,
+   which denote fixed values) decide reflexive operators. *)
+let decide_cmp op t1 t2 =
+  match (t1, t2) with
+  | T.Const c1, T.Const c2 -> Some (T.eval_cmp op c1 c2)
+  | _ when t1 = t2 ->
+    (match op with
+     | T.Eq | T.Le | T.Ge -> Some true
+     | T.Neq | T.Lt | T.Gt -> Some false)
+  | _ -> None
+
+(* Trivial count-aggregate bounds: a count is always >= 0. *)
+let decide_agg (g : T.agg) =
+  match (g.T.op, g.T.bound) with
+  | (T.Cnt | T.CntD), T.Const (T.Int k) ->
+    (match g.T.acmp with
+     | T.Ge when k <= 0 -> Some true
+     | T.Gt when k < 0 -> Some true
+     | T.Lt when k <= 0 -> Some false
+     | T.Le when k < 0 -> Some false
+     | _ -> None)
+  | _ -> None
+
+exception Dropped
+
+(* One pass: evaluate decidable literals; find one inlinable equality. *)
+let rec normalize_body body =
+  (* Phase 1: decide literals. *)
+  let body =
+    List.filter
+      (fun l ->
+        match l with
+        | T.Cmp (op, t1, t2) ->
+          (match decide_cmp op t1 t2 with
+           | Some true -> false
+           | Some false -> raise Dropped
+           | None -> true)
+        | T.Agg g ->
+          (match decide_agg g with
+           | Some true -> false
+           | Some false -> raise Dropped
+           | None -> true)
+        | T.Rel _ | T.Not _ -> true)
+      body
+  in
+  (* Phase 2: inline one variable equality and recurse. *)
+  let prefer_subst a t =
+    (* Keep user-ish names: substitute the "more internal" side away. *)
+    let internal v = String.length v > 0 && (v.[0] = '_' || String.contains v '_') in
+    match t with
+    | T.Var b when internal b && not (internal a) ->
+      Subst.add b (T.Var a) Subst.empty
+    | _ -> Subst.add a t Subst.empty
+  in
+  let rec find acc = function
+    | [] -> None
+    | T.Cmp (T.Eq, T.Var a, t) :: rest -> Some (List.rev_append acc rest, prefer_subst a t)
+    | T.Cmp (T.Eq, t, T.Var a) :: rest -> Some (List.rev_append acc rest, prefer_subst a t)
+    | l :: rest -> find (l :: acc) rest
+  in
+  match find [] body with
+  | Some (body', s) -> normalize_body (List.map (Subst.apply_lit s) body')
+  | None ->
+    (* Phase 3: drop duplicate literals. *)
+    let rec dedup seen = function
+      | [] -> List.rev seen
+      | l :: rest -> if List.mem l seen then dedup seen rest else dedup (l :: seen) rest
+    in
+    dedup [] body
+
+(* Intra-denial atom pruning: a positive literal L is redundant when some
+   other positive literal L' matches it under a substitution θ whose
+   domain variables occur nowhere outside L — any witness for L' then
+   also witnesses L. *)
+let prune_redundant_atoms body =
+  let redundant others l =
+    match l with
+    | T.Rel a ->
+      let occurs_outside v =
+        List.exists (fun l' -> List.mem v (T.lit_vars l')) others
+      in
+      List.exists
+        (fun l' ->
+          match l' with
+          | T.Rel a' when l' != l ->
+            (match Subsume.match_atom Subst.empty a a' with
+             | Some theta ->
+               List.for_all
+                 (fun (v, t) -> t = T.Var v || not (occurs_outside v))
+                 (Subst.bindings theta)
+             | None -> false)
+          | _ -> false)
+        others
+    | _ -> false
+  in
+  (* Sequential scan so that two mutually-redundant atoms are not both
+     dropped. *)
+  let rec go kept = function
+    | [] -> List.rev kept
+    | l :: rest ->
+      let others = List.rev_append kept rest in
+      if redundant others l then go kept rest else go (l :: kept) rest
+  in
+  go [] body
+
+let normalize_denial (d : T.denial) =
+  match normalize_body d.T.body with
+  | body -> Some { d with T.body = prune_redundant_atoms body }
+  | exception Dropped -> None
+
+(* ------------------------------------------------------------------ *)
+(* Subsumption-based reduction                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Freshness-based (dis)equality resolution: a hypothesis of the shape
+   [:- p(…, %k, …)] with a single parameter argument says that no [p]
+   tuple carries [%k] at that position.  A body atom [p(…, t, …)] then
+   guarantees [t ≠ %k]: disequalities between [t] and [%k] are erased and
+   equalities make the denial trivially satisfied. *)
+let freshness_facts hypotheses =
+  List.filter_map
+    (fun (h : T.denial) ->
+      match h.T.body with
+      | [ T.Rel a ] ->
+        let params =
+          List.mapi (fun i t -> (i, t)) a.T.args
+          |> List.filter_map (fun (i, t) ->
+                 match t with T.Param p -> Some (i, p) | _ -> None)
+        in
+        let all_others_anon =
+          List.for_all
+            (fun t -> match t with T.Param _ -> true | t -> T.is_anon t)
+            a.T.args
+        in
+        (match (params, all_others_anon) with
+         | [ (pos, p) ], true -> Some (a.T.pred, pos, p)
+         | _ -> None)
+      | _ -> None)
+    hypotheses
+
+exception Trivial
+
+let apply_freshness facts (d : T.denial) =
+  (* terms provably different from each fresh parameter *)
+  let distinct = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      match l with
+      | T.Rel a ->
+        List.iter
+          (fun (pred, pos, p) ->
+            if a.T.pred = pred then
+              match List.nth_opt a.T.args pos with
+              | Some t -> Hashtbl.replace distinct (t, p) ()
+              | None -> ())
+          facts
+      | _ -> ())
+    d.T.body;
+  let provably_distinct t1 t2 =
+    match (t1, t2) with
+    | t, T.Param p | T.Param p, t -> Hashtbl.mem distinct (t, p)
+    | _ -> false
+  in
+  match
+    List.filter
+      (fun l ->
+        match l with
+        | T.Cmp (T.Neq, t1, t2) when provably_distinct t1 t2 -> false
+        | T.Cmp (T.Eq, t1, t2) when provably_distinct t1 t2 -> raise Trivial
+        | _ -> true)
+      d.T.body
+  with
+  | body -> Some { d with T.body = body }
+  | exception Trivial -> None
+
+let optimize ~hypotheses denials =
+  let facts = freshness_facts hypotheses in
+  (* normalize first: equality inlining exposes the [t ≠ %k] forms the
+     freshness pass discharges; then normalize again. *)
+  let normalized =
+    List.filter_map normalize_denial denials
+    |> List.filter_map (apply_freshness facts)
+    |> List.filter_map normalize_denial
+  in
+  (* Remove denials implied by a hypothesis. *)
+  let survivors =
+    List.filter
+      (fun d -> not (Subsume.implied_by hypotheses d))
+      normalized
+  in
+  (* Remove denials implied by an earlier survivor or a strictly smaller
+     later one; variants collapse to their first occurrence. *)
+  let rec reduce kept = function
+    | [] -> List.rev kept
+    | d :: rest ->
+      let implied =
+        List.exists (fun k -> Subsume.subsumes (Subst.rename_denial k) d) kept
+        || List.exists (fun r -> Subsume.subsumes (Subst.rename_denial r) d) rest
+      in
+      if implied then reduce kept rest else reduce (d :: kept) rest
+  in
+  reduce [] survivors

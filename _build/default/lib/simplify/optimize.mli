@@ -1,0 +1,24 @@
+(** The [Optimize] transformation: sound rewrite rules that reduce denials
+    in size and number and instantiate them as much as possible, under a
+    set of trusted hypotheses Δ (Section 5 of the paper, after [16]).
+
+    Rules applied to a fixpoint:
+    {ul
+    {- {b normalization}: ground comparisons are evaluated (a denial with
+       a false literal is dropped; true literals are erased), equalities
+       involving a variable are inlined by substitution, duplicate
+       literals are removed, count aggregates with trivially true/false
+       integer bounds are resolved;}
+    {- {b subsumption}: a denial implied by a hypothesis or by another
+       denial of the set (via {!Xic_datalog.Subsume}) is removed;}
+    {- {b variant elimination}: denials equal up to renaming are kept
+       once.}} *)
+
+val normalize_denial : Xic_datalog.Term.denial -> Xic_datalog.Term.denial option
+(** [None] when the denial is trivially satisfied (a literal is
+    unsatisfiable). *)
+
+val optimize :
+  hypotheses:Xic_datalog.Term.denial list ->
+  Xic_datalog.Term.denial list ->
+  Xic_datalog.Term.denial list

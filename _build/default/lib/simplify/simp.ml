@@ -1,0 +1,41 @@
+module T = Xic_datalog.Term
+
+type update = T.atom list
+
+let simp ?(hypotheses = []) ?(deletions = []) ~update gamma =
+  let after =
+    if deletions = [] then After.denials update gamma
+    else After.denials_mixed ~ins:update ~del:deletions gamma
+  in
+  Optimize.optimize ~hypotheses:(hypotheses @ gamma) after
+
+let anon_args n = List.init n (fun _ -> T.Var (T.fresh_var ~base:"_F" ()))
+
+let freshness_hypotheses ~fresh ~children ~arity update =
+  List.concat_map
+    (fun (a : T.atom) ->
+      match a.T.args with
+      | T.Param k :: _ when List.mem k fresh ->
+        let own =
+          (* :- p(%k, _, …) — no existing tuple carries the new id. *)
+          let n = arity a.T.pred in
+          T.denial
+            [ T.Rel { T.pred = a.T.pred; T.args = T.Param k :: anon_args (n - 1) } ]
+        in
+        let referencing =
+          (* :- q(_, _, %k, …) — nothing has the new node as parent. *)
+          List.map
+            (fun (q, n) ->
+              T.denial
+                [ T.Rel
+                    { T.pred = q;
+                      T.args =
+                        (match anon_args (n - 1) with
+                         | x1 :: x2 :: rest -> x1 :: x2 :: T.Param k :: rest
+                         | _ -> invalid_arg "freshness_hypotheses: arity < 3");
+                    } ])
+            (children a.T.pred)
+        in
+        own :: referencing
+      | _ -> [])
+    update

@@ -1,0 +1,33 @@
+(** The complete simplification procedure
+    [SimpᵁΔ(Γ) = Optimize{Δ∪Γ}(Afterᵁ(Γ))] (Definition 3, Theorem 1).
+
+    Given a database consistent with [Γ] and the extra hypotheses [Δ], the
+    result holds in the present state iff [Γ] holds after executing the
+    insertion [U].  The result is as instantiated as possible, so it is
+    typically far cheaper to evaluate than [Γ]. *)
+
+type update = Xic_datalog.Term.atom list
+
+val simp :
+  ?hypotheses:Xic_datalog.Term.denial list ->
+  ?deletions:update ->
+  update:update ->
+  Xic_datalog.Term.denial list ->
+  Xic_datalog.Term.denial list
+(** [update] lists the insertions and [deletions] (default empty) the
+    removals of the transaction.
+    @raise After.Unsupported on update/constraint combinations outside the
+    supported fragment (see {!After}). *)
+
+val freshness_hypotheses :
+  fresh:string list ->
+  children:(string -> (string * int) list) ->
+  arity:(string -> int) ->
+  update ->
+  Xic_datalog.Term.denial list
+(** The hypotheses expressing that the parameters [fresh] are {e new} node
+    identifiers (the paper's Δ in Example 6): for an addition [p(%k, …)]
+    with [%k] fresh, no existing [p] tuple has id [%k] and no existing
+    tuple of a child relation of [p] (as listed by [children], with
+    arities) has [%k] as its parent.  [arity] gives the arity of [p]
+    itself. *)

@@ -1,0 +1,1 @@
+lib/translate/translate.ml: Hashtbl List Option Printf Xic_datalog Xic_relmap Xic_xpath Xic_xquery

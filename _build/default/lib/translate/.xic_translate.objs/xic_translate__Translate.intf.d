@@ -1,0 +1,1 @@
+lib/translate/translate.mli: Xic_datalog Xic_relmap Xic_xquery

@@ -1,0 +1,31 @@
+(** Translation of Datalog denials back into XQuery boolean expressions
+    (Section 6 of the paper).
+
+    The generated expression returns [true] iff the denial's body is
+    satisfiable in the document, i.e. iff integrity is {e violated}.
+
+    Shape: without aggregates, a quantified expression
+    [some $i1 in //p, $i2 in $i1/q, … satisfies cond]; with aggregates,
+    [exists(for … let $a := path where cond return <idle/>)].
+
+    Parameters of simplified denials become [%name] holes in the query —
+    node-valued in id/parent positions (bound to the target node at check
+    time), data-valued in column positions — mirroring the paper's
+    [%r]/[%t]/[%n] placeholders.
+
+    The paper's post-generation optimizations are applied: definitions of
+    unused non-node variables are never emitted, and a variable used
+    exactly once is inlined into its use site (so
+    [$Is in $Ir/sub, $F in $Is/auts] collapses to [$F in $Ir/sub/auts]). *)
+
+exception Untranslatable of string
+
+val denial :
+  Xic_relmap.Mapping.t -> Xic_datalog.Term.denial -> Xic_xquery.Ast.expr
+(** @raise Untranslatable for denials outside the supported fragment
+    (non-linear aggregate patterns, unsafe constructs). *)
+
+val denials :
+  Xic_relmap.Mapping.t -> Xic_datalog.Term.denial list -> Xic_xquery.Ast.expr
+(** Disjunction of the individual translations ([false] for the empty
+    set): true iff any denial is violated. *)

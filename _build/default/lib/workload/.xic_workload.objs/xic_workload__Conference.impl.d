@@ -1,0 +1,1 @@
+lib/workload/conference.ml: Xic_core Xic_xpath Xic_xupdate

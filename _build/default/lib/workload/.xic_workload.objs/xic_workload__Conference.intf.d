@@ -1,0 +1,1 @@
+lib/workload/conference.mli: Xic_core Xic_xupdate

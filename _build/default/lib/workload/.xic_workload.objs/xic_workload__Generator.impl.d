@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Buffer Char Hashtbl List Names Printf Prng String

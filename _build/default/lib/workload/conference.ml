@@ -1,0 +1,70 @@
+let pub_dtd =
+  {|<!ELEMENT dblp (pub)*>
+<!ELEMENT pub (title, aut+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT aut (name)>
+<!ELEMENT name (#PCDATA)>|}
+
+let rev_dtd =
+  {|<!ELEMENT review (track)+>
+<!ELEMENT track (name, rev+)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT rev (name, sub+)>
+<!ELEMENT sub (title, auts+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT auts (name)>|}
+
+let schema () = Xic_core.Schema.create [ (pub_dtd, "dblp"); (rev_dtd, "review") ]
+
+let conflict_source =
+  "<- //rev[name/text() -> R]/sub/auts/name/text() -> A and (A = R or \
+   //pub[aut/name/text() -> A and aut/name/text() -> R])"
+
+let workload_source =
+  "<- cntd{[R]; //track[rev/name/text() -> R]} > 3 and cntd{[R]; \
+   //rev[name/text() -> R]/sub} > 10"
+
+let track_load_source = "<- //rev -> Ir and cntd{; Ir/sub} > 4"
+
+let conflict schema = Xic_core.Constr.make schema ~name:"conflict" conflict_source
+let workload schema = Xic_core.Constr.make schema ~name:"workload" workload_source
+let track_load schema = Xic_core.Constr.make schema ~name:"track_load" track_load_source
+
+let submission_content =
+  [ Xic_xupdate.Xupdate.Elem
+      ( "sub",
+        [],
+        [ Xic_xupdate.Xupdate.Elem ("title", [], [ Xic_xupdate.Xupdate.Text "%t" ]);
+          Xic_xupdate.Xupdate.Elem
+            ( "auts",
+              [],
+              [ Xic_xupdate.Xupdate.Elem
+                  ("name", [], [ Xic_xupdate.Xupdate.Text "%n" ])
+              ] );
+        ] )
+  ]
+
+let submission_pattern schema =
+  Xic_core.Pattern.make schema ~name:"insert_submission"
+    ~op:Xic_xupdate.Xupdate.Insert_after ~anchor_type:"sub"
+    ~content:submission_content
+
+let insert_submission ~select ~title ~author =
+  [ { Xic_xupdate.Xupdate.op = Xic_xupdate.Xupdate.Insert_after;
+      select = Xic_xpath.Parser.parse select;
+      content =
+        [ Xic_xupdate.Xupdate.Elem
+            ( "sub",
+              [],
+              [ Xic_xupdate.Xupdate.Elem
+                  ("title", [], [ Xic_xupdate.Xupdate.Text title ]);
+                Xic_xupdate.Xupdate.Elem
+                  ( "auts",
+                    [],
+                    [ Xic_xupdate.Xupdate.Elem
+                        ("name", [], [ Xic_xupdate.Xupdate.Text author ])
+                    ] );
+              ] )
+        ];
+    }
+  ]

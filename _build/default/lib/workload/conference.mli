@@ -1,0 +1,33 @@
+(** The paper's running example: the [pub.xml]/[rev.xml] DTDs (Section
+    3.2), the integrity constraints of Examples 1, 2 and 7, and the
+    submission-insertion update pattern of Example 6. *)
+
+val pub_dtd : string
+val rev_dtd : string
+
+val schema : unit -> Xic_core.Schema.t
+(** The combined schema of both documents. *)
+
+val conflict_source : string
+(** Example 1: no conflict of interest (reviewer is never an author or a
+    coauthor of an author of an assigned submission). *)
+
+val workload_source : string
+(** Example 2: a reviewer involved in more than three tracks must not
+    review more than ten papers. *)
+
+val track_load_source : string
+(** Example 7: at most four submissions per reviewer per track. *)
+
+val conflict : Xic_core.Schema.t -> Xic_core.Constr.t
+val workload : Xic_core.Schema.t -> Xic_core.Constr.t
+val track_load : Xic_core.Schema.t -> Xic_core.Constr.t
+
+val submission_pattern : Xic_core.Schema.t -> Xic_core.Pattern.t
+(** Example 6's update pattern: insert-after an existing [sub], a new
+    [sub] with title [%t] and a single author [%n]. *)
+
+val insert_submission :
+  select:string -> title:string -> author:string -> Xic_xupdate.Xupdate.t
+(** A concrete instance of the pattern: an XUpdate statement inserting a
+    single-author submission after the node selected by [select]. *)

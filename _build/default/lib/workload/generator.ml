@@ -1,0 +1,191 @@
+type dataset = {
+  pub_xml : string;
+  rev_xml : string;
+  legal_select : string;
+  legal_author : string;
+  conflict_select : string;
+  conflict_reviewer : string;
+  conflict_coauthor : string;
+  busy_select : string;
+  busy_reviewer : string;
+  stats : stats;
+}
+
+and stats = {
+  pubs : int;
+  tracks : int;
+  reviewers : int;
+  submissions : int;
+  bytes : int;
+}
+
+(* Distinguished actors (outside the random pools by construction). *)
+let legal_reviewer_name = "Larry L. Legal"
+let busy_reviewer_name = "Betty B. Busy"
+let conflict_reviewer_name = "Carl C. Conflict"
+let conflict_coauthor_name = "Nora N. Nearby"
+let fresh_author_name = "Zz Fresh Newcomer"
+
+let dedup_names make n =
+  let seen = Hashtbl.create (2 * n) in
+  List.init n (fun _ ->
+      let rec try_name k =
+        let base = make () in
+        let name = if k = 0 then base else Printf.sprintf "%s %d" base k in
+        if Hashtbl.mem seen name then try_name (k + 1)
+        else begin
+          Hashtbl.add seen name ();
+          name
+        end
+      in
+      try_name 0)
+  |> Array.of_list
+
+let generate ?(seed = 42) ~target_bytes () =
+  let rng = Prng.create seed in
+  (* Size budget: 40% publications, 60% reviews. *)
+  let n_pubs = max 3 (target_bytes * 2 / 5 / 140) in
+  let n_subs_target = max 12 (target_bytes * 3 / 5 / 155) in
+  let n_tracks = max 4 (min 40 (n_subs_target / 400 + 4)) in
+  let revs_per_track = max 3 (n_subs_target / (n_tracks * 3)) in
+  (* Name pools: reviewers get a middle initial, keeping the populations
+     disjoint (consistency by construction, see the .mli). *)
+  let authors =
+    dedup_names (fun () -> Names.person rng) (max 10 (n_pubs / 2))
+  in
+  let reviewers =
+    dedup_names
+      (fun () ->
+        Prng.pick rng Names.first_names
+        ^ Printf.sprintf " %c. " (Char.chr (Char.code 'A' + Prng.int rng 26))
+        ^ Prng.pick rng Names.last_names)
+      (max 8 (n_tracks * revs_per_track / 2))
+  in
+  (* Each pooled reviewer may serve in at most 3 tracks. *)
+  let allowed_tracks = Array.make (Array.length reviewers) [] in
+  Array.iteri
+    (fun i _ ->
+      let t0 = Prng.int rng n_tracks in
+      allowed_tracks.(i) <-
+        List.sort_uniq compare
+          [ t0; (t0 + 1) mod n_tracks; (t0 + 2) mod n_tracks ])
+    reviewers;
+  let n_reviewers = ref 0 and n_subs = ref 0 in
+
+  (* ---- rev.xml ------------------------------------------------- *)
+  let rb = Buffer.create (target_bytes * 3 / 5 + 1024) in
+  let add = Buffer.add_string rb in
+  let emit_sub title author_names =
+    incr n_subs;
+    add "<sub><title>";
+    add title;
+    add "</title>";
+    List.iter
+      (fun a ->
+        add "<auts><name>";
+        add a;
+        add "</name></auts>")
+      author_names;
+    add "</sub>"
+  in
+  let emit_rev name n_subs_here =
+    incr n_reviewers;
+    add "<rev><name>";
+    add name;
+    add "</name>";
+    for _ = 1 to n_subs_here do
+      let n_auts = Prng.range rng 1 3 in
+      emit_sub (Names.title rng)
+        (List.init n_auts (fun _ -> Prng.pick rng authors))
+    done;
+    add "</rev>"
+  in
+  add "<review>";
+  for t = 0 to n_tracks - 1 do
+    add "<track><name>";
+    add (Printf.sprintf "Track %d" (t + 1));
+    add "</name>";
+    if t = 0 then begin
+      (* Fixed layout in track 1: rev[1] legal slack, rev[2] busy (4 of
+         her 10 submissions), rev[3] the conflict reviewer. *)
+      emit_rev legal_reviewer_name 2;
+      emit_rev busy_reviewer_name 4;
+      emit_rev conflict_reviewer_name 2
+    end
+    else if t >= 1 && t <= 3 then
+      (* The busy reviewer's other tracks: 2 submissions each (total 10). *)
+      emit_rev busy_reviewer_name 2;
+    (* Random reviewers allowed in this track, distinct within it. *)
+    let used = Hashtbl.create 8 in
+    let candidates =
+      Array.to_list
+        (Array.mapi (fun i n -> (i, n)) reviewers)
+      |> List.filter (fun (i, _) -> List.mem t allowed_tracks.(i))
+    in
+    let candidates = Array.of_list candidates in
+    let n_here = min (Array.length candidates) revs_per_track in
+    let filled = ref 0 and attempts = ref 0 in
+    while !filled < n_here && !attempts < 20 * n_here do
+      incr attempts;
+      let i, name = Prng.pick rng candidates in
+      if not (Hashtbl.mem used i) then begin
+        Hashtbl.add used i ();
+        emit_rev name (Prng.range rng 1 4);
+        incr filled
+      end
+    done;
+    add "</track>"
+  done;
+  add "</review>";
+
+  (* ---- pub.xml ------------------------------------------------- *)
+  let pb = Buffer.create (target_bytes * 2 / 5 + 1024) in
+  let addp = Buffer.add_string pb in
+  let emit_pub title author_names =
+    addp "<pub><title>";
+    addp title;
+    addp "</title>";
+    List.iter
+      (fun a ->
+        addp "<aut><name>";
+        addp a;
+        addp "</name></aut>")
+      author_names;
+    addp "</pub>"
+  in
+  addp "<dblp>";
+  (* The conflict pair's joint publication. *)
+  emit_pub "Joint Work on Integrity" [ conflict_reviewer_name; conflict_coauthor_name ];
+  for _ = 1 to n_pubs - 1 do
+    if Prng.int rng 20 = 0 && Array.length reviewers >= 2 then begin
+      (* Reviewer-only collaborations (~5%). *)
+      let a = Prng.pick rng reviewers and b = Prng.pick rng reviewers in
+      emit_pub (Names.title rng) (if a = b then [ a ] else [ a; b ])
+    end
+    else begin
+      let n_auts = Prng.range rng 1 4 in
+      emit_pub (Names.title rng) (List.init n_auts (fun _ -> Prng.pick rng authors))
+    end
+  done;
+  addp "</dblp>";
+
+  let pub_xml = Buffer.contents pb and rev_xml = Buffer.contents rb in
+  {
+    pub_xml;
+    rev_xml;
+    legal_select = "/review/track[1]/rev[1]/sub[1]";
+    legal_author = fresh_author_name;
+    conflict_select = "/review/track[1]/rev[3]/sub[1]";
+    conflict_reviewer = conflict_reviewer_name;
+    conflict_coauthor = conflict_coauthor_name;
+    busy_select = "/review/track[1]/rev[2]/sub[1]";
+    busy_reviewer = busy_reviewer_name;
+    stats =
+      {
+        pubs = n_pubs;
+        tracks = n_tracks;
+        reviewers = !n_reviewers;
+        submissions = !n_subs;
+        bytes = String.length pub_xml + String.length rev_xml;
+      };
+  }

@@ -1,0 +1,49 @@
+(** Deterministic generator of DBLP-like conference datasets at a target
+    size (the paper remapped the real DBLP repository into the running
+    example's schema; we synthesize equivalent shapes — see DESIGN.md).
+
+    The generated data is consistent with the three running-example
+    constraints {e by construction}, while keeping violation opportunities
+    one update away:
+    {ul
+    {- submission authors and reviewers are disjoint name populations, and
+       reviewers co-author publications only with other reviewers, so no
+       conflict of interest exists — but inserting a submission authored
+       by a reviewer (or by a reviewer's co-author) creates one;}
+    {- one designated {e busy} reviewer sits in four tracks with exactly
+       ten submissions, so any further assignment violates the workload
+       constraint;}
+    {- every reviewer has at most four submissions per track, with the
+       busy reviewer's first track at exactly four (one insertion breaks
+       Example 7's bound).}} *)
+
+type dataset = {
+  pub_xml : string;
+  rev_xml : string;
+  (* hooks for update generation *)
+  legal_select : string;
+      (** XPath of an existing [sub] whose reviewer has slack (anchor for
+          a harmless insert-after) *)
+  legal_author : string;  (** a name occurring nowhere in the dataset *)
+  conflict_select : string;
+      (** anchor under the reviewer involved in the conflict pair *)
+  conflict_reviewer : string;
+  conflict_coauthor : string;
+      (** co-author of [conflict_reviewer] in [pub.xml] *)
+  busy_select : string;  (** anchor under the busy reviewer (first track) *)
+  busy_reviewer : string;
+  stats : stats;
+}
+
+and stats = {
+  pubs : int;
+  tracks : int;
+  reviewers : int;   (** rev elements (per-track assignments) *)
+  submissions : int;
+  bytes : int;       (** total serialized size of both documents *)
+}
+
+val generate : ?seed:int -> target_bytes:int -> unit -> dataset
+(** Sizes are approximate: the generator scales element counts from
+    average element sizes to land near [target_bytes] for the two
+    documents combined. *)

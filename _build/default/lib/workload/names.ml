@@ -1,0 +1,33 @@
+(** Name and title-word pools for the DBLP-like synthetic generator. *)
+
+let first_names =
+  [| "Ada"; "Alan"; "Barbara"; "Claude"; "Dana"; "Donald"; "Edsger"; "Frances";
+     "Grace"; "Hedy"; "Ivan"; "John"; "Karen"; "Leslie"; "Margaret"; "Niklaus";
+     "Ole"; "Peter"; "Radia"; "Robin"; "Shafi"; "Tim"; "Ursula"; "Vint";
+     "Whitfield"; "Xavier"; "Yukihiro"; "Zohar"; "Edgar"; "Jim"; "Michael";
+     "Pat"; "Hector"; "Serge"; "Moshe"; "Ronald"; "Andrew"; "Butler"; "Tony";
+     "Kristen" |]
+
+let last_names =
+  [| "Lovelace"; "Turing"; "Liskov"; "Shannon"; "Scott"; "Knuth"; "Dijkstra";
+     "Allen"; "Hopper"; "Lamarr"; "Sutherland"; "McCarthy"; "Jones"; "Lamport";
+     "Hamilton"; "Wirth"; "Dahl"; "Naur"; "Perlman"; "Milner"; "Goldwasser";
+     "Berners-Lee"; "Franklin"; "Cerf"; "Diffie"; "Leroy"; "Matsumoto"; "Manna";
+     "Codd"; "Gray"; "Stonebraker"; "Selinger"; "Garcia-Molina"; "Abiteboul";
+     "Vardi"; "Rivest"; "Yao"; "Lampson"; "Hoare"; "Nygaard" |]
+
+let title_words =
+  [| "Efficient"; "Incremental"; "Scalable"; "Declarative"; "Adaptive";
+     "Distributed"; "Optimal"; "Parallel"; "Semantic"; "Streaming";
+     "Integrity"; "Checking"; "Validation"; "Indexing"; "Querying";
+     "Optimization"; "Evaluation"; "Maintenance"; "Processing"; "Mining";
+     "XML"; "Documents"; "Databases"; "Constraints"; "Views"; "Schemas";
+     "Updates"; "Transactions"; "Workloads"; "Repositories"; "Fragments";
+     "Patterns"; "Trees"; "Graphs"; "Queries"; "Joins" |]
+
+let person rng =
+  Prng.pick rng first_names ^ " " ^ Prng.pick rng last_names
+
+let title rng =
+  let n = Prng.range rng 3 7 in
+  String.concat " " (List.init n (fun _ -> Prng.pick rng title_words))

@@ -1,0 +1,11 @@
+(** Name and title-word pools for the DBLP-like synthetic generator. *)
+
+val first_names : string array
+val last_names : string array
+val title_words : string array
+
+val person : Prng.t -> string
+(** A random ["First Last"] combination. *)
+
+val title : Prng.t -> string
+(** A random 3–7 word title. *)

@@ -1,0 +1,16 @@
+(** Deterministic splitmix64 PRNG — the experiments must be reproducible
+    across runs and machines, so the stdlib's [Random] is not used. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val next : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); [n] must be positive. *)
+
+val pick : t -> 'a array -> 'a
+val bool : t -> bool
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)

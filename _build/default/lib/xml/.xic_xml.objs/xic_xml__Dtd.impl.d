@@ -1,0 +1,1 @@
+lib/xml/dtd.ml: Array Doc Hashtbl List Printf String

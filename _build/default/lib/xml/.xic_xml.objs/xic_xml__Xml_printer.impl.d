@@ -1,0 +1,1 @@
+lib/xml/xml_printer.ml: Buffer Doc List String

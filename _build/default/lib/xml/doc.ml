@@ -1,0 +1,286 @@
+type node_id = int
+
+let no_node = -1
+
+type kind =
+  | Element of string
+  | Text of string
+
+type node = {
+  mutable parent : node_id;
+  mutable nkind : kind;
+  mutable nattrs : (string * string) list;
+  mutable nchildren : node_id list;
+  mutable alive : bool;
+}
+
+type t = {
+  mutable nodes : node option array;
+  mutable next_id : int;
+  mutable root_ids : node_id list;  (* registration order *)
+  mutable live_count : int;
+}
+
+let create () = { nodes = Array.make 64 None; next_id = 0; root_ids = []; live_count = 0 }
+
+let ensure_capacity doc n =
+  let len = Array.length doc.nodes in
+  if n >= len then begin
+    let len' = max (n + 1) (2 * len) in
+    let a = Array.make len' None in
+    Array.blit doc.nodes 0 a 0 len;
+    doc.nodes <- a
+  end
+
+let get doc id =
+  if id < 0 || id >= doc.next_id then invalid_arg "Doc: unknown node id"
+  else
+    match doc.nodes.(id) with
+    | Some n when n.alive -> n
+    | _ -> invalid_arg "Doc: dead node id"
+
+let live doc id =
+  id >= 0 && id < doc.next_id
+  && (match doc.nodes.(id) with Some n -> n.alive | None -> false)
+
+let alloc doc kind attrs =
+  let id = doc.next_id in
+  ensure_capacity doc id;
+  doc.nodes.(id) <-
+    Some { parent = no_node; nkind = kind; nattrs = attrs; nchildren = []; alive = true };
+  doc.next_id <- id + 1;
+  doc.live_count <- doc.live_count + 1;
+  id
+
+let make_element doc ?(attrs = []) tag = alloc doc (Element tag) attrs
+let make_text doc s = alloc doc (Text s) []
+
+let check_element doc id =
+  match (get doc id).nkind with
+  | Element _ -> ()
+  | Text _ -> invalid_arg "Doc.set_root: not an element"
+
+let set_root doc id =
+  check_element doc id;
+  doc.root_ids <- [ id ]
+
+let add_root doc id =
+  check_element doc id;
+  if not (List.mem id doc.root_ids) then doc.root_ids <- doc.root_ids @ [ id ]
+
+let root doc =
+  match doc.root_ids with
+  | [] -> invalid_arg "Doc.root: no root set"
+  | id :: _ -> id
+
+let roots doc = doc.root_ids
+
+let has_root doc = doc.root_ids <> []
+
+let kind doc id = (get doc id).nkind
+let parent doc id = (get doc id).parent
+let children doc id = (get doc id).nchildren
+
+let is_element doc id = match kind doc id with Element _ -> true | Text _ -> false
+let is_text doc id = not (is_element doc id)
+
+let name doc id =
+  match kind doc id with
+  | Element tag -> tag
+  | Text _ -> invalid_arg "Doc.name: text node"
+
+let element_children doc id = List.filter (is_element doc) (children doc id)
+
+let attrs doc id = (get doc id).nattrs
+let attr doc id k = List.assoc_opt k (attrs doc id)
+
+let set_attr doc id k v =
+  let n = get doc id in
+  n.nattrs <- (k, v) :: List.remove_assoc k n.nattrs
+
+let check_detached doc id =
+  let n = get doc id in
+  if n.parent <> no_node then invalid_arg "Doc: node already attached"
+
+let append_child doc ~parent:pid child =
+  check_detached doc child;
+  let p = get doc pid in
+  p.nchildren <- p.nchildren @ [ child ];
+  (get doc child).parent <- pid
+
+let append_children doc ~parent:pid children =
+  List.iter (check_detached doc) children;
+  let p = get doc pid in
+  p.nchildren <- p.nchildren @ children;
+  List.iter (fun c -> (get doc c).parent <- pid) children
+
+(* Splice [child] into the sibling list of [anchor]; [offset] 0 inserts
+   before the anchor, 1 after it. *)
+let insert_sibling doc ~anchor ~offset child =
+  check_detached doc child;
+  let pid = parent doc anchor in
+  if pid = no_node then invalid_arg "Doc.insert_sibling: anchor has no parent";
+  let p = get doc pid in
+  let rec splice = function
+    | [] -> invalid_arg "Doc.insert_sibling: anchor not among parent's children"
+    | c :: rest when c = anchor ->
+      if offset = 0 then child :: c :: rest else c :: child :: rest
+    | c :: rest -> c :: splice rest
+  in
+  p.nchildren <- splice p.nchildren;
+  (get doc child).parent <- pid
+
+let insert_after doc ~anchor child = insert_sibling doc ~anchor ~offset:1 child
+let insert_before doc ~anchor child = insert_sibling doc ~anchor ~offset:0 child
+
+let detach doc id =
+  let n = get doc id in
+  if n.parent <> no_node then begin
+    let p = get doc n.parent in
+    p.nchildren <- List.filter (fun c -> c <> id) p.nchildren;
+    n.parent <- no_node
+  end
+  else doc.root_ids <- List.filter (fun r -> r <> id) doc.root_ids
+
+let rec free doc id =
+  match doc.nodes.(id) with
+  | Some n when n.alive ->
+    List.iter (free doc) n.nchildren;
+    n.alive <- false;
+    doc.live_count <- doc.live_count - 1
+  | _ -> ()
+
+let delete_subtree doc id =
+  detach doc id;
+  free doc id
+
+let position doc id =
+  let pid = parent doc id in
+  if pid = no_node then 1
+  else begin
+    let rec idx i = function
+      | [] -> 1
+      | c :: rest ->
+        if c = id then i
+        else if is_element doc c then idx (i + 1) rest
+        else idx i rest
+    in
+    idx 1 (children doc pid)
+  end
+
+let text_content doc id =
+  let buf = Buffer.create 32 in
+  let rec go id =
+    match kind doc id with
+    | Text s -> Buffer.add_string buf s
+    | Element _ -> List.iter go (children doc id)
+  in
+  go id;
+  Buffer.contents buf
+
+let descendants doc id =
+  let acc = ref [] in
+  let rec go id = List.iter (fun c -> acc := c :: !acc; go c) (children doc id) in
+  go id;
+  List.rev !acc
+
+let descendant_or_self doc id = id :: descendants doc id
+
+let siblings_split doc id =
+  let pid = parent doc id in
+  if pid = no_node then ([], [])
+  else begin
+    let rec split before = function
+      | [] -> (List.rev before, [])
+      | c :: rest when c = id -> (List.rev before, rest)
+      | c :: rest -> split (c :: before) rest
+    in
+    split [] (children doc pid)
+  end
+
+let following_siblings doc id = snd (siblings_split doc id)
+let preceding_siblings doc id = fst (siblings_split doc id)
+
+let ancestors doc id =
+  let rec go id acc =
+    let p = parent doc id in
+    if p = no_node then List.rev acc else go p (p :: acc)
+  in
+  go id []
+
+(* Document-order key: (rank of the containing root, path of child indexes
+   from that root).  Detached subtrees rank after all roots, keyed by the
+   id of their top node. *)
+let order_key doc id =
+  let rec go id acc =
+    let p = parent doc id in
+    if p = no_node then (id, acc)
+    else begin
+      let rec idx i = function
+        | [] -> invalid_arg "Doc.order_key: broken parent link"
+        | c :: rest -> if c = id then i else idx (i + 1) rest
+      in
+      go p (idx 0 (children doc p) :: acc)
+    end
+  in
+  let top, path = go id [] in
+  let rank =
+    let rec find i = function
+      | [] -> List.length doc.root_ids + top
+      | r :: rest -> if r = top then i else find (i + 1) rest
+    in
+    find 0 doc.root_ids
+  in
+  (rank, path)
+
+let doc_order_compare doc a b =
+  if a = b then 0 else compare (order_key doc a) (order_key doc b)
+
+(* Precompute keys once (Schwartzian transform): [order_key] walks to the
+   root, so comparing keys inside the sort would be quadratic in depth. *)
+let sort_doc_order doc ids =
+  match ids with
+  | [] | [ _ ] -> ids
+  | _ ->
+    List.map (fun id -> (order_key doc id, id)) ids
+    |> List.sort_uniq compare
+    |> List.map snd
+
+let node_count doc = doc.live_count
+
+let iter_nodes doc f =
+  for id = 0 to doc.next_id - 1 do
+    if live doc id then f id
+  done
+
+let copy doc =
+  let nodes =
+    Array.map
+      (function
+        | None -> None
+        | Some n ->
+          Some
+            { parent = n.parent;
+              nkind = n.nkind;
+              nattrs = n.nattrs;
+              nchildren = n.nchildren;
+              alive = n.alive;
+            })
+      doc.nodes
+  in
+  { nodes; next_id = doc.next_id; root_ids = doc.root_ids; live_count = doc.live_count }
+
+let equal_structure d1 d2 =
+  let sorted_attrs l = List.sort compare l in
+  let rec eq id1 id2 =
+    match (kind d1 id1, kind d2 id2) with
+    | Text s1, Text s2 -> s1 = s2
+    | Element t1, Element t2 ->
+      t1 = t2
+      && sorted_attrs (attrs d1 id1) = sorted_attrs (attrs d2 id2)
+      && (let c1 = children d1 id1 and c2 = children d2 id2 in
+          List.length c1 = List.length c2 && List.for_all2 eq c1 c2)
+    | _ -> false
+  in
+  let r1 = roots d1 and r2 = roots d2 in
+  List.length r1 = List.length r2 && List.for_all2 eq r1 r2

@@ -1,0 +1,130 @@
+(** Arena-based XML document store.
+
+    Every node carries a unique integer identifier, a parent link and an
+    ordered list of children, which is exactly the information exposed by
+    the relational mapping of Section 4.1 of the paper (node id, position,
+    parent id).  The store is mutable so that XUpdate statements can be
+    applied and rolled back in place. *)
+
+type node_id = int
+(** Unique, never reused within a document. *)
+
+val no_node : node_id
+(** Sentinel parent id for detached nodes and the document root. *)
+
+(** Payload of a node. *)
+type kind =
+  | Element of string  (** tag name *)
+  | Text of string     (** character data *)
+
+type t
+(** A mutable document: an arena of nodes plus a distinguished root
+    element. *)
+
+val create : unit -> t
+(** An empty document with no root element yet. *)
+
+val set_root : t -> node_id -> unit
+(** Declare [id] as the document's only root element (replacing any
+    previous roots).  Raises [Invalid_argument] if [id] is not a live
+    element node. *)
+
+val add_root : t -> node_id -> unit
+(** Add a further root element: the arena then models a {e collection} of
+    documents sharing one id space (as an XQuery engine's collection); all
+    roots are children of the virtual document node for absolute paths. *)
+
+val root : t -> node_id
+(** The first root element.  Raises [Invalid_argument] if none was set. *)
+
+val roots : t -> node_id list
+(** All root elements, in registration order. *)
+
+val has_root : t -> bool
+
+val make_element : t -> ?attrs:(string * string) list -> string -> node_id
+(** Allocate a detached element node. *)
+
+val make_text : t -> string -> node_id
+(** Allocate a detached text node. *)
+
+val kind : t -> node_id -> kind
+val parent : t -> node_id -> node_id
+(** [no_node] for the root element and detached nodes. *)
+
+val children : t -> node_id -> node_id list
+(** All children (elements and text) in document order. *)
+
+val element_children : t -> node_id -> node_id list
+val attrs : t -> node_id -> (string * string) list
+val attr : t -> node_id -> string -> string option
+val set_attr : t -> node_id -> string -> string -> unit
+
+val is_element : t -> node_id -> bool
+val is_text : t -> node_id -> bool
+val name : t -> node_id -> string
+(** Tag name of an element; raises [Invalid_argument] on text nodes. *)
+
+val live : t -> node_id -> bool
+(** False for ids that were never allocated or have been deleted. *)
+
+val append_child : t -> parent:node_id -> node_id -> unit
+(** Attach a detached node as last child.  Raises [Invalid_argument] if the
+    child is already attached. *)
+
+val append_children : t -> parent:node_id -> node_id list -> unit
+(** Attach several detached nodes as last children, in order, in one list
+    splice (building an n-ary node with repeated {!append_child} would be
+    quadratic). *)
+
+val insert_after : t -> anchor:node_id -> node_id -> unit
+(** Attach a detached node as the sibling immediately following [anchor]. *)
+
+val insert_before : t -> anchor:node_id -> node_id -> unit
+
+val detach : t -> node_id -> unit
+(** Remove a node from its parent's child list (the node and its subtree
+    stay alive and can be re-attached; used by rollback). *)
+
+val delete_subtree : t -> node_id -> unit
+(** Detach and free a node and all its descendants. *)
+
+val position : t -> node_id -> int
+(** 1-based index among the *element* children of the parent, which is the
+    [Pos] attribute of the relational mapping.  Text nodes and the root
+    report position 1. *)
+
+val text_content : t -> node_id -> string
+(** Concatenation of all descendant text, as XPath's [string()]. *)
+
+val descendants : t -> node_id -> node_id list
+(** Proper descendants, document order. *)
+
+val descendant_or_self : t -> node_id -> node_id list
+
+val following_siblings : t -> node_id -> node_id list
+val preceding_siblings : t -> node_id -> node_id list
+(** Both in document order (preceding siblings are returned closest-last,
+    i.e. still in document order). *)
+
+val ancestors : t -> node_id -> node_id list
+(** Proper ancestors, nearest first. *)
+
+val doc_order_compare : t -> node_id -> node_id -> int
+(** Total order consistent with document order for attached nodes. *)
+
+val sort_doc_order : t -> node_id list -> node_id list
+(** Sort and deduplicate a node list into document order. *)
+
+val node_count : t -> int
+(** Number of live nodes. *)
+
+val iter_nodes : t -> (node_id -> unit) -> unit
+(** Iterate over all live nodes in allocation order. *)
+
+val copy : t -> t
+(** Deep structural copy preserving node ids. *)
+
+val equal_structure : t -> t -> bool
+(** Structural equality of the trees reachable from the roots (ignores ids,
+    compares tags, attribute sets, text and child order). *)

@@ -1,0 +1,504 @@
+type occur =
+  | One
+  | Opt
+  | Star
+  | Plus
+
+type particle =
+  | Name of string * occur
+  | Seq of particle list * occur
+  | Choice of particle list * occur
+
+type content =
+  | PCData
+  | Mixed of string list
+  | Children of particle
+  | Empty
+  | Any
+
+type attr_decl = {
+  attr_name : string;
+  required : bool;
+}
+
+type element_decl = {
+  elem_name : string;
+  content : content;
+  attlist : attr_decl list;
+}
+
+type t = {
+  decls : element_decl list;
+  by_name : (string, element_decl) Hashtbl.t;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type pstate = { src : string; mutable pos : int }
+
+let peek st = if st.pos >= String.length st.src then '\000' else st.src.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st =
+  while st.pos < String.length st.src && is_ws (peek st) do
+    advance st
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':' || c = '#'
+
+let parse_name st =
+  skip_ws st;
+  let start = st.pos in
+  while st.pos < String.length st.src && is_name_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then fail "expected a name at offset %d" start;
+  String.sub st.src start (st.pos - start)
+
+let parse_occur st =
+  match peek st with
+  | '?' -> advance st; Opt
+  | '*' -> advance st; Star
+  | '+' -> advance st; Plus
+  | _ -> One
+
+let with_occur p occ =
+  match p with
+  | Name (n, One) -> Name (n, occ)
+  | Seq (ps, One) -> Seq (ps, occ)
+  | Choice (ps, One) -> Choice (ps, occ)
+  | _ when occ = One -> p
+  | _ -> Seq ([ p ], occ)
+
+let rec parse_cp st =
+  skip_ws st;
+  if peek st = '(' then begin
+    advance st;
+    let group = parse_group st in
+    let occ = parse_occur st in
+    with_occur group occ
+  end
+  else begin
+    let n = parse_name st in
+    let occ = parse_occur st in
+    Name (n, occ)
+  end
+
+and parse_group st =
+  let first = parse_cp st in
+  skip_ws st;
+  match peek st with
+  | ')' -> advance st; first
+  | '|' ->
+    let rec alts acc =
+      skip_ws st;
+      match peek st with
+      | '|' ->
+        advance st;
+        alts (parse_cp st :: acc)
+      | ')' -> advance st; List.rev acc
+      | c -> fail "unexpected %C in choice group" c
+    in
+    Choice (alts [ first ], One)
+  | ',' ->
+    let rec items acc =
+      skip_ws st;
+      match peek st with
+      | ',' ->
+        advance st;
+        items (parse_cp st :: acc)
+      | ')' -> advance st; List.rev acc
+      | c -> fail "unexpected %C in sequence group" c
+    in
+    Seq (items [ first ], One)
+  | c -> fail "unexpected %C in content group" c
+
+let parse_content st =
+  skip_ws st;
+  if peek st <> '(' then begin
+    let kw = parse_name st in
+    match kw with
+    | "EMPTY" -> Empty
+    | "ANY" -> Any
+    | _ -> fail "expected content model, got %S" kw
+  end
+  else begin
+    advance st;
+    skip_ws st;
+    if peek st = '#' then begin
+      let kw = parse_name st in
+      if kw <> "#PCDATA" then fail "expected #PCDATA, got %S" kw;
+      skip_ws st;
+      let rec names acc =
+        skip_ws st;
+        match peek st with
+        | '|' -> advance st; names (parse_name st :: acc)
+        | ')' -> advance st; List.rev acc
+        | c -> fail "unexpected %C in mixed content" c
+      in
+      let ns = names [] in
+      (* Optional trailing star for mixed content. *)
+      if peek st = '*' then advance st;
+      if ns = [] then PCData else Mixed ns
+    end
+    else begin
+      (* Rewind the '(' so parse_cp sees the full group. *)
+      st.pos <- st.pos - 1;
+      Children (parse_cp st)
+    end
+  end
+
+(* Parse one <!ELEMENT ...> or <!ATTLIST ...> declaration body. *)
+let parse_decl st decls attlists =
+  skip_ws st;
+  if st.pos >= String.length st.src then ()
+  else begin
+    if not (peek st = '<') then fail "expected '<!' at offset %d" st.pos;
+    advance st;
+    if peek st <> '!' then fail "expected '<!' at offset %d" st.pos;
+    advance st;
+    if st.pos + 1 < String.length st.src && peek st = '-' then begin
+      (* comment <!-- ... --> *)
+      match
+        let rec find i =
+          if i + 3 > String.length st.src then None
+          else if String.sub st.src i 3 = "-->" then Some i
+          else find (i + 1)
+        in
+        find st.pos
+      with
+      | None -> fail "unterminated comment in DTD"
+      | Some i -> st.pos <- i + 3
+    end
+    else begin
+      let kw = parse_name st in
+      match kw with
+      | "ELEMENT" ->
+        let name = parse_name st in
+        let content = parse_content st in
+        skip_ws st;
+        if peek st <> '>' then fail "expected '>' closing ELEMENT %s" name;
+        advance st;
+        decls := (name, content) :: !decls
+      | "ATTLIST" ->
+        let elem = parse_name st in
+        let rec atts acc =
+          skip_ws st;
+          if peek st = '>' then begin
+            advance st;
+            List.rev acc
+          end
+          else begin
+            let aname = parse_name st in
+            let _atype = parse_name st in
+            skip_ws st;
+            let default =
+              if peek st = '#' then parse_name st
+              else if peek st = '"' || peek st = '\'' then begin
+                let q = peek st in
+                advance st;
+                while peek st <> q && st.pos < String.length st.src do
+                  advance st
+                done;
+                advance st;
+                ""
+              end
+              else ""
+            in
+            (* #FIXED is followed by a quoted literal. *)
+            (if default = "#FIXED" then begin
+               skip_ws st;
+               if peek st = '"' || peek st = '\'' then begin
+                 let q = peek st in
+                 advance st;
+                 while peek st <> q && st.pos < String.length st.src do
+                   advance st
+                 done;
+                 advance st
+               end
+             end);
+            atts ({ attr_name = aname; required = default = "#REQUIRED" } :: acc)
+          end
+        in
+        attlists := (elem, atts []) :: !attlists
+      | _ -> fail "unsupported DTD declaration <!%s" kw
+    end
+  end
+
+let of_decls decls =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace by_name d.elem_name d) decls;
+  { decls; by_name }
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let decls = ref [] in
+  let attlists = ref [] in
+  while skip_ws st; st.pos < String.length st.src do
+    parse_decl st decls attlists
+  done;
+  let attlist_for name =
+    List.concat_map (fun (e, atts) -> if e = name then atts else []) (List.rev !attlists)
+  in
+  let ds =
+    List.rev_map
+      (fun (name, content) -> { elem_name = name; content; attlist = attlist_for name })
+      !decls
+  in
+  of_decls ds
+
+let declarations t = t.decls
+let find t name = Hashtbl.find_opt t.by_name name
+let element_names t = List.map (fun d -> d.elem_name) t.decls
+
+(* ------------------------------------------------------------------ *)
+(* Content-model analysis                                              *)
+(* ------------------------------------------------------------------ *)
+
+type multiplicity =
+  | M_one
+  | M_opt
+  | M_many
+  | M_none
+
+(* (min, max) occurrence bounds of [child] in a particle; max is capped at
+   2, meaning "more than one". *)
+let rec bounds child = function
+  | Name (n, occ) -> apply_occ occ (if n = child then (1, 1) else (0, 0))
+  | Seq (ps, occ) ->
+    let min_, max_ =
+      List.fold_left
+        (fun (mn, mx) p ->
+          let m, x = bounds child p in
+          (mn + m, min 2 (mx + x)))
+        (0, 0) ps
+    in
+    apply_occ occ (min_, max_)
+  | Choice (ps, occ) ->
+    let min_, max_ =
+      List.fold_left
+        (fun (mn, mx) p ->
+          let m, x = bounds child p in
+          (min mn m, max mx x))
+        (max_int, 0) ps
+    in
+    let min_ = if min_ = max_int then 0 else min_ in
+    apply_occ occ (min_, max_)
+
+and apply_occ occ (mn, mx) =
+  match occ with
+  | One -> (mn, mx)
+  | Opt -> (0, mx)
+  | Star -> (0, if mx > 0 then 2 else 0)
+  | Plus -> (mn, if mx > 0 then 2 else 0)
+
+let child_multiplicity t ~parent ~child =
+  match find t parent with
+  | None -> M_none
+  | Some d ->
+    (match d.content with
+     | PCData | Empty -> M_none
+     | Any -> M_many
+     | Mixed ns -> if List.mem child ns then M_many else M_none
+     | Children p ->
+       (match bounds child p with
+        | _, 0 -> M_none
+        | 1, 1 -> M_one
+        | 0, 1 -> M_opt
+        | _ -> M_many))
+
+let rec particle_names = function
+  | Name (n, _) -> [ n ]
+  | Seq (ps, _) | Choice (ps, _) -> List.concat_map particle_names ps
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let child_names t name =
+  match find t name with
+  | None -> []
+  | Some d ->
+    (match d.content with
+     | PCData | Empty | Any -> []
+     | Mixed ns -> dedup ns
+     | Children p -> dedup (particle_names p))
+
+let is_pcdata_only t name =
+  match find t name with
+  | Some { content = PCData; _ } -> true
+  | _ -> false
+
+let parents_of t name =
+  List.filter_map
+    (fun d -> if List.mem name (child_names t d.elem_name) then Some d.elem_name else None)
+    t.decls
+
+let descendant_types t name =
+  let visited = Hashtbl.create 8 in
+  let rec go n =
+    List.iter
+      (fun c ->
+        if not (Hashtbl.mem visited c) then begin
+          Hashtbl.add visited c ();
+          go c
+        end)
+      (child_names t n)
+  in
+  go name;
+  List.filter (Hashtbl.mem visited) (element_names t)
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Backtracking matcher over positions into the child-name array: returns
+   the sorted set of positions reachable after consuming a prefix that
+   matches the particle. *)
+let matches_content p names =
+  let arr = Array.of_list names in
+  let n = Array.length arr in
+  let dedup_pos l = List.sort_uniq compare l in
+  let rec go p positions =
+    match p with
+    | Name (name, occ) ->
+      let once ps =
+        List.filter_map (fun i -> if i < n && arr.(i) = name then Some (i + 1) else None) ps
+      in
+      with_occ occ once positions
+    | Seq (parts, occ) ->
+      let once ps = List.fold_left (fun acc part -> go part acc) ps parts in
+      with_occ occ once positions
+    | Choice (parts, occ) ->
+      let once ps = dedup_pos (List.concat_map (fun part -> go part ps) parts) in
+      with_occ occ once positions
+  and with_occ occ once positions =
+    match occ with
+    | One -> once positions
+    | Opt -> dedup_pos (positions @ once positions)
+    | Star -> star once positions
+    | Plus -> star once (once positions)
+  and star once positions =
+    (* Fixpoint of reachable positions (zero or more iterations); bounded
+       by n+1 distinct positions, so this terminates. *)
+    let seen = Array.make (n + 2) false in
+    List.iter (fun i -> seen.(i) <- true) positions;
+    let frontier = ref positions in
+    while !frontier <> [] do
+      let next =
+        once !frontier |> List.filter (fun i -> not seen.(i)) |> dedup_pos
+      in
+      List.iter (fun i -> seen.(i) <- true) next;
+      frontier := next
+    done;
+    let acc = ref [] in
+    for i = n + 1 downto 0 do
+      if seen.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  List.mem n (go p [ 0 ])
+
+let validate ?root:start t doc =
+  let start = match start with Some r -> r | None -> Doc.root doc in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let check id =
+    match Doc.kind doc id with
+    | Doc.Text _ -> ()
+    | Doc.Element tag ->
+      (match find t tag with
+       | None -> err "undeclared element <%s>" tag
+       | Some d ->
+         List.iter
+           (fun a ->
+             if a.required && Doc.attr doc id a.attr_name = None then
+               err "<%s> misses required attribute %s" tag a.attr_name)
+           d.attlist;
+         let kid_elems = List.filter (Doc.is_element doc) (Doc.children doc id) in
+         let kid_names = List.map (Doc.name doc) kid_elems in
+         let has_text =
+           List.exists
+             (fun c -> match Doc.kind doc c with Doc.Text _ -> true | _ -> false)
+             (Doc.children doc id)
+         in
+         (match d.content with
+          | Empty ->
+            if Doc.children doc id <> [] then err "<%s> declared EMPTY has content" tag
+          | Any -> ()
+          | PCData -> if kid_names <> [] then err "<%s> declared (#PCDATA) has child elements" tag
+          | Mixed allowed ->
+            List.iter
+              (fun n -> if not (List.mem n allowed) then err "<%s> has disallowed child <%s>" tag n)
+              kid_names
+          | Children p ->
+            if has_text then err "<%s> with element content contains text" tag;
+            if not (matches_content p kid_names) then
+              err "children of <%s> [%s] do not match its content model" tag
+                (String.concat " " kid_names)))
+  in
+  List.iter check (Doc.descendant_or_self doc start);
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let occur_str = function One -> "" | Opt -> "?" | Star -> "*" | Plus -> "+"
+
+let rec particle_str ?(top = false) p =
+  match p with
+  | Name (n, occ) -> (if top then "(" ^ n ^ ")" else n) ^ occur_str occ
+  | Seq (ps, occ) ->
+    "(" ^ String.concat ", " (List.map particle_str ps) ^ ")" ^ occur_str occ
+  | Choice (ps, occ) ->
+    "(" ^ String.concat " | " (List.map particle_str ps) ^ ")" ^ occur_str occ
+
+let content_str = function
+  | PCData -> "(#PCDATA)"
+  | Mixed ns -> "(#PCDATA | " ^ String.concat " | " ns ^ ")*"
+  | Empty -> "EMPTY"
+  | Any -> "ANY"
+  | Children p -> particle_str ~top:true p
+
+let to_string t =
+  String.concat "\n"
+    (List.concat_map
+       (fun d ->
+         let elem = Printf.sprintf "<!ELEMENT %s %s>" d.elem_name (content_str d.content) in
+         let atts =
+           if d.attlist = [] then []
+           else
+             [ Printf.sprintf "<!ATTLIST %s %s>" d.elem_name
+                 (String.concat " "
+                    (List.map
+                       (fun a ->
+                         Printf.sprintf "%s CDATA %s" a.attr_name
+                           (if a.required then "#REQUIRED" else "#IMPLIED"))
+                       d.attlist))
+             ]
+         in
+         elem :: atts)
+       t.decls)

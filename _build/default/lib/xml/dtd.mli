@@ -1,0 +1,82 @@
+(** DTD (document type definition) subset: [<!ELEMENT …>] and
+    [<!ATTLIST …>] declarations, validation, and the content-model
+    analysis needed by the relational mapping of Section 4.1. *)
+
+(** Occurrence indicator attached to a particle. *)
+type occur =
+  | One   (** exactly once *)
+  | Opt   (** [?] *)
+  | Star  (** [*] *)
+  | Plus  (** [+] *)
+
+(** Content particle. *)
+type particle =
+  | Name of string * occur
+  | Seq of particle list * occur
+  | Choice of particle list * occur
+
+(** Content model of an element type. *)
+type content =
+  | PCData                      (** [(#PCDATA)] *)
+  | Mixed of string list        (** [(#PCDATA | a | b)*] *)
+  | Children of particle        (** element content *)
+  | Empty                       (** [EMPTY] *)
+  | Any                         (** [ANY] *)
+
+type attr_decl = {
+  attr_name : string;
+  required : bool;              (** [#REQUIRED] vs anything else *)
+}
+
+type element_decl = {
+  elem_name : string;
+  content : content;
+  attlist : attr_decl list;
+}
+
+type t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse the text of a DTD internal subset (a sequence of [<!ELEMENT>] and
+    [<!ATTLIST>] declarations; comments and parameter entities are not
+    supported).  @raise Parse_error on malformed declarations. *)
+
+val of_decls : element_decl list -> t
+
+val declarations : t -> element_decl list
+val find : t -> string -> element_decl option
+val element_names : t -> string list
+
+(** Multiplicity of a child element name within a parent's content model. *)
+type multiplicity =
+  | M_one       (** occurs exactly once in every valid instance *)
+  | M_opt       (** occurs at most once *)
+  | M_many      (** may occur more than once *)
+  | M_none      (** cannot occur *)
+
+val child_multiplicity : t -> parent:string -> child:string -> multiplicity
+
+val child_names : t -> string -> string list
+(** Element names that can appear as direct children, in first-occurrence
+    order of the content model. *)
+
+val is_pcdata_only : t -> string -> bool
+(** True if the element's content model is [(#PCDATA)]. *)
+
+val parents_of : t -> string -> string list
+(** Element types that can directly contain the given type. *)
+
+val descendant_types : t -> string -> string list
+(** Element types reachable (strictly below) from the given type,
+    including through recursion, computed as a fixpoint. *)
+
+val validate : ?root:Doc.node_id -> t -> Doc.t -> (unit, string) Stdlib.result
+(** Check the tree below [root] (default: the document's first root)
+    against the DTD: every element declared, children sequences match
+    content models, required attributes present, PCDATA-only elements
+    contain no child elements. *)
+
+val to_string : t -> string
+(** Render back to [<!ELEMENT …>] declaration syntax. *)

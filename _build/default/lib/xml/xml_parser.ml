@@ -1,0 +1,308 @@
+exception Parse_error of { line : int; col : int; msg : string }
+
+type result = {
+  doc : Doc.t;
+  dtd_text : string option;
+}
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_state src = { src; pos = 0; line = 1; col = 1 }
+
+let fail st msg = raise (Parse_error { line = st.line; col = st.col; msg })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let skip_n st n =
+  for _ = 1 to n do
+    advance st
+  done
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then skip_n st (String.length s)
+  else fail st (Printf.sprintf "expected %S" s)
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st =
+  while (not (eof st)) && is_ws (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Entity and character reference resolution ------------------------------ *)
+
+let resolve_entity name =
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then begin
+      let code =
+        if name.[1] = 'x' || name.[1] = 'X' then
+          int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+        else int_of_string (String.sub name 1 (String.length name - 1))
+      in
+      (* Encode as UTF-8. *)
+      let b = Buffer.create 4 in
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+      end;
+      Buffer.contents b
+    end
+    else failwith (Printf.sprintf "unknown entity &%s;" name)
+
+let unescape s =
+  if not (String.contains s '&') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | None -> failwith "unterminated entity reference"
+        | Some j ->
+          Buffer.add_string b (resolve_entity (String.sub s (!i + 1) (j - !i - 1)));
+          i := j + 1
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  end
+
+(* Lexical scanning of document pieces ------------------------------------ *)
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do
+    advance st
+  done;
+  if eof st then fail st "unterminated attribute value";
+  let raw = String.sub st.src start (st.pos - start) in
+  advance st;
+  try unescape raw with Failure m -> fail st m
+
+let parse_attrs st =
+  let rec go acc =
+    skip_ws st;
+    if is_name_start (peek st) then begin
+      let k = parse_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let v = parse_attr_value st in
+      go ((k, v) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let skip_until st stop =
+  match
+    let rec find i =
+      if i + String.length stop > String.length st.src then None
+      else if String.sub st.src i (String.length stop) = stop then Some i
+      else find (i + 1)
+    in
+    find st.pos
+  with
+  | None -> fail st (Printf.sprintf "unterminated construct, expected %S" stop)
+  | Some i ->
+    let text = String.sub st.src st.pos (i - st.pos) in
+    while st.pos < i + String.length stop do
+      advance st
+    done;
+    text
+
+let skip_comment st =
+  expect st "<!--";
+  ignore (skip_until st "-->")
+
+let skip_pi st =
+  expect st "<?";
+  ignore (skip_until st "?>")
+
+(* DOCTYPE: capture the internal subset text, skip external ids. *)
+let parse_doctype st =
+  expect st "<!DOCTYPE";
+  skip_ws st;
+  let _name = parse_name st in
+  skip_ws st;
+  (* Optional SYSTEM/PUBLIC external id: skip quoted strings. *)
+  while peek st <> '[' && peek st <> '>' && not (eof st) do
+    if peek st = '"' || peek st = '\'' then ignore (parse_attr_value st) else advance st
+  done;
+  let subset =
+    if peek st = '[' then begin
+      advance st;
+      let text = skip_until st "]" in
+      Some text
+    end
+    else None
+  in
+  skip_ws st;
+  expect st ">";
+  subset
+
+(* Content parsing --------------------------------------------------------- *)
+
+let all_ws s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_ws c) then ok := false) s;
+  !ok
+
+let rec parse_content st doc ~keep_ws acc =
+  if eof st then List.rev acc
+  else if looking_at st "</" then List.rev acc
+  else if looking_at st "<!--" then begin
+    skip_comment st;
+    parse_content st doc ~keep_ws acc
+  end
+  else if looking_at st "<![CDATA[" then begin
+    skip_n st 9;
+    let text = skip_until st "]]>" in
+    let id = Doc.make_text doc text in
+    parse_content st doc ~keep_ws (id :: acc)
+  end
+  else if looking_at st "<?" then begin
+    skip_pi st;
+    parse_content st doc ~keep_ws acc
+  end
+  else if peek st = '<' then begin
+    let id = parse_element st doc ~keep_ws in
+    parse_content st doc ~keep_ws (id :: acc)
+  end
+  else begin
+    let start = st.pos in
+    while (not (eof st)) && peek st <> '<' do
+      advance st
+    done;
+    let raw = String.sub st.src start (st.pos - start) in
+    if (not keep_ws) && all_ws raw then parse_content st doc ~keep_ws acc
+    else begin
+      let text = try unescape raw with Failure m -> fail st m in
+      let id = Doc.make_text doc text in
+      parse_content st doc ~keep_ws (id :: acc)
+    end
+  end
+
+and parse_element st doc ~keep_ws =
+  expect st "<";
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_ws st;
+  let id = Doc.make_element doc ~attrs tag in
+  if looking_at st "/>" then begin
+    skip_n st 2;
+    id
+  end
+  else begin
+    expect st ">";
+    let kids = parse_content st doc ~keep_ws [] in
+    expect st "</";
+    let close = parse_name st in
+    if close <> tag then
+      fail st (Printf.sprintf "mismatched closing tag </%s> for <%s>" close tag);
+    skip_ws st;
+    expect st ">";
+    Doc.append_children doc ~parent:id kids;
+    id
+  end
+
+let parse_prolog st =
+  let dtd = ref None in
+  let continue = ref true in
+  while !continue do
+    skip_ws st;
+    if looking_at st "<?" then skip_pi st
+    else if looking_at st "<!--" then skip_comment st
+    else if looking_at st "<!DOCTYPE" then dtd := parse_doctype st
+    else continue := false
+  done;
+  !dtd
+
+let parse_string ?(keep_ws = false) src =
+  let st = make_state src in
+  let doc = Doc.create () in
+  let dtd_text = parse_prolog st in
+  skip_ws st;
+  if peek st <> '<' then fail st "expected root element";
+  let root = parse_element st doc ~keep_ws in
+  Doc.set_root doc root;
+  skip_ws st;
+  while not (eof st) do
+    if looking_at st "<!--" then skip_comment st
+    else if looking_at st "<?" then skip_pi st
+    else fail st "content after root element"
+  done;
+  { doc; dtd_text }
+
+let parse_file ?keep_ws path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string ?keep_ws src
+
+let parse_fragment doc src =
+  let st = make_state src in
+  let nodes = parse_content st doc ~keep_ws:false [] in
+  if not (eof st) then fail st "trailing content in fragment";
+  nodes

@@ -1,0 +1,36 @@
+(** XML 1.0 subset parser producing a {!Doc.t} arena document.
+
+    Supported: elements, attributes (single or double quoted), character
+    data, CDATA sections, comments, processing instructions (skipped), the
+    XML declaration, an optional internal or external DOCTYPE declaration
+    (element declarations are exposed as raw text for {!Dtd}), and the five
+    predefined entities plus decimal/hexadecimal character references.
+
+    Not supported (rejected or ignored as noted): namespaces are treated as
+    plain prefixed names; user-defined entity declarations are rejected. *)
+
+exception Parse_error of { line : int; col : int; msg : string }
+
+type result = {
+  doc : Doc.t;
+  dtd_text : string option;
+      (** Raw text between the brackets of an internal DTD subset, if any. *)
+}
+
+val parse_string : ?keep_ws:bool -> string -> result
+(** Parse a complete document.  Unless [keep_ws] is set, text nodes that
+    consist solely of whitespace are dropped (the running-example DTDs are
+    element-content only, where such whitespace is insignificant).
+    @raise Parse_error on malformed input. *)
+
+val parse_file : ?keep_ws:bool -> string -> result
+
+val parse_fragment : Doc.t -> string -> Doc.node_id list
+(** Parse a well-formed sequence of elements/text (no prolog) allocating the
+    nodes inside an existing document; returns the detached top-level nodes.
+    Used by XUpdate content construction.
+    @raise Parse_error on malformed input. *)
+
+val unescape : string -> string
+(** Resolve predefined entities and character references in attribute or
+    text content.  Raises [Failure] on unknown entities. *)

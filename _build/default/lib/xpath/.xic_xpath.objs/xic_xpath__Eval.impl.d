@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Buffer Doc Float List Printf String Xic_xml

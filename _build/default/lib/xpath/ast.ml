@@ -1,0 +1,164 @@
+(** Abstract syntax of the XPath subset.
+
+    This covers XPath 1.0 location paths with all axes named in the paper
+    (Section 3.1), plus the expression language needed by predicates and by
+    the XQuery translation: literals, numbers, variables, boolean
+    connectives, comparisons, arithmetic and a fixed set of functions. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Self
+  | Attribute
+  | Following_sibling
+  | Preceding_sibling
+
+type nodetest =
+  | Name_test of string  (** element (or attribute) name *)
+  | Wildcard             (** [*] *)
+  | Text_test            (** [text()] *)
+  | Node_test            (** [node()] *)
+
+type binop =
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Add | Sub | Mul | Div | Mod
+  | Union
+
+(** Where a location path starts. *)
+type start =
+  | Abs           (** [/steps] — from the document root *)
+  | Rel           (** [steps] — from the context node *)
+  | From of expr  (** [expr/steps] — from each node produced by [expr] *)
+
+and step = {
+  axis : axis;
+  test : nodetest;
+  preds : expr list;
+}
+
+and expr =
+  | Path of start * step list
+  | Literal of string
+  | Number of float
+  | Var of string        (** [$name]; resolved from the environment *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Self -> "self"
+  | Attribute -> "attribute"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+
+let axis_of_name = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "self" -> Some Self
+  | "attribute" -> Some Attribute
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | _ -> None
+
+(* The descendant-or-self::node() step that [//] abbreviates. *)
+let desc_step = { axis = Descendant_or_self; test = Node_test; preds = [] }
+
+let binop_name = function
+  | Eq -> "=" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod"
+  | Union -> "|"
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+  | Union -> 7
+
+(** Render back to XPath concrete syntax, re-abbreviating
+    [descendant-or-self::node()] steps to [//] and child/attribute axes to
+    their short forms. *)
+let rec to_string e = expr_str 0 e
+
+and expr_str prec e =
+  match e with
+  | Literal s -> "\"" ^ s ^ "\""
+  | Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+    else string_of_float f
+  | Var v ->
+    (* Variables with the reserved '%' prefix are parameter holes and are
+       rendered back in the paper's [%name] notation. *)
+    if String.length v > 0 && v.[0] = '%' then v else "$" ^ v
+  | Neg e -> "-" ^ expr_str 10 e
+  | Call (f, args) -> f ^ "(" ^ String.concat ", " (List.map to_string args) ^ ")"
+  | Binop (op, a, b) ->
+    let p = precedence op in
+    let s =
+      expr_str p a ^ " " ^ binop_name op ^ " " ^ expr_str (p + 1) b
+    in
+    if p < prec then "(" ^ s ^ ")" else s
+  | Path (start, steps) -> path_str start steps
+
+and path_str start steps =
+  let prefix, steps =
+    match (start, steps) with
+    | Abs, s :: rest when s = desc_step -> ("//", rest)
+    | Abs, _ -> ("/", steps)
+    | Rel, _ -> ("", steps)
+    | From e, s :: rest when s = desc_step -> (expr_str 10 e ^ "//", rest)
+    | From e, _ -> (expr_str 10 e ^ "/", steps)
+  in
+  let rec walk acc = function
+    | [] -> List.rev acc
+    | s :: rest when s = desc_step && rest <> [] ->
+      (* Re-abbreviate a // in the middle of the path. *)
+      (match walk [] rest with
+       | s1 :: more -> List.rev_append acc (("/" ^ s1) :: more)
+       | [] -> List.rev acc)
+    | s :: rest -> walk (step_str s :: acc) rest
+  in
+  match walk [] steps with
+  | [] -> if prefix = "" then "." else prefix
+  | parts -> prefix ^ String.concat "/" parts
+
+and step_str { axis; test; preds } =
+  let base =
+    match (axis, test) with
+    | Child, Name_test n -> n
+    | Child, Wildcard -> "*"
+    | Child, Text_test -> "text()"
+    | Child, Node_test -> "node()"
+    | Attribute, Name_test n -> "@" ^ n
+    | Attribute, Wildcard -> "@*"
+    | Parent, Node_test -> ".."
+    | Self, Node_test -> "."
+    | axis, test -> axis_name axis ^ "::" ^ test_str test
+  in
+  base ^ String.concat "" (List.map (fun p -> "[" ^ to_string p ^ "]") preds)
+
+and test_str = function
+  | Name_test n -> n
+  | Wildcard -> "*"
+  | Text_test -> "text()"
+  | Node_test -> "node()"
+
+let equal (a : expr) (b : expr) = a = b

@@ -1,0 +1,65 @@
+(** Abstract syntax of the XPath subset: XPath 1.0 location paths with all
+    axes named in the paper (Section 3.1), plus the expression language
+    needed by predicates and by the XQuery translation. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Self
+  | Attribute
+  | Following_sibling
+  | Preceding_sibling
+
+type nodetest =
+  | Name_test of string  (** element (or attribute) name *)
+  | Wildcard             (** [*] *)
+  | Text_test            (** [text()] *)
+  | Node_test            (** [node()] *)
+
+type binop =
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Add | Sub | Mul | Div | Mod
+  | Union
+
+(** Where a location path starts. *)
+type start =
+  | Abs           (** [/steps] — from the document root *)
+  | Rel           (** [steps] — from the context node *)
+  | From of expr  (** [expr/steps] — from each node produced by [expr] *)
+
+and step = {
+  axis : axis;
+  test : nodetest;
+  preds : expr list;
+}
+
+and expr =
+  | Path of start * step list
+  | Literal of string
+  | Number of float
+  | Var of string
+      (** [$name]; names with the reserved ['%'] prefix are parameter
+          holes ([%name] in concrete syntax) *)
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list
+
+val axis_name : axis -> string
+val axis_of_name : string -> axis option
+
+val desc_step : step
+(** The [descendant-or-self::node()] step that [//] abbreviates. *)
+
+val binop_name : binop -> string
+val precedence : binop -> int
+
+val to_string : expr -> string
+(** Concrete syntax, re-abbreviating [//], [@], [..] and [.]; reparsable
+    by {!Parser}. *)
+
+val equal : expr -> expr -> bool

@@ -1,0 +1,467 @@
+open Xic_xml
+
+type value =
+  | Nodes of Doc.node_id list
+  | Strs of string list
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+type env = (string * value) list
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Coercions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let boolean = function
+  | Nodes ns -> ns <> []
+  | Strs ss -> ss <> []
+  | Bool b -> b
+  | Num f -> f <> 0.0 && not (Float.is_nan f)
+  | Str s -> s <> ""
+
+let num_of_string s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> Float.nan
+
+let string_value doc = function
+  | Nodes [] -> ""
+  | Nodes (n :: _) -> Doc.text_content doc n
+  | Strs [] -> ""
+  | Strs (s :: _) -> s
+  | Bool b -> if b then "true" else "false"
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+    else string_of_float f
+  | Str s -> s
+
+let number = function
+  | Bool b -> if b then 1.0 else 0.0
+  | Num f -> f
+  | Str s -> num_of_string s
+  | (Nodes _ | Strs _) as v ->
+    (* number() of a node-set is the number of its string-value; callers
+       pass the doc through [number_v] below when nodes are possible. *)
+    (match v with
+     | Nodes _ -> Float.nan
+     | Strs (s :: _) -> num_of_string s
+     | _ -> Float.nan)
+
+let number_v doc v =
+  match v with
+  | Nodes _ | Strs _ -> num_of_string (string_value doc v)
+  | _ -> number v
+
+let item_strings doc = function
+  | Nodes ns -> List.map (Doc.text_content doc) ns
+  | Strs ss -> ss
+  | (Bool _ | Num _ | Str _) as v -> [ string_value doc v ]
+
+let is_seq = function Nodes _ | Strs _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_scalar op a b =
+  let open Ast in
+  match op with
+  | Eq -> a = b
+  | Neq -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | _ -> invalid_arg "cmp_scalar"
+
+(* Compare two atomic string values under XPath 1.0 rules, with the
+   documented lexicographic fallback for non-numeric ordering. *)
+let cmp_strings op (a : string) (b : string) =
+  let open Ast in
+  match op with
+  | Eq -> a = b
+  | Neq -> a <> b
+  | Lt | Le | Gt | Ge ->
+    let na = num_of_string a and nb = num_of_string b in
+    if Float.is_nan na || Float.is_nan nb then cmp_scalar op a b
+    else cmp_scalar op na nb
+  | _ -> invalid_arg "cmp_strings"
+
+let compare_values doc op l r =
+  let open Ast in
+  let is_bool = function Bool _ -> true | _ -> false in
+  if (op = Eq || op = Neq) && (is_bool l || is_bool r) then
+    cmp_scalar op (boolean l) (boolean r)
+  else if is_seq l || is_seq r then begin
+    match (l, r) with
+    | Num f, other ->
+      List.exists (fun s -> cmp_scalar op f (num_of_string s)) (item_strings doc other)
+    | other, Num f ->
+      List.exists (fun s -> cmp_scalar op (num_of_string s) f) (item_strings doc other)
+    | _ ->
+      let ls = item_strings doc l and rs = item_strings doc r in
+      List.exists (fun a -> List.exists (fun b -> cmp_strings op a b) rs) ls
+  end
+  else begin
+    match (l, r) with
+    | Num a, b -> cmp_scalar op a (number_v doc b)
+    | a, Num b -> cmp_scalar op (number_v doc a) b
+    | _ -> cmp_strings op (string_value doc l) (string_value doc r)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Axes                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let axis_nodes doc axis id =
+  let open Ast in
+  match axis with
+  | Child -> Doc.children doc id
+  | Descendant -> Doc.descendants doc id
+  | Descendant_or_self -> Doc.descendant_or_self doc id
+  | Parent ->
+    let p = Doc.parent doc id in
+    if p = Doc.no_node then [] else [ p ]
+  | Ancestor -> Doc.ancestors doc id
+  | Ancestor_or_self -> id :: Doc.ancestors doc id
+  | Self -> [ id ]
+  | Following_sibling -> Doc.following_siblings doc id
+  | Preceding_sibling -> Doc.preceding_siblings doc id
+  | Attribute -> []
+
+(* Sorting discipline.  A node-set is [clean] when it is distinct, in
+   document order, and free of ancestor/descendant pairs.  Forward axes
+   from a clean set emit document order by construction; from an unclean
+   set even the child axis can interleave (child::* of an ancestor
+   contains another context node itself), so the union must be re-sorted.
+   [needs_sort] and [result_clean] encode, per axis, whether the step's
+   union requires sorting given the input's state and whether its result
+   is clean again. *)
+let needs_sort axis ~clean ~n_ctx =
+  match axis with
+  | Ast.Self | Ast.Attribute -> false
+  | Ast.Child -> not clean
+  | Ast.Descendant | Ast.Descendant_or_self -> not clean
+  | Ast.Following_sibling | Ast.Preceding_sibling -> (not clean) || n_ctx > 1
+  | Ast.Parent -> (not clean) || n_ctx > 1
+  | Ast.Ancestor | Ast.Ancestor_or_self -> true
+
+let result_clean axis ~clean ~n_ctx =
+  match axis with
+  | Ast.Self | Ast.Attribute -> clean
+  | Ast.Child -> clean  (* children of non-overlapping parents never nest *)
+  | Ast.Descendant | Ast.Descendant_or_self -> false
+  | Ast.Following_sibling | Ast.Preceding_sibling -> clean && n_ctx = 1
+  | Ast.Parent -> clean && n_ctx = 1
+  | Ast.Ancestor | Ast.Ancestor_or_self -> false
+
+let test_ok doc test id =
+  let open Ast in
+  match test with
+  | Node_test -> true
+  | Text_test -> Doc.is_text doc id
+  | Wildcard -> Doc.is_element doc id
+  | Name_test n -> Doc.is_element doc id && Doc.name doc id = n
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type ctxt = {
+  doc : Doc.t;
+  env : env;
+  node : Doc.node_id;
+  pos : int;   (* position() *)
+  size : int;  (* last() *)
+}
+
+let rec eval_expr ctx (e : Ast.expr) : value =
+  let open Ast in
+  match e with
+  | Literal s -> Str s
+  | Number f -> Num f
+  | Var v ->
+    (match List.assoc_opt v ctx.env with
+     | Some value -> value
+     | None -> fail "unbound variable $%s" v)
+  | Neg e -> Num (-.number_v ctx.doc (eval_expr ctx e))
+  | Binop (And, a, b) ->
+    Bool (boolean (eval_expr ctx a) && boolean (eval_expr ctx b))
+  | Binop (Or, a, b) ->
+    Bool (boolean (eval_expr ctx a) || boolean (eval_expr ctx b))
+  | Binop (Union, a, b) ->
+    (match (eval_expr ctx a, eval_expr ctx b) with
+     | Nodes xs, Nodes ys -> Nodes (Doc.sort_doc_order ctx.doc (xs @ ys))
+     | Strs xs, Strs ys -> Strs (xs @ ys)
+     | _ -> fail "union of non node-sets")
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    Bool (compare_values ctx.doc op (eval_expr ctx a) (eval_expr ctx b))
+  | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
+    let x = number_v ctx.doc (eval_expr ctx a)
+    and y = number_v ctx.doc (eval_expr ctx b) in
+    Num
+      (match op with
+       | Add -> x +. y
+       | Sub -> x -. y
+       | Mul -> x *. y
+       | Div -> x /. y
+       | Mod -> Float.rem x y
+       | _ -> assert false)
+  | Call (f, args) -> eval_call ctx f args
+  | Path (Abs, steps) -> eval_abs ctx steps
+  | Path (start, steps) ->
+    let initial =
+      match start with
+      | Abs -> assert false
+      | Rel -> Nodes [ ctx.node ]
+      | From e -> eval_expr ctx e
+    in
+    eval_steps_v ctx initial steps
+
+(* Absolute paths start at the (virtual) document node, whose only child is
+   the root element.  The first step is resolved specially; the rest
+   proceed as usual. *)
+and eval_abs ctx steps =
+  let roots = Doc.roots ctx.doc in
+  match steps with
+  | [] -> Nodes roots
+  | first :: ({ axis = Ast.Child; preds = []; test } as second) :: rest
+    when first = Ast.desc_step ->
+    (* Fast path for the [//x] desugaring: child::x of
+       descendant-or-self::node() is exactly the non-root descendants
+       matching the test — already distinct and in document order, no
+       re-sort needed.  (Only without predicates: positional predicates
+       group per parent.) *)
+    ignore second;
+    let matches =
+      List.concat_map
+        (fun r -> List.filter (test_ok ctx.doc test) (Doc.descendants ctx.doc r))
+        roots
+    in
+    eval_steps_v ctx (Nodes matches) rest
+  | step :: rest ->
+    let open Ast in
+    let candidates =
+      match step.axis with
+      | Child -> roots
+      | Descendant | Descendant_or_self ->
+        List.concat_map (Doc.descendant_or_self ctx.doc) roots
+      | Self -> if step.test = Node_test then roots else []
+      | Parent | Ancestor | Ancestor_or_self | Attribute
+      | Following_sibling | Preceding_sibling -> []
+    in
+    let filtered = List.filter (test_ok ctx.doc step.test) candidates in
+    let filtered = apply_preds ctx filtered step.preds in
+    (* child-of-document-node results (the roots) are clean; descendant
+       results overlap *)
+    let clean = match step.axis with Child | Self -> true | _ -> false in
+    eval_steps_v ctx ~clean (Nodes filtered) rest
+
+and eval_call ctx f args =
+  let arg i =
+    match List.nth_opt args i with
+    | Some e -> eval_expr ctx e
+    | None -> fail "%s: missing argument %d" f (i + 1)
+  in
+  match (f, List.length args) with
+  | "position", 0 -> Num (float_of_int ctx.pos)
+  | "position-of", 1 ->
+    (* Position of a node among its parent's element children; this is the
+       [Pos] column of the relational mapping (DESIGN.md).  The paper's
+       generated queries write [$x/position()] for the same thing. *)
+    (match arg 0 with
+     | Nodes (n :: _) -> Num (float_of_int (Doc.position ctx.doc n))
+     | Nodes [] -> Num Float.nan
+     | _ -> fail "position-of: expected a node-set")
+  | "last", 0 -> Num (float_of_int ctx.size)
+  | "count", 1 ->
+    (match arg 0 with
+     | Nodes ns -> Num (float_of_int (List.length ns))
+     | Strs ss -> Num (float_of_int (List.length ss))
+     | _ -> fail "count: expected a node-set")
+  | "count-distinct", 1 ->
+    (* Distinct count by string value — the translation of the paper's
+       Cnt_D aggregate. *)
+    let ss = item_strings ctx.doc (arg 0) in
+    Num (float_of_int (List.length (List.sort_uniq compare ss)))
+  | "exists", 1 ->
+    (match arg 0 with
+     | Nodes ns -> Bool (ns <> [])
+     | Strs ss -> Bool (ss <> [])
+     | v -> Bool (boolean v))
+  | "empty", 1 -> Bool (not (boolean (arg 0)))
+  | "not", 1 -> Bool (not (boolean (arg 0)))
+  | "true", 0 -> Bool true
+  | "false", 0 -> Bool false
+  | "boolean", 1 -> Bool (boolean (arg 0))
+  | "number", 1 -> Num (number_v ctx.doc (arg 0))
+  | "number", 0 -> Num (num_of_string (Doc.text_content ctx.doc ctx.node))
+  | "string", 1 -> Str (string_value ctx.doc (arg 0))
+  | "string", 0 -> Str (Doc.text_content ctx.doc ctx.node)
+  | "name", 0 ->
+    Str (if Doc.is_element ctx.doc ctx.node then Doc.name ctx.doc ctx.node else "")
+  | "name", 1 ->
+    (match arg 0 with
+     | Nodes (n :: _) when Doc.is_element ctx.doc n -> Str (Doc.name ctx.doc n)
+     | Nodes _ -> Str ""
+     | _ -> fail "name: expected a node-set")
+  | "concat", n when n >= 2 ->
+    Str
+      (String.concat ""
+         (List.map (fun e -> string_value ctx.doc (eval_expr ctx e)) args))
+  | "contains", 2 ->
+    let hay = string_value ctx.doc (arg 0) and needle = string_value ctx.doc (arg 1) in
+    let rec search i =
+      if i + String.length needle > String.length hay then false
+      else if String.sub hay i (String.length needle) = needle then true
+      else search (i + 1)
+    in
+    Bool (search 0)
+  | "starts-with", 2 ->
+    let s = string_value ctx.doc (arg 0) and p = string_value ctx.doc (arg 1) in
+    Bool
+      (String.length p <= String.length s && String.sub s 0 (String.length p) = p)
+  | "string-length", 1 -> Num (float_of_int (String.length (string_value ctx.doc (arg 0))))
+  | "string-length", 0 -> Num (float_of_int (String.length (Doc.text_content ctx.doc ctx.node)))
+  | "sum", 1 ->
+    (match arg 0 with
+     | Nodes ns ->
+       Num (List.fold_left (fun a n -> a +. num_of_string (Doc.text_content ctx.doc n)) 0.0 ns)
+     | Strs ss -> Num (List.fold_left (fun a s -> a +. num_of_string s) 0.0 ss)
+     | v -> Num (number_v ctx.doc v))
+  | "floor", 1 -> Num (Float.floor (number_v ctx.doc (arg 0)))
+  | "ceiling", 1 -> Num (Float.ceil (number_v ctx.doc (arg 0)))
+  | "round", 1 -> Num (Float.round (number_v ctx.doc (arg 0)))
+  | "normalize-space", 1 ->
+    let s = string_value ctx.doc (arg 0) in
+    Str (String.concat " " (String.split_on_char ' ' s |> List.filter (( <> ) "")))
+  | "substring", (2 | 3) ->
+    (* XPath 1.0 semantics with 1-based rounding positions *)
+    let s = string_value ctx.doc (arg 0) in
+    let start = Float.round (number_v ctx.doc (arg 1)) in
+    let len =
+      if List.length args = 3 then Float.round (number_v ctx.doc (arg 2))
+      else Float.of_int (String.length s) +. 1.0 -. start
+    in
+    if Float.is_nan start || Float.is_nan len then Str ""
+    else begin
+      let first = max 1 (int_of_float start) in
+      let last = int_of_float (start +. len) - 1 in
+      let last = min last (String.length s) in
+      if last < first then Str ""
+      else Str (String.sub s (first - 1) (last - first + 1))
+    end
+  | "substring-before", 2 | "substring-after", 2 ->
+    let s = string_value ctx.doc (arg 0) and sep = string_value ctx.doc (arg 1) in
+    let n = String.length s and m = String.length sep in
+    let rec find i = if i + m > n then None else if String.sub s i m = sep then Some i else find (i + 1) in
+    (match find 0 with
+     | None -> Str ""
+     | Some i ->
+       if f = "substring-before" then Str (String.sub s 0 i)
+       else Str (String.sub s (i + m) (n - i - m)))
+  | "translate", 3 ->
+    let s = string_value ctx.doc (arg 0) in
+    let from = string_value ctx.doc (arg 1) and to_ = string_value ctx.doc (arg 2) in
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match String.index_opt from c with
+        | None -> Buffer.add_char b c
+        | Some i -> if i < String.length to_ then Buffer.add_char b to_.[i])
+      s;
+    Str (Buffer.contents b)
+  | "upper-case", 1 -> Str (String.uppercase_ascii (string_value ctx.doc (arg 0)))
+  | "lower-case", 1 -> Str (String.lowercase_ascii (string_value ctx.doc (arg 0)))
+  | "string-join", 2 ->
+    let items = item_strings ctx.doc (arg 0) in
+    Str (String.concat (string_value ctx.doc (arg 1)) items)
+  | "ends-with", 2 ->
+    let s = string_value ctx.doc (arg 0) and p = string_value ctx.doc (arg 1) in
+    let n = String.length s and m = String.length p in
+    Bool (m <= n && String.sub s (n - m) m = p)
+  | _, n -> fail "unknown function %s/%d" f n
+
+and eval_steps_v ctx ?(clean = false) initial steps =
+  match steps with
+  | [] -> initial
+  | step :: rest ->
+    (match initial with
+     | Nodes ns ->
+       let v, clean' = eval_one_step ctx ~clean ns step in
+       eval_steps_v ctx ~clean:clean' v rest
+     | Strs _ when steps <> [] -> fail "cannot apply a step to attribute values"
+     | _ -> fail "cannot apply a step to a non node-set")
+
+and eval_one_step ctx ~clean ns (step : Ast.step) : value * bool =
+  if step.axis = Ast.Attribute then begin
+    (* The attribute axis yields string items. *)
+    let vals =
+      List.concat_map
+        (fun id ->
+          if not (Doc.is_element ctx.doc id) then []
+          else
+            match step.test with
+            | Ast.Name_test n ->
+              (match Doc.attr ctx.doc id n with Some v -> [ v ] | None -> [])
+            | Ast.Wildcard | Ast.Node_test -> List.map snd (Doc.attrs ctx.doc id)
+            | Ast.Text_test -> [])
+        ns
+    in
+    if step.preds <> [] then fail "predicates on the attribute axis are not supported";
+    (Strs vals, false)
+  end
+  else begin
+    let per_node id =
+      let candidates =
+        List.filter (test_ok ctx.doc step.test) (axis_nodes ctx.doc step.axis id)
+      in
+      apply_preds ctx candidates step.preds
+    in
+    let n_ctx = List.length ns in
+    let clean = clean || n_ctx <= 1 in
+    let result = List.concat_map per_node ns in
+    let result =
+      if needs_sort step.axis ~clean ~n_ctx then Doc.sort_doc_order ctx.doc result
+      else result
+    in
+    (Nodes result, result_clean step.axis ~clean ~n_ctx)
+  end
+
+and apply_preds ctx nodes = function
+  | [] -> nodes
+  | p :: rest ->
+    let size = List.length nodes in
+    let keep =
+      List.filteri
+        (fun i id ->
+          let ctx' = { ctx with node = id; pos = i + 1; size } in
+          match eval_expr ctx' p with
+          | Num f -> Float.equal f (float_of_int (i + 1))
+          | v -> boolean v)
+        nodes
+    in
+    apply_preds ctx keep rest
+
+let initial_ctx doc env ctx_node =
+  let node =
+    match ctx_node with
+    | Some n -> n
+    | None -> if Doc.has_root doc then Doc.root doc else Doc.no_node
+  in
+  { doc; env; node; pos = 1; size = 1 }
+
+let eval doc ?(env = []) ?ctx e = eval_expr (initial_ctx doc env ctx) e
+
+let select doc ?env ?ctx e =
+  match eval doc ?env ?ctx e with
+  | Nodes ns -> ns
+  | _ -> fail "expected a node-set result for %s" (Ast.to_string e)
+
+let eval_steps doc ?(env = []) ns steps =
+  eval_steps_v (initial_ctx doc env None) (Nodes ns) steps

@@ -1,0 +1,53 @@
+(** Evaluation of XPath expressions against a {!Xic_xml.Doc.t}.
+
+    The semantics follows XPath 1.0: node-sets in document order,
+    existential general comparisons, positional predicates.  One pragmatic
+    extension (documented in DESIGN.md): the ordering operators [<], [<=],
+    [>], [>=] fall back to lexicographic comparison when both operands are
+    strings that do not parse as numbers, instead of always converting to
+    numbers. *)
+
+open Xic_xml
+
+(** Result of evaluating an expression. *)
+type value =
+  | Nodes of Doc.node_id list  (** node-set in document order *)
+  | Strs of string list        (** attribute values; kept in source order *)
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+type env = (string * value) list
+(** Variable bindings for [$name] references. *)
+
+exception Eval_error of string
+
+val eval : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> Ast.expr -> value
+(** Evaluate an expression.  [ctx] is the context node (defaults to the
+    root element); absolute paths always start at the root.
+    @raise Eval_error on unknown variables or functions. *)
+
+val select : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> Ast.expr -> Doc.node_id list
+(** Evaluate and require a node-set result. @raise Eval_error otherwise. *)
+
+val eval_steps :
+  Doc.t -> ?env:env -> Doc.node_id list -> Ast.step list -> value
+(** Apply location steps to an explicit initial node-set (used by the
+    XQuery evaluator). *)
+
+val boolean : value -> bool
+(** XPath [boolean()] coercion. *)
+
+val number : value -> float
+(** XPath [number()] coercion ([nan] when not convertible). *)
+
+val string_value : Doc.t -> value -> string
+(** XPath [string()] coercion (string-value of the first node for
+    node-sets). *)
+
+val item_strings : Doc.t -> value -> string list
+(** The string values of all items of a sequence (singleton for scalars);
+    used for existential comparison and by the XQuery evaluator. *)
+
+val compare_values : Doc.t -> Ast.binop -> value -> value -> bool
+(** General comparison with existential semantics over sequences. *)

@@ -1,0 +1,1 @@
+lib/xpathlog/ast.ml: Buffer List String Xic_datalog

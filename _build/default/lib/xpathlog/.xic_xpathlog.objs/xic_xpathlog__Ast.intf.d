@@ -1,0 +1,1 @@
+lib/xpathlog/ast.mli: Xic_datalog

@@ -1,0 +1,1 @@
+lib/xpathlog/compile.ml: Ast List Option Parser Printf String Xic_datalog Xic_relmap Xic_xml

@@ -1,0 +1,1 @@
+lib/xpathlog/compile.mli: Ast Xic_datalog Xic_relmap

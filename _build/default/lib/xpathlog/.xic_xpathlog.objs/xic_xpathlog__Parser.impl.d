@@ -1,0 +1,1 @@
+lib/xpathlog/parser.ml: Ast List Printf String Xic_datalog Xic_xpath

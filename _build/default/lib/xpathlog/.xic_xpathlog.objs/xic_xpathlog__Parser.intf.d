@@ -1,0 +1,1 @@
+lib/xpathlog/parser.mli: Ast

@@ -1,0 +1,206 @@
+(** Abstract syntax of XPathLog constraints (May 2004; Section 3.1 of the
+    paper).
+
+    A constraint is a {e denial}: a headless clause whose body must never
+    be satisfiable.  Bodies combine reference expressions — path
+    expressions whose steps may bind selected nodes or text values to
+    variables with [-> Var] — with comparisons, connectives and
+    aggregates. *)
+
+type cmp = Xic_datalog.Term.cmp
+type agg_op = Xic_datalog.Term.agg_op
+
+(** Where a path starts. *)
+type start =
+  | From_root        (** [/steps] — the document root; inside a qualifier,
+                         relative to the context node (the paper writes
+                         [track[/rev/…]] for child steps) *)
+  | From_any         (** [//steps] — any descendant of the document root *)
+  | From_ctx         (** [steps] — the qualifier's context node *)
+  | From_var of string  (** [V/steps] — a node variable bound elsewhere *)
+
+(** Node test of a step (attribute steps are written [@name]). *)
+type test =
+  | Elem of string
+  | Attr of string
+  | Text_fun
+  | Parent_nav         (** [text()] *)
+
+type step = {
+  desc : bool;            (** reached via [//] rather than [/] *)
+  test : test;
+  qualifiers : formula list;
+  binding : string option;  (** [-> Var] *)
+}
+
+and path = {
+  start : start;
+  steps : step list;
+}
+
+and operand =
+  | O_var of string
+  | O_const of Xic_datalog.Term.const
+  | O_param of string
+  | O_path of path   (** value of a nested path (node id or text) *)
+
+and formula =
+  | F_path of path                    (** existence / bindings *)
+  | F_cmp of cmp * operand * operand
+  | F_pos of cmp * operand
+      (** positional qualifier: [position() cmp e] or bare [n];
+          only valid inside qualifiers *)
+  | F_and of formula * formula
+  | F_or of formula * formula
+  | F_not of formula
+  | F_agg of agg
+
+(** [op{target [groups]; path} cmp bound].  [groups] are variables shared
+    with the rest of the constraint (group-by); [target] is the summed
+    variable for [sum]/[max]/[min] ([None] counts path results). *)
+and agg = {
+  op : agg_op;
+  target : string option;
+  groups : string list;
+  path : path;
+  acmp : cmp;
+  bound : operand;
+}
+
+type denial = {
+  label : string option;
+  body : formula;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Printing (round-trips through the parser)                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec path_str p =
+  let prefix = match p.start with
+    | From_root -> "/"
+    | From_any -> "//"
+    | From_ctx -> "."
+    | From_var v -> v
+  in
+  let buf = Buffer.create 32 in
+  List.iteri
+    (fun i s ->
+      let sep =
+        if i = 0 then
+          match p.start with
+          | From_root -> if s.desc then "//" else "/"
+          | From_any -> "//"
+          | From_ctx -> if s.desc then ".//" else ""
+          | From_var v -> v ^ (if s.desc then "//" else "/")
+        else if s.desc then "//"
+        else "/"
+      in
+      Buffer.add_string buf sep;
+      Buffer.add_string buf (test_str s.test);
+      List.iter
+        (fun q -> Buffer.add_string buf ("[" ^ formula_str q ^ "]"))
+        s.qualifiers;
+      match s.binding with
+      | Some v -> Buffer.add_string buf (" -> " ^ v)
+      | None -> ())
+    p.steps;
+  if p.steps = [] then prefix else Buffer.contents buf
+
+and test_str = function
+  | Elem n -> n
+  | Attr n -> "@" ^ n
+  | Text_fun -> "text()"
+  | Parent_nav -> ".."
+
+and operand_str = function
+  | O_var v -> v
+  | O_const c -> Xic_datalog.Term.const_str c
+  | O_param p -> "%" ^ p
+  | O_path p -> path_str p
+
+and formula_str = function
+  | F_path p -> path_str p
+  | F_cmp (op, a, b) ->
+    operand_str a ^ " " ^ Xic_datalog.Term.cmp_str op ^ " " ^ operand_str b
+  | F_pos (op, a) -> "position() " ^ Xic_datalog.Term.cmp_str op ^ " " ^ operand_str a
+  | F_and (a, b) -> binder "and" a b
+  | F_or (a, b) -> binder "or" a b
+  | F_not f -> "not(" ^ formula_str f ^ ")"
+  | F_agg g ->
+    let groups = if g.groups = [] then "" else "[" ^ String.concat ", " g.groups ^ "] " in
+    let target = match g.target with Some v -> v ^ " " | None -> "" in
+    Xic_datalog.Term.agg_op_str g.op ^ "{" ^ target ^ groups ^ "; " ^ path_str g.path
+    ^ "} " ^ Xic_datalog.Term.cmp_str g.acmp ^ " " ^ operand_str g.bound
+
+and binder kw a b =
+  let wrap f =
+    match f with
+    | F_or _ | F_and _ -> "(" ^ formula_str f ^ ")"
+    | _ -> formula_str f
+  in
+  wrap a ^ " " ^ kw ^ " " ^ wrap b
+
+let denial_str d =
+  (match d.label with Some l -> l ^ ": " | None -> "") ^ "<- " ^ formula_str d.body
+
+(* ------------------------------------------------------------------ *)
+(* Disjunctive normal form                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Push negations inward (negated comparisons flip their operator;
+    negated paths and aggregates are kept as [F_not]/flipped aggregates)
+    and expand to a list of conjunctions (each itself a flat formula
+    list).  Qualifier formulas are normalized recursively: a disjunctive
+    qualifier splits the enclosing path into one copy per disjunct. *)
+let rec dnf (f : formula) : formula list list =
+  match f with
+  | F_and (a, b) ->
+    let da = dnf a and db = dnf b in
+    List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
+  | F_or (a, b) -> dnf a @ dnf b
+  | F_not inner -> dnf_neg inner
+  | F_path p -> List.map (fun p -> [ F_path p ]) (split_path p)
+  | F_agg g ->
+    List.map (fun path -> [ F_agg { g with path } ]) (split_path g.path)
+  | (F_cmp _ | F_pos _) as flat -> [ [ flat ] ]
+
+and dnf_neg (f : formula) : formula list list =
+  match f with
+  | F_or (a, b) ->
+    let da = dnf_neg a and db = dnf_neg b in
+    List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
+  | F_and (a, b) -> dnf_neg a @ dnf_neg b
+  | F_not inner -> dnf inner
+  | F_cmp (op, a, b) -> [ [ F_cmp (Xic_datalog.Term.negate_cmp op, a, b) ] ]
+  | F_pos (op, a) -> [ [ F_pos (Xic_datalog.Term.negate_cmp op, a) ] ]
+  | F_agg g -> [ [ F_agg { g with acmp = Xic_datalog.Term.negate_cmp g.acmp } ] ]
+  | F_path p -> [ [ F_not (F_path p) ] ]
+
+(* Split a path whose qualifiers contain disjunctions into one path per
+   combination of qualifier disjuncts. *)
+and split_path (p : path) : path list =
+  let rec split_steps = function
+    | [] -> [ [] ]
+    | s :: rest ->
+      let qual_alternatives =
+        (* Each qualifier normalizes to a list of conjunctions; a
+           conjunction becomes a list of qualifiers again. *)
+        List.map
+          (fun q -> List.map (fun conj -> conj) (dnf q))
+          s.qualifiers
+      in
+      let rec combos = function
+        | [] -> [ [] ]
+        | alts :: more ->
+          List.concat_map
+            (fun choice -> List.map (fun tail -> choice @ tail) (combos more))
+            alts
+      in
+      let qual_choices = combos qual_alternatives in
+      let rests = split_steps rest in
+      List.concat_map
+        (fun quals -> List.map (fun tail -> { s with qualifiers = quals } :: tail) rests)
+        qual_choices
+  in
+  List.map (fun steps -> { p with steps }) (split_steps p.steps)

@@ -1,0 +1,80 @@
+(** Abstract syntax of XPathLog constraints (May 2004; Section 3.1 of the
+    paper): denials over reference expressions — path expressions whose
+    steps may bind selected nodes or text values to variables with
+    [-> Var] — combined with comparisons, connectives and aggregates. *)
+
+type cmp = Xic_datalog.Term.cmp
+type agg_op = Xic_datalog.Term.agg_op
+
+(** Where a path starts. *)
+type start =
+  | From_root  (** [/steps]; inside a qualifier, relative to the context *)
+  | From_any   (** [//steps] — any descendant of the document root *)
+  | From_ctx   (** [steps] — the qualifier's context node *)
+  | From_var of string  (** [V/steps] — a node variable bound elsewhere *)
+
+type test =
+  | Elem of string
+  | Attr of string  (** [@name] *)
+  | Text_fun        (** [text()] *)
+  | Parent_nav      (** [..] — the unique container type *)
+
+type step = {
+  desc : bool;  (** reached via [//] rather than [/] *)
+  test : test;
+  qualifiers : formula list;
+  binding : string option;  (** [-> Var] *)
+}
+
+and path = {
+  start : start;
+  steps : step list;
+}
+
+and operand =
+  | O_var of string
+  | O_const of Xic_datalog.Term.const
+  | O_param of string
+  | O_path of path  (** value of a nested path (node id or text) *)
+
+and formula =
+  | F_path of path  (** existence / bindings *)
+  | F_cmp of cmp * operand * operand
+  | F_pos of cmp * operand
+      (** positional qualifier [position() cmp e] or bare [n]; only valid
+          inside qualifiers *)
+  | F_and of formula * formula
+  | F_or of formula * formula
+  | F_not of formula
+  | F_agg of agg
+
+(** [op{target [groups]; path} cmp bound]; [groups] are variables shared
+    with the rest of the constraint. *)
+and agg = {
+  op : agg_op;
+  target : string option;
+  groups : string list;
+  path : path;
+  acmp : cmp;
+  bound : operand;
+}
+
+type denial = {
+  label : string option;
+  body : formula;
+}
+
+val path_str : path -> string
+val operand_str : operand -> string
+val formula_str : formula -> string
+val denial_str : denial -> string
+(** Concrete syntax, reparsable by {!Parser}. *)
+
+val dnf : formula -> formula list list
+(** Disjunctive normal form: negations are pushed inward (comparisons and
+    aggregate bounds flip; negated paths stay as [F_not]), disjunctions —
+    including those inside step qualifiers, which split the enclosing path
+    — expand into one conjunction (flat formula list) per disjunct. *)
+
+val split_path : path -> path list
+(** Expand disjunctive qualifiers of a single path. *)

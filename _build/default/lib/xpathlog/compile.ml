@@ -1,0 +1,673 @@
+module T = Xic_datalog.Term
+module M = Xic_relmap.Mapping
+
+exception Compile_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Compilation state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type binding = {
+  term : T.term;
+  etype : string option;  (* element type when the variable names a node *)
+}
+
+type st = {
+  lits : T.lit list;  (* reversed *)
+  env : (string * binding) list;
+}
+
+let empty_st = { lits = []; env = [] }
+
+let fresh_anon () = T.Var (T.fresh_var ~base:"_X" ())
+
+(* Fresh node-id variables are '_'-prefixed so that single-occurrence ones
+   print as "_" like other anonymous variables. *)
+let fresh_id tag = T.Var (T.fresh_var ~base:("_I" ^ tag) ())
+
+(* Result of a (partial) path. *)
+type ctx =
+  | RNode of { id : T.term; etype : string; pos : T.term; args : T.term list }
+  | RText of T.term
+  | REmb of T.term   (* embedded child awaiting text() *)
+  | RRoot of string  (* elided root element type *)
+
+let add_lit st l = { st with lits = l :: st.lits }
+
+(* Bind an XPathLog variable to a term.  The binding is recorded as an
+   equality between the user-named Datalog variable and the term; the
+   equality-inlining pass later substitutes the internal variable away, so
+   user names survive into the compiled denial (as in the paper's
+   Example 3). *)
+let bind st v term etype =
+  match List.assoc_opt v st.env with
+  | Some b -> add_lit st (T.Cmp (T.Eq, b.term, term))
+  | None ->
+    let st = { st with env = (v, { term = T.Var v; etype }) :: st.env } in
+    add_lit st (T.Cmp (T.Eq, T.Var v, term))
+
+let lookup_var st v = List.assoc_opt v st.env
+
+(* ------------------------------------------------------------------ *)
+(* Schema helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let schema_exn mapping tag =
+  match M.schema_of mapping tag with
+  | Some s -> s
+  | None -> fail "<%s> does not map to a predicate" tag
+
+(* Make an atom for element type [tag] with the given parent term and
+   optionally a fixed id term; returns (st', ctx). *)
+let make_atom ?id mapping st tag parent_term =
+  let schema = schema_exn mapping tag in
+  let id =
+    match id with Some t -> t | None -> fresh_id (String.capitalize_ascii tag)
+  in
+  let pos = fresh_anon () in
+  let cols = List.map (fun _ -> fresh_anon ()) schema.M.columns in
+  let args = id :: pos :: parent_term :: cols in
+  let st = add_lit st (T.Rel { T.pred = tag; T.args }) in
+  (st, RNode { id; etype = tag; pos; args })
+
+let column_term mapping (node : ctx) source_match =
+  match node with
+  | RNode { etype; args; _ } ->
+    let schema = schema_exn mapping etype in
+    let rec go i = function
+      | [] -> None
+      | (c : M.column) :: rest ->
+        if source_match c then Some (List.nth args (3 + i)) else go (i + 1) rest
+    in
+    go 0 schema.M.columns
+  | _ -> None
+
+(* DTD chains from [t] (exclusive) down to [t'] (inclusive), passing only
+   through predicate element types; used to expand mid-path [//]. *)
+let chains mapping ~from ~target =
+  let rec go current visited =
+    if List.mem current visited then []
+    else begin
+      let children =
+        List.concat_map
+          (fun (dtd, _) ->
+            match Xic_xml.Dtd.find dtd current with
+            | None -> []
+            | Some _ -> Xic_xml.Dtd.child_names dtd current)
+          (M.dtds mapping)
+        |> List.sort_uniq compare
+      in
+      List.concat_map
+        (fun c ->
+          let tails =
+            if c = target then [ [ c ] ] else []
+          in
+          let deeper =
+            match M.repr_of mapping c with
+            | M.Predicate _ ->
+              List.map (fun rest -> c :: rest) (go c (current :: visited))
+            | _ -> []
+          in
+          tails @ deeper)
+        children
+    end
+  in
+  go from []
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_step mapping (st, node) (s : Ast.step) : (st * ctx) list =
+  let open Ast in
+  let finish st ctx =
+    (* qualifiers, then binding *)
+    let alts = List.fold_left
+        (fun alts q ->
+          List.concat_map (fun (st, ctx) -> compile_qualifier mapping st ctx q) alts)
+        [ (st, ctx) ] s.qualifiers
+    in
+    List.map
+      (fun (st, ctx) ->
+        match s.binding with
+        | None -> (st, ctx)
+        | Some v ->
+          (match ctx with
+           | RNode { id; etype; _ } -> (bind st v id (Some etype), ctx)
+           | REmb col | RText col -> (bind st v col None, ctx)
+           | RRoot r -> fail "cannot bind the elided root <%s> to %s" r v))
+      alts
+  in
+  match (node, s.test) with
+  | RText _, _ -> fail "cannot navigate below a text value"
+  | REmb col, Text_fun ->
+    if s.desc then fail "text() cannot follow //";
+    finish st (RText col)
+  | REmb _, _ -> fail "an embedded element only supports a text() step"
+  | RRoot r, Elem t ->
+    (* Children of an elided root: the parent link is unconstrained (the
+       root is the only possible container). *)
+    let ok_child =
+      List.exists
+        (fun (dtd, root) ->
+          root = r && List.mem t (Xic_xml.Dtd.child_names dtd r))
+        (M.dtds mapping)
+    in
+    let expand_chain () =
+      List.concat_map
+        (fun chain -> compile_chain mapping st (fresh_anon ()) chain |> fun (st, ctx) -> finish st ctx)
+        (chains mapping ~from:r ~target:t)
+    in
+    if s.desc then begin
+      match expand_chain () with
+      | [] -> fail "<%s> is not a descendant type of root <%s>" t r
+      | alts -> alts
+    end
+    else if ok_child then begin
+      match M.repr_of mapping t with
+      | M.Predicate _ ->
+        let st, ctx = make_atom mapping st t (fresh_anon ()) in
+        finish st ctx
+      | M.Embedded -> fail "embedded element <%s> directly under a root" t
+      | M.Elided -> fail "nested elided element <%s>" t
+    end
+    else fail "<%s> is not a child type of root <%s>" t r
+  | RRoot _, (Text_fun | Attr _ | Parent_nav) ->
+    fail "roots have no text, attributes or parents"
+  | RNode { id; etype; _ }, Elem t ->
+    if s.desc then begin
+      let alts =
+        List.concat_map
+          (fun chain -> [ compile_chain mapping st id chain ])
+          (chains mapping ~from:etype ~target:t)
+      in
+      match alts with
+      | [] -> fail "<%s> is not a descendant type of <%s>" t etype
+      | _ -> List.concat_map (fun (st, ctx) -> finish st ctx) alts
+    end
+    else if M.is_embedded_in mapping ~parent:etype ~child:t then begin
+      match column_term mapping node (function
+          | { M.source = M.From_pcdata_child c; _ } -> c = t
+          | _ -> false) with
+      | Some col -> finish st (REmb col)
+      | None -> fail "no column for embedded <%s> in <%s>" t etype
+    end
+    else begin
+      let is_child =
+        List.exists
+          (fun (dtd, _) ->
+            match Xic_xml.Dtd.find dtd etype with
+            | None -> false
+            | Some _ -> List.mem t (Xic_xml.Dtd.child_names dtd etype))
+          (M.dtds mapping)
+      in
+      if not is_child then fail "<%s> is not a child type of <%s>" t etype;
+      match M.repr_of mapping t with
+      | M.Predicate _ ->
+        let st, ctx = make_atom mapping st t id in
+        finish st ctx
+      | M.Embedded -> assert false (* handled above *)
+      | M.Elided -> fail "elided type <%s> below <%s>" t etype
+    end
+  | RNode _, Text_fun ->
+    (match column_term mapping node (function
+         | { M.source = M.From_text; _ } -> true
+         | _ -> false) with
+     | Some col -> finish st (RText col)
+     | None ->
+       (match node with
+        | RNode { etype; _ } ->
+          fail "text() on <%s>, which has no text column (element content)" etype
+        | _ -> assert false))
+  | RNode _, Attr a ->
+    (match column_term mapping node (function
+         | { M.source = M.From_attr x; _ } -> x = a
+         | _ -> false) with
+     | Some col -> finish st (RText col)
+     | None ->
+       (match node with
+        | RNode { etype; _ } -> fail "<%s> has no attribute @%s" etype a
+        | _ -> assert false))
+  | RNode { id; etype; args; _ }, Parent_nav ->
+    if s.desc then fail "'..' cannot follow //";
+    (match M.containers_of mapping etype with
+     | [ ptype ] ->
+       (* The parent term: the atom's third argument when available; a
+          From_var re-entry carries no argument list, so re-assert the
+          child atom with a fresh parent variable (sound: ids are keys). *)
+       let st, parent_term =
+         match args with
+         | _ :: _ :: par :: _ -> (st, par)
+         | _ ->
+           let pv = fresh_anon () in
+           let st, _ = make_atom ~id mapping st etype pv in
+           (st, pv)
+       in
+       (match M.repr_of mapping ptype with
+        | M.Elided -> finish st (RRoot ptype)
+        | M.Predicate _ ->
+          let st, pctx = make_atom ~id:parent_term mapping st ptype (fresh_anon ()) in
+          finish st pctx
+        | M.Embedded -> fail "container <%s> is embedded (internal)" ptype)
+     | [] -> fail "<%s> has no container type" etype
+     | ps ->
+       fail "'..' from <%s> is ambiguous (containers: %s)" etype
+         (String.concat ", " ps))
+
+(* Emit atoms for a //-chain of predicate types below [parent_id]. *)
+and compile_chain mapping st parent_id chain =
+  match chain with
+  | [] -> fail "empty descendant chain"
+  | _ ->
+    List.fold_left
+      (fun (st, parent) tag ->
+        let parent_term =
+          match parent with
+          | RNode { id; _ } -> id
+          | _ -> assert false
+        in
+        ignore parent_term;
+        make_atom mapping st tag
+          (match parent with RNode { id; _ } -> id | _ -> assert false))
+      (make_atom_start mapping st parent_id (List.hd chain))
+      (List.tl chain)
+
+and make_atom_start mapping st parent_id tag = make_atom mapping st tag parent_id
+
+and compile_qualifier mapping st ctx (q : Ast.formula) : (st * ctx) list =
+  match q with
+  | Ast.F_pos (op, operand) ->
+    (match ctx with
+     | RNode { pos; _ } ->
+       let st, t = compile_operand mapping st ~ctx:(Some ctx) operand in
+       [ (add_lit st (T.Cmp (op, pos, t)), ctx) ]
+     | _ -> fail "position() qualifier on a non-element step")
+  | q ->
+    List.map
+      (fun st -> (st, ctx))
+      (compile_flat mapping st ~ctx:(Some ctx) q)
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and compile_path mapping st ~ctx (p : Ast.path) : (st * ctx) list =
+  let open Ast in
+  let initial : (st * ctx) list =
+    match (p.start, ctx) with
+    | From_var v, _ ->
+      (match lookup_var st v with
+       | Some { term; etype = Some t } ->
+         (* Re-enter the node: we rebuild a pseudo-context without column
+            access (columns of the original atom are not recoverable), so
+            only child/descendant steps are allowed from here.  We emit no
+            new atom; navigation below uses the id. *)
+         [ (st, RNode { id = term; etype = t; pos = fresh_anon (); args = [] }) ]
+       | Some { etype = None; _ } -> fail "variable %s is not bound to a node" v
+       | None -> fail "unbound path variable %s" v)
+    | (From_ctx | From_root), Some node -> [ (st, node) ]
+    | From_any, Some _ | From_any, None -> [ (st, RRoot "") ]
+    | From_root, None -> [ (st, RRoot "") ]
+    | From_ctx, None -> fail "a context-relative path needs a qualifier context"
+  in
+  (* A pseudo RRoot "" means the (virtual) document node: the first step
+     resolves globally. *)
+  let step_from (st, node) (s : step) =
+    match node with
+    | RRoot "" ->
+      (match s.test with
+       | Elem t ->
+         (match M.repr_of mapping t with
+          | M.Predicate _ ->
+            (* Any instance of t in the collection; parent unconstrained. *)
+            let st, ctx = make_atom mapping st t (fresh_anon ()) in
+            apply_quals_binding mapping st ctx s
+          | M.Elided -> apply_quals_binding mapping st (RRoot t) s
+          | M.Embedded ->
+            (match containers_unique mapping t with
+             | Some parent ->
+               (* //name for an embedded type: navigate via its container. *)
+               let st, pctx = make_atom mapping st parent (fresh_anon ()) in
+               (match column_term mapping pctx (function
+                    | { M.source = M.From_pcdata_child c; _ } -> c = t
+                    | _ -> false) with
+                | Some col -> apply_quals_binding mapping st (REmb col) s
+                | None -> fail "no column for <%s> in <%s>" t parent)
+             | None ->
+               fail
+                 "embedded type <%s> cannot be addressed absolutely (multiple containers)"
+                 t))
+       | Text_fun | Attr _ | Parent_nav ->
+         fail "absolute paths must start with an element step")
+    | _ -> compile_step mapping (st, node) s
+  in
+  List.fold_left
+    (fun alts s -> List.concat_map (fun sc -> step_from sc s) alts)
+    initial p.steps
+
+and containers_unique mapping t =
+  match M.containers_of mapping t with [ p ] -> Some p | _ -> None
+
+and apply_quals_binding mapping st ctx (s : Ast.step) =
+  (* Shared tail of compile_step for the document-node case. *)
+  let alts =
+    List.fold_left
+      (fun alts q ->
+        List.concat_map (fun (st, ctx) -> compile_qualifier mapping st ctx q) alts)
+      [ (st, ctx) ] s.qualifiers
+  in
+  List.map
+    (fun (st, ctx) ->
+      match s.binding with
+      | None -> (st, ctx)
+      | Some v ->
+        (match ctx with
+         | RNode { id; etype; _ } -> (bind st v id (Some etype), ctx)
+         | REmb col | RText col -> (bind st v col None, ctx)
+         | RRoot r -> fail "cannot bind the elided root <%s>" r))
+    alts
+
+and compile_operand mapping st ~ctx (o : Ast.operand) : st * T.term =
+  match o with
+  | Ast.O_const c -> (st, T.Const c)
+  | Ast.O_param p -> (st, T.Param p)
+  | Ast.O_var v ->
+    (match lookup_var st v with
+     | Some b -> (st, b.term)
+     | None ->
+       (* Forward reference: introduce the variable now; a later binding
+          occurrence will unify with it. *)
+       let term = T.Var v in
+       ({ st with env = (v, { term; etype = None }) :: st.env }, term))
+  | Ast.O_path p ->
+    (match compile_path mapping st ~ctx p with
+     | [ (st, RText t) ] -> (st, t)
+     | [ (st, RNode { id; _ }) ] -> (st, id)
+     | [ (_, (REmb _ | RRoot _)) ] ->
+       fail "path operand %s does not denote a value" (Ast.path_str p)
+     | [] -> fail "path operand %s matches no schema path" (Ast.path_str p)
+     | _ :: _ :: _ ->
+       fail "ambiguous // in path operand %s (multiple DTD chains)" (Ast.path_str p))
+
+(* Flat formulas inside an already-DNF conjunct. *)
+and compile_flat mapping st ~ctx (f : Ast.formula) : st list =
+  match f with
+  | Ast.F_path p -> List.map fst (compile_path mapping st ~ctx p)
+  | Ast.F_cmp (op, a, b) ->
+    let st, ta = compile_operand mapping st ~ctx a in
+    let st, tb = compile_operand mapping st ~ctx b in
+    [ add_lit st (T.Cmp (op, ta, tb)) ]
+  | Ast.F_pos _ -> fail "position() is only allowed inside qualifiers"
+  | Ast.F_not (Ast.F_path p) ->
+    (* Safe negation: the path must compile to atoms only (binding
+       equalities are inlined first, their variables staying local to the
+       negation), and introduce no new variable bindings used elsewhere. *)
+    let sub = compile_path mapping { st with lits = [] } ~ctx p in
+    (match sub with
+     | [ (st', _) ] ->
+       let new_lits, _ = inline_agg_lits (List.rev st'.lits) None in
+       let atoms = new_lits in
+       (match atoms with
+        | [ a ] -> [ add_lit { st' with lits = st.lits } (T.Not a) ]
+        | _ ->
+          fail
+            "negated path %s spans %d relations; only single-relation negation is safe"
+            (Ast.path_str p) (List.length atoms))
+     | _ -> fail "ambiguous negated path %s" (Ast.path_str p))
+  | Ast.F_not _ -> fail "negation is only supported on paths"
+  | Ast.F_and _ | Ast.F_or _ -> fail "formula not in DNF (internal error)"
+  | Ast.F_agg g -> [ compile_agg mapping st ~ctx g ]
+
+and compile_agg mapping st ~ctx (g : Ast.agg) : st =
+  (* Compile the aggregate path in a sub-state sharing the environment so
+     group variables unify with their outer occurrences, then inline the
+     equalities so that only atoms remain. *)
+  (* Pre-bind group variables (so they appear as shared Datalog vars). *)
+  let st =
+    List.fold_left
+      (fun st v ->
+        match lookup_var st v with
+        | Some _ -> st
+        | None -> { st with env = (v, { term = T.Var v; etype = None }) :: st.env })
+      st g.Ast.groups
+  in
+  let sub = compile_path mapping { st with lits = [] } ~ctx g.Ast.path in
+  match sub with
+  | [ (st', res) ] ->
+    let target_term =
+      match (g.Ast.target, res) with
+      | Some v, _ ->
+        (match lookup_var st' v with
+         | Some b -> Some b.term
+         | None -> fail "aggregate target %s is not bound by the path" v)
+      | None, RNode { id; _ } -> Some id
+      | None, (RText t | REmb t) -> Some t
+      | None, RRoot _ -> fail "aggregate path does not denote nodes"
+    in
+    let new_lits = List.rev st'.lits in
+    (* Inline equalities among the aggregate's literals. *)
+    let atoms, target_term =
+      inline_agg_lits new_lits target_term
+    in
+    let st = { st' with lits = st.lits } in
+    let st, bound = compile_operand mapping st ~ctx g.Ast.bound in
+    add_lit st
+      (T.Agg { T.op = g.Ast.op; target = target_term; atoms; acmp = g.Ast.acmp; bound })
+  | [] -> fail "aggregate path matches no schema path"
+  | _ -> fail "ambiguous // in aggregate path %s" (Ast.path_str g.Ast.path)
+
+(* Equalities inside an aggregate pattern are resolved by substitution;
+   anything else is unsupported there. *)
+and inline_agg_lits lits target =
+  let eqs, rest =
+    List.partition (function T.Cmp (T.Eq, _, _) -> true | _ -> false) lits
+  in
+  (* Substitute the internal variable away, keeping user-named ones. *)
+  let internal v =
+    String.length v > 0 && (v.[0] = '_' || String.contains v '_')
+  in
+  let subst_of =
+    List.fold_left
+      (fun s l ->
+        match l with
+        | T.Cmp (T.Eq, T.Var a, t) when internal a -> Xic_datalog.Subst.add a t s
+        | T.Cmp (T.Eq, t, T.Var a) when internal a -> Xic_datalog.Subst.add a t s
+        | T.Cmp (T.Eq, T.Var a, t) -> Xic_datalog.Subst.add a t s
+        | T.Cmp (T.Eq, t, T.Var a) -> Xic_datalog.Subst.add a t s
+        | _ -> fail "unsupported literal in aggregate: %s" (T.lit_str l))
+      Xic_datalog.Subst.empty eqs
+  in
+  let atoms =
+    List.map
+      (function
+        | T.Rel a -> Xic_datalog.Subst.apply_atom subst_of a
+        | l -> fail "unsupported literal in aggregate: %s" (T.lit_str l))
+      rest
+  in
+  (atoms, Option.map (Xic_datalog.Subst.apply_term subst_of) target)
+
+(* ------------------------------------------------------------------ *)
+(* Post-processing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Inline Var=term equalities.  When a user-named variable meets an
+   internal one (prefix I/_/…), prefer keeping the user name. *)
+let is_internal v =
+  String.length v > 0
+  && (v.[0] = '_'
+      || (String.contains v '_'
+          && (let i = String.rindex v '_' in
+              i + 1 < String.length v
+              && String.for_all
+                   (fun c -> c >= '0' && c <= '9')
+                   (String.sub v (i + 1) (String.length v - i - 1))
+              && v.[0] = 'I')))
+
+let inline_equalities (d : T.denial) : T.denial =
+  let rec loop body =
+    let rec find acc = function
+      | [] -> None
+      | T.Cmp (T.Eq, T.Var a, T.Var b) :: rest when a = b ->
+        Some (List.rev_append acc rest, Xic_datalog.Subst.empty)
+      | T.Cmp (T.Eq, T.Var a, t) :: rest
+        when (match t with T.Var b -> is_internal a || not (is_internal b) | _ -> true) ->
+        (* substitute a := t, unless that would replace a user var by an
+           internal one (then flip). *)
+        let s =
+          match t with
+          | T.Var b when is_internal b && not (is_internal a) ->
+            Xic_datalog.Subst.add b (T.Var a) Xic_datalog.Subst.empty
+          | _ -> Xic_datalog.Subst.add a t Xic_datalog.Subst.empty
+        in
+        Some (List.rev_append acc rest, s)
+      | T.Cmp (T.Eq, t, T.Var a) :: rest ->
+        let s =
+          match t with
+          | T.Var b when not (is_internal b) && is_internal a ->
+            Xic_datalog.Subst.add a (T.Var b) Xic_datalog.Subst.empty
+          | _ -> Xic_datalog.Subst.add a t Xic_datalog.Subst.empty
+        in
+        Some (List.rev_append acc rest, s)
+      | l :: rest -> find (l :: acc) rest
+    in
+    match find [] body with
+    | None -> body
+    | Some (body', s) -> loop (List.map (Xic_datalog.Subst.apply_lit s) body')
+  in
+  { d with T.body = loop d.T.body }
+
+(* Drop container atoms that only witness the existence of a child whose
+   sole possible container type they are (the paper drops the [pub] atom
+   in Example 3's second denial — wait, it keeps it; we keep a switch). *)
+let prune_redundant_parents mapping (d : T.denial) : T.denial =
+  let body = d.T.body in
+  let used_elsewhere skip v =
+    List.exists
+      (fun l -> l != skip && List.mem v (T.lit_vars l))
+      body
+  in
+  let keep l =
+    match l with
+    | T.Rel a ->
+      (match a.T.args with
+       | T.Var id :: rest ->
+         (* Candidate for pruning: every other argument is unused
+            elsewhere, and the id var occurs elsewhere only in parent
+            position of atoms whose unique container is this pred. *)
+         let others_unused =
+           List.for_all
+             (fun t ->
+               match t with
+               | T.Var v -> not (used_elsewhere l v)
+               | T.Const _ | T.Param _ -> false)
+             rest
+         in
+         if not others_unused then true
+         else begin
+           let uses_ok = ref true and used = ref false in
+           List.iter
+             (fun l' ->
+               if l' != l then
+                 match l' with
+                 | T.Rel a' ->
+                   List.iteri
+                     (fun i t ->
+                       if t = T.Var id then begin
+                         used := true;
+                         if i <> 2 then uses_ok := false
+                         else begin
+                           match M.containers_of mapping a'.T.pred with
+                           | [ c ] when c = a.T.pred -> ()
+                           | _ -> uses_ok := false
+                         end
+                       end)
+                     a'.T.args
+                 | _ ->
+                   if List.mem id (T.lit_vars l') then begin
+                     used := true;
+                     uses_ok := false
+                   end)
+             body;
+           not (!used && !uses_ok)
+         end
+       | _ -> true)
+    | _ -> true
+  in
+  { d with T.body = List.filter keep body }
+
+(* Group variables of aggregates and comparison variables must have
+   positive support (range restriction): add a domain atom when a
+   variable occurs only inside aggregates. *)
+let add_domain_atoms (d : T.denial) : T.denial =
+  let positive_vars =
+    List.concat_map
+      (function T.Rel a -> T.atom_vars a | _ -> [])
+      d.T.body
+  in
+  let needed = ref [] in
+  List.iter
+    (function
+      | T.Agg g ->
+        let local = T.agg_local_vars d.T.body (g : T.agg) in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun v ->
+                if
+                  (not (List.mem v local))
+                  && (not (List.mem v positive_vars))
+                  && not (List.mem_assoc v !needed)
+                then begin
+                  (* Domain atom: this aggregate atom with all variables
+                     other than [v] anonymized. *)
+                  let dom =
+                    { a with
+                      T.args =
+                        List.map
+                          (fun t -> if t = T.Var v then t else fresh_anon ())
+                          a.T.args;
+                    }
+                  in
+                  needed := (v, T.Rel dom) :: !needed
+                end)
+              (T.atom_vars a))
+          g.T.atoms
+      | _ -> ())
+    d.T.body;
+  if !needed = [] then d
+  else { d with T.body = List.map snd (List.rev !needed) @ d.T.body }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile_conjunct mapping label (conj : Ast.formula list) : T.denial list =
+  (* Compile paths first (they create bindings), then everything else. *)
+  let paths, rest =
+    List.partition (function Ast.F_path _ -> true | _ -> false) conj
+  in
+  let sts =
+    List.fold_left
+      (fun sts f -> List.concat_map (fun st -> compile_flat mapping st ~ctx:None f) sts)
+      [ empty_st ]
+      (paths @ rest)
+  in
+  List.map
+    (fun st ->
+      T.denial ?label (List.rev st.lits)
+      |> inline_equalities
+      |> prune_redundant_parents mapping
+      |> add_domain_atoms)
+    sts
+
+let compile_denial mapping (d : Ast.denial) : T.denial list =
+  let conjunctions = Ast.dnf d.Ast.body in
+  try List.concat_map (compile_conjunct mapping d.Ast.label) conjunctions
+  with M.Mapping_error m -> fail "%s" m
+
+let compile mapping ds = List.concat_map (compile_denial mapping) ds
+
+let parse_and_compile mapping ?label src =
+  compile_denial mapping (Parser.parse_denial ?label src)

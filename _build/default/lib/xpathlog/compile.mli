@@ -1,0 +1,31 @@
+(** Compilation of XPathLog denials into Datalog denials over the
+    relational schema of {!Xic_relmap.Mapping} (Section 4.2 of the paper).
+
+    Each traversed non-embedded element type contributes an atom
+    [type(Id, Pos, IdParent, …)]; parent–child traversal links the [Id] of
+    the container to the [IdParent] of the contained atom; [text()] steps
+    on embedded children read the corresponding column; disjunctions have
+    already been expanded away by {!Ast.dnf}, so one XPathLog denial
+    yields one Datalog denial per disjunct (times one per DTD chain when a
+    mid-path [//] step is ambiguous).
+
+    After compilation, variable-to-variable and variable-to-constant
+    equalities introduced by repeated bindings are inlined, and redundant
+    container atoms (those used only as existence witnesses for a child
+    whose only possible container they are) are pruned — reproducing the
+    compact form of the paper's Example 3. *)
+
+exception Compile_error of string
+
+val compile_denial :
+  Xic_relmap.Mapping.t -> Ast.denial -> Xic_datalog.Term.denial list
+(** @raise Compile_error on paths that do not type-check against the DTDs,
+    unsafe negation, or unsupported constructs (documented in the
+    error message). *)
+
+val compile :
+  Xic_relmap.Mapping.t -> Ast.denial list -> Xic_datalog.Term.denial list
+
+val parse_and_compile :
+  Xic_relmap.Mapping.t -> ?label:string -> string -> Xic_datalog.Term.denial list
+(** Convenience: {!Parser.parse_denial} followed by {!compile_denial}. *)

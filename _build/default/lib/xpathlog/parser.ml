@@ -1,0 +1,272 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+module XpTok = Xic_xpath.Parser
+module C = XpTok.Cursor
+module T = Xic_datalog.Term
+
+let guard f = try f () with XpTok.Parse_error m -> raise (Parse_error m)
+
+let is_capitalized s = String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z'
+
+let agg_ops =
+  [ ("cnt", T.Cnt); ("cntd", T.CntD); ("sum", T.Sum); ("sumd", T.SumD);
+    ("max", T.Max); ("min", T.Min) ]
+
+let cmp_of_token = function
+  | XpTok.EQ -> Some T.Eq
+  | XpTok.NEQ -> Some T.Neq
+  | XpTok.LT -> Some T.Lt
+  | XpTok.LE -> Some T.Le
+  | XpTok.GT -> Some T.Gt
+  | XpTok.GE -> Some T.Ge
+  | _ -> None
+
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* step := (name | text() | @name) qualifier* ('->' Var)? qualifier* *)
+let rec parse_step c ~desc =
+  let test =
+    match C.next c with
+    | XpTok.DOTDOT -> Parent_nav
+    | XpTok.NAME "text" when C.peek c = XpTok.LPAREN ->
+      guard (fun () -> C.eat c XpTok.LPAREN);
+      guard (fun () -> C.eat c XpTok.RPAREN);
+      Text_fun
+    | XpTok.NAME n when not (is_capitalized n) -> Elem n
+    | XpTok.AT ->
+      (match C.next c with
+       | XpTok.NAME n -> Attr n
+       | t -> fail "expected attribute name, got %s" (XpTok.token_str t))
+    | t -> fail "expected a step, got %s" (XpTok.token_str t)
+  in
+  let rec quals acc =
+    if C.peek c = XpTok.LBRACK then begin
+      guard (fun () -> C.eat c XpTok.LBRACK);
+      let f = parse_formula_at c in
+      guard (fun () -> C.eat c XpTok.RBRACK);
+      quals (f :: acc)
+    end
+    else List.rev acc
+  in
+  let qualifiers = quals [] in
+  let binding =
+    if C.peek c = XpTok.ARROW then begin
+      guard (fun () -> C.eat c XpTok.ARROW);
+      match C.next c with
+      | XpTok.NAME v when is_capitalized v -> Some v
+      | t -> fail "expected a variable after ->, got %s" (XpTok.token_str t)
+    end
+    else None
+  in
+  let qualifiers = qualifiers @ quals [] in
+  { desc; test; qualifiers; binding }
+
+and parse_steps c first_desc =
+  let rec go acc desc =
+    let s = parse_step c ~desc in
+    match C.peek c with
+    | XpTok.SLASH ->
+      ignore (C.next c);
+      go (s :: acc) false
+    | XpTok.DSLASH ->
+      ignore (C.next c);
+      go (s :: acc) true
+    | _ -> List.rev (s :: acc)
+  in
+  go [] first_desc
+
+and parse_path_at c =
+  match C.peek c with
+  | XpTok.SLASH ->
+    ignore (C.next c);
+    { start = From_root; steps = parse_steps c false }
+  | XpTok.DSLASH ->
+    ignore (C.next c);
+    { start = From_any; steps = parse_steps c true }
+  | XpTok.NAME v when is_capitalized v && (C.peek2 c = XpTok.SLASH || C.peek2 c = XpTok.DSLASH) ->
+    ignore (C.next c);
+    let desc = C.next c = XpTok.DSLASH in
+    { start = From_var v; steps = parse_steps c desc }
+  | XpTok.NAME _ | XpTok.AT | XpTok.DOTDOT ->
+    { start = From_ctx; steps = parse_steps c false }
+  | t -> fail "expected a path, got %s" (XpTok.token_str t)
+
+(* ------------------------------------------------------------------ *)
+(* Operands and formulas                                               *)
+(* ------------------------------------------------------------------ *)
+
+and parse_operand c =
+  match C.peek c with
+  | XpTok.NAME v when is_capitalized v ->
+    if C.peek2 c = XpTok.SLASH || C.peek2 c = XpTok.DSLASH then O_path (parse_path_at c)
+    else begin
+      ignore (C.next c);
+      O_var v
+    end
+  | XpTok.STR s ->
+    ignore (C.next c);
+    O_const (T.Str s)
+  | XpTok.NUM f ->
+    ignore (C.next c);
+    O_const (T.Int (int_of_float f))
+  | XpTok.PARAM p ->
+    ignore (C.next c);
+    O_param p
+  | XpTok.SLASH | XpTok.DSLASH | XpTok.NAME _ | XpTok.AT | XpTok.DOTDOT ->
+    O_path (parse_path_at c)
+  | t -> fail "expected an operand, got %s" (XpTok.token_str t)
+
+and parse_agg c op =
+  ignore (C.next c);  (* the aggregate name *)
+  guard (fun () -> C.eat c XpTok.LBRACE);
+  let target =
+    match C.peek c with
+    | XpTok.NAME v when is_capitalized v && C.peek2 c <> XpTok.SLASH && C.peek2 c <> XpTok.DSLASH ->
+      ignore (C.next c);
+      Some v
+    | _ -> None
+  in
+  let groups =
+    if C.peek c = XpTok.LBRACK then begin
+      guard (fun () -> C.eat c XpTok.LBRACK);
+      let rec vars acc =
+        match C.next c with
+        | XpTok.NAME v when is_capitalized v ->
+          (match C.peek c with
+           | XpTok.COMMA ->
+             ignore (C.next c);
+             vars (v :: acc)
+           | _ -> List.rev (v :: acc))
+        | t -> fail "expected a group variable, got %s" (XpTok.token_str t)
+      in
+      let gs = vars [] in
+      guard (fun () -> C.eat c XpTok.RBRACK);
+      gs
+    end
+    else []
+  in
+  guard (fun () -> C.eat c XpTok.SEMI);
+  let path = parse_path_at c in
+  guard (fun () -> C.eat c XpTok.RBRACE);
+  let acmp =
+    match cmp_of_token (C.next c) with
+    | Some op -> op
+    | None -> fail "expected a comparison after the aggregate"
+  in
+  let bound = parse_operand c in
+  F_agg { op; target; groups; path; acmp; bound }
+
+and parse_unary c =
+  match C.peek c with
+  | XpTok.NAME "not" when C.peek2 c = XpTok.LPAREN ->
+    ignore (C.next c);
+    guard (fun () -> C.eat c XpTok.LPAREN);
+    let f = parse_formula_at c in
+    guard (fun () -> C.eat c XpTok.RPAREN);
+    F_not f
+  | XpTok.LPAREN ->
+    ignore (C.next c);
+    let f = parse_formula_at c in
+    guard (fun () -> C.eat c XpTok.RPAREN);
+    f
+  | XpTok.NAME "position" when C.peek2 c = XpTok.LPAREN ->
+    ignore (C.next c);
+    guard (fun () -> C.eat c XpTok.LPAREN);
+    guard (fun () -> C.eat c XpTok.RPAREN);
+    (match cmp_of_token (C.next c) with
+     | Some op -> F_pos (op, parse_operand c)
+     | None -> fail "expected a comparison after position()")
+  | XpTok.NAME n when List.mem_assoc n agg_ops && C.peek2 c = XpTok.LBRACE ->
+    parse_agg c (List.assoc n agg_ops)
+  | XpTok.NUM f when cmp_of_token (C.peek2 c) = None ->
+    (* bare integer qualifier [n] *)
+    ignore (C.next c);
+    F_pos (T.Eq, O_const (T.Int (int_of_float f)))
+  | _ ->
+    let lhs = parse_operand c in
+    (match cmp_of_token (C.peek c) with
+     | Some op ->
+       ignore (C.next c);
+       F_cmp (op, lhs, parse_operand c)
+     | None ->
+       (match lhs with
+        | O_path p -> F_path p
+        | O_var v -> fail "a bare variable %s is not a formula" v
+        | _ -> fail "expected a comparison or a path"))
+
+and parse_conj c =
+  let lhs = parse_unary c in
+  match C.peek c with
+  | XpTok.NAME "and" ->
+    ignore (C.next c);
+    F_and (lhs, parse_conj c)
+  | _ -> lhs
+
+and parse_formula_at c =
+  let lhs = parse_conj c in
+  match C.peek c with
+  | XpTok.NAME "or" ->
+    ignore (C.next c);
+    F_or (lhs, parse_formula_at c)
+  | _ -> lhs
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let strip_arrow src =
+  let src = String.trim src in
+  if String.length src >= 2 && (String.sub src 0 2 = "<-" || String.sub src 0 2 = ":-")
+  then String.sub src 2 (String.length src - 2)
+  else src
+
+let cursor_of src = guard (fun () -> C.of_string src)
+
+let parse_denial ?label src =
+  let c = cursor_of (strip_arrow src) in
+  let body = parse_formula_at c in
+  if not (C.at_eof c) then fail "trailing tokens after the denial";
+  { label; body }
+
+let parse_formula src =
+  let c = cursor_of src in
+  let f = parse_formula_at c in
+  if not (C.at_eof c) then fail "trailing tokens after the formula";
+  f
+
+let parse_path src =
+  let c = cursor_of src in
+  let p = parse_path_at c in
+  if not (C.at_eof c) then fail "trailing tokens after the path";
+  p
+
+let parse_denials src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else if String.length line >= 2 && String.sub line 0 2 = "--" then None
+         else begin
+           (* optional 'name:' label prefix *)
+           let label, rest =
+             match String.index_opt line ':' with
+             | Some i
+               when i + 1 < String.length line
+                    && line.[i + 1] <> '-'
+                    && String.for_all
+                         (fun c ->
+                           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                           || (c >= '0' && c <= '9') || c = '_')
+                         (String.sub line 0 i) ->
+               ( Some (String.sub line 0 i),
+                 String.sub line (i + 1) (String.length line - i - 1) )
+             | _ -> (None, line)
+           in
+           Some (parse_denial ?label rest)
+         end)

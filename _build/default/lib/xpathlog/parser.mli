@@ -1,0 +1,27 @@
+(** Parser for XPathLog denials in ASCII syntax.
+
+    {v
+    <- //rev[name/text() -> R]/sub/auts/name/text() -> A
+       and (A = R or //pub[aut/name/text() -> A and aut/name/text() -> R])
+
+    <- cntd{[R]; //track[rev/name/text() -> R]} > 3
+       and cntd{[R]; //rev[name/text() -> R]/sub} > 10
+    v}
+
+    Conventions: capitalized identifiers are variables, lowercase names
+    are element names, [@name] selects an attribute, [text()] the text
+    content, [-> V] binds the selected node/value, [%name] is a parameter,
+    [[…]] encloses qualifiers (with context-relative paths), and the
+    aggregate syntax is [op{Target [G1, …]; path} cmp bound] with [op] one
+    of [cnt], [cntd], [sum], [sumd], [max], [min].  A leading [<-] or
+    [:-] introduces the denial. *)
+
+exception Parse_error of string
+
+val parse_denial : ?label:string -> string -> Ast.denial
+val parse_formula : string -> Ast.formula
+val parse_path : string -> Ast.path
+
+val parse_denials : string -> Ast.denial list
+(** One denial per non-blank line; [--] comments skipped.  A line of the
+    form [name: <- …] labels the denial. *)

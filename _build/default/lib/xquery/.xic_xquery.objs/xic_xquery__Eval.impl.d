@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Doc Float List Printf String Xic_xml Xic_xpath

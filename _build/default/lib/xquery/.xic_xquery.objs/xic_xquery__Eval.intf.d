@@ -1,0 +1,1 @@
+lib/xquery/eval.mli: Ast Doc Xic_xml Xic_xpath

@@ -1,0 +1,155 @@
+open Xic_xml
+module XE = Xic_xpath.Eval
+
+type value = XE.value
+
+exception Eval_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+(* Split a sequence value into the items bound one by one by [for] and
+   quantifier variables. *)
+let items (v : value) : value list =
+  match v with
+  | XE.Nodes ns -> List.map (fun n -> XE.Nodes [ n ]) ns
+  | XE.Strs ss -> List.map (fun s -> XE.Str s) ss
+  | XE.Bool _ | XE.Num _ | XE.Str _ -> [ v ]
+
+let rec seq_append (a : value) (b : value) : value =
+  match (a, b) with
+  | XE.Nodes [], v | v, XE.Nodes [] -> v
+  | XE.Strs [], v | v, XE.Strs [] -> v
+  | XE.Nodes xs, XE.Nodes ys -> XE.Nodes (xs @ ys)
+  | XE.Strs xs, XE.Strs ys -> XE.Strs (xs @ ys)
+  | a, b ->
+    (* Heterogeneous sequences degrade to their string items; only
+       emptiness and comparison are observable in the generated queries. *)
+    XE.Strs (string_items a @ string_items b)
+
+and string_items = function
+  | XE.Nodes ns -> List.map string_of_int ns
+  | XE.Strs ss -> ss
+  | XE.Bool b -> [ string_of_bool b ]
+  | XE.Num f -> [ string_of_float f ]
+  | XE.Str s -> [ s ]
+
+let empty_seq : value = XE.Strs []
+
+let rec eval_expr doc env (e : Ast.expr) : value =
+  match e with
+  | Ast.Xp x ->
+    (try XE.eval doc ~env ~ctx:(Doc.root doc) x
+     with XE.Eval_error m -> raise (Eval_error m))
+  | Ast.Param p ->
+    (match List.assoc_opt ("%" ^ p) env with
+     | Some v -> v
+     | None -> fail "unbound parameter %%%s" p)
+  | Ast.Seq es ->
+    List.fold_left (fun acc e -> seq_append acc (eval_expr doc env e)) empty_seq es
+  | Ast.Binop (Xic_xpath.Ast.And, a, b) ->
+    XE.Bool (bool_of doc env a && bool_of doc env b)
+  | Ast.Binop (Xic_xpath.Ast.Or, a, b) ->
+    XE.Bool (bool_of doc env a || bool_of doc env b)
+  | Ast.Binop (((Xic_xpath.Ast.Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    XE.Bool (XE.compare_values doc op (eval_expr doc env a) (eval_expr doc env b))
+  | Ast.Binop (op, a, b) ->
+    (* Arithmetic and union delegate to the XPath evaluator's rules by
+       re-wrapping pre-evaluated operands. *)
+    let va = eval_expr doc env a and vb = eval_expr doc env b in
+    let lift v name =
+      let key = "%%tmp_" ^ name in
+      (key, v)
+    in
+    let ka, va' = lift va "a" and kb, vb' = lift vb "b" in
+    let env' = (ka, va') :: (kb, vb') :: env in
+    (try
+       XE.eval doc ~env:env' ~ctx:(Doc.root doc)
+         (Xic_xpath.Ast.Binop (op, Xic_xpath.Ast.Var ka, Xic_xpath.Ast.Var kb))
+     with XE.Eval_error m -> raise (Eval_error m))
+  | Ast.If (c, t, f) ->
+    if bool_of doc env c then eval_expr doc env t else eval_expr doc env f
+  | Ast.Elem (tag, body) ->
+    let parts =
+      List.map (fun e -> XE.string_value doc (eval_expr doc env e)) body
+    in
+    let inner = String.concat "" parts in
+    XE.Str
+      (if inner = "" then "<" ^ tag ^ "/>" else "<" ^ tag ^ ">" ^ inner ^ "</" ^ tag ^ ">")
+  | Ast.Quant (q, binds, cond) ->
+    let rec go env = function
+      | [] -> bool_of doc env cond
+      | (v, e) :: rest ->
+        let candidates = items (eval_expr doc env e) in
+        let test item = go ((v, item) :: env) rest in
+        (match q with
+         | Ast.Some_ -> List.exists test candidates
+         | Ast.Every -> List.for_all test candidates)
+    in
+    XE.Bool (go env binds)
+  | Ast.Flwor (clauses, where, ret) ->
+    let rec go env acc = function
+      | [] ->
+        let keep =
+          match where with None -> true | Some w -> bool_of doc env w
+        in
+        if keep then seq_append acc (eval_expr doc env ret) else acc
+      | Ast.For (v, e) :: rest ->
+        List.fold_left
+          (fun acc item -> go ((v, item) :: env) acc rest)
+          acc
+          (items (eval_expr doc env e))
+      | Ast.Let (v, e) :: rest ->
+        go ((v, eval_expr doc env e) :: env) acc rest
+    in
+    go env empty_seq clauses
+  | Ast.Call (f, args) -> eval_call doc env f args
+
+and eval_call doc env f args =
+  let vals = List.map (eval_expr doc env) args in
+  match (f, vals) with
+  | "exists", [ v ] ->
+    XE.Bool (match v with XE.Nodes ns -> ns <> [] | XE.Strs ss -> ss <> [] | v -> XE.boolean v)
+  | "empty", [ v ] ->
+    XE.Bool (match v with XE.Nodes ns -> ns = [] | XE.Strs ss -> ss = [] | v -> not (XE.boolean v))
+  | "not", [ v ] -> XE.Bool (not (XE.boolean v))
+  | "same-node", [ a; b ] ->
+    (* node identity, existential over sequences (XQuery's [is] on the
+       singletons the translation produces) *)
+    (match (a, b) with
+     | XE.Nodes xs, XE.Nodes ys ->
+       XE.Bool (List.exists (fun x -> List.mem x ys) xs)
+     | _ -> fail "same-node: expected node sequences")
+  | "count", [ XE.Nodes ns ] -> XE.Num (float_of_int (List.length ns))
+  | "count", [ XE.Strs ss ] -> XE.Num (float_of_int (List.length ss))
+  | "count", [ _ ] -> XE.Num 1.0
+  | "count-distinct", [ v ] ->
+    (* Distinct count by string value: the translation of the paper's
+       [Cnt_D] aggregate. *)
+    let ss = XE.item_strings doc v in
+    XE.Num (float_of_int (List.length (List.sort_uniq compare ss)))
+  | "sum", [ v ] ->
+    let ss = XE.item_strings doc v in
+    XE.Num
+      (List.fold_left
+         (fun a s -> a +. (match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan))
+         0.0 ss)
+  | "boolean", [ v ] -> XE.Bool (XE.boolean v)
+  | "string", [ v ] -> XE.Str (XE.string_value doc v)
+  | "number", [ v ] -> XE.Num (XE.number v)
+  | _ ->
+    (* Fall back to the XPath function library via pre-evaluated operand
+       variables. *)
+    let keys = List.mapi (fun i v -> ("%%arg" ^ string_of_int i, v)) vals in
+    let env' = keys @ env in
+    (try
+       XE.eval doc ~env:env' ~ctx:(Doc.root doc)
+         (Xic_xpath.Ast.Call (f, List.map (fun (k, _) -> Xic_xpath.Ast.Var k) keys))
+     with XE.Eval_error m -> raise (Eval_error m))
+
+and bool_of doc env e = XE.boolean (eval_expr doc env e)
+
+let eval doc ?(env = []) ?(params = []) e =
+  let env = List.map (fun (p, v) -> ("%" ^ p, v)) params @ env in
+  eval_expr doc env e
+
+let eval_bool doc ?env ?params e = XE.boolean (eval doc ?env ?params e)

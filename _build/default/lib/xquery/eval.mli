@@ -1,0 +1,33 @@
+(** Evaluation of the XQuery subset against a {!Xic_xml.Doc.t}.
+
+    Values are shared with the XPath evaluator ({!Xic_xpath.Eval.value}).
+    Element constructors evaluate to their serialized string form (the
+    generated queries only ever test the emptiness of constructed
+    sequences, e.g. [exists(for … return <idle/>)]). *)
+
+open Xic_xml
+
+type value = Xic_xpath.Eval.value
+
+exception Eval_error of string
+
+val eval :
+  Doc.t ->
+  ?env:Xic_xpath.Eval.env ->
+  ?params:(string * value) list ->
+  Ast.expr ->
+  value
+(** Evaluate an expression.  [params] binds the [%name] holes of generated
+    queries (typically to [Nodes [n]] for node-valued parameters or
+    [Str s] for data parameters).
+    @raise Eval_error on unbound variables/parameters. *)
+
+val eval_bool :
+  Doc.t ->
+  ?env:Xic_xpath.Eval.env ->
+  ?params:(string * value) list ->
+  Ast.expr ->
+  bool
+(** Evaluate and coerce to a boolean (XPath [boolean()] rules).  This is
+    the entry point used by integrity checking: [true] means the constraint
+    is {e violated}. *)

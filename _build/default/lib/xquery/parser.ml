@@ -1,0 +1,247 @@
+exception Parse_error of string
+
+module Xp = Xic_xpath.Parser
+module C = Xp.Cursor
+
+let keywords = [ "some"; "every"; "for"; "let"; "if" ]
+
+let is_keyword = function
+  | Xp.NAME n -> List.mem n keywords
+  | Xp.LT -> true (* element constructor *)
+  | _ -> false
+
+(* Wrap the shared cursor failure into our own exception type. *)
+let guard f c =
+  try f c with Xp.Parse_error m -> raise (Parse_error m)
+
+open Ast
+
+let rec parse_expr c = parse_or c
+
+and parse_or c =
+  let lhs = parse_and c in
+  match C.peek c with
+  | Xp.NAME "or" ->
+    ignore (C.next c);
+    Binop (Xic_xpath.Ast.Or, lhs, parse_or c)
+  | _ -> lhs
+
+and parse_and c =
+  let lhs = parse_cmp c in
+  match C.peek c with
+  | Xp.NAME "and" ->
+    ignore (C.next c);
+    Binop (Xic_xpath.Ast.And, lhs, parse_and c)
+  | _ -> lhs
+
+and parse_cmp c =
+  let lhs = parse_add c in
+  let op =
+    match C.peek c with
+    | Xp.EQ -> Some Xic_xpath.Ast.Eq
+    | Xp.NEQ -> Some Xic_xpath.Ast.Neq
+    | Xp.LT -> Some Xic_xpath.Ast.Lt
+    | Xp.LE -> Some Xic_xpath.Ast.Le
+    | Xp.GT -> Some Xic_xpath.Ast.Gt
+    | Xp.GE -> Some Xic_xpath.Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    ignore (C.next c);
+    Binop (op, lhs, parse_add c)
+
+and parse_add c =
+  let rec loop lhs =
+    match C.peek c with
+    | Xp.PLUS ->
+      ignore (C.next c);
+      loop (Binop (Xic_xpath.Ast.Add, lhs, parse_mul c))
+    | Xp.MINUS ->
+      ignore (C.next c);
+      loop (Binop (Xic_xpath.Ast.Sub, lhs, parse_mul c))
+    | _ -> lhs
+  in
+  loop (parse_mul c)
+
+and parse_mul c =
+  let rec loop lhs =
+    match C.peek c with
+    | Xp.STAR ->
+      ignore (C.next c);
+      loop (Binop (Xic_xpath.Ast.Mul, lhs, parse_operand c))
+    | Xp.NAME "div" ->
+      ignore (C.next c);
+      loop (Binop (Xic_xpath.Ast.Div, lhs, parse_operand c))
+    | Xp.NAME "mod" ->
+      ignore (C.next c);
+      loop (Binop (Xic_xpath.Ast.Mod, lhs, parse_operand c))
+    | _ -> lhs
+  in
+  loop (parse_operand c)
+
+and parse_operand c =
+  match C.peek c with
+  | Xp.NAME "some" -> parse_quant c Some_
+  | Xp.NAME "every" -> parse_quant c Every
+  | Xp.NAME "for" | Xp.NAME "let" -> parse_flwor c
+  | Xp.NAME "if" when C.peek2 c = Xp.LPAREN -> parse_if c
+  | Xp.LT -> parse_elem c
+  | Xp.NAME f
+    when C.peek2 c = Xp.LPAREN && is_keyword (C.peekn c 2) ->
+    (* Function call with XQuery-level arguments, e.g. exists(for …). *)
+    ignore (C.next c);
+    guard (fun c -> C.eat c Xp.LPAREN) c;
+    let rec args acc =
+      if C.peek c = Xp.RPAREN then List.rev acc
+      else begin
+        let a = parse_expr c in
+        if C.peek c = Xp.COMMA then begin
+          ignore (C.next c);
+          args (a :: acc)
+        end
+        else List.rev (a :: acc)
+      end
+    in
+    let args = args [] in
+    guard (fun c -> C.eat c Xp.RPAREN) c;
+    Call (f, args)
+  | Xp.LPAREN ->
+    (* Parenthesized XQuery expression or sequence; sequences cannot be
+       delegated to the XPath parser. *)
+    ignore (C.next c);
+    let e = parse_expr c in
+    let e =
+      if C.peek c = Xp.COMMA then begin
+        let rec more acc =
+          if C.peek c = Xp.COMMA then begin
+            ignore (C.next c);
+            more (parse_expr c :: acc)
+          end
+          else List.rev acc
+        in
+        Seq (e :: more [])
+      end
+      else e
+    in
+    guard (fun c -> C.eat c Xp.RPAREN) c;
+    e
+  | _ -> Xp (guard Xp.parse_path_expr_at c)
+
+and parse_quant c q =
+  ignore (C.next c);
+  let rec binds acc =
+    match C.next c with
+    | Xp.VAR v ->
+      guard (fun c -> C.eat_name c "in") c;
+      let e = parse_expr c in
+      if C.peek c = Xp.COMMA then begin
+        ignore (C.next c);
+        binds ((v, e) :: acc)
+      end
+      else List.rev ((v, e) :: acc)
+    | t -> raise (Parse_error ("expected $var in quantifier, got " ^ Xp.token_str t))
+  in
+  let binds = binds [] in
+  guard (fun c -> C.eat_name c "satisfies") c;
+  Quant (q, binds, parse_expr c)
+
+and parse_flwor c =
+  let rec clauses acc =
+    match C.peek c with
+    | Xp.NAME "for" ->
+      ignore (C.next c);
+      let rec vars acc =
+        match C.next c with
+        | Xp.VAR v ->
+          guard (fun c -> C.eat_name c "in") c;
+          let e = parse_expr c in
+          if C.peek c = Xp.COMMA then begin
+            ignore (C.next c);
+            vars (For (v, e) :: acc)
+          end
+          else For (v, e) :: acc
+        | t -> raise (Parse_error ("expected $var in for, got " ^ Xp.token_str t))
+      in
+      clauses (vars acc)
+    | Xp.NAME "let" ->
+      ignore (C.next c);
+      let rec vars acc =
+        match C.next c with
+        | Xp.VAR v ->
+          guard (fun c -> C.eat c Xp.ASSIGN) c;
+          let e = parse_expr c in
+          if C.peek c = Xp.COMMA then begin
+            ignore (C.next c);
+            vars (Let (v, e) :: acc)
+          end
+          else Let (v, e) :: acc
+        | t -> raise (Parse_error ("expected $var in let, got " ^ Xp.token_str t))
+      in
+      clauses (vars acc)
+    | _ -> List.rev acc
+  in
+  let clauses = clauses [] in
+  if clauses = [] then raise (Parse_error "expected for/let clause");
+  let where =
+    if C.peek c = Xp.NAME "where" then begin
+      ignore (C.next c);
+      Some (parse_expr c)
+    end
+    else None
+  in
+  guard (fun c -> C.eat_name c "return") c;
+  Flwor (clauses, where, parse_expr c)
+
+and parse_if c =
+  ignore (C.next c);
+  guard (fun c -> C.eat c Xp.LPAREN) c;
+  let cond = parse_expr c in
+  guard (fun c -> C.eat c Xp.RPAREN) c;
+  guard (fun c -> C.eat_name c "then") c;
+  let t = parse_expr c in
+  guard (fun c -> C.eat_name c "else") c;
+  let f = parse_expr c in
+  If (cond, t, f)
+
+and parse_elem c =
+  guard (fun c -> C.eat c Xp.LT) c;
+  let tag =
+    match C.next c with
+    | Xp.NAME n -> n
+    | t -> raise (Parse_error ("expected element name, got " ^ Xp.token_str t))
+  in
+  match C.next c with
+  | Xp.SLASH ->
+    guard (fun c -> C.eat c Xp.GT) c;
+    Elem (tag, [])
+  | Xp.GT ->
+    let rec body acc =
+      match C.peek c with
+      | Xp.LBRACE ->
+        ignore (C.next c);
+        let e = parse_expr c in
+        guard (fun c -> C.eat c Xp.RBRACE) c;
+        body (e :: acc)
+      | _ -> List.rev acc
+    in
+    let body = body [] in
+    guard (fun c -> C.eat c Xp.LT) c;
+    guard (fun c -> C.eat c Xp.SLASH) c;
+    let close =
+      match C.next c with
+      | Xp.NAME n -> n
+      | t -> raise (Parse_error ("expected closing tag name, got " ^ Xp.token_str t))
+    in
+    if close <> tag then raise (Parse_error ("mismatched constructor tags " ^ tag ^ "/" ^ close));
+    guard (fun c -> C.eat c Xp.GT) c;
+    Elem (tag, body)
+  | t -> raise (Parse_error ("malformed element constructor at " ^ Xp.token_str t))
+
+let parse src =
+  let c = try C.of_string src with Xp.Parse_error m -> raise (Parse_error m) in
+  let e = parse_expr c in
+  if not (C.at_eof c) then
+    raise (Parse_error "trailing tokens after XQuery expression");
+  e

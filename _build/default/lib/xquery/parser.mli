@@ -1,0 +1,12 @@
+(** Parser for the XQuery subset of {!Ast}.
+
+    Reuses the shared lexer of {!Xic_xpath.Parser}; pure path/arithmetic
+    fragments are delegated to the XPath parser, while the XQuery keywords
+    ([for], [let], [where], [return], [some], [every], [satisfies], [if])
+    and element constructors are handled here.  Keyword names take
+    precedence over element names at operand positions. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.expr
+(** @raise Parse_error on malformed input or trailing tokens. *)

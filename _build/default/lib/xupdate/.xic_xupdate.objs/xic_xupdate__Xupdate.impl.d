@@ -1,0 +1,1 @@
+lib/xupdate/xupdate.ml: Buffer Doc List Printf String Xic_xml Xic_xpath Xml_parser Xml_printer

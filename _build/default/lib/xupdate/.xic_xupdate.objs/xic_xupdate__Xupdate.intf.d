@@ -1,0 +1,1 @@
+lib/xupdate/xupdate.mli: Doc Xic_xml Xic_xpath

@@ -1,0 +1,241 @@
+open Xic_xml
+
+type content =
+  | Elem of string * (string * string) list * content list
+  | Text of string
+
+type op =
+  | Insert_after
+  | Insert_before
+  | Append
+  | Remove
+
+type modification = {
+  op : op;
+  select : Xic_xpath.Ast.expr;
+  content : content list;
+}
+
+type t = modification list
+
+exception Xupdate_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Xupdate_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let xupdate_ns = "xupdate:"
+
+let strip_prefix name =
+  let n = String.length xupdate_ns in
+  if String.length name > n && String.sub name 0 n = xupdate_ns then
+    Some (String.sub name n (String.length name - n))
+  else None
+
+let rec content_of_node doc id =
+  match Doc.kind doc id with
+  | Doc.Text s -> Text s
+  | Doc.Element tag ->
+    (match strip_prefix tag with
+     | Some "element" ->
+       let name =
+         match Doc.attr doc id "name" with
+         | Some n -> n
+         | None -> fail "xupdate:element without a name attribute"
+       in
+       Elem (name, [], List.map (content_of_node doc) (Doc.children doc id))
+     | Some "text" -> Text (Doc.text_content doc id)
+     | Some d -> fail "unsupported xupdate content directive %s" d
+     | None ->
+       Elem
+         ( tag,
+           Doc.attrs doc id,
+           List.map (content_of_node doc) (Doc.children doc id) ))
+
+let op_of_directive = function
+  | "insert-after" -> Some Insert_after
+  | "insert-before" -> Some Insert_before
+  | "append" -> Some Append
+  | "remove" -> Some Remove
+  | _ -> None
+
+let parse_select doc id =
+  match Doc.attr doc id "select" with
+  | None -> fail "xupdate directive without a select attribute"
+  | Some s ->
+    (try Xic_xpath.Parser.parse s
+     with Xic_xpath.Parser.Parse_error m -> fail "bad select %S: %s" s m)
+
+let parse_string src =
+  let { Xml_parser.doc; _ } =
+    try Xml_parser.parse_string src
+    with Xml_parser.Parse_error { line; col; msg } ->
+      fail "XML error at %d:%d: %s" line col msg
+  in
+  let root = Doc.root doc in
+  (match Doc.kind doc root with
+   | Doc.Element tag when strip_prefix tag = Some "modifications" -> ()
+   | _ -> fail "expected an <xupdate:modifications> root element");
+  List.filter_map
+    (fun id ->
+      if not (Doc.is_element doc id) then None
+      else begin
+        let tag = Doc.name doc id in
+        match strip_prefix tag with
+        | None -> fail "unexpected element <%s> among modifications" tag
+        | Some d ->
+          (match op_of_directive d with
+           | None -> fail "unsupported xupdate operation %s" d
+           | Some op ->
+             let select = parse_select doc id in
+             let content = List.map (content_of_node doc) (Doc.children doc id) in
+             if op = Remove && content <> [] then
+               fail "xupdate:remove does not take content";
+             if op <> Remove && content = [] then
+               fail "xupdate:%s requires content" d;
+             Some { op; select; content })
+      end)
+    (Doc.children doc root)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec content_str buf = function
+  | Text s -> Buffer.add_string buf (Xml_printer.escape_text s)
+  | Elem (tag, attrs, kids) ->
+    Buffer.add_string buf ("<xupdate:element name=\"" ^ tag ^ "\">");
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "<xupdate:attribute name=%S>%s</xupdate:attribute>" k
+             (Xml_printer.escape_text v)))
+      attrs;
+    List.iter (content_str buf) kids;
+    Buffer.add_string buf "</xupdate:element>"
+
+let op_str = function
+  | Insert_after -> "insert-after"
+  | Insert_before -> "insert-before"
+  | Append -> "append"
+  | Remove -> "remove"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "<xupdate:modifications version=\"1.0\" \
+     xmlns:xupdate=\"http://www.xmldb.org/xupdate\">";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "<xupdate:%s select=\"%s\"" (op_str m.op)
+           (Xml_printer.escape_attr (Xic_xpath.Ast.to_string m.select)));
+      if m.content = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_string buf ">";
+        List.iter (content_str buf) m.content;
+        Buffer.add_string buf ("</xupdate:" ^ op_str m.op ^ ">")
+      end)
+    t;
+  Buffer.add_string buf "</xupdate:modifications>";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Application and rollback                                            *)
+(* ------------------------------------------------------------------ *)
+
+type undo_entry =
+  | Inserted of Doc.node_id
+  | Removed of {
+      node : Doc.node_id;
+      parent : Doc.node_id;
+      prev_sibling : Doc.node_id option;  (* None: was first child *)
+    }
+
+type undo = undo_entry list  (* reverse application order *)
+
+let rec materialize doc = function
+  | Text s -> Doc.make_text doc s
+  | Elem (tag, attrs, kids) ->
+    let id = Doc.make_element doc ~attrs tag in
+    List.iter
+      (fun k -> Doc.append_child doc ~parent:id (materialize doc k))
+      kids;
+    id
+
+let select_target doc expr =
+  match Xic_xpath.Eval.eval doc expr with
+  | Xic_xpath.Eval.Nodes (n :: _) -> n
+  | Xic_xpath.Eval.Nodes [] ->
+    fail "select %s matched no node" (Xic_xpath.Ast.to_string expr)
+  | _ -> fail "select %s did not produce a node-set" (Xic_xpath.Ast.to_string expr)
+  | exception Xic_xpath.Eval.Eval_error m -> fail "select evaluation failed: %s" m
+
+let apply_one doc m acc =
+  let target = select_target doc m.select in
+  match m.op with
+  | Remove ->
+    let parent = Doc.parent doc target in
+    if parent = Doc.no_node then fail "cannot remove a root element";
+    let prev_sibling =
+      match Doc.preceding_siblings doc target with
+      | [] -> None
+      | l -> Some (List.nth l (List.length l - 1))
+    in
+    Doc.detach doc target;
+    Removed { node = target; parent; prev_sibling } :: acc
+  | Append ->
+    List.fold_left
+      (fun acc c ->
+        let id = materialize doc c in
+        Doc.append_child doc ~parent:target id;
+        Inserted id :: acc)
+      acc m.content
+  | Insert_after | Insert_before ->
+    if Doc.parent doc target = Doc.no_node then
+      fail "cannot insert a sibling of a root element";
+    (* For insert-after, successive fragments keep their order by always
+       anchoring on the previously inserted node. *)
+    (match m.op with
+     | Insert_after ->
+       let _, acc =
+         List.fold_left
+           (fun (anchor, acc) c ->
+             let id = materialize doc c in
+             Doc.insert_after doc ~anchor id;
+             (id, Inserted id :: acc))
+           (target, acc) m.content
+       in
+       acc
+     | Insert_before ->
+       List.fold_left
+         (fun acc c ->
+           let id = materialize doc c in
+           Doc.insert_before doc ~anchor:target id;
+           Inserted id :: acc)
+         acc m.content
+     | _ -> assert false)
+
+let apply doc t = List.fold_left (fun acc m -> apply_one doc m acc) [] t
+
+let rollback doc undo =
+  List.iter
+    (function
+      | Inserted id -> Doc.delete_subtree doc id
+      | Removed { node; parent; prev_sibling } ->
+        (match prev_sibling with
+         | Some anchor -> Doc.insert_after doc ~anchor node
+         | None ->
+           (match Doc.children doc parent with
+            | [] -> Doc.append_child doc ~parent node
+            | first :: _ -> Doc.insert_before doc ~anchor:first node)))
+    undo
+
+let inserted_nodes undo =
+  List.rev (List.filter_map (function Inserted id -> Some id | Removed _ -> None) undo)
+
+let removed_nodes undo =
+  List.rev
+    (List.filter_map (function Removed { node; _ } -> Some node | Inserted _ -> None) undo)

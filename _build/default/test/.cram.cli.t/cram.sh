@@ -1,0 +1,62 @@
+  $ cat > pub.dtd <<'XEOF'
+  > <!ELEMENT dblp (pub)*>
+  > <!ELEMENT pub (title, aut+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT aut (name)>
+  > <!ELEMENT name (#PCDATA)>
+  > XEOF
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track)+>
+  > <!ELEMENT track (name, rev+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT rev (name, sub+)>
+  > <!ELEMENT sub (title, auts+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT auts (name)>
+  > XEOF
+  $ xicheck schema --dtd pub.dtd=dblp --dtd rev.dtd=review
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> A and (A = R or //pub[aut/name/text() -> A and aut/name/text() -> R])
+  > XEOF
+  $ xicheck compile --dtd pub.dtd=dblp --dtd rev.dtd=review --constraints constraints.xpl | grep -A3 datalog:
+  $ cat > pub.xml <<'XEOF'
+  > <dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub></dblp>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ xicheck validate --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml
+  $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  $ xicheck check --datalog --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck simplify --dtd pub.dtd=dblp --dtd rev.dtd=review --constraints constraints.xpl --pattern pattern.xml | head -8
+  $ cat > bad.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Late</title><auts><name>Nora</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck guard --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update bad.xml
+  $ cat > good.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Fresh</title><auts><name>Zoe</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck guard --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --output out
+  $ xicheck validate --dtd pub.dtd=dblp --dtd rev.dtd=review --doc out.0.xml --doc out.1.xml
+  $ cat > broken.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>Self</title><auts><name>Nora</name></auts></sub></rev></track></review>
+  > XEOF
+  $ xicheck check --explain --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc broken.xml --constraints constraints.xpl | head -4
+  $ xicheck publish --dtd pub.dtd=dblp --dtd rev.dtd=review --constraints constraints.xpl --pattern pattern.xml --output design.bundle
+  $ head -1 design.bundle
+  $ grep -c '^checks' design.bundle

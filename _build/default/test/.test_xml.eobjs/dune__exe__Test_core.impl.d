@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Buffer Bundle Constr Lazy List Pattern Printf Repository Schema String Templates Xic_core Xic_datalog Xic_relmap Xic_workload Xic_xml Xic_xpath Xic_xupdate

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Xic_datalog

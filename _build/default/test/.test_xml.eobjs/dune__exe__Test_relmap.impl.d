@@ -1,0 +1,1 @@
+test/test_relmap.ml: Alcotest Doc Dtd List String Xic_datalog Xic_relmap Xic_workload Xic_xml Xic_xpath Xml_parser

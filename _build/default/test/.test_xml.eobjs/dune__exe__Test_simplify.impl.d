@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest List Printf QCheck2 QCheck_alcotest String Xic_datalog Xic_simplify

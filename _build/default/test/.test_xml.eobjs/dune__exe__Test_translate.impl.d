@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Lazy List String Xic_datalog Xic_relmap Xic_translate Xic_workload Xic_xml Xic_xpath Xic_xquery

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Constr Hashtbl Lazy List Pattern Printf Repository Xic_core Xic_relmap Xic_workload Xic_xml Xic_xpath Xic_xquery Xic_xupdate

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Buffer Doc Dtd List Option Printf QCheck2 QCheck_alcotest String Xic_workload Xic_xml Xml_parser Xml_printer

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Doc List QCheck2 QCheck_alcotest String Xic_xml Xic_xpath Xml_parser

@@ -1,0 +1,1 @@
+test/test_xpathlog.ml: Alcotest Lazy List Printf Xic_datalog Xic_relmap Xic_workload Xic_xml Xic_xpathlog

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest List Xic_xml Xic_xpath Xic_xquery Xml_parser

@@ -1,0 +1,1 @@
+test/test_xupdate.ml: Alcotest Buffer Doc List Option Printf String Xic_workload Xic_xml Xic_xpath Xic_xupdate Xml_parser Xml_printer

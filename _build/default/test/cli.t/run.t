@@ -1,0 +1,124 @@
+CLI end-to-end walkthrough of the paper's running example.
+
+  $ cat > pub.dtd <<'XEOF'
+  > <!ELEMENT dblp (pub)*>
+  > <!ELEMENT pub (title, aut+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT aut (name)>
+  > <!ELEMENT name (#PCDATA)>
+  > XEOF
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track)+>
+  > <!ELEMENT track (name, rev+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT rev (name, sub+)>
+  > <!ELEMENT sub (title, auts+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT auts (name)>
+  > XEOF
+
+The derived relational mapping (Section 4.1):
+
+  $ xicheck schema --dtd pub.dtd=dblp --dtd rev.dtd=review
+  pub(Id, Pos, IdParent_dblp, Title)
+  aut(Id, Pos, IdParent_pub, Name)
+  track(Id, Pos, IdParent_review, Name)
+  rev(Id, Pos, IdParent_track, Name)
+  sub(Id, Pos, IdParent_rev, Title)
+  auts(Id, Pos, IdParent_sub, Name)
+
+Compiling the conflict-of-interest constraint (Examples 1 and 3):
+
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> A and (A = R or //pub[aut/name/text() -> A and aut/name/text() -> R])
+  > XEOF
+  $ xicheck compile --dtd pub.dtd=dblp --dtd rev.dtd=review --constraints constraints.xpl | grep -A3 datalog:
+  datalog:
+  conflict: :- rev(_IRev_2, _, _, R), sub(_ISub_5, _, _IRev_2, _), auts(_, _, _ISub_5, R)
+  conflict: :- rev(_IRev_12, _, _, R), sub(_ISub_15, _, _IRev_12, _), auts(_, _, _ISub_15, A), aut(_, _, _IPub_22, A), aut(_, _, _IPub_22, R)
+  xquery:
+
+Checking documents:
+
+  $ cat > pub.xml <<'XEOF'
+  > <dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub></dblp>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ xicheck validate --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml
+  pub.xml: valid
+  rev.xml: valid
+  $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+  $ xicheck check --datalog --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+
+Simplifying w.r.t. the submission-insertion pattern (Example 6):
+
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck simplify --dtd pub.dtd=dblp --dtd rev.dtd=review --constraints constraints.xpl --pattern pattern.xml | head -8
+  -- update pattern U = { sub(%i_sub, %p, %anchor, %t), auts(%i_auts, 2, %i_sub, %n) }
+  -- freshness hypotheses:
+  :- sub(%i_sub, _, _, _)
+  :- auts(_, _, %i_sub, _)
+  :- auts(%i_auts, _, _, _)
+  
+  -- conflict
+  conflict: :- rev(%anchor, _, _, %n)
+
+Guarded updates: a co-author submission is rejected before execution.
+
+  $ cat > bad.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Late</title><auts><name>Nora</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck guard --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update bad.xml
+  rejected before execution: violates conflict
+  [1]
+
+A fresh author is fine, and the result validates:
+
+  $ cat > good.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Fresh</title><auts><name>Zoe</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck guard --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --output out
+  applied (validated by the optimized pre-check)
+  wrote out.0.xml
+  wrote out.1.xml
+  $ xicheck validate --dtd pub.dtd=dblp --dtd rev.dtd=review --doc out.0.xml --doc out.1.xml
+  out.0.xml: valid
+  out.1.xml: valid
+
+Violation witnesses point at the offending nodes:
+
+  $ cat > broken.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>Self</title><auts><name>Nora</name></auts></sub></rev></track></review>
+  > XEOF
+  $ xicheck check --explain --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc broken.xml --constraints constraints.xpl | head -4
+  conflict is violated:
+    conflict: :- rev(_IRev_2, _, _, R), sub(_ISub_5, _, _IRev_2, _), auts(_, _, _ISub_5, R)
+    with R = "Nora"
+    at _IAuts_8 -> /review/track[1]/rev[1]/sub[1]/auts[1], _IRev_2 -> /review/track[1]/rev[1], _X_1 -> /review/track[1], _ISub_5 -> /review/track[1]/rev[1]/sub[1]
+
+Publishing a design bundle:
+
+  $ xicheck publish --dtd pub.dtd=dblp --dtd rev.dtd=review --constraints constraints.xpl --pattern pattern.xml --output design.bundle
+  wrote design.bundle
+  $ head -1 design.bundle
+  xic-bundle 1
+  $ grep -c '^checks' design.bundle
+  1

@@ -1,0 +1,758 @@
+open Xic_core
+module Conf = Xic_workload.Conference
+module XU = Xic_xupdate.Xupdate
+module T = Xic_datalog.Term
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let schema = lazy (Conf.schema ())
+
+let pub_doc =
+  {|<dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub><pub><title>Solo</title><aut><name>Ann</name></aut></pub></dblp>|}
+
+let rev_doc =
+  {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev><rev><name>Rita</name><sub><title>S2</title><auts><name>Bob</name></auts></sub></rev></track></review>|}
+
+let make_repo ?(constraints = true) () =
+  let s = Lazy.force schema in
+  let repo = Repository.create s in
+  Repository.load_document repo pub_doc;
+  Repository.load_document repo rev_doc;
+  if constraints then begin
+    Repository.add_constraint repo (Conf.conflict s);
+    Repository.add_constraint repo (Conf.workload s);
+    Repository.add_constraint repo (Conf.track_load s)
+  end;
+  repo
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_rendering () =
+  let s = Schema.to_string (Lazy.force schema) in
+  checkb "mentions rev relation" true
+    (let needle = "rev(Id, Pos, IdParent_track, Name)" in
+     let rec find i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || find (i + 1))
+     in
+     find 0)
+
+let test_schema_bad_dtd () =
+  match Schema.create [ ("<!ELEMENT", "r") ] with
+  | exception Schema.Schema_error _ -> ()
+  | _ -> Alcotest.fail "bad DTD must be rejected"
+
+let test_load_validates () =
+  let repo = Repository.create (Lazy.force schema) in
+  (match Repository.load_document repo "<review><bogus/></review>" with
+   | exception Repository.Repository_error _ -> ()
+   | () -> Alcotest.fail "invalid document must be rejected");
+  (* but loads fine with validation off *)
+  Repository.load_document ~validate:false repo "<review><bogus/></review>"
+
+let test_schema_from_doctype () =
+  let s =
+    Schema.of_inline_doctypes
+      [ {|<!DOCTYPE team [<!ELEMENT team (member)*><!ELEMENT member (#PCDATA)>]>
+          <team><member>Ada</member></team>|} ]
+  in
+  checkb "member is a predicate with text column" true
+    (Xic_relmap.Mapping.schema_of (Schema.mapping s) "member" <> None);
+  (match Schema.of_inline_doctypes [ "<team/>" ] with
+   | exception Schema.Schema_error _ -> ()
+   | _ -> Alcotest.fail "missing DOCTYPE must be rejected")
+
+(* ------------------------------------------------------------------ *)
+(* Constraints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_constraint_compiles () =
+  let c = Conf.conflict (Lazy.force schema) in
+  checki "two denials" 2 (List.length c.Constr.datalog);
+  checkb "has xpathlog" true (c.Constr.xpathlog <> None)
+
+let test_constraint_bad_source () =
+  match Constr.make (Lazy.force schema) ~name:"bad" "<- //nonexistent -> X and X = \"a\"" with
+  | exception Constr.Constraint_error _ -> ()
+  | _ -> Alcotest.fail "unknown element must fail"
+
+let test_check_full_consistent () =
+  let repo = make_repo () in
+  Alcotest.(check (list string)) "consistent" [] (Repository.check_full repo);
+  Alcotest.(check (list string)) "datalog agrees" [] (Repository.check_full_datalog repo)
+
+let test_check_full_detects_violation () =
+  let s = Lazy.force schema in
+  let repo = Repository.create s in
+  Repository.load_document repo pub_doc;
+  (* Carl reviews a submission by his co-author Nora *)
+  Repository.load_document repo
+    {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S</title><auts><name>Nora</name></auts></sub></rev></track></review>|};
+  Repository.add_constraint repo (Conf.conflict s);
+  Alcotest.(check (list string)) "violated" [ "conflict" ] (Repository.check_full repo);
+  Alcotest.(check (list string)) "datalog agrees" [ "conflict" ]
+    (Repository.check_full_datalog repo)
+
+let test_add_constraint_verify () =
+  let s = Lazy.force schema in
+  let repo = Repository.create s in
+  Repository.load_document repo pub_doc;
+  Repository.load_document repo
+    {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S</title><auts><name>Carl</name></auts></sub></rev></track></review>|};
+  (match Repository.add_constraint ~verify:true repo (Conf.conflict s) with
+   | exception Repository.Repository_error _ -> ()
+   | () -> Alcotest.fail "violated constraint must be rejected at registration");
+  (* without verify it registers (the paper's framework assumes the user
+     knows the state is consistent) *)
+  Repository.add_constraint repo (Conf.conflict s)
+
+let test_explain () =
+  let s = Lazy.force schema in
+  let repo = Repository.create s in
+  Repository.load_document repo pub_doc;
+  Repository.load_document repo
+    {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S</title><auts><name>Carl</name></auts></sub></rev></track></review>|};
+  Repository.add_constraint repo (Conf.conflict s);
+  (* Carl reviewing himself violates both disjuncts: A = R, and the
+     degenerate co-author case aut(Ip,Carl) ∧ aut(Ip,Carl). *)
+  match Repository.explain repo with
+  | [ w; _ ] ->
+    checks "names the constraint" "conflict" w.Repository.witness_constraint;
+    checkb "binds R to the reviewer" true
+      (List.mem ("R", T.Str "Carl") w.Repository.bindings);
+    checkb "locates the rev node" true
+      (List.exists
+         (fun (_, _, path) -> path = "/review/track[1]/rev[1]")
+         w.Repository.nodes);
+    checkb "printable" true (String.length (Repository.witness_to_string w) > 0)
+  | ws -> Alcotest.fail (Printf.sprintf "expected two witnesses, got %d" (List.length ws))
+
+let test_explain_consistent () =
+  let repo = make_repo () in
+  Alcotest.(check int) "no witnesses" 0 (List.length (Repository.explain repo))
+
+(* ------------------------------------------------------------------ *)
+(* Patterns                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pattern_atoms () =
+  let p = Conf.submission_pattern (Lazy.force schema) in
+  Alcotest.(check (list string)) "relational pattern"
+    [ "sub(%i_sub, %p, %anchor, %t)"; "auts(%i_auts, 2, %i_sub, %n)" ]
+    (List.map T.atom_str p.Pattern.atoms);
+  Alcotest.(check (list string)) "fresh ids" [ "i_sub"; "i_auts" ] p.Pattern.fresh;
+  Alcotest.(check (list string)) "data params" [ "t"; "n" ] p.Pattern.data_params
+
+let test_pattern_match () =
+  let repo = make_repo ~constraints:false () in
+  let p = Conf.submission_pattern (Lazy.force schema) in
+  let u =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"New"
+      ~author:"Zoe"
+  in
+  match Pattern.match_modification (Lazy.force schema) (Repository.doc repo) p (List.hd u) with
+  | Some valuation ->
+    let find k = List.assoc k valuation in
+    (match find "n" with
+     | Pattern.Vstr s -> checks "author param" "Zoe" s
+     | _ -> Alcotest.fail "n must be a string");
+    (match find "t" with
+     | Pattern.Vstr s -> checks "title param" "New" s
+     | _ -> Alcotest.fail "t must be a string");
+    (match find "anchor" with
+     | Pattern.Vnode n ->
+       checks "anchor is the rev" "rev"
+         (Xic_xml.Doc.name (Repository.doc repo) n)
+     | _ -> Alcotest.fail "anchor must be a node")
+  | None -> Alcotest.fail "pattern must match"
+
+let test_pattern_no_match_wrong_shape () =
+  let repo = make_repo ~constraints:false () in
+  let p = Conf.submission_pattern (Lazy.force schema) in
+  (* two authors: different shape *)
+  let u =
+    [ { XU.op = XU.Insert_after;
+        select = Xic_xpath.Parser.parse "/review/track[1]/rev[1]/sub[1]";
+        content =
+          [ XU.Elem ("sub", [],
+               [ XU.Elem ("title", [], [ XU.Text "X" ]);
+                 XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "A" ]) ]);
+                 XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "B" ]) ]);
+               ]) ];
+      } ]
+  in
+  checkb "no match" true
+    (Pattern.match_modification (Lazy.force schema) (Repository.doc repo) p (List.hd u) = None)
+
+let test_pattern_no_match_wrong_anchor () =
+  let repo = make_repo ~constraints:false () in
+  let p = Conf.submission_pattern (Lazy.force schema) in
+  let u =
+    [ { (List.hd (Conf.insert_submission ~select:"//rev[1]" ~title:"X" ~author:"A")) with
+        XU.select = Xic_xpath.Parser.parse "//rev[1]" } ]
+  in
+  checkb "anchor type mismatch" true
+    (Pattern.match_modification (Lazy.force schema) (Repository.doc repo) p (List.hd u) = None)
+
+let test_pattern_deletion_non_leaf_rejected () =
+  (* sub has predicate children (auts): not a relational leaf *)
+  match
+    Pattern.make (Lazy.force schema) ~name:"del" ~op:XU.Remove ~anchor_type:"sub"
+      ~content:[]
+  with
+  | exception Pattern.Pattern_error _ -> ()
+  | _ -> Alcotest.fail "non-leaf deletion patterns are unsupported"
+
+let test_pattern_deletion_leaf () =
+  (* auts is a relational leaf (name is embedded) *)
+  let p =
+    Pattern.make (Lazy.force schema) ~name:"del_auts" ~op:XU.Remove
+      ~anchor_type:"auts" ~content:[]
+  in
+  Alcotest.(check (list string)) "deletion pattern"
+    [ "auts(%target, %p, %anchor, %c_name)" ]
+    (List.map T.atom_str p.Pattern.del_atoms);
+  Alcotest.(check (list string)) "no insertions" []
+    (List.map T.atom_str p.Pattern.atoms)
+
+let test_multi_fragment_pattern () =
+  (* a pattern inserting two submissions at once: two anchored position
+     parameters, each fragment's own fresh ids *)
+  let s = Lazy.force schema in
+  let sub_content title_p name_p =
+    XU.Elem ("sub", [],
+       [ XU.Elem ("title", [], [ XU.Text title_p ]);
+         XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text name_p ]) ]) ])
+  in
+  let p =
+    Pattern.make s ~name:"double_insert" ~op:XU.Insert_after ~anchor_type:"sub"
+      ~content:[ sub_content "%t1" "%n1"; sub_content "%t2" "%n2" ]
+  in
+  Alcotest.(check (list string)) "four atoms"
+    [ "sub(%i_sub, %p, %anchor, %t1)"; "auts(%i_auts, 2, %i_sub, %n1)";
+      "sub(%i_sub2, %p2, %anchor, %t2)"; "auts(%i_auts2, 2, %i_sub2, %n2)" ]
+    (List.map T.atom_str p.Pattern.atoms);
+  (* end to end: a double insert where the second author conflicts *)
+  let repo = make_repo () in
+  Repository.register_pattern repo p;
+  let u author2 =
+    [ { XU.op = XU.Insert_after;
+        select = Xic_xpath.Parser.parse "/review/track[1]/rev[1]/sub[1]";
+        content = [ sub_content "First" "Fresh One"; sub_content "Second" author2 ];
+      } ]
+  in
+  (match Repository.guarded_update repo (u "Carl") with
+   | Repository.Rejected_early "conflict" -> ()
+   | _ -> Alcotest.fail "conflicting second fragment must be rejected");
+  (match Repository.guarded_update repo (u "Fresh Two") with
+   | Repository.Applied `Optimized -> ()
+   | _ -> Alcotest.fail "clean double insert must be applied");
+  Alcotest.(check (list string)) "still consistent" [] (Repository.check_full repo)
+
+let test_recursive_dtd_constraints () =
+  (* recursive content models: sections nest arbitrarily *)
+  let s =
+    Schema.create
+      [ ( {|<!ELEMENT book (section)+>
+            <!ELEMENT section (title, section*)>
+            <!ELEMENT title (#PCDATA)>|},
+          "book" ) ]
+  in
+  let c =
+    Constr.make s ~name:"unique_titles"
+      "<- //section[title/text() -> X] -> S1 and //section[title/text() -> X] -> S2 and S1 != S2"
+  in
+  let repo = Repository.create s in
+  Repository.load_document repo
+    {|<book><section><title>A</title><section><title>B</title></section></section></book>|};
+  Repository.add_constraint repo c;
+  Alcotest.(check (list string)) "nested sections consistent" []
+    (Repository.check_full repo);
+  Alcotest.(check (list string)) "datalog agrees" []
+    (Repository.check_full_datalog repo);
+  (* duplicate a nested title *)
+  let u =
+    [ { XU.op = XU.Append;
+        select = Xic_xpath.Parser.parse "//section[title/text() = \"B\"]";
+        content =
+          [ XU.Elem ("section", [], [ XU.Elem ("title", [], [ XU.Text "A" ]) ]) ];
+      } ]
+  in
+  match Repository.guarded_update repo u with
+  | Repository.Rolled_back "unique_titles" -> ()
+  | _ -> Alcotest.fail "duplicate nested title must be caught by the full check"
+
+(* ------------------------------------------------------------------ *)
+(* Bundles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bundle_roundtrip () =
+  let s = Lazy.force schema in
+  let repo = make_repo () in
+  Repository.register_pattern repo (Conf.submission_pattern s);
+  let text = Bundle.save repo in
+  let repo2 = Bundle.load s text in
+  Alcotest.(check (list string)) "constraints preserved"
+    (List.map (fun (c : Constr.t) -> c.Constr.name) (Repository.constraints repo))
+    (List.map (fun (c : Constr.t) -> c.Constr.name) (Repository.constraints repo2));
+  Alcotest.(check (list string)) "patterns preserved"
+    (List.map (fun p -> p.Pattern.name) (Repository.patterns repo))
+    (List.map (fun p -> p.Pattern.name) (Repository.patterns repo2));
+  (* the reloaded repository guards updates identically *)
+  Repository.load_document repo2 pub_doc;
+  Repository.load_document repo2 rev_doc;
+  (match
+     Repository.guarded_update repo2
+       (Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]"
+          ~title:"Bad" ~author:"Carl")
+   with
+   | Repository.Rejected_early "conflict" -> ()
+   | _ -> Alcotest.fail "reloaded repo must reject early");
+  (* and saving again yields a loadable, semantically identical bundle
+     (fresh-variable numbering differs, the internal variant check in
+     [load] verifies equivalence) *)
+  let repo3 = Bundle.load s (Bundle.save repo2) in
+  Alcotest.(check int) "third generation intact" 3
+    (List.length (Repository.constraints repo3))
+
+let test_bundle_stale_detection () =
+  let s = Lazy.force schema in
+  let repo = make_repo () in
+  Repository.register_pattern repo (Conf.submission_pattern s);
+  let text = Bundle.save repo in
+  (* corrupt a stored check: claim the workload bound is different *)
+  let replace ~needle ~by s =
+    let b = Buffer.create (String.length s) in
+    let n = String.length needle in
+    let i = ref 0 in
+    while !i < String.length s do
+      if !i + n <= String.length s && String.sub s !i n = needle then begin
+        Buffer.add_string b by;
+        i := !i + n
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  let stale = replace ~needle:"> 9" ~by:"> 7" text in
+  if stale = text then Alcotest.fail "fixture did not change";
+  match Bundle.load s stale with
+  | exception Bundle.Bundle_error _ -> ()
+  | _ -> Alcotest.fail "stale bundle must be rejected"
+
+let test_bundle_bad_header () =
+  match Bundle.load (Lazy.force schema) "something else" with
+  | exception Bundle.Bundle_error _ -> ()
+  | _ -> Alcotest.fail "bad header must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Templates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cat_schema =
+  lazy
+    (Schema.create
+       [ ( {|<!ELEMENT catalog (journal*, article*)>
+             <!ELEMENT journal (issn, title)>
+             <!ELEMENT issn (#PCDATA)>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT article (title, in)>
+             <!ELEMENT in (#PCDATA)>|},
+           "catalog" ) ])
+
+let cat_repo docsrc constraints =
+  let s = Lazy.force cat_schema in
+  let repo = Repository.create s in
+  Repository.load_document repo docsrc;
+  List.iter (Repository.add_constraint repo) (constraints s);
+  repo
+
+let test_template_key () =
+  let repo =
+    cat_repo
+      {|<catalog><journal><issn>1</issn><title>A</title></journal>
+                 <journal><issn>1</issn><title>B</title></journal></catalog>|}
+      (fun s -> [ Templates.key s ~elem:"journal" ~field:(Templates.Child "issn") () ])
+  in
+  Alcotest.(check (list string)) "key violated" [ "key_journal_issn" ]
+    (Repository.check_full repo)
+
+let test_template_foreign_key () =
+  let ok =
+    cat_repo
+      {|<catalog><journal><issn>1</issn><title>A</title></journal>
+                 <article><title>X</title><in>1</in></article></catalog>|}
+      (fun s ->
+        [ Templates.foreign_key s
+            ~from:("article", Templates.Child "in")
+            ~into:("journal", Templates.Child "issn") () ])
+  in
+  Alcotest.(check (list string)) "fk holds" [] (Repository.check_full ok);
+  let bad =
+    cat_repo
+      {|<catalog><article><title>X</title><in>9</in></article></catalog>|}
+      (fun s ->
+        [ Templates.foreign_key s
+            ~from:("article", Templates.Child "in")
+            ~into:("journal", Templates.Child "issn") () ])
+  in
+  checkb "fk broken" true (Repository.check_full bad <> [])
+
+let test_template_cardinality () =
+  let repo =
+    cat_repo
+      {|<catalog><journal><issn>1</issn><title>A</title></journal></catalog>|}
+      (fun s ->
+        [ Templates.max_children s ~parent:"catalog" ~child:"journal" 1;
+          Templates.min_children s ~parent:"catalog" ~child:"journal" 1 ])
+  in
+  Alcotest.(check (list string)) "both hold" [] (Repository.check_full repo)
+
+let test_template_forbidden_value () =
+  let repo =
+    cat_repo
+      {|<catalog><journal><issn>0000-0000</issn><title>A</title></journal></catalog>|}
+      (fun s ->
+        [ Templates.forbidden_value s ~elem:"journal"
+            ~field:(Templates.Child "issn") "0000-0000" ])
+  in
+  checkb "forbidden value found" true (Repository.check_full repo <> [])
+
+let test_template_distinct_siblings () =
+  (* same value under different parents is fine; under one parent it is
+     not *)
+  let s = Lazy.force schema in
+  let repo = Repository.create s in
+  Repository.load_document repo pub_doc;
+  Repository.load_document repo
+    {|<review><track><name>DB</name>
+        <rev><name>R1</name><sub><title>S</title><auts><name>Ann</name></auts></sub></rev>
+        <rev><name>R1</name><sub><title>S</title><auts><name>Ann</name></auts></sub></rev>
+      </track></review>|};
+  let c =
+    Templates.distinct_siblings s ~parent:"track" ~child:"rev"
+      ~field:(Templates.Child "name") ()
+  in
+  Repository.add_constraint repo c;
+  checkb "duplicate reviewer in one track" true (Repository.check_full repo <> []);
+  checkb "datalog agrees" true (Repository.check_full_datalog repo <> [])
+
+let test_template_simplifies () =
+  (* templates go through the same simplification pipeline *)
+  let s = Lazy.force cat_schema in
+  let repo = Repository.create s in
+  Repository.load_document repo
+    {|<catalog><journal><issn>1</issn><title>A</title></journal></catalog>|};
+  Repository.add_constraint repo
+    (Templates.key s ~elem:"journal" ~field:(Templates.Child "issn") ());
+  let pat =
+    Pattern.make s ~name:"add_journal" ~op:XU.Append ~anchor_type:"catalog"
+      ~content:
+        [ XU.Elem ("journal", [],
+             [ XU.Elem ("issn", [], [ XU.Text "%i" ]);
+               XU.Elem ("title", [], [ XU.Text "%t" ]) ]) ]
+  in
+  Repository.register_pattern repo pat;
+  match Repository.optimized_checks repo pat with
+  | [ { Repository.simplified = [ d ]; _ } ] ->
+    checkb "single-atom residual check" true
+      (List.length d.T.body = 1)
+  | _ -> Alcotest.fail "expected one simplified denial"
+
+(* ------------------------------------------------------------------ *)
+(* Guarded updates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let guarded_repo () =
+  let repo = make_repo () in
+  Repository.register_pattern repo (Conf.submission_pattern (Lazy.force schema));
+  repo
+
+let test_guarded_legal () =
+  let repo = guarded_repo () in
+  let u =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"Ok"
+      ~author:"Zoe"
+  in
+  (match Repository.guarded_update repo u with
+   | Repository.Applied `Optimized -> ()
+   | _ -> Alcotest.fail "legal update must be applied via the optimized path");
+  Alcotest.(check (list string)) "still consistent" [] (Repository.check_full repo);
+  checki "sub inserted" 3
+    (List.length
+       (Xic_xpath.Eval.select (Repository.doc repo) (Xic_xpath.Parser.parse "//sub")))
+
+let test_guarded_self_review () =
+  let repo = guarded_repo () in
+  let u =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"Bad"
+      ~author:"Carl"
+  in
+  (match Repository.guarded_update repo u with
+   | Repository.Rejected_early "conflict" -> ()
+   | _ -> Alcotest.fail "self-review must be rejected early");
+  checki "nothing inserted" 2
+    (List.length
+       (Xic_xpath.Eval.select (Repository.doc repo) (Xic_xpath.Parser.parse "//sub")))
+
+let test_guarded_coauthor () =
+  let repo = guarded_repo () in
+  let u =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"Bad"
+      ~author:"Nora"
+  in
+  match Repository.guarded_update repo u with
+  | Repository.Rejected_early "conflict" -> ()
+  | _ -> Alcotest.fail "co-author submission must be rejected early"
+
+let test_guarded_track_load () =
+  let repo = guarded_repo () in
+  (* four legal inserts fill reviewer Rita to the limit, the fifth breaks
+     Example 7's bound of 4 per track *)
+  let insert i =
+    Conf.insert_submission ~select:"/review/track[1]/rev[2]/sub[1]"
+      ~title:(Printf.sprintf "P%d" i) ~author:(Printf.sprintf "Author%d" i)
+  in
+  for i = 1 to 3 do
+    match Repository.guarded_update repo (insert i) with
+    | Repository.Applied _ -> ()
+    | _ -> Alcotest.fail "filling insert must be applied"
+  done;
+  match Repository.guarded_update repo (insert 4) with
+  | Repository.Rejected_early "track_load" -> ()
+  | Repository.Applied _ -> Alcotest.fail "fifth submission must be rejected"
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_guarded_fallback_full_check () =
+  (* an update that matches no pattern is applied, checked, and kept *)
+  let repo = guarded_repo () in
+  let u =
+    [ { XU.op = XU.Append;
+        select = Xic_xpath.Parser.parse "/review/track[1]/rev[1]";
+        content =
+          [ XU.Elem ("sub", [],
+               [ XU.Elem ("title", [], [ XU.Text "App" ]);
+                 XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "Zed" ]) ]) ]) ];
+      } ]
+  in
+  match Repository.guarded_update repo u with
+  | Repository.Applied (`Full_check | `Runtime_simplified) -> ()
+  | _ -> Alcotest.fail "unmatched legal update must be applied via full check"
+
+let test_guarded_fallback_rollback () =
+  let repo = guarded_repo () in
+  let before = Xic_xml.Xml_printer.to_string (Repository.doc repo) in
+  let u =
+    [ { XU.op = XU.Append;
+        select = Xic_xpath.Parser.parse "/review/track[1]/rev[1]";
+        content =
+          [ XU.Elem ("sub", [],
+               [ XU.Elem ("title", [], [ XU.Text "Bad" ]);
+                 XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "Carl" ]) ]) ]) ];
+      } ]
+  in
+  (match Repository.guarded_update repo u with
+   | Repository.Rolled_back "conflict" -> ()
+   | _ -> Alcotest.fail "unmatched illegal update must be rolled back");
+  checks "state restored" before (Xic_xml.Xml_printer.to_string (Repository.doc repo))
+
+let test_optimized_equals_full_decision () =
+  (* the optimized pre-check must agree with apply + full check + undo *)
+  let repo = guarded_repo () in
+  let p = List.hd (Repository.patterns repo) in
+  List.iter
+    (fun (author, _expect) ->
+      let u =
+        Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"T"
+          ~author
+      in
+      match Repository.match_update repo u with
+      | None -> Alcotest.fail "update must match the pattern"
+      | Some (_, valuation) ->
+        let optimized = Repository.check_optimized repo p valuation <> [] in
+        let optimized_dl = Repository.check_optimized_datalog repo p valuation <> [] in
+        let undo = Repository.apply_unchecked repo u in
+        let full = Repository.check_full repo <> [] in
+        Repository.rollback repo undo;
+        Alcotest.(check bool) (author ^ ": optimized = full") full optimized;
+        Alcotest.(check bool) (author ^ ": datalog agrees") full optimized_dl)
+    [ ("Zoe", false); ("Carl", true); ("Nora", true); ("Rita", true); ("Ann", false) ]
+
+let test_store_mirror_consistency () =
+  let repo = guarded_repo () in
+  let s1 = Xic_datalog.Store.copy (Repository.store repo) in
+  let u =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"T"
+      ~author:"Zoe"
+  in
+  ignore (Repository.guarded_update repo u);
+  let s2 = Repository.store repo in
+  checkb "store updated" false (Xic_datalog.Store.equal s1 s2);
+  checki "one more sub" 1
+    (Xic_datalog.Store.cardinality s2 "sub" - Xic_datalog.Store.cardinality s1 "sub");
+  (* the incrementally maintained mirror equals a full re-shred *)
+  checkb "incremental = full re-shred" true
+    (Xic_datalog.Store.equal s2
+       (Xic_relmap.Shred.shred
+          (Schema.mapping (Repository.schema repo))
+          (Repository.doc repo)));
+  (* and apply + rollback restores the mirror exactly *)
+  let undo = Repository.apply_unchecked repo u in
+  Repository.rollback repo undo;
+  checkb "rollback restores mirror" true
+    (Xic_datalog.Store.equal (Repository.store repo) s2)
+
+let test_guarded_deletion () =
+  (* deletion patterns: removing an auts can orphan a submission *)
+  let s = Lazy.force schema in
+  let repo = Repository.create s in
+  Repository.load_document repo pub_doc;
+  Repository.load_document repo
+    {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts><auts><name>Bob</name></auts></sub></rev></track></review>|};
+  (* every submission keeps at least one author *)
+  let keep_author =
+    Constr.make s ~name:"keep_author" "<- //sub -> S and cnt{; S/auts} < 1"
+  in
+  Repository.add_constraint repo keep_author;
+  let p = Pattern.make s ~name:"drop_author" ~op:XU.Remove ~anchor_type:"auts" ~content:[] in
+  Repository.register_pattern repo p;
+  (* upper-bound constraints can never be violated by this removal *)
+  let simplified_names =
+    List.map (fun (c : Repository.optimized_check) -> (c.constraint_name, c.simplified))
+      (Repository.optimized_checks repo p)
+  in
+  (match List.assoc "keep_author" simplified_names with
+   | [] -> Alcotest.fail "keep_author must have a residual check"
+   | _ -> ());
+  let remove_first_auts () =
+    [ { XU.op = XU.Remove; select = Xic_xpath.Parser.parse "//sub[1]/auts[1]"; content = [] } ]
+  in
+  (match Repository.guarded_update repo (remove_first_auts ()) with
+   | Repository.Applied `Optimized -> ()
+   | _ -> Alcotest.fail "first removal must be applied via the optimized path");
+  (match Repository.guarded_update repo (remove_first_auts ()) with
+   | Repository.Rejected_early "keep_author" -> ()
+   | _ -> Alcotest.fail "removing the last author must be rejected early");
+  checki "one author left" 1
+    (List.length
+       (Xic_xpath.Eval.select (Repository.doc repo) (Xic_xpath.Parser.parse "//auts")))
+
+let test_runtime_simplification () =
+  (* no pattern registered: the runtime-simplification fallback derives a
+     one-off pattern, still rejecting before execution *)
+  let repo = make_repo () in
+  let illegal =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"Bad"
+      ~author:"Carl"
+  in
+  (match Repository.guarded_update ~fallback:`Runtime_simplification repo illegal with
+   | Repository.Rejected_early "conflict" -> ()
+   | Repository.Rolled_back _ -> Alcotest.fail "must be rejected BEFORE execution"
+   | _ -> Alcotest.fail "unexpected outcome");
+  checki "nothing inserted" 2
+    (List.length
+       (Xic_xpath.Eval.select (Repository.doc repo) (Xic_xpath.Parser.parse "//sub")));
+  let legal =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"Ok"
+      ~author:"Zoe"
+  in
+  (match Repository.guarded_update ~fallback:`Runtime_simplification repo legal with
+   | Repository.Applied `Runtime_simplified -> ()
+   | _ -> Alcotest.fail "legal update must pass the runtime-simplified check");
+  Alcotest.(check (list string)) "still consistent" [] (Repository.check_full repo)
+
+let test_runtime_simplification_falls_back () =
+  (* content outside the simplifiable fragment (removal of a non-leaf)
+     silently reverts to the full check *)
+  let repo = make_repo () in
+  let u =
+    [ { XU.op = XU.Remove;
+        select = Xic_xpath.Parser.parse "/review/track[1]/rev[2]/sub[1]";
+        content = [];
+      } ]
+  in
+  match Repository.guarded_update ~fallback:`Runtime_simplification repo u with
+  | Repository.Applied `Full_check -> ()
+  | _ -> Alcotest.fail "non-simplifiable update must use the full check"
+
+let test_duplicate_names_rejected () =
+  let repo = make_repo () in
+  (match Repository.add_constraint repo (Conf.conflict (Lazy.force schema)) with
+   | exception Repository.Repository_error _ -> ()
+   | _ -> Alcotest.fail "duplicate constraint must be rejected");
+  Repository.register_pattern repo (Conf.submission_pattern (Lazy.force schema));
+  match Repository.register_pattern repo (Conf.submission_pattern (Lazy.force schema)) with
+  | exception Repository.Repository_error _ -> ()
+  | _ -> Alcotest.fail "duplicate pattern must be rejected"
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "rendering" `Quick test_schema_rendering;
+          Alcotest.test_case "bad DTD" `Quick test_schema_bad_dtd;
+          Alcotest.test_case "load validates" `Quick test_load_validates;
+          Alcotest.test_case "from DOCTYPE" `Quick test_schema_from_doctype;
+        ] );
+      ( "constraints",
+        [
+          Alcotest.test_case "compiles" `Quick test_constraint_compiles;
+          Alcotest.test_case "bad source" `Quick test_constraint_bad_source;
+          Alcotest.test_case "full check consistent" `Quick test_check_full_consistent;
+          Alcotest.test_case "full check violation" `Quick test_check_full_detects_violation;
+          Alcotest.test_case "verify at registration" `Quick test_add_constraint_verify;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "explain consistent" `Quick test_explain_consistent;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "relational atoms" `Quick test_pattern_atoms;
+          Alcotest.test_case "matching" `Quick test_pattern_match;
+          Alcotest.test_case "shape mismatch" `Quick test_pattern_no_match_wrong_shape;
+          Alcotest.test_case "anchor mismatch" `Quick test_pattern_no_match_wrong_anchor;
+          Alcotest.test_case "non-leaf deletion rejected" `Quick
+            test_pattern_deletion_non_leaf_rejected;
+          Alcotest.test_case "leaf deletion pattern" `Quick test_pattern_deletion_leaf;
+          Alcotest.test_case "multi-fragment pattern" `Quick test_multi_fragment_pattern;
+          Alcotest.test_case "recursive DTD" `Quick test_recursive_dtd_constraints;
+        ] );
+      ( "bundles",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bundle_roundtrip;
+          Alcotest.test_case "stale detection" `Quick test_bundle_stale_detection;
+          Alcotest.test_case "bad header" `Quick test_bundle_bad_header;
+        ] );
+      ( "templates",
+        [
+          Alcotest.test_case "key" `Quick test_template_key;
+          Alcotest.test_case "foreign key" `Quick test_template_foreign_key;
+          Alcotest.test_case "cardinality" `Quick test_template_cardinality;
+          Alcotest.test_case "forbidden value" `Quick test_template_forbidden_value;
+          Alcotest.test_case "distinct siblings" `Quick test_template_distinct_siblings;
+          Alcotest.test_case "simplifies" `Quick test_template_simplifies;
+        ] );
+      ( "guarded updates",
+        [
+          Alcotest.test_case "legal" `Quick test_guarded_legal;
+          Alcotest.test_case "self-review" `Quick test_guarded_self_review;
+          Alcotest.test_case "co-author" `Quick test_guarded_coauthor;
+          Alcotest.test_case "track load limit" `Quick test_guarded_track_load;
+          Alcotest.test_case "fallback full check" `Quick test_guarded_fallback_full_check;
+          Alcotest.test_case "fallback rollback" `Quick test_guarded_fallback_rollback;
+          Alcotest.test_case "optimized = full decision" `Quick test_optimized_equals_full_decision;
+          Alcotest.test_case "store mirror" `Quick test_store_mirror_consistency;
+          Alcotest.test_case "guarded deletion" `Quick test_guarded_deletion;
+          Alcotest.test_case "runtime simplification" `Quick test_runtime_simplification;
+          Alcotest.test_case "runtime simp fallback" `Quick
+            test_runtime_simplification_falls_back;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_names_rejected;
+        ] );
+    ]

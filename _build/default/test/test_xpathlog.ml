@@ -1,0 +1,216 @@
+module A = Xic_xpathlog.Ast
+module P = Xic_xpathlog.Parser
+module C = Xic_xpathlog.Compile
+module T = Xic_datalog.Term
+module DP = Xic_datalog.Parser
+module Sub = Xic_datalog.Subsume
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mapping =
+  lazy
+    (Xic_relmap.Mapping.build
+       [ (Xic_xml.Dtd.parse Xic_workload.Conference.pub_dtd, "dblp");
+         (Xic_xml.Dtd.parse Xic_workload.Conference.rev_dtd, "review") ])
+
+let compile src = C.parse_and_compile (Lazy.force mapping) src
+
+(* The compiled result must be a variant of the expected denial. *)
+let expect_variants src expected () =
+  let got = compile src in
+  checki (src ^ ": count") (List.length expected) (List.length got);
+  List.iter2
+    (fun e g ->
+      let e = DP.parse_denial e in
+      checkb
+        (Printf.sprintf "expected %s, got %s" (T.denial_str e) (T.denial_str g))
+        true (Sub.variant e g))
+    expected got
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_example1 () =
+  let d =
+    P.parse_denial Xic_workload.Conference.conflict_source
+  in
+  (match d.A.body with
+   | A.F_and (A.F_path _, A.F_or (A.F_cmp _, A.F_path _)) -> ()
+   | _ -> Alcotest.fail "unexpected formula shape")
+
+let test_parse_aggregate () =
+  let f = P.parse_formula "cntd{[R]; //track[rev/name/text() -> R]} > 3" in
+  match f with
+  | A.F_agg g ->
+    checkb "op" true (g.A.op = T.CntD);
+    Alcotest.(check (list string)) "groups" [ "R" ] g.A.groups;
+    checkb "bound" true (g.A.bound = A.O_const (T.Int 3))
+  | _ -> Alcotest.fail "expected an aggregate"
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun src ->
+      let d = P.parse_denial src in
+      let d2 = P.parse_denial (A.denial_str d) in
+      checkb src true (d.A.body = d2.A.body))
+    [
+      Xic_workload.Conference.conflict_source;
+      Xic_workload.Conference.workload_source;
+      Xic_workload.Conference.track_load_source;
+      "<- //pub[title/text() = \"Duckburg tales\"]/aut/name/text() -> N and N = \"Goofy\"";
+      "<- //sub[2]/title/text() -> X and X != %t";
+      "<- not(//pub) and //rev -> R";
+    ]
+
+let test_parse_labels () =
+  let ds = P.parse_denials "c1: <- //rev -> R\n-- comment\n\nc2: <- //pub -> P" in
+  Alcotest.(check (list string)) "labels" [ "c1"; "c2" ]
+    (List.filter_map (fun d -> d.A.label) ds)
+
+let test_parse_errors () =
+  let fails s = match P.parse_denial s with exception P.Parse_error _ -> true | _ -> false in
+  checkb "lone variable" true (fails "<- R");
+  checkb "unclosed qualifier" true (fails "<- //a[b");
+  checkb "bad aggregate" true (fails "<- cntd{//a}");
+  checkb "binding to lowercase" true (fails "<- //a -> b")
+
+(* ------------------------------------------------------------------ *)
+(* DNF                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dnf_disjunction () =
+  let d = P.parse_denial "<- //rev -> R and (R = \"a\" or R = \"b\")" in
+  checki "two conjuncts" 2 (List.length (A.dnf d.A.body))
+
+let test_dnf_negation_pushes () =
+  let d = P.parse_denial "<- //rev -> R and not(R = \"a\" or R = \"b\")" in
+  match A.dnf d.A.body with
+  | [ conj ] ->
+    checki "single conjunct with both disequalities" 3 (List.length conj)
+  | _ -> Alcotest.fail "negated disjunction must produce one conjunct"
+
+let test_dnf_qualifier_disjunction () =
+  let d = P.parse_denial "<- //rev[name/text() = \"a\" or name/text() = \"b\"] -> R" in
+  checki "path split" 2 (List.length (A.dnf d.A.body))
+
+(* ------------------------------------------------------------------ *)
+(* Compilation (paper examples)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_example1 =
+  expect_variants Xic_workload.Conference.conflict_source
+    [
+      ":- rev(Ir, _, _, R), sub(Is, _, Ir, _), auts(_, _, Is, R)";
+      ":- rev(Ir, _, _, R), sub(Is, _, Ir, _), auts(_, _, Is, A), aut(_, _, Ip, A), aut(_, _, Ip, R)";
+    ]
+
+let test_compile_duckburg =
+  expect_variants
+    "<- //pub[title/text() = \"Duckburg tales\"]/aut/name/text() -> N and N = \"Goofy\""
+    [ {| :- pub(Ip, _, _, "Duckburg tales"), aut(_, _, Ip, "Goofy") |} ]
+
+let test_compile_example7 =
+  expect_variants "<- //rev -> Ir and cntd{; Ir/sub} > 4"
+    [ ":- rev(Ir, _, _, _), cntd(Is; sub(Is, _, Ir, _)) > 4" ]
+
+let test_compile_example2 =
+  expect_variants Xic_workload.Conference.workload_source
+    [
+      ":- rev(_, _, _, R), cntd(It; track(It, _, _, _), rev(_, _, It, R)) > 3, \
+       cntd(Isu; rev(Irv, _, _, R), sub(Isu, _, Irv, _)) > 10";
+    ]
+
+let test_compile_position_qualifier =
+  (* the position constraint is inlined into the Pos argument, and the rev
+     container atom is pruned (sub's only container is rev) *)
+  expect_variants "<- //rev/sub[2]/title/text() -> X and X != %t"
+    [ ":- sub(_, 2, _, X), X != %t" ]
+
+let test_compile_root_path =
+  expect_variants "<- /review/track/name/text() -> N and N = \"DB\""
+    [ {| :- track(_, _, _, "DB") |} ]
+
+let test_compile_negation =
+  (* R is unused, so the rev container atom is pruned *)
+  expect_variants "<- //rev[name/text() -> R]/sub and not(//pub[title/text() -> Z] )"
+    [ ":- sub(_, _, _, _), not pub(_, _, _, Z)" ]
+
+let test_compile_shared_binding () =
+  (* the same variable bound twice must join the two columns *)
+  let ds = compile "<- //track[name/text() -> N] and //rev[name/text() -> N]" in
+  match ds with
+  | [ d ] ->
+    let vars = T.denial_vars d in
+    checkb "N shared" true (List.mem "N" vars);
+    checki "two atoms" 2
+      (List.length (List.filter (function T.Rel _ -> true | _ -> false) d.T.body))
+  | _ -> Alcotest.fail "expected a single denial"
+
+let test_compile_mid_descendant =
+  (* // in the middle expands through the DTD chain *)
+  expect_variants "<- /review/track[1]//auts/name/text() -> N and N = %x"
+    [ ":- track(It, 1, _, _), rev(Ir, _, It, _), sub(Is, _, Ir, _), auts(_, _, Is, %x)" ]
+
+let test_compile_parent_nav =
+  (* '..' re-enters the unique container; the From_var re-entry re-asserts
+     the child atom to expose its parent link *)
+  expect_variants "<- //rev[name/text() -> N] -> R and R/../name/text() -> N"
+    [ ":- rev(R, _, _, N), rev(R, _, X, _), track(X, _, _, N)" ]
+
+let test_compile_parent_nav_inline =
+  (* '..' directly inside a path reuses the atom's own parent argument *)
+  expect_variants "<- //rev/../name/text() -> N and N = %x"
+    [ ":- rev(_, _, X, _), track(X, _, _, %x)" ]
+
+let test_compile_parent_of_root_child () =
+  (* '..' to an elided root yields no atom *)
+  let ds = compile "<- //track/../track/name/text() -> N and N = %x" in
+  match ds with
+  | [ d ] ->
+    checki "two track atoms, no review atom" 2
+      (List.length (List.filter (function T.Rel _ -> true | _ -> false) d.T.body))
+  | _ -> Alcotest.fail "expected one denial"
+
+let test_compile_errors () =
+  let fails s = match compile s with exception C.Compile_error _ -> true | _ -> false in
+  checkb "unknown element" true (fails "<- //bogus -> X and X = \"a\"");
+  checkb "bad child step" true (fails "<- //rev/track -> X and X = \"a\"");
+  checkb "text on element content" true (fails "<- //track/rev/text() -> X and X = \"a\"");
+  checkb "position at top level" true (fails "<- position() = 2")
+
+let () =
+  Alcotest.run "xpathlog"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "example 1 shape" `Quick test_parse_example1;
+          Alcotest.test_case "aggregate" `Quick test_parse_aggregate;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "labels/comments" `Quick test_parse_labels;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "dnf",
+        [
+          Alcotest.test_case "disjunction" `Quick test_dnf_disjunction;
+          Alcotest.test_case "negation pushes in" `Quick test_dnf_negation_pushes;
+          Alcotest.test_case "qualifier disjunction" `Quick test_dnf_qualifier_disjunction;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "example 1 (conflict)" `Quick test_compile_example1;
+          Alcotest.test_case "Duckburg tales" `Quick test_compile_duckburg;
+          Alcotest.test_case "example 7 (track load)" `Quick test_compile_example7;
+          Alcotest.test_case "example 2 (workload)" `Quick test_compile_example2;
+          Alcotest.test_case "position qualifier" `Quick test_compile_position_qualifier;
+          Alcotest.test_case "rooted path" `Quick test_compile_root_path;
+          Alcotest.test_case "negation" `Quick test_compile_negation;
+          Alcotest.test_case "shared binding" `Quick test_compile_shared_binding;
+          Alcotest.test_case "mid-path //" `Quick test_compile_mid_descendant;
+          Alcotest.test_case "parent nav from var" `Quick test_compile_parent_nav;
+          Alcotest.test_case "parent nav inline" `Quick test_compile_parent_nav_inline;
+          Alcotest.test_case "parent of root child" `Quick test_compile_parent_of_root_child;
+          Alcotest.test_case "errors" `Quick test_compile_errors;
+        ] );
+    ]

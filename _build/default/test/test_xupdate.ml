@@ -1,0 +1,297 @@
+open Xic_xml
+module XU = Xic_xupdate.Xupdate
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let paper_update =
+  {|<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+      <xupdate:insert-after select="/review/track[2]/rev[5]/sub[6]">
+        <xupdate:element name="sub">
+          <title> Taming Web Services </title>
+          <auts> <name> Jack </name> </auts>
+        </xupdate:element>
+      </xupdate:insert-after>
+    </xupdate:modifications>|}
+
+let test_parse_paper_example () =
+  match XU.parse_string paper_update with
+  | [ m ] ->
+    checkb "insert-after" true (m.XU.op = XU.Insert_after);
+    checks "select" "/review/track[2]/rev[5]/sub[6]"
+      (Xic_xpath.Ast.to_string m.XU.select);
+    (match m.XU.content with
+     | [ XU.Elem ("sub", [], [ XU.Elem ("title", _, _); XU.Elem ("auts", _, _) ]) ] -> ()
+     | _ -> Alcotest.fail "unexpected content shape")
+  | _ -> Alcotest.fail "expected one modification"
+
+let test_parse_ops () =
+  let parse_op op =
+    XU.parse_string
+      (Printf.sprintf
+         {|<xupdate:modifications xmlns:xupdate="x"><xupdate:%s select="/r/a"%s</xupdate:modifications>|}
+         op
+         (if op = "remove" then "/>"
+          else Printf.sprintf "><b/></xupdate:%s>" op))
+  in
+  checkb "insert-before" true
+    ((List.hd (parse_op "insert-before")).XU.op = XU.Insert_before);
+  checkb "append" true ((List.hd (parse_op "append")).XU.op = XU.Append);
+  checkb "remove" true ((List.hd (parse_op "remove")).XU.op = XU.Remove)
+
+let test_parse_errors () =
+  let fails s = match XU.parse_string s with exception XU.Xupdate_error _ -> true | _ -> false in
+  checkb "no select" true
+    (fails {|<xupdate:modifications xmlns:xupdate="x"><xupdate:append><a/></xupdate:append></xupdate:modifications>|});
+  checkb "remove with content" true
+    (fails {|<xupdate:modifications xmlns:xupdate="x"><xupdate:remove select="/r"><a/></xupdate:remove></xupdate:modifications>|});
+  checkb "unknown op" true
+    (fails {|<xupdate:modifications xmlns:xupdate="x"><xupdate:rename select="/r"/></xupdate:modifications>|});
+  checkb "wrong root" true (fails "<modifications/>")
+
+let test_roundtrip () =
+  let u = XU.parse_string paper_update in
+  let u2 = XU.parse_string (XU.to_string u) in
+  checkb "roundtrip" true
+    (List.for_all2
+       (fun a b -> a.XU.op = b.XU.op && a.XU.content = b.XU.content)
+       u u2)
+
+let fresh_doc () =
+  (Xml_parser.parse_string
+     {|<review><track><name>T</name><rev><name>R</name><sub><title>S1</title><auts><name>A</name></auts></sub><sub><title>S2</title><auts><name>B</name></auts></sub></rev></track></review>|})
+    .Xml_parser.doc
+
+let subs doc = Xic_xpath.Eval.select doc (Xic_xpath.Parser.parse "//sub")
+let titles doc =
+  List.map (fun s -> String.trim (Doc.text_content doc (List.hd (Doc.children doc s)))) (subs doc)
+
+let test_apply_insert_after () =
+  let doc = fresh_doc () in
+  let u =
+    Xic_workload.Conference.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]"
+      ~title:"NEW" ~author:"N"
+  in
+  let _undo = XU.apply doc u in
+  Alcotest.(check (list string)) "order" [ "S1"; "NEW"; "S2" ] (titles doc)
+
+let test_apply_insert_before () =
+  let doc = fresh_doc () in
+  let u =
+    [ { XU.op = XU.Insert_before;
+        select = Xic_xpath.Parser.parse "//sub[title/text() = \"S2\"]";
+        content = [ XU.Elem ("sub", [], [ XU.Elem ("title", [], [ XU.Text "MID" ]);
+                                          XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "X" ]) ]) ]) ];
+      } ]
+  in
+  let _ = XU.apply doc u in
+  Alcotest.(check (list string)) "order" [ "S1"; "MID"; "S2" ] (titles doc)
+
+let test_apply_append () =
+  let doc = fresh_doc () in
+  let u =
+    [ { XU.op = XU.Append;
+        select = Xic_xpath.Parser.parse "//rev";
+        content = [ XU.Elem ("sub", [], [ XU.Elem ("title", [], [ XU.Text "LAST" ]);
+                                          XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "X" ]) ]) ]) ];
+      } ]
+  in
+  let _ = XU.apply doc u in
+  Alcotest.(check (list string)) "appended last" [ "S1"; "S2"; "LAST" ] (titles doc)
+
+let test_apply_remove_and_undo () =
+  let doc = fresh_doc () in
+  let before = Xml_printer.to_string doc in
+  let u = [ { XU.op = XU.Remove; select = Xic_xpath.Parser.parse "//sub[1]"; content = [] } ] in
+  let undo = XU.apply doc u in
+  Alcotest.(check (list string)) "removed" [ "S2" ] (titles doc);
+  XU.rollback doc undo;
+  checks "restored exactly" before (Xml_printer.to_string doc)
+
+let test_rollback_insert () =
+  let doc = fresh_doc () in
+  let before = Xml_printer.to_string doc in
+  let n_before = Doc.node_count doc in
+  let u =
+    Xic_workload.Conference.insert_submission ~select:"//sub[1]" ~title:"X" ~author:"Y"
+  in
+  let undo = XU.apply doc u in
+  checkb "changed" true (Xml_printer.to_string doc <> before);
+  XU.rollback doc undo;
+  checks "text restored" before (Xml_printer.to_string doc);
+  checki "nodes freed" n_before (Doc.node_count doc)
+
+let test_apply_multiple_contents_order () =
+  let doc = fresh_doc () in
+  let u =
+    [ { XU.op = XU.Insert_after;
+        select = Xic_xpath.Parser.parse "//sub[1]";
+        content =
+          [ XU.Elem ("sub", [], [ XU.Elem ("title", [], [ XU.Text "X1" ]);
+                                  XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "a" ]) ]) ]);
+            XU.Elem ("sub", [], [ XU.Elem ("title", [], [ XU.Text "X2" ]);
+                                  XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "b" ]) ]) ]);
+          ];
+      } ]
+  in
+  let _ = XU.apply doc u in
+  Alcotest.(check (list string)) "fragment order kept" [ "S1"; "X1"; "X2"; "S2" ] (titles doc)
+
+let test_apply_missing_target () =
+  let doc = fresh_doc () in
+  let u =
+    [ { XU.op = XU.Remove; select = Xic_xpath.Parser.parse "//nothing"; content = [] } ]
+  in
+  match XU.apply doc u with
+  | exception XU.Xupdate_error _ -> ()
+  | _ -> Alcotest.fail "missing target must fail"
+
+let test_apply_root_guard () =
+  let doc = fresh_doc () in
+  let u =
+    [ { XU.op = XU.Insert_after;
+        select = Xic_xpath.Parser.parse "/review";
+        content = [ XU.Elem ("x", [], []) ];
+      } ]
+  in
+  match XU.apply doc u with
+  | exception XU.Xupdate_error _ -> ()
+  | _ -> Alcotest.fail "inserting a sibling of the root must fail"
+
+let test_sequence_of_modifications () =
+  let doc = fresh_doc () in
+  let before = Xml_printer.to_string doc in
+  let u =
+    [ { XU.op = XU.Remove; select = Xic_xpath.Parser.parse "//sub[2]"; content = [] };
+      { XU.op = XU.Append;
+        select = Xic_xpath.Parser.parse "//rev";
+        content = [ XU.Elem ("sub", [], [ XU.Elem ("title", [], [ XU.Text "Z" ]);
+                                          XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "z" ]) ]) ]) ];
+      } ]
+  in
+  let undo = XU.apply doc u in
+  Alcotest.(check (list string)) "both applied" [ "S1"; "Z" ] (titles doc);
+  XU.rollback doc undo;
+  checks "sequence rolled back" before (Xml_printer.to_string doc)
+
+(* ------------------------------------------------------------------ *)
+(* Second wave                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_literal_content_with_attrs () =
+  let u =
+    XU.parse_string
+      {|<xupdate:modifications xmlns:xupdate="x"><xupdate:append select="/review/track[1]/rev[1]"><sub kind="late"><title>T</title><auts><name>N</name></auts></sub></xupdate:append></xupdate:modifications>|}
+  in
+  let doc = fresh_doc () in
+  let _ = XU.apply doc u in
+  let added =
+    List.hd
+      (Xic_xpath.Eval.select doc (Xic_xpath.Parser.parse "//sub[@kind = \"late\"]"))
+  in
+  checks "attribute materialized" "late" (Option.get (Doc.attr doc added "kind"))
+
+let test_content_of_node_roundtrip () =
+  let doc = fresh_doc () in
+  let sub = List.hd (subs doc) in
+  let c = XU.content_of_node doc sub in
+  let rebuilt = XU.materialize doc c in
+  checkb "roundtrip content" true
+    (Xml_printer.node_to_string doc sub = Xml_printer.node_to_string doc rebuilt)
+
+let test_undo_is_lifo () =
+  (* two modifications touching the same region roll back correctly *)
+  let doc = fresh_doc () in
+  let before = Xml_printer.to_string doc in
+  let u1 =
+    Xic_workload.Conference.insert_submission ~select:"//sub[1]" ~title:"A" ~author:"a"
+  in
+  let undo1 = XU.apply doc u1 in
+  let u2 =
+    Xic_workload.Conference.insert_submission
+      ~select:"//sub[title/text() = \"A\"]" ~title:"B" ~author:"b"
+  in
+  let undo2 = XU.apply doc u2 in
+  XU.rollback doc undo2;
+  XU.rollback doc undo1;
+  checks "nested undo" before (Xml_printer.to_string doc)
+
+let test_remove_then_reinsert_position () =
+  (* removing a middle sibling and rolling back restores its slot *)
+  let doc = fresh_doc () in
+  let u =
+    Xic_workload.Conference.insert_submission ~select:"//sub[1]" ~title:"MID" ~author:"m"
+  in
+  let _ = XU.apply doc u in
+  let before = Xml_printer.to_string doc in
+  let remove =
+    [ { XU.op = XU.Remove;
+        select = Xic_xpath.Parser.parse "//sub[title/text() = \"MID\"]";
+        content = [] } ]
+  in
+  let undo = XU.apply doc remove in
+  Alcotest.(check (list string)) "removed from middle" [ "S1"; "S2" ] (titles doc);
+  XU.rollback doc undo;
+  checks "restored in place" before (Xml_printer.to_string doc)
+
+let test_select_first_in_doc_order () =
+  (* when select matches several nodes the first in document order wins *)
+  let doc = fresh_doc () in
+  let u =
+    [ { XU.op = XU.Remove; select = Xic_xpath.Parser.parse "//sub"; content = [] } ]
+  in
+  let _ = XU.apply doc u in
+  Alcotest.(check (list string)) "first sub removed" [ "S2" ] (titles doc)
+
+let test_insert_after_text_anchor_semantics () =
+  (* anchoring on a text node is allowed by XPath; the sibling splice
+     happens in the parent's (mixed) child list *)
+  let { Xml_parser.doc; _ } = Xml_parser.parse_string "<r>ab<x/>cd</r>" in
+  let u =
+    [ { XU.op = XU.Insert_after;
+        select = Xic_xpath.Parser.parse "/r/x";
+        content = [ XU.Text "NEW" ] } ]
+  in
+  (match XU.apply doc u with
+   | exception XU.Xupdate_error _ -> Alcotest.fail "text content insert should work"
+   | _ -> ());
+  checks "mixed content order" "abNEWcd"
+    (let b = Buffer.create 8 in
+     List.iter
+       (fun c -> if Doc.is_text doc c then Buffer.add_string b (Doc.text_content doc c))
+       (Doc.children doc (Doc.root doc));
+     Buffer.contents b)
+
+let () =
+  Alcotest.run "xupdate"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "paper example" `Quick test_parse_paper_example;
+          Alcotest.test_case "operations" `Quick test_parse_ops;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "insert-after" `Quick test_apply_insert_after;
+          Alcotest.test_case "insert-before" `Quick test_apply_insert_before;
+          Alcotest.test_case "append" `Quick test_apply_append;
+          Alcotest.test_case "remove + undo" `Quick test_apply_remove_and_undo;
+          Alcotest.test_case "rollback insert" `Quick test_rollback_insert;
+          Alcotest.test_case "multi-fragment order" `Quick test_apply_multiple_contents_order;
+          Alcotest.test_case "missing target" `Quick test_apply_missing_target;
+          Alcotest.test_case "root guard" `Quick test_apply_root_guard;
+          Alcotest.test_case "modification sequence" `Quick test_sequence_of_modifications;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "literal content attrs" `Quick test_literal_content_with_attrs;
+          Alcotest.test_case "content_of_node roundtrip" `Quick test_content_of_node_roundtrip;
+          Alcotest.test_case "LIFO undo" `Quick test_undo_is_lifo;
+          Alcotest.test_case "remove middle + undo" `Quick test_remove_then_reinsert_position;
+          Alcotest.test_case "first match wins" `Quick test_select_first_in_doc_order;
+          Alcotest.test_case "text-anchored insert" `Quick test_insert_after_text_anchor_semantics;
+        ] );
+    ]
