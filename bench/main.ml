@@ -7,6 +7,7 @@
      ex45       the relational ISSN example (Examples 4/5)
      ablations  datalog- vs xquery-level optimized checks; After without
                 Optimize; early rejection vs rollback
+     journal    write-ahead journaling overhead on guarded updates
      micro      Bechamel micro-benchmarks of the moving parts
      all        everything above (default)
 
@@ -271,6 +272,50 @@ let ablations ~reps () =
     t_runtime t_fullfb (t_fullfb /. (t_runtime +. 1e-9))
 
 (* ------------------------------------------------------------------ *)
+(* Write-ahead journaling overhead                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One journaled transaction = two records (intent + commit/abort), each
+   fsync'd in the default durable mode.  The benchmark runs the same
+   guarded update bare, journaled without fsync, and journaled durably;
+   the transaction is rolled back each time so the repository (and hence
+   the optimized-check cost) stays fixed across repetitions. *)
+let journal_bench ~sizes ~reps () =
+  Printf.printf "# Write-ahead journaling overhead (guarded update, ms/op)\n";
+  Printf.printf "# %-12s %-14s %-16s %-16s %s\n" "size(bytes)" "bare"
+    "journal(nosync)" "journal(fsync)" "fsync cost";
+  let reps = reps * 10 in
+  List.iter
+    (fun size ->
+      let { repo; ds; _ } = setup ~size ~constraint_:Conf.conflict () in
+      let legal =
+        Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench"
+          ~author:ds.Gen.legal_author
+      in
+      let guarded ?journal () =
+        let tx = Repository.begin_txn ?journal repo in
+        (match Repository.txn_apply tx legal with
+         | Repository.Applied _ -> ()
+         | _ -> failwith "bench update must be applied");
+        Repository.rollback_txn tx
+      in
+      let t_bare = time_ms ~reps (fun () -> guarded ()) in
+      let with_journal ~sync =
+        let path = Printf.sprintf "bench_journal_%b.j" sync in
+        let j = Xic_journal.Journal.open_ ~sync path in
+        let t = time_ms ~reps (fun () -> guarded ~journal:j ()) in
+        Xic_journal.Journal.close j;
+        Sys.remove path;
+        t
+      in
+      let t_nosync = with_journal ~sync:false in
+      let t_sync = with_journal ~sync:true in
+      Printf.printf "%-14d %-14.4f %-16.4f %-16.4f %+.4f ms\n%!"
+        ds.Gen.stats.Gen.bytes t_bare t_nosync t_sync (t_sync -. t_nosync))
+    sizes;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,6 +410,7 @@ let () =
     | "fig_simp" -> fig_simp ()
     | "ex45" -> ex45 ()
     | "ablations" -> ablations ~reps ()
+    | "journal" -> journal_bench ~sizes ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -372,10 +418,11 @@ let () =
       fig_simp ();
       ex45 ();
       ablations ~reps ();
+      journal_bench ~sizes ~reps ();
       micro ()
     | other ->
       Printf.eprintf
-        "unknown experiment %S (expected fig1a|fig1b|fig_simp|ex45|ablations|micro|all)\n"
+        "unknown experiment %S (expected fig1a|fig1b|fig_simp|ex45|ablations|journal|micro|all)\n"
         other;
       exit 2
   in

@@ -7,6 +7,8 @@
      check      evaluate constraints against documents
      simplify   simplify constraints w.r.t. an update pattern
      guard      run an XUpdate statement under integrity control
+     txn        run several statements as one journaled transaction
+     recover    replay a write-ahead journal after a crash
      generate   emit a synthetic conference dataset
 
    DTDs are given as FILE=ROOT pairs; constraints as files of XPathLog
@@ -25,6 +27,37 @@ let read_file path =
   s
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("xicheck: " ^ s); exit 1) fmt
+
+let write_file path contents =
+  match open_out path with
+  | exception Sys_error m -> die "cannot write %s: %s" path m
+  | oc ->
+    output_string oc contents;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+(* Dump the collection, one file per root. *)
+let write_roots repo prefix =
+  let doc = Repository.doc repo in
+  List.iteri
+    (fun i root ->
+      write_file
+        (Printf.sprintf "%s.%d.xml" prefix i)
+        (Xic_xml.Xml_printer.node_to_string ~indent:true doc root))
+    (Xic_xml.Doc.roots doc)
+
+let open_journal path =
+  match Xic_journal.Journal.open_ path with
+  | j -> j
+  | exception Xic_journal.Journal.Journal_error m -> die "%s" m
+
+let print_degradations report =
+  List.iter
+    (fun (d : Repository.degradation) ->
+      Printf.printf "note: optimized check %s degraded (%s)\n"
+        d.Repository.failed_check d.Repository.reason)
+    report.Repository.degradations
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -252,70 +285,187 @@ let simplify_cmd =
 (* guard                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let output_arg =
+  let doc = "Write the resulting collection to this file prefix (one file per root)." in
+  Arg.(value & opt (some string) None & info [ "output" ] ~docv:"PREFIX" ~doc)
+
+let journal_arg =
+  let doc =
+    "Write-ahead journal file: every statement is journaled before it \
+     executes, so 'xicheck recover' can replay committed work after a crash."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let eval_budget_arg =
+  let doc =
+    "Step budget per optimized check; a check exhausting it degrades to \
+     the full check instead of hanging."
+  in
+  Arg.(value & opt (some int) None & info [ "eval-budget" ] ~docv:"STEPS" ~doc)
+
+let runtime_simp_arg =
+  let doc =
+    "For updates matching no pattern, derive a one-off pattern and \
+     simplify at runtime instead of execute-check-compensate."
+  in
+  Arg.(value & flag & info [ "runtime-simp" ] ~doc)
+
+let parse_update path =
+  match Xic_xupdate.Xupdate.parse_string (read_file path) with
+  | u -> u
+  | exception Xic_xupdate.Xupdate.Xupdate_error m -> die "%s: %s" path m
+
+let print_outcome = function
+  | Repository.Applied `Optimized ->
+    print_endline "applied (validated by the optimized pre-check)"
+  | Repository.Applied `Runtime_simplified ->
+    print_endline "applied (validated by a runtime-simplified pre-check)"
+  | Repository.Applied `Full_check ->
+    print_endline "applied (validated by the full check)"
+  | Repository.Rejected_early c ->
+    Printf.printf "rejected before execution: violates %s\n" c
+  | Repository.Rolled_back c -> Printf.printf "rolled back: violates %s\n" c
+
 let guard_cmd =
   let update_arg =
     let doc = "XUpdate statement to execute under integrity control." in
     Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
   in
-  let output_arg =
-    let doc = "Write the resulting collection to this file prefix (one file per root)." in
-    Arg.(value & opt (some string) None & info [ "output" ] ~docv:"PREFIX" ~doc)
-  in
-  let runtime_simp_arg =
-    let doc =
-      "For updates matching no pattern, derive a one-off pattern and \
-       simplify at runtime instead of execute-check-compensate."
-    in
-    Arg.(value & flag & info [ "runtime-simp" ] ~doc)
-  in
-  let run dtds docs constraints pattern no_validate runtime_simp update output =
+  let run dtds docs constraints pattern no_validate runtime_simp update output
+      journal eval_budget =
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
+    Repository.set_eval_budget repo eval_budget;
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
     (match load_pattern s pattern with
      | Some p -> Repository.register_pattern repo p
      | None -> ());
-    let u =
-      match Xic_xupdate.Xupdate.parse_string (read_file update) with
-      | u -> u
-      | exception Xic_xupdate.Xupdate.Xupdate_error m -> die "%s: %s" update m
-    in
+    let u = parse_update update in
     let fallback =
       if runtime_simp then `Runtime_simplification else `Full_check
     in
-    (match Repository.guarded_update ~fallback repo u with
-     | Repository.Applied `Optimized ->
-       print_endline "applied (validated by the optimized pre-check)"
-     | Repository.Applied `Runtime_simplified ->
-       print_endline "applied (validated by a runtime-simplified pre-check)"
-     | Repository.Applied `Full_check ->
-       print_endline "applied (validated by the full check)"
-     | Repository.Rejected_early c ->
-       Printf.printf "rejected before execution: violates %s\n" c;
-       exit 1
-     | Repository.Rolled_back c ->
-       Printf.printf "rolled back: violates %s\n" c;
-       exit 1);
-    match output with
-    | None -> ()
-    | Some prefix ->
-      let doc = Repository.doc repo in
-      List.iteri
-        (fun i root ->
-          let path = Printf.sprintf "%s.%d.xml" prefix i in
-          let oc = open_out path in
-          output_string oc (Xic_xml.Xml_printer.node_to_string ~indent:true doc root);
-          output_char oc '\n';
-          close_out oc;
-          Printf.printf "wrote %s\n" path)
-        (Xic_xml.Doc.roots doc)
+    let journal = Option.map open_journal journal in
+    let report = Repository.guarded_update_report ~fallback ?journal repo u in
+    Option.iter Xic_journal.Journal.close journal;
+    print_degradations report;
+    print_outcome report.Repository.outcome;
+    (match report.Repository.outcome with
+     | Repository.Applied _ -> ()
+     | Repository.Rejected_early _ | Repository.Rolled_back _ -> exit 1);
+    Option.iter (write_roots repo) output
   in
   Cmd.v
     (Cmd.info "guard"
        ~doc:"Execute an XUpdate statement under integrity control")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ runtime_simp_arg $ update_arg $ output_arg)
+      $ no_validate_arg $ runtime_simp_arg $ update_arg $ output_arg
+      $ journal_arg $ eval_budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* txn                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let txn_cmd =
+  let updates_arg =
+    let doc =
+      "XUpdate statement file; applied in order as one transaction.  \
+       Repeatable."
+    in
+    Arg.(non_empty & opt_all file [] & info [ "update" ] ~docv:"FILE" ~doc)
+  in
+  let abort_arg =
+    let doc = "Roll the transaction back at the end instead of committing." in
+    Arg.(value & flag & info [ "abort" ] ~doc)
+  in
+  let run dtds docs constraints pattern no_validate runtime_simp updates output
+      journal eval_budget abort =
+    let s = load_schema dtds in
+    let repo = load_repo ~validate:(not no_validate) s docs in
+    Repository.set_eval_budget repo eval_budget;
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    (match load_pattern s pattern with
+     | Some p -> Repository.register_pattern repo p
+     | None -> ());
+    let fallback =
+      if runtime_simp then `Runtime_simplification else `Full_check
+    in
+    let journal = Option.map open_journal journal in
+    let tx = Repository.begin_txn ?journal repo in
+    let refused = ref 0 in
+    List.iteri
+      (fun i path ->
+        let report = Repository.txn_apply_report ~fallback tx (parse_update path) in
+        print_degradations report;
+        Printf.printf "statement %d (%s): " (i + 1) path;
+        print_outcome report.Repository.outcome;
+        match report.Repository.outcome with
+        | Repository.Applied _ -> ()
+        | Repository.Rejected_early _ | Repository.Rolled_back _ -> incr refused)
+      updates;
+    if abort then begin
+      Repository.rollback_txn tx;
+      print_endline "transaction rolled back"
+    end
+    else begin
+      Repository.commit_txn tx;
+      Printf.printf "transaction committed (%d statements)\n"
+        (Repository.txn_statements tx)
+    end;
+    Option.iter Xic_journal.Journal.close journal;
+    Option.iter (write_roots repo) output;
+    if !refused > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "txn"
+       ~doc:
+         "Apply several XUpdate statements as one journaled transaction \
+          (each statement still guarded individually)")
+    Term.(
+      const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
+      $ no_validate_arg $ runtime_simp_arg $ updates_arg $ output_arg
+      $ journal_arg $ eval_budget_arg $ abort_arg)
+
+(* ------------------------------------------------------------------ *)
+(* recover                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recover_cmd =
+  let journal_arg =
+    let doc = "Journal file to recover from." in
+    Arg.(required & opt (some file) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run dtds docs constraints no_validate journal output =
+    let s = load_schema dtds in
+    let repo = load_repo ~validate:(not no_validate) s docs in
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    let rr =
+      match Xic_journal.Journal.read journal with
+      | rr -> rr
+      | exception Xic_journal.Journal.Journal_error m -> die "%s" m
+    in
+    let r = Repository.recover rr repo in
+    if r.Repository.torn_tail then
+      print_endline "discarded a torn record at the end of the journal";
+    Printf.printf "replayed %d transaction(s), %d statement(s); discarded %d\n"
+      r.Repository.replayed_txns r.Repository.replayed_statements
+      r.Repository.discarded_txns;
+    List.iter
+      (fun (txn, m) -> Printf.printf "REPLAY ERROR in transaction %d: %s\n" txn m)
+      r.Repository.replay_errors;
+    List.iter (Printf.printf "VIOLATED after replay: %s\n") r.Repository.post_violations;
+    Option.iter (write_roots repo) output;
+    if r.Repository.replay_errors <> [] || r.Repository.post_violations <> [] then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Replay the committed transactions of a write-ahead journal \
+          against freshly loaded base documents")
+    Term.(
+      const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
+      $ journal_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* publish                                                             *)
@@ -362,15 +512,8 @@ let generate_cmd =
   in
   let run size seed prefix =
     let ds = Xic_workload.Generator.generate ~seed ~target_bytes:size () in
-    let write path contents =
-      let oc = open_out path in
-      output_string oc contents;
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote %s\n" path
-    in
-    write (prefix ^ ".pub.xml") ds.Xic_workload.Generator.pub_xml;
-    write (prefix ^ ".rev.xml") ds.Xic_workload.Generator.rev_xml;
+    write_file (prefix ^ ".pub.xml") ds.Xic_workload.Generator.pub_xml;
+    write_file (prefix ^ ".rev.xml") ds.Xic_workload.Generator.rev_xml;
     let st = ds.Xic_workload.Generator.stats in
     Printf.printf "%d pubs, %d tracks, %d reviewers, %d submissions (%d bytes)\n"
       st.Xic_workload.Generator.pubs st.Xic_workload.Generator.tracks
@@ -392,4 +535,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ schema_cmd; compile_cmd; validate_cmd; check_cmd; simplify_cmd;
-            guard_cmd; publish_cmd; generate_cmd ]))
+            guard_cmd; txn_cmd; recover_cmd; publish_cmd; generate_cmd ]))

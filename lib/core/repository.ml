@@ -1,6 +1,12 @@
 open Xic_xml
 module T = Xic_datalog.Term
 module XU = Xic_xupdate.Xupdate
+module J = Xic_journal.Journal
+module FP = Xic_journal.Failpoint
+
+let log_src = Logs.Src.create "xic.repository" ~doc:"Guarded update engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type optimized_check = {
   constraint_name : string;
@@ -14,6 +20,7 @@ type t = {
   mutable constraints : Constr.t list;
   mutable compiled : (Pattern.t * optimized_check list) list;
   mutable store : Xic_datalog.Store.t option;
+  mutable eval_budget : int option;
 }
 
 exception Repository_error of string
@@ -21,7 +28,11 @@ exception Repository_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
 
 let create schema =
-  { schema; doc = Doc.create (); constraints = []; compiled = []; store = None }
+  { schema; doc = Doc.create (); constraints = []; compiled = []; store = None;
+    eval_budget = None }
+
+let set_eval_budget t b = t.eval_budget <- b
+let eval_budget t = t.eval_budget
 
 let schema t = t.schema
 let doc t = t.doc
@@ -113,17 +124,46 @@ let match_update t (u : XU.t) =
       t.compiled
   | _ -> None
 
-let check_optimized t p valuation =
+type degradation = { failed_check : string; reason : string }
+
+(* Each check evaluation gets its own budget, so one pathological check
+   cannot starve the others. *)
+let budgeted t f =
+  match t.eval_budget with
+  | None -> f ()
+  | Some steps -> Xic_xquery.Eval.with_budget ~steps f
+
+let try_check_optimized t p valuation =
   let checks = optimized_checks t p in
   let params = Pattern.xquery_params valuation in
-  List.filter_map
-    (fun ch ->
-      match Xic_xquery.Eval.eval_bool t.doc ~params ch.simplified_xquery with
-      | true -> Some ch.constraint_name
-      | false -> None
-      | exception Xic_xquery.Eval.Eval_error m ->
-        fail "optimized check %s failed: %s" ch.constraint_name m)
-    checks
+  let rec go violated degs = function
+    | [] -> (List.rev violated, List.rev degs)
+    | ch :: rest ->
+      (match
+         budgeted t (fun () ->
+             Xic_xquery.Eval.eval_bool t.doc ~params ch.simplified_xquery)
+       with
+       | true -> go (ch.constraint_name :: violated) degs rest
+       | false -> go violated degs rest
+       | exception Xic_xquery.Eval.Eval_error m ->
+         go violated ({ failed_check = ch.constraint_name; reason = m } :: degs) rest
+       | exception Xic_xpath.Eval.Budget_exceeded ->
+         go violated
+           ({ failed_check = ch.constraint_name; reason = "step budget exhausted" }
+            :: degs)
+           rest)
+  in
+  go [] [] checks
+
+let check_optimized t p valuation =
+  match try_check_optimized t p valuation with
+  | violated, [] -> violated
+  | _, d :: _ -> fail "optimized check %s failed: %s" d.failed_check d.reason
+
+let budgeted_datalog t f =
+  match t.eval_budget with
+  | None -> f ()
+  | Some steps -> Xic_datalog.Eval.with_budget ~steps f
 
 let check_optimized_datalog t p valuation =
   let checks = optimized_checks t p in
@@ -131,7 +171,9 @@ let check_optimized_datalog t p valuation =
   let s = store t in
   List.filter_map
     (fun ch ->
-      if List.exists (fun d -> Xic_datalog.Eval.violated ~params s d) ch.simplified
+      if
+        budgeted_datalog t (fun () ->
+            List.exists (fun d -> Xic_datalog.Eval.violated ~params s d) ch.simplified)
       then Some ch.constraint_name
       else None)
     checks
@@ -230,59 +272,233 @@ let rollback t undo =
    | None -> ());
   XU.rollback t.doc undo
 
-let full_check_fallback t u =
-  let undo = apply_unchecked t u in
-  match check_full t with
-  | [] -> Applied `Full_check
-  | violated :: _ ->
-    rollback t undo;
-    Rolled_back violated
-
 (* Derive a one-off pattern from the concrete statement, simplify on the
    spot and pre-check; any failure along the way reverts to the
-   execute–check–compensate strategy. *)
+   execute–check–compensate strategy.  Evaluation failures and exhausted
+   budgets are reported as degradations. *)
 let runtime_simplified t (m : XU.modification) =
   match Pattern.of_modification t.schema ~name:"<runtime>" m with
-  | exception Pattern.Pattern_error _ -> None
+  | exception Pattern.Pattern_error _ -> (None, [])
   | p ->
     (match Pattern.match_modification t.schema t.doc p m with
-     | None -> None
+     | None -> (None, [])
      | Some valuation ->
        let params = Pattern.xquery_params valuation in
+       let degraded name reason =
+         (None, [ { failed_check = name; reason } ])
+       in
        let rec check = function
-         | [] -> Some `Consistent
+         | [] -> (Some `Consistent, [])
          | (c : Constr.t) :: rest ->
            (match Pattern.simplify t.schema p c with
-            | exception Xic_simplify.After.Unsupported _ -> None
+            | exception Xic_simplify.After.Unsupported _ -> (None, [])
             | simplified ->
               (match
                  Xic_translate.Translate.denials (Schema.mapping t.schema)
                    simplified
                with
-               | exception Xic_translate.Translate.Untranslatable _ -> None
+               | exception Xic_translate.Translate.Untranslatable _ -> (None, [])
                | q ->
-                 (match Xic_xquery.Eval.eval_bool t.doc ~params q with
-                  | exception Xic_xquery.Eval.Eval_error _ -> None
-                  | true -> Some (`Violated c.Constr.name)
+                 (match budgeted t (fun () -> Xic_xquery.Eval.eval_bool t.doc ~params q) with
+                  | exception Xic_xquery.Eval.Eval_error msg ->
+                    degraded c.Constr.name msg
+                  | exception Xic_xpath.Eval.Budget_exceeded ->
+                    degraded c.Constr.name "step budget exhausted"
+                  | true -> (Some (`Violated c.Constr.name), [])
                   | false -> check rest)))
        in
        check t.constraints)
 
-let guarded_update ?(fallback = `Full_check) t (u : XU.t) =
+(* ------------------------------------------------------------------ *)
+(* Journaled transactions                                              *)
+(* ------------------------------------------------------------------ *)
+
+type report = { outcome : outcome; degradations : degradation list }
+
+type txn = {
+  txn_repo : t;
+  txn_journal : J.t option;
+  txn_id : int;
+  mutable txn_undos : XU.undo list;  (* most recent statement first *)
+  mutable txn_seq : int;             (* statements currently applied *)
+  mutable txn_journaled : bool;      (* any record written for this txn *)
+  mutable txn_open : bool;
+}
+
+type savepoint = int
+
+let begin_txn ?journal t =
+  {
+    txn_repo = t;
+    txn_journal = journal;
+    txn_id = (match journal with Some j -> J.next_txn j | None -> 0);
+    txn_undos = [];
+    txn_seq = 0;
+    txn_journaled = false;
+    txn_open = true;
+  }
+
+let txn_id tx = tx.txn_id
+let txn_statements tx = tx.txn_seq
+
+let require_open tx =
+  if not tx.txn_open then fail "transaction %d is already closed" tx.txn_id
+
+let txn_record tx e =
+  match tx.txn_journal with
+  | None -> ()
+  | Some j ->
+    J.append j e;
+    tx.txn_journaled <- true
+
+let txn_savepoint tx =
+  require_open tx;
+  tx.txn_seq
+
+let txn_rollback_to tx sp =
+  require_open tx;
+  if sp < 0 || sp > tx.txn_seq then
+    fail "savepoint %d out of range (transaction has %d statements)" sp tx.txn_seq;
+  if sp < tx.txn_seq then begin
+    while tx.txn_seq > sp do
+      match tx.txn_undos with
+      | undo :: rest ->
+        rollback tx.txn_repo undo;
+        tx.txn_undos <- rest;
+        tx.txn_seq <- tx.txn_seq - 1
+      | [] -> assert false
+    done;
+    txn_record tx (J.Truncate { txn = tx.txn_id; keep = sp })
+  end
+
+let txn_apply_report ?(fallback = `Full_check) tx (u : XU.t) =
+  require_open tx;
+  let t = tx.txn_repo in
+  (* WAL protocol: the intent record hits the disk before the in-memory
+     documents are touched, the commit record only after every statement
+     of the transaction went through. *)
+  let exec label =
+    txn_record tx
+      (J.Intent
+         { txn = tx.txn_id; seq = tx.txn_seq; strategy = label;
+           payload = XU.to_string u });
+    FP.hit "before_apply";
+    let undo = apply_unchecked t u in
+    tx.txn_undos <- undo :: tx.txn_undos;
+    tx.txn_seq <- tx.txn_seq + 1;
+    FP.hit "after_apply";
+    undo
+  in
+  let pre_checked strategy label degs =
+    let _undo = exec label in
+    { outcome = Applied strategy; degradations = degs }
+  in
+  let full_fallback degs =
+    List.iter
+      (fun d ->
+        Log.warn (fun m ->
+            m "optimized check %s degraded (%s); falling back to the full check"
+              d.failed_check d.reason))
+      degs;
+    let before = tx.txn_seq in
+    let undo = exec "full_check" in
+    match check_full t with
+    | [] -> { outcome = Applied `Full_check; degradations = degs }
+    | violated :: _ ->
+      rollback t undo;
+      tx.txn_undos <- List.tl tx.txn_undos;
+      tx.txn_seq <- before;
+      txn_record tx (J.Truncate { txn = tx.txn_id; keep = before });
+      { outcome = Rolled_back violated; degradations = degs }
+  in
   match match_update t u with
   | Some (p, valuation) ->
-    (match check_optimized t p valuation with
-     | [] ->
-       let _undo = apply_unchecked t u in
-       Applied `Optimized
-     | violated :: _ -> Rejected_early violated)
+    (match try_check_optimized t p valuation with
+     | v :: _, degs -> { outcome = Rejected_early v; degradations = degs }
+     | [], [] -> pre_checked `Optimized "optimized" []
+     | [], degs -> full_fallback degs)
   | None ->
     (match (fallback, u) with
      | `Runtime_simplification, [ m ] ->
        (match runtime_simplified t m with
-        | Some `Consistent ->
-          let _undo = apply_unchecked t u in
-          Applied `Runtime_simplified
-        | Some (`Violated c) -> Rejected_early c
-        | None -> full_check_fallback t u)
-     | _ -> full_check_fallback t u)
+        | Some `Consistent, degs ->
+          pre_checked `Runtime_simplified "runtime_simplified" degs
+        | Some (`Violated c), degs -> { outcome = Rejected_early c; degradations = degs }
+        | None, degs -> full_fallback degs)
+     | _ -> full_fallback [])
+
+let txn_apply ?fallback tx u = (txn_apply_report ?fallback tx u).outcome
+
+let commit_txn tx =
+  require_open tx;
+  FP.hit "before_commit";
+  if tx.txn_journaled then txn_record tx (J.Commit { txn = tx.txn_id });
+  tx.txn_undos <- [];
+  tx.txn_open <- false
+
+let rollback_txn tx =
+  require_open tx;
+  List.iter (rollback tx.txn_repo) tx.txn_undos;
+  tx.txn_undos <- [];
+  tx.txn_seq <- 0;
+  if tx.txn_journaled then txn_record tx (J.Abort { txn = tx.txn_id });
+  tx.txn_open <- false
+
+let guarded_update_report ?(fallback = `Full_check) ?journal t (u : XU.t) =
+  let tx = begin_txn ?journal t in
+  let r = txn_apply_report ~fallback tx u in
+  (match r.outcome with
+   | Applied _ -> commit_txn tx
+   | Rejected_early _ | Rolled_back _ -> rollback_txn tx);
+  r
+
+let guarded_update ?(fallback = `Full_check) ?journal t (u : XU.t) =
+  (guarded_update_report ~fallback ?journal t u).outcome
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type recovery_report = {
+  replayed_txns : int;
+  replayed_statements : int;
+  discarded_txns : int;
+  torn_tail : bool;
+  replay_errors : (int * string) list;
+  post_violations : string list;
+}
+
+let recover (rr : J.read_result) t =
+  let committed = J.committed rr.J.entries in
+  let all_txns =
+    List.sort_uniq compare
+      (List.map
+         (function
+           | J.Intent { txn; _ } | J.Commit { txn } | J.Abort { txn }
+           | J.Truncate { txn; _ } -> txn)
+         rr.J.entries)
+  in
+  let stmts = ref 0 in
+  let errors = ref [] in
+  List.iter
+    (fun (txn, intents) ->
+      List.iter
+        (function
+          | J.Intent { payload; _ } ->
+            (match XU.parse_string payload with
+             | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors
+             | u ->
+               (match apply_unchecked t u with
+                | _undo -> incr stmts
+                | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors))
+          | _ -> ())
+        intents)
+    committed;
+  {
+    replayed_txns = List.length committed;
+    replayed_statements = !stmts;
+    discarded_txns = List.length all_txns - List.length committed;
+    torn_tail = rr.J.torn;
+    replay_errors = List.rev !errors;
+    post_violations = check_full t;
+  }

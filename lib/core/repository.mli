@@ -30,6 +30,17 @@ val create : Schema.t -> t
 val schema : t -> Schema.t
 val doc : t -> Doc.t
 
+val set_eval_budget : t -> int option -> unit
+(** Install (or clear, with [None]) a step budget for constraint-check
+    evaluation.  Every optimized or runtime-simplified check runs under
+    its own budget of that many evaluator steps; a check that exhausts it
+    is treated as {e degraded} — the guarded update falls back to the
+    full check instead of failing (see {!report}).  The budget also
+    bounds {!check_optimized_datalog}, where exhaustion raises
+    [Xic_datalog.Eval.Budget_exceeded]. *)
+
+val eval_budget : t -> int option
+
 val load_document : ?validate:bool -> t -> string -> unit
 (** Parse an XML document and add it to the collection; with [validate]
     (default true) it must conform to the DTD declaring its root type.
@@ -69,7 +80,20 @@ val match_update : t -> Xic_xupdate.Xupdate.t -> (Pattern.t * Pattern.valuation)
 
 val check_optimized : t -> Pattern.t -> Pattern.valuation -> string list
 (** Names of constraints whose simplified check reports a violation for
-    the proposed update (evaluated on the {e current} state). *)
+    the proposed update (evaluated on the {e current} state).
+    @raise Repository_error when a check fails to evaluate or exhausts
+    the step budget; {!try_check_optimized} reports those as degradations
+    instead. *)
+
+(** An optimized check that could not be completed (evaluation error or
+    exhausted step budget); the guarded-update engine falls back to the
+    full check and reports the degradation. *)
+type degradation = { failed_check : string; reason : string }
+
+val try_check_optimized :
+  t -> Pattern.t -> Pattern.valuation -> string list * degradation list
+(** Total variant of {!check_optimized}: violated constraint names plus
+    the checks that degraded instead of completing. *)
 
 val check_optimized_datalog : t -> Pattern.t -> Pattern.valuation -> string list
 (** Ablation variant: evaluate the simplified denials over the relational
@@ -85,8 +109,16 @@ type outcome =
   | Rolled_back of string
       (** executed, found violating by the full check, compensated *)
 
+(** Outcome of a guarded update plus the checks that degraded along the
+    way.  [degradations] is non-empty when an optimized (or runtime
+    simplified) check failed to evaluate or ran out of its step budget:
+    correctness is preserved by falling back to the full check, and the
+    report says so. *)
+type report = { outcome : outcome; degradations : degradation list }
+
 val guarded_update :
   ?fallback:[ `Full_check | `Runtime_simplification ] ->
+  ?journal:Xic_journal.Journal.t ->
   t ->
   Xic_xupdate.Xupdate.t ->
   outcome
@@ -100,7 +132,96 @@ val guarded_update :
     concrete statement (its text values as constants), [Simp] runs on the
     spot, and the residual checks still execute {e before} the update —
     reverting to the full-check strategy only when the statement falls
-    outside the simplifiable fragment. *)
+    outside the simplifiable fragment.
+
+    With [journal], the update is journaled write-ahead: an intent record
+    (the serialized statement and chosen strategy) is forced to disk
+    before the documents are touched and a commit record after, so
+    {!recover} can replay it after a crash.  Updates refused or rolled
+    back leave no committed trace. *)
+
+val guarded_update_report :
+  ?fallback:[ `Full_check | `Runtime_simplification ] ->
+  ?journal:Xic_journal.Journal.t ->
+  t ->
+  Xic_xupdate.Xupdate.t ->
+  report
+(** Like {!guarded_update} but also reports degradations. *)
+
+(** {1 Transactions}
+
+    A transaction groups several guarded statements into one atomic,
+    journaled unit: either every applied statement survives ({!commit_txn})
+    or none does ({!rollback_txn} or a crash before the commit record).
+    Statement-level integrity control is unchanged — an illegal statement
+    is refused or compensated individually and the transaction stays
+    open. *)
+
+type txn
+
+val begin_txn : ?journal:Xic_journal.Journal.t -> t -> txn
+val txn_id : txn -> int
+
+val txn_statements : txn -> int
+(** Statements currently applied (i.e. the next savepoint value). *)
+
+val txn_apply :
+  ?fallback:[ `Full_check | `Runtime_simplification ] ->
+  txn ->
+  Xic_xupdate.Xupdate.t ->
+  outcome
+
+val txn_apply_report :
+  ?fallback:[ `Full_check | `Runtime_simplification ] ->
+  txn ->
+  Xic_xupdate.Xupdate.t ->
+  report
+(** Apply one statement inside the transaction, with the same strategy
+    dispatch as {!guarded_update}.  The intent record carries the
+    statement's sequence number; no commit record is written until
+    {!commit_txn}.
+    @raise Repository_error if the transaction is closed. *)
+
+type savepoint
+
+val txn_savepoint : txn -> savepoint
+
+val txn_rollback_to : txn -> savepoint -> unit
+(** Undo every statement applied after the savepoint (journaled as a
+    truncate record so replay stays faithful). *)
+
+val commit_txn : txn -> unit
+(** Force the commit record to disk and close the transaction.  Until
+    this returns, a crash recovers to the pre-transaction state. *)
+
+val rollback_txn : txn -> unit
+(** Undo every applied statement, journal an abort record, and close the
+    transaction. *)
+
+(** {1 Crash recovery} *)
+
+type recovery_report = {
+  replayed_txns : int;
+  replayed_statements : int;
+  discarded_txns : int;
+      (** journaled transactions without a commit record (in-flight at
+          the crash, or aborted) *)
+  torn_tail : bool;  (** the journal ended in a torn (discarded) record *)
+  replay_errors : (int * string) list;
+      (** transaction id and error, for committed statements that no
+          longer replay (e.g. the base documents changed) *)
+  post_violations : string list;
+      (** constraints violated after replay — empty for a journal
+          produced by guarded updates against the same base documents *)
+}
+
+val recover : Xic_journal.Journal.read_result -> t -> recovery_report
+(** Replay the committed transactions of a journal (see
+    {!Xic_journal.Journal.read}) against the repository's freshly loaded
+    base documents, in commit order.  Uncommitted and aborted
+    transactions, savepoint-truncated statements, and any torn tail are
+    discarded — after a crash at {e any} point, the repository recovers
+    to the last committed state. *)
 
 val apply_unchecked : t -> Xic_xupdate.Xupdate.t -> Xic_xupdate.Xupdate.undo
 val rollback : t -> Xic_xupdate.Xupdate.undo -> unit

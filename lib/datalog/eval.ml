@@ -11,6 +11,26 @@ exception Unsafe of string
 
 let unsafe fmt = Printf.ksprintf (fun s -> raise (Unsafe s)) fmt
 
+(* ------------------------------------------------------------------ *)
+(* Step budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Budget_exceeded
+
+let budget : int ref option ref = ref None
+
+let tick n =
+  match !budget with
+  | None -> ()
+  | Some r ->
+    r := !r - n;
+    if !r <= 0 then raise Budget_exceeded
+
+let with_budget ~steps f =
+  let saved = !budget in
+  budget := Some (ref steps);
+  Fun.protect ~finally:(fun () -> budget := saved) f
+
 type env = (string, Term.const) Hashtbl.t
 
 let lookup (env : env) v = Hashtbl.find_opt env v
@@ -24,6 +44,7 @@ let term_value env = function
    returns the list of new bindings (appended to [prior]) or None.  A
    variable occurring twice must match equal constants. *)
 let match_tuple ?(prior = []) env (args : Term.term list) (tup : Store.tuple) =
+  tick 1;
   let rec go acc args tup =
     match (args, tup) with
     | [], [] -> Some acc
@@ -227,6 +248,7 @@ let pick_literal body env lits =
               | None -> None))))
 
 let rec solve store body env lits k =
+  tick 1;
   match lits with
   | [] -> k env
   | _ ->

@@ -11,6 +11,16 @@ exception Unsafe of string
 (** Raised on denials whose literals cannot be scheduled safely, or that
     still contain parameters at evaluation time. *)
 
+exception Budget_exceeded
+(** Raised mid-evaluation when the installed step budget runs out. *)
+
+val with_budget : steps:int -> (unit -> 'a) -> 'a
+(** Run [f] under a step budget: every solver step and every tuple
+    examined by a join, negation or aggregate costs one step, and
+    evaluation aborts with {!Budget_exceeded} once [steps] are spent.
+    Budgets nest (the innermost wins); without one, evaluation is
+    unlimited. *)
+
 val violation :
   ?params:(string * Term.const) list ->
   Store.t ->

@@ -1,0 +1,42 @@
+type action =
+  | Exit
+  | Raise
+
+exception Triggered of string
+
+let exit_code = 42
+
+let armed : (string * action) option ref = ref None
+
+let set ?(action = Exit) name = armed := Some (name, action)
+let clear () = armed := None
+
+(* XIC_FAILPOINT=name or name=exit / name=raise; parsed once at startup. *)
+let () =
+  match Sys.getenv_opt "XIC_FAILPOINT" with
+  | None | Some "" -> ()
+  | Some spec ->
+    let name, action =
+      match String.index_opt spec '=' with
+      | None -> (spec, Exit)
+      | Some i ->
+        let name = String.sub spec 0 i in
+        (match String.sub spec (i + 1) (String.length spec - i - 1) with
+         | "exit" -> (name, Exit)
+         | "raise" -> (name, Raise)
+         | other ->
+           invalid_arg
+             (Printf.sprintf "XIC_FAILPOINT: unknown action %S (expected exit or raise)"
+                other))
+    in
+    set ~action name
+
+let hit name =
+  match !armed with
+  | Some (n, action) when n = name ->
+    (match action with
+     | Exit ->
+       (* simulate a crash: no flushing, no at_exit handlers *)
+       Unix._exit exit_code
+     | Raise -> raise (Triggered name))
+  | _ -> ()

@@ -1,0 +1,34 @@
+(** Named crash points for fault-injection testing.
+
+    A failpoint is armed either programmatically ({!set}) or through the
+    environment variable [XIC_FAILPOINT], read once at startup, whose
+    value is [NAME] or [NAME=ACTION] with [ACTION] one of [exit]
+    (terminate the process immediately, without flushing buffers — the
+    default, simulating a crash) and [raise] (raise {!Triggered}, for
+    in-process tests).
+
+    The durability layer calls {!hit} at its named crash points:
+    [before_apply] (intent journaled, document not yet mutated),
+    [after_apply] (document mutated, commit not yet journaled),
+    [before_commit] (immediately before the commit record is written) and
+    [mid_write] (half-way through writing a journal record, leaving a
+    torn entry).  An unarmed {!hit} is free. *)
+
+type action =
+  | Exit   (** [Unix._exit 42]: no buffer flushing, no [at_exit] *)
+  | Raise  (** raise {!Triggered} *)
+
+exception Triggered of string
+(** Raised by {!hit} on an armed failpoint with the [Raise] action. *)
+
+val set : ?action:action -> string -> unit
+(** Arm the named failpoint ([action] defaults to [Exit]). *)
+
+val clear : unit -> unit
+(** Disarm any armed failpoint. *)
+
+val hit : string -> unit
+(** Trigger [name] if it is the armed failpoint; otherwise do nothing. *)
+
+val exit_code : int
+(** Process exit status used by the [Exit] action (42). *)

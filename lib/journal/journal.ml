@@ -1,0 +1,219 @@
+type entry =
+  | Intent of { txn : int; seq : int; strategy : string; payload : string }
+  | Commit of { txn : int }
+  | Abort of { txn : int }
+  | Truncate of { txn : int; keep : int }
+
+type read_result = {
+  entries : entry list;
+  torn : bool;
+}
+
+exception Journal_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Journal_error s)) fmt
+
+let header = "XICJ1\n"
+let digest_len = 16  (* MD5 *)
+
+type t = {
+  jpath : string;
+  fd : Unix.file_descr;
+  sync : bool;
+  mutable next : int;
+  mutable closed : bool;
+}
+
+let path t = t.jpath
+
+let txn_of = function
+  | Intent { txn; _ } | Commit { txn } | Abort { txn } | Truncate { txn; _ } -> txn
+
+(* ------------------------------------------------------------------ *)
+(* Record (de)serialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The payload is a header line (tag + integers + strategy word) followed,
+   for intents, by the opaque statement text. *)
+let entry_payload = function
+  | Intent { txn; seq; strategy; payload } ->
+    Printf.sprintf "intent %d %d %s\n%s" txn seq strategy payload
+  | Commit { txn } -> Printf.sprintf "commit %d" txn
+  | Abort { txn } -> Printf.sprintf "abort %d" txn
+  | Truncate { txn; keep } -> Printf.sprintf "truncate %d %d" txn keep
+
+let entry_of_payload s =
+  let line, rest =
+    match String.index_opt s '\n' with
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (s, "")
+  in
+  let int_ v = match int_of_string_opt v with
+    | Some i -> i
+    | None -> fail "malformed journal record header %S" line
+  in
+  match String.split_on_char ' ' line with
+  | [ "intent"; txn; seq; strategy ] ->
+    Intent { txn = int_ txn; seq = int_ seq; strategy; payload = rest }
+  | [ "commit"; txn ] -> Commit { txn = int_ txn }
+  | [ "abort"; txn ] -> Abort { txn = int_ txn }
+  | [ "truncate"; txn; keep ] -> Truncate { txn = int_ txn; keep = int_ keep }
+  | _ -> fail "unknown journal record %S" line
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let input_upto ic buf len =
+  let rec go off =
+    if off >= len then off
+    else
+      match input ic buf off (len - off) with
+      | 0 -> off
+      | n -> go (off + n)
+  in
+  go 0
+
+(* Scan all valid records; [valid_end] is the byte offset just past the
+   last intact record, where appends may safely resume. *)
+let scan_file p =
+  let ic = try open_in_bin p with Sys_error m -> fail "%s" m in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  (match really_input_string ic (String.length header) with
+   | h when h = header -> ()
+   | _ -> fail "%s: not a journal file (bad header)" p
+   | exception End_of_file -> fail "%s: not a journal file (truncated header)" p);
+  let entries = ref [] in
+  let torn = ref false in
+  let valid_end = ref (pos_in ic) in
+  let lenb = Bytes.create 4 in
+  let rec scan () =
+    match input_upto ic lenb 4 with
+    | 0 -> ()  (* clean end of file *)
+    | n when n < 4 -> torn := true
+    | _ ->
+      let len = Int32.to_int (Bytes.get_int32_be lenb 0) in
+      if len < 0 then torn := true
+      else
+        (match really_input_string ic len with
+         | exception End_of_file -> torn := true
+         | payload ->
+           (match really_input_string ic digest_len with
+            | exception End_of_file -> torn := true
+            | digest ->
+              if Digest.string payload <> digest then torn := true
+              else begin
+                entries := entry_of_payload payload :: !entries;
+                valid_end := pos_in ic;
+                scan ()
+              end))
+  in
+  scan ();
+  (List.rev !entries, !torn, !valid_end)
+
+let read p =
+  let entries, torn, _ = scan_file p in
+  { entries; torn }
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n =
+        try Unix.write_substring fd s off len
+        with Unix.Unix_error (e, _, _) -> fail "write failed: %s" (Unix.error_message e)
+      in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+let open_ ?(sync = true) p =
+  let fresh =
+    (not (Sys.file_exists p)) || (try (Unix.stat p).Unix.st_size = 0 with Unix.Unix_error _ -> true)
+  in
+  let entries, valid_end =
+    if fresh then ([], String.length header)
+    else
+      (* the torn tail, if any, is truncated away below *)
+      let entries, _torn, valid_end = scan_file p in
+      (entries, valid_end)
+  in
+  let fd =
+    try Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+    with Unix.Unix_error (e, _, _) -> fail "%s: %s" p (Unix.error_message e)
+  in
+  (try
+     if fresh then write_all fd header 0 (String.length header)
+     else begin
+       Unix.ftruncate fd valid_end;
+       ignore (Unix.lseek fd valid_end Unix.SEEK_SET)
+     end;
+     if sync then Unix.fsync fd
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "%s: %s" p (Unix.error_message e));
+  let next = 1 + List.fold_left (fun m e -> max m (txn_of e)) 0 entries in
+  { jpath = p; fd; sync; next; closed = false }
+
+let next_txn t =
+  let id = t.next in
+  t.next <- t.next + 1;
+  id
+
+let append t e =
+  if t.closed then fail "journal %s is closed" t.jpath;
+  let payload = entry_payload e in
+  let lenb = Bytes.create 4 in
+  Bytes.set_int32_be lenb 0 (Int32.of_int (String.length payload));
+  let record = Bytes.to_string lenb ^ payload ^ Digest.string payload in
+  (* Two half-writes so the [mid_write] failpoint leaves a torn record. *)
+  let half = String.length record / 2 in
+  write_all t.fd record 0 half;
+  (match Failpoint.hit "mid_write" with
+   | () -> ()
+   | exception exn ->
+     (* in-process (Raise) injection: the tail is torn; poison the handle *)
+     t.closed <- true;
+     raise exn);
+  write_all t.fd record half (String.length record - half);
+  (try if t.sync then Unix.fsync t.fd
+   with Unix.Unix_error (e, _, _) -> fail "fsync failed: %s" (Unix.error_message e));
+  if txn_of e >= t.next then t.next <- txn_of e + 1
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd
+    with Unix.Unix_error (e, _, _) -> fail "close failed: %s" (Unix.error_message e)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Replay grouping                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let committed entries =
+  let intents : (int, entry list) Hashtbl.t = Hashtbl.create 8 in  (* reverse order *)
+  let aborted = Hashtbl.create 8 in
+  let commits = ref [] in
+  let rec drop k l =
+    if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Intent { txn; _ } ->
+        Hashtbl.replace intents txn (e :: (try Hashtbl.find intents txn with Not_found -> []))
+      | Truncate { txn; keep } ->
+        let cur = try Hashtbl.find intents txn with Not_found -> [] in
+        Hashtbl.replace intents txn (drop (List.length cur - keep) cur)
+      | Abort { txn } -> Hashtbl.replace aborted txn ()
+      | Commit { txn } -> if not (List.mem txn !commits) then commits := txn :: !commits)
+    entries;
+  List.rev !commits
+  |> List.filter (fun txn -> not (Hashtbl.mem aborted txn))
+  |> List.map (fun txn ->
+         (txn, List.rev (try Hashtbl.find intents txn with Not_found -> [])))

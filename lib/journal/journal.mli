@@ -1,0 +1,68 @@
+(** Write-ahead journal of guarded XUpdate statements.
+
+    The journal is an append-only file of checksummed, length-prefixed
+    records, fsync'd after every append, giving the repository's guarded
+    update pipeline a durable redo log: an {e intent} record (the
+    serialized statement plus the checking strategy that admitted it) is
+    written before the document is mutated, and a {e commit} or {e abort}
+    record after.  Recovery (see [Xic_core.Repository.recover]) replays
+    the intents of committed transactions against freshly loaded base
+    documents; uncommitted or aborted transactions and a torn final
+    record — the signature of a crash mid-write — are discarded.
+
+    On-disk format: a [XICJ1\n] header followed by records of the form
+    [length (4 bytes, big endian) | payload | MD5(payload) (16 bytes)].
+    The journal knows nothing about XML: statement payloads are opaque
+    strings, serialized and parsed by the repository layer. *)
+
+type t
+(** An open journal handle (append position after the last valid record). *)
+
+type entry =
+  | Intent of { txn : int; seq : int; strategy : string; payload : string }
+      (** statement [seq] of transaction [txn], admitted by [strategy],
+          serialized as [payload] — journaled before the mutation *)
+  | Commit of { txn : int }
+      (** transaction [txn] fully applied; its intents are now redo-able *)
+  | Abort of { txn : int }
+      (** transaction [txn] rolled back; its intents are void *)
+  | Truncate of { txn : int; keep : int }
+      (** rollback to a savepoint: only the first [keep] intents of
+          [txn] remain effective *)
+
+type read_result = {
+  entries : entry list;  (** all valid records, file order *)
+  torn : bool;  (** the file ended in a torn or corrupt record (discarded) *)
+}
+
+exception Journal_error of string
+(** I/O failures and malformed journal files. *)
+
+val open_ : ?sync:bool -> string -> t
+(** Open [path] for appending, creating it if missing.  Existing records
+    are scanned to seed {!next_txn}; a torn tail left by a crash is
+    truncated away so new records land on a valid prefix.  With
+    [sync = false] (default [true]) appends skip the fsync — faster, but
+    a crash may lose recent records (never corrupt the prefix). *)
+
+val path : t -> string
+
+val next_txn : t -> int
+(** A fresh transaction id (greater than any id already journaled). *)
+
+val append : t -> entry -> unit
+(** Serialize, write and (unless [sync = false]) fsync one record.
+    Honours the [mid_write] failpoint: the process dies after writing
+    half of the record, leaving a torn tail for recovery to discard. *)
+
+val close : t -> unit
+
+val read : string -> read_result
+(** Read all valid records of a journal file, stopping at the first torn
+    or corrupt record.  @raise Journal_error when the file cannot be read
+    or does not carry the journal header. *)
+
+val committed : entry list -> (int * entry list) list
+(** The committed transactions in commit order, each with its effective
+    [Intent] records: [Truncate] records drop rolled-back suffixes, and
+    transactions without a [Commit] (or with an [Abort]) are omitted. *)

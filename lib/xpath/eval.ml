@@ -14,6 +14,29 @@ exception Eval_error of string
 let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
 
 (* ------------------------------------------------------------------ *)
+(* Step budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Budget_exceeded
+
+(* The remaining-steps counter, shared with the XQuery evaluator (which
+   installs it through [with_budget] and ticks it for its own constructs).
+   No counter installed = unlimited evaluation. *)
+let budget : int ref option ref = ref None
+
+let tick n =
+  match !budget with
+  | None -> ()
+  | Some r ->
+    r := !r - n;
+    if !r <= 0 then raise Budget_exceeded
+
+let with_budget ~steps f =
+  let saved = !budget in
+  budget := Some (ref steps);
+  Fun.protect ~finally:(fun () -> budget := saved) f
+
+(* ------------------------------------------------------------------ *)
 (* Coercions                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -181,6 +204,7 @@ type ctxt = {
 }
 
 let rec eval_expr ctx (e : Ast.expr) : value =
+  tick 1;
   let open Ast in
   match e with
   | Literal s -> Str s
@@ -243,6 +267,7 @@ and eval_abs ctx steps =
         (fun r -> List.filter (test_ok ctx.doc test) (Doc.descendants ctx.doc r))
         roots
     in
+    tick (List.length matches);
     eval_steps_v ctx (Nodes matches) rest
   | step :: rest ->
     let open Ast in
@@ -421,6 +446,7 @@ and eval_one_step ctx ~clean ns (step : Ast.step) : value * bool =
       let candidates =
         List.filter (test_ok ctx.doc step.test) (axis_nodes ctx.doc step.axis id)
       in
+      tick (1 + List.length candidates);
       apply_preds ctx candidates step.preds
     in
     let n_ctx = List.length ns in

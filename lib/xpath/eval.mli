@@ -22,6 +22,22 @@ type env = (string * value) list
 
 exception Eval_error of string
 
+exception Budget_exceeded
+(** Raised mid-evaluation when the installed step budget runs out. *)
+
+val with_budget : steps:int -> (unit -> 'a) -> 'a
+(** Run [f] under a step budget: every expression evaluated and every
+    candidate node examined by a location step costs one step, and
+    evaluation aborts with {!Budget_exceeded} once [steps] are spent.
+    Budgets nest (the innermost wins) and are shared with the XQuery
+    evaluator, which delegates here.  Without an installed budget,
+    evaluation is unlimited. *)
+
+val tick : int -> unit
+(** Charge [n] steps against the installed budget, if any (used by the
+    XQuery evaluator to meter its own constructs).
+    @raise Budget_exceeded when the budget runs out. *)
+
 val eval : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> Ast.expr -> value
 (** Evaluate an expression.  [ctx] is the context node (defaults to the
     root element); absolute paths always start at the root.

@@ -35,7 +35,10 @@ and string_items = function
 
 let empty_seq : value = XE.Strs []
 
+let with_budget = XE.with_budget
+
 let rec eval_expr doc env (e : Ast.expr) : value =
+  XE.tick 1;
   match e with
   | Ast.Xp x ->
     (try XE.eval doc ~env ~ctx:(Doc.root doc) x

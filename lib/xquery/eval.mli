@@ -11,6 +11,13 @@ type value = Xic_xpath.Eval.value
 
 exception Eval_error of string
 
+val with_budget : steps:int -> (unit -> 'a) -> 'a
+(** Run [f] under a step budget shared with the XPath evaluator (FLWOR
+    iterations, quantifier bindings and location-step work all count).
+    Evaluation aborts with [Xic_xpath.Eval.Budget_exceeded] once [steps]
+    are spent — the repository layer catches it and degrades the
+    optimized check to the full check. *)
+
 val eval :
   Doc.t ->
   ?env:Xic_xpath.Eval.env ->

@@ -45,7 +45,21 @@ let rec content_of_node doc id =
          | Some n -> n
          | None -> fail "xupdate:element without a name attribute"
        in
-       Elem (name, [], List.map (content_of_node doc) (Doc.children doc id))
+       (* xupdate:attribute children become attributes of the element, so
+          serialized statements ({!to_string}) parse back for replay *)
+       let is_attr k =
+         Doc.is_element doc k && strip_prefix (Doc.name doc k) = Some "attribute"
+       in
+       let attr_kids, kids = List.partition is_attr (Doc.children doc id) in
+       let attrs =
+         List.map
+           (fun a ->
+             match Doc.attr doc a "name" with
+             | Some n -> (n, Doc.text_content doc a)
+             | None -> fail "xupdate:attribute without a name attribute")
+           attr_kids
+       in
+       Elem (name, attrs, List.map (content_of_node doc) kids)
      | Some "text" -> Text (Doc.text_content doc id)
      | Some d -> fail "unsupported xupdate content directive %s" d
      | None ->
@@ -218,8 +232,6 @@ let apply_one doc m acc =
          acc m.content
      | _ -> assert false)
 
-let apply doc t = List.fold_left (fun acc m -> apply_one doc m acc) [] t
-
 let rollback doc undo =
   List.iter
     (function
@@ -232,6 +244,22 @@ let rollback doc undo =
             | [] -> Doc.append_child doc ~parent node
             | first :: _ -> Doc.insert_before doc ~anchor:first node)))
     undo
+
+(* Atomic: when a later modification fails (say, its select matches no
+   node) the already-applied prefix is rolled back before the error
+   propagates, so a failed statement never leaves the document half
+   updated. *)
+let apply doc t =
+  let rec go acc = function
+    | [] -> acc
+    | m :: rest ->
+      (match apply_one doc m acc with
+       | acc -> go acc rest
+       | exception e ->
+         rollback doc acc;
+         raise e)
+  in
+  go [] t
 
 let inserted_nodes undo =
   List.rev (List.filter_map (function Inserted id -> Some id | Removed _ -> None) undo)

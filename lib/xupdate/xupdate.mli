@@ -42,8 +42,10 @@ type undo
 val apply : Doc.t -> t -> undo
 (** Execute all modifications in order.  Each [select] must resolve to at
     least one node; the modification applies to the first selected node
-    (document order).  @raise Xupdate_error when the target is missing or
-    the operation is ill-formed (e.g. insert-after on a root). *)
+    (document order).  Atomic: if a modification fails, the already
+    applied prefix is rolled back before the error propagates.
+    @raise Xupdate_error when the target is missing or the operation is
+    ill-formed (e.g. insert-after on a root). *)
 
 val rollback : Doc.t -> undo -> unit
 (** Restore the document to its pre-{!apply} state (the paper's

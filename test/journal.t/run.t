@@ -1,0 +1,99 @@
+Durability end to end: write-ahead journaling, crash injection via
+XIC_FAILPOINT, and recovery.
+
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track*)>
+  > <!ELEMENT track (name, rev*)>
+  > <!ELEMENT rev (name, sub*)>
+  > <!ELEMENT sub (title, auts)>
+  > <!ELEMENT auts (name+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT title (#PCDATA)>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>First</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> R
+  > XEOF
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ cat > good.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Fresh</title><auts><name>Zoe</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+
+A journaled update that commits can be replayed against the base
+documents:
+
+  $ xicheck guard --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal wal.j
+  applied (validated by the optimized pre-check)
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal wal.j --output rec
+  replayed 1 transaction(s), 1 statement(s); discarded 0
+  wrote rec.0.xml
+  $ grep -c Fresh rec.0.xml
+  1
+
+A crash after the statement executed but before the commit record: the
+in-flight transaction is discarded and recovery yields the pre-update
+state.
+
+  $ XIC_FAILPOINT=after_apply xicheck guard --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal crash.j
+  [42]
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal crash.j --output crashrec
+  replayed 0 transaction(s), 0 statement(s); discarded 1
+  wrote crashrec.0.xml
+  $ grep -c Fresh crashrec.0.xml
+  0
+  [1]
+
+A crash in the middle of a record write leaves a torn tail, which
+recovery (and re-opening for append) discards:
+
+  $ XIC_FAILPOINT=mid_write xicheck guard --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal torn.j
+  [42]
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal torn.j
+  discarded a torn record at the end of the journal
+  replayed 0 transaction(s), 0 statement(s); discarded 0
+
+Multi-statement transactions journal as one atomic unit:
+
+  $ cat > good2.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Next</title><auts><name>Kim</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck txn --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --update good2.xml --journal txn.j
+  statement 1 (good.xml): applied (validated by the optimized pre-check)
+  statement 2 (good2.xml): applied (validated by the optimized pre-check)
+  transaction committed (2 statements)
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal txn.j --output txnrec
+  replayed 1 transaction(s), 2 statement(s); discarded 0
+  wrote txnrec.0.xml
+  $ grep -c 'Fresh\|Next' txnrec.0.xml
+  2
+
+An aborted transaction is journaled but never replayed:
+
+  $ xicheck txn --abort --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal abort.j
+  statement 1 (good.xml): applied (validated by the optimized pre-check)
+  transaction rolled back
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal abort.j
+  replayed 0 transaction(s), 0 statement(s); discarded 1
+
+An exhausted evaluation budget degrades the optimized pre-check to the
+full check — the update still goes through, and the report says so:
+
+  $ xicheck guard --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --eval-budget 1
+  note: optimized check conflict degraded (step budget exhausted)
+  applied (validated by the full check)

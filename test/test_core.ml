@@ -609,6 +609,34 @@ let test_store_mirror_consistency () =
   checkb "rollback restores mirror" true
     (Xic_datalog.Store.equal (Repository.store repo) s2)
 
+let test_rollback_mirror_agreement () =
+  (* after a compensated (rolled back) update, the incrementally
+     maintained relational mirror must agree with the XQuery full check *)
+  let repo = guarded_repo () in
+  let before = Xic_datalog.Store.copy (Repository.store repo) in
+  let u =
+    [ { XU.op = XU.Append;
+        select = Xic_xpath.Parser.parse "/review/track[1]/rev[1]";
+        content =
+          [ XU.Elem ("sub", [],
+               [ XU.Elem ("title", [], [ XU.Text "Bad" ]);
+                 XU.Elem ("auts", [], [ XU.Elem ("name", [], [ XU.Text "Carl" ]) ]) ]) ];
+      } ]
+  in
+  (match Repository.guarded_update repo u with
+   | Repository.Rolled_back "conflict" -> ()
+   | _ -> Alcotest.fail "violating update must be rolled back");
+  Alcotest.(check (list string)) "full check clean" [] (Repository.check_full repo);
+  Alcotest.(check (list string)) "datalog agrees after rollback" []
+    (Repository.check_full_datalog repo);
+  checkb "mirror equals the pre-update store" true
+    (Xic_datalog.Store.equal before (Repository.store repo));
+  checkb "mirror equals a full re-shred" true
+    (Xic_datalog.Store.equal (Repository.store repo)
+       (Xic_relmap.Shred.shred
+          (Schema.mapping (Repository.schema repo))
+          (Repository.doc repo)))
+
 let test_guarded_deletion () =
   (* deletion patterns: removing an auts can orphan a submission *)
   let s = Lazy.force schema in
@@ -749,6 +777,8 @@ let () =
           Alcotest.test_case "fallback rollback" `Quick test_guarded_fallback_rollback;
           Alcotest.test_case "optimized = full decision" `Quick test_optimized_equals_full_decision;
           Alcotest.test_case "store mirror" `Quick test_store_mirror_consistency;
+          Alcotest.test_case "rollback mirror agreement" `Quick
+            test_rollback_mirror_agreement;
           Alcotest.test_case "guarded deletion" `Quick test_guarded_deletion;
           Alcotest.test_case "runtime simplification" `Quick test_runtime_simplification;
           Alcotest.test_case "runtime simp fallback" `Quick
