@@ -7,6 +7,7 @@
      ex45       the relational ISSN example (Examples 4/5)
      ablations  datalog- vs xquery-level optimized checks; After without
                 Optimize; early rejection vs rollback
+     index      indexed vs scan evaluation of full and simplified checks
      journal    write-ahead journaling overhead on guarded updates
      micro      Bechamel micro-benchmarks of the moving parts
      all        everything above (default)
@@ -272,6 +273,58 @@ let ablations ~reps () =
     t_runtime t_fullfb (t_fullfb /. (t_runtime +. 1e-9))
 
 (* ------------------------------------------------------------------ *)
+(* Indexed vs scan evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The same checks answered by the scanning interpreter and through the
+   secondary indexes (identical verdicts; the warm-up run of [time_ms]
+   absorbs the one-off lazy index build). *)
+let index_bench ~sizes ~reps () =
+  List.iter
+    (fun (name, constraint_) ->
+      Printf.printf "# Indexed vs scan — %s\n" name;
+      Printf.printf "# %-12s %-12s %-12s %-9s %-14s %-14s %s\n" "size(bytes)"
+        "full/scan" "full/idx" "speedup" "simplified/scan" "simplified/idx"
+        "speedup";
+      List.iter
+        (fun size ->
+          let { repo; pattern; ds } = setup ~size ~constraint_ () in
+          let legal =
+            Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench"
+              ~author:ds.Gen.legal_author
+          in
+          let valuation =
+            match Repository.match_update repo legal with
+            | Some (_, v) -> v
+            | None -> failwith "bench update must match the pattern"
+          in
+          let timed_pair f =
+            Repository.set_use_index repo false;
+            let scan = f () in
+            Repository.set_use_index repo true;
+            let indexed = f () in
+            (scan, indexed)
+          in
+          let full_scan, full_idx =
+            timed_pair (fun () ->
+                time_ms ~reps (fun () -> Repository.check_full repo))
+          in
+          let simp_scan, simp_idx =
+            timed_pair (fun () ->
+                time_ms ~reps:(reps * 20) (fun () ->
+                    Repository.check_optimized repo pattern valuation))
+          in
+          Printf.printf "%-14d %-12.3f %-12.3f %-9s %-15.4f %-14.4f %s\n%!"
+            ds.Gen.stats.Gen.bytes full_scan full_idx
+            (Printf.sprintf "%.1fx" (full_scan /. (full_idx +. 1e-9)))
+            simp_scan simp_idx
+            (Printf.sprintf "%.1fx" (simp_scan /. (simp_idx +. 1e-9))))
+        sizes;
+      print_newline ())
+    [ ("Conflict of interests (Example 1)", Conf.conflict);
+      ("Conference workload (Example 2)", Conf.workload) ]
+
+(* ------------------------------------------------------------------ *)
 (* Write-ahead journaling overhead                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -410,6 +463,7 @@ let () =
     | "fig_simp" -> fig_simp ()
     | "ex45" -> ex45 ()
     | "ablations" -> ablations ~reps ()
+    | "index" -> index_bench ~sizes ~reps ()
     | "journal" -> journal_bench ~sizes ~reps ()
     | "micro" -> micro ()
     | "all" ->
@@ -418,11 +472,12 @@ let () =
       fig_simp ();
       ex45 ();
       ablations ~reps ();
+      index_bench ~sizes ~reps ();
       journal_bench ~sizes ~reps ();
       micro ()
     | other ->
       Printf.eprintf
-        "unknown experiment %S (expected fig1a|fig1b|fig_simp|ex45|ablations|journal|micro|all)\n"
+        "unknown experiment %S (expected fig1a|fig1b|fig_simp|ex45|ablations|index|journal|micro|all)\n"
         other;
       exit 2
   in

@@ -86,6 +86,17 @@ let no_validate_arg =
   let doc = "Skip DTD validation when loading documents." in
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
+let no_index_arg =
+  let doc =
+    "Disable indexed evaluation: answer every check with the scanning \
+     interpreter (verdicts are identical either way)."
+  in
+  Arg.(value & flag & info [ "no-index" ] ~doc)
+
+let index_stats_arg =
+  let doc = "Print index cache statistics (hits, misses, fallbacks) at exit." in
+  Arg.(value & flag & info [ "index-stats" ] ~doc)
+
 let load_schema specs =
   let parse spec =
     match String.index_opt spec '=' with
@@ -217,34 +228,44 @@ let check_cmd =
     let doc = "Print a violation witness (bindings and node paths) per violated constraint." in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run dtds docs constraints no_validate use_datalog explain =
+  let run dtds docs constraints no_validate use_datalog explain no_index
+      index_stats =
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
+    if no_index then Repository.set_use_index repo false;
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
-    if explain then begin
-      match Repository.explain repo with
-      | [] -> print_endline "consistent"
-      | ws ->
-        List.iter (fun w -> print_endline (Repository.witness_to_string w)) ws;
-        exit 1
-    end
-    else begin
-      let violated =
-        if use_datalog then Repository.check_full_datalog repo
-        else Repository.check_full repo
-      in
-      match violated with
-      | [] -> print_endline "consistent"
-      | vs ->
-        List.iter (Printf.printf "VIOLATED: %s\n") vs;
-        exit 1
-    end
+    let consistent =
+      if explain then begin
+        match Repository.explain repo with
+        | [] ->
+          print_endline "consistent";
+          true
+        | ws ->
+          List.iter (fun w -> print_endline (Repository.witness_to_string w)) ws;
+          false
+      end
+      else begin
+        let violated =
+          if use_datalog then Repository.check_full_datalog repo
+          else Repository.check_full repo
+        in
+        match violated with
+        | [] ->
+          print_endline "consistent";
+          true
+        | vs ->
+          List.iter (Printf.printf "VIOLATED: %s\n") vs;
+          false
+      end
+    in
+    if index_stats then print_endline (Repository.index_stats_line repo);
+    if not consistent then exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check integrity constraints against the documents")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
-      $ datalog_arg $ explain_arg)
+      $ datalog_arg $ explain_arg $ no_index_arg $ index_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simplify                                                            *)
@@ -332,9 +353,10 @@ let guard_cmd =
     Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
   in
   let run dtds docs constraints pattern no_validate runtime_simp update output
-      journal eval_budget =
+      journal eval_budget no_index index_stats =
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
+    if no_index then Repository.set_use_index repo false;
     Repository.set_eval_budget repo eval_budget;
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
     (match load_pattern s pattern with
@@ -349,6 +371,7 @@ let guard_cmd =
     Option.iter Xic_journal.Journal.close journal;
     print_degradations report;
     print_outcome report.Repository.outcome;
+    if index_stats then print_endline (Repository.index_stats_line repo);
     (match report.Repository.outcome with
      | Repository.Applied _ -> ()
      | Repository.Rejected_early _ | Repository.Rolled_back _ -> exit 1);
@@ -360,7 +383,7 @@ let guard_cmd =
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
       $ no_validate_arg $ runtime_simp_arg $ update_arg $ output_arg
-      $ journal_arg $ eval_budget_arg)
+      $ journal_arg $ eval_budget_arg $ no_index_arg $ index_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* txn                                                                 *)
@@ -379,9 +402,10 @@ let txn_cmd =
     Arg.(value & flag & info [ "abort" ] ~doc)
   in
   let run dtds docs constraints pattern no_validate runtime_simp updates output
-      journal eval_budget abort =
+      journal eval_budget abort no_index index_stats =
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
+    if no_index then Repository.set_use_index repo false;
     Repository.set_eval_budget repo eval_budget;
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
     (match load_pattern s pattern with
@@ -413,6 +437,7 @@ let txn_cmd =
         (Repository.txn_statements tx)
     end;
     Option.iter Xic_journal.Journal.close journal;
+    if index_stats then print_endline (Repository.index_stats_line repo);
     Option.iter (write_roots repo) output;
     if !refused > 0 then exit 1
   in
@@ -424,7 +449,8 @@ let txn_cmd =
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
       $ no_validate_arg $ runtime_simp_arg $ updates_arg $ output_arg
-      $ journal_arg $ eval_budget_arg $ abort_arg)
+      $ journal_arg $ eval_budget_arg $ abort_arg $ no_index_arg
+      $ index_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)

@@ -42,8 +42,8 @@ let of_datalog schema ~name datalog =
     xquery;
   }
 
-let violated_xquery doc t =
-  try Xic_xquery.Eval.eval_bool doc t.xquery
+let violated_xquery ?index doc t =
+  try Xic_xquery.Eval.eval_bool doc ?index t.xquery
   with Xic_xquery.Eval.Eval_error m -> fail "%s: evaluation error: %s" t.name m
 
 let violated_datalog store t =

@@ -19,9 +19,10 @@ val of_datalog : Schema.t -> name:string -> Xic_datalog.Term.denial list -> t
 (** Wrap denials written directly in Datalog (source is their printed
     form). *)
 
-val violated_xquery : Xic_xml.Doc.t -> t -> bool
+val violated_xquery : ?index:Xic_xml.Index.t -> Xic_xml.Doc.t -> t -> bool
 (** Evaluate the full XQuery check: [true] means the constraint is
-    violated. *)
+    violated.  [index] routes the evaluation through the indexed planner
+    (identical verdict). *)
 
 val violated_datalog : Xic_datalog.Store.t -> t -> bool
 (** Evaluate the Datalog denials over a shredded store. *)

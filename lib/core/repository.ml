@@ -21,6 +21,8 @@ type t = {
   mutable compiled : (Pattern.t * optimized_check list) list;
   mutable store : Xic_datalog.Store.t option;
   mutable eval_budget : int option;
+  mutable use_index : bool;
+  mutable index : Index.t option;
 }
 
 exception Repository_error of string
@@ -29,13 +31,43 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
 
 let create schema =
   { schema; doc = Doc.create (); constraints = []; compiled = []; store = None;
-    eval_budget = None }
+    eval_budget = None; use_index = true; index = None }
 
 let set_eval_budget t b = t.eval_budget <- b
 let eval_budget t = t.eval_budget
 
 let schema t = t.schema
 let doc t = t.doc
+
+(* The index is created on demand (and even then its tables stay empty
+   until some evaluation performs a lookup). *)
+let index t =
+  if not t.use_index then None
+  else begin
+    match t.index with
+    | Some _ as i -> i
+    | None ->
+      let i = Index.create t.doc in
+      t.index <- Some i;
+      Some i
+  end
+
+let set_use_index t enabled =
+  if not enabled then begin
+    (match t.index with Some i -> Index.detach i | None -> ());
+    t.index <- None
+  end;
+  t.use_index <- enabled
+
+let use_index t = t.use_index
+let index_stats t = Option.map Index.stats t.index
+
+let index_stats_line t =
+  if not t.use_index then "index: disabled"
+  else
+    match t.index with
+    | None -> "index: idle"
+    | Some i -> Index.stats_line i
 
 let invalidate_store t = t.store <- None
 
@@ -74,7 +106,7 @@ let recompile t =
 let add_constraint ?(verify = false) t c =
   if List.exists (fun c' -> c'.Constr.name = c.Constr.name) t.constraints then
     fail "duplicate constraint name %s" c.Constr.name;
-  if verify && Constr.violated_xquery t.doc c then
+  if verify && Constr.violated_xquery ?index:(index t) t.doc c then
     fail "the current documents already violate %s" c.Constr.name;
   t.constraints <- t.constraints @ [ c ];
   recompile t
@@ -98,13 +130,15 @@ let store t =
   match t.store with
   | Some s -> s
   | None ->
-    let s = Xic_relmap.Shred.shred (Schema.mapping t.schema) t.doc in
+    let s = Xic_relmap.Shred.shred ?index:(index t) (Schema.mapping t.schema) t.doc in
     t.store <- Some s;
     s
 
 let check_full t =
   List.filter_map
-    (fun c -> if Constr.violated_xquery t.doc c then Some c.Constr.name else None)
+    (fun c ->
+      if Constr.violated_xquery ?index:(index t) t.doc c then Some c.Constr.name
+      else None)
     t.constraints
 
 let check_full_datalog t =
@@ -141,7 +175,8 @@ let try_check_optimized t p valuation =
     | ch :: rest ->
       (match
          budgeted t (fun () ->
-             Xic_xquery.Eval.eval_bool t.doc ~params ch.simplified_xquery)
+             Xic_xquery.Eval.eval_bool t.doc ~params ?index:(index t)
+               ch.simplified_xquery)
        with
        | true -> go (ch.constraint_name :: violated) degs rest
        | false -> go violated degs rest
@@ -251,11 +286,11 @@ type outcome =
    updates (the paper's focus); anything touching removal invalidates it
    and the next [store] call re-shreds. *)
 let apply_unchecked t u =
-  let undo = XU.apply t.doc u in
+  let undo = XU.apply ?index:(index t) t.doc u in
   (match t.store with
    | Some s when XU.removed_nodes undo = [] ->
      List.iter
-       (Xic_relmap.Shred.shred_into (Schema.mapping t.schema) t.doc s)
+       (Xic_relmap.Shred.shred_into ?index:(index t) (Schema.mapping t.schema) t.doc s)
        (XU.inserted_nodes undo)
    | Some _ -> invalidate_store t
    | None -> ());
@@ -266,7 +301,8 @@ let rollback t undo =
    | Some s when XU.removed_nodes undo = [] ->
      (* unshred while the inserted nodes are still alive *)
      List.iter
-       (Xic_relmap.Shred.unshred_from (Schema.mapping t.schema) t.doc s)
+       (Xic_relmap.Shred.unshred_from ?index:(index t) (Schema.mapping t.schema) t.doc
+          s)
        (XU.inserted_nodes undo)
    | Some _ -> invalidate_store t
    | None -> ());
@@ -299,7 +335,10 @@ let runtime_simplified t (m : XU.modification) =
                with
                | exception Xic_translate.Translate.Untranslatable _ -> (None, [])
                | q ->
-                 (match budgeted t (fun () -> Xic_xquery.Eval.eval_bool t.doc ~params q) with
+                 (match
+                    budgeted t (fun () ->
+                        Xic_xquery.Eval.eval_bool t.doc ~params ?index:(index t) q)
+                  with
                   | exception Xic_xquery.Eval.Eval_error msg ->
                     degraded c.Constr.name msg
                   | exception Xic_xpath.Eval.Budget_exceeded ->

@@ -41,6 +41,26 @@ val set_eval_budget : t -> int option -> unit
 
 val eval_budget : t -> int option
 
+val set_use_index : t -> bool -> unit
+(** Enable (default) or disable indexed evaluation.  Disabling detaches
+    and drops any existing index; verdicts are unaffected either way. *)
+
+val use_index : t -> bool
+
+val index : t -> Index.t option
+(** The document's secondary indexes, created (lazily, unbuilt) on first
+    demand — [None] when indexed evaluation is disabled.  All checking
+    and shredding paths consult it automatically; it is exposed for
+    callers evaluating ad-hoc queries against {!doc}. *)
+
+val index_stats : t -> Index.stats option
+(** Statistics of the current index, if one exists. *)
+
+val index_stats_line : t -> string
+(** Human-readable one-liner for the CLI: the index's hit/miss/fallback
+    counters, ["index: idle"] when no lookup forced a build yet, or
+    ["index: disabled"]. *)
+
 val load_document : ?validate:bool -> t -> string -> unit
 (** Parse an XML document and add it to the collection; with [validate]
     (default true) it must conform to the DTD declaring its root type.

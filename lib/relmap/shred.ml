@@ -10,16 +10,20 @@ let node_const id = T.Int id
 
 (* Text of the first child element named [name] (the embedded edge
    guarantees at most one), or "" when absent. *)
-let embedded_text doc id name =
-  let rec find = function
-    | [] -> ""
-    | c :: rest ->
-      if Doc.is_element doc c && Doc.name doc c = name then Doc.text_content doc c
-      else find rest
+let embedded_text ?index doc id name =
+  let named =
+    match index with
+    | Some idx -> Index.children_named idx id name
+    | None ->
+      List.filter
+        (fun c -> Doc.is_element doc c && Doc.name doc c = name)
+        (Doc.children doc id)
   in
-  find (Doc.children doc id)
+  match named with
+  | [] -> ""
+  | c :: _ -> Doc.text_content doc c
 
-let fact_of_element mapping doc id =
+let fact_of_element ?index mapping doc id =
   if not (Doc.is_element doc id) then None
   else begin
     let tag = Doc.name doc id in
@@ -33,40 +37,40 @@ let fact_of_element mapping doc id =
             match c.Mapping.source with
             | Mapping.From_attr a ->
               T.Str (Option.value ~default:"" (Doc.attr doc id a))
-            | Mapping.From_pcdata_child ch -> T.Str (embedded_text doc id ch)
+            | Mapping.From_pcdata_child ch -> T.Str (embedded_text ?index doc id ch)
             | Mapping.From_text -> T.Str (Doc.text_content doc id))
           schema.Mapping.columns
       in
       let parent = Doc.parent doc id in
-      Some
-        ( tag,
-          node_const id
-          :: T.Int (Doc.position doc id)
-          :: node_const parent
-          :: cols )
+      let pos =
+        match index with
+        | Some idx -> Index.position idx id
+        | None -> Doc.position doc id
+      in
+      Some (tag, node_const id :: T.Int pos :: node_const parent :: cols)
   end
 
-let shred_into mapping doc store start =
+let shred_into ?index mapping doc store start =
   let rec go id =
-    (match fact_of_element mapping doc id with
+    (match fact_of_element ?index mapping doc id with
      | Some (pred, tuple) -> Store.add store pred tuple
      | None -> ());
     List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
   in
   go start
 
-let unshred_from mapping doc store start =
+let unshred_from ?index mapping doc store start =
   let rec go id =
-    (match fact_of_element mapping doc id with
+    (match fact_of_element ?index mapping doc id with
      | Some (pred, tuple) -> ignore (Store.remove store pred tuple)
      | None -> ());
     List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
   in
   go start
 
-let shred mapping doc =
+let shred ?index mapping doc =
   let store = Store.create () in
-  List.iter (shred_into mapping doc store) (Doc.roots doc);
+  List.iter (shred_into ?index mapping doc store) (Doc.roots doc);
   store
 
 let path_to_node doc id =

@@ -13,19 +13,24 @@ val node_const : Doc.node_id -> Xic_datalog.Term.const
 (** The constant representing a node id ([Int]). *)
 
 val fact_of_element :
+  ?index:Index.t ->
   Mapping.t -> Doc.t -> Doc.node_id -> (string * Xic_datalog.Term.const list) option
 (** The fact contributed by one element node, if its type maps to a
-    predicate.  @raise Shred_error for element types outside the schema. *)
+    predicate.  When [index] is given, embedded-child lookups and the
+    [Pos] column come from the secondary indexes.
+    @raise Shred_error for element types outside the schema. *)
 
-val shred : Mapping.t -> Doc.t -> Xic_datalog.Store.t
+val shred : ?index:Index.t -> Mapping.t -> Doc.t -> Xic_datalog.Store.t
 (** Shred all roots of the document/collection into a fresh store. *)
 
 val shred_into :
+  ?index:Index.t ->
   Mapping.t -> Doc.t -> Xic_datalog.Store.t -> Doc.node_id -> unit
 (** Shred the subtree rooted at the given node into an existing store
     (used to mirror XUpdate insertions at the relational level). *)
 
 val unshred_from :
+  ?index:Index.t ->
   Mapping.t -> Doc.t -> Xic_datalog.Store.t -> Doc.node_id -> unit
 (** Remove the facts of the subtree rooted at the given node (rollback
     mirror of {!shred_into}). *)

@@ -14,14 +14,33 @@ type node = {
   mutable alive : bool;
 }
 
+(* Structural-change notifications, consumed by secondary indexes
+   (Index.t).  [Attached]/[Attr_set] fire after the mutation, [Detaching]
+   before it, while the parent link and sibling list are still intact —
+   an index needs the old shape to find the entries it must drop. *)
+type event =
+  | Attached of node_id
+  | Detaching of node_id
+  | Attr_set of node_id * string
+
 type t = {
   mutable nodes : node option array;
   mutable next_id : int;
   mutable root_ids : node_id list;  (* registration order *)
   mutable live_count : int;
+  mutable observer : (event -> unit) option;
 }
 
-let create () = { nodes = Array.make 64 None; next_id = 0; root_ids = []; live_count = 0 }
+let create () =
+  { nodes = Array.make 64 None; next_id = 0; root_ids = []; live_count = 0;
+    observer = None }
+
+let set_observer doc f = doc.observer <- f
+
+let notify doc e =
+  match doc.observer with
+  | None -> ()
+  | Some f -> f e
 
 let ensure_capacity doc n =
   let len = Array.length doc.nodes in
@@ -62,11 +81,17 @@ let check_element doc id =
 
 let set_root doc id =
   check_element doc id;
-  doc.root_ids <- [ id ]
+  List.iter (fun r -> if r <> id then notify doc (Detaching r)) doc.root_ids;
+  let was_root = List.mem id doc.root_ids in
+  doc.root_ids <- [ id ];
+  if not was_root then notify doc (Attached id)
 
 let add_root doc id =
   check_element doc id;
-  if not (List.mem id doc.root_ids) then doc.root_ids <- doc.root_ids @ [ id ]
+  if not (List.mem id doc.root_ids) then begin
+    doc.root_ids <- doc.root_ids @ [ id ];
+    notify doc (Attached id)
+  end
 
 let root doc =
   match doc.root_ids with
@@ -96,7 +121,8 @@ let attr doc id k = List.assoc_opt k (attrs doc id)
 
 let set_attr doc id k v =
   let n = get doc id in
-  n.nattrs <- (k, v) :: List.remove_assoc k n.nattrs
+  n.nattrs <- (k, v) :: List.remove_assoc k n.nattrs;
+  notify doc (Attr_set (id, k))
 
 let check_detached doc id =
   let n = get doc id in
@@ -106,13 +132,15 @@ let append_child doc ~parent:pid child =
   check_detached doc child;
   let p = get doc pid in
   p.nchildren <- p.nchildren @ [ child ];
-  (get doc child).parent <- pid
+  (get doc child).parent <- pid;
+  notify doc (Attached child)
 
 let append_children doc ~parent:pid children =
   List.iter (check_detached doc) children;
   let p = get doc pid in
   p.nchildren <- p.nchildren @ children;
-  List.iter (fun c -> (get doc c).parent <- pid) children
+  List.iter (fun c -> (get doc c).parent <- pid) children;
+  List.iter (fun c -> notify doc (Attached c)) children
 
 (* Splice [child] into the sibling list of [anchor]; [offset] 0 inserts
    before the anchor, 1 after it. *)
@@ -128,13 +156,15 @@ let insert_sibling doc ~anchor ~offset child =
     | c :: rest -> c :: splice rest
   in
   p.nchildren <- splice p.nchildren;
-  (get doc child).parent <- pid
+  (get doc child).parent <- pid;
+  notify doc (Attached child)
 
 let insert_after doc ~anchor child = insert_sibling doc ~anchor ~offset:1 child
 let insert_before doc ~anchor child = insert_sibling doc ~anchor ~offset:0 child
 
 let detach doc id =
   let n = get doc id in
+  notify doc (Detaching id);
   if n.parent <> no_node then begin
     let p = get doc n.parent in
     p.nchildren <- List.filter (fun c -> c <> id) p.nchildren;
@@ -268,7 +298,9 @@ let copy doc =
             })
       doc.nodes
   in
-  { nodes; next_id = doc.next_id; root_ids = doc.root_ids; live_count = doc.live_count }
+  (* the copy starts unobserved: an index watches exactly one document *)
+  { nodes; next_id = doc.next_id; root_ids = doc.root_ids;
+    live_count = doc.live_count; observer = None }
 
 let equal_structure d1 d2 =
   let sorted_attrs l = List.sort compare l in

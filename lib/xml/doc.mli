@@ -21,6 +21,24 @@ type t
 (** A mutable document: an arena of nodes plus a distinguished root
     element. *)
 
+(** Structural-change notification, for secondary indexes ({!Index}).
+    [Attached] and [Attr_set] fire {e after} the mutation; [Detaching]
+    fires {e before} it, while the node's parent link and the sibling
+    list are still intact, so a subscriber can locate the entries it has
+    to drop. *)
+type event =
+  | Attached of node_id   (** gained a parent, or became a root *)
+  | Detaching of node_id  (** about to lose its parent / root status *)
+  | Attr_set of node_id * string  (** attribute [name] was (re)assigned *)
+
+val set_observer : t -> (event -> unit) option -> unit
+(** Install (or clear) the single mutation observer.  Every structural
+    mutator — [set_root], [add_root], [append_child(ren)],
+    [insert_after/before], [detach], [delete_subtree], [set_attr] —
+    notifies it, so XUpdate application, undo, savepoint rollback and
+    crash recovery all keep subscribers current without cooperation from
+    the caller.  {!copy} does not carry the observer over. *)
+
 val create : unit -> t
 (** An empty document with no root element yet. *)
 

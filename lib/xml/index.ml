@@ -1,0 +1,385 @@
+(* Secondary indexes over an arena document.
+
+   Nothing is computed until the first lookup (documents that are only
+   parsed and validated never pay for indexing); from then on the tables
+   are maintained incrementally from the document's mutation events, so
+   XUpdate application, undo, savepoint rollback and crash recovery all
+   leave them consistent without cooperation from those layers.
+
+   Membership invariant: the value tables (by_name / by_attr / by_text)
+   contain exactly the elements reachable from the document's roots.
+   Detached subtrees enter when (re)attached and leave when detached,
+   keyed off Doc.Attached / Doc.Detaching — the latter fires before the
+   splice, while the parent chain still proves reachability. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable fallbacks : int;
+  mutable events : int;
+}
+
+(* [ids] is a multiset (an element with two identical text children
+   appears twice in its by_text bucket, once per child); [cache] is the
+   deduplicated document-order view handed to lookups. *)
+type bucket = {
+  mutable ids : Doc.node_id list;
+  mutable cache : Doc.node_id list option;
+}
+
+type t = {
+  doc : Doc.t;
+  mutable built : bool;
+  by_name : (string, bucket) Hashtbl.t;
+  by_attr : (string * string * string, bucket) Hashtbl.t;  (* tag, attr, value *)
+  by_text : (string * string, bucket) Hashtbl.t;           (* tag, text-child value *)
+  (* per-node shadow of what the value tables hold, so removal never needs
+     the pre-mutation attribute list or text content *)
+  indexed_attrs : (Doc.node_id, (string * string) list) Hashtbl.t;
+  indexed_texts : (Doc.node_id, string list) Hashtbl.t;
+  (* parent/child-position caches, invalidated whenever the parent's child
+     list changes *)
+  child_cache : (Doc.node_id, (string, Doc.node_id list) Hashtbl.t) Hashtbl.t;
+  pos_cache : (Doc.node_id, int) Hashtbl.t;
+  stats : stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Bucket primitives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_add tbl key id =
+  match Hashtbl.find_opt tbl key with
+  | Some b ->
+    b.ids <- id :: b.ids;
+    b.cache <- None
+  | None -> Hashtbl.replace tbl key { ids = [ id ]; cache = None }
+
+(* Remove one occurrence (the multiset discipline). *)
+let bucket_remove tbl key id =
+  match Hashtbl.find_opt tbl key with
+  | Some b ->
+    let rec rm = function
+      | [] -> []
+      | x :: rest -> if x = id then rest else x :: rm rest
+    in
+    b.ids <- rm b.ids;
+    b.cache <- None;
+    if b.ids = [] then Hashtbl.remove tbl key
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reachability                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec top_of doc id =
+  let p = Doc.parent doc id in
+  if p = Doc.no_node then id else top_of doc p
+
+let reachable t id = Doc.live t.doc id && List.mem (top_of t.doc id) (Doc.roots t.doc)
+
+(* ------------------------------------------------------------------ *)
+(* Entry maintenance                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let text_children t id =
+  List.filter_map
+    (fun c -> match Doc.kind t.doc c with Doc.Text s -> Some s | Doc.Element _ -> None)
+    (Doc.children t.doc id)
+
+let add_element t id =
+  let tag = Doc.name t.doc id in
+  bucket_add t.by_name tag id;
+  (match Doc.attrs t.doc id with
+   | [] -> ()
+   | attrs ->
+     Hashtbl.replace t.indexed_attrs id attrs;
+     List.iter (fun (k, v) -> bucket_add t.by_attr (tag, k, v) id) attrs);
+  match text_children t id with
+  | [] -> ()
+  | texts ->
+    Hashtbl.replace t.indexed_texts id texts;
+    List.iter (fun s -> bucket_add t.by_text (tag, s) id) texts
+
+let remove_element t id =
+  let tag = Doc.name t.doc id in
+  bucket_remove t.by_name tag id;
+  (match Hashtbl.find_opt t.indexed_attrs id with
+   | Some attrs ->
+     List.iter (fun (k, v) -> bucket_remove t.by_attr (tag, k, v) id) attrs;
+     Hashtbl.remove t.indexed_attrs id
+   | None -> ());
+  match Hashtbl.find_opt t.indexed_texts id with
+  | Some ts ->
+    List.iter (fun s -> bucket_remove t.by_text (tag, s) id) ts;
+    Hashtbl.remove t.indexed_texts id
+  | None -> ()
+
+let rec add_subtree t id =
+  if Doc.is_element t.doc id then begin
+    add_element t id;
+    List.iter (add_subtree t) (Doc.children t.doc id)
+  end
+
+let rec remove_subtree t id =
+  if Doc.is_element t.doc id then begin
+    remove_element t id;
+    List.iter (remove_subtree t) (Doc.children t.doc id)
+  end
+
+(* Caches keyed by nodes of the [id] subtree, dropped even for
+   unreachable subtrees (a cached detached node may be freed without ever
+   becoming reachable again). *)
+let rec purge_caches t id =
+  Hashtbl.remove t.child_cache id;
+  Hashtbl.remove t.pos_cache id;
+  List.iter (purge_caches t) (Doc.children t.doc id)
+
+(* The child list of [p] changed: positional knowledge about any of its
+   children (current or just-spliced) is stale. *)
+let invalidate_under t p =
+  if p <> Doc.no_node && Doc.live t.doc p then begin
+    Hashtbl.remove t.child_cache p;
+    List.iter (fun c -> Hashtbl.remove t.pos_cache c) (Doc.children t.doc p)
+  end
+
+(* Single text child attached to / detached from an indexed element. *)
+let text_added t parent s =
+  if Doc.is_element t.doc parent then begin
+    let tag = Doc.name t.doc parent in
+    bucket_add t.by_text (tag, s) parent;
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.indexed_texts parent) in
+    Hashtbl.replace t.indexed_texts parent (s :: prev)
+  end
+
+let text_removed t parent s =
+  if Doc.is_element t.doc parent then begin
+    let tag = Doc.name t.doc parent in
+    bucket_remove t.by_text (tag, s) parent;
+    match Hashtbl.find_opt t.indexed_texts parent with
+    | None -> ()
+    | Some ts ->
+      let rec rm = function
+        | [] -> []
+        | x :: rest -> if x = s then rest else x :: rm rest
+      in
+      (match rm ts with
+       | [] -> Hashtbl.remove t.indexed_texts parent
+       | ts' -> Hashtbl.replace t.indexed_texts parent ts')
+  end
+
+let refresh_attrs t id =
+  let tag = Doc.name t.doc id in
+  (match Hashtbl.find_opt t.indexed_attrs id with
+   | Some attrs ->
+     List.iter (fun (k, v) -> bucket_remove t.by_attr (tag, k, v) id) attrs;
+     Hashtbl.remove t.indexed_attrs id
+   | None -> ());
+  match Doc.attrs t.doc id with
+  | [] -> ()
+  | attrs ->
+    Hashtbl.replace t.indexed_attrs id attrs;
+    List.iter (fun (k, v) -> bucket_add t.by_attr (tag, k, v) id) attrs
+
+(* ------------------------------------------------------------------ *)
+(* Event handling                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let on_event t e =
+  if t.built then begin
+    t.stats.events <- t.stats.events + 1;
+    match e with
+    | Doc.Attached id ->
+      let p = Doc.parent t.doc id in
+      invalidate_under t p;
+      Hashtbl.remove t.pos_cache id;
+      if reachable t id then begin
+        if Doc.is_element t.doc id then add_subtree t id
+        else begin
+          match (Doc.kind t.doc id, p) with
+          | Doc.Text s, p when p <> Doc.no_node -> text_added t p s
+          | _ -> ()
+        end
+      end
+    | Doc.Detaching id ->
+      (* fired pre-splice: the parent link still proves reachability *)
+      let p = Doc.parent t.doc id in
+      invalidate_under t p;
+      if reachable t id then begin
+        if Doc.is_element t.doc id then remove_subtree t id
+        else begin
+          match (Doc.kind t.doc id, p) with
+          | Doc.Text s, p when p <> Doc.no_node -> text_removed t p s
+          | _ -> ()
+        end
+      end;
+      purge_caches t id
+    | Doc.Attr_set (id, _) ->
+      if reachable t id && Doc.is_element t.doc id then refresh_attrs t id
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let raw doc =
+  {
+    doc;
+    built = false;
+    by_name = Hashtbl.create 64;
+    by_attr = Hashtbl.create 64;
+    by_text = Hashtbl.create 256;
+    indexed_attrs = Hashtbl.create 64;
+    indexed_texts = Hashtbl.create 256;
+    child_cache = Hashtbl.create 64;
+    pos_cache = Hashtbl.create 256;
+    stats = { hits = 0; misses = 0; fallbacks = 0; events = 0 };
+  }
+
+let build t =
+  List.iter (add_subtree t) (Doc.roots t.doc);
+  t.built <- true
+
+let create doc =
+  let t = raw doc in
+  Doc.set_observer doc (Some (on_event t));
+  t
+
+let detach t = Doc.set_observer t.doc None
+
+let doc t = t.doc
+let built t = t.built
+
+let ensure_built t =
+  if not t.built then begin
+    t.stats.misses <- t.stats.misses + 1;
+    build t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lookups                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_view t b =
+  match b.cache with
+  | Some l -> l
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let l = Doc.sort_doc_order t.doc b.ids in
+    b.cache <- Some l;
+    l
+
+let lookup t tbl key =
+  ensure_built t;
+  t.stats.hits <- t.stats.hits + 1;
+  match Hashtbl.find_opt tbl key with
+  | None -> []
+  | Some b -> sorted_view t b
+
+let by_name t tag = lookup t t.by_name tag
+
+let descendants_named t tag =
+  (* the //tag node-set: named elements that are proper descendants of a
+     root (the roots themselves are never results of a child step) *)
+  List.filter (fun id -> Doc.parent t.doc id <> Doc.no_node) (by_name t tag)
+
+let by_attr t ~tag ~attr value = lookup t t.by_attr (tag, attr, value)
+let by_pcdata t ~tag value = lookup t t.by_text (tag, value)
+
+let children_named t p tag =
+  ensure_built t;
+  t.stats.hits <- t.stats.hits + 1;
+  let per_parent =
+    match Hashtbl.find_opt t.child_cache p with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.replace t.child_cache p h;
+      h
+  in
+  match Hashtbl.find_opt per_parent tag with
+  | Some l -> l
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let l =
+      List.filter
+        (fun c -> Doc.is_element t.doc c && Doc.name t.doc c = tag)
+        (Doc.children t.doc p)
+    in
+    Hashtbl.replace per_parent tag l;
+    l
+
+let position t id =
+  ensure_built t;
+  t.stats.hits <- t.stats.hits + 1;
+  match Hashtbl.find_opt t.pos_cache id with
+  | Some p -> p
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let p = Doc.position t.doc id in
+    Hashtbl.replace t.pos_cache id p;
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let note_fallback t = t.stats.fallbacks <- t.stats.fallbacks + 1
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.fallbacks <- 0;
+  t.stats.events <- 0
+
+let stats_line t =
+  Printf.sprintf "index: %d hits, %d misses, %d fallbacks" t.stats.hits
+    t.stats.misses t.stats.fallbacks
+
+(* ------------------------------------------------------------------ *)
+(* Consistency audit (for tests)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let norm_tbl tbl =
+  Hashtbl.fold (fun k (b : bucket) acc -> (k, List.sort compare b.ids) :: acc) tbl []
+  |> List.sort compare
+
+let consistency_errors t =
+  if not t.built then []
+  else begin
+    let fresh = raw t.doc in
+    build fresh;
+    let errs = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    let diff what a b =
+      let a = norm_tbl a and b = norm_tbl b in
+      if a <> b then err "%s diverges from a from-scratch rebuild" what
+    in
+    diff "by_name" t.by_name fresh.by_name;
+    diff "by_attr" t.by_attr fresh.by_attr;
+    diff "by_text" t.by_text fresh.by_text;
+    Hashtbl.iter
+      (fun p per ->
+        if not (Doc.live t.doc p) then err "child cache holds dead node %d" p
+        else
+          Hashtbl.iter
+            (fun tag l ->
+              let expect =
+                List.filter
+                  (fun c -> Doc.is_element t.doc c && Doc.name t.doc c = tag)
+                  (Doc.children t.doc p)
+              in
+              if l <> expect then err "stale child cache for node %d/%s" p tag)
+            per)
+      t.child_cache;
+    Hashtbl.iter
+      (fun id pos ->
+        if not (Doc.live t.doc id) then err "position cache holds dead node %d" id
+        else if pos <> Doc.position t.doc id then
+          err "stale position cache for node %d" id)
+      t.pos_cache;
+    List.rev !errs
+  end
+
+let consistent t = consistency_errors t = []

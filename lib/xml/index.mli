@@ -1,0 +1,74 @@
+(** Secondary indexes over an arena document.
+
+    Four access paths serve the query shapes produced by the
+    denial-to-XQuery translation: element-name → node list,
+    (tag, attribute, value) and (tag, pcdata value) hash lookups, and a
+    parent/child-position cache.  The tables are built lazily on first
+    lookup and from then on maintained incrementally from the document's
+    mutation events ({!Doc.set_observer}), so XUpdate application, undo,
+    savepoint rollback and crash recovery keep them consistent without
+    any cooperation from those layers. *)
+
+type t
+
+type stats = {
+  mutable hits : int;       (** lookups served from the index *)
+  mutable misses : int;     (** builds, sorts and cache fills *)
+  mutable fallbacks : int;  (** planner bail-outs to the scan interpreter *)
+  mutable events : int;     (** document mutations processed *)
+}
+
+val create : Doc.t -> t
+(** Attach a fresh (unbuilt) index to [doc] as its mutation observer.
+    No table is populated until the first lookup. *)
+
+val detach : t -> unit
+(** Unregister from the document; the index must not be queried after. *)
+
+val doc : t -> Doc.t
+val built : t -> bool
+
+(** {1 Lookups}
+
+    All lookups force the initial build.  Node lists are deduplicated and
+    in document order. *)
+
+val by_name : t -> string -> Doc.node_id list
+(** All reachable elements with the given tag, roots included. *)
+
+val descendants_named : t -> string -> Doc.node_id list
+(** The [//tag] node set: like {!by_name} but excluding root elements
+    (a child step never yields a root). *)
+
+val by_attr : t -> tag:string -> attr:string -> string -> Doc.node_id list
+(** Elements [tag] carrying [@attr = value]. *)
+
+val by_pcdata : t -> tag:string -> string -> Doc.node_id list
+(** Elements [tag] with a {e direct} text child equal to the value —
+    the node set satisfying [self::tag\[text() = value\]] (each text
+    child is compared on its own, not the concatenated content). *)
+
+val children_named : t -> Doc.node_id -> string -> Doc.node_id list
+(** Element children of a node with the given tag, cached per parent. *)
+
+val position : t -> Doc.node_id -> int
+(** Cached {!Doc.position}. *)
+
+(** {1 Statistics} *)
+
+val note_fallback : t -> unit
+(** Record that a planner examined a query it could not index. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val stats_line : t -> string
+(** ["index: H hits, M misses, F fallbacks"]. *)
+
+(** {1 Consistency audit}
+
+    For tests: compare the incrementally maintained tables against a
+    from-scratch rebuild, and every cache entry against the document. *)
+
+val consistency_errors : t -> string list
+val consistent : t -> bool

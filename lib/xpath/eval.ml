@@ -85,6 +85,18 @@ let item_strings doc = function
   | Strs ss -> ss
   | (Bool _ | Num _ | Str _) as v -> [ string_value doc v ]
 
+(* The paper's [Cnt_D] aggregate counts distinct Datalog term instances:
+   an element selector binds its variable to a node identity, a text
+   selector to the text value.  Mirror that here — element nodes are
+   distinct by identity, every other item by its string value. *)
+let distinct_count doc = function
+  | Nodes ns ->
+    let key n =
+      if Doc.is_element doc n then `Id n else `Val (Doc.text_content doc n)
+    in
+    List.length (List.sort_uniq compare (List.map key ns))
+  | v -> List.length (List.sort_uniq compare (item_strings doc v))
+
 let is_seq = function Nodes _ | Strs _ -> true | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -201,7 +213,56 @@ type ctxt = {
   node : Doc.node_id;
   pos : int;   (* position() *)
   size : int;  (* last() *)
+  idx : Index.t option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Index planning helpers                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Whether a predicate could observe the context position: positional
+   predicates must be applied per parent group, so the flat candidate
+   lists coming out of an index are only usable for predicates that
+   neither mention position()/last() nor can evaluate to a number (a
+   numeric predicate value is itself a position test). *)
+let rec mentions_position (e : Ast.expr) =
+  match e with
+  | Ast.Number _ | Ast.Literal _ | Ast.Var _ -> false
+  | Ast.Neg a -> mentions_position a
+  | Ast.Binop (_, a, b) -> mentions_position a || mentions_position b
+  | Ast.Call (("position" | "last"), _) -> true
+  | Ast.Call (_, args) -> List.exists mentions_position args
+  | Ast.Path (start, steps) ->
+    (match start with Ast.From e -> mentions_position e | Ast.Abs | Ast.Rel -> false)
+    || List.exists (fun (s : Ast.step) -> List.exists mentions_position s.preds) steps
+
+let positionless_pred (e : Ast.expr) =
+  (not (mentions_position e))
+  && (match e with
+      | Ast.Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _) -> true
+      | Ast.Call
+          ( ( "not" | "exists" | "empty" | "boolean" | "true" | "false"
+            | "contains" | "starts-with" | "ends-with" ),
+            _ ) -> true
+      | Ast.Path _ -> true
+      | _ -> false)
+
+(* An expression whose value does not depend on the context node, so it can
+   be evaluated once outside the candidate loop to drive an index probe. *)
+let rec context_free (e : Ast.expr) =
+  match e with
+  | Ast.Literal _ | Ast.Var _ | Ast.Number _ -> true
+  | Ast.Neg a -> context_free a
+  | Ast.Binop (_, a, b) -> context_free a && context_free b
+  | Ast.Call (("position" | "last" | "string" | "number" | "string-length"), []) ->
+    false
+  | Ast.Call (_, args) -> List.for_all context_free args
+  | Ast.Path (Ast.From e, steps) ->
+    context_free e
+    && List.for_all (fun (s : Ast.step) -> s.preds = []) steps
+  | Ast.Path (Ast.Abs, steps) ->
+    List.for_all (fun (s : Ast.step) -> s.preds = []) steps
+  | Ast.Path (Ast.Rel, _) -> false
 
 let rec eval_expr ctx (e : Ast.expr) : value =
   tick 1;
@@ -254,6 +315,36 @@ and eval_abs ctx steps =
   let roots = Doc.roots ctx.doc in
   match steps with
   | [] -> Nodes roots
+  | first :: { axis = Ast.Child; preds = []; test = Ast.Name_test tag } :: rest
+    when first = Ast.desc_step && ctx.idx <> None ->
+    (* Indexed [//tag]: the by-name table, minus the roots (a child step
+       never yields a root). *)
+    let matches = Index.descendants_named (Option.get ctx.idx) tag in
+    tick (1 + List.length matches);
+    eval_steps_v ctx (Nodes matches) rest
+  | first
+    :: ({ axis = Ast.Child; preds = _ :: _ as preds; test = Ast.Name_test tag } as
+        second)
+    :: rest
+    when first = Ast.desc_step && ctx.idx <> None
+         && List.for_all positionless_pred preds ->
+    (* Indexed [//tag[preds]]: when some equality predicate can be served
+       by a value index, probe it to get a small superset of the result,
+       then re-check every predicate on the survivors (re-checking keeps
+       the probe a pure optimization).  Positionless predicates make the
+       flat candidate list safe — see [positionless_pred]. *)
+    ignore second;
+    let idx = Option.get ctx.idx in
+    let candidates =
+      match indexed_pred_probe ctx idx ~tag preds with
+      | Some ids -> ids
+      | None ->
+        Index.note_fallback idx;
+        Index.descendants_named idx tag
+    in
+    tick (1 + List.length candidates);
+    let filtered = apply_preds ctx candidates preds in
+    eval_steps_v ctx (Nodes filtered) rest
   | first :: ({ axis = Ast.Child; preds = []; test } as second) :: rest
     when first = Ast.desc_step ->
     (* Fast path for the [//x] desugaring: child::x of
@@ -287,6 +378,53 @@ and eval_abs ctx steps =
     let clean = match step.axis with Child | Self -> true | _ -> false in
     eval_steps_v ctx ~clean (Nodes filtered) rest
 
+(* Find one predicate of the form [text() = v] or [@a = v] (either operand
+   order) whose comparand is context-free and string-valued, and serve the
+   matching elements from the value indexes.  Returns a superset of the
+   [//tag[preds]] result (the caller re-applies all predicates). *)
+and indexed_pred_probe ctx idx ~tag preds =
+  let classify = function
+    | Ast.Path (Ast.Rel, [ { Ast.axis = Ast.Child; test = Ast.Text_test; preds = [] } ])
+      -> Some `Text
+    | Ast.Path
+        (Ast.Rel, [ { Ast.axis = Ast.Attribute; test = Ast.Name_test a; preds = [] } ])
+      -> Some (`Attr a)
+    | _ -> None
+  in
+  let probe_of = function
+    | Ast.Binop (Ast.Eq, a, b) ->
+      (match (classify a, classify b) with
+       | Some probe, None when context_free b -> Some (probe, b)
+       | None, Some probe when context_free a -> Some (probe, a)
+       | _ -> None)
+    | _ -> None
+  in
+  let rec first_probe = function
+    | [] -> None
+    | p :: rest ->
+      (match probe_of p with Some pr -> Some pr | None -> first_probe rest)
+  in
+  match first_probe preds with
+  | None -> None
+  | Some (probe, comparand) ->
+    (match eval_expr ctx comparand with
+     | (Num _ | Bool _) ->
+       (* equality against a number or boolean does not compare string
+          values; leave it to the interpreter *)
+       None
+     | v ->
+       let keys = item_strings ctx.doc v in
+       let hits =
+         List.concat_map
+           (fun key ->
+             match probe with
+             | `Text -> Index.by_pcdata idx ~tag key
+             | `Attr a -> Index.by_attr idx ~tag ~attr:a key)
+           keys
+       in
+       let hits = List.filter (fun id -> Doc.parent ctx.doc id <> Doc.no_node) hits in
+       Some (match keys with [ _ ] -> hits | _ -> Doc.sort_doc_order ctx.doc hits))
+
 and eval_call ctx f args =
   let arg i =
     match List.nth_opt args i with
@@ -300,7 +438,13 @@ and eval_call ctx f args =
        [Pos] column of the relational mapping (DESIGN.md).  The paper's
        generated queries write [$x/position()] for the same thing. *)
     (match arg 0 with
-     | Nodes (n :: _) -> Num (float_of_int (Doc.position ctx.doc n))
+     | Nodes (n :: _) ->
+       let p =
+         match ctx.idx with
+         | Some idx -> Index.position idx n
+         | None -> Doc.position ctx.doc n
+       in
+       Num (float_of_int p)
      | Nodes [] -> Num Float.nan
      | _ -> fail "position-of: expected a node-set")
   | "last", 0 -> Num (float_of_int ctx.size)
@@ -310,10 +454,8 @@ and eval_call ctx f args =
      | Strs ss -> Num (float_of_int (List.length ss))
      | _ -> fail "count: expected a node-set")
   | "count-distinct", 1 ->
-    (* Distinct count by string value — the translation of the paper's
-       Cnt_D aggregate. *)
-    let ss = item_strings ctx.doc (arg 0) in
-    Num (float_of_int (List.length (List.sort_uniq compare ss)))
+    (* The translation of the paper's Cnt_D aggregate. *)
+    Num (float_of_int (distinct_count ctx.doc (arg 0)))
   | "exists", 1 ->
     (match arg 0 with
      | Nodes ns -> Bool (ns <> [])
@@ -444,7 +586,12 @@ and eval_one_step ctx ~clean ns (step : Ast.step) : value * bool =
   else begin
     let per_node id =
       let candidates =
-        List.filter (test_ok ctx.doc step.test) (axis_nodes ctx.doc step.axis id)
+        match (step.axis, step.test, ctx.idx) with
+        | Ast.Child, Ast.Name_test n, Some idx ->
+          (* cached per-parent named-child list *)
+          Index.children_named idx id n
+        | _ ->
+          List.filter (test_ok ctx.doc step.test) (axis_nodes ctx.doc step.axis id)
       in
       tick (1 + List.length candidates);
       apply_preds ctx candidates step.preds
@@ -474,20 +621,20 @@ and apply_preds ctx nodes = function
     in
     apply_preds ctx keep rest
 
-let initial_ctx doc env ctx_node =
+let initial_ctx doc env ctx_node index =
   let node =
     match ctx_node with
     | Some n -> n
     | None -> if Doc.has_root doc then Doc.root doc else Doc.no_node
   in
-  { doc; env; node; pos = 1; size = 1 }
+  { doc; env; node; pos = 1; size = 1; idx = index }
 
-let eval doc ?(env = []) ?ctx e = eval_expr (initial_ctx doc env ctx) e
+let eval doc ?(env = []) ?ctx ?index e = eval_expr (initial_ctx doc env ctx index) e
 
-let select doc ?env ?ctx e =
-  match eval doc ?env ?ctx e with
+let select doc ?env ?ctx ?index e =
+  match eval doc ?env ?ctx ?index e with
   | Nodes ns -> ns
   | _ -> fail "expected a node-set result for %s" (Ast.to_string e)
 
-let eval_steps doc ?(env = []) ns steps =
-  eval_steps_v (initial_ctx doc env None) (Nodes ns) steps
+let eval_steps doc ?(env = []) ?index ns steps =
+  eval_steps_v (initial_ctx doc env None index) (Nodes ns) steps

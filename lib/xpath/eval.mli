@@ -38,16 +38,21 @@ val tick : int -> unit
     XQuery evaluator to meter its own constructs).
     @raise Budget_exceeded when the budget runs out. *)
 
-val eval : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> Ast.expr -> value
+val eval : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> ?index:Index.t -> Ast.expr -> value
 (** Evaluate an expression.  [ctx] is the context node (defaults to the
-    root element); absolute paths always start at the root.
+    root element); absolute paths always start at the root.  When [index]
+    is supplied, [//tag] steps, [//tag\[eq-pred\]] probes, named child
+    steps and [position-of] are served from the secondary indexes; the
+    result is always identical to the scan interpretation.
     @raise Eval_error on unknown variables or functions. *)
 
-val select : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> Ast.expr -> Doc.node_id list
+val select :
+  Doc.t -> ?env:env -> ?ctx:Doc.node_id -> ?index:Index.t -> Ast.expr ->
+  Doc.node_id list
 (** Evaluate and require a node-set result. @raise Eval_error otherwise. *)
 
 val eval_steps :
-  Doc.t -> ?env:env -> Doc.node_id list -> Ast.step list -> value
+  Doc.t -> ?env:env -> ?index:Index.t -> Doc.node_id list -> Ast.step list -> value
 (** Apply location steps to an explicit initial node-set (used by the
     XQuery evaluator). *)
 
@@ -64,6 +69,11 @@ val string_value : Doc.t -> value -> string
 val item_strings : Doc.t -> value -> string list
 (** The string values of all items of a sequence (singleton for scalars);
     used for existential comparison and by the XQuery evaluator. *)
+
+val distinct_count : Doc.t -> value -> int
+(** [count-distinct] semantics, mirroring the Datalog evaluation of the
+    paper's [Cnt_D] aggregate: element nodes are distinct term instances
+    (node identity), text nodes and scalar items count by string value. *)
 
 val compare_values : Doc.t -> Ast.binop -> value -> value -> bool
 (** General comparison with existential semantics over sequences. *)

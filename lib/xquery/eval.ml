@@ -1,11 +1,21 @@
 open Xic_xml
 module XE = Xic_xpath.Eval
+module XP = Xic_xpath.Ast
 
 type value = XE.value
 
 exception Eval_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+(* Evaluation context: the document plus its (optional) secondary
+   indexes.  The planner below consults the indexes to narrow quantifier
+   and FLWOR bindings; the XPath evaluator receives them for its own fast
+   paths. *)
+type cx = {
+  doc : Doc.t;
+  idx : Index.t option;
+}
 
 (* Split a sequence value into the items bound one by one by [for] and
    quantifier variables. *)
@@ -37,28 +47,66 @@ let empty_seq : value = XE.Strs []
 
 let with_budget = XE.with_budget
 
-let rec eval_expr doc env (e : Ast.expr) : value =
+(* ------------------------------------------------------------------ *)
+(* Planner: recognizing indexable binding shapes                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Top-level conjuncts of a condition. *)
+let conjuncts e =
+  let rec go acc = function
+    | Ast.Binop (XP.And, a, b) -> go (go acc b) a
+    | e -> e :: acc
+  in
+  go [] e
+
+(* A binding source of the generated [//tag] shape. *)
+let binding_tag = function
+  | Ast.Xp
+      (XP.Path
+         (XP.Abs, [ d; { XP.axis = XP.Child; test = XP.Name_test tag; preds = [] } ]))
+    when d = XP.desc_step -> Some tag
+  | _ -> None
+
+(* An access path rooted at the bound variable that one of the value
+   indexes can answer: $v/text(), $v/child/text() or $v/@attr. *)
+let var_probe v = function
+  | Ast.Xp (XP.Path (XP.From (XP.Var v'), steps)) when v' = v ->
+    (match steps with
+     | [ { XP.axis = XP.Child; test = XP.Text_test; preds = [] } ] -> Some `Text
+     | [ { XP.axis = XP.Child; test = XP.Name_test c; preds = [] };
+         { XP.axis = XP.Child; test = XP.Text_test; preds = [] } ] ->
+       Some (`Child_text c)
+     | [ { XP.axis = XP.Attribute; test = XP.Name_test a; preds = [] } ] ->
+       Some (`Attr a)
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr cx env (e : Ast.expr) : value =
   XE.tick 1;
   match e with
   | Ast.Xp x ->
-    (try XE.eval doc ~env ~ctx:(Doc.root doc) x
+    (try XE.eval cx.doc ~env ~ctx:(Doc.root cx.doc) ?index:cx.idx x
      with XE.Eval_error m -> raise (Eval_error m))
   | Ast.Param p ->
     (match List.assoc_opt ("%" ^ p) env with
      | Some v -> v
      | None -> fail "unbound parameter %%%s" p)
   | Ast.Seq es ->
-    List.fold_left (fun acc e -> seq_append acc (eval_expr doc env e)) empty_seq es
-  | Ast.Binop (Xic_xpath.Ast.And, a, b) ->
-    XE.Bool (bool_of doc env a && bool_of doc env b)
-  | Ast.Binop (Xic_xpath.Ast.Or, a, b) ->
-    XE.Bool (bool_of doc env a || bool_of doc env b)
-  | Ast.Binop (((Xic_xpath.Ast.Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
-    XE.Bool (XE.compare_values doc op (eval_expr doc env a) (eval_expr doc env b))
+    List.fold_left (fun acc e -> seq_append acc (eval_expr cx env e)) empty_seq es
+  | Ast.Binop (XP.And, a, b) ->
+    XE.Bool (bool_of cx env a && bool_of cx env b)
+  | Ast.Binop (XP.Or, a, b) ->
+    XE.Bool (bool_of cx env a || bool_of cx env b)
+  | Ast.Binop (((XP.Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+    XE.Bool (XE.compare_values cx.doc op (eval_expr cx env a) (eval_expr cx env b))
   | Ast.Binop (op, a, b) ->
     (* Arithmetic and union delegate to the XPath evaluator's rules by
        re-wrapping pre-evaluated operands. *)
-    let va = eval_expr doc env a and vb = eval_expr doc env b in
+    let va = eval_expr cx env a and vb = eval_expr cx env b in
     let lift v name =
       let key = "%%tmp_" ^ name in
       (key, v)
@@ -66,23 +114,34 @@ let rec eval_expr doc env (e : Ast.expr) : value =
     let ka, va' = lift va "a" and kb, vb' = lift vb "b" in
     let env' = (ka, va') :: (kb, vb') :: env in
     (try
-       XE.eval doc ~env:env' ~ctx:(Doc.root doc)
-         (Xic_xpath.Ast.Binop (op, Xic_xpath.Ast.Var ka, Xic_xpath.Ast.Var kb))
+       XE.eval cx.doc ~env:env' ~ctx:(Doc.root cx.doc) ?index:cx.idx
+         (XP.Binop (op, XP.Var ka, XP.Var kb))
      with XE.Eval_error m -> raise (Eval_error m))
   | Ast.If (c, t, f) ->
-    if bool_of doc env c then eval_expr doc env t else eval_expr doc env f
+    if bool_of cx env c then eval_expr cx env t else eval_expr cx env f
   | Ast.Elem (tag, body) ->
     let parts =
-      List.map (fun e -> XE.string_value doc (eval_expr doc env e)) body
+      List.map (fun e -> XE.string_value cx.doc (eval_expr cx env e)) body
     in
     let inner = String.concat "" parts in
     XE.Str
       (if inner = "" then "<" ^ tag ^ "/>" else "<" ^ tag ^ ">" ^ inner ^ "</" ^ tag ^ ">")
   | Ast.Quant (q, binds, cond) ->
+    let conjs = conjuncts cond in
     let rec go env = function
-      | [] -> bool_of doc env cond
+      | [] -> bool_of cx env cond
       | (v, e) :: rest ->
-        let candidates = items (eval_expr doc env e) in
+        let candidates =
+          match q with
+          | Ast.Some_ ->
+            (* Narrowing by a conjunct is sound for existential
+               quantifiers only: a dropped item falsifies the conjunct,
+               hence the whole condition. *)
+            (match narrow cx env (v, e) conjs with
+             | Some narrowed -> narrowed
+             | None -> items (eval_expr cx env e))
+          | Ast.Every -> items (eval_expr cx env e)
+        in
         let test item = go ((v, item) :: env) rest in
         (match q with
          | Ast.Some_ -> List.exists test candidates
@@ -90,25 +149,105 @@ let rec eval_expr doc env (e : Ast.expr) : value =
     in
     XE.Bool (go env binds)
   | Ast.Flwor (clauses, where, ret) ->
+    (* Narrowing a [for] clause by a top-level [where] conjunct is sound
+       for any return shape: a dropped tuple fails the [where] and
+       contributes nothing to the result sequence. *)
+    let wconjs = match where with None -> [] | Some w -> conjuncts w in
     let rec go env acc = function
       | [] ->
         let keep =
-          match where with None -> true | Some w -> bool_of doc env w
+          match where with None -> true | Some w -> bool_of cx env w
         in
-        if keep then seq_append acc (eval_expr doc env ret) else acc
+        if keep then seq_append acc (eval_expr cx env ret) else acc
       | Ast.For (v, e) :: rest ->
+        let candidates =
+          match narrow cx env (v, e) wconjs with
+          | Some narrowed -> narrowed
+          | None -> items (eval_expr cx env e)
+        in
         List.fold_left
           (fun acc item -> go ((v, item) :: env) acc rest)
-          acc
-          (items (eval_expr doc env e))
+          acc candidates
       | Ast.Let (v, e) :: rest ->
-        go ((v, eval_expr doc env e) :: env) acc rest
+        go ((v, eval_expr cx env e) :: env) acc rest
     in
     go env empty_seq clauses
-  | Ast.Call (f, args) -> eval_call doc env f args
+  | Ast.Call (f, args) -> eval_call cx env f args
 
-and eval_call doc env f args =
-  let vals = List.map (eval_expr doc env) args in
+(* Try to serve the candidate items of a binding from the value indexes.
+   The binding source must be [//tag] and some conjunct must equate an
+   indexable access path of the bound variable ($v/text(), $v/c/text() or
+   $v/@a) with an expression evaluable in the current environment to a
+   string-valued sequence.  The narrowed set is a subset of [//tag]
+   containing every item that can satisfy that conjunct; the caller still
+   evaluates the full condition on each item, so a probe is a pure
+   optimization. *)
+and narrow cx env (v, src) conjs =
+  match cx.idx with
+  | None -> None
+  | Some idx ->
+    (match binding_tag src with
+     | None -> None
+     | Some tag ->
+       let probe_of = function
+         | Ast.Binop (XP.Eq, a, b) ->
+           (match var_probe v a with
+            | Some probe -> Some (probe, b)
+            | None ->
+              (match var_probe v b with
+               | Some probe -> Some (probe, a)
+               | None -> None))
+         | _ -> None
+       in
+       let rec first = function
+         | [] -> None
+         | c :: rest ->
+           (match probe_of c with Some r -> Some r | None -> first rest)
+       in
+       (match first conjs with
+        | None ->
+          Index.note_fallback idx;
+          None
+        | Some (probe, comparand) ->
+          let rhs =
+            (* The comparand may reference variables bound later (or the
+               probed variable itself); then it cannot drive a probe. *)
+            try Some (eval_expr cx env comparand) with
+            | Eval_error _ | XE.Eval_error _ -> None
+          in
+          (match rhs with
+           | None | Some (XE.Num _) | Some (XE.Bool _) ->
+             (* numbers and booleans do not compare by string value *)
+             Index.note_fallback idx;
+             None
+           | Some rv ->
+             let keys = XE.item_strings cx.doc rv in
+             let ids =
+               List.concat_map
+                 (fun key ->
+                   match probe with
+                   | `Text -> Index.by_pcdata idx ~tag key
+                   | `Attr a -> Index.by_attr idx ~tag ~attr:a key
+                   | `Child_text c ->
+                     Index.by_pcdata idx ~tag:c key
+                     |> List.map (Doc.parent cx.doc)
+                     |> List.filter (fun p ->
+                            p <> Doc.no_node
+                            && Doc.is_element cx.doc p
+                            && Doc.name cx.doc p = tag))
+                 keys
+             in
+             (* [//tag] never yields a root, and multi-key / parent-hop
+                probes can produce duplicates out of order *)
+             let ids =
+               List.filter (fun id -> Doc.parent cx.doc id <> Doc.no_node) ids
+             in
+             let ids = Doc.sort_doc_order cx.doc ids in
+             XE.tick (1 + List.length ids);
+             Some (List.map (fun n -> XE.Nodes [ n ]) ids))))
+
+and eval_call cx env f args =
+  let vals = List.map (eval_expr cx env) args in
   match (f, vals) with
   | "exists", [ v ] ->
     XE.Bool (match v with XE.Nodes ns -> ns <> [] | XE.Strs ss -> ss <> [] | v -> XE.boolean v)
@@ -126,18 +265,16 @@ and eval_call doc env f args =
   | "count", [ XE.Strs ss ] -> XE.Num (float_of_int (List.length ss))
   | "count", [ _ ] -> XE.Num 1.0
   | "count-distinct", [ v ] ->
-    (* Distinct count by string value: the translation of the paper's
-       [Cnt_D] aggregate. *)
-    let ss = XE.item_strings doc v in
-    XE.Num (float_of_int (List.length (List.sort_uniq compare ss)))
+    (* The translation of the paper's [Cnt_D] aggregate. *)
+    XE.Num (float_of_int (XE.distinct_count cx.doc v))
   | "sum", [ v ] ->
-    let ss = XE.item_strings doc v in
+    let ss = XE.item_strings cx.doc v in
     XE.Num
       (List.fold_left
          (fun a s -> a +. (match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan))
          0.0 ss)
   | "boolean", [ v ] -> XE.Bool (XE.boolean v)
-  | "string", [ v ] -> XE.Str (XE.string_value doc v)
+  | "string", [ v ] -> XE.Str (XE.string_value cx.doc v)
   | "number", [ v ] -> XE.Num (XE.number v)
   | _ ->
     (* Fall back to the XPath function library via pre-evaluated operand
@@ -145,14 +282,14 @@ and eval_call doc env f args =
     let keys = List.mapi (fun i v -> ("%%arg" ^ string_of_int i, v)) vals in
     let env' = keys @ env in
     (try
-       XE.eval doc ~env:env' ~ctx:(Doc.root doc)
-         (Xic_xpath.Ast.Call (f, List.map (fun (k, _) -> Xic_xpath.Ast.Var k) keys))
+       XE.eval cx.doc ~env:env' ~ctx:(Doc.root cx.doc) ?index:cx.idx
+         (XP.Call (f, List.map (fun (k, _) -> XP.Var k) keys))
      with XE.Eval_error m -> raise (Eval_error m))
 
-and bool_of doc env e = XE.boolean (eval_expr doc env e)
+and bool_of cx env e = XE.boolean (eval_expr cx env e)
 
-let eval doc ?(env = []) ?(params = []) e =
+let eval doc ?(env = []) ?(params = []) ?index e =
   let env = List.map (fun (p, v) -> ("%" ^ p, v)) params @ env in
-  eval_expr doc env e
+  eval_expr { doc; idx = index } env e
 
-let eval_bool doc ?env ?params e = XE.boolean (eval doc ?env ?params e)
+let eval_bool doc ?env ?params ?index e = XE.boolean (eval doc ?env ?params ?index e)

@@ -22,17 +22,23 @@ val eval :
   Doc.t ->
   ?env:Xic_xpath.Eval.env ->
   ?params:(string * value) list ->
+  ?index:Index.t ->
   Ast.expr ->
   value
 (** Evaluate an expression.  [params] binds the [%name] holes of generated
     queries (typically to [Nodes [n]] for node-valued parameters or
-    [Str s] for data parameters).
+    [Str s] for data parameters).  When [index] is supplied, a small
+    planner narrows [some $v in //tag satisfies …] bindings and FLWOR
+    [for] clauses through the value indexes when an equality conjunct
+    permits, and the XPath evaluator uses its own indexed fast paths;
+    verdicts are always identical to the scan interpretation.
     @raise Eval_error on unbound variables/parameters. *)
 
 val eval_bool :
   Doc.t ->
   ?env:Xic_xpath.Eval.env ->
   ?params:(string * value) list ->
+  ?index:Index.t ->
   Ast.expr ->
   bool
 (** Evaluate and coerce to a boolean (XPath [boolean()] rules).  This is

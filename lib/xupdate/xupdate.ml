@@ -179,16 +179,16 @@ let rec materialize doc = function
       kids;
     id
 
-let select_target doc expr =
-  match Xic_xpath.Eval.eval doc expr with
+let select_target ?index doc expr =
+  match Xic_xpath.Eval.eval doc ?index expr with
   | Xic_xpath.Eval.Nodes (n :: _) -> n
   | Xic_xpath.Eval.Nodes [] ->
     fail "select %s matched no node" (Xic_xpath.Ast.to_string expr)
   | _ -> fail "select %s did not produce a node-set" (Xic_xpath.Ast.to_string expr)
   | exception Xic_xpath.Eval.Eval_error m -> fail "select evaluation failed: %s" m
 
-let apply_one doc m acc =
-  let target = select_target doc m.select in
+let apply_one ?index doc m acc =
+  let target = select_target ?index doc m.select in
   match m.op with
   | Remove ->
     let parent = Doc.parent doc target in
@@ -249,11 +249,11 @@ let rollback doc undo =
    node) the already-applied prefix is rolled back before the error
    propagates, so a failed statement never leaves the document half
    updated. *)
-let apply doc t =
+let apply ?index doc t =
   let rec go acc = function
     | [] -> acc
     | m :: rest ->
-      (match apply_one doc m acc with
+      (match apply_one ?index doc m acc with
        | acc -> go acc rest
        | exception e ->
          rollback doc acc;

@@ -1,0 +1,80 @@
+Indexed vs scan evaluation from the CLI: `--no-index` disables the
+secondary indexes, `--index-stats` prints the cache counters.  Verdicts
+must be identical either way.
+
+  $ cat > pub.dtd <<'XEOF'
+  > <!ELEMENT dblp (pub)*>
+  > <!ELEMENT pub (title, aut+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT aut (name)>
+  > <!ELEMENT name (#PCDATA)>
+  > XEOF
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track)+>
+  > <!ELEMENT track (name, rev+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT rev (name, sub+)>
+  > <!ELEMENT sub (title, auts+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT auts (name)>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> A and (A = R or //pub[aut/name/text() -> A and aut/name/text() -> R])
+  > XEOF
+  $ cat > pub.xml <<'XEOF'
+  > <dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub></dblp>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+
+A consistent collection: same verdict with and without the index, and the
+indexed run reports its cache activity.
+
+  $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+  $ xicheck check --no-index --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+  $ xicheck check --index-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl | sed 's/[0-9][0-9]*/N/g'
+  consistent
+  index: N hits, N misses, N fallbacks
+  $ xicheck check --no-index --index-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+  index: disabled
+
+A violating collection: identical verdict and exit code on both routes.
+
+  $ cat > broken.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>Self</title><auts><name>Nora</name></auts></sub></rev></track></review>
+  > XEOF
+  $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc broken.xml --constraints constraints.xpl
+  VIOLATED: conflict
+  [1]
+  $ xicheck check --no-index --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc broken.xml --constraints constraints.xpl
+  VIOLATED: conflict
+  [1]
+
+Guarded updates behave identically too — a conflicting insertion is
+rejected before execution on both routes.
+
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ cat > bad.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Late</title><auts><name>Nora</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck guard --index-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update bad.xml | sed 's/[0-9][0-9]*/N/g'
+  rejected before execution: violates conflict
+  index: N hits, N misses, N fallbacks
+  $ xicheck guard --no-index --index-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update bad.xml
+  rejected before execution: violates conflict
+  index: disabled
+  [1]

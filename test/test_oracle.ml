@@ -1,0 +1,351 @@
+(* Differential test oracle (index layer): randomized conference-style
+   documents, denials from the paper's constraint class, and random
+   XUpdate sequences.  Three evaluation routes must agree on every
+   check — the indexed planner, the scan interpreter, and the Datalog
+   evaluation of the shredded relational mapping — and the incrementally
+   maintained indexes must equal indexes rebuilt from scratch after
+   every apply / undo / savepoint-rollback / crash-recovery sequence.
+
+   Iteration count comes from [XIC_ORACLE_ITERS] (small by default so
+   [dune runtest] stays fast); [dune build @oracle] runs 500.  The PRNG
+   is seeded per iteration and every failure message carries the seed,
+   so failures reproduce deterministically. *)
+
+open Xic_core
+module Conf = Xic_workload.Conference
+module Prng = Xic_workload.Prng
+module XU = Xic_xupdate.Xupdate
+module XP = Xic_xpath
+module J = Xic_journal.Journal
+module Index = Xic_xml.Index
+
+let checkb = Alcotest.(check bool)
+
+let iters =
+  match Sys.getenv_opt "XIC_ORACLE_ITERS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 30)
+  | None -> 30
+
+(* ------------------------------------------------------------------ *)
+(* Random documents (valid against the pub/rev DTDs)                   *)
+(* ------------------------------------------------------------------ *)
+
+let names = [| "Ann"; "Bob"; "Carl"; "Dora"; "Ed"; "Fay"; "Gus"; "Hal"; "Ina" |]
+let words = [| "Logic"; "Types"; "Query"; "Index"; "Proofs"; "Graphs"; "Views" |]
+
+let buf_elt b tag s = Buffer.add_string b (Printf.sprintf "<%s>%s</%s>" tag s tag)
+
+let gen_pub r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "<dblp>";
+  for _ = 1 to Prng.int r 5 do
+    Buffer.add_string b "<pub>";
+    buf_elt b "title" (Prng.pick r words);
+    for _ = 0 to Prng.int r 3 do
+      Buffer.add_string b "<aut>";
+      buf_elt b "name" (Prng.pick r names);
+      Buffer.add_string b "</aut>"
+    done;
+    Buffer.add_string b "</pub>"
+  done;
+  Buffer.add_string b "</dblp>";
+  Buffer.contents b
+
+let gen_sub r b =
+  Buffer.add_string b "<sub>";
+  buf_elt b "title" (Prng.pick r words ^ " " ^ Prng.pick r words);
+  for _ = 0 to Prng.int r 2 do
+    Buffer.add_string b "<auts>";
+    buf_elt b "name" (Prng.pick r names);
+    Buffer.add_string b "</auts>"
+  done;
+  Buffer.add_string b "</sub>"
+
+let gen_rev r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "<review>";
+  for _ = 0 to Prng.int r 2 do
+    Buffer.add_string b "<track>";
+    buf_elt b "name" (Prng.pick r words);
+    for _ = 0 to Prng.int r 2 do
+      Buffer.add_string b "<rev>";
+      buf_elt b "name" (Prng.pick r names);
+      for _ = 0 to Prng.int r 3 do
+        gen_sub r b
+      done;
+      Buffer.add_string b "</rev>"
+    done;
+    Buffer.add_string b "</track>"
+  done;
+  Buffer.add_string b "</review>";
+  Buffer.contents b
+
+let repo_of ~pub ~rev =
+  let s = Conf.schema () in
+  let repo = Repository.create s in
+  Repository.load_document repo pub;
+  Repository.load_document repo rev;
+  List.iter
+    (Repository.add_constraint repo)
+    [ Conf.conflict s; Conf.workload s; Conf.track_load s ];
+  Repository.register_pattern repo (Conf.submission_pattern s);
+  repo
+
+let random_repo r = repo_of ~pub:(gen_pub r) ~rev:(gen_rev r)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle assertions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sorted l = List.sort compare l
+
+(* Compare the three routes without toggling [set_use_index], so the
+   live index stays incrementally maintained across the whole sequence
+   instead of being dropped and rebuilt at every check. *)
+let check_agreement ~seed repo what =
+  let doc = Repository.doc repo in
+  let idx = Repository.index repo in
+  let verdict f =
+    sorted
+      (List.filter_map
+         (fun c -> if f c then Some c.Constr.name else None)
+         (Repository.constraints repo))
+  in
+  let indexed = verdict (fun c -> Constr.violated_xquery ?index:idx doc c) in
+  let scan = verdict (fun c -> Constr.violated_xquery doc c) in
+  let datalog = sorted (Repository.check_full_datalog repo) in
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: indexed = scan" seed what)
+    scan indexed;
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: datalog = scan" seed what)
+    scan datalog
+
+let check_index_consistent ~seed repo what =
+  match Repository.index repo with
+  | None -> Alcotest.failf "[seed %d] %s: index unexpectedly disabled" seed what
+  | Some i ->
+    ignore (Index.by_name i "sub" : Xic_xml.Doc.node_id list);
+    (match Index.consistency_errors i with
+     | [] -> ()
+     | errs ->
+       Alcotest.failf "[seed %d] %s: index inconsistent: %s" seed what
+         (String.concat "; " errs))
+
+(* ------------------------------------------------------------------ *)
+(* Random updates                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let count repo path =
+  List.length (XP.Eval.select (Repository.doc repo) (XP.Parser.parse path))
+
+let random_rev_path r repo =
+  let t = 1 + Prng.int r (count repo "/review/track") in
+  let rv = 1 + Prng.int r (count repo (Printf.sprintf "/review/track[%d]/rev" t)) in
+  Printf.sprintf "/review/track[%d]/rev[%d]" t rv
+
+let random_sub_path r repo =
+  let rev = random_rev_path r repo in
+  let ns = count repo (rev ^ "/sub") in
+  if ns = 0 then None
+  else Some (Printf.sprintf "%s/sub[%d]" rev (1 + Prng.int r ns))
+
+let sub_content r =
+  XU.Elem
+    ( "sub",
+      [],
+      [ XU.Elem ("title", [], [ XU.Text (Prng.pick r words) ]);
+        XU.Elem
+          ("auts", [], [ XU.Elem ("name", [], [ XU.Text (Prng.pick r names) ]) ])
+      ] )
+
+let random_update r repo =
+  let mk op select content =
+    [ { XU.op; select = XP.Parser.parse select; content } ]
+  in
+  match Prng.int r 4 with
+  | 0 ->
+    Option.map
+      (fun p ->
+        Conf.insert_submission ~select:p ~title:(Prng.pick r words)
+          ~author:(Prng.pick r names))
+      (random_sub_path r repo)
+  | 1 ->
+    Option.map
+      (fun p -> mk XU.Insert_before p [ sub_content r ])
+      (random_sub_path r repo)
+  | 2 -> Some (mk XU.Append (random_rev_path r repo) [ sub_content r ])
+  | _ ->
+    Option.map (fun p -> mk XU.Remove p []) (random_sub_path r repo)
+
+(* ------------------------------------------------------------------ *)
+(* Regression: rollback must not leave a stale index                   *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_pub =
+  {|<dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub><pub><title>Solo</title><aut><name>Ann</name></aut></pub></dblp>|}
+
+let fixed_rev =
+  {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev><rev><name>Rita</name><sub><title>S2</title><auts><name>Bob</name></auts></sub></rev></track></review>|}
+
+let fixed_repo () = repo_of ~pub:fixed_pub ~rev:fixed_rev
+
+(* Before the index was maintained at the [Doc] observer level, the undo
+   path of [Xupdate] emitted no maintenance events: after a rollback the
+   index still listed the reverted insertion.  This reproduces that. *)
+let test_rollback_not_stale () =
+  let repo = fixed_repo () in
+  match Repository.index repo with
+  | None -> Alcotest.fail "index expected"
+  | Some i ->
+    checkb "phantom absent before" true (Index.by_pcdata i ~tag:"title" "Phantom" = []);
+    let u =
+      Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]"
+        ~title:"Phantom" ~author:"Zed"
+    in
+    let undo = Repository.apply_unchecked repo u in
+    checkb "insertion indexed" true (Index.by_pcdata i ~tag:"title" "Phantom" <> []);
+    Repository.rollback repo undo;
+    checkb "rolled-back insertion purged from index" true
+      (Index.by_pcdata i ~tag:"title" "Phantom" = []);
+    checkb "index consistent after rollback" true (Index.consistent i)
+
+let test_savepoint_rollback_not_stale () =
+  let repo = fixed_repo () in
+  match Repository.index repo with
+  | None -> Alcotest.fail "index expected"
+  | Some i ->
+    ignore (Index.by_name i "sub" : Xic_xml.Doc.node_id list);
+    let txn = Repository.begin_txn repo in
+    let sp = Repository.txn_savepoint txn in
+    (match
+       Repository.txn_apply txn
+         (Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]"
+            ~title:"Ghost" ~author:"Zed")
+     with
+     | Repository.Applied _ -> ()
+     | _ -> Alcotest.fail "legal insertion should apply");
+    checkb "insertion indexed" true (Index.by_pcdata i ~tag:"title" "Ghost" <> []);
+    Repository.txn_rollback_to txn sp;
+    Repository.commit_txn txn;
+    checkb "savepoint rollback purged from index" true
+      (Index.by_pcdata i ~tag:"title" "Ghost" = []);
+    checkb "index consistent after savepoint rollback" true (Index.consistent i)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized oracles                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply_undo_oracle () =
+  for i = 1 to iters do
+    let seed = 1000 + i in
+    let r = Prng.create seed in
+    let repo = random_repo r in
+    check_index_consistent ~seed repo "initial";
+    check_agreement ~seed repo "initial";
+    let undos = ref [] in
+    for s = 1 to 1 + Prng.int r 5 do
+      match random_update r repo with
+      | None -> ()
+      | Some u ->
+        undos := Repository.apply_unchecked repo u :: !undos;
+        let what = Printf.sprintf "after apply %d" s in
+        check_index_consistent ~seed repo what;
+        check_agreement ~seed repo what
+    done;
+    (* Roll back a random suffix (possibly all) of the applied updates,
+       in reverse application order. *)
+    let k = Prng.int r (List.length !undos + 1) in
+    List.iteri
+      (fun n u ->
+        if n < k then begin
+          Repository.rollback repo u;
+          check_index_consistent ~seed repo (Printf.sprintf "after undo %d" n)
+        end)
+      !undos;
+    check_agreement ~seed repo "after undos"
+  done
+
+let test_txn_savepoint_oracle () =
+  for i = 1 to max 1 (iters / 3) do
+    let seed = 5000 + i in
+    let r = Prng.create seed in
+    let repo = random_repo r in
+    check_index_consistent ~seed repo "initial";
+    let txn = Repository.begin_txn repo in
+    let apply_some n =
+      for _ = 1 to n do
+        match random_update r repo with
+        | Some u -> ignore (Repository.txn_apply txn u : Repository.outcome)
+        | None -> ()
+      done
+    in
+    apply_some (1 + Prng.int r 3);
+    let sp = Repository.txn_savepoint txn in
+    apply_some (1 + Prng.int r 3);
+    Repository.txn_rollback_to txn sp;
+    check_index_consistent ~seed repo "after savepoint rollback";
+    check_agreement ~seed repo "after savepoint rollback";
+    apply_some 1;
+    if Prng.bool r then Repository.commit_txn txn
+    else Repository.rollback_txn txn;
+    check_index_consistent ~seed repo "after txn close";
+    check_agreement ~seed repo "after txn close"
+  done
+
+let fresh_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let p = Printf.sprintf "test_oracle_%d.j" !n in
+    if Sys.file_exists p then Sys.remove p;
+    p
+
+let test_recover_oracle () =
+  for i = 1 to max 1 (iters / 3) do
+    let seed = 9000 + i in
+    (* Two generators with the same seed: [r] drives the original run,
+       [r2] regenerates identical base documents for the crashed copy. *)
+    let r = Prng.create seed in
+    let r2 = Prng.create seed in
+    let repo = random_repo r in
+    let path = fresh_path () in
+    let j = J.open_ ~sync:false path in
+    let txn = Repository.begin_txn ~journal:j repo in
+    for _ = 1 to 1 + Prng.int r 3 do
+      match random_update r repo with
+      | Some u -> ignore (Repository.txn_apply txn u : Repository.outcome)
+      | None -> ()
+    done;
+    Repository.commit_txn txn;
+    J.close j;
+    (* "Crash": replay the journal against a fresh repository whose
+       index is forced *before* recovery, so replay must maintain it. *)
+    let repo2 = repo_of ~pub:(gen_pub r2) ~rev:(gen_rev r2) in
+    check_index_consistent ~seed repo2 "before recover";
+    ignore (Repository.recover (J.read path) repo2 : Repository.recovery_report);
+    check_index_consistent ~seed repo2 "after recover";
+    check_agreement ~seed repo2 "after recover";
+    Alcotest.(check (list string))
+      (Printf.sprintf "[seed %d] recovered verdicts = original" seed)
+      (sorted (Repository.check_full repo))
+      (sorted (Repository.check_full repo2));
+    Sys.remove path
+  done
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "regression",
+        [
+          Alcotest.test_case "rollback purges index" `Quick test_rollback_not_stale;
+          Alcotest.test_case "savepoint rollback purges index" `Quick
+            test_savepoint_rollback_not_stale;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "apply/undo agreement" `Quick test_apply_undo_oracle;
+          Alcotest.test_case "txn savepoints" `Quick test_txn_savepoint_oracle;
+          Alcotest.test_case "crash recovery" `Quick test_recover_oracle;
+        ] );
+    ]

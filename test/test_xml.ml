@@ -431,6 +431,109 @@ let test_dtd_descendants_recursive () =
   Alcotest.(check (list string)) "descendant types" [ "tree"; "leaf" ]
     (Dtd.descendant_types d "tree")
 
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let checkl = Alcotest.(check (list int))
+
+let test_index_lazy_build () =
+  let d = parse "<r><b>x</b></r>" in
+  let i = Index.create d in
+  checkb "not built on create" false (Index.built i);
+  let b = Doc.make_element d "b" in
+  Doc.append_child d ~parent:(Doc.root d) b;
+  checkb "mutation before first lookup leaves it unbuilt" false (Index.built i);
+  checki "both b elements found" 2 (List.length (Index.by_name i "b"));
+  checkb "built after first lookup" true (Index.built i)
+
+let test_index_roots_excluded () =
+  let d = parse "<r><a/><x><a/></x></r>" in
+  let i = Index.create d in
+  checki "by_name sees the root" 1 (List.length (Index.by_name i "r"));
+  checkl "//r is empty (child steps never yield roots)" []
+    (Index.descendants_named i "r");
+  checki "nested a's" 2 (List.length (Index.descendants_named i "a"))
+
+let test_index_by_attr () =
+  let d = parse {|<r><p k="v"/><p k="w"/><q k="v"/></r>|} in
+  let i = Index.create d in
+  let p1 = List.nth (Doc.children d (Doc.root d)) 0 in
+  checkl "tag and attr both filter" [ p1 ] (Index.by_attr i ~tag:"p" ~attr:"k" "v");
+  Doc.set_attr d p1 "k" "w";
+  checkl "old value gone" [] (Index.by_attr i ~tag:"p" ~attr:"k" "v");
+  checki "new value indexed" 2 (List.length (Index.by_attr i ~tag:"p" ~attr:"k" "w"));
+  checkb "consistent" true (Index.consistent i)
+
+let test_index_by_pcdata_duplicates () =
+  let d = parse "<r><s>x</s></r>" in
+  let i = Index.create d in
+  let s = List.hd (Doc.children d (Doc.root d)) in
+  checkl "single text child" [ s ] (Index.by_pcdata i ~tag:"s" "x");
+  (* a second, identical text child: the bucket is a multiset, the
+     lookup stays deduplicated *)
+  let t2 = Doc.make_text d "x" in
+  Doc.append_child d ~parent:s t2;
+  checkl "still one element" [ s ] (Index.by_pcdata i ~tag:"s" "x");
+  Doc.detach d t2;
+  checkl "one occurrence removed, one remains" [ s ]
+    (Index.by_pcdata i ~tag:"s" "x");
+  Doc.detach d (List.hd (Doc.children d s));
+  checkl "both gone" [] (Index.by_pcdata i ~tag:"s" "x");
+  checkb "consistent" true (Index.consistent i)
+
+let test_index_children_position () =
+  let d = parse "<r><c/><d/><c/></r>" in
+  let i = Index.create d in
+  let root = Doc.root d in
+  checki "two c children" 2 (List.length (Index.children_named i root "c"));
+  let dd = List.nth (Doc.children d root) 1 in
+  checki "position of d served" 2 (Index.position i dd);
+  let c3 = Doc.make_element d "c" in
+  Doc.insert_before d ~anchor:dd c3;
+  checki "insert invalidates the child cache" 3
+    (List.length (Index.children_named i root "c"));
+  checki "positions shift" 3 (Index.position i dd);
+  Doc.detach d c3;
+  checki "detach restores" 2 (List.length (Index.children_named i root "c"));
+  checki "position restored" 2 (Index.position i dd);
+  checkb "consistent" true (Index.consistent i)
+
+let test_index_detached_subtree () =
+  let d = parse "<r><x><a/></x></r>" in
+  let i = Index.create d in
+  checki "a reachable" 1 (List.length (Index.by_name i "a"));
+  let x = List.hd (Doc.children d (Doc.root d)) in
+  Doc.detach d x;
+  checkl "detached subtree invisible" [] (Index.by_name i "a");
+  (* mutations inside the detached subtree are ignored by the tables *)
+  let a2 = Doc.make_element d "a" in
+  Doc.append_child d ~parent:x a2;
+  checkl "still invisible" [] (Index.by_name i "a");
+  (* reattaching brings the whole subtree (including a2) back *)
+  Doc.append_child d ~parent:(Doc.root d) x;
+  checki "both a's after reattach" 2 (List.length (Index.by_name i "a"));
+  Doc.delete_subtree d x;
+  checkl "deleted subtree gone" [] (Index.by_name i "a");
+  checkb "consistent" true (Index.consistent i)
+
+let test_index_stats_line () =
+  let d = parse "<r><a/></r>" in
+  let i = Index.create d in
+  ignore (Index.by_name i "a" : Doc.node_id list);
+  ignore (Index.by_name i "a" : Doc.node_id list);
+  Index.note_fallback i;
+  let st = Index.stats i in
+  checkb "some hits" true (st.Index.hits > 0);
+  checkb "build counted as a miss" true (st.Index.misses > 0);
+  checki "fallback recorded" 1 st.Index.fallbacks;
+  checkb "line mentions hits" true
+    (let line = Index.stats_line i in
+     String.length line > 0
+     && String.sub line 0 6 = "index:");
+  Index.reset_stats i;
+  checki "reset" 0 (Index.stats i).Index.hits
+
 let () =
   Alcotest.run "xml"
     [
@@ -497,5 +600,15 @@ let () =
           Alcotest.test_case "mixed validation" `Quick test_dtd_mixed_validation;
           Alcotest.test_case "nested groups" `Quick test_dtd_nested_groups;
           Alcotest.test_case "recursive DTD" `Quick test_dtd_descendants_recursive;
+        ] );
+      ( "index",
+        [
+          Alcotest.test_case "lazy build" `Quick test_index_lazy_build;
+          Alcotest.test_case "roots excluded from //" `Quick test_index_roots_excluded;
+          Alcotest.test_case "by_attr" `Quick test_index_by_attr;
+          Alcotest.test_case "by_pcdata duplicates" `Quick test_index_by_pcdata_duplicates;
+          Alcotest.test_case "children/position caches" `Quick test_index_children_position;
+          Alcotest.test_case "detached subtrees" `Quick test_index_detached_subtree;
+          Alcotest.test_case "statistics" `Quick test_index_stats_line;
         ] );
     ]

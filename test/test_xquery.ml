@@ -116,7 +116,12 @@ let test_params_missing () =
 
 let test_count_distinct () =
   checkb "distinct author names" true (ebool "count-distinct(//auts/name/text()) = 2");
-  checkb "plain count differs" true (ebool "count(//auts/name/text()) = 3")
+  checkb "plain count differs" true (ebool "count(//auts/name/text()) = 3");
+  (* Element nodes are distinct term instances even when their content
+     coincides (two [auts] both read "Mickey") — the Datalog Cnt_D counts
+     node identities, and the XQuery route must agree. *)
+  checkb "content-identical elements stay distinct" true
+    (ebool "count-distinct(//auts) = 3")
 
 (* ------------------------------------------------------------------ *)
 (* Parser round-trips                                                  *)
