@@ -34,6 +34,43 @@ let time_ms ?(reps = 5) f =
   done;
   (now () -. t0) *. 1000.0 /. float_of_int reps
 
+(* (median, min) wall-clock ms of [f] over at least 5 samples after one
+   warm-up.  [batch] amortizes timer granularity for µs-scale runs: each
+   sample times [batch] consecutive runs and reports the per-run mean. *)
+let time_stats ?(reps = 5) ?(batch = 1) f =
+  ignore (f ());
+  let reps = max reps 5 in
+  let sample () =
+    let t0 = now () in
+    for _ = 1 to batch do
+      ignore (f ())
+    done;
+    (now () -. t0) *. 1000.0 /. float_of_int batch
+  in
+  let samples = Array.init reps (fun _ -> sample ()) in
+  Array.sort Float.compare samples;
+  let n = Array.length samples in
+  let median =
+    if n mod 2 = 1 then samples.(n / 2)
+    else (samples.((n / 2) - 1) +. samples.(n / 2)) /. 2.0
+  in
+  (median, samples.(0))
+
+(* Accumulated machine-readable results, written when --json is given. *)
+let json_sections : (string * string) list ref = ref []
+
+let add_json name value = json_sections := !json_sections @ [ (name, value) ]
+
+let write_json path ~reps =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"reps\": %d" reps;
+  List.iter
+    (fun (name, value) -> Printf.fprintf oc ",\n  %S: %s" name value)
+    !json_sections;
+  output_string oc "\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 type setup = {
   repo : Repository.t;
   pattern : Pattern.t;
@@ -55,48 +92,142 @@ let setup ~size ~constraint_ () =
 (* The three curves of Figure 1: full check, optimized check, and
    update + full check + rollback (the paper's diamonds, squares and
    triangles). *)
-let figure ~name ~constraint_ ~sizes ~reps () =
+let figure ?json_key ~name ~constraint_ ~sizes ~reps () =
   Printf.printf "# %s\n" name;
   Printf.printf
     "# %-12s %-10s %-14s %-14s %-20s %s\n" "size(bytes)" "subs"
     "original(ms)" "optimized(ms)" "upd+check+undo(ms)" "speedup";
-  List.iter
-    (fun size ->
-      let { repo; pattern; ds } = setup ~size ~constraint_ () in
-      let legal =
-        Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench Paper"
-          ~author:ds.Gen.legal_author
-      in
-      let valuation =
-        match Repository.match_update repo legal with
-        | Some (_, v) -> v
-        | None -> failwith "bench update must match the pattern"
-      in
-      let t_orig = time_ms ~reps (fun () -> Repository.check_full repo) in
-      let t_opt =
-        time_ms ~reps:(reps * 20) (fun () ->
-            Repository.check_optimized repo pattern valuation)
-      in
-      let t_upd =
-        time_ms ~reps (fun () ->
-            let undo = Repository.apply_unchecked repo legal in
-            let r = Repository.check_full repo in
-            Repository.rollback repo undo;
-            r)
-      in
-      Printf.printf "%-14d %-10d %-14.3f %-14.4f %-20.3f %.0fx\n%!"
-        ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions t_orig t_opt t_upd
-        (t_orig /. (t_opt +. 1e-9)))
-    sizes;
+  let rows =
+    List.map
+      (fun size ->
+        let { repo; pattern; ds } = setup ~size ~constraint_ () in
+        let legal =
+          Conf.insert_submission ~select:ds.Gen.legal_select ~title:"Bench Paper"
+            ~author:ds.Gen.legal_author
+        in
+        let valuation =
+          match Repository.match_update repo legal with
+          | Some (_, v) -> v
+          | None -> failwith "bench update must match the pattern"
+        in
+        let orig_med, orig_min =
+          time_stats ~reps (fun () -> Repository.check_full repo)
+        in
+        let opt_med, opt_min =
+          time_stats ~reps ~batch:20 (fun () ->
+              Repository.check_optimized repo pattern valuation)
+        in
+        let upd_med, _ =
+          time_stats ~reps (fun () ->
+              let undo = Repository.apply_unchecked repo legal in
+              let r = Repository.check_full repo in
+              Repository.rollback repo undo;
+              r)
+        in
+        let speedup = orig_med /. (opt_med +. 1e-9) in
+        Printf.printf "%-14d %-10d %-14.3f %-14.4f %-20.3f %.0fx\n%!"
+          ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions orig_med opt_med
+          upd_med speedup;
+        Printf.sprintf
+          "{\"bytes\": %d, \"subs\": %d, \"full_median_ms\": %.4f, \
+           \"full_min_ms\": %.4f, \"optimized_median_ms\": %.5f, \
+           \"optimized_min_ms\": %.5f, \"upd_check_undo_median_ms\": %.4f, \
+           \"speedup\": %.1f}"
+          ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions orig_med orig_min
+          opt_med opt_min upd_med speedup)
+      sizes
+  in
+  (match json_key with
+   | Some key -> add_json key ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]")
+   | None -> ());
   print_newline ()
 
 let fig1a ~sizes ~reps () =
-  figure ~name:"Figure 1(a) — Conflict of interests (Example 1)"
+  figure ~json_key:"fig1a" ~name:"Figure 1(a) — Conflict of interests (Example 1)"
     ~constraint_:Conf.conflict ~sizes ~reps ()
 
 let fig1b ~sizes ~reps () =
-  figure ~name:"Figure 1(b) — Conference workload (Example 2)"
+  figure ~json_key:"fig1b" ~name:"Figure 1(b) — Conference workload (Example 2)"
     ~constraint_:Conf.workload ~sizes ~reps ()
+
+(* ------------------------------------------------------------------ *)
+(* PR 3: compiled check pipeline — plan cache and multicore checking    *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpreted (re-lower the XQuery on every evaluation) versus compiled
+   cached plans, plan-cache counters, and parallel denial checking at 1,
+   2 and 4 domains — all on the full three-constraint suite at the
+   largest document size, with verdict agreement asserted across every
+   route. *)
+let pipeline ~sizes ~reps () =
+  let size = List.fold_left max 0 sizes in
+  Printf.printf "# Compiled check pipeline (3 constraints, %d bytes)\n" size;
+  let s = Conf.schema () in
+  let ds = Gen.generate ~seed:42 ~target_bytes:size () in
+  let repo = Repository.create s in
+  Repository.load_document ~validate:false repo ds.Gen.pub_xml;
+  Repository.load_document ~validate:false repo ds.Gen.rev_xml;
+  List.iter
+    (fun c -> Repository.add_constraint repo (c s))
+    [ Conf.conflict; Conf.workload; Conf.track_load ];
+  let doc = Repository.doc repo in
+  let idx = Repository.index repo in
+  let cs = Repository.constraints repo in
+  let interpreted () =
+    List.filter_map
+      (fun c ->
+        if Constr.violated_xquery ?index:idx doc c then Some c.Constr.name
+        else None)
+      cs
+  in
+  let reference = interpreted () in
+  let interp_med, interp_min = time_stats ~reps interpreted in
+  let compiled_med, compiled_min =
+    time_stats ~reps (fun () -> Repository.check_full repo)
+  in
+  if Repository.check_full repo <> reference then
+    failwith "compiled route disagrees with interpreted route";
+  Printf.printf "# %-26s %-12s %s\n" "route" "median(ms)" "min(ms)";
+  Printf.printf "%-28s %-12.3f %.3f\n" "interpreted (re-lowered)" interp_med
+    interp_min;
+  Printf.printf "%-28s %-12.3f %.3f\n%!" "compiled (cached plans)" compiled_med
+    compiled_min;
+  let parallel_rows =
+    List.map
+      (fun jobs ->
+        Repository.set_parallelism repo jobs;
+        if Repository.check_full repo <> reference then
+          failwith (Printf.sprintf "-j %d disagrees with sequential" jobs);
+        let med, min_ =
+          time_stats ~reps (fun () -> Repository.check_full repo)
+        in
+        Printf.printf "%-28s %-12.3f %.3f\n%!"
+          (Printf.sprintf "parallel -j %d" jobs) med min_;
+        Printf.sprintf "{\"jobs\": %d, \"median_ms\": %.4f, \"min_ms\": %.4f}"
+          jobs med min_)
+      [ 1; 2; 4 ]
+  in
+  Repository.set_parallelism repo 1;
+  let stats = Repository.plan_stats repo in
+  Printf.printf "%s\n" (Repository.plan_stats_line repo);
+  Printf.printf "symbols interned: %d\n\n%!" (Symbol.count ());
+  add_json "pipeline"
+    (Printf.sprintf
+       "{\n\
+       \    \"size_bytes\": %d,\n\
+       \    \"interpreted_median_ms\": %.4f,\n\
+       \    \"interpreted_min_ms\": %.4f,\n\
+       \    \"compiled_median_ms\": %.4f,\n\
+       \    \"compiled_min_ms\": %.4f,\n\
+       \    \"plan_hits\": %d,\n\
+       \    \"plan_misses\": %d,\n\
+       \    \"symbols_interned\": %d,\n\
+       \    \"verdicts_agree\": true,\n\
+       \    \"parallel\": [%s]\n\
+       \  }"
+       ds.Gen.stats.Gen.bytes interp_med interp_min compiled_med compiled_min
+       stats.Repository.plan_hits stats.Repository.plan_misses (Symbol.count ())
+       (String.concat ", " parallel_rows))
 
 (* ------------------------------------------------------------------ *)
 (* Simplification cost (§7, footnote 4: "less than 50 ms")             *)
@@ -439,9 +570,10 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let reps = ref 3 in
+  let reps = ref 5 in
   let sizes = ref default_sizes in
   let which = ref [] in
+  let json = ref None in
   let rec parse = function
     | [] -> ()
     | "--reps" :: n :: rest ->
@@ -449,6 +581,9 @@ let () =
       parse rest
     | "--sizes" :: s :: rest ->
       sizes := List.map int_of_string (String.split_on_char ',' s);
+      parse rest
+    | "--json" :: rest ->
+      json := Some "BENCH_PR3.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -465,6 +600,7 @@ let () =
     | "ablations" -> ablations ~reps ()
     | "index" -> index_bench ~sizes ~reps ()
     | "journal" -> journal_bench ~sizes ~reps ()
+    | "pipeline" -> pipeline ~sizes ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -474,11 +610,14 @@ let () =
       ablations ~reps ();
       index_bench ~sizes ~reps ();
       journal_bench ~sizes ~reps ();
+      pipeline ~sizes ~reps ();
       micro ()
     | other ->
       Printf.eprintf
-        "unknown experiment %S (expected fig1a|fig1b|fig_simp|ex45|ablations|index|journal|micro|all)\n"
+        "unknown experiment %S (expected \
+         fig1a|fig1b|fig_simp|ex45|ablations|index|journal|pipeline|micro|all)\n"
         other;
       exit 2
   in
-  List.iter run which
+  List.iter run which;
+  match !json with None -> () | Some path -> write_json path ~reps

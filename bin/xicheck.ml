@@ -97,6 +97,17 @@ let index_stats_arg =
   let doc = "Print index cache statistics (hits, misses, fallbacks) at exit." in
   Arg.(value & flag & info [ "index-stats" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate independent constraint checks on up to $(docv) domains \
+     (clamped to the machine's core count; verdicts are identical)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let plan_stats_arg =
+  let doc = "Print plan-cache statistics (hits, misses, cached plans) at exit." in
+  Arg.(value & flag & info [ "plan-stats" ] ~doc)
+
 let load_schema specs =
   let parse spec =
     match String.index_opt spec '=' with
@@ -229,10 +240,12 @@ let check_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
   let run dtds docs constraints no_validate use_datalog explain no_index
-      index_stats =
+      index_stats jobs plan_stats =
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
     if no_index then Repository.set_use_index repo false;
+    (if jobs < 1 then die "--jobs must be at least 1"
+     else Repository.set_parallelism repo jobs);
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
     let consistent =
       if explain then begin
@@ -259,13 +272,15 @@ let check_cmd =
       end
     in
     if index_stats then print_endline (Repository.index_stats_line repo);
+    if plan_stats then print_endline (Repository.plan_stats_line repo);
     if not consistent then exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check integrity constraints against the documents")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
-      $ datalog_arg $ explain_arg $ no_index_arg $ index_stats_arg)
+      $ datalog_arg $ explain_arg $ no_index_arg $ index_stats_arg $ jobs_arg
+      $ plan_stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simplify                                                            *)

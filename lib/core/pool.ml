@@ -1,0 +1,46 @@
+(* A minimal domain-based worker pool for embarrassingly parallel maps.
+
+   [map ~jobs f xs] evaluates [f] on every element of [xs] using up to
+   [jobs] domains (the calling domain participates, so at most [jobs - 1]
+   are spawned) and returns the results in input order.  Work is
+   distributed by an atomic next-item counter, so uneven item costs
+   balance across workers.  Exceptions are captured per item; after all
+   workers join, the exception of the earliest failing item is re-raised,
+   which keeps failure behavior deterministic regardless of scheduling.
+
+   Domains are spawned per call — the checking phases this serves are
+   long relative to spawn cost, and a persistent pool would have to be
+   torn down explicitly.  Callers must pass [f]s that only read shared
+   state (see {!Xic_xml.Index.prepare_shared}); the pool itself adds no
+   synchronization around [f]. *)
+
+let map ~jobs f xs =
+  (* never oversubscribe: extra domains on a smaller machine only add
+     stop-the-world synchronization cost *)
+  let jobs = min jobs (Domain.recommended_domain_count ()) in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 -> List.map f xs
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f arr.(i) with
+         | v -> results.(i) <- Some v
+         | exception e -> errors.(i) <- Some e);
+        worker ()
+      end
+    in
+    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* [Domain.join] publishes the workers' writes to this domain *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)

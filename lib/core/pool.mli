@@ -1,0 +1,14 @@
+(** A minimal domain-based worker pool (stdlib only).
+
+    Used by {!Repository} to evaluate independent denial checks in
+    parallel over a read-only document. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] from up to
+    [jobs] domains (the caller participates; [jobs <= 1] degenerates to
+    [List.map]) and returns the results in input order.  Items are
+    handed out through an atomic counter, so costs balance across
+    workers.  If any [f] raises, the exception of the earliest failing
+    item is re-raised after all workers have joined — deterministic
+    regardless of scheduling.  [f] must only read state shared between
+    domains. *)

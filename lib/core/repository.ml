@@ -12,6 +12,14 @@ type optimized_check = {
   constraint_name : string;
   simplified : T.denial list;
   simplified_xquery : Xic_xquery.Ast.expr;
+  (* the check's closure plan, compiled on first use and keyed by the
+     enclosing (pattern, constraint) pair by construction *)
+  mutable simplified_plan : Xic_xquery.Eval.compiled option;
+}
+
+type plan_stats = {
+  plan_hits : int;    (* checks served by a cached plan *)
+  plan_misses : int;  (* compilations *)
 }
 
 type t = {
@@ -23,6 +31,11 @@ type t = {
   mutable eval_budget : int option;
   mutable use_index : bool;
   mutable index : Index.t option;
+  (* full-check plans, keyed by constraint name *)
+  full_plans : (string, Xic_xquery.Eval.compiled) Hashtbl.t;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable parallelism : int;
 }
 
 exception Repository_error of string
@@ -31,10 +44,31 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
 
 let create schema =
   { schema; doc = Doc.create (); constraints = []; compiled = []; store = None;
-    eval_budget = None; use_index = true; index = None }
+    eval_budget = None; use_index = true; index = None;
+    full_plans = Hashtbl.create 16; plan_hits = 0; plan_misses = 0;
+    parallelism = 1 }
 
 let set_eval_budget t b = t.eval_budget <- b
 let eval_budget t = t.eval_budget
+
+let set_parallelism t jobs =
+  if jobs < 1 then fail "parallelism must be at least 1";
+  t.parallelism <- jobs
+
+let parallelism t = t.parallelism
+
+let plan_stats t = { plan_hits = t.plan_hits; plan_misses = t.plan_misses }
+
+let plan_stats_line t =
+  Printf.sprintf "plans: %d hits, %d misses, %d cached" t.plan_hits
+    t.plan_misses
+    (Hashtbl.length t.full_plans
+    + List.fold_left
+        (fun acc (_, checks) ->
+          acc
+          + List.length
+              (List.filter (fun ch -> Option.is_some ch.simplified_plan) checks))
+        0 t.compiled)
 
 let schema t = t.schema
 let doc t = t.doc
@@ -97,7 +131,8 @@ let compile_checks t (p : Pattern.t) =
       let simplified_xquery =
         Xic_translate.Translate.denials (Schema.mapping t.schema) simplified
       in
-      { constraint_name = c.Constr.name; simplified; simplified_xquery })
+      { constraint_name = c.Constr.name; simplified; simplified_xquery;
+        simplified_plan = None })
     t.constraints
 
 let recompile t =
@@ -109,6 +144,7 @@ let add_constraint ?(verify = false) t c =
   if verify && Constr.violated_xquery ?index:(index t) t.doc c then
     fail "the current documents already violate %s" c.Constr.name;
   t.constraints <- t.constraints @ [ c ];
+  Hashtbl.reset t.full_plans;
   recompile t
 
 let register_pattern t p =
@@ -134,12 +170,39 @@ let store t =
     t.store <- Some s;
     s
 
+(* Full-check plan of one constraint, served from the cache. *)
+let full_plan t (c : Constr.t) =
+  match Hashtbl.find_opt t.full_plans c.Constr.name with
+  | Some plan ->
+    t.plan_hits <- t.plan_hits + 1;
+    plan
+  | None ->
+    let plan = Constr.compile c in
+    Hashtbl.replace t.full_plans c.Constr.name plan;
+    t.plan_misses <- t.plan_misses + 1;
+    plan
+
 let check_full t =
-  List.filter_map
-    (fun c ->
-      if Constr.violated_xquery ?index:(index t) t.doc c then Some c.Constr.name
-      else None)
-    t.constraints
+  let plans = List.map (fun c -> (c, full_plan t c)) t.constraints in
+  let idx = index t in
+  let violated (c, plan) =
+    if Constr.violated_compiled ?index:idx t.doc c plan then Some c.Constr.name
+    else None
+  in
+  if t.parallelism <= 1 || t.eval_budget <> None || List.length plans < 2 then
+    List.filter_map violated plans
+  else begin
+    (* Freeze the index into its read-only phase so worker domains never
+       race on cache tables, then evaluate the independent denials in
+       parallel.  The merge is deterministic: verdicts keep constraint
+       registration order, and Pool.map re-raises the earliest failure. *)
+    (match idx with Some i -> Index.prepare_shared i | None -> ());
+    Fun.protect
+      ~finally:(fun () -> match idx with Some i -> Index.unshare i | None -> ())
+      (fun () ->
+        Pool.map ~jobs:t.parallelism violated plans
+        |> List.filter_map (fun v -> v))
+  end
 
 let check_full_datalog t =
   let s = store t in
@@ -173,10 +236,20 @@ let try_check_optimized t p valuation =
   let rec go violated degs = function
     | [] -> (List.rev violated, List.rev degs)
     | ch :: rest ->
+      let plan =
+        match ch.simplified_plan with
+        | Some plan ->
+          t.plan_hits <- t.plan_hits + 1;
+          plan
+        | None ->
+          let plan = Xic_xquery.Eval.compile ch.simplified_xquery in
+          ch.simplified_plan <- Some plan;
+          t.plan_misses <- t.plan_misses + 1;
+          plan
+      in
       (match
          budgeted t (fun () ->
-             Xic_xquery.Eval.eval_bool t.doc ~params ?index:(index t)
-               ch.simplified_xquery)
+             Xic_xquery.Eval.run_bool t.doc ~params ?index:(index t) plan)
        with
        | true -> go (ch.constraint_name :: violated) degs rest
        | false -> go violated degs rest

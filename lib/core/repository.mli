@@ -17,11 +17,21 @@ open Xic_xml
 
 type t
 
-(** A simplified check, pre-compiled at pattern-registration time. *)
+(** A simplified check, pre-compiled at pattern-registration time.  The
+    closure plan of its XQuery is cached on first evaluation, keyed by
+    the enclosing (pattern, constraint) pair by construction. *)
 type optimized_check = {
   constraint_name : string;
   simplified : Xic_datalog.Term.denial list;
   simplified_xquery : Xic_xquery.Ast.expr;
+  mutable simplified_plan : Xic_xquery.Eval.compiled option;
+}
+
+(** Plan-cache counters: a {e hit} is a check evaluation served by a
+    cached closure plan, a {e miss} is a compilation. *)
+type plan_stats = {
+  plan_hits : int;
+  plan_misses : int;
 }
 
 exception Repository_error of string
@@ -40,6 +50,25 @@ val set_eval_budget : t -> int option -> unit
     [Xic_datalog.Eval.Budget_exceeded]. *)
 
 val eval_budget : t -> int option
+
+val set_parallelism : t -> int -> unit
+(** Number of domains {!check_full} may use to evaluate independent
+    denial checks concurrently (default 1 = sequential).  Parallel
+    checking requires at least two constraints and no installed
+    {!set_eval_budget} (budgets are per-domain); otherwise the check
+    silently runs sequentially.  Verdicts are identical either way: the
+    document is read-only during the check, the index is frozen into its
+    shared phase, and the merge preserves constraint order.
+    @raise Repository_error when [jobs < 1]. *)
+
+val parallelism : t -> int
+
+val plan_stats : t -> plan_stats
+(** Cumulative plan-cache counters over full and simplified checks. *)
+
+val plan_stats_line : t -> string
+(** Human-readable one-liner for the CLI, e.g.
+    ["plans: 12 hits, 3 misses, 3 cached"]. *)
 
 val set_use_index : t -> bool -> unit
 (** Enable (default) or disable indexed evaluation.  Disabling detaches

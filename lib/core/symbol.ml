@@ -1,0 +1,4 @@
+(* Re-export of the global symbol table at the API level users see
+   ([Xic_core.Symbol]); the implementation lives below [Xic_xml] so that
+   the document store itself can intern tag and attribute names. *)
+include Xic_symbol.Symbol

@@ -5,7 +5,14 @@
     rolled back; a first-argument hash index accelerates the joins
     performed by {!Eval} (the first column of every mapped relation is the
     node id, which is the most selective join key of the schema of
-    Section 4.1). *)
+    Section 4.1).
+
+    Relations are keyed by interned symbols ({!Xic_symbol.Symbol}), so the
+    shredder — which holds the document's tag symbols already — reaches a
+    relation without hashing a string; the string-named API interns on
+    entry. *)
+
+module Symbol = Xic_symbol.Symbol
 
 type tuple = Term.const list
 
@@ -15,20 +22,24 @@ type rel = {
   index : (Term.const, tuple list ref) Hashtbl.t;  (* first column → tuples *)
 }
 
-type t = (string, rel) Hashtbl.t
+type t = (Symbol.t, rel) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
-let get_rel (s : t) name =
-  match Hashtbl.find_opt s name with
+(* Read-only name lookup: never interns, so probing a relation that was
+   never populated does not grow the global symbol table. *)
+let sym_opt name = if Symbol.mem name then Some (Symbol.intern name) else None
+
+let get_rel_sym (s : t) sym =
+  match Hashtbl.find_opt s sym with
   | Some r -> r
   | None ->
     let r = { tuples = []; count = 0; index = Hashtbl.create 64 } in
-    Hashtbl.add s name r;
+    Hashtbl.add s sym r;
     r
 
-let add (s : t) name (tup : tuple) =
-  let r = get_rel s name in
+let add_sym (s : t) sym (tup : tuple) =
+  let r = get_rel_sym s sym in
   r.tuples <- tup :: r.tuples;
   r.count <- r.count + 1;
   match tup with
@@ -38,8 +49,10 @@ let add (s : t) name (tup : tuple) =
      | Some l -> l := tup :: !l
      | None -> Hashtbl.add r.index key (ref [ tup ]))
 
-let remove (s : t) name (tup : tuple) =
-  match Hashtbl.find_opt s name with
+let add (s : t) name tup = add_sym s (Symbol.intern name) tup
+
+let remove_sym (s : t) sym (tup : tuple) =
+  match Hashtbl.find_opt s sym with
   | None -> false
   | Some r ->
     let removed = ref false in
@@ -71,24 +84,39 @@ let remove (s : t) name (tup : tuple) =
     end;
     !removed
 
-let tuples (s : t) name =
-  match Hashtbl.find_opt s name with
+let remove (s : t) name tup =
+  match sym_opt name with
+  | Some sym -> remove_sym s sym tup
+  | None -> false
+
+let tuples_sym (s : t) sym =
+  match Hashtbl.find_opt s sym with
   | Some r -> List.rev r.tuples
   | None -> []
 
-let tuples_with_key (s : t) name (key : Term.const) =
-  match Hashtbl.find_opt s name with
+let tuples (s : t) name =
+  match sym_opt name with Some sym -> tuples_sym s sym | None -> []
+
+let tuples_with_key_sym (s : t) sym (key : Term.const) =
+  match Hashtbl.find_opt s sym with
   | None -> []
   | Some r ->
     (match Hashtbl.find_opt r.index key with
      | Some l -> !l
      | None -> [])
 
+let tuples_with_key (s : t) name key =
+  match sym_opt name with
+  | Some sym -> tuples_with_key_sym s sym key
+  | None -> []
+
 let cardinality (s : t) name =
-  match Hashtbl.find_opt s name with Some r -> r.count | None -> 0
+  match sym_opt name with
+  | Some sym -> (match Hashtbl.find_opt s sym with Some r -> r.count | None -> 0)
+  | None -> 0
 
 let relations (s : t) =
-  Hashtbl.fold (fun name _ acc -> name :: acc) s [] |> List.sort compare
+  Hashtbl.fold (fun sym _ acc -> Symbol.name sym :: acc) s [] |> List.sort compare
 
 let total_tuples (s : t) =
   Hashtbl.fold (fun _ r acc -> acc + r.count) s 0
@@ -96,12 +124,16 @@ let total_tuples (s : t) =
 let mem (s : t) name tup =
   match tup with
   | key :: _ -> List.mem tup (tuples_with_key s name key)
-  | [] -> (match Hashtbl.find_opt s name with Some r -> r.tuples <> [] | None -> false)
+  | [] ->
+    (match sym_opt name with
+     | Some sym ->
+       (match Hashtbl.find_opt s sym with Some r -> r.tuples <> [] | None -> false)
+     | None -> false)
 
 let copy (s : t) : t =
   let s' = create () in
   Hashtbl.iter
-    (fun name r -> List.iter (fun tup -> add s' name tup) (List.rev r.tuples))
+    (fun sym r -> List.iter (fun tup -> add_sym s' sym tup) (List.rev r.tuples))
     s;
   s'
 

@@ -4,7 +4,12 @@
     supports removal of single tuples so that update transactions can be
     rolled back; a first-argument hash index accelerates the joins
     performed by {!Eval} (the first column of every mapped relation is the
-    node id, the most selective join key of the Section 4.1 schema). *)
+    node id, the most selective join key of the Section 4.1 schema).
+
+    Relations are keyed by interned symbols; the [_sym] variants let
+    callers that already hold a tag symbol (the shredder) skip string
+    hashing entirely, and the string API interns on entry — except pure
+    queries, which never grow the symbol table. *)
 
 type tuple = Term.const list
 
@@ -32,3 +37,10 @@ val to_facts : t -> (string * tuple) list
 
 val equal : t -> t -> bool
 (** Same relations with the same tuple multisets. *)
+
+(** {1 Symbol-keyed variants} *)
+
+val add_sym : t -> Xic_symbol.Symbol.t -> tuple -> unit
+val remove_sym : t -> Xic_symbol.Symbol.t -> tuple -> bool
+val tuples_sym : t -> Xic_symbol.Symbol.t -> tuple list
+val tuples_with_key_sym : t -> Xic_symbol.Symbol.t -> Term.const -> tuple list

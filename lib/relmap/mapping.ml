@@ -24,6 +24,7 @@ type repr =
 type t = {
   dtds : (Dtd.t * string) list;
   reprs : (string, repr) Hashtbl.t;
+  reprs_sym : (Doc.Symbol.t, repr) Hashtbl.t;
   (* (parent, child) pairs where the child is embedded as a column *)
   embedded_edges : (string * string, unit) Hashtbl.t;
   types : string list;  (* declaration order, first DTD first *)
@@ -136,12 +137,21 @@ let build docs =
       in
       Hashtbl.replace reprs name repr)
     types;
-  { dtds = docs; reprs; embedded_edges; types }
+  let reprs_sym = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun name repr -> Hashtbl.replace reprs_sym (Doc.Symbol.intern name) repr)
+    reprs;
+  { dtds = docs; reprs; reprs_sym; embedded_edges; types }
 
 let repr_of t name =
   match Hashtbl.find_opt t.reprs name with
   | Some r -> r
   | None -> fail "element type <%s> is not part of the schema" name
+
+let repr_of_sym t sym =
+  match Hashtbl.find_opt t.reprs_sym sym with
+  | Some r -> r
+  | None -> fail "element type <%s> is not part of the schema" (Doc.Symbol.name sym)
 
 let predicates t =
   List.filter_map

@@ -55,6 +55,11 @@ val dtds : t -> (Dtd.t * string) list
 val repr_of : t -> string -> repr
 (** @raise Mapping_error for names unknown to every DTD. *)
 
+val repr_of_sym : t -> Doc.Symbol.t -> repr
+(** As {!repr_of} on an interned tag, without hashing the string — the
+    shredder's per-element dispatch.
+    @raise Mapping_error for names unknown to every DTD. *)
+
 val predicates : t -> pred_schema list
 val schema_of : t -> string -> pred_schema option
 

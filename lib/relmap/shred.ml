@@ -23,11 +23,13 @@ let embedded_text ?index doc id name =
   | [] -> ""
   | c :: _ -> Doc.text_content doc c
 
-let fact_of_element ?index mapping doc id =
+(* Per-element dispatch on the interned tag: no string hashing on the
+   shredding hot path. *)
+let fact_of_element_sym ?index mapping doc id =
   if not (Doc.is_element doc id) then None
   else begin
-    let tag = Doc.name doc id in
-    match Mapping.repr_of mapping tag with
+    let tag = Doc.tag doc id in
+    match Mapping.repr_of_sym mapping tag with
     | exception Mapping.Mapping_error m -> fail "%s" m
     | Mapping.Embedded | Mapping.Elided -> None
     | Mapping.Predicate schema ->
@@ -50,10 +52,15 @@ let fact_of_element ?index mapping doc id =
       Some (tag, node_const id :: T.Int pos :: node_const parent :: cols)
   end
 
+let fact_of_element ?index mapping doc id =
+  Option.map
+    (fun (sym, tuple) -> (Doc.Symbol.name sym, tuple))
+    (fact_of_element_sym ?index mapping doc id)
+
 let shred_into ?index mapping doc store start =
   let rec go id =
-    (match fact_of_element ?index mapping doc id with
-     | Some (pred, tuple) -> Store.add store pred tuple
+    (match fact_of_element_sym ?index mapping doc id with
+     | Some (pred, tuple) -> Store.add_sym store pred tuple
      | None -> ());
     List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
   in
@@ -61,8 +68,8 @@ let shred_into ?index mapping doc store start =
 
 let unshred_from ?index mapping doc store start =
   let rec go id =
-    (match fact_of_element ?index mapping doc id with
-     | Some (pred, tuple) -> ignore (Store.remove store pred tuple)
+    (match fact_of_element_sym ?index mapping doc id with
+     | Some (pred, tuple) -> ignore (Store.remove_sym store pred tuple)
      | None -> ());
     List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
   in

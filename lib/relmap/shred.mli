@@ -20,6 +20,14 @@ val fact_of_element :
     [Pos] column come from the secondary indexes.
     @raise Shred_error for element types outside the schema. *)
 
+val fact_of_element_sym :
+  ?index:Index.t ->
+  Mapping.t -> Doc.t -> Doc.node_id ->
+  (Doc.Symbol.t * Xic_datalog.Term.const list) option
+(** As {!fact_of_element} with the predicate as an interned symbol — the
+    shredding loops use this together with {!Xic_datalog.Store.add_sym}
+    so the per-element dispatch never hashes a tag string. *)
+
 val shred : ?index:Index.t -> Mapping.t -> Doc.t -> Xic_datalog.Store.t
 (** Shred all roots of the document/collection into a fresh store. *)
 

@@ -1,0 +1,45 @@
+type t = int
+
+(* Copy-on-write snapshots.  Readers never lock: they grab the current
+   snapshot with [Atomic.get]; a published snapshot is never mutated again,
+   so concurrent [Hashtbl.find_opt] / [Array.get] on it are safe.  Writers
+   serialize on [mutex], clone, extend, and publish.  Interning is rare
+   (schema-sized vocabularies), so the O(n) clone per insert is noise. *)
+
+let mutex = Mutex.create ()
+let table : (string, int) Hashtbl.t Atomic.t = Atomic.make (Hashtbl.create 16)
+let names : string array Atomic.t = Atomic.make [||]
+
+let name s =
+  let a = Atomic.get names in
+  if s < 0 || s >= Array.length a then invalid_arg "Symbol.name: unknown symbol"
+  else Array.unsafe_get a s
+
+let intern str =
+  match Hashtbl.find_opt (Atomic.get table) str with
+  | Some id -> id
+  | None ->
+    Mutex.protect mutex (fun () ->
+        (* re-check under the lock: another writer may have won the race *)
+        let tbl = Atomic.get table in
+        match Hashtbl.find_opt tbl str with
+        | Some id -> id
+        | None ->
+          let a = Atomic.get names in
+          let id = Array.length a in
+          let a' = Array.make (id + 1) str in
+          Array.blit a 0 a' 0 id;
+          let tbl' = Hashtbl.copy tbl in
+          Hashtbl.add tbl' str id;
+          (* publish [names] first so any reader that can see the id in
+             [table] can already resolve it *)
+          Atomic.set names a';
+          Atomic.set table tbl';
+          id)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (s : t) = s
+let to_int (s : t) = s
+let count () = Array.length (Atomic.get names)
+let mem str = Hashtbl.mem (Atomic.get table) str

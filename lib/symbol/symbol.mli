@@ -1,0 +1,42 @@
+(** Global hash-consed symbol table.
+
+    Element tags, attribute names and Datalog predicate names are interned
+    into small dense integers, so the hot-loop name tests of the checking
+    pipeline (XPath name tests, index keys, relation lookups) become int
+    equality instead of [String.equal], and hash tables keyed by names hash
+    an int instead of a string.
+
+    The table is global and append-only.  Reads ([name], the fast path of
+    [intern]) are lock-free: they consult copy-on-write snapshots that are
+    immutable once published, so they are safe from any number of domains
+    concurrently (used by the parallel checker).  Inserts take a mutex. *)
+
+type t = private int
+(** An interned name.  The representation is the dense table index, so
+    symbols can key arrays and compare as ints.  Polymorphic equality,
+    comparison and hashing all behave correctly (and cheaply) on [t]. *)
+
+val intern : string -> t
+(** Intern a string, returning its unique symbol.  Idempotent:
+    [intern s == intern s] for equal strings, forever. *)
+
+val name : t -> string
+(** The string a symbol stands for.  [name (intern s) = s].
+    @raise Invalid_argument on an integer that is not a live symbol. *)
+
+val equal : t -> t -> bool
+(** Int equality. *)
+
+val compare : t -> t -> int
+(** Int comparison — a total order by interning time, {e not} alphabetical. *)
+
+val hash : t -> int
+
+val to_int : t -> int
+(** The dense index, for array-keyed dispatch tables. *)
+
+val count : unit -> int
+(** Number of symbols interned so far. *)
+
+val mem : string -> bool
+(** Whether the string has been interned (no side effect). *)

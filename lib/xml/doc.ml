@@ -1,15 +1,17 @@
+module Symbol = Xic_symbol.Symbol
+
 type node_id = int
 
 let no_node = -1
 
 type kind =
-  | Element of string
+  | Element of Symbol.t
   | Text of string
 
 type node = {
   mutable parent : node_id;
   mutable nkind : kind;
-  mutable nattrs : (string * string) list;
+  mutable nattrs : (Symbol.t * string) list;
   mutable nchildren : node_id list;
   mutable alive : bool;
 }
@@ -21,7 +23,7 @@ type node = {
 type event =
   | Attached of node_id
   | Detaching of node_id
-  | Attr_set of node_id * string
+  | Attr_set of node_id * Symbol.t
 
 type t = {
   mutable nodes : node option array;
@@ -71,7 +73,11 @@ let alloc doc kind attrs =
   doc.live_count <- doc.live_count + 1;
   id
 
-let make_element doc ?(attrs = []) tag = alloc doc (Element tag) attrs
+let intern_attrs attrs = List.map (fun (k, v) -> (Symbol.intern k, v)) attrs
+
+let make_element doc ?(attrs = []) tag =
+  alloc doc (Element (Symbol.intern tag)) (intern_attrs attrs)
+
 let make_text doc s = alloc doc (Text s) []
 
 let check_element doc id =
@@ -109,19 +115,32 @@ let children doc id = (get doc id).nchildren
 let is_element doc id = match kind doc id with Element _ -> true | Text _ -> false
 let is_text doc id = not (is_element doc id)
 
-let name doc id =
+let tag doc id =
   match kind doc id with
   | Element tag -> tag
-  | Text _ -> invalid_arg "Doc.name: text node"
+  | Text _ -> invalid_arg "Doc.tag: text node"
+
+let name doc id = Symbol.name (tag doc id)
 
 let element_children doc id = List.filter (is_element doc) (children doc id)
 
-let attrs doc id = (get doc id).nattrs
-let attr doc id k = List.assoc_opt k (attrs doc id)
+let attrs_sym doc id = (get doc id).nattrs
+
+let attrs doc id =
+  List.map (fun (k, v) -> (Symbol.name k, v)) (attrs_sym doc id)
+
+let rec assq_sym k = function
+  | [] -> None
+  | (k', v) :: rest -> if Symbol.equal k k' then Some v else assq_sym k rest
+
+let attr_sym doc id k = assq_sym k (attrs_sym doc id)
+let attr doc id k = attr_sym doc id (Symbol.intern k)
 
 let set_attr doc id k v =
+  let k = Symbol.intern k in
   let n = get doc id in
-  n.nattrs <- (k, v) :: List.remove_assoc k n.nattrs;
+  n.nattrs <-
+    (k, v) :: List.filter (fun (k', _) -> not (Symbol.equal k k')) n.nattrs;
   notify doc (Attr_set (id, k))
 
 let check_detached doc id =
@@ -199,14 +218,24 @@ let position doc id =
   end
 
 let text_content doc id =
-  let buf = Buffer.create 32 in
-  let rec go id =
-    match kind doc id with
-    | Text s -> Buffer.add_string buf s
-    | Element _ -> List.iter go (children doc id)
-  in
-  go id;
-  Buffer.contents buf
+  (* fast paths for the overwhelmingly common shapes in the hot loops of
+     checking: a text node itself, and a leaf element with one text child *)
+  match kind doc id with
+  | Text s -> s
+  | Element _ ->
+    (match children doc id with
+     | [] -> ""
+     | [ c ] when (match kind doc c with Text _ -> true | Element _ -> false) ->
+       (match kind doc c with Text s -> s | Element _ -> assert false)
+     | kids ->
+       let buf = Buffer.create 32 in
+       let rec go id =
+         match kind doc id with
+         | Text s -> Buffer.add_string buf s
+         | Element _ -> List.iter go (children doc id)
+       in
+       List.iter go kids;
+       Buffer.contents buf)
 
 let descendants doc id =
   let acc = ref [] in
@@ -263,8 +292,21 @@ let order_key doc id =
   in
   (rank, path)
 
+(* Monomorphic comparators: [compare] on int-list keys dispatches through
+   the polymorphic runtime comparator on every element, which shows up in
+   the sort-heavy evaluator paths. *)
+let rec compare_int_list (a : int list) (b : int list) =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' -> if x < y then -1 else if x > y then 1 else compare_int_list a' b'
+
+let compare_order_key (ra, pa) (rb, pb) =
+  if (ra : int) < rb then -1 else if ra > rb then 1 else compare_int_list pa pb
+
 let doc_order_compare doc a b =
-  if a = b then 0 else compare (order_key doc a) (order_key doc b)
+  if a = b then 0 else compare_order_key (order_key doc a) (order_key doc b)
 
 (* Precompute keys once (Schwartzian transform): [order_key] walks to the
    root, so comparing keys inside the sort would be quadratic in depth. *)
@@ -272,11 +314,16 @@ let sort_doc_order doc ids =
   match ids with
   | [] | [ _ ] -> ids
   | _ ->
+    let cmp (ka, (a : node_id)) (kb, b) =
+      let c = compare_order_key ka kb in
+      if c <> 0 then c else Stdlib.compare a b
+    in
     List.map (fun id -> (order_key doc id, id)) ids
-    |> List.sort_uniq compare
+    |> List.sort_uniq cmp
     |> List.map snd
 
 let node_count doc = doc.live_count
+let id_bound doc = doc.next_id
 
 let iter_nodes doc f =
   for id = 0 to doc.next_id - 1 do
@@ -303,13 +350,22 @@ let copy doc =
     live_count = doc.live_count; observer = None }
 
 let equal_structure d1 d2 =
-  let sorted_attrs l = List.sort compare l in
+  let cmp_attr (k1, v1) (k2, v2) =
+    let c = Symbol.compare k1 k2 in
+    if c <> 0 then c else String.compare v1 v2
+  in
+  let sorted_attrs l = List.sort cmp_attr l in
+  let eq_attrs a1 a2 =
+    List.equal
+      (fun (k1, v1) (k2, v2) -> Symbol.equal k1 k2 && String.equal v1 v2)
+      (sorted_attrs a1) (sorted_attrs a2)
+  in
   let rec eq id1 id2 =
     match (kind d1 id1, kind d2 id2) with
-    | Text s1, Text s2 -> s1 = s2
+    | Text s1, Text s2 -> String.equal s1 s2
     | Element t1, Element t2 ->
-      t1 = t2
-      && sorted_attrs (attrs d1 id1) = sorted_attrs (attrs d2 id2)
+      Symbol.equal t1 t2
+      && eq_attrs (attrs_sym d1 id1) (attrs_sym d2 id2)
       && (let c1 = children d1 id1 and c2 = children d2 id2 in
           List.length c1 = List.length c2 && List.for_all2 eq c1 c2)
     | _ -> false

@@ -6,6 +6,11 @@
     parent id).  The store is mutable so that XUpdate statements can be
     applied and rolled back in place. *)
 
+module Symbol = Xic_symbol.Symbol
+(** Tag and attribute names are interned ({!Xic_symbol.Symbol}) so that
+    name tests in the evaluators and index keys compare and hash as
+    ints. *)
+
 type node_id = int
 (** Unique, never reused within a document. *)
 
@@ -14,8 +19,8 @@ val no_node : node_id
 
 (** Payload of a node. *)
 type kind =
-  | Element of string  (** tag name *)
-  | Text of string     (** character data *)
+  | Element of Symbol.t  (** interned tag name *)
+  | Text of string       (** character data *)
 
 type t
 (** A mutable document: an arena of nodes plus a distinguished root
@@ -29,7 +34,7 @@ type t
 type event =
   | Attached of node_id   (** gained a parent, or became a root *)
   | Detaching of node_id  (** about to lose its parent / root status *)
-  | Attr_set of node_id * string  (** attribute [name] was (re)assigned *)
+  | Attr_set of node_id * Symbol.t  (** attribute [name] was (re)assigned *)
 
 val set_observer : t -> (event -> unit) option -> unit
 (** Install (or clear) the single mutation observer.  Every structural
@@ -74,14 +79,27 @@ val children : t -> node_id -> node_id list
 (** All children (elements and text) in document order. *)
 
 val element_children : t -> node_id -> node_id list
+
 val attrs : t -> node_id -> (string * string) list
+(** Attribute list with names resolved back to strings (allocates; hot
+    paths should prefer {!attrs_sym}). *)
+
+val attrs_sym : t -> node_id -> (Symbol.t * string) list
+(** The stored attribute list, interned keys, no allocation. *)
+
 val attr : t -> node_id -> string -> string option
+val attr_sym : t -> node_id -> Symbol.t -> string option
 val set_attr : t -> node_id -> string -> string -> unit
 
 val is_element : t -> node_id -> bool
 val is_text : t -> node_id -> bool
+
 val name : t -> node_id -> string
 (** Tag name of an element; raises [Invalid_argument] on text nodes. *)
+
+val tag : t -> node_id -> Symbol.t
+(** Interned tag name of an element; raises [Invalid_argument] on text
+    nodes.  [Symbol.name (tag doc id) = name doc id]. *)
 
 val live : t -> node_id -> bool
 (** False for ids that were never allocated or have been deleted. *)
@@ -136,6 +154,10 @@ val sort_doc_order : t -> node_id list -> node_id list
 
 val node_count : t -> int
 (** Number of live nodes. *)
+
+val id_bound : t -> int
+(** Exclusive upper bound on every node id allocated so far (dense arena
+    ids), for callers keeping id-indexed side tables. *)
 
 val iter_nodes : t -> (node_id -> unit) -> unit
 (** Iterate over all live nodes in allocation order. *)

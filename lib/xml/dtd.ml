@@ -426,7 +426,8 @@ let validate ?root:start t doc =
   let check id =
     match Doc.kind doc id with
     | Doc.Text _ -> ()
-    | Doc.Element tag ->
+    | Doc.Element sym ->
+      let tag = Doc.Symbol.name sym in
       (match find t tag with
        | None -> err "undeclared element <%s>" tag
        | Some d ->

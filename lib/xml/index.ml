@@ -6,11 +6,17 @@
    XUpdate application, undo, savepoint rollback and crash recovery all
    leave them consistent without cooperation from those layers.
 
+   All tables are keyed by interned names (Symbol.t), so a lookup hashes
+   and compares small ints, never strings; the string-keyed entry points
+   below intern at the boundary.
+
    Membership invariant: the value tables (by_name / by_attr / by_text)
    contain exactly the elements reachable from the document's roots.
    Detached subtrees enter when (re)attached and leave when detached,
    keyed off Doc.Attached / Doc.Detaching — the latter fires before the
    splice, while the parent chain still proves reachability. *)
+
+module Symbol = Xic_symbol.Symbol
 
 type stats = {
   mutable hits : int;
@@ -30,17 +36,24 @@ type bucket = {
 type t = {
   doc : Doc.t;
   mutable built : bool;
-  by_name : (string, bucket) Hashtbl.t;
-  by_attr : (string * string * string, bucket) Hashtbl.t;  (* tag, attr, value *)
-  by_text : (string * string, bucket) Hashtbl.t;           (* tag, text-child value *)
+  (* [shared] marks a read-only phase during which several domains query
+     the index concurrently: every lookup answers from the prewarmed
+     tables, or recomputes locally without writing a cache. *)
+  mutable shared : bool;
+  by_name : (Symbol.t, bucket) Hashtbl.t;
+  by_attr : (Symbol.t * Symbol.t * string, bucket) Hashtbl.t;  (* tag, attr, value *)
+  by_text : (Symbol.t * string, bucket) Hashtbl.t;             (* tag, text-child value *)
   (* per-node shadow of what the value tables hold, so removal never needs
      the pre-mutation attribute list or text content *)
-  indexed_attrs : (Doc.node_id, (string * string) list) Hashtbl.t;
+  indexed_attrs : (Doc.node_id, (Symbol.t * string) list) Hashtbl.t;
   indexed_texts : (Doc.node_id, string list) Hashtbl.t;
   (* parent/child-position caches, invalidated whenever the parent's child
      list changes *)
-  child_cache : (Doc.node_id, (string, Doc.node_id list) Hashtbl.t) Hashtbl.t;
+  child_cache : (Doc.node_id, (Symbol.t, Doc.node_id list) Hashtbl.t) Hashtbl.t;
   pos_cache : (Doc.node_id, int) Hashtbl.t;
+  (* document-order rank of every reachable node, indexed by arena id
+     (-1 = unranked); dropped wholesale on any structural change *)
+  mutable order : int array option;
   stats : stats;
 }
 
@@ -88,9 +101,9 @@ let text_children t id =
     (Doc.children t.doc id)
 
 let add_element t id =
-  let tag = Doc.name t.doc id in
+  let tag = Doc.tag t.doc id in
   bucket_add t.by_name tag id;
-  (match Doc.attrs t.doc id with
+  (match Doc.attrs_sym t.doc id with
    | [] -> ()
    | attrs ->
      Hashtbl.replace t.indexed_attrs id attrs;
@@ -102,7 +115,7 @@ let add_element t id =
     List.iter (fun s -> bucket_add t.by_text (tag, s) id) texts
 
 let remove_element t id =
-  let tag = Doc.name t.doc id in
+  let tag = Doc.tag t.doc id in
   bucket_remove t.by_name tag id;
   (match Hashtbl.find_opt t.indexed_attrs id with
    | Some attrs ->
@@ -146,7 +159,7 @@ let invalidate_under t p =
 (* Single text child attached to / detached from an indexed element. *)
 let text_added t parent s =
   if Doc.is_element t.doc parent then begin
-    let tag = Doc.name t.doc parent in
+    let tag = Doc.tag t.doc parent in
     bucket_add t.by_text (tag, s) parent;
     let prev = Option.value ~default:[] (Hashtbl.find_opt t.indexed_texts parent) in
     Hashtbl.replace t.indexed_texts parent (s :: prev)
@@ -154,7 +167,7 @@ let text_added t parent s =
 
 let text_removed t parent s =
   if Doc.is_element t.doc parent then begin
-    let tag = Doc.name t.doc parent in
+    let tag = Doc.tag t.doc parent in
     bucket_remove t.by_text (tag, s) parent;
     match Hashtbl.find_opt t.indexed_texts parent with
     | None -> ()
@@ -169,13 +182,13 @@ let text_removed t parent s =
   end
 
 let refresh_attrs t id =
-  let tag = Doc.name t.doc id in
+  let tag = Doc.tag t.doc id in
   (match Hashtbl.find_opt t.indexed_attrs id with
    | Some attrs ->
      List.iter (fun (k, v) -> bucket_remove t.by_attr (tag, k, v) id) attrs;
      Hashtbl.remove t.indexed_attrs id
    | None -> ());
-  match Doc.attrs t.doc id with
+  match Doc.attrs_sym t.doc id with
   | [] -> ()
   | attrs ->
     Hashtbl.replace t.indexed_attrs id attrs;
@@ -186,6 +199,11 @@ let refresh_attrs t id =
 (* ------------------------------------------------------------------ *)
 
 let on_event t e =
+  (* the rank table has its own lifecycle: it may exist before the value
+     tables are built, and any splice staleness it *)
+  (match e with
+   | Doc.Attached _ | Doc.Detaching _ -> t.order <- None
+   | Doc.Attr_set _ -> ());
   if t.built then begin
     t.stats.events <- t.stats.events + 1;
     match e with
@@ -226,6 +244,7 @@ let raw doc =
   {
     doc;
     built = false;
+    shared = false;
     by_name = Hashtbl.create 64;
     by_attr = Hashtbl.create 64;
     by_text = Hashtbl.create 256;
@@ -233,6 +252,7 @@ let raw doc =
     indexed_texts = Hashtbl.create 256;
     child_cache = Hashtbl.create 64;
     pos_cache = Hashtbl.create 256;
+    order = None;
     stats = { hits = 0; misses = 0; fallbacks = 0; events = 0 };
   }
 
@@ -257,6 +277,73 @@ let ensure_built t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Document order                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One DFS assigns every reachable node its document-order rank.
+   Sorting an n-element probe result then costs n array reads, where
+   [Doc.order_key] walks each node to its root and scans every
+   ancestor's child list — quadratic under wide elements. *)
+let build_order t =
+  let arr = Array.make (max 1 (Doc.id_bound t.doc)) (-1) in
+  let n = ref 0 in
+  let rec dfs id =
+    arr.(id) <- !n;
+    incr n;
+    List.iter dfs (Doc.children t.doc id)
+  in
+  List.iter dfs (Doc.roots t.doc);
+  arr
+
+let order_table t =
+  match t.order with
+  | Some arr -> Some arr
+  | None ->
+    if t.shared then None (* never write during a concurrent phase *)
+    else begin
+      t.stats.misses <- t.stats.misses + 1;
+      let arr = build_order t in
+      t.order <- Some arr;
+      Some arr
+    end
+
+(* Ranks are unique per node, so comparing ranks alone both orders and
+   deduplicates.  A node outside the table (detached, or allocated after
+   the last build) defers the whole list to [Doc.sort_doc_order], which
+   ranks detached subtrees after all roots. *)
+let sort_doc_order t ids =
+  match ids with
+  | [] | [ _ ] -> ids
+  | _ -> (
+    match order_table t with
+    | None -> Doc.sort_doc_order t.doc ids
+    | Some arr ->
+      let bound = Array.length arr in
+      let rec keyed acc = function
+        | [] -> Some acc
+        | id :: rest ->
+          let r = if id >= 0 && id < bound then arr.(id) else -1 in
+          if r < 0 then None else keyed ((r, id) :: acc) rest
+      in
+      (match keyed [] ids with
+       | None -> Doc.sort_doc_order t.doc ids
+       | Some pairs ->
+         List.sort_uniq (fun ((a : int), _) (b, _) -> Stdlib.compare a b) pairs
+         |> List.map snd))
+
+let doc_order_compare t a b =
+  if a = b then 0
+  else
+    match order_table t with
+    | None -> Doc.doc_order_compare t.doc a b
+    | Some arr ->
+      let bound = Array.length arr in
+      let ra = if a >= 0 && a < bound then arr.(a) else -1 in
+      let rb = if b >= 0 && b < bound then arr.(b) else -1 in
+      if ra < 0 || rb < 0 then Doc.doc_order_compare t.doc a b
+      else Stdlib.compare ra rb
+
+(* ------------------------------------------------------------------ *)
 (* Lookups                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -264,67 +351,117 @@ let sorted_view t b =
   match b.cache with
   | Some l -> l
   | None ->
-    t.stats.misses <- t.stats.misses + 1;
-    let l = Doc.sort_doc_order t.doc b.ids in
-    b.cache <- Some l;
-    l
+    let l = sort_doc_order t b.ids in
+    if t.shared then l  (* never write during a concurrent phase *)
+    else begin
+      t.stats.misses <- t.stats.misses + 1;
+      b.cache <- Some l;
+      l
+    end
 
 let lookup t tbl key =
   ensure_built t;
-  t.stats.hits <- t.stats.hits + 1;
+  if not t.shared then t.stats.hits <- t.stats.hits + 1;
   match Hashtbl.find_opt tbl key with
   | None -> []
   | Some b -> sorted_view t b
 
-let by_name t tag = lookup t t.by_name tag
+let by_name_sym t tag = lookup t t.by_name tag
+let by_name t tag = by_name_sym t (Symbol.intern tag)
 
-let descendants_named t tag =
+let descendants_named_sym t tag =
   (* the //tag node-set: named elements that are proper descendants of a
      root (the roots themselves are never results of a child step) *)
-  List.filter (fun id -> Doc.parent t.doc id <> Doc.no_node) (by_name t tag)
+  List.filter (fun id -> Doc.parent t.doc id <> Doc.no_node) (by_name_sym t tag)
 
-let by_attr t ~tag ~attr value = lookup t t.by_attr (tag, attr, value)
-let by_pcdata t ~tag value = lookup t t.by_text (tag, value)
+let descendants_named t tag = descendants_named_sym t (Symbol.intern tag)
 
-let children_named t p tag =
+let by_attr_sym t ~tag ~attr value = lookup t t.by_attr (tag, attr, value)
+
+let by_attr t ~tag ~attr value =
+  by_attr_sym t ~tag:(Symbol.intern tag) ~attr:(Symbol.intern attr) value
+
+let by_pcdata_sym t ~tag value = lookup t t.by_text (tag, value)
+let by_pcdata t ~tag value = by_pcdata_sym t ~tag:(Symbol.intern tag) value
+
+let scan_children_named t p tag =
+  List.filter
+    (fun c -> Doc.is_element t.doc c && Symbol.equal (Doc.tag t.doc c) tag)
+    (Doc.children t.doc p)
+
+let children_named_sym t p tag =
   ensure_built t;
-  t.stats.hits <- t.stats.hits + 1;
-  let per_parent =
+  if t.shared then begin
+    (* read-only: serve the cache when present, else recompute locally *)
     match Hashtbl.find_opt t.child_cache p with
-    | Some h -> h
-    | None ->
-      let h = Hashtbl.create 4 in
-      Hashtbl.replace t.child_cache p h;
-      h
-  in
-  match Hashtbl.find_opt per_parent tag with
-  | Some l -> l
-  | None ->
-    t.stats.misses <- t.stats.misses + 1;
-    let l =
-      List.filter
-        (fun c -> Doc.is_element t.doc c && Doc.name t.doc c = tag)
-        (Doc.children t.doc p)
+    | Some per ->
+      (match Hashtbl.find_opt per tag with
+       | Some l -> l
+       | None -> scan_children_named t p tag)
+    | None -> scan_children_named t p tag
+  end
+  else begin
+    t.stats.hits <- t.stats.hits + 1;
+    let per_parent =
+      match Hashtbl.find_opt t.child_cache p with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.replace t.child_cache p h;
+        h
     in
-    Hashtbl.replace per_parent tag l;
-    l
+    match Hashtbl.find_opt per_parent tag with
+    | Some l -> l
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      let l = scan_children_named t p tag in
+      Hashtbl.replace per_parent tag l;
+      l
+  end
+
+let children_named t p tag = children_named_sym t p (Symbol.intern tag)
 
 let position t id =
   ensure_built t;
-  t.stats.hits <- t.stats.hits + 1;
-  match Hashtbl.find_opt t.pos_cache id with
-  | Some p -> p
-  | None ->
-    t.stats.misses <- t.stats.misses + 1;
-    let p = Doc.position t.doc id in
-    Hashtbl.replace t.pos_cache id p;
-    p
+  if t.shared then begin
+    match Hashtbl.find_opt t.pos_cache id with
+    | Some p -> p
+    | None -> Doc.position t.doc id
+  end
+  else begin
+    t.stats.hits <- t.stats.hits + 1;
+    match Hashtbl.find_opt t.pos_cache id with
+    | Some p -> p
+    | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      let p = Doc.position t.doc id in
+      Hashtbl.replace t.pos_cache id p;
+      p
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Shared (read-only, multi-domain) phase                              *)
+(* ------------------------------------------------------------------ *)
+
+let prepare_shared t =
+  ensure_built t;
+  (* prewarm the rank table and every bucket's sorted view so concurrent
+     lookups find the tables fully materialized and never need to write *)
+  ignore (order_table t);
+  let warm tbl = Hashtbl.iter (fun _ b -> ignore (sorted_view t b)) tbl in
+  warm t.by_name;
+  warm t.by_attr;
+  warm t.by_text;
+  t.shared <- true
+
+let unshare t = t.shared <- false
+let shared t = t.shared
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let note_fallback t = t.stats.fallbacks <- t.stats.fallbacks + 1
+let note_fallback t = if not t.shared then t.stats.fallbacks <- t.stats.fallbacks + 1
 let stats t = t.stats
 
 let reset_stats t =
@@ -365,12 +502,9 @@ let consistency_errors t =
         else
           Hashtbl.iter
             (fun tag l ->
-              let expect =
-                List.filter
-                  (fun c -> Doc.is_element t.doc c && Doc.name t.doc c = tag)
-                  (Doc.children t.doc p)
-              in
-              if l <> expect then err "stale child cache for node %d/%s" p tag)
+              let expect = scan_children_named t p tag in
+              if l <> expect then
+                err "stale child cache for node %d/%s" p (Symbol.name tag))
             per)
       t.child_cache;
     Hashtbl.iter

@@ -54,6 +54,43 @@ val children_named : t -> Doc.node_id -> string -> Doc.node_id list
 val position : t -> Doc.node_id -> int
 (** Cached {!Doc.position}. *)
 
+(** {1 Document order}
+
+    A rank table built by one DFS over the reachable nodes (invalidated
+    by any structural mutation, rebuilt lazily) turns document-order
+    comparison into an array read — [Doc.order_key] instead walks every
+    node to its root and scans each ancestor's child list. *)
+
+val sort_doc_order : t -> Doc.node_id list -> Doc.node_id list
+(** Sort and deduplicate into document order; agrees exactly with
+    {!Doc.sort_doc_order} (detached nodes defer to it). *)
+
+val doc_order_compare : t -> Doc.node_id -> Doc.node_id -> int
+
+(** {1 Symbol-keyed lookups}
+
+    The same lookups with pre-interned names, for compiled plans that
+    resolve all name tests at compile time. *)
+
+val by_name_sym : t -> Doc.Symbol.t -> Doc.node_id list
+val descendants_named_sym : t -> Doc.Symbol.t -> Doc.node_id list
+val by_attr_sym : t -> tag:Doc.Symbol.t -> attr:Doc.Symbol.t -> string -> Doc.node_id list
+val by_pcdata_sym : t -> tag:Doc.Symbol.t -> string -> Doc.node_id list
+val children_named_sym : t -> Doc.node_id -> Doc.Symbol.t -> Doc.node_id list
+
+(** {1 Shared read-only phase}
+
+    During parallel checking several domains query one index over a
+    read-only document.  [prepare_shared] forces the build and prewarms
+    every sorted bucket view; while the shared flag is set, lookups never
+    write to any table or counter (cache misses recompute locally), so
+    concurrent readers are safe.  The document must not be mutated until
+    {!unshare}. *)
+
+val prepare_shared : t -> unit
+val unshare : t -> unit
+val shared : t -> bool
+
 (** {1 Statistics} *)
 
 val note_fallback : t -> unit

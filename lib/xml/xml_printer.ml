@@ -29,7 +29,8 @@ let to_buffer ?(indent = false) buf doc id =
   let rec go depth id =
     match Doc.kind doc id with
     | Doc.Text s -> escape buf ~quot:false s
-    | Doc.Element tag ->
+    | Doc.Element sym ->
+      let tag = Doc.Symbol.name sym in
       Buffer.add_char buf '<';
       Buffer.add_string buf tag;
       List.iter

@@ -1,4 +1,5 @@
 open Xic_xml
+module Symbol = Xic_symbol.Symbol
 
 type value =
   | Nodes of Doc.node_id list
@@ -21,20 +22,22 @@ exception Budget_exceeded
 
 (* The remaining-steps counter, shared with the XQuery evaluator (which
    installs it through [with_budget] and ticks it for its own constructs).
-   No counter installed = unlimited evaluation. *)
-let budget : int ref option ref = ref None
+   Domain-local so each worker of the parallel checker meters (or, in
+   practice, runs unmetered) independently.  No counter installed =
+   unlimited evaluation. *)
+let budget_key : int ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let tick n =
-  match !budget with
+  match Domain.DLS.get budget_key with
   | None -> ()
   | Some r ->
     r := !r - n;
     if !r <= 0 then raise Budget_exceeded
 
 let with_budget ~steps f =
-  let saved = !budget in
-  budget := Some (ref steps);
-  Fun.protect ~finally:(fun () -> budget := saved) f
+  let saved = Domain.DLS.get budget_key in
+  Domain.DLS.set budget_key (Some (ref steps));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set budget_key saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Coercions                                                           *)
@@ -119,8 +122,8 @@ let cmp_scalar op a b =
 let cmp_strings op (a : string) (b : string) =
   let open Ast in
   match op with
-  | Eq -> a = b
-  | Neq -> a <> b
+  | Eq -> String.equal a b
+  | Neq -> not (String.equal a b)
   | Lt | Le | Gt | Ge ->
     let na = num_of_string a and nb = num_of_string b in
     if Float.is_nan na || Float.is_nan nb then cmp_scalar op a b
@@ -195,16 +198,19 @@ let result_clean axis ~clean ~n_ctx =
   | Ast.Parent -> clean && n_ctx = 1
   | Ast.Ancestor | Ast.Ancestor_or_self -> false
 
-let test_ok doc test id =
-  let open Ast in
+(* A node test, staged: the tag of a name test is interned once at compile
+   time, so the per-node check is an int comparison. *)
+let compile_test (test : Ast.nodetest) : Doc.t -> Doc.node_id -> bool =
   match test with
-  | Node_test -> true
-  | Text_test -> Doc.is_text doc id
-  | Wildcard -> Doc.is_element doc id
-  | Name_test n -> Doc.is_element doc id && Doc.name doc id = n
+  | Ast.Node_test -> fun _ _ -> true
+  | Ast.Text_test -> fun doc id -> Doc.is_text doc id
+  | Ast.Wildcard -> fun doc id -> Doc.is_element doc id
+  | Ast.Name_test n ->
+    let sym = Symbol.intern n in
+    fun doc id -> Doc.is_element doc id && Symbol.equal (Doc.tag doc id) sym
 
 (* ------------------------------------------------------------------ *)
-(* Expression evaluation                                               *)
+(* Evaluation contexts                                                 *)
 (* ------------------------------------------------------------------ *)
 
 type ctxt = {
@@ -214,10 +220,31 @@ type ctxt = {
   pos : int;   (* position() *)
   size : int;  (* last() *)
   idx : Index.t option;
+  bud : int ref option;  (* the installed budget, fetched once per run *)
 }
 
+(* Document-order sort through the index's rank table when one is
+   attached ([Doc.sort_doc_order] walks every node to its root). *)
+let sort_nodes ctx ids =
+  match ctx.idx with
+  | Some idx -> Index.sort_doc_order idx ids
+  | None -> Doc.sort_doc_order ctx.doc ids
+
+let charge ctx n =
+  match ctx.bud with
+  | None -> ()
+  | Some r ->
+    r := !r - n;
+    if !r <= 0 then raise Budget_exceeded
+
+(* Compiled code: all AST dispatch, name interning and index-planning
+   analysis happen once in [compile_expr]; running a plan only executes
+   closures.  The interpreter entry points ([eval] etc.) compile and run
+   in one go, so both routes share a single semantics by construction. *)
+type compiled = ctxt -> value
+
 (* ------------------------------------------------------------------ *)
-(* Index planning helpers                                              *)
+(* Index planning helpers (compile-time analyses)                      *)
 (* ------------------------------------------------------------------ *)
 
 (* Whether a predicate could observe the context position: positional
@@ -264,349 +291,508 @@ let rec context_free (e : Ast.expr) =
     List.for_all (fun (s : Ast.step) -> s.preds = []) steps
   | Ast.Path (Ast.Rel, _) -> false
 
-let rec eval_expr ctx (e : Ast.expr) : value =
-  tick 1;
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_expr (e : Ast.expr) : compiled =
   let open Ast in
   match e with
-  | Literal s -> Str s
-  | Number f -> Num f
+  | Literal s ->
+    let v = Str s in
+    fun ctx -> charge ctx 1; v
+  | Number f ->
+    let v = Num f in
+    fun ctx -> charge ctx 1; v
   | Var v ->
-    (match List.assoc_opt v ctx.env with
-     | Some value -> value
-     | None -> fail "unbound variable $%s" v)
-  | Neg e -> Num (-.number_v ctx.doc (eval_expr ctx e))
+    fun ctx ->
+      charge ctx 1;
+      (match List.assoc_opt v ctx.env with
+       | Some value -> value
+       | None -> fail "unbound variable $%s" v)
+  | Neg e ->
+    let c = compile_expr e in
+    fun ctx -> charge ctx 1; Num (-.number_v ctx.doc (c ctx))
   | Binop (And, a, b) ->
-    Bool (boolean (eval_expr ctx a) && boolean (eval_expr ctx b))
+    let ca = compile_expr a and cb = compile_expr b in
+    fun ctx -> charge ctx 1; Bool (boolean (ca ctx) && boolean (cb ctx))
   | Binop (Or, a, b) ->
-    Bool (boolean (eval_expr ctx a) || boolean (eval_expr ctx b))
+    let ca = compile_expr a and cb = compile_expr b in
+    fun ctx -> charge ctx 1; Bool (boolean (ca ctx) || boolean (cb ctx))
   | Binop (Union, a, b) ->
-    (match (eval_expr ctx a, eval_expr ctx b) with
-     | Nodes xs, Nodes ys -> Nodes (Doc.sort_doc_order ctx.doc (xs @ ys))
-     | Strs xs, Strs ys -> Strs (xs @ ys)
-     | _ -> fail "union of non node-sets")
+    let ca = compile_expr a and cb = compile_expr b in
+    fun ctx ->
+      charge ctx 1;
+      (match (ca ctx, cb ctx) with
+       | Nodes xs, Nodes ys -> Nodes (sort_nodes ctx (xs @ ys))
+       | Strs xs, Strs ys -> Strs (xs @ ys)
+       | _ -> fail "union of non node-sets")
   | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
-    Bool (compare_values ctx.doc op (eval_expr ctx a) (eval_expr ctx b))
+    let ca = compile_expr a and cb = compile_expr b in
+    fun ctx -> charge ctx 1; Bool (compare_values ctx.doc op (ca ctx) (cb ctx))
   | Binop (((Add | Sub | Mul | Div | Mod) as op), a, b) ->
-    let x = number_v ctx.doc (eval_expr ctx a)
-    and y = number_v ctx.doc (eval_expr ctx b) in
-    Num
-      (match op with
-       | Add -> x +. y
-       | Sub -> x -. y
-       | Mul -> x *. y
-       | Div -> x /. y
-       | Mod -> Float.rem x y
-       | _ -> assert false)
-  | Call (f, args) -> eval_call ctx f args
-  | Path (Abs, steps) -> eval_abs ctx steps
-  | Path (start, steps) ->
-    let initial =
-      match start with
-      | Abs -> assert false
-      | Rel -> Nodes [ ctx.node ]
-      | From e -> eval_expr ctx e
+    let ca = compile_expr a and cb = compile_expr b in
+    let op_fn =
+      match op with
+      | Add -> ( +. )
+      | Sub -> ( -. )
+      | Mul -> ( *. )
+      | Div -> ( /. )
+      | Mod -> Float.rem
+      | _ -> assert false
     in
-    eval_steps_v ctx initial steps
+    fun ctx ->
+      charge ctx 1;
+      Num (op_fn (number_v ctx.doc (ca ctx)) (number_v ctx.doc (cb ctx)))
+  | Call (f, args) -> compile_call f args
+  | Path (Abs, steps) -> compile_abs steps
+  | Path (Rel, steps) ->
+    let cs = compile_steps steps in
+    fun ctx -> charge ctx 1; cs ctx false (Nodes [ ctx.node ])
+  | Path (From e, steps) ->
+    let ce = compile_expr e and cs = compile_steps steps in
+    fun ctx -> charge ctx 1; cs ctx false (ce ctx)
 
 (* Absolute paths start at the (virtual) document node, whose only child is
    the root element.  The first step is resolved specially; the rest
-   proceed as usual. *)
-and eval_abs ctx steps =
-  let roots = Doc.roots ctx.doc in
+   proceed as usual.  Which variant runs is decided per evaluation on
+   whether an index is attached to the context, so one plan serves both
+   the scan and the indexed route. *)
+and compile_abs steps : compiled =
+  let open Ast in
   match steps with
-  | [] -> Nodes roots
-  | first :: { axis = Ast.Child; preds = []; test = Ast.Name_test tag } :: rest
-    when first = Ast.desc_step && ctx.idx <> None ->
-    (* Indexed [//tag]: the by-name table, minus the roots (a child step
-       never yields a root). *)
-    let matches = Index.descendants_named (Option.get ctx.idx) tag in
-    tick (1 + List.length matches);
-    eval_steps_v ctx (Nodes matches) rest
-  | first
-    :: ({ axis = Ast.Child; preds = _ :: _ as preds; test = Ast.Name_test tag } as
-        second)
-    :: rest
-    when first = Ast.desc_step && ctx.idx <> None
-         && List.for_all positionless_pred preds ->
+  | [] -> fun ctx -> charge ctx 1; Nodes (Doc.roots ctx.doc)
+  | first :: { axis = Child; preds = []; test } :: rest when first = desc_step ->
+    (* The [//x] desugaring without predicates: child::x of
+       descendant-or-self::node() is exactly the non-root descendants
+       matching the test — already distinct and in document order, no
+       re-sort needed.  Under an index a name test is answered from the
+       by-name table minus the roots (a child step never yields a root). *)
+    let tf = compile_test test in
+    let crest = compile_steps rest in
+    let scan ctx =
+      let matches =
+        List.concat_map
+          (fun r -> List.filter (tf ctx.doc) (Doc.descendants ctx.doc r))
+          (Doc.roots ctx.doc)
+      in
+      charge ctx (List.length matches);
+      crest ctx false (Nodes matches)
+    in
+    (match test with
+     | Name_test tag ->
+       let sym = Symbol.intern tag in
+       fun ctx ->
+         charge ctx 1;
+         (match ctx.idx with
+          | Some idx ->
+            let matches = Index.descendants_named_sym idx sym in
+            charge ctx (1 + List.length matches);
+            crest ctx false (Nodes matches)
+          | None -> scan ctx)
+     | _ -> fun ctx -> charge ctx 1; scan ctx)
+  | first :: { axis = Child; preds = _ :: _ as preds; test = Name_test tag } :: rest
+    when first = desc_step && List.for_all positionless_pred preds ->
     (* Indexed [//tag[preds]]: when some equality predicate can be served
        by a value index, probe it to get a small superset of the result,
        then re-check every predicate on the survivors (re-checking keeps
        the probe a pure optimization).  Positionless predicates make the
        flat candidate list safe — see [positionless_pred]. *)
-    ignore second;
-    let idx = Option.get ctx.idx in
-    let candidates =
-      match indexed_pred_probe ctx idx ~tag preds with
-      | Some ids -> ids
-      | None ->
-        Index.note_fallback idx;
-        Index.descendants_named idx tag
+    let sym = Symbol.intern tag in
+    let cpreds = List.map compile_expr preds in
+    let cprobe, cothers =
+      match compile_pred_probe preds with
+      | Some (p, others) -> (Some p, List.map compile_expr others)
+      | None -> (None, [])
     in
-    tick (1 + List.length candidates);
-    let filtered = apply_preds ctx candidates preds in
-    eval_steps_v ctx (Nodes filtered) rest
-  | first :: ({ axis = Ast.Child; preds = []; test } as second) :: rest
-    when first = Ast.desc_step ->
-    (* Fast path for the [//x] desugaring: child::x of
-       descendant-or-self::node() is exactly the non-root descendants
-       matching the test — already distinct and in document order, no
-       re-sort needed.  (Only without predicates: positional predicates
-       group per parent.) *)
-    ignore second;
-    let matches =
-      List.concat_map
-        (fun r -> List.filter (test_ok ctx.doc test) (Doc.descendants ctx.doc r))
-        roots
-    in
-    tick (List.length matches);
-    eval_steps_v ctx (Nodes matches) rest
+    let crest = compile_steps rest in
+    let generic = compile_abs_generic steps in
+    fun ctx ->
+      charge ctx 1;
+      (match ctx.idx with
+       | None -> generic ctx
+       | Some idx ->
+         (match (match cprobe with Some p -> run_probe ctx idx sym p | None -> None) with
+          | Some ids ->
+            (* the probe decides its predicate exactly, so only the
+               remaining predicates are re-checked *)
+            charge ctx (1 + List.length ids);
+            crest ctx false (Nodes (run_preds ctx ids cothers))
+          | None ->
+            Index.note_fallback idx;
+            let candidates = Index.descendants_named_sym idx sym in
+            charge ctx (1 + List.length candidates);
+            crest ctx false (Nodes (run_preds ctx candidates cpreds))))
+  | _ ->
+    let c = compile_abs_generic steps in
+    fun ctx -> charge ctx 1; c ctx
+
+and compile_abs_generic steps : ctxt -> value =
+  let open Ast in
+  match steps with
+  | [] -> fun ctx -> Nodes (Doc.roots ctx.doc)
   | step :: rest ->
-    let open Ast in
-    let candidates =
+    let tf = compile_test step.test in
+    let cpreds = List.map compile_expr step.preds in
+    let crest = compile_steps rest in
+    let candidates_of =
       match step.axis with
-      | Child -> roots
+      | Child -> fun ctx -> Doc.roots ctx.doc
       | Descendant | Descendant_or_self ->
-        List.concat_map (Doc.descendant_or_self ctx.doc) roots
-      | Self -> if step.test = Node_test then roots else []
+        fun ctx -> List.concat_map (Doc.descendant_or_self ctx.doc) (Doc.roots ctx.doc)
+      | Self ->
+        if step.test = Node_test then fun ctx -> Doc.roots ctx.doc else fun _ -> []
       | Parent | Ancestor | Ancestor_or_self | Attribute
-      | Following_sibling | Preceding_sibling -> []
+      | Following_sibling | Preceding_sibling -> fun _ -> []
     in
-    let filtered = List.filter (test_ok ctx.doc step.test) candidates in
-    let filtered = apply_preds ctx filtered step.preds in
     (* child-of-document-node results (the roots) are clean; descendant
        results overlap *)
     let clean = match step.axis with Child | Self -> true | _ -> false in
-    eval_steps_v ctx ~clean (Nodes filtered) rest
+    fun ctx ->
+      let filtered = List.filter (tf ctx.doc) (candidates_of ctx) in
+      let filtered = run_preds ctx filtered cpreds in
+      crest ctx clean (Nodes filtered)
 
-(* Find one predicate of the form [text() = v] or [@a = v] (either operand
-   order) whose comparand is context-free and string-valued, and serve the
-   matching elements from the value indexes.  Returns a superset of the
-   [//tag[preds]] result (the caller re-applies all predicates). *)
-and indexed_pred_probe ctx idx ~tag preds =
-  let classify = function
-    | Ast.Path (Ast.Rel, [ { Ast.axis = Ast.Child; test = Ast.Text_test; preds = [] } ])
-      -> Some `Text
-    | Ast.Path
-        (Ast.Rel, [ { Ast.axis = Ast.Attribute; test = Ast.Name_test a; preds = [] } ])
-      -> Some (`Attr a)
+(* Find one predicate that a value index can serve.  The supported shapes,
+   with [V] a context-free string-valued comparand and either operand
+   order:
+
+     [text() = V]                       probe the candidate's own pcdata
+     [@a = V]                           probe the candidate's attribute
+     [c1/…/ck/text() = V]               probe a descendant chain's pcdata
+     [c1/…/ck/@a = V]                   probe a descendant chain's attribute
+     [c [inner]]                        existence of a child satisfying a
+                                        probeable [inner] (recursively)
+
+   For chain shapes the probe looks up the innermost element in the value
+   index and walks back up through the chain of parent tags to recover the
+   candidate.  The walk-up proves the probed predicate exactly (it is the
+   very existence the predicate asserts), so the caller re-applies only
+   the *other* predicates — returned as the second component — to the
+   survivors.  Names are interned and the comparand compiled once, at
+   compile time. *)
+and compile_pred_probe preds =
+  let rec classify_steps = function
+    | [ { Ast.axis = Ast.Child; test = Ast.Text_test; preds = [] } ] ->
+      Some ([], `Text)
+    | [ { Ast.axis = Ast.Attribute; test = Ast.Name_test a; preds = [] } ] ->
+      Some ([], `Attr a)
+    | { Ast.axis = Ast.Child; test = Ast.Name_test c; preds = [] } :: (_ :: _ as rest)
+      -> Option.map (fun (hops, leaf) -> (c :: hops, leaf)) (classify_steps rest)
     | _ -> None
   in
-  let probe_of = function
+  let classify = function
+    | Ast.Path (Ast.Rel, steps) -> classify_steps steps
+    | _ -> None
+  in
+  let rec probe_of = function
     | Ast.Binop (Ast.Eq, a, b) ->
       (match (classify a, classify b) with
-       | Some probe, None when context_free b -> Some (probe, b)
-       | None, Some probe when context_free a -> Some (probe, a)
+       | Some hl, None when context_free b -> Some (hl, b)
+       | None, Some hl when context_free a -> Some (hl, a)
        | _ -> None)
+    | Ast.Path
+        (Ast.Rel, [ { Ast.axis = Ast.Child; test = Ast.Name_test c; preds = [ q ] } ])
+      -> Option.map (fun ((hops, leaf), comp) -> ((c :: hops, leaf), comp)) (probe_of q)
     | _ -> None
   in
-  let rec first_probe = function
+  let rec first_probe acc = function
     | [] -> None
     | p :: rest ->
-      (match probe_of p with Some pr -> Some pr | None -> first_probe rest)
+      (match probe_of p with
+       | Some pr -> Some (pr, List.rev_append acc rest)
+       | None -> first_probe (p :: acc) rest)
   in
-  match first_probe preds with
+  match first_probe [] preds with
   | None -> None
-  | Some (probe, comparand) ->
-    (match eval_expr ctx comparand with
-     | (Num _ | Bool _) ->
-       (* equality against a number or boolean does not compare string
-          values; leave it to the interpreter *)
-       None
-     | v ->
-       let keys = item_strings ctx.doc v in
-       let hits =
-         List.concat_map
-           (fun key ->
-             match probe with
-             | `Text -> Index.by_pcdata idx ~tag key
-             | `Attr a -> Index.by_attr idx ~tag ~attr:a key)
-           keys
-       in
-       let hits = List.filter (fun id -> Doc.parent ctx.doc id <> Doc.no_node) hits in
-       Some (match keys with [ _ ] -> hits | _ -> Doc.sort_doc_order ctx.doc hits))
+  | Some (((hops, leaf), comparand), others) ->
+    let leaf =
+      match leaf with `Text -> `Text | `Attr a -> `Attr (Symbol.intern a)
+    in
+    (* hops = [c1; …; ck]: chain of child tags from the candidate down to
+       the probed element.  The index lookup uses ck (or the candidate tag
+       itself when the chain is empty); [up_tags] are the tags checked in
+       hop order while walking parents back up to the candidate. *)
+    let lookup_tag, up_tags =
+      match List.rev_map Symbol.intern hops with
+      | [] -> (None, [])
+      | ck :: above -> (Some ck, above)
+    in
+    Some ((lookup_tag, up_tags, leaf, compile_expr comparand), others)
 
-and eval_call ctx f args =
-  let arg i =
-    match List.nth_opt args i with
-    | Some e -> eval_expr ctx e
-    | None -> fail "%s: missing argument %d" f (i + 1)
+and run_probe ctx idx sym (lookup_tag, up_tags, leaf, ccomp) =
+  match ccomp ctx with
+  | Num _ | Bool _ -> None
+  | v ->
+    let doc = ctx.doc in
+    let ltag = match lookup_tag with None -> sym | Some t -> t in
+    let keys = item_strings doc v in
+    let hits =
+      List.concat_map
+        (fun key ->
+          match leaf with
+          | `Text -> Index.by_pcdata_sym idx ~tag:ltag key
+          | `Attr a -> Index.by_attr_sym idx ~tag:ltag ~attr:a key)
+        keys
+    in
+    let hits =
+      match lookup_tag with
+      | None -> hits
+      | Some _ ->
+        (* recover the candidate by walking up the hop chain *)
+        List.filter_map
+          (fun id ->
+            let rec up id = function
+              | [] ->
+                let x = Doc.parent doc id in
+                if x <> Doc.no_node && Symbol.equal (Doc.tag doc x) sym then Some x
+                else None
+              | t :: rest ->
+                let p = Doc.parent doc id in
+                if p <> Doc.no_node && Symbol.equal (Doc.tag doc p) t then up p rest
+                else None
+            in
+            up id up_tags)
+          hits
+    in
+    let hits = List.filter (fun id -> Doc.parent doc id <> Doc.no_node) hits in
+    let multi_key = match keys with [] | [ _ ] -> false | _ -> true in
+    Some
+      (if lookup_tag = None && not multi_key then hits
+       else Index.sort_doc_order idx hits)
+
+and compile_call f args : compiled =
+  let carr = Array.of_list (List.map compile_expr args) in
+  let nargs = Array.length carr in
+  let arg ctx i =
+    if i < nargs then carr.(i) ctx else fail "%s: missing argument %d" f (i + 1)
   in
-  match (f, List.length args) with
-  | "position", 0 -> Num (float_of_int ctx.pos)
-  | "position-of", 1 ->
-    (* Position of a node among its parent's element children; this is the
-       [Pos] column of the relational mapping (DESIGN.md).  The paper's
-       generated queries write [$x/position()] for the same thing. *)
-    (match arg 0 with
-     | Nodes (n :: _) ->
-       let p =
-         match ctx.idx with
-         | Some idx -> Index.position idx n
-         | None -> Doc.position ctx.doc n
-       in
-       Num (float_of_int p)
-     | Nodes [] -> Num Float.nan
-     | _ -> fail "position-of: expected a node-set")
-  | "last", 0 -> Num (float_of_int ctx.size)
-  | "count", 1 ->
-    (match arg 0 with
-     | Nodes ns -> Num (float_of_int (List.length ns))
-     | Strs ss -> Num (float_of_int (List.length ss))
-     | _ -> fail "count: expected a node-set")
-  | "count-distinct", 1 ->
-    (* The translation of the paper's Cnt_D aggregate. *)
-    Num (float_of_int (distinct_count ctx.doc (arg 0)))
-  | "exists", 1 ->
-    (match arg 0 with
-     | Nodes ns -> Bool (ns <> [])
-     | Strs ss -> Bool (ss <> [])
-     | v -> Bool (boolean v))
-  | "empty", 1 -> Bool (not (boolean (arg 0)))
-  | "not", 1 -> Bool (not (boolean (arg 0)))
-  | "true", 0 -> Bool true
-  | "false", 0 -> Bool false
-  | "boolean", 1 -> Bool (boolean (arg 0))
-  | "number", 1 -> Num (number_v ctx.doc (arg 0))
-  | "number", 0 -> Num (num_of_string (Doc.text_content ctx.doc ctx.node))
-  | "string", 1 -> Str (string_value ctx.doc (arg 0))
-  | "string", 0 -> Str (Doc.text_content ctx.doc ctx.node)
-  | "name", 0 ->
-    Str (if Doc.is_element ctx.doc ctx.node then Doc.name ctx.doc ctx.node else "")
-  | "name", 1 ->
-    (match arg 0 with
-     | Nodes (n :: _) when Doc.is_element ctx.doc n -> Str (Doc.name ctx.doc n)
-     | Nodes _ -> Str ""
-     | _ -> fail "name: expected a node-set")
-  | "concat", n when n >= 2 ->
-    Str
-      (String.concat ""
-         (List.map (fun e -> string_value ctx.doc (eval_expr ctx e)) args))
-  | "contains", 2 ->
-    let hay = string_value ctx.doc (arg 0) and needle = string_value ctx.doc (arg 1) in
-    let rec search i =
-      if i + String.length needle > String.length hay then false
-      else if String.sub hay i (String.length needle) = needle then true
-      else search (i + 1)
-    in
-    Bool (search 0)
-  | "starts-with", 2 ->
-    let s = string_value ctx.doc (arg 0) and p = string_value ctx.doc (arg 1) in
-    Bool
-      (String.length p <= String.length s && String.sub s 0 (String.length p) = p)
-  | "string-length", 1 -> Num (float_of_int (String.length (string_value ctx.doc (arg 0))))
-  | "string-length", 0 -> Num (float_of_int (String.length (Doc.text_content ctx.doc ctx.node)))
-  | "sum", 1 ->
-    (match arg 0 with
-     | Nodes ns ->
-       Num (List.fold_left (fun a n -> a +. num_of_string (Doc.text_content ctx.doc n)) 0.0 ns)
-     | Strs ss -> Num (List.fold_left (fun a s -> a +. num_of_string s) 0.0 ss)
-     | v -> Num (number_v ctx.doc v))
-  | "floor", 1 -> Num (Float.floor (number_v ctx.doc (arg 0)))
-  | "ceiling", 1 -> Num (Float.ceil (number_v ctx.doc (arg 0)))
-  | "round", 1 -> Num (Float.round (number_v ctx.doc (arg 0)))
-  | "normalize-space", 1 ->
-    let s = string_value ctx.doc (arg 0) in
-    Str (String.concat " " (String.split_on_char ' ' s |> List.filter (( <> ) "")))
-  | "substring", (2 | 3) ->
-    (* XPath 1.0 semantics with 1-based rounding positions *)
-    let s = string_value ctx.doc (arg 0) in
-    let start = Float.round (number_v ctx.doc (arg 1)) in
-    let len =
-      if List.length args = 3 then Float.round (number_v ctx.doc (arg 2))
-      else Float.of_int (String.length s) +. 1.0 -. start
-    in
-    if Float.is_nan start || Float.is_nan len then Str ""
-    else begin
-      let first = max 1 (int_of_float start) in
-      let last = int_of_float (start +. len) - 1 in
-      let last = min last (String.length s) in
-      if last < first then Str ""
-      else Str (String.sub s (first - 1) (last - first + 1))
-    end
-  | "substring-before", 2 | "substring-after", 2 ->
-    let s = string_value ctx.doc (arg 0) and sep = string_value ctx.doc (arg 1) in
-    let n = String.length s and m = String.length sep in
-    let rec find i = if i + m > n then None else if String.sub s i m = sep then Some i else find (i + 1) in
-    (match find 0 with
-     | None -> Str ""
-     | Some i ->
-       if f = "substring-before" then Str (String.sub s 0 i)
-       else Str (String.sub s (i + m) (n - i - m)))
-  | "translate", 3 ->
-    let s = string_value ctx.doc (arg 0) in
-    let from = string_value ctx.doc (arg 1) and to_ = string_value ctx.doc (arg 2) in
-    let b = Buffer.create (String.length s) in
-    String.iter
-      (fun c ->
-        match String.index_opt from c with
-        | None -> Buffer.add_char b c
-        | Some i -> if i < String.length to_ then Buffer.add_char b to_.[i])
-      s;
-    Str (Buffer.contents b)
-  | "upper-case", 1 -> Str (String.uppercase_ascii (string_value ctx.doc (arg 0)))
-  | "lower-case", 1 -> Str (String.lowercase_ascii (string_value ctx.doc (arg 0)))
-  | "string-join", 2 ->
-    let items = item_strings ctx.doc (arg 0) in
-    Str (String.concat (string_value ctx.doc (arg 1)) items)
-  | "ends-with", 2 ->
-    let s = string_value ctx.doc (arg 0) and p = string_value ctx.doc (arg 1) in
-    let n = String.length s and m = String.length p in
-    Bool (m <= n && String.sub s (n - m) m = p)
-  | _, n -> fail "unknown function %s/%d" f n
+  let body : ctxt -> value =
+    match (f, nargs) with
+    | "position", 0 -> fun ctx -> Num (float_of_int ctx.pos)
+    | "position-of", 1 ->
+      (* Position of a node among its parent's element children; this is the
+         [Pos] column of the relational mapping (DESIGN.md).  The paper's
+         generated queries write [$x/position()] for the same thing. *)
+      fun ctx ->
+        (match arg ctx 0 with
+         | Nodes (n :: _) ->
+           let p =
+             match ctx.idx with
+             | Some idx -> Index.position idx n
+             | None -> Doc.position ctx.doc n
+           in
+           Num (float_of_int p)
+         | Nodes [] -> Num Float.nan
+         | _ -> fail "position-of: expected a node-set")
+    | "last", 0 -> fun ctx -> Num (float_of_int ctx.size)
+    | "count", 1 ->
+      fun ctx ->
+        (match arg ctx 0 with
+         | Nodes ns -> Num (float_of_int (List.length ns))
+         | Strs ss -> Num (float_of_int (List.length ss))
+         | _ -> fail "count: expected a node-set")
+    | "count-distinct", 1 ->
+      (* The translation of the paper's Cnt_D aggregate. *)
+      fun ctx -> Num (float_of_int (distinct_count ctx.doc (arg ctx 0)))
+    | "exists", 1 ->
+      fun ctx ->
+        (match arg ctx 0 with
+         | Nodes ns -> Bool (ns <> [])
+         | Strs ss -> Bool (ss <> [])
+         | v -> Bool (boolean v))
+    | "empty", 1 -> fun ctx -> Bool (not (boolean (arg ctx 0)))
+    | "not", 1 -> fun ctx -> Bool (not (boolean (arg ctx 0)))
+    | "true", 0 -> fun _ -> Bool true
+    | "false", 0 -> fun _ -> Bool false
+    | "boolean", 1 -> fun ctx -> Bool (boolean (arg ctx 0))
+    | "number", 1 -> fun ctx -> Num (number_v ctx.doc (arg ctx 0))
+    | "number", 0 -> fun ctx -> Num (num_of_string (Doc.text_content ctx.doc ctx.node))
+    | "string", 1 -> fun ctx -> Str (string_value ctx.doc (arg ctx 0))
+    | "string", 0 -> fun ctx -> Str (Doc.text_content ctx.doc ctx.node)
+    | "name", 0 ->
+      fun ctx ->
+        Str (if Doc.is_element ctx.doc ctx.node then Doc.name ctx.doc ctx.node else "")
+    | "name", 1 ->
+      fun ctx ->
+        (match arg ctx 0 with
+         | Nodes (n :: _) when Doc.is_element ctx.doc n -> Str (Doc.name ctx.doc n)
+         | Nodes _ -> Str ""
+         | _ -> fail "name: expected a node-set")
+    | "concat", n when n >= 2 ->
+      fun ctx ->
+        Str
+          (String.concat ""
+             (List.map (fun c -> string_value ctx.doc (c ctx)) (Array.to_list carr)))
+    | "contains", 2 ->
+      fun ctx ->
+        let hay = string_value ctx.doc (arg ctx 0)
+        and needle = string_value ctx.doc (arg ctx 1) in
+        let rec search i =
+          if i + String.length needle > String.length hay then false
+          else if String.sub hay i (String.length needle) = needle then true
+          else search (i + 1)
+        in
+        Bool (search 0)
+    | "starts-with", 2 ->
+      fun ctx ->
+        let s = string_value ctx.doc (arg ctx 0)
+        and p = string_value ctx.doc (arg ctx 1) in
+        Bool
+          (String.length p <= String.length s && String.sub s 0 (String.length p) = p)
+    | "string-length", 1 ->
+      fun ctx -> Num (float_of_int (String.length (string_value ctx.doc (arg ctx 0))))
+    | "string-length", 0 ->
+      fun ctx ->
+        Num (float_of_int (String.length (Doc.text_content ctx.doc ctx.node)))
+    | "sum", 1 ->
+      fun ctx ->
+        (match arg ctx 0 with
+         | Nodes ns ->
+           Num
+             (List.fold_left
+                (fun a n -> a +. num_of_string (Doc.text_content ctx.doc n))
+                0.0 ns)
+         | Strs ss -> Num (List.fold_left (fun a s -> a +. num_of_string s) 0.0 ss)
+         | v -> Num (number_v ctx.doc v))
+    | "floor", 1 -> fun ctx -> Num (Float.floor (number_v ctx.doc (arg ctx 0)))
+    | "ceiling", 1 -> fun ctx -> Num (Float.ceil (number_v ctx.doc (arg ctx 0)))
+    | "round", 1 -> fun ctx -> Num (Float.round (number_v ctx.doc (arg ctx 0)))
+    | "normalize-space", 1 ->
+      fun ctx ->
+        let s = string_value ctx.doc (arg ctx 0) in
+        Str (String.concat " " (String.split_on_char ' ' s |> List.filter (( <> ) "")))
+    | "substring", (2 | 3) ->
+      (* XPath 1.0 semantics with 1-based rounding positions *)
+      fun ctx ->
+        let s = string_value ctx.doc (arg ctx 0) in
+        let start = Float.round (number_v ctx.doc (arg ctx 1)) in
+        let len =
+          if nargs = 3 then Float.round (number_v ctx.doc (arg ctx 2))
+          else Float.of_int (String.length s) +. 1.0 -. start
+        in
+        if Float.is_nan start || Float.is_nan len then Str ""
+        else begin
+          let first = max 1 (int_of_float start) in
+          let last = int_of_float (start +. len) - 1 in
+          let last = min last (String.length s) in
+          if last < first then Str ""
+          else Str (String.sub s (first - 1) (last - first + 1))
+        end
+    | "substring-before", 2 | "substring-after", 2 ->
+      fun ctx ->
+        let s = string_value ctx.doc (arg ctx 0)
+        and sep = string_value ctx.doc (arg ctx 1) in
+        let n = String.length s and m = String.length sep in
+        let rec find i =
+          if i + m > n then None
+          else if String.sub s i m = sep then Some i
+          else find (i + 1)
+        in
+        (match find 0 with
+         | None -> Str ""
+         | Some i ->
+           if f = "substring-before" then Str (String.sub s 0 i)
+           else Str (String.sub s (i + m) (n - i - m)))
+    | "translate", 3 ->
+      fun ctx ->
+        let s = string_value ctx.doc (arg ctx 0) in
+        let from = string_value ctx.doc (arg ctx 1)
+        and to_ = string_value ctx.doc (arg ctx 2) in
+        let b = Buffer.create (String.length s) in
+        String.iter
+          (fun c ->
+            match String.index_opt from c with
+            | None -> Buffer.add_char b c
+            | Some i -> if i < String.length to_ then Buffer.add_char b to_.[i])
+          s;
+        Str (Buffer.contents b)
+    | "upper-case", 1 ->
+      fun ctx -> Str (String.uppercase_ascii (string_value ctx.doc (arg ctx 0)))
+    | "lower-case", 1 ->
+      fun ctx -> Str (String.lowercase_ascii (string_value ctx.doc (arg ctx 0)))
+    | "string-join", 2 ->
+      fun ctx ->
+        let items = item_strings ctx.doc (arg ctx 0) in
+        Str (String.concat (string_value ctx.doc (arg ctx 1)) items)
+    | "ends-with", 2 ->
+      fun ctx ->
+        let s = string_value ctx.doc (arg ctx 0)
+        and p = string_value ctx.doc (arg ctx 1) in
+        let n = String.length s and m = String.length p in
+        Bool (m <= n && String.sub s (n - m) m = p)
+    | _, n -> fun _ -> fail "unknown function %s/%d" f n
+  in
+  fun ctx -> charge ctx 1; body ctx
 
-and eval_steps_v ctx ?(clean = false) initial steps =
+and compile_steps (steps : Ast.step list) : ctxt -> bool -> value -> value =
   match steps with
-  | [] -> initial
+  | [] -> fun _ _ v -> v
   | step :: rest ->
-    (match initial with
-     | Nodes ns ->
-       let v, clean' = eval_one_step ctx ~clean ns step in
-       eval_steps_v ctx ~clean:clean' v rest
-     | Strs _ when steps <> [] -> fail "cannot apply a step to attribute values"
-     | _ -> fail "cannot apply a step to a non node-set")
+    let cstep = compile_one_step step in
+    let crest = compile_steps rest in
+    fun ctx clean v ->
+      (match v with
+       | Nodes ns ->
+         let v', clean' = cstep ctx clean ns in
+         crest ctx clean' v'
+       | Strs _ -> fail "cannot apply a step to attribute values"
+       | _ -> fail "cannot apply a step to a non node-set")
 
-and eval_one_step ctx ~clean ns (step : Ast.step) : value * bool =
+and compile_one_step (step : Ast.step) : ctxt -> bool -> Doc.node_id list -> value * bool =
   if step.axis = Ast.Attribute then begin
     (* The attribute axis yields string items. *)
-    let vals =
-      List.concat_map
-        (fun id ->
-          if not (Doc.is_element ctx.doc id) then []
-          else
-            match step.test with
-            | Ast.Name_test n ->
-              (match Doc.attr ctx.doc id n with Some v -> [ v ] | None -> [])
-            | Ast.Wildcard | Ast.Node_test -> List.map snd (Doc.attrs ctx.doc id)
-            | Ast.Text_test -> [])
-        ns
+    let getter =
+      match step.test with
+      | Ast.Name_test n ->
+        let sym = Symbol.intern n in
+        fun ctx id ->
+          (match Doc.attr_sym ctx.doc id sym with Some v -> [ v ] | None -> [])
+      | Ast.Wildcard | Ast.Node_test ->
+        fun ctx id -> List.map snd (Doc.attrs_sym ctx.doc id)
+      | Ast.Text_test -> fun _ _ -> []
     in
-    if step.preds <> [] then fail "predicates on the attribute axis are not supported";
-    (Strs vals, false)
+    let has_preds = step.preds <> [] in
+    fun ctx _clean ns ->
+      let vals =
+        List.concat_map
+          (fun id -> if not (Doc.is_element ctx.doc id) then [] else getter ctx id)
+          ns
+      in
+      if has_preds then fail "predicates on the attribute axis are not supported";
+      (Strs vals, false)
   end
   else begin
-    let per_node id =
-      let candidates =
-        match (step.axis, step.test, ctx.idx) with
-        | Ast.Child, Ast.Name_test n, Some idx ->
-          (* cached per-parent named-child list *)
-          Index.children_named idx id n
-        | _ ->
-          List.filter (test_ok ctx.doc step.test) (axis_nodes ctx.doc step.axis id)
+    let tf = compile_test step.test in
+    let cpreds = List.map compile_expr step.preds in
+    let axis = step.axis in
+    let named_child =
+      match (step.axis, step.test) with
+      | Ast.Child, Ast.Name_test n -> Some (Symbol.intern n)
+      | _ -> None
+    in
+    fun ctx clean ns ->
+      let per_node id =
+        let candidates =
+          match (named_child, ctx.idx) with
+          | Some sym, Some idx ->
+            (* cached per-parent named-child list *)
+            Index.children_named_sym idx id sym
+          | _ -> List.filter (tf ctx.doc) (axis_nodes ctx.doc axis id)
+        in
+        charge ctx (1 + List.length candidates);
+        run_preds ctx candidates cpreds
       in
-      tick (1 + List.length candidates);
-      apply_preds ctx candidates step.preds
-    in
-    let n_ctx = List.length ns in
-    let clean = clean || n_ctx <= 1 in
-    let result = List.concat_map per_node ns in
-    let result =
-      if needs_sort step.axis ~clean ~n_ctx then Doc.sort_doc_order ctx.doc result
-      else result
-    in
-    (Nodes result, result_clean step.axis ~clean ~n_ctx)
+      let n_ctx = List.length ns in
+      let clean = clean || n_ctx <= 1 in
+      let result = List.concat_map per_node ns in
+      let result =
+        if needs_sort axis ~clean ~n_ctx then sort_nodes ctx result else result
+      in
+      (Nodes result, result_clean axis ~clean ~n_ctx)
   end
 
-and apply_preds ctx nodes = function
+and run_preds ctx nodes = function
   | [] -> nodes
   | p :: rest ->
     let size = List.length nodes in
@@ -614,12 +800,16 @@ and apply_preds ctx nodes = function
       List.filteri
         (fun i id ->
           let ctx' = { ctx with node = id; pos = i + 1; size } in
-          match eval_expr ctx' p with
+          match p ctx' with
           | Num f -> Float.equal f (float_of_int (i + 1))
           | v -> boolean v)
         nodes
     in
-    apply_preds ctx keep rest
+    run_preds ctx keep rest
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
 
 let initial_ctx doc env ctx_node index =
   let node =
@@ -627,9 +817,14 @@ let initial_ctx doc env ctx_node index =
     | Some n -> n
     | None -> if Doc.has_root doc then Doc.root doc else Doc.no_node
   in
-  { doc; env; node; pos = 1; size = 1; idx = index }
+  { doc; env; node; pos = 1; size = 1; idx = index;
+    bud = Domain.DLS.get budget_key }
 
-let eval doc ?(env = []) ?ctx ?index e = eval_expr (initial_ctx doc env ctx index) e
+let compile e = compile_expr e
+
+let run doc ?(env = []) ?ctx ?index code = code (initial_ctx doc env ctx index)
+
+let eval doc ?(env = []) ?ctx ?index e = run doc ~env ?ctx ?index (compile_expr e)
 
 let select doc ?env ?ctx ?index e =
   match eval doc ?env ?ctx ?index e with
@@ -637,4 +832,4 @@ let select doc ?env ?ctx ?index e =
   | _ -> fail "expected a node-set result for %s" (Ast.to_string e)
 
 let eval_steps doc ?(env = []) ?index ns steps =
-  eval_steps_v (initial_ctx doc env None index) (Nodes ns) steps
+  (compile_steps steps) (initial_ctx doc env None index) false (Nodes ns)

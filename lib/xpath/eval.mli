@@ -38,6 +38,19 @@ val tick : int -> unit
     XQuery evaluator to meter its own constructs).
     @raise Budget_exceeded when the budget runs out. *)
 
+type compiled
+(** A compiled plan: the AST is lowered once into a closure pipeline —
+    name tests interned, index-probe analysis done, call dispatch
+    resolved — and can then be run any number of times (and from several
+    domains concurrently, the plan itself is immutable).  {!eval} is
+    exactly [compile] followed by [run], so interpreted and compiled
+    evaluation share one semantics by construction. *)
+
+val compile : Ast.expr -> compiled
+
+val run : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> ?index:Index.t -> compiled -> value
+(** Run a compiled plan; arguments as {!eval}. *)
+
 val eval : Doc.t -> ?env:env -> ?ctx:Doc.node_id -> ?index:Index.t -> Ast.expr -> value
 (** Evaluate an expression.  [ctx] is the context node (defaults to the
     root element); absolute paths always start at the root.  When [index]

@@ -1,6 +1,7 @@
 open Xic_xml
 module XE = Xic_xpath.Eval
 module XP = Xic_xpath.Ast
+module Symbol = Xic_symbol.Symbol
 
 type value = XE.value
 
@@ -48,7 +49,7 @@ let empty_seq : value = XE.Strs []
 let with_budget = XE.with_budget
 
 (* ------------------------------------------------------------------ *)
-(* Planner: recognizing indexable binding shapes                       *)
+(* Planner: recognizing indexable binding shapes (compile time)        *)
 (* ------------------------------------------------------------------ *)
 
 (* Top-level conjuncts of a condition. *)
@@ -58,6 +59,46 @@ let conjuncts e =
     | e -> e :: acc
   in
   go [] e
+
+(* Every variable name referenced anywhere in an expression, nested scopes
+   included.  Used to decide the earliest quantifier depth at which a
+   conjunct can be evaluated; counting shadowed inner uses as references
+   only delays a conjunct, never evaluates it too early, so the
+   over-approximation is sound. *)
+let rec xp_vars acc (e : XP.expr) =
+  match e with
+  | XP.Var v -> v :: acc
+  | XP.Literal _ | XP.Number _ -> acc
+  | XP.Neg a -> xp_vars acc a
+  | XP.Binop (_, a, b) -> xp_vars (xp_vars acc a) b
+  | XP.Call (_, args) -> List.fold_left xp_vars acc args
+  | XP.Path (start, steps) ->
+    let acc = match start with XP.From e -> xp_vars acc e | XP.Abs | XP.Rel -> acc in
+    List.fold_left
+      (fun acc (s : XP.step) -> List.fold_left xp_vars acc s.preds)
+      acc steps
+
+let rec expr_vars acc (e : Ast.expr) =
+  match e with
+  | Ast.Xp x -> xp_vars acc x
+  | Ast.Param _ -> acc
+  | Ast.Seq es -> List.fold_left expr_vars acc es
+  | Ast.Binop (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Ast.If (c, t, f) -> expr_vars (expr_vars (expr_vars acc c) t) f
+  | Ast.Elem (_, body) -> List.fold_left expr_vars acc body
+  | Ast.Quant (_, binds, cond) ->
+    let acc = List.fold_left (fun acc (_, e) -> expr_vars acc e) acc binds in
+    expr_vars acc cond
+  | Ast.Flwor (clauses, where, ret) ->
+    let acc =
+      List.fold_left
+        (fun acc cl ->
+          match cl with Ast.For (_, e) | Ast.Let (_, e) -> expr_vars acc e)
+        acc clauses
+    in
+    let acc = match where with None -> acc | Some w -> expr_vars acc w in
+    expr_vars acc ret
+  | Ast.Call (_, args) -> List.fold_left expr_vars acc args
 
 (* A binding source of the generated [//tag] shape. *)
 let binding_tag = function
@@ -82,214 +123,567 @@ let var_probe v = function
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* Expression evaluation                                               *)
+(* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let rec eval_expr cx env (e : Ast.expr) : value =
-  XE.tick 1;
+(* Compiled code, as in the XPath evaluator: one AST walk at compile time
+   interns every name, resolves every narrowing plan and pre-compiles the
+   embedded XPath expressions; running a plan only executes closures.
+   [eval] below is [compile] + [run], one semantics for both routes. *)
+type code = cx -> XE.env -> value
+
+(* How a quantifier / [for] binding may be narrowed through the value
+   indexes at run time. *)
+type narrow_plan =
+  | N_never  (* source is not [//tag]: enumerate, no fallback noted *)
+  | N_fallback of Symbol.t  (* [//tag] but no probe-able conjunct *)
+  | N_probe of Symbol.t * probe_kind * code  (* tag, access path, comparand *)
+
+and probe_kind =
+  | P_text
+  | P_attr of Symbol.t
+  | P_child_text of Symbol.t
+
+(* A scheduled conjunct test of an existential quantifier (see
+   [compile_some]): either the plain compiled conjunct, or a comparison
+   whose operands may have been pre-evaluated into slots at a shallower
+   binding depth (the plain conjunct rides along as the fallback when a
+   pre-evaluation failed). *)
+type operand =
+  | O_slot of int
+  | O_code of code
+
+type test =
+  | T_plain of (cx -> XE.env -> bool)
+  | T_cmp of XP.binop * operand * operand * (cx -> XE.env -> bool)
+
+(* Per-evaluation state of the innermost-level equality join (see
+   [compile_some]): the key table is built on first arrival at the
+   deepest binding and reused across every outer tuple; the join is
+   disabled for the whole evaluation when any candidate's key fails to
+   evaluate to a string-valued sequence. *)
+type jstate =
+  | J_unbuilt
+  | J_disabled
+  | J_table of (string, value list) Hashtbl.t
+
+let rec compile_expr (e : Ast.expr) : code =
   match e with
   | Ast.Xp x ->
-    (try XE.eval cx.doc ~env ~ctx:(Doc.root cx.doc) ?index:cx.idx x
-     with XE.Eval_error m -> raise (Eval_error m))
+    let cx_code = XE.compile x in
+    fun cx env ->
+      XE.tick 1;
+      (try XE.run cx.doc ~env ~ctx:(Doc.root cx.doc) ?index:cx.idx cx_code
+       with XE.Eval_error m -> raise (Eval_error m))
   | Ast.Param p ->
-    (match List.assoc_opt ("%" ^ p) env with
-     | Some v -> v
-     | None -> fail "unbound parameter %%%s" p)
+    let key = "%" ^ p in
+    fun _ env ->
+      XE.tick 1;
+      (match List.assoc_opt key env with
+       | Some v -> v
+       | None -> fail "unbound parameter %%%s" p)
   | Ast.Seq es ->
-    List.fold_left (fun acc e -> seq_append acc (eval_expr cx env e)) empty_seq es
+    let ces = List.map compile_expr es in
+    fun cx env ->
+      XE.tick 1;
+      List.fold_left (fun acc c -> seq_append acc (c cx env)) empty_seq ces
   | Ast.Binop (XP.And, a, b) ->
-    XE.Bool (bool_of cx env a && bool_of cx env b)
+    let ca = compile_bool a and cb = compile_bool b in
+    fun cx env -> XE.tick 1; XE.Bool (ca cx env && cb cx env)
   | Ast.Binop (XP.Or, a, b) ->
-    XE.Bool (bool_of cx env a || bool_of cx env b)
+    let ca = compile_bool a and cb = compile_bool b in
+    fun cx env -> XE.tick 1; XE.Bool (ca cx env || cb cx env)
   | Ast.Binop (((XP.Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
-    XE.Bool (XE.compare_values cx.doc op (eval_expr cx env a) (eval_expr cx env b))
+    let ca = compile_expr a and cb = compile_expr b in
+    fun cx env ->
+      XE.tick 1;
+      XE.Bool (XE.compare_values cx.doc op (ca cx env) (cb cx env))
   | Ast.Binop (op, a, b) ->
     (* Arithmetic and union delegate to the XPath evaluator's rules by
        re-wrapping pre-evaluated operands. *)
-    let va = eval_expr cx env a and vb = eval_expr cx env b in
-    let lift v name =
-      let key = "%%tmp_" ^ name in
-      (key, v)
-    in
-    let ka, va' = lift va "a" and kb, vb' = lift vb "b" in
-    let env' = (ka, va') :: (kb, vb') :: env in
-    (try
-       XE.eval cx.doc ~env:env' ~ctx:(Doc.root cx.doc) ?index:cx.idx
-         (XP.Binop (op, XP.Var ka, XP.Var kb))
-     with XE.Eval_error m -> raise (Eval_error m))
+    let ca = compile_expr a and cb = compile_expr b in
+    let ka = "%%tmp_a" and kb = "%%tmp_b" in
+    let wrapped = XE.compile (XP.Binop (op, XP.Var ka, XP.Var kb)) in
+    fun cx env ->
+      XE.tick 1;
+      let va = ca cx env and vb = cb cx env in
+      let env' = (ka, va) :: (kb, vb) :: env in
+      (try XE.run cx.doc ~env:env' ~ctx:(Doc.root cx.doc) ?index:cx.idx wrapped
+       with XE.Eval_error m -> raise (Eval_error m))
   | Ast.If (c, t, f) ->
-    if bool_of cx env c then eval_expr cx env t else eval_expr cx env f
+    let cc = compile_bool c and ct = compile_expr t and cf = compile_expr f in
+    fun cx env -> XE.tick 1; if cc cx env then ct cx env else cf cx env
   | Ast.Elem (tag, body) ->
-    let parts =
-      List.map (fun e -> XE.string_value cx.doc (eval_expr cx env e)) body
-    in
-    let inner = String.concat "" parts in
-    XE.Str
-      (if inner = "" then "<" ^ tag ^ "/>" else "<" ^ tag ^ ">" ^ inner ^ "</" ^ tag ^ ">")
-  | Ast.Quant (q, binds, cond) ->
-    let conjs = conjuncts cond in
-    let rec go env = function
-      | [] -> bool_of cx env cond
+    let cbody = List.map compile_expr body in
+    fun cx env ->
+      XE.tick 1;
+      let parts = List.map (fun c -> XE.string_value cx.doc (c cx env)) cbody in
+      let inner = String.concat "" parts in
+      XE.Str
+        (if inner = "" then "<" ^ tag ^ "/>"
+         else "<" ^ tag ^ ">" ^ inner ^ "</" ^ tag ^ ">")
+  | Ast.Quant (Ast.Some_, binds, cond) -> compile_some binds cond
+  | Ast.Quant (Ast.Every, binds, cond) ->
+    (* Narrowing and conjunct scheduling are existential-only (a dropped
+       or pruned candidate must falsify the whole condition); universal
+       quantifiers enumerate and test every tuple. *)
+    let ccond = compile_bool cond in
+    let rec build = function
+      | [] -> fun cx env -> ccond cx env
       | (v, e) :: rest ->
-        let candidates =
-          match q with
-          | Ast.Some_ ->
-            (* Narrowing by a conjunct is sound for existential
-               quantifiers only: a dropped item falsifies the conjunct,
-               hence the whole condition. *)
-            (match narrow cx env (v, e) conjs with
-             | Some narrowed -> narrowed
-             | None -> items (eval_expr cx env e))
-          | Ast.Every -> items (eval_expr cx env e)
-        in
-        let test item = go ((v, item) :: env) rest in
-        (match q with
-         | Ast.Some_ -> List.exists test candidates
-         | Ast.Every -> List.for_all test candidates)
+        let ce = compile_expr e in
+        let crest = build rest in
+        fun cx env ->
+          List.for_all (fun item -> crest cx ((v, item) :: env)) (items (ce cx env))
     in
-    XE.Bool (go env binds)
+    let body = build binds in
+    fun cx env -> XE.tick 1; XE.Bool (body cx env)
   | Ast.Flwor (clauses, where, ret) ->
     (* Narrowing a [for] clause by a top-level [where] conjunct is sound
        for any return shape: a dropped tuple fails the [where] and
        contributes nothing to the result sequence. *)
     let wconjs = match where with None -> [] | Some w -> conjuncts w in
-    let rec go env acc = function
+    let cwhere = Option.map compile_bool where in
+    let cret = compile_expr ret in
+    let rec build = function
       | [] ->
-        let keep =
-          match where with None -> true | Some w -> bool_of cx env w
-        in
-        if keep then seq_append acc (eval_expr cx env ret) else acc
+        fun cx env acc ->
+          let keep = match cwhere with None -> true | Some cw -> cw cx env in
+          if keep then seq_append acc (cret cx env) else acc
       | Ast.For (v, e) :: rest ->
-        let candidates =
-          match narrow cx env (v, e) wconjs with
-          | Some narrowed -> narrowed
-          | None -> items (eval_expr cx env e)
-        in
-        List.fold_left
-          (fun acc item -> go ((v, item) :: env) acc rest)
-          acc candidates
+        let ce = compile_expr e in
+        let nplan = compile_narrow v e wconjs in
+        let crest = build rest in
+        fun cx env acc ->
+          let candidates =
+            match run_narrow cx env nplan with
+            | Some narrowed -> narrowed
+            | None -> items (ce cx env)
+          in
+          List.fold_left
+            (fun acc item -> crest cx ((v, item) :: env) acc)
+            acc candidates
       | Ast.Let (v, e) :: rest ->
-        go ((v, eval_expr cx env e) :: env) acc rest
+        let ce = compile_expr e in
+        let crest = build rest in
+        fun cx env acc -> crest cx ((v, ce cx env) :: env) acc
     in
-    go env empty_seq clauses
-  | Ast.Call (f, args) -> eval_call cx env f args
+    let body = build clauses in
+    fun cx env -> XE.tick 1; body cx env empty_seq
+  | Ast.Call (f, args) -> compile_call f args
+
+(* Existential quantifier compilation.  Beyond per-binding index narrowing,
+   the plan schedules each top-level conjunct of the condition at the
+   earliest binding depth where every quantified variable it mentions is
+   bound, and pre-evaluates comparison operands that only depend on
+   shallower bindings into slots.  So
+
+     some $r in //rev, $a in //aut satisfies p($r) and q($r, $a)
+
+   tests [p] once per [$r] instead of once per [($r, $a)] pair, and the
+   [$r]-only operand of [q] is computed once per [$r] rather than per
+   pair.  Pruning on a failed conjunct is sound for existential semantics
+   (the conjunction cannot hold for any deeper extension); relative
+   conjunct order is preserved along every root-to-leaf path, and an
+   evaluation error in an early test or pre-evaluation defers back to
+   per-tuple evaluation of the full condition, reproducing the sequential
+   interpretation's error behavior. *)
+and compile_some binds cond : code =
+  let conjs = conjuncts cond in
+  let ccond = compile_bool cond in
+  match binds with
+  | [] -> fun cx env -> XE.tick 1; XE.Bool (ccond cx env)
+  | _ ->
+    let n = List.length binds in
+    let names = List.map fst binds in
+    (* depth at which a variable is (last) bound; 0 = not bound here *)
+    let level_of_var v =
+      let rec go i lvl = function
+        | [] -> lvl
+        | name :: rest -> go (i + 1) (if String.equal name v then i else lvl) rest
+      in
+      go 1 0 names
+    in
+    let level_of_expr e =
+      List.fold_left (fun m v -> max m (level_of_var v)) 0 (expr_vars [] e)
+    in
+    let nslots = ref 0 in
+    let prevals = Array.make (n + 1) [] in  (* depth -> (slot, code) list *)
+    let tests = Array.make (n + 1) [] in    (* depth -> test list *)
+    let hoist lvl e =
+      let s = !nslots in
+      incr nslots;
+      prevals.(lvl) <- prevals.(lvl) @ [ (s, compile_expr e) ];
+      O_slot s
+    in
+    let prev = ref 0 in
+    (* Innermost-level equality join: when the FIRST conjunct tested at
+       the deepest binding is [slot = f($vn)] (either operand order) with
+       [f] mentioning only the deepest variable, the deepest loop can be
+       replaced by a hash probe — key every candidate by [f] once per
+       evaluation, then look each outer tuple's slot value up instead of
+       scanning all candidates.  Restricting to the first test keeps
+       error behavior identical: a sequential evaluation of a skipped
+       candidate would have started (and stopped) at that same false
+       conjunct. *)
+    let join_info = ref None in
+    let vn = List.nth names (n - 1) in
+    let vn_pure e = List.for_all (String.equal vn) (expr_vars [] e) in
+    List.iter
+      (fun conj ->
+        (* monotone schedule keeps conjuncts in source order on every path *)
+        let k = max (level_of_expr conj) !prev in
+        prev := k;
+        let test =
+          match conj with
+          | Ast.Binop (((XP.Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+            let la = level_of_expr a and lb = level_of_expr b in
+            if la < k || lb < k then begin
+              let oa = if la < k then hoist la a else O_code (compile_expr a) in
+              let ob = if lb < k then hoist lb b else O_code (compile_expr b) in
+              (if op = XP.Eq && k = n then
+                 match (tests.(k), oa, ob) with
+                 | [], O_slot s, O_code c when lb = k && vn_pure b ->
+                   join_info := Some (s, c)
+                 | [], O_code c, O_slot s when la = k && vn_pure a ->
+                   join_info := Some (s, c)
+                 | _ -> ());
+              T_cmp (op, oa, ob, compile_bool conj)
+            end
+            else T_plain (compile_bool conj)
+          | _ -> T_plain (compile_bool conj)
+        in
+        tests.(k) <- tests.(k) @ [ test ])
+      conjs;
+    let exec_test cx env slots = function
+      | T_plain f -> f cx env
+      | T_cmp (op, oa, ob, fallback) ->
+        let get = function O_slot s -> slots.(s) | O_code c -> Some (c cx env) in
+        let va = get oa in
+        let vb = get ob in
+        (match (va, vb) with
+         | Some va, Some vb ->
+           XE.tick 1;
+           XE.compare_values cx.doc op va vb
+         | _ -> fallback cx env)
+    in
+    (* run one intermediate depth's pre-evaluations and tests; [`False]
+       prunes this candidate, [`Plain] defers to per-tuple evaluation *)
+    let run_level cx env slots pv ts =
+      List.iter
+        (fun (s, c) ->
+          slots.(s) <-
+            (try Some (c cx env) with Eval_error _ | XE.Eval_error _ -> None))
+        pv;
+      try if List.for_all (exec_test cx env slots) ts then `True else `False
+      with Eval_error _ | XE.Eval_error _ -> `Plain
+    in
+    let rec build lvl = function
+      | [] -> assert false
+      | [ (v, e) ] ->
+        (* deepest binding: evaluate the remaining tests in place, errors
+           propagating as in the sequential interpretation (an operand
+           never hoists to the deepest level, so no pre-evaluations) *)
+        let ce = compile_expr e in
+        let nplan = compile_narrow v e conjs in
+        let ts = tests.(lvl) in
+        (* the join table is only reusable across outer tuples when the
+           candidate source is closed (no free variables) *)
+        let join = if expr_vars [] e = [] then !join_info else None in
+        let ts_rest = match ts with _ :: r -> r | [] -> [] in
+        let scan cx env slots plain =
+          let candidates =
+            match run_narrow ~ordered:false cx env nplan with
+            | Some narrowed -> narrowed
+            | None -> items (ce cx env)
+          in
+          List.exists
+            (fun item ->
+              let env' = (v, item) :: env in
+              if plain then ccond cx env'
+              else List.for_all (exec_test cx env' slots) ts)
+            candidates
+        in
+        let table cx env jst =
+          match !jst with
+          | J_table tbl -> Some tbl
+          | J_disabled -> None
+          | J_unbuilt ->
+            let ckey = match join with Some (_, c) -> c | None -> assert false in
+            let result =
+              try
+                let candidates = items (ce cx env) in
+                XE.tick (1 + List.length candidates);
+                let tbl = Hashtbl.create (2 * List.length candidates) in
+                List.iter
+                  (fun item ->
+                    match ckey cx ((v, item) :: env) with
+                    | XE.Num _ | XE.Bool _ -> raise Exit
+                    | kv ->
+                      List.iter
+                        (fun key ->
+                          let prev =
+                            try Hashtbl.find tbl key with Not_found -> []
+                          in
+                          Hashtbl.replace tbl key (item :: prev))
+                        (XE.item_strings cx.doc kv))
+                  candidates;
+                (* restore candidate order within each bucket *)
+                Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) tbl;
+                Some tbl
+              with Exit | Eval_error _ | XE.Eval_error _ -> None
+            in
+            jst :=
+              (match result with Some tbl -> J_table tbl | None -> J_disabled);
+            result
+        in
+        fun cx env slots jst plain -> (
+          match join with
+          | None -> scan cx env slots plain
+          | Some (s, _) when not plain -> (
+            match slots.(s) with
+            | None -> scan cx env slots plain
+            | Some kv -> (
+              match kv with
+              | XE.Num _ | XE.Bool _ -> scan cx env slots plain
+              | _ -> (
+                match table cx env jst with
+                | None -> scan cx env slots plain
+                | Some tbl ->
+                  let bucket key =
+                    try Hashtbl.find tbl key with Not_found -> []
+                  in
+                  let cands =
+                    match XE.item_strings cx.doc kv with
+                    | [] -> []
+                    | [ key ] -> bucket key
+                    | keys ->
+                      (* rare multi-key probe: union in key order, dedup *)
+                      List.rev
+                        (List.fold_left
+                           (fun acc key ->
+                             List.fold_left
+                               (fun acc it ->
+                                 if List.memq it acc then acc else it :: acc)
+                               acc (bucket key))
+                           [] keys)
+                  in
+                  XE.tick (1 + List.length cands);
+                  List.exists
+                    (fun item ->
+                      let env' = (v, item) :: env in
+                      List.for_all (exec_test cx env' slots) ts_rest)
+                    cands)))
+          | Some _ -> scan cx env slots plain)
+      | (v, e) :: rest ->
+        let ce = compile_expr e in
+        let nplan = compile_narrow v e conjs in
+        let pv = prevals.(lvl) and ts = tests.(lvl) in
+        let crest = build (lvl + 1) rest in
+        fun cx env slots jst plain ->
+          let candidates =
+            match run_narrow ~ordered:false cx env nplan with
+            | Some narrowed -> narrowed
+            | None -> items (ce cx env)
+          in
+          List.exists
+            (fun item ->
+              let env' = (v, item) :: env in
+              if plain then crest cx env' slots jst true
+              else
+                match run_level cx env' slots pv ts with
+                | `False -> false
+                | `True -> crest cx env' slots jst false
+                | `Plain -> crest cx env' slots jst true)
+            candidates
+    in
+    let cbinds = build 1 binds in
+    let nslots = !nslots in
+    let pv0 = prevals.(0) and ts0 = tests.(0) in
+    fun cx env ->
+      XE.tick 1;
+      XE.Bool
+        (let slots = Array.make nslots None in
+         let jst = ref J_unbuilt in
+         match run_level cx env slots pv0 ts0 with
+         | `False -> false
+         | `True -> cbinds cx env slots jst false
+         | `Plain -> cbinds cx env slots jst true)
+
+(* Resolve the narrowing plan of one binding at compile time: the binding
+   source must be [//tag] and some conjunct must equate an indexable
+   access path of the bound variable ($v/text(), $v/c/text() or $v/@a)
+   with a comparand expression; names are interned and the comparand
+   compiled here.  Whether a probe actually runs is decided per evaluation
+   ([run_narrow]): it needs an index, and a comparand that evaluates in
+   the current environment to a string-valued sequence. *)
+and compile_narrow v src conjs : narrow_plan =
+  match binding_tag src with
+  | None -> N_never
+  | Some tag ->
+    let tag = Symbol.intern tag in
+    let probe_of = function
+      | Ast.Binop (XP.Eq, a, b) ->
+        (match var_probe v a with
+         | Some probe -> Some (probe, b)
+         | None ->
+           (match var_probe v b with
+            | Some probe -> Some (probe, a)
+            | None -> None))
+      | _ -> None
+    in
+    let rec first = function
+      | [] -> None
+      | c :: rest -> (match probe_of c with Some r -> Some r | None -> first rest)
+    in
+    (match first conjs with
+     | None -> N_fallback tag
+     | Some (probe, comparand) ->
+       let probe =
+         match probe with
+         | `Text -> P_text
+         | `Attr a -> P_attr (Symbol.intern a)
+         | `Child_text c -> P_child_text (Symbol.intern c)
+       in
+       N_probe (tag, probe, compile_expr comparand))
 
 (* Try to serve the candidate items of a binding from the value indexes.
-   The binding source must be [//tag] and some conjunct must equate an
-   indexable access path of the bound variable ($v/text(), $v/c/text() or
-   $v/@a) with an expression evaluable in the current environment to a
-   string-valued sequence.  The narrowed set is a subset of [//tag]
-   containing every item that can satisfy that conjunct; the caller still
-   evaluates the full condition on each item, so a probe is a pure
-   optimization. *)
-and narrow cx env (v, src) conjs =
+   The narrowed set is a subset of [//tag] containing every item that can
+   satisfy the probed conjunct; the caller still evaluates the full
+   condition on each item, so a probe is a pure optimization.  [ordered]
+   requests document order; a FLWOR [for] needs it because the candidates
+   flow into the result sequence, whereas a quantifier only tests each
+   candidate, so deduplicating by node id suffices — [order_key] walks to
+   the root, which is the dominant cost of a probe on wide documents. *)
+and run_narrow ?(ordered = true) cx env (plan : narrow_plan) : value list option =
   match cx.idx with
   | None -> None
   | Some idx ->
-    (match binding_tag src with
-     | None -> None
-     | Some tag ->
-       let probe_of = function
-         | Ast.Binop (XP.Eq, a, b) ->
-           (match var_probe v a with
-            | Some probe -> Some (probe, b)
-            | None ->
-              (match var_probe v b with
-               | Some probe -> Some (probe, a)
-               | None -> None))
-         | _ -> None
+    (match plan with
+     | N_never -> None
+     | N_fallback _ ->
+       Index.note_fallback idx;
+       None
+     | N_probe (tag, probe, ccomp) ->
+       let rhs =
+         (* The comparand may reference variables bound later (or the
+            probed variable itself); then it cannot drive a probe. *)
+         try Some (ccomp cx env) with
+         | Eval_error _ | XE.Eval_error _ -> None
        in
-       let rec first = function
-         | [] -> None
-         | c :: rest ->
-           (match probe_of c with Some r -> Some r | None -> first rest)
-       in
-       (match first conjs with
-        | None ->
+       (match rhs with
+        | None | Some (XE.Num _) | Some (XE.Bool _) ->
+          (* numbers and booleans do not compare by string value *)
           Index.note_fallback idx;
           None
-        | Some (probe, comparand) ->
-          let rhs =
-            (* The comparand may reference variables bound later (or the
-               probed variable itself); then it cannot drive a probe. *)
-            try Some (eval_expr cx env comparand) with
-            | Eval_error _ | XE.Eval_error _ -> None
+        | Some rv ->
+          let keys = XE.item_strings cx.doc rv in
+          let ids =
+            List.concat_map
+              (fun key ->
+                match probe with
+                | P_text -> Index.by_pcdata_sym idx ~tag key
+                | P_attr a -> Index.by_attr_sym idx ~tag ~attr:a key
+                | P_child_text c ->
+                  Index.by_pcdata_sym idx ~tag:c key
+                  |> List.map (Doc.parent cx.doc)
+                  |> List.filter (fun p ->
+                         p <> Doc.no_node
+                         && Doc.is_element cx.doc p
+                         && Symbol.equal (Doc.tag cx.doc p) tag))
+              keys
           in
-          (match rhs with
-           | None | Some (XE.Num _) | Some (XE.Bool _) ->
-             (* numbers and booleans do not compare by string value *)
-             Index.note_fallback idx;
-             None
-           | Some rv ->
-             let keys = XE.item_strings cx.doc rv in
-             let ids =
-               List.concat_map
-                 (fun key ->
-                   match probe with
-                   | `Text -> Index.by_pcdata idx ~tag key
-                   | `Attr a -> Index.by_attr idx ~tag ~attr:a key
-                   | `Child_text c ->
-                     Index.by_pcdata idx ~tag:c key
-                     |> List.map (Doc.parent cx.doc)
-                     |> List.filter (fun p ->
-                            p <> Doc.no_node
-                            && Doc.is_element cx.doc p
-                            && Doc.name cx.doc p = tag))
-                 keys
-             in
-             (* [//tag] never yields a root, and multi-key / parent-hop
-                probes can produce duplicates out of order *)
-             let ids =
-               List.filter (fun id -> Doc.parent cx.doc id <> Doc.no_node) ids
-             in
-             let ids = Doc.sort_doc_order cx.doc ids in
-             XE.tick (1 + List.length ids);
-             Some (List.map (fun n -> XE.Nodes [ n ]) ids))))
+          (* [//tag] never yields a root, and multi-key / parent-hop
+             probes can produce duplicates out of order *)
+          let ids =
+            List.filter (fun id -> Doc.parent cx.doc id <> Doc.no_node) ids
+          in
+          let ids =
+            if ordered then
+              match cx.idx with
+              | Some idx -> Index.sort_doc_order idx ids
+              | None -> Doc.sort_doc_order cx.doc ids
+            else List.sort_uniq (fun (a : int) b -> Stdlib.compare a b) ids
+          in
+          XE.tick (1 + List.length ids);
+          Some (List.map (fun n -> XE.Nodes [ n ]) ids)))
 
-and eval_call cx env f args =
-  let vals = List.map (eval_expr cx env) args in
-  match (f, vals) with
-  | "exists", [ v ] ->
-    XE.Bool (match v with XE.Nodes ns -> ns <> [] | XE.Strs ss -> ss <> [] | v -> XE.boolean v)
-  | "empty", [ v ] ->
-    XE.Bool (match v with XE.Nodes ns -> ns = [] | XE.Strs ss -> ss = [] | v -> not (XE.boolean v))
-  | "not", [ v ] -> XE.Bool (not (XE.boolean v))
-  | "same-node", [ a; b ] ->
-    (* node identity, existential over sequences (XQuery's [is] on the
-       singletons the translation produces) *)
-    (match (a, b) with
-     | XE.Nodes xs, XE.Nodes ys ->
-       XE.Bool (List.exists (fun x -> List.mem x ys) xs)
-     | _ -> fail "same-node: expected node sequences")
-  | "count", [ XE.Nodes ns ] -> XE.Num (float_of_int (List.length ns))
-  | "count", [ XE.Strs ss ] -> XE.Num (float_of_int (List.length ss))
-  | "count", [ _ ] -> XE.Num 1.0
-  | "count-distinct", [ v ] ->
-    (* The translation of the paper's [Cnt_D] aggregate. *)
-    XE.Num (float_of_int (XE.distinct_count cx.doc v))
-  | "sum", [ v ] ->
-    let ss = XE.item_strings cx.doc v in
-    XE.Num
-      (List.fold_left
-         (fun a s -> a +. (match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan))
-         0.0 ss)
-  | "boolean", [ v ] -> XE.Bool (XE.boolean v)
-  | "string", [ v ] -> XE.Str (XE.string_value cx.doc v)
-  | "number", [ v ] -> XE.Num (XE.number v)
-  | _ ->
-    (* Fall back to the XPath function library via pre-evaluated operand
-       variables. *)
-    let keys = List.mapi (fun i v -> ("%%arg" ^ string_of_int i, v)) vals in
-    let env' = keys @ env in
-    (try
-       XE.eval cx.doc ~env:env' ~ctx:(Doc.root cx.doc) ?index:cx.idx
-         (XP.Call (f, List.map (fun (k, _) -> XP.Var k) keys))
-     with XE.Eval_error m -> raise (Eval_error m))
+and compile_call f args : code =
+  let cargs = List.map compile_expr args in
+  (* the fallback to the XPath function library, via pre-evaluated operand
+     variables, is resolved and compiled up front *)
+  let keys = List.mapi (fun i _ -> "%%arg" ^ string_of_int i) args in
+  let wrapped = XE.compile (XP.Call (f, List.map (fun k -> XP.Var k) keys)) in
+  let exec cx env (vals : value list) : value =
+    match (f, vals) with
+    | "exists", [ v ] ->
+      XE.Bool
+        (match v with
+         | XE.Nodes ns -> ns <> []
+         | XE.Strs ss -> ss <> []
+         | v -> XE.boolean v)
+    | "empty", [ v ] ->
+      XE.Bool
+        (match v with
+         | XE.Nodes ns -> ns = []
+         | XE.Strs ss -> ss = []
+         | v -> not (XE.boolean v))
+    | "not", [ v ] -> XE.Bool (not (XE.boolean v))
+    | "same-node", [ a; b ] ->
+      (* node identity, existential over sequences (XQuery's [is] on the
+         singletons the translation produces) *)
+      (match (a, b) with
+       | XE.Nodes xs, XE.Nodes ys ->
+         XE.Bool (List.exists (fun x -> List.mem x ys) xs)
+       | _ -> fail "same-node: expected node sequences")
+    | "count", [ XE.Nodes ns ] -> XE.Num (float_of_int (List.length ns))
+    | "count", [ XE.Strs ss ] -> XE.Num (float_of_int (List.length ss))
+    | "count", [ _ ] -> XE.Num 1.0
+    | "count-distinct", [ v ] ->
+      (* The translation of the paper's [Cnt_D] aggregate. *)
+      XE.Num (float_of_int (XE.distinct_count cx.doc v))
+    | "sum", [ v ] ->
+      let ss = XE.item_strings cx.doc v in
+      XE.Num
+        (List.fold_left
+           (fun a s ->
+             a
+             +.
+             match float_of_string_opt (String.trim s) with
+             | Some f -> f
+             | None -> Float.nan)
+           0.0 ss)
+    | "boolean", [ v ] -> XE.Bool (XE.boolean v)
+    | "string", [ v ] -> XE.Str (XE.string_value cx.doc v)
+    | "number", [ v ] -> XE.Num (XE.number v)
+    | _ ->
+      let env' = List.combine keys vals @ env in
+      (try XE.run cx.doc ~env:env' ~ctx:(Doc.root cx.doc) ?index:cx.idx wrapped
+       with XE.Eval_error m -> raise (Eval_error m))
+  in
+  fun cx env ->
+    XE.tick 1;
+    exec cx env (List.map (fun c -> c cx env) cargs)
 
-and bool_of cx env e = XE.boolean (eval_expr cx env e)
+and compile_bool e =
+  let c = compile_expr e in
+  fun cx env -> XE.boolean (c cx env)
 
-let eval doc ?(env = []) ?(params = []) ?index e =
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = code
+
+let compile e = compile_expr e
+
+let run doc ?(env = []) ?(params = []) ?index code =
   let env = List.map (fun (p, v) -> ("%" ^ p, v)) params @ env in
-  eval_expr { doc; idx = index } env e
+  code { doc; idx = index } env
+
+let run_bool doc ?env ?params ?index code =
+  XE.boolean (run doc ?env ?params ?index code)
+
+let eval doc ?env ?params ?index e = run doc ?env ?params ?index (compile_expr e)
 
 let eval_bool doc ?env ?params ?index e = XE.boolean (eval doc ?env ?params ?index e)

@@ -18,6 +18,35 @@ val with_budget : steps:int -> (unit -> 'a) -> 'a
     are spent — the repository layer catches it and degrades the
     optimized check to the full check. *)
 
+type compiled
+(** A compiled denial-check plan: one AST walk interns every name,
+    resolves quantifier/FLWOR narrowing plans and pre-compiles the
+    embedded XPath expressions into closure pipelines; running the plan
+    executes closures only.  A plan is immutable and can be run from
+    several domains concurrently.  {!eval} is exactly [compile] followed
+    by [run], so interpreted and compiled checking share one semantics by
+    construction. *)
+
+val compile : Ast.expr -> compiled
+
+val run :
+  Doc.t ->
+  ?env:Xic_xpath.Eval.env ->
+  ?params:(string * value) list ->
+  ?index:Index.t ->
+  compiled ->
+  value
+(** Run a compiled plan; arguments as {!eval}. *)
+
+val run_bool :
+  Doc.t ->
+  ?env:Xic_xpath.Eval.env ->
+  ?params:(string * value) list ->
+  ?index:Index.t ->
+  compiled ->
+  bool
+(** Run a compiled plan and coerce to a boolean ({!eval_bool}). *)
+
 val eval :
   Doc.t ->
   ?env:Xic_xpath.Eval.env ->

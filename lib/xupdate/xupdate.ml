@@ -37,7 +37,8 @@ let strip_prefix name =
 let rec content_of_node doc id =
   match Doc.kind doc id with
   | Doc.Text s -> Text s
-  | Doc.Element tag ->
+  | Doc.Element sym ->
+    let tag = Doc.Symbol.name sym in
     (match strip_prefix tag with
      | Some "element" ->
        let name =
@@ -90,7 +91,7 @@ let parse_string src =
   in
   let root = Doc.root doc in
   (match Doc.kind doc root with
-   | Doc.Element tag when strip_prefix tag = Some "modifications" -> ()
+   | Doc.Element sym when strip_prefix (Doc.Symbol.name sym) = Some "modifications" -> ()
    | _ -> fail "expected an <xupdate:modifications> root element");
   List.filter_map
     (fun id ->

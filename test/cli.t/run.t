@@ -54,6 +54,15 @@ Checking documents:
   $ xicheck check --datalog --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
   consistent
 
+Parallel checking (-j) gives identical verdicts — the pool clamps to the
+machine's cores, so this is safe on any runner — and --plan-stats shows
+the closure-plan cache (one compilation per constraint, reused by every
+check):
+
+  $ xicheck check -j 4 --plan-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+  plans: 0 hits, 1 misses, 1 cached
+
 Simplifying w.r.t. the submission-insertion pattern (Example 6):
 
   $ cat > pattern.xml <<'XEOF'

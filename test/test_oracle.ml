@@ -1,8 +1,9 @@
 (* Differential test oracle (index layer): randomized conference-style
    documents, denials from the paper's constraint class, and random
-   XUpdate sequences.  Three evaluation routes must agree on every
-   check — the indexed planner, the scan interpreter, and the Datalog
-   evaluation of the shredded relational mapping — and the incrementally
+   XUpdate sequences.  Five evaluation routes must agree on every
+   check — the indexed planner, the scan interpreter, the Datalog
+   evaluation of the shredded relational mapping, the cached compiled
+   plans, and the parallel checker at [-j 2..4] — and the incrementally
    maintained indexes must equal indexes rebuilt from scratch after
    every apply / undo / savepoint-rollback / crash-recovery sequence.
 
@@ -99,9 +100,12 @@ let random_repo r = repo_of ~pub:(gen_pub r) ~rev:(gen_rev r)
 
 let sorted l = List.sort compare l
 
-(* Compare the three routes without toggling [set_use_index], so the
+(* Compare the five routes without toggling [set_use_index], so the
    live index stays incrementally maintained across the whole sequence
-   instead of being dropped and rebuilt at every check. *)
+   instead of being dropped and rebuilt at every check.  [check_full]
+   runs the cached closure plans (compiled route); re-running it with
+   parallelism 2..4 additionally exercises the shared-index phase and
+   the domain pool's deterministic merge. *)
 let check_agreement ~seed repo what =
   let doc = Repository.doc repo in
   let idx = Repository.index repo in
@@ -114,12 +118,22 @@ let check_agreement ~seed repo what =
   let indexed = verdict (fun c -> Constr.violated_xquery ?index:idx doc c) in
   let scan = verdict (fun c -> Constr.violated_xquery doc c) in
   let datalog = sorted (Repository.check_full_datalog repo) in
+  let compiled = sorted (Repository.check_full repo) in
+  Repository.set_parallelism repo (2 + (seed mod 3));
+  let parallel = sorted (Repository.check_full repo) in
+  Repository.set_parallelism repo 1;
   Alcotest.(check (list string))
     (Printf.sprintf "[seed %d] %s: indexed = scan" seed what)
     scan indexed;
   Alcotest.(check (list string))
     (Printf.sprintf "[seed %d] %s: datalog = scan" seed what)
-    scan datalog
+    scan datalog;
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: compiled plans = scan" seed what)
+    scan compiled;
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: parallel (-j 2..4) = scan" seed what)
+    scan parallel
 
 let check_index_consistent ~seed repo what =
   match Repository.index repo with
@@ -333,6 +347,34 @@ let test_recover_oracle () =
     Sys.remove path
   done
 
+(* ------------------------------------------------------------------ *)
+(* Symbol interning round trip                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The global table is append-only and hash-consed: [name] must invert
+   [intern], and re-interning must return the identical symbol without
+   growing the table. *)
+let test_intern_roundtrip () =
+  let r = Prng.create 77 in
+  let seen = Hashtbl.create 64 in
+  for i = 1 to 300 do
+    let s =
+      String.init (1 + Prng.int r 12) (fun _ -> Char.chr (33 + Prng.int r 94))
+    in
+    let sym = Symbol.intern s in
+    checkb (Printf.sprintf "name (intern %S) = %S (iter %d)" s s i) true
+      (String.equal (Symbol.name sym) s);
+    checkb "re-intern is the identical symbol" true
+      (Symbol.equal (Symbol.intern s) sym);
+    (match Hashtbl.find_opt seen s with
+     | Some sym' -> checkb "stable across iterations" true (Symbol.equal sym sym')
+     | None -> Hashtbl.replace seen s sym);
+    checkb "interned strings are members" true (Symbol.mem s)
+  done;
+  let before = Symbol.count () in
+  Hashtbl.iter (fun s _ -> ignore (Symbol.intern s : Symbol.t)) seen;
+  Alcotest.(check int) "re-interning grows nothing" before (Symbol.count ())
+
 let () =
   Alcotest.run "oracle"
     [
@@ -341,6 +383,8 @@ let () =
           Alcotest.test_case "rollback purges index" `Quick test_rollback_not_stale;
           Alcotest.test_case "savepoint rollback purges index" `Quick
             test_savepoint_rollback_not_stale;
+          Alcotest.test_case "symbol intern round trip" `Quick
+            test_intern_roundtrip;
         ] );
       ( "differential",
         [
