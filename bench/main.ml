@@ -20,6 +20,7 @@ open Xic_core
 module Conf = Xic_workload.Conference
 module Gen = Xic_workload.Generator
 module T = Xic_datalog.Term
+module Obs = Xic_obs.Obs
 
 let default_sizes = [ 32_000; 64_000; 128_000; 256_000 ]
 
@@ -162,6 +163,9 @@ let fig1b ~sizes ~reps () =
 let pipeline ~sizes ~reps () =
   let size = List.fold_left max 0 sizes in
   Printf.printf "# Compiled check pipeline (3 constraints, %d bytes)\n" size;
+  (* plan-cache counters live in the global metrics registry now; start
+     this section from zero so its stats cover only its own repository *)
+  Obs.Metrics.reset ();
   let s = Conf.schema () in
   let ds = Gen.generate ~seed:42 ~target_bytes:size () in
   let repo = Repository.create s in
@@ -228,6 +232,79 @@ let pipeline ~sizes ~reps () =
        ds.Gen.stats.Gen.bytes interp_med interp_min compiled_med compiled_min
        stats.Repository.plan_hits stats.Repository.plan_misses (Symbol.count ())
        (String.concat ", " parallel_rows))
+
+(* ------------------------------------------------------------------ *)
+(* PR 4: per-stage breakdown from the tracing layer                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One fully traced cold run per figure at the largest size: document
+   parse, pattern simplification, XQuery translation, relational shred,
+   plan compilation and evaluation, each read off the span tree.  Also
+   measures the steady-state full check with tracing off and on — the
+   disabled cost is the one the <3% regression gate watches. *)
+let stages ~sizes ~reps () =
+  let size = List.fold_left max 0 sizes in
+  Printf.printf "# Per-stage breakdown (traced cold run, %d bytes)\n" size;
+  let stage_names =
+    [ "parse"; "simplify"; "translate"; "shred"; "compile"; "eval" ]
+  in
+  let rows =
+    List.map
+      (fun (key, constraint_) ->
+        Obs.Trace.set_enabled true;
+        Obs.Metrics.set_detailed true;
+        Obs.Trace.reset ();
+        let { repo; _ } = setup ~size ~constraint_ () in
+        ignore (Repository.store repo : Xic_datalog.Store.t);
+        ignore (Repository.check_full repo : string list);
+        let roots = Obs.Trace.roots () in
+        Obs.Trace.set_enabled false;
+        Obs.Metrics.set_detailed false;
+        Obs.Trace.reset ();
+        let totals = Hashtbl.create 16 in
+        let rec walk (sp : Obs.Trace.span) =
+          let prev =
+            Option.value ~default:0.0
+              (Hashtbl.find_opt totals sp.Obs.Trace.name)
+          in
+          Hashtbl.replace totals sp.Obs.Trace.name
+            (prev +. Obs.Trace.duration_ms sp);
+          List.iter walk sp.Obs.Trace.children
+        in
+        List.iter walk roots;
+        let get n = Option.value ~default:0.0 (Hashtbl.find_opt totals n) in
+        Printf.printf "%-7s" key;
+        List.iter (fun n -> Printf.printf " %s=%.3f" n (get n)) stage_names;
+        Printf.printf " (ms)\n%!";
+        (* steady-state full check, instrumentation off vs on *)
+        let off_med, _ =
+          time_stats ~reps (fun () -> Repository.check_full repo)
+        in
+        Obs.Trace.set_enabled true;
+        Obs.Metrics.set_detailed true;
+        let on_med, _ =
+          time_stats ~reps (fun () -> Repository.check_full repo)
+        in
+        Obs.Trace.set_enabled false;
+        Obs.Metrics.set_detailed false;
+        Obs.Trace.reset ();
+        Printf.printf
+          "%-7s full check: tracing off %.3f ms | on %.3f ms (%+.1f%%)\n%!" key
+          off_med on_med
+          ((on_med -. off_med) /. (off_med +. 1e-9) *. 100.0);
+        Printf.sprintf
+          "{\"figure\": %S, %s, \"full_untraced_median_ms\": %.4f, \
+           \"full_traced_median_ms\": %.4f}"
+          key
+          (String.concat ", "
+             (List.map
+                (fun n -> Printf.sprintf "\"%s_ms\": %.4f" n (get n))
+                stage_names))
+          off_med on_med)
+      [ ("fig1a", Conf.conflict); ("fig1b", Conf.workload) ]
+  in
+  add_json "stages" ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]");
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Simplification cost (§7, footnote 4: "less than 50 ms")             *)
@@ -583,7 +660,7 @@ let () =
       sizes := List.map int_of_string (String.split_on_char ',' s);
       parse rest
     | "--json" :: rest ->
-      json := Some "BENCH_PR3.json";
+      json := Some "BENCH_PR4.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -601,6 +678,7 @@ let () =
     | "index" -> index_bench ~sizes ~reps ()
     | "journal" -> journal_bench ~sizes ~reps ()
     | "pipeline" -> pipeline ~sizes ~reps ()
+    | "stages" -> stages ~sizes ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -610,12 +688,14 @@ let () =
       ablations ~reps ();
       index_bench ~sizes ~reps ();
       journal_bench ~sizes ~reps ();
+      stages ~sizes ~reps ();
       pipeline ~sizes ~reps ();
       micro ()
     | other ->
       Printf.eprintf
         "unknown experiment %S (expected \
-         fig1a|fig1b|fig_simp|ex45|ablations|index|journal|pipeline|micro|all)\n"
+         fig1a|fig1b|fig_simp|ex45|ablations|index|journal|stages|pipeline|\
+         micro|all)\n"
         other;
       exit 2
   in

@@ -18,6 +18,7 @@
 
 open Cmdliner
 open Xic_core
+module Obs = Xic_obs.Obs
 
 let read_file path =
   let ic = open_in_bin path in
@@ -107,6 +108,111 @@ let jobs_arg =
 let plan_stats_arg =
   let doc = "Print plan-cache statistics (hits, misses, cached plans) at exit." in
   Arg.(value & flag & info [ "plan-stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Trace every pipeline stage (parse, shred, simplify, translate, plan \
+     compilation, evaluation) and write the spans to $(docv) as Chrome \
+     trace_event JSON — or, when $(docv) is '-', as an indented text tree \
+     to stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the metrics registry (pipeline counters and latency histograms) \
+     as JSON at exit."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let slow_ms_arg =
+  let doc =
+    "Record every constraint check slower than $(docv) milliseconds in the \
+     slow-check log, printed to stderr at exit (implies tracing)."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+(* Enable the requested instrumentation.  Must run before any document
+   loads so the parse span is captured. *)
+let obs_setup ~trace ~metrics ~slow_ms =
+  if metrics || trace <> None || slow_ms <> None then
+    Obs.Metrics.set_detailed true;
+  if trace <> None || slow_ms <> None then Obs.Trace.set_enabled true;
+  Option.iter (fun ms -> Obs.set_slow_threshold_ms (Some ms)) slow_ms
+
+let print_slow_log () =
+  match Obs.Trace.slow_log () with
+  | [] -> ()
+  | slow ->
+    prerr_endline "slow checks:";
+    List.iter
+      (fun (sp : Obs.Trace.span) ->
+        Printf.eprintf "  %s %.3fms\n" sp.Obs.Trace.name
+          (Obs.Trace.duration_ms sp))
+      slow
+
+(* Write the collected trace; runs after the command body, before any
+   exit-code decision, so failing checks still produce their trace. *)
+let obs_finish ~trace ~slow_ms =
+  (match trace with
+   | None -> ()
+   | Some "-" -> prerr_string (Obs.Trace.to_text (Obs.Trace.roots ()))
+   | Some path ->
+     let oc =
+       match open_out path with
+       | oc -> oc
+       | exception Sys_error m -> die "cannot write %s: %s" path m
+     in
+     output_string oc (Obs.Trace.to_chrome_json (Obs.Trace.roots ()));
+     output_char oc '\n';
+     close_out oc;
+     Printf.printf "wrote trace %s\n" path);
+  if slow_ms <> None then print_slow_log ()
+
+(* The stats flags compose into one JSON object; a single legacy flag
+   keeps its historical one-line output (cram-tested). *)
+let print_stats repo ~plan_stats ~index_stats ~metrics =
+  let n =
+    (if plan_stats then 1 else 0)
+    + (if index_stats then 1 else 0)
+    + if metrics then 1 else 0
+  in
+  if n = 0 then ()
+  else if n = 1 && plan_stats then
+    print_endline (Repository.plan_stats_line repo)
+  else if n = 1 && index_stats then
+    print_endline (Repository.index_stats_line repo)
+  else if n = 1 then print_endline (Repository.metrics_json repo)
+  else begin
+    let parts = ref [] in
+    if metrics then
+      parts :=
+        Printf.sprintf "\"metrics\":%s" (Repository.metrics_json repo)
+        :: !parts;
+    if index_stats then begin
+      let h, m, f, e =
+        match Repository.index_stats repo with
+        | Some s ->
+          Xic_xml.Index.(s.hits, s.misses, s.fallbacks, s.events)
+        | None -> (0, 0, 0, 0)
+      in
+      parts :=
+        Printf.sprintf
+          "\"index_stats\":{\"hits\":%d,\"misses\":%d,\"fallbacks\":%d,\"events\":%d}"
+          h m f e
+        :: !parts
+    end;
+    if plan_stats then begin
+      let ps = Repository.plan_stats repo in
+      parts :=
+        Printf.sprintf
+          "\"plan_stats\":{\"hits\":%d,\"misses\":%d,\"cached\":%d}"
+          ps.Repository.plan_hits ps.Repository.plan_misses
+          (Repository.cached_plans repo)
+        :: !parts
+    end;
+    print_endline ("{" ^ String.concat "," !parts ^ "}")
+  end
 
 let load_schema specs =
   let parse spec =
@@ -230,23 +336,75 @@ let validate_cmd =
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Spans named [name] anywhere in the forest, in completion order. *)
+let spans_named name roots =
+  let rec go acc (sp : Obs.Trace.span) =
+    let acc = if sp.Obs.Trace.name = name then sp :: acc else acc in
+    List.fold_left go acc (List.rev sp.Obs.Trace.children)
+  in
+  List.rev (List.fold_left go [] roots)
+
+(* The --explain report: each constraint's compiled plan (probe choices,
+   join strategy, conjunct schedule) plus the timings and eval-step
+   cardinalities observed on the traced run just performed. *)
+let print_plans repo roots =
+  List.iter
+    (fun (c : Constr.t) ->
+      Printf.printf "\n== plan %s\n" c.Constr.name;
+      print_string (Xic_xquery.Eval.describe c.Constr.xquery);
+      match spans_named ("check:" ^ c.Constr.name) roots with
+      | [] -> ()
+      | sps ->
+        let total =
+          List.fold_left (fun a sp -> a +. Obs.Trace.duration_ms sp) 0.0 sps
+        in
+        let steps =
+          List.fold_left
+            (fun a (sp : Obs.Trace.span) ->
+              List.fold_left
+                (fun a (ch : Obs.Trace.span) ->
+                  if ch.Obs.Trace.name <> "eval" then a
+                  else
+                    match List.assoc_opt "steps" ch.Obs.Trace.attrs with
+                    | Some s -> a + int_of_string s
+                    | None -> a)
+                a sp.Obs.Trace.children)
+            0 sps
+        in
+        Printf.printf "observed: %d run(s), %.3f ms, %d eval steps\n"
+          (List.length sps) total steps)
+    (Repository.constraints repo)
+
 let check_cmd =
   let datalog_arg =
     let doc = "Evaluate over the relational mirror instead of XQuery." in
     Arg.(value & flag & info [ "datalog" ] ~doc)
   in
   let explain_arg =
-    let doc = "Print a violation witness (bindings and node paths) per violated constraint." in
+    let doc =
+      "Print a violation witness (bindings and node paths) per violated \
+       constraint, then each constraint's compiled plan with the timings \
+       observed on a traced run."
+    in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run dtds docs constraints no_validate use_datalog explain no_index
-      index_stats jobs plan_stats =
+  let run dtds docs constraints pattern no_validate use_datalog explain
+      no_index index_stats jobs plan_stats trace metrics slow_ms =
+    obs_setup ~trace ~metrics ~slow_ms;
+    (* --explain needs a traced run for its observed timings *)
+    if explain then begin
+      Obs.Trace.set_enabled true;
+      Obs.Metrics.set_detailed true
+    end;
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
     if no_index then Repository.set_use_index repo false;
     (if jobs < 1 then die "--jobs must be at least 1"
      else Repository.set_parallelism repo jobs);
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    (match load_pattern s pattern with
+     | Some p -> Repository.register_pattern repo p
+     | None -> ());
     let consistent =
       if explain then begin
         match Repository.explain repo with
@@ -271,16 +429,22 @@ let check_cmd =
           false
       end
     in
-    if index_stats then print_endline (Repository.index_stats_line repo);
-    if plan_stats then print_endline (Repository.plan_stats_line repo);
+    if explain then begin
+      ignore (Repository.check_full repo : string list);
+      print_plans repo (Obs.Trace.roots ());
+      if slow_ms = None then print_slow_log ()
+    end;
+    print_stats repo ~plan_stats ~index_stats ~metrics;
+    obs_finish ~trace ~slow_ms;
     if not consistent then exit 1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check integrity constraints against the documents")
     Term.(
-      const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
-      $ datalog_arg $ explain_arg $ no_index_arg $ index_stats_arg $ jobs_arg
-      $ plan_stats_arg)
+      const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
+      $ no_validate_arg $ datalog_arg $ explain_arg $ no_index_arg
+      $ index_stats_arg $ jobs_arg $ plan_stats_arg $ trace_arg $ metrics_arg
+      $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simplify                                                            *)
@@ -368,7 +532,8 @@ let guard_cmd =
     Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
   in
   let run dtds docs constraints pattern no_validate runtime_simp update output
-      journal eval_budget no_index index_stats =
+      journal eval_budget no_index index_stats trace metrics slow_ms =
+    obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
     if no_index then Repository.set_use_index repo false;
@@ -386,7 +551,8 @@ let guard_cmd =
     Option.iter Xic_journal.Journal.close journal;
     print_degradations report;
     print_outcome report.Repository.outcome;
-    if index_stats then print_endline (Repository.index_stats_line repo);
+    print_stats repo ~plan_stats:false ~index_stats ~metrics;
+    obs_finish ~trace ~slow_ms;
     (match report.Repository.outcome with
      | Repository.Applied _ -> ()
      | Repository.Rejected_early _ | Repository.Rolled_back _ -> exit 1);
@@ -398,7 +564,8 @@ let guard_cmd =
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
       $ no_validate_arg $ runtime_simp_arg $ update_arg $ output_arg
-      $ journal_arg $ eval_budget_arg $ no_index_arg $ index_stats_arg)
+      $ journal_arg $ eval_budget_arg $ no_index_arg $ index_stats_arg
+      $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* txn                                                                 *)
@@ -417,7 +584,8 @@ let txn_cmd =
     Arg.(value & flag & info [ "abort" ] ~doc)
   in
   let run dtds docs constraints pattern no_validate runtime_simp updates output
-      journal eval_budget abort no_index index_stats =
+      journal eval_budget abort no_index index_stats trace metrics slow_ms =
+    obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
     let repo = load_repo ~validate:(not no_validate) s docs in
     if no_index then Repository.set_use_index repo false;
@@ -452,7 +620,8 @@ let txn_cmd =
         (Repository.txn_statements tx)
     end;
     Option.iter Xic_journal.Journal.close journal;
-    if index_stats then print_endline (Repository.index_stats_line repo);
+    print_stats repo ~plan_stats:false ~index_stats ~metrics;
+    obs_finish ~trace ~slow_ms;
     Option.iter (write_roots repo) output;
     if !refused > 0 then exit 1
   in
@@ -465,7 +634,7 @@ let txn_cmd =
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
       $ no_validate_arg $ runtime_simp_arg $ updates_arg $ output_arg
       $ journal_arg $ eval_budget_arg $ abort_arg $ no_index_arg
-      $ index_stats_arg)
+      $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)

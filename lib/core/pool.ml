@@ -37,10 +37,18 @@ let map ~jobs f xs =
         worker ()
       end
     in
-    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              worker ();
+              (* ship this worker's trace back before the domain dies *)
+              if Xic_obs.Obs.Trace.is_enabled () then Xic_obs.Obs.Trace.drain ()
+              else []))
+    in
     worker ();
-    List.iter Domain.join spawned;
+    let worker_spans = List.concat_map Domain.join spawned in
     (* [Domain.join] publishes the workers' writes to this domain *)
+    Xic_obs.Obs.Trace.absorb worker_spans;
     Array.iter (function Some e -> raise e | None -> ()) errors;
     Array.to_list
       (Array.map (function Some v -> v | None -> assert false) results)

@@ -3,10 +3,42 @@ module T = Xic_datalog.Term
 module XU = Xic_xupdate.Xupdate
 module J = Xic_journal.Journal
 module FP = Xic_journal.Failpoint
+module Obs = Xic_obs.Obs
 
 let log_src = Logs.Src.create "xic.repository" ~doc:"Guarded update engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Registry cells for the pipeline counters.  The plan-cache counters
+   are the primary store now — the legacy [plan_stats] accessor is a
+   shim over them — and [plan_compile_requests] is bumped on every
+   cache consultation, so [hits + misses = requests] holds by
+   construction (the differential oracle asserts it). *)
+let c_checks_full = Obs.Metrics.counter "checks_full"
+let c_checks_optimized = Obs.Metrics.counter "checks_optimized"
+let c_plan_hits = Obs.Metrics.counter "plan_cache_hits"
+let c_plan_misses = Obs.Metrics.counter "plan_cache_misses"
+let c_plan_requests = Obs.Metrics.counter "plan_compile_requests"
+let c_rollbacks = Obs.Metrics.counter "rollbacks"
+let h_check_full = Obs.Metrics.histogram "check_full_ms"
+let h_check_optimized = Obs.Metrics.histogram "check_optimized_ms"
+
+(* Run one constraint check under a slow-loggable span and, when
+   detailed metrics are on, a latency-histogram observation.  With
+   tracing and detailed metrics both off this is exactly [f ()]. *)
+let timed_check name hist f =
+  let f =
+    if !Obs.Metrics.detailed then (fun () ->
+      let t0 = Obs.Clock.now_ns () in
+      let v = f () in
+      Obs.Metrics.observe_ns hist
+        (Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0));
+      v)
+    else f
+  in
+  if Obs.Trace.is_enabled () then
+    Obs.Trace.with_span ~slow:true ("check:" ^ name) f
+  else f ()
 
 type optimized_check = {
   constraint_name : string;
@@ -33,8 +65,6 @@ type t = {
   mutable index : Index.t option;
   (* full-check plans, keyed by constraint name *)
   full_plans : (string, Xic_xquery.Eval.compiled) Hashtbl.t;
-  mutable plan_hits : int;
-  mutable plan_misses : int;
   mutable parallelism : int;
 }
 
@@ -45,8 +75,7 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
 let create schema =
   { schema; doc = Doc.create (); constraints = []; compiled = []; store = None;
     eval_budget = None; use_index = true; index = None;
-    full_plans = Hashtbl.create 16; plan_hits = 0; plan_misses = 0;
-    parallelism = 1 }
+    full_plans = Hashtbl.create 16; parallelism = 1 }
 
 let set_eval_budget t b = t.eval_budget <- b
 let eval_budget t = t.eval_budget
@@ -57,18 +86,24 @@ let set_parallelism t jobs =
 
 let parallelism t = t.parallelism
 
-let plan_stats t = { plan_hits = t.plan_hits; plan_misses = t.plan_misses }
+let plan_stats (_ : t) =
+  { plan_hits = Obs.Metrics.value c_plan_hits;
+    plan_misses = Obs.Metrics.value c_plan_misses }
+
+let cached_plans t =
+  Hashtbl.length t.full_plans
+  + List.fold_left
+      (fun acc (_, checks) ->
+        acc
+        + List.length
+            (List.filter (fun ch -> Option.is_some ch.simplified_plan) checks))
+      0 t.compiled
 
 let plan_stats_line t =
-  Printf.sprintf "plans: %d hits, %d misses, %d cached" t.plan_hits
-    t.plan_misses
-    (Hashtbl.length t.full_plans
-    + List.fold_left
-        (fun acc (_, checks) ->
-          acc
-          + List.length
-              (List.filter (fun ch -> Option.is_some ch.simplified_plan) checks))
-        0 t.compiled)
+  Printf.sprintf "plans: %d hits, %d misses, %d cached"
+    (Obs.Metrics.value c_plan_hits)
+    (Obs.Metrics.value c_plan_misses)
+    (cached_plans t)
 
 let schema t = t.schema
 let doc t = t.doc
@@ -103,6 +138,35 @@ let index_stats_line t =
     | None -> "index: idle"
     | Some i -> Index.stats_line i
 
+(* Index stats and the cached-plan count live outside the registry (the
+   index updates them lock-free on its hot path, the plan tables are
+   per-repository); they enter the registry as gauges synced at snapshot
+   time, which makes [metrics] agree with the legacy [index_stats] /
+   [plan_stats_line] shims by construction — both read the same cells. *)
+let g_index_hits = Obs.Metrics.counter "index_hits"
+let g_index_misses = Obs.Metrics.counter "index_misses"
+let g_index_fallbacks = Obs.Metrics.counter "index_fallbacks"
+let g_index_events = Obs.Metrics.counter "index_events"
+let g_plan_cached = Obs.Metrics.counter "plan_cached"
+
+let sync_gauges t =
+  (match index_stats t with
+   | Some (s : Index.stats) ->
+     Obs.Metrics.set g_index_hits s.Index.hits;
+     Obs.Metrics.set g_index_misses s.Index.misses;
+     Obs.Metrics.set g_index_fallbacks s.Index.fallbacks;
+     Obs.Metrics.set g_index_events s.Index.events
+   | None -> ());
+  Obs.Metrics.set g_plan_cached (cached_plans t)
+
+let metrics t =
+  sync_gauges t;
+  Obs.Metrics.snapshot ()
+
+let metrics_json t =
+  sync_gauges t;
+  Obs.Metrics.to_json ()
+
 let invalidate_store t = t.store <- None
 
 let add_document_root ?(validate = true) t root =
@@ -116,9 +180,10 @@ let add_document_root ?(validate = true) t root =
 
 let load_document ?validate t source =
   let nodes =
-    try Xml_parser.parse_fragment t.doc source
-    with Xml_parser.Parse_error { line; col; msg } ->
-      fail "XML parse error at %d:%d: %s" line col msg
+    Obs.Trace.with_span "parse" (fun () ->
+        try Xml_parser.parse_fragment t.doc source
+        with Xml_parser.Parse_error { line; col; msg } ->
+          fail "XML parse error at %d:%d: %s" line col msg)
   in
   match List.filter (Doc.is_element t.doc) nodes with
   | [ root ] -> add_document_root ?validate t root
@@ -172,21 +237,33 @@ let store t =
 
 (* Full-check plan of one constraint, served from the cache. *)
 let full_plan t (c : Constr.t) =
+  Obs.Metrics.incr c_plan_requests;
   match Hashtbl.find_opt t.full_plans c.Constr.name with
   | Some plan ->
-    t.plan_hits <- t.plan_hits + 1;
+    Obs.Metrics.incr c_plan_hits;
     plan
   | None ->
-    let plan = Constr.compile c in
+    let plan =
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.with_span "compile"
+          ~attrs:[ ("constraint", c.Constr.name) ]
+          (fun () -> Constr.compile c)
+      else Constr.compile c
+    in
     Hashtbl.replace t.full_plans c.Constr.name plan;
-    t.plan_misses <- t.plan_misses + 1;
+    Obs.Metrics.incr c_plan_misses;
     plan
 
 let check_full t =
+  Obs.Trace.with_span "check_full" (fun () ->
   let plans = List.map (fun c -> (c, full_plan t c)) t.constraints in
   let idx = index t in
   let violated (c, plan) =
-    if Constr.violated_compiled ?index:idx t.doc c plan then Some c.Constr.name
+    Obs.Metrics.incr c_checks_full;
+    if
+      timed_check c.Constr.name h_check_full (fun () ->
+          Constr.violated_compiled ?index:idx t.doc c plan)
+    then Some c.Constr.name
     else None
   in
   if t.parallelism <= 1 || t.eval_budget <> None || List.length plans < 2 then
@@ -202,7 +279,7 @@ let check_full t =
       (fun () ->
         Pool.map ~jobs:t.parallelism violated plans
         |> List.filter_map (fun v -> v))
-  end
+  end)
 
 let check_full_datalog t =
   let s = store t in
@@ -237,19 +314,28 @@ let try_check_optimized t p valuation =
     | [] -> (List.rev violated, List.rev degs)
     | ch :: rest ->
       let plan =
+        Obs.Metrics.incr c_plan_requests;
         match ch.simplified_plan with
         | Some plan ->
-          t.plan_hits <- t.plan_hits + 1;
+          Obs.Metrics.incr c_plan_hits;
           plan
         | None ->
-          let plan = Xic_xquery.Eval.compile ch.simplified_xquery in
+          let plan =
+            if Obs.Trace.is_enabled () then
+              Obs.Trace.with_span "compile"
+                ~attrs:[ ("constraint", ch.constraint_name) ]
+                (fun () -> Xic_xquery.Eval.compile ch.simplified_xquery)
+            else Xic_xquery.Eval.compile ch.simplified_xquery
+          in
           ch.simplified_plan <- Some plan;
-          t.plan_misses <- t.plan_misses + 1;
+          Obs.Metrics.incr c_plan_misses;
           plan
       in
+      Obs.Metrics.incr c_checks_optimized;
       (match
-         budgeted t (fun () ->
-             Xic_xquery.Eval.run_bool t.doc ~params ?index:(index t) plan)
+         timed_check ch.constraint_name h_check_optimized (fun () ->
+             budgeted t (fun () ->
+                 Xic_xquery.Eval.run_bool t.doc ~params ?index:(index t) plan))
        with
        | true -> go (ch.constraint_name :: violated) degs rest
        | false -> go violated degs rest
@@ -359,17 +445,21 @@ type outcome =
    updates (the paper's focus); anything touching removal invalidates it
    and the next [store] call re-shreds. *)
 let apply_unchecked t u =
-  let undo = XU.apply ?index:(index t) t.doc u in
-  (match t.store with
-   | Some s when XU.removed_nodes undo = [] ->
-     List.iter
-       (Xic_relmap.Shred.shred_into ?index:(index t) (Schema.mapping t.schema) t.doc s)
-       (XU.inserted_nodes undo)
-   | Some _ -> invalidate_store t
-   | None -> ());
-  undo
+  Obs.Trace.with_span "apply" (fun () ->
+      let undo = XU.apply ?index:(index t) t.doc u in
+      (match t.store with
+       | Some s when XU.removed_nodes undo = [] ->
+         List.iter
+           (Xic_relmap.Shred.shred_into ?index:(index t) (Schema.mapping t.schema)
+              t.doc s)
+           (XU.inserted_nodes undo)
+       | Some _ -> invalidate_store t
+       | None -> ());
+      undo)
 
 let rollback t undo =
+  Obs.Metrics.incr c_rollbacks;
+  Obs.Trace.with_span "rollback" (fun () ->
   (match t.store with
    | Some s when XU.removed_nodes undo = [] ->
      (* unshred while the inserted nodes are still alive *)
@@ -379,13 +469,14 @@ let rollback t undo =
        (XU.inserted_nodes undo)
    | Some _ -> invalidate_store t
    | None -> ());
-  XU.rollback t.doc undo
+  XU.rollback t.doc undo)
 
 (* Derive a one-off pattern from the concrete statement, simplify on the
    spot and pre-check; any failure along the way reverts to the
    execute–check–compensate strategy.  Evaluation failures and exhausted
    budgets are reported as degradations. *)
 let runtime_simplified t (m : XU.modification) =
+  Obs.Trace.with_span "runtime_simplified" @@ fun () ->
   match Pattern.of_modification t.schema ~name:"<runtime>" m with
   | exception Pattern.Pattern_error _ -> (None, [])
   | p ->
@@ -485,6 +576,7 @@ let txn_rollback_to tx sp =
 
 let txn_apply_report ?(fallback = `Full_check) tx (u : XU.t) =
   require_open tx;
+  Obs.Trace.with_span "txn_apply" @@ fun () ->
   let t = tx.txn_repo in
   (* WAL protocol: the intent record hits the disk before the in-memory
      documents are touched, the commit record only after every statement
@@ -581,6 +673,7 @@ type recovery_report = {
 }
 
 let recover (rr : J.read_result) t =
+  Obs.Trace.with_span "recover" @@ fun () ->
   let committed = J.committed rr.J.entries in
   let all_txns =
     List.sort_uniq compare

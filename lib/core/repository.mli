@@ -70,6 +70,10 @@ val plan_stats_line : t -> string
 (** Human-readable one-liner for the CLI, e.g.
     ["plans: 12 hits, 3 misses, 3 cached"]. *)
 
+val cached_plans : t -> int
+(** Number of closure plans currently cached (full-check plans plus
+    compiled simplified checks). *)
+
 val set_use_index : t -> bool -> unit
 (** Enable (default) or disable indexed evaluation.  Disabling detaches
     and drops any existing index; verdicts are unaffected either way. *)
@@ -89,6 +93,17 @@ val index_stats_line : t -> string
 (** Human-readable one-liner for the CLI: the index's hit/miss/fallback
     counters, ["index: idle"] when no lookup forced a build yet, or
     ["index: disabled"]. *)
+
+val metrics : t -> (string * int) list * (string * Xic_obs.Obs.Metrics.hsnap) list
+(** Snapshot of the global metrics registry (counters and latency
+    histograms, name-sorted), after syncing the point-in-time gauges
+    ([index_*], [plan_cached]) from this repository — so the snapshot
+    always agrees with the legacy {!plan_stats} / {!index_stats}
+    shims. *)
+
+val metrics_json : t -> string
+(** Same snapshot rendered as a JSON object
+    [{"counters":{…},"histograms":{…}}] for [xicheck --metrics]. *)
 
 val load_document : ?validate:bool -> t -> string -> unit
 (** Parse an XML document and add it to the collection; with [validate]

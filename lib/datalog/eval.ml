@@ -31,6 +31,23 @@ let with_budget ~steps f =
   budget := Some (ref steps);
   Fun.protect ~finally:(fun () -> budget := saved) f
 
+(* As {!Xic_xpath.Eval.with_meter}: report the steps [f] consumes
+   without changing which evaluations succeed. *)
+let with_meter f =
+  match !budget with
+  | Some r ->
+    let before = !r in
+    let v = f () in
+    (v, before - !r)
+  | None ->
+    let r = ref max_int in
+    budget := Some r;
+    Fun.protect
+      ~finally:(fun () -> budget := None)
+      (fun () ->
+        let v = f () in
+        (v, max_int - !r))
+
 type env = (string, Term.const) Hashtbl.t
 
 let lookup (env : env) v = Hashtbl.find_opt env v
@@ -304,7 +321,7 @@ let rec solve store body env lits k =
 (* Public API                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let violation ?(params = []) store (d : Term.denial) =
+let violation_untraced ?(params = []) store (d : Term.denial) =
   let d = Subst.apply_params_denial params d in
   (match Term.denial_params d with
    | [] -> ()
@@ -317,6 +334,20 @@ let violation ?(params = []) store (d : Term.denial) =
         true)
   in
   !found
+
+let c_datalog_steps = Xic_obs.Obs.Metrics.counter "datalog_steps"
+
+let violation ?params store d =
+  if not (Xic_obs.Obs.Trace.is_enabled ()) then
+    violation_untraced ?params store d
+  else
+    Xic_obs.Obs.Trace.with_span "datalog:eval" (fun () ->
+        let v, steps =
+          with_meter (fun () -> violation_untraced ?params store d)
+        in
+        Xic_obs.Obs.Trace.add_attr "steps" (string_of_int steps);
+        Xic_obs.Obs.Metrics.add c_datalog_steps steps;
+        v)
 
 let violated ?params store d = violation ?params store d <> None
 

@@ -21,6 +21,11 @@ val with_budget : steps:int -> (unit -> 'a) -> 'a
     Budgets nest (the innermost wins); without one, evaluation is
     unlimited. *)
 
+val with_meter : (unit -> 'a) -> 'a * int
+(** [with_meter f] runs [f] and additionally returns the solver steps it
+    consumed.  Composes with {!with_budget} as in
+    {!Xic_xpath.Eval.with_meter}. *)
+
 val violation :
   ?params:(string * Term.const) list ->
   Store.t ->

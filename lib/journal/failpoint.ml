@@ -31,9 +31,14 @@ let () =
     in
     set ~action name
 
+let c_failpoints = Xic_obs.Obs.Metrics.counter "failpoints_hit"
+
 let hit name =
   match !armed with
   | Some (n, action) when n = name ->
+    (* record before acting: with [Exit] the process is gone after *)
+    Xic_obs.Obs.Metrics.incr c_failpoints;
+    Xic_obs.Obs.Trace.event ("failpoint:" ^ name);
     (match action with
      | Exit ->
        (* simulate a crash: no flushing, no at_exit handlers *)

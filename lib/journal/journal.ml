@@ -164,8 +164,12 @@ let next_txn t =
   t.next <- t.next + 1;
   id
 
+let c_appends = Xic_obs.Obs.Metrics.counter "journal_appends"
+let c_fsyncs = Xic_obs.Obs.Metrics.counter "journal_fsyncs"
+
 let append t e =
   if t.closed then fail "journal %s is closed" t.jpath;
+  Xic_obs.Obs.Metrics.incr c_appends;
   let payload = entry_payload e in
   let lenb = Bytes.create 4 in
   Bytes.set_int32_be lenb 0 (Int32.of_int (String.length payload));
@@ -180,7 +184,11 @@ let append t e =
      t.closed <- true;
      raise exn);
   write_all t.fd record half (String.length record - half);
-  (try if t.sync then Unix.fsync t.fd
+  (try
+     if t.sync then begin
+       Unix.fsync t.fd;
+       Xic_obs.Obs.Metrics.incr c_fsyncs
+     end
    with Unix.Unix_error (e, _, _) -> fail "fsync failed: %s" (Unix.error_message e));
   if txn_of e >= t.next then t.next <- txn_of e + 1
 

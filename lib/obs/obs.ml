@@ -1,0 +1,381 @@
+(* Zero-dependency observability: spans, metrics, slow-check log.
+
+   Everything here is engineered around one constraint: when tracing is
+   off (the common case), the cost of an instrumented call site must be
+   a single load-and-branch — no allocation, no closure, no clock read.
+   [Trace.with_span] therefore takes the thunk last and checks the
+   static [enabled] flag before touching anything else.
+
+   Spans are collected per domain (via [Domain.DLS]) so parallel
+   checking under {!Xic_core.Pool} never contends on a shared buffer;
+   the pool drains each worker's buffer after the join and grafts it
+   under the main domain's open span, which restores a single coherent
+   tree for export. *)
+
+module Clock = struct
+  external now_ns : unit -> (int64[@unboxed])
+    = "xic_obs_clock_ns" "xic_obs_clock_ns_unboxed"
+  [@@noalloc]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type span = {
+    name : string;
+    mutable attrs : (string * string) list;
+    dom : int; (* domain id at creation; becomes the Chrome [tid] *)
+    start_ns : int64;
+    mutable stop_ns : int64;
+    mutable children : span list; (* newest-first while building *)
+    slow : bool; (* candidate for the slow-check log *)
+  }
+
+  let enabled = ref false
+  let set_enabled b = enabled := b
+  let is_enabled () = !enabled
+
+  (* Per-domain trace context.  [stack] holds open spans innermost
+     first; [roots] holds completed top-level spans newest-first. *)
+  type ctx = { mutable stack : span list; mutable roots : span list }
+
+  let ctx_key : ctx Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { stack = []; roots = [] })
+
+  let ctx () = Domain.DLS.get ctx_key
+
+  (* --- slow-check log ------------------------------------------- *)
+
+  let slow_threshold_ns = Atomic.make Int64.max_int
+  let slow_mutex = Mutex.create ()
+  let slow_entries : span list ref = ref [] (* newest-first, capped *)
+  let slow_cap = 64
+
+  let set_slow_threshold_ms = function
+    | None -> Atomic.set slow_threshold_ns Int64.max_int
+    | Some ms ->
+      Atomic.set slow_threshold_ns (Int64.of_float (ms *. 1e6))
+
+  let note_slow sp =
+    Mutex.protect slow_mutex (fun () ->
+        let keep =
+          if List.length !slow_entries >= slow_cap then
+            List.filteri (fun i _ -> i < slow_cap - 1) !slow_entries
+          else !slow_entries
+        in
+        slow_entries := sp :: keep)
+
+  let slow_log () = Mutex.protect slow_mutex (fun () -> List.rev !slow_entries)
+  let clear_slow_log () = Mutex.protect slow_mutex (fun () -> slow_entries := [])
+
+  (* --- span lifecycle ------------------------------------------- *)
+
+  let finish c sp =
+    sp.stop_ns <- Clock.now_ns ();
+    (match c.stack with
+     | top :: rest when top == sp -> c.stack <- rest
+     | _ ->
+       (* an exception tore through nested spans; drop to our frame *)
+       let rec unwind = function
+         | top :: rest when top == sp -> rest
+         | _ :: rest -> unwind rest
+         | [] -> []
+       in
+       c.stack <- unwind c.stack);
+    (match c.stack with
+     | parent :: _ -> parent.children <- sp :: parent.children
+     | [] -> c.roots <- sp :: c.roots);
+    if sp.slow
+       && Int64.sub sp.stop_ns sp.start_ns >= Atomic.get slow_threshold_ns
+    then note_slow sp
+
+  let with_span ?(attrs = []) ?(slow = false) name f =
+    if not !enabled then f ()
+    else begin
+      let c = ctx () in
+      let sp =
+        { name; attrs; dom = (Domain.self () :> int);
+          start_ns = Clock.now_ns (); stop_ns = 0L; children = []; slow }
+      in
+      c.stack <- sp :: c.stack;
+      Fun.protect ~finally:(fun () -> finish c sp) f
+    end
+
+  let event ?(attrs = []) name =
+    if !enabled then begin
+      let c = ctx () in
+      let now = Clock.now_ns () in
+      let sp =
+        { name; attrs; dom = (Domain.self () :> int);
+          start_ns = now; stop_ns = now; children = []; slow = false }
+      in
+      match c.stack with
+      | parent :: _ -> parent.children <- sp :: parent.children
+      | [] -> c.roots <- sp :: c.roots
+    end
+
+  let add_attr k v =
+    if !enabled then
+      match (ctx ()).stack with
+      | sp :: _ -> sp.attrs <- (k, v) :: sp.attrs
+      | [] -> ()
+
+  let reset () =
+    let c = ctx () in
+    c.stack <- [];
+    c.roots <- []
+
+  (* Completed roots of the current domain, oldest first. *)
+  let roots () = List.rev (ctx ()).roots
+
+  let drain () =
+    let c = ctx () in
+    let rs = List.rev c.roots in
+    c.roots <- [];
+    rs
+
+  (* Graft spans collected on another domain under the current open
+     span (or as roots when none is open).  Used by the pool after
+     joining workers. *)
+  let absorb spans =
+    if !enabled then begin
+      let c = ctx () in
+      match c.stack with
+      | parent :: _ ->
+        parent.children <- List.rev_append spans parent.children
+      | [] -> c.roots <- List.rev_append spans c.roots
+    end
+
+  (* --- export ---------------------------------------------------- *)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let span_count spans =
+    let rec go acc sp = List.fold_left go (acc + 1) sp.children in
+    List.fold_left go 0 spans
+
+  let duration_ms sp = Int64.to_float (Int64.sub sp.stop_ns sp.start_ns) /. 1e6
+
+  (* Chrome trace_event "complete" events: one object per span, with
+     microsecond [ts]/[dur] relative to the earliest span so the viewer
+     timeline starts at zero.  [tid] is the originating domain. *)
+  let to_chrome_json spans =
+    let base =
+      List.fold_left
+        (fun acc sp -> if Int64.compare sp.start_ns acc < 0 then sp.start_ns else acc)
+        (match spans with [] -> 0L | sp :: _ -> sp.start_ns)
+        spans
+    in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"traceEvents\":[";
+    let first = ref true in
+    let us_of ns = Int64.to_float (Int64.sub ns base) /. 1e3 in
+    let rec emit sp =
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (json_escape sp.name) sp.dom (us_of sp.start_ns)
+           (Int64.to_float (Int64.sub sp.stop_ns sp.start_ns) /. 1e3));
+      (match sp.attrs with
+       | [] -> ()
+       | attrs ->
+         Buffer.add_string b ",\"args\":{";
+         List.iteri
+           (fun i (k, v) ->
+             if i > 0 then Buffer.add_char b ',';
+             Buffer.add_string b
+               (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+           (List.rev attrs);
+         Buffer.add_char b '}');
+      Buffer.add_char b '}';
+      List.iter emit (List.rev sp.children)
+    in
+    List.iter emit spans;
+    Buffer.add_string b "]}";
+    Buffer.contents b
+
+  let to_text spans =
+    let b = Buffer.create 1024 in
+    let rec emit depth sp =
+      Buffer.add_string b (String.make (2 * depth) ' ');
+      Buffer.add_string b sp.name;
+      if Int64.compare sp.stop_ns sp.start_ns > 0 then
+        Buffer.add_string b (Printf.sprintf " %.3fms" (duration_ms sp));
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v))
+        (List.rev sp.attrs);
+      Buffer.add_char b '\n';
+      List.iter (emit (depth + 1)) (List.rev sp.children)
+    in
+    List.iter (emit 0) spans;
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  (* Counters are [Atomic.t] handles interned by name: call sites hold
+     the handle, so the hot path is one atomic add with no hashtable
+     lookup.  Histograms bucket by floor(log2 ns), which gives ~2x
+     resolution over nine decades in 64 buckets and makes snapshots
+     mergeable by pointwise sum. *)
+
+  type counter = int Atomic.t
+
+  type histogram = {
+    h_count : int Atomic.t;
+    h_sum_ns : int Atomic.t;
+    h_buckets : int Atomic.t array; (* index = bucket_of_ns *)
+  }
+
+  let n_buckets = 64
+  let registry_mutex = Mutex.create ()
+  let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+  let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+  (* Histograms on the per-check fast path are only populated when
+     [detailed] is set (xicheck sets it for --metrics/--trace runs);
+     plain counters are always live. *)
+  let detailed = ref false
+  let set_detailed b = detailed := b
+
+  let counter name =
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some c -> c
+        | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add counters name c;
+          c)
+
+  let incr c = Atomic.incr c
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let set c n = Atomic.set c n
+  let value c = Atomic.get c
+
+  let histogram name =
+    Mutex.protect registry_mutex (fun () ->
+        match Hashtbl.find_opt histograms name with
+        | Some h -> h
+        | None ->
+          let h =
+            { h_count = Atomic.make 0;
+              h_sum_ns = Atomic.make 0;
+              h_buckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+          in
+          Hashtbl.add histograms name h;
+          h)
+
+  let bucket_of_ns ns =
+    if ns <= 0 then 0
+    else begin
+      let rec log2 acc n = if n <= 1 then acc else log2 (acc + 1) (n lsr 1) in
+      min (n_buckets - 1) (1 + log2 0 ns)
+    end
+
+  let observe_ns h ns =
+    Atomic.incr h.h_count;
+    ignore (Atomic.fetch_and_add h.h_sum_ns ns);
+    Atomic.incr h.h_buckets.(bucket_of_ns ns)
+
+  let observe_ms h ms = observe_ns h (int_of_float (ms *. 1e6))
+
+  type hsnap = { count : int; sum_ns : int; buckets : int array }
+
+  let hsnap h =
+    { count = Atomic.get h.h_count;
+      sum_ns = Atomic.get h.h_sum_ns;
+      buckets = Array.map Atomic.get h.h_buckets }
+
+  let hsnap_merge a b =
+    { count = a.count + b.count;
+      sum_ns = a.sum_ns + b.sum_ns;
+      buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i)) }
+
+  (* Upper bound (in ms) of the bucket containing quantile [q]. *)
+  let hsnap_quantile s q =
+    if s.count = 0 then 0.0
+    else begin
+      let rank = int_of_float (ceil (q *. float_of_int s.count)) in
+      let rank = max 1 (min s.count rank) in
+      let rec go i seen =
+        if i >= n_buckets then float_of_int (1 lsl (n_buckets - 1)) /. 1e6
+        else
+          let seen = seen + s.buckets.(i) in
+          if seen >= rank then
+            (* bucket i covers (2^(i-1), 2^i] ns; report its upper edge *)
+            (if i = 0 then 0.0 else float_of_int (1 lsl i) /. 1e6)
+          else go (i + 1) seen
+      in
+      go 0 0
+    end
+
+  let snapshot () =
+    Mutex.protect registry_mutex (fun () ->
+        let cs =
+          Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) counters []
+        in
+        let hs = Hashtbl.fold (fun k h acc -> (k, hsnap h) :: acc) histograms [] in
+        ( List.sort (fun (a, _) (b, _) -> compare a b) cs,
+          List.sort (fun (a, _) (b, _) -> compare a b) hs ))
+
+  let to_json ?(extra = []) () =
+    let cs, hs = snapshot () in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\"counters\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%d" (Trace.json_escape k) v))
+      cs;
+    Buffer.add_string b "},\"histograms\":{";
+    List.iteri
+      (fun i (k, s) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"%s\":{\"count\":%d,\"sum_ms\":%.3f,\"p50_ms\":%.4f,\"p90_ms\":%.4f,\"p99_ms\":%.4f}"
+             (Trace.json_escape k) s.count
+             (float_of_int s.sum_ns /. 1e6)
+             (hsnap_quantile s 0.50) (hsnap_quantile s 0.90)
+             (hsnap_quantile s 0.99)))
+      hs;
+    Buffer.add_char b '}';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b (Printf.sprintf ",\"%s\":%s" (Trace.json_escape k) v))
+      extra;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  let reset () =
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+        Hashtbl.iter
+          (fun _ h ->
+            Atomic.set h.h_count 0;
+            Atomic.set h.h_sum_ns 0;
+            Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+          histograms)
+end
+
+let set_slow_threshold_ms = Trace.set_slow_threshold_ms

@@ -1,0 +1,125 @@
+(** Zero-dependency tracing + metrics for the check pipeline.
+
+    Instrumented call sites are free when tracing is disabled: the
+    static flag is tested before any allocation or clock read. *)
+
+module Clock : sig
+  (** Monotonic nanoseconds ([clock_gettime(CLOCK_MONOTONIC)]). *)
+  external now_ns : unit -> (int64[@unboxed])
+    = "xic_obs_clock_ns" "xic_obs_clock_ns_unboxed"
+  [@@noalloc]
+end
+
+module Trace : sig
+  type span = {
+    name : string;
+    mutable attrs : (string * string) list;
+    dom : int;
+    start_ns : int64;
+    mutable stop_ns : int64;
+    mutable children : span list; (* newest-first while building *)
+    slow : bool;
+  }
+
+  val set_enabled : bool -> unit
+  val is_enabled : unit -> bool
+
+  (** [with_span name f] runs [f] inside a new span nested under the
+      current domain's innermost open span.  [slow] marks the span as a
+      slow-log candidate (see {!set_slow_threshold_ms}).  When tracing
+      is disabled this is exactly [f ()]. *)
+  val with_span :
+    ?attrs:(string * string) list -> ?slow:bool -> string -> (unit -> 'a) -> 'a
+
+  (** Zero-duration marker attached to the innermost open span. *)
+  val event : ?attrs:(string * string) list -> string -> unit
+
+  (** Attach an attribute to the innermost open span, if any. *)
+  val add_attr : string -> string -> unit
+
+  (** Clear the current domain's spans (open and completed). *)
+  val reset : unit -> unit
+
+  (** Completed top-level spans of the current domain, oldest first. *)
+  val roots : unit -> span list
+
+  (** Like {!roots}, but also clears them.  Workers call this before
+      their domain exits. *)
+  val drain : unit -> span list
+
+  (** Graft drained spans under the current domain's innermost open
+      span (or as roots).  Called by the pool after joining workers. *)
+  val absorb : span list -> unit
+
+  val span_count : span list -> int
+  val duration_ms : span -> float
+
+  (** Chrome [trace_event] JSON ("complete" events, µs timestamps
+      relative to the earliest span, [tid] = domain id). *)
+  val to_chrome_json : span list -> string
+
+  (** Indented text rendering of the span forest. *)
+  val to_text : span list -> string
+
+  (** Record completed [slow:true] spans that exceed the threshold.
+      [None] disables the log (the default). *)
+  val set_slow_threshold_ms : float option -> unit
+
+  (** Recorded slow spans, oldest first, capped at 64. *)
+  val slow_log : unit -> span list
+
+  val clear_slow_log : unit -> unit
+  val json_escape : string -> string
+end
+
+module Metrics : sig
+  type counter
+  type histogram
+
+  (** Histograms on per-check fast paths observe only when [detailed]
+      is set; counters are always live. *)
+  val detailed : bool ref
+
+  val set_detailed : bool -> unit
+
+  (** Intern a counter by name (one atomic cell; hold the handle). *)
+  val counter : string -> counter
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+
+  (** Overwrite; used for gauges synced at snapshot time. *)
+  val set : counter -> int -> unit
+
+  val value : counter -> int
+
+  (** Intern a log-scale (power-of-two ns buckets) latency histogram. *)
+  val histogram : string -> histogram
+
+  val observe_ns : histogram -> int -> unit
+  val observe_ms : histogram -> float -> unit
+
+  (** Bucket index for a nanosecond value: 0 for [ns <= 0], else
+      [1 + floor(log2 ns)], capped at 63.  Exposed for tests. *)
+  val bucket_of_ns : int -> int
+
+  type hsnap = { count : int; sum_ns : int; buckets : int array }
+
+  val hsnap : histogram -> hsnap
+  val hsnap_merge : hsnap -> hsnap -> hsnap
+
+  (** Upper bucket edge (ms) of the bucket holding quantile [q]. *)
+  val hsnap_quantile : hsnap -> float -> float
+
+  (** Name-sorted counters and histogram snapshots. *)
+  val snapshot : unit -> (string * int) list * (string * hsnap) list
+
+  (** JSON object [{"counters":{...},"histograms":{...}}]; [extra]
+      appends pre-rendered JSON fields at the top level. *)
+  val to_json : ?extra:(string * string) list -> unit -> string
+
+  (** Zero every registered counter and histogram. *)
+  val reset : unit -> unit
+end
+
+val set_slow_threshold_ms : float option -> unit

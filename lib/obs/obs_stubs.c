@@ -1,0 +1,22 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC survives NTP jumps,
+   which wall-clock timestamps do not; span durations must never go
+   negative.  Exposed both boxed (bytecode) and unboxed (native). */
+
+#include <time.h>
+#include <stdint.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+int64_t xic_obs_clock_ns_unboxed(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value xic_obs_clock_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(xic_obs_clock_ns_unboxed());
+}

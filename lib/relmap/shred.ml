@@ -76,9 +76,10 @@ let unshred_from ?index mapping doc store start =
   go start
 
 let shred ?index mapping doc =
-  let store = Store.create () in
-  List.iter (shred_into ?index mapping doc store) (Doc.roots doc);
-  store
+  Xic_obs.Obs.Trace.with_span "shred" (fun () ->
+      let store = Store.create () in
+      List.iter (shred_into ?index mapping doc store) (Doc.roots doc);
+      store)
 
 let path_to_node doc id =
   (* index among same-name element siblings, the [n] of XPath steps *)

@@ -3,11 +3,14 @@ module T = Xic_datalog.Term
 type update = T.atom list
 
 let simp ?(hypotheses = []) ?(deletions = []) ~update gamma =
-  let after =
-    if deletions = [] then After.denials update gamma
-    else After.denials_mixed ~ins:update ~del:deletions gamma
-  in
-  Optimize.optimize ~hypotheses:(hypotheses @ gamma) after
+  Xic_obs.Obs.Trace.with_span "simplify"
+    ~attrs:[ ("constraints", string_of_int (List.length gamma)) ]
+    (fun () ->
+      let after =
+        if deletions = [] then After.denials update gamma
+        else After.denials_mixed ~ins:update ~del:deletions gamma
+      in
+      Optimize.optimize ~hypotheses:(hypotheses @ gamma) after)
 
 let anon_args n = List.init n (fun _ -> T.Var (T.fresh_var ~base:"_F" ()))
 

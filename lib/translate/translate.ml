@@ -615,7 +615,10 @@ let denial mapping (d : T.denial) : Q.expr =
   end
 
 let denials mapping ds =
-  match List.map (denial mapping) ds with
-  | [] -> Q.Call ("false", [])
-  | [ e ] -> e
-  | e :: es -> List.fold_left (fun a b -> Q.Binop (XP.Or, a, b)) e es
+  Xic_obs.Obs.Trace.with_span "translate"
+    ~attrs:[ ("denials", string_of_int (List.length ds)) ]
+    (fun () ->
+      match List.map (denial mapping) ds with
+      | [] -> Q.Call ("false", [])
+      | [ e ] -> e
+      | e :: es -> List.fold_left (fun a b -> Q.Binop (XP.Or, a, b)) e es)

@@ -256,9 +256,13 @@ let raw doc =
     stats = { hits = 0; misses = 0; fallbacks = 0; events = 0 };
   }
 
+let c_index_builds = Xic_obs.Obs.Metrics.counter "index_builds"
+
 let build t =
-  List.iter (add_subtree t) (Doc.roots t.doc);
-  t.built <- true
+  Xic_obs.Obs.Trace.with_span "index:build" (fun () ->
+      Xic_obs.Obs.Metrics.incr c_index_builds;
+      List.iter (add_subtree t) (Doc.roots t.doc);
+      t.built <- true)
 
 let create doc =
   let t = raw doc in

@@ -39,6 +39,25 @@ let with_budget ~steps f =
   Domain.DLS.set budget_key (Some (ref steps));
   Fun.protect ~finally:(fun () -> Domain.DLS.set budget_key saved) f
 
+(* Measure the steps [f] consumes.  Under an installed budget the meter
+   reads the counter around [f] (still enforcing the budget); otherwise
+   it installs an effectively unlimited one, so metering never changes
+   which evaluations succeed. *)
+let with_meter f =
+  match Domain.DLS.get budget_key with
+  | Some r ->
+    let before = !r in
+    let v = f () in
+    (v, before - !r)
+  | None ->
+    let r = ref max_int in
+    Domain.DLS.set budget_key (Some r);
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set budget_key None)
+      (fun () ->
+        let v = f () in
+        (v, max_int - !r))
+
 (* ------------------------------------------------------------------ *)
 (* Coercions                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -33,6 +33,13 @@ val with_budget : steps:int -> (unit -> 'a) -> 'a
     evaluator, which delegates here.  Without an installed budget,
     evaluation is unlimited. *)
 
+val with_meter : (unit -> 'a) -> 'a * int
+(** [with_meter f] runs [f] and additionally returns the evaluation
+    steps it consumed.  Composes with {!with_budget}: under an installed
+    budget the meter only reads the counter (the budget still applies);
+    otherwise an effectively unlimited budget is installed for the
+    duration, so metering never changes which evaluations succeed. *)
+
 val tick : int -> unit
 (** Charge [n] steps against the installed budget, if any (used by the
     XQuery evaluator to meter its own constructs).

@@ -2,6 +2,25 @@ open Xic_xml
 module XE = Xic_xpath.Eval
 module XP = Xic_xpath.Ast
 module Symbol = Xic_symbol.Symbol
+module Obs = Xic_obs.Obs
+
+(* Candidate/probe accounting for the observability layer, gated on
+   [Obs.Metrics.detailed] because binding enumerations sit on the hot
+   path of every check.  Each enumeration contributes [1 + length] to
+   the candidate count (the production of the candidate sequence itself
+   is a candidate-set event, matching the step accounting of [XE.tick]),
+   and every index probe corresponds to exactly one enumeration event,
+   so [eval_index_probes <= eval_candidates] holds by construction —
+   the differential oracle asserts exactly that invariant. *)
+let c_probes = Obs.Metrics.counter "eval_index_probes"
+let c_candidates = Obs.Metrics.counter "eval_candidates"
+let c_eval_steps = Obs.Metrics.counter "eval_steps"
+
+let note_candidates l =
+  if !Obs.Metrics.detailed then
+    Obs.Metrics.add c_candidates (1 + List.length l)
+
+let note_probe () = if !Obs.Metrics.detailed then Obs.Metrics.incr c_probes
 
 type value = XE.value
 
@@ -47,6 +66,7 @@ and string_items = function
 let empty_seq : value = XE.Strs []
 
 let with_budget = XE.with_budget
+let with_meter = XE.with_meter
 
 (* ------------------------------------------------------------------ *)
 (* Planner: recognizing indexable binding shapes (compile time)        *)
@@ -260,6 +280,7 @@ let rec compile_expr (e : Ast.expr) : code =
             | Some narrowed -> narrowed
             | None -> items (ce cx env)
           in
+          note_candidates candidates;
           List.fold_left
             (fun acc item -> crest cx ((v, item) :: env) acc)
             acc candidates
@@ -397,6 +418,7 @@ and compile_some binds cond : code =
             | Some narrowed -> narrowed
             | None -> items (ce cx env)
           in
+          note_candidates candidates;
           List.exists
             (fun item ->
               let env' = (v, item) :: env in
@@ -469,6 +491,7 @@ and compile_some binds cond : code =
                            [] keys)
                   in
                   XE.tick (1 + List.length cands);
+                  note_candidates cands;
                   List.exists
                     (fun item ->
                       let env' = (v, item) :: env in
@@ -486,6 +509,7 @@ and compile_some binds cond : code =
             | Some narrowed -> narrowed
             | None -> items (ce cx env)
           in
+          note_candidates candidates;
           List.exists
             (fun item ->
               let env' = (v, item) :: env in
@@ -606,6 +630,7 @@ and run_narrow ?(ordered = true) cx env (plan : narrow_plan) : value list option
             else List.sort_uniq (fun (a : int) b -> Stdlib.compare a b) ids
           in
           XE.tick (1 + List.length ids);
+          note_probe ();
           Some (List.map (fun n -> XE.Nodes [ n ]) ids)))
 
 and compile_call f args : code =
@@ -679,7 +704,14 @@ let compile e = compile_expr e
 
 let run doc ?(env = []) ?(params = []) ?index code =
   let env = List.map (fun (p, v) -> ("%" ^ p, v)) params @ env in
-  code { doc; idx = index } env
+  let cx = { doc; idx = index } in
+  if not (Obs.Trace.is_enabled ()) then code cx env
+  else
+    Obs.Trace.with_span "eval" (fun () ->
+        let v, steps = XE.with_meter (fun () -> code cx env) in
+        Obs.Trace.add_attr "steps" (string_of_int steps);
+        Obs.Metrics.add c_eval_steps steps;
+        v)
 
 let run_bool doc ?env ?params ?index code =
   XE.boolean (run doc ?env ?params ?index code)
@@ -687,3 +719,153 @@ let run_bool doc ?env ?params ?index code =
 let eval doc ?env ?params ?index e = run doc ?env ?params ?index (compile_expr e)
 
 let eval_bool doc ?env ?params ?index e = XE.boolean (eval doc ?env ?params ?index e)
+
+(* ------------------------------------------------------------------ *)
+(* Plan description (xicheck --explain)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Render the decisions [compile_some]/[compile_narrow] would take for
+   an expression without compiling it: per-binding narrowing, the
+   conjunct schedule with hoisted comparison operands, and the
+   innermost-level hash join.  The analysis mirrors the compile
+   functions above; keep them in sync. *)
+let describe (e : Ast.expr) : string =
+  let b = Buffer.create 256 in
+  let line indent fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b (String.make (2 * indent) ' ');
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let probe_of v = function
+    | Ast.Binop (XP.Eq, a, b) ->
+      (match var_probe v a with
+       | Some p -> Some (p, b)
+       | None ->
+         (match var_probe v b with Some p -> Some (p, a) | None -> None))
+    | _ -> None
+  in
+  let narrow_desc v src conjs =
+    match binding_tag src with
+    | None -> "scan (source not //tag)"
+    | Some tag ->
+      let rec first = function
+        | [] -> None
+        | c :: rest ->
+          (match probe_of v c with Some r -> Some r | None -> first rest)
+      in
+      (match first conjs with
+       | None -> Printf.sprintf "tag index //%s (no probe-able conjunct)" tag
+       | Some (probe, comparand) ->
+         let path =
+           match probe with
+           | `Text -> Printf.sprintf "$%s/text()" v
+           | `Attr a -> Printf.sprintf "$%s/@%s" v a
+           | `Child_text c -> Printf.sprintf "$%s/%s/text()" v c
+         in
+         Printf.sprintf "index probe //%s via %s = %s" tag path
+           (Ast.to_string comparand))
+  in
+  let rec go ind (e : Ast.expr) =
+    match e with
+    | Ast.Quant (Ast.Some_, binds, cond) when binds <> [] ->
+      let conjs = conjuncts cond in
+      let names = List.map fst binds in
+      let n = List.length binds in
+      line ind "some [%s]"
+        (String.concat ", " (List.map (fun v -> "$" ^ v) names));
+      List.iteri
+        (fun i (v, src) ->
+          line (ind + 1) "bind $%s @%d: %s" v (i + 1) (narrow_desc v src conjs))
+        binds;
+      let level_of_var v =
+        let rec goi i lvl = function
+          | [] -> lvl
+          | name :: rest ->
+            goi (i + 1) (if String.equal name v then i else lvl) rest
+        in
+        goi 1 0 names
+      in
+      let level_of_expr e =
+        List.fold_left (fun m v -> max m (level_of_var v)) 0 (expr_vars [] e)
+      in
+      let vn = List.nth names (n - 1) in
+      let vn_pure e = List.for_all (String.equal vn) (expr_vars [] e) in
+      let source_closed =
+        match binds with
+        | [] -> false
+        | _ -> expr_vars [] (snd (List.nth binds (n - 1))) = []
+      in
+      let prev = ref 0 in
+      let innermost_tests = ref 0 in
+      let join = ref None in
+      List.iter
+        (fun conj ->
+          let k = max (level_of_expr conj) !prev in
+          prev := k;
+          let hoists =
+            match conj with
+            | Ast.Binop ((XP.Eq | Neq | Lt | Le | Gt | Ge), a, bb) ->
+              let la = level_of_expr a and lb = level_of_expr bb in
+              if la < k || lb < k then
+                List.filter_map
+                  (fun (l, e) -> if l < k then Some (l, e) else None)
+                  [ (la, a); (lb, bb) ]
+              else []
+            | _ -> []
+          in
+          (match conj with
+           | Ast.Binop (XP.Eq, a, bb) when k = n && !innermost_tests = 0 ->
+             let la = level_of_expr a and lb = level_of_expr bb in
+             if la < k && lb = k && vn_pure bb then join := Some (a, bb)
+             else if lb < k && la = k && vn_pure a then join := Some (bb, a)
+           | _ -> ());
+          if k = n then incr innermost_tests;
+          line (ind + 1) "test @%d: %s%s" k (Ast.to_string conj)
+            (match hoists with
+             | [] -> ""
+             | hs ->
+               Printf.sprintf " [hoist %s]"
+                 (String.concat ", "
+                    (List.map
+                       (fun (l, e) ->
+                         Printf.sprintf "%s @%d" (Ast.to_string e) l)
+                       hs))))
+        conjs;
+      (match !join with
+       | Some (outer, key) when source_closed ->
+         line (ind + 1) "join: hash $%s on %s, probe with %s" vn
+           (Ast.to_string key) (Ast.to_string outer)
+       | _ -> ());
+      List.iter (fun c -> go (ind + 1) c) conjs
+    | Ast.Quant (Ast.Every, binds, cond) ->
+      line ind "every [%s]: enumerate all tuples (universal, no narrowing)"
+        (String.concat ", " (List.map (fun (v, _) -> "$" ^ v) binds));
+      go (ind + 1) cond
+    | Ast.Flwor (clauses, where, ret) ->
+      let wconjs = match where with None -> [] | Some w -> conjuncts w in
+      line ind "flwor";
+      List.iter
+        (function
+          | Ast.For (v, src) ->
+            line (ind + 1) "for $%s: %s" v (narrow_desc v src wconjs)
+          | Ast.Let (v, _) -> line (ind + 1) "let $%s" v)
+        clauses;
+      List.iter (fun c -> go (ind + 1) c) wconjs;
+      go (ind + 1) ret
+    | Ast.Binop (_, a, bb) ->
+      go ind a;
+      go ind bb
+    | Ast.If (c, t, f) ->
+      go ind c;
+      go ind t;
+      go ind f
+    | Ast.Quant (_, _, cond) -> go ind cond
+    | Ast.Seq es | Ast.Elem (_, es) | Ast.Call (_, es) -> List.iter (go ind) es
+    | Ast.Xp _ | Ast.Param _ -> ()
+  in
+  go 0 e;
+  if Buffer.length b = 0 then "(no quantifier or flwor plan)\n"
+  else Buffer.contents b

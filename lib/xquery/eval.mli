@@ -18,6 +18,11 @@ val with_budget : steps:int -> (unit -> 'a) -> 'a
     are spent — the repository layer catches it and degrades the
     optimized check to the full check. *)
 
+val with_meter : (unit -> 'a) -> 'a * int
+(** [with_meter f] runs [f] and additionally returns the evaluation
+    steps consumed ({!Xic_xpath.Eval.with_meter}); the budget shared
+    with the XPath evaluator still applies if one is installed. *)
+
 type compiled
 (** A compiled denial-check plan: one AST walk interns every name,
     resolves quantifier/FLWOR narrowing plans and pre-compiles the
@@ -73,3 +78,9 @@ val eval_bool :
 (** Evaluate and coerce to a boolean (XPath [boolean()] rules).  This is
     the entry point used by integrity checking: [true] means the constraint
     is {e violated}. *)
+
+val describe : Ast.expr -> string
+(** Render the plan the compiler would build for [e] — per-binding index
+    narrowing, the conjunct schedule with hoisted comparison operands,
+    and the innermost-level hash join — as an indented text block for
+    [xicheck --explain].  Purely static: nothing is evaluated. *)

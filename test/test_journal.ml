@@ -145,6 +145,31 @@ let test_failpoint_mid_write () =
   checkb "torn" true rr.J.torn;
   checki "only the first record" 1 (List.length rr.J.entries)
 
+(* With tracing on, a firing failpoint leaves a zero-duration span event
+   named after it, so fault-injection runs are visible in the trace. *)
+let test_failpoint_records_span_event () =
+  let module Obs = Xic_obs.Obs in
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+  @@ fun () ->
+  Obs.Trace.reset ();
+  let p = fresh_path () in
+  let j = J.open_ p in
+  FP.set ~action:FP.Raise "mid_write";
+  (Fun.protect ~finally:FP.clear @@ fun () ->
+   Obs.Trace.with_span "test" (fun () ->
+       match J.append j (J.Commit { txn = 1 }) with
+       | exception FP.Triggered "mid_write" -> ()
+       | () -> Alcotest.fail "armed failpoint must fire"));
+  let rec has name (sp : Obs.Trace.span) =
+    sp.Obs.Trace.name = name || List.exists (has name) sp.Obs.Trace.children
+  in
+  checkb "failpoint:mid_write event in trace" true
+    (List.exists (has "failpoint:mid_write") (Obs.Trace.roots ()))
+
 (* ------------------------------------------------------------------ *)
 (* Crash recovery properties                                           *)
 (* ------------------------------------------------------------------ *)
@@ -421,6 +446,8 @@ let () =
           Alcotest.test_case "bad header" `Quick test_journal_not_a_journal;
           Alcotest.test_case "truncate grouping" `Quick test_committed_truncate;
           Alcotest.test_case "mid-write failpoint" `Quick test_failpoint_mid_write;
+          Alcotest.test_case "failpoint traced as span event" `Quick
+            test_failpoint_records_span_event;
         ] );
       ( "crash recovery",
         [

@@ -1,0 +1,287 @@
+(* Observability layer: histogram bucketing and merge, span-tree
+   nesting (including across Pool domains), export shape. *)
+
+module Obs = Xic_obs.Obs
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+module Pool = Xic_core.Pool
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* Each test that enables tracing restores the globals on exit so the
+   suite stays order-independent. *)
+let with_tracing f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ();
+      Trace.clear_slow_log ();
+      Obs.set_slow_threshold_ms None)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_of_ns () =
+  checki "ns<=0 -> 0" 0 (Metrics.bucket_of_ns 0);
+  checki "negative -> 0" 0 (Metrics.bucket_of_ns (-5));
+  checki "1ns" 1 (Metrics.bucket_of_ns 1);
+  checki "2ns" 2 (Metrics.bucket_of_ns 2);
+  checki "3ns" 2 (Metrics.bucket_of_ns 3);
+  checki "4ns" 3 (Metrics.bucket_of_ns 4);
+  checki "1023ns" 10 (Metrics.bucket_of_ns 1023);
+  checki "1024ns" 11 (Metrics.bucket_of_ns 1024);
+  (* max_int is 2^62 - 1, so its bucket is 1 + 61; the 63 cap only
+     guards hypothetical larger inputs *)
+  checki "max_int" 62 (Metrics.bucket_of_ns max_int);
+  (* buckets are monotone in ns *)
+  let prev = ref 0 in
+  for e = 0 to 40 do
+    let b = Metrics.bucket_of_ns (1 lsl e) in
+    checkb "monotone" true (b >= !prev);
+    prev := b
+  done
+
+let test_histogram_observe () =
+  let h = Metrics.histogram "test_histogram_observe" in
+  Metrics.observe_ns h 1;
+  Metrics.observe_ns h 3;
+  Metrics.observe_ns h 1024;
+  let s = Metrics.hsnap h in
+  checki "count" 3 s.Metrics.count;
+  checki "sum" 1028 s.Metrics.sum_ns;
+  checki "bucket(1)" 1 s.Metrics.buckets.(1);
+  checki "bucket(3)" 1 s.Metrics.buckets.(2);
+  checki "bucket(1024)" 1 s.Metrics.buckets.(11);
+  checki "total bucketed = count" s.Metrics.count
+    (Array.fold_left ( + ) 0 s.Metrics.buckets)
+
+let test_histogram_merge () =
+  let a = Metrics.histogram "test_histogram_merge_a" in
+  let b = Metrics.histogram "test_histogram_merge_b" in
+  List.iter (Metrics.observe_ns a) [ 1; 2; 100 ];
+  List.iter (Metrics.observe_ns b) [ 2; 1_000_000 ];
+  let m = Metrics.hsnap_merge (Metrics.hsnap a) (Metrics.hsnap b) in
+  checki "merged count" 5 m.Metrics.count;
+  checki "merged sum" 1_000_105 m.Metrics.sum_ns;
+  checki "merged bucket for 2ns" 2 m.Metrics.buckets.(2);
+  checki "merged total = count" m.Metrics.count
+    (Array.fold_left ( + ) 0 m.Metrics.buckets);
+  (* merge is commutative *)
+  let m' = Metrics.hsnap_merge (Metrics.hsnap b) (Metrics.hsnap a) in
+  checkb "commutative" true (m = m')
+
+let test_histogram_quantile () =
+  let h = Metrics.histogram "test_histogram_quantile" in
+  (* 9 fast observations, 1 slow: p50 sits in the fast bucket, p99 in
+     the slow one.  Quantiles report the bucket's upper edge in ms. *)
+  for _ = 1 to 9 do
+    Metrics.observe_ns h 1000 (* bucket 10, upper edge 1024ns *)
+  done;
+  Metrics.observe_ns h 1_000_000 (* bucket 20, upper edge ~1.05ms *);
+  let s = Metrics.hsnap h in
+  Alcotest.(check (float 1e-9)) "p50 = fast bucket edge"
+    (float_of_int (1 lsl 10) /. 1e6)
+    (Metrics.hsnap_quantile s 0.50);
+  Alcotest.(check (float 1e-9)) "p99 = slow bucket edge"
+    (float_of_int (1 lsl 20) /. 1e6)
+    (Metrics.hsnap_quantile s 0.99);
+  let empty = { Metrics.count = 0; sum_ns = 0; buckets = Array.make 64 0 } in
+  Alcotest.(check (float 0.0)) "empty -> 0" 0.0 (Metrics.hsnap_quantile empty 0.5)
+
+let test_counters () =
+  let c = Metrics.counter "test_counter" in
+  checkb "interned handle is stable" true (c == Metrics.counter "test_counter");
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "value" 5 (Metrics.value c);
+  let cs, _ = Metrics.snapshot () in
+  checki "snapshot sees it" 5
+    (Option.value ~default:(-1) (List.assoc_opt "test_counter" cs));
+  (* snapshot is name-sorted *)
+  checkb "sorted" true (List.sort compare cs = cs)
+
+(* ------------------------------------------------------------------ *)
+(* Span trees                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  let v =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "a" (fun () -> Trace.event "tick");
+        Trace.with_span ~attrs:[ ("k", "v") ] "b" (fun () -> ());
+        42)
+  in
+  checki "value passes through" 42 v;
+  match Trace.roots () with
+  | [ root ] ->
+    checks "root name" "outer" root.Trace.name;
+    checki "span count" 4 (Trace.span_count [ root ]);
+    (match List.rev root.Trace.children with
+     | [ a; b ] ->
+       checks "first child" "a" a.Trace.name;
+       checks "second child" "b" b.Trace.name;
+       checkb "attr recorded" true (List.mem_assoc "k" b.Trace.attrs);
+       (match a.Trace.children with
+        | [ ev ] ->
+          checks "event nested under a" "tick" ev.Trace.name;
+          checkb "event has zero duration" true
+            (ev.Trace.start_ns = ev.Trace.stop_ns)
+        | _ -> Alcotest.fail "expected one event under a")
+     | _ -> Alcotest.fail "expected two children in order")
+  | rs -> Alcotest.failf "expected one root, got %d" (List.length rs)
+
+let test_span_exception_unwinds () =
+  with_tracing @@ fun () ->
+  (match
+     Trace.with_span "outer" (fun () ->
+         Trace.with_span "inner" (fun () -> failwith "boom"))
+   with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "exception must propagate");
+  (* both spans are closed and attached despite the exception *)
+  match Trace.roots () with
+  | [ root ] ->
+    checks "root closed" "outer" root.Trace.name;
+    checkb "root has a stop time" true
+      (Int64.compare root.Trace.stop_ns root.Trace.start_ns >= 0);
+    (match root.Trace.children with
+     | [ inner ] -> checks "inner attached" "inner" inner.Trace.name
+     | _ -> Alcotest.fail "inner span must be attached to outer");
+    (* the stack is clean: a new span becomes a fresh root *)
+    Trace.with_span "next" (fun () -> ());
+    checki "fresh root" 2 (List.length (Trace.roots ()))
+  | rs -> Alcotest.failf "expected one root, got %d" (List.length rs)
+
+let test_disabled_is_transparent () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let v = Trace.with_span "ghost" (fun () -> 7) in
+  Trace.event "ghost-event";
+  Trace.add_attr "k" "v";
+  checki "value passes through" 7 v;
+  checki "nothing recorded" 0 (List.length (Trace.roots ()))
+
+let test_spans_across_pool_domains () =
+  with_tracing @@ fun () ->
+  let items = List.init 8 (fun i -> i) in
+  let sum =
+    Trace.with_span "pool" (fun () ->
+        Pool.map ~jobs:4
+          (fun i -> Trace.with_span ("item" ^ string_of_int i) (fun () -> i))
+          items)
+    |> List.fold_left ( + ) 0
+  in
+  checki "results survive tracing" 28 sum;
+  match Trace.roots () with
+  | [ root ] ->
+    checks "single root" "pool" root.Trace.name;
+    (* every per-item span was grafted under the pool span, whichever
+       domain ran it *)
+    checki "all item spans present" 9 (Trace.span_count [ root ]);
+    let names =
+      List.sort compare
+        (List.map (fun (sp : Trace.span) -> sp.Trace.name) root.Trace.children)
+    in
+    Alcotest.(check (list string))
+      "one span per item"
+      (List.sort compare (List.map (fun i -> "item" ^ string_of_int i) items))
+      names
+  | rs -> Alcotest.failf "expected one root, got %d" (List.length rs)
+
+let test_slow_log () =
+  with_tracing @@ fun () ->
+  Obs.set_slow_threshold_ms (Some 0.0);
+  Trace.with_span ~slow:true "crawl" (fun () -> ());
+  Trace.with_span "not-a-candidate" (fun () -> ());
+  (match Trace.slow_log () with
+   | [ sp ] -> checks "slow span logged" "crawl" sp.Trace.name
+   | l -> Alcotest.failf "expected one slow entry, got %d" (List.length l));
+  Trace.clear_slow_log ();
+  checki "cleared" 0 (List.length (Trace.slow_log ()))
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i =
+    i + n <= m && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_chrome_json_shape () =
+  with_tracing @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span ~attrs:[ ("quote", {|a"b|}) ] "inner" (fun () -> ()));
+  let json = Trace.to_chrome_json (Trace.roots ()) in
+  checkb "traceEvents array" true (contains json {|{"traceEvents":[|});
+  checkb "outer emitted" true (contains json {|"name":"outer"|});
+  checkb "complete events" true (contains json {|"ph":"X"|});
+  checkb "attr escaped" true (contains json {|"quote":"a\"b"|});
+  (* braces and brackets balance *)
+  let bal =
+    String.fold_left
+      (fun (b, k) -> function
+        | '{' -> (b + 1, k)
+        | '}' -> (b - 1, k)
+        | '[' -> (b, k + 1)
+        | ']' -> (b, k - 1)
+        | _ -> (b, k))
+      (0, 0) json
+  in
+  checkb "balanced" true (bal = (0, 0))
+
+let test_text_tree_shape () =
+  with_tracing @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span ~attrs:[ ("k", "v") ] "inner" (fun () -> ()));
+  let txt = Trace.to_text (Trace.roots ()) in
+  checkb "outer at column 0" true
+    (String.length txt > 5 && String.sub txt 0 5 = "outer");
+  checkb "inner indented with attr" true (contains txt "\n  inner");
+  checkb "attr rendered" true (contains txt " k=v")
+
+let test_json_escape () =
+  checks "plain" "abc" (Trace.json_escape "abc");
+  checks "quote" {|a\"b|} (Trace.json_escape {|a"b|});
+  checks "backslash" {|a\\b|} (Trace.json_escape {|a\b|});
+  checks "newline" {|a\nb|} (Trace.json_escape "a\nb");
+  checks "control" {|a\u0001b|} (Trace.json_escape "a\001b")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "log2 bucketing" `Quick test_bucket_of_ns;
+          Alcotest.test_case "observe" `Quick test_histogram_observe;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantile;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception unwinds" `Quick
+            test_span_exception_unwinds;
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_disabled_is_transparent;
+          Alcotest.test_case "across pool domains" `Quick
+            test_spans_across_pool_domains;
+          Alcotest.test_case "slow log" `Quick test_slow_log;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
+          Alcotest.test_case "text tree" `Quick test_text_tree_shape;
+          Alcotest.test_case "json escape" `Quick test_json_escape;
+        ] );
+    ]

@@ -3,7 +3,8 @@
    XUpdate sequences.  Five evaluation routes must agree on every
    check — the indexed planner, the scan interpreter, the Datalog
    evaluation of the shredded relational mapping, the cached compiled
-   plans, and the parallel checker at [-j 2..4] — and the incrementally
+   plans, the parallel checker at [-j 2..4], and the fully traced
+   checker (spans + detailed metrics on) — and the incrementally
    maintained indexes must equal indexes rebuilt from scratch after
    every apply / undo / savepoint-rollback / crash-recovery sequence.
 
@@ -19,6 +20,7 @@ module XU = Xic_xupdate.Xupdate
 module XP = Xic_xpath
 module J = Xic_journal.Journal
 module Index = Xic_xml.Index
+module Obs = Xic_obs.Obs
 
 let checkb = Alcotest.(check bool)
 
@@ -122,6 +124,32 @@ let check_agreement ~seed repo what =
   Repository.set_parallelism repo (2 + (seed mod 3));
   let parallel = sorted (Repository.check_full repo) in
   Repository.set_parallelism repo 1;
+  (* Sixth route: full instrumentation on.  Spans and detailed metrics
+     must not change verdicts, and the observed counters must satisfy
+     their structural invariants: every index probe enumerates at least
+     one candidate event, and every plan-cache consultation is either a
+     hit or a compilation. *)
+  Obs.Trace.set_enabled true;
+  Obs.Metrics.set_detailed true;
+  let traced =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Metrics.set_detailed false;
+        Obs.Trace.reset ())
+      (fun () -> sorted (Repository.check_full repo))
+  in
+  let counters, _ = Repository.metrics repo in
+  let cval name = Option.value ~default:0 (List.assoc_opt name counters) in
+  checkb
+    (Printf.sprintf "[seed %d] %s: probes <= candidates" seed what)
+    true
+    (cval "eval_index_probes" <= cval "eval_candidates");
+  checkb
+    (Printf.sprintf "[seed %d] %s: plan hits + misses = requests" seed what)
+    true
+    (cval "plan_cache_hits" + cval "plan_cache_misses"
+     = cval "plan_compile_requests");
   Alcotest.(check (list string))
     (Printf.sprintf "[seed %d] %s: indexed = scan" seed what)
     scan indexed;
@@ -133,7 +161,10 @@ let check_agreement ~seed repo what =
     scan compiled;
   Alcotest.(check (list string))
     (Printf.sprintf "[seed %d] %s: parallel (-j 2..4) = scan" seed what)
-    scan parallel
+    scan parallel;
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: traced = scan" seed what)
+    scan traced
 
 let check_index_consistent ~seed repo what =
   match Repository.index repo with

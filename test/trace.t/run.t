@@ -1,0 +1,120 @@
+Observability walkthrough: --trace, --metrics, --explain, --slow-ms, and
+the composed stats JSON.  Setup mirrors the CLI walkthrough (cli.t).
+
+  $ cat > pub.dtd <<'XEOF'
+  > <!ELEMENT dblp (pub)*>
+  > <!ELEMENT pub (title, aut+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT aut (name)>
+  > <!ELEMENT name (#PCDATA)>
+  > XEOF
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track)+>
+  > <!ELEMENT track (name, rev+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT rev (name, sub+)>
+  > <!ELEMENT sub (title, auts+)>
+  > <!ELEMENT title (#PCDATA)>
+  > <!ELEMENT auts (name)>
+  > XEOF
+  $ cat > pub.xml <<'XEOF'
+  > <dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub></dblp>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> A and (A = R or //pub[aut/name/text() -> A and aut/name/text() -> R])
+  > XEOF
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+
+A fully traced --explain run.  Pattern registration exercises simplify
+and translate, the witness search exercises shred and the Datalog
+evaluator, and the traced check exercises plan compilation and
+evaluation.  Timings vary run to run, so they are masked:
+
+  $ xicheck check --explain --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --trace out.json | sed -e 's/[0-9][0-9.]* ms/X ms/' -e 's/[0-9][0-9]* eval steps/N eval steps/'
+  consistent
+  
+  == plan conflict
+  some [$_IRev_2]
+    bind $_IRev_2 @1: index probe //rev via $_IRev_2/name/text() = $_IRev_2/sub/auts/name/text()
+    test @1: $_IRev_2/sub/auts/name/text() = $_IRev_2/name/text()
+  some [$_IRev_12, $_IAut_25]
+    bind $_IRev_12 @1: index probe //rev via $_IRev_12/name/text() = $_IAut_25/../aut/name/text()
+    bind $_IAut_25 @2: index probe //aut via $_IAut_25/name/text() = $_IRev_12/sub/auts/name/text()
+    test @2: $_IAut_25/../aut/name/text() = $_IRev_12/name/text() [hoist $_IRev_12/name/text() @1]
+    test @2: $_IRev_12/sub/auts/name/text() = $_IAut_25/name/text() [hoist $_IRev_12/sub/auts/name/text() @1]
+    join: hash $_IAut_25 on $_IAut_25/../aut/name/text(), probe with $_IRev_12/name/text()
+  observed: 1 run(s), X ms, N eval steps
+  wrote trace out.json
+
+The trace is one Chrome trace_event JSON object whose complete events
+cover every pipeline stage:
+
+  $ grep -c '{"traceEvents":\[' out.json
+  1
+  $ grep -o '"name":"[a-z_:]*"' out.json | sort -u
+  "name":"check:conflict"
+  "name":"check_full"
+  "name":"compile"
+  "name":"datalog:eval"
+  "name":"eval"
+  "name":"index:build"
+  "name":"parse"
+  "name":"shred"
+  "name":"simplify"
+  "name":"translate"
+  $ grep -o '"ph":"X"' out.json | sort -u
+  "ph":"X"
+
+'--trace -' prints the span tree as indented text on stderr (durations
+and step counts masked):
+
+  $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --trace - 2>&1 >/dev/null | sed -e 's/ [0-9][0-9.]*ms//' -e 's/steps=[0-9]*/steps=N/'
+  parse
+  parse
+  translate denials=2
+  check_full
+    compile constraint=conflict
+    check:conflict
+      eval steps=N
+        index:build
+
+--metrics alone prints the registry as one JSON object; the exact
+counter values vary with machine and build, so only the shape is
+asserted:
+
+  $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --metrics | tail -1 | grep -o '"counters":{\|"histograms":{\|"plan_cache_misses"\|"eval_steps"'
+  "counters":{
+  "eval_steps"
+  "plan_cache_misses"
+  "histograms":{
+
+A single legacy flag keeps its historical one-line output:
+
+  $ xicheck check --plan-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl
+  consistent
+  plans: 0 hits, 1 misses, 1 cached
+
+Several stats flags compose into one JSON object instead of
+interleaved lines:
+
+  $ xicheck check --plan-stats --index-stats --metrics --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl | tail -1 | grep -o '"plan_stats":{\|"index_stats":{\|"metrics":{'
+  "plan_stats":{
+  "index_stats":{
+  "metrics":{
+  $ xicheck check --plan-stats --index-stats --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl | tail -1
+  {"plan_stats":{"hits":0,"misses":1,"cached":1},"index_stats":{"hits":19,"misses":11,"fallbacks":2,"events":0}}
+
+--slow-ms with a zero threshold logs every check to stderr:
+
+  $ xicheck check --slow-ms 0 --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl 2>&1 >/dev/null | sed 's/ [0-9][0-9.]*ms//'
+  slow checks:
+    check:conflict
