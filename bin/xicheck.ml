@@ -87,6 +87,14 @@ let no_validate_arg =
   let doc = "Skip DTD validation when loading documents." in
   Arg.(value & flag & info [ "no-validate" ] ~doc)
 
+let legacy_loader_arg =
+  let doc =
+    "Load documents with the legacy two-pass path (parse, then shred on \
+     demand) instead of the fused single-pass loader.  Escape hatch; \
+     verdicts are identical either way."
+  in
+  Arg.(value & flag & info [ "legacy-loader" ] ~doc)
+
 let no_index_arg =
   let doc =
     "Disable indexed evaluation: answer every check with the scanning \
@@ -228,11 +236,14 @@ let load_schema specs =
   | exception Schema.Schema_error m -> die "%s" m
   | exception Sys_error m -> die "%s" m
 
-let load_repo ~validate schema docs =
+let load_repo ?(legacy = false) ~validate schema docs =
   let repo = Repository.create schema in
+  let load =
+    if legacy then Repository.load_document else Repository.load_fused
+  in
   List.iter
     (fun path ->
-      match Repository.load_document ~validate repo (read_file path) with
+      match load ~validate repo (read_file path) with
       | () -> ()
       | exception Repository.Repository_error m -> die "%s: %s" path m)
     docs;
@@ -388,8 +399,8 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run dtds docs constraints pattern no_validate use_datalog explain
-      no_index index_stats jobs plan_stats trace metrics slow_ms =
+  let run dtds docs constraints pattern no_validate legacy_loader use_datalog
+      explain no_index index_stats jobs plan_stats trace metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     (* --explain needs a traced run for its observed timings *)
     if explain then begin
@@ -397,7 +408,9 @@ let check_cmd =
       Obs.Metrics.set_detailed true
     end;
     let s = load_schema dtds in
-    let repo = load_repo ~validate:(not no_validate) s docs in
+    let repo =
+      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    in
     if no_index then Repository.set_use_index repo false;
     (if jobs < 1 then die "--jobs must be at least 1"
      else Repository.set_parallelism repo jobs);
@@ -442,9 +455,9 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check integrity constraints against the documents")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ datalog_arg $ explain_arg $ no_index_arg
-      $ index_stats_arg $ jobs_arg $ plan_stats_arg $ trace_arg $ metrics_arg
-      $ slow_ms_arg)
+      $ no_validate_arg $ legacy_loader_arg $ datalog_arg $ explain_arg
+      $ no_index_arg $ index_stats_arg $ jobs_arg $ plan_stats_arg $ trace_arg
+      $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simplify                                                            *)
@@ -531,11 +544,14 @@ let guard_cmd =
     let doc = "XUpdate statement to execute under integrity control." in
     Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
   in
-  let run dtds docs constraints pattern no_validate runtime_simp update output
-      journal eval_budget no_index index_stats trace metrics slow_ms =
+  let run dtds docs constraints pattern no_validate legacy_loader runtime_simp
+      update output journal eval_budget no_index index_stats trace metrics
+      slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
-    let repo = load_repo ~validate:(not no_validate) s docs in
+    let repo =
+      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    in
     if no_index then Repository.set_use_index repo false;
     Repository.set_eval_budget repo eval_budget;
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
@@ -563,9 +579,9 @@ let guard_cmd =
        ~doc:"Execute an XUpdate statement under integrity control")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ runtime_simp_arg $ update_arg $ output_arg
-      $ journal_arg $ eval_budget_arg $ no_index_arg $ index_stats_arg
-      $ trace_arg $ metrics_arg $ slow_ms_arg)
+      $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg $ update_arg
+      $ output_arg $ journal_arg $ eval_budget_arg $ no_index_arg
+      $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* txn                                                                 *)
@@ -583,11 +599,14 @@ let txn_cmd =
     let doc = "Roll the transaction back at the end instead of committing." in
     Arg.(value & flag & info [ "abort" ] ~doc)
   in
-  let run dtds docs constraints pattern no_validate runtime_simp updates output
-      journal eval_budget abort no_index index_stats trace metrics slow_ms =
+  let run dtds docs constraints pattern no_validate legacy_loader runtime_simp
+      updates output journal eval_budget abort no_index index_stats trace
+      metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
-    let repo = load_repo ~validate:(not no_validate) s docs in
+    let repo =
+      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    in
     if no_index then Repository.set_use_index repo false;
     Repository.set_eval_budget repo eval_budget;
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
@@ -632,8 +651,8 @@ let txn_cmd =
           (each statement still guarded individually)")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ runtime_simp_arg $ updates_arg $ output_arg
-      $ journal_arg $ eval_budget_arg $ abort_arg $ no_index_arg
+      $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg $ updates_arg
+      $ output_arg $ journal_arg $ eval_budget_arg $ abort_arg $ no_index_arg
       $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -645,9 +664,11 @@ let recover_cmd =
     let doc = "Journal file to recover from." in
     Arg.(required & opt (some file) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
-  let run dtds docs constraints no_validate journal output =
+  let run dtds docs constraints no_validate legacy_loader journal output =
     let s = load_schema dtds in
-    let repo = load_repo ~validate:(not no_validate) s docs in
+    let repo =
+      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    in
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
     let rr =
       match Xic_journal.Journal.read journal with
@@ -675,7 +696,7 @@ let recover_cmd =
           against freshly loaded base documents")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
-      $ journal_arg $ output_arg)
+      $ legacy_loader_arg $ journal_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* publish                                                             *)

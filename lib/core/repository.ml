@@ -20,6 +20,10 @@ let c_plan_hits = Obs.Metrics.counter "plan_cache_hits"
 let c_plan_misses = Obs.Metrics.counter "plan_cache_misses"
 let c_plan_requests = Obs.Metrics.counter "plan_compile_requests"
 let c_rollbacks = Obs.Metrics.counter "rollbacks"
+let c_ingest_fused = Obs.Metrics.counter "ingest_fused_docs"
+let c_ingest_legacy = Obs.Metrics.counter "ingest_legacy_docs"
+let c_ingest_bytes = Obs.Metrics.counter "ingest_bytes"
+let c_ingest_facts = Obs.Metrics.counter "ingest_facts"
 let h_check_full = Obs.Metrics.histogram "check_full_ms"
 let h_check_optimized = Obs.Metrics.histogram "check_optimized_ms"
 
@@ -186,8 +190,69 @@ let load_document ?validate t source =
           fail "XML parse error at %d:%d: %s" line col msg)
   in
   match List.filter (Doc.is_element t.doc) nodes with
-  | [ root ] -> add_document_root ?validate t root
+  | [ root ] ->
+    add_document_root ?validate t root;
+    Obs.Metrics.incr c_ingest_legacy
   | _ -> fail "expected exactly one root element"
+
+type ingest_stats = {
+  fused_docs : int;
+  legacy_docs : int;
+  fused_bytes : int;
+  fused_facts : int;
+}
+
+let ingest_stats (_ : t) =
+  { fused_docs = Obs.Metrics.value c_ingest_fused;
+    legacy_docs = Obs.Metrics.value c_ingest_legacy;
+    fused_bytes = Obs.Metrics.value c_ingest_bytes;
+    fused_facts = Obs.Metrics.value c_ingest_facts }
+
+(* Fused single-pass load: parse, intern and shred in one streaming scan
+   of the source.  The store is fed through a [Shred.sink] while the
+   parse runs when it can be kept exact:
+   - an existing materialised store gains the new document's facts;
+   - a repository with no documents yet gets a fresh store built in-pass;
+   - otherwise (documents loaded but the store not yet demanded) the
+     store simply stays lazy.
+   On any failure — parse error, shredding error, validation reject —
+   the store is invalidated: the partially parsed nodes are unreachable
+   (the root is only registered on success), so the next [store] demand
+   rebuilds an exact mirror from the registered roots. *)
+let load_fused ?(validate = true) t source =
+  Obs.Trace.with_span "ingest" (fun () ->
+      let facts = ref 0 in
+      let sink =
+        match t.store with
+        | Some s ->
+          Some (Xic_relmap.Shred.sink ~count:facts (Schema.mapping t.schema) t.doc s)
+        | None ->
+          if Doc.has_root t.doc then None
+          else begin
+            let s = Xic_datalog.Store.create () in
+            t.store <- Some s;
+            Some
+              (Xic_relmap.Shred.sink ~count:facts (Schema.mapping t.schema) t.doc s)
+          end
+      in
+      match Xml_parser.parse_document_into ?sink t.doc source with
+      | exception Xml_parser.Parse_error { line; col; msg } ->
+        invalidate_store t;
+        fail "XML parse error at %d:%d: %s" line col msg
+      | exception Xic_relmap.Shred.Shred_error m ->
+        invalidate_store t;
+        fail "shred error during load: %s" m
+      | root, _dtd ->
+        (if validate then
+           match Schema.validate_root t.schema t.doc root with
+           | Ok () -> ()
+           | Error m ->
+             invalidate_store t;
+             fail "document rejected: %s" m);
+        Doc.add_root t.doc root;
+        Obs.Metrics.incr c_ingest_fused;
+        Obs.Metrics.add c_ingest_bytes (String.length source);
+        Obs.Metrics.add c_ingest_facts !facts)
 
 let compile_checks t (p : Pattern.t) =
   List.map

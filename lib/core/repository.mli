@@ -110,6 +110,29 @@ val load_document : ?validate:bool -> t -> string -> unit
     (default true) it must conform to the DTD declaring its root type.
     @raise Repository_error on parse or validation failure. *)
 
+val load_fused : ?validate:bool -> t -> string -> unit
+(** Fused single-pass ingestion: parse, intern and shred the document in
+    one streaming scan of the source ([Xml_parser.parse_document_into] +
+    [Shred.sink]), under an ["ingest"] trace span.  Verdict-equivalent to
+    {!load_document} — same documents, same relational facts (the
+    differential oracle checks store and verdict agreement) — but the
+    Datalog store is filled while parsing instead of by a second
+    full-document walk, and positions come from the parser for free.
+    When the store cannot be kept exact in-pass (documents already loaded
+    but the store never demanded) it simply stays lazy.  On failure the
+    store is invalidated and no root is registered.
+    @raise Repository_error on parse, shredding or validation failure. *)
+
+type ingest_stats = {
+  fused_docs : int;   (** documents loaded through {!load_fused} *)
+  legacy_docs : int;  (** documents loaded through {!load_document} *)
+  fused_bytes : int;  (** source bytes ingested by the fused path *)
+  fused_facts : int;  (** facts emitted by fused shredding *)
+}
+
+val ingest_stats : t -> ingest_stats
+(** Cumulative ingestion counters (registry-backed, like {!plan_stats}). *)
+
 val add_document_root : ?validate:bool -> t -> Doc.node_id -> unit
 (** Register an already-built tree (e.g. from a generator) as a root. *)
 

@@ -11,17 +11,30 @@ let node_const id = T.Int id
 (* Text of the first child element named [name] (the embedded edge
    guarantees at most one), or "" when absent. *)
 let embedded_text ?index doc id name =
-  let named =
-    match index with
-    | Some idx -> Index.children_named idx id name
-    | None ->
-      List.filter
-        (fun c -> Doc.is_element doc c && Doc.name doc c = name)
-        (Doc.children doc id)
-  in
-  match named with
-  | [] -> ""
-  | c :: _ -> Doc.text_content doc c
+  match index with
+  | Some idx ->
+    (match Index.children_named idx id name with
+     | [] -> ""
+     | c :: _ -> Doc.text_content doc c)
+  | None ->
+    let want = Doc.Symbol.intern name in
+    let found = ref Doc.no_node in
+    Doc.iter_children doc id (fun c ->
+        if
+          !found = Doc.no_node && Doc.is_element doc c
+          && Doc.Symbol.equal (Doc.tag doc c) want
+        then found := c);
+    if !found = Doc.no_node then "" else Doc.text_content doc !found
+
+(* The extra columns after Id, Pos and IdParent. *)
+let columns ?index mapping_columns doc id =
+  List.map
+    (fun (c : Mapping.column) ->
+      match c.Mapping.source with
+      | Mapping.From_attr a -> T.Str (Option.value ~default:"" (Doc.attr doc id a))
+      | Mapping.From_pcdata_child ch -> T.Str (embedded_text ?index doc id ch)
+      | Mapping.From_text -> T.Str (Doc.text_content doc id))
+    mapping_columns
 
 (* Per-element dispatch on the interned tag: no string hashing on the
    shredding hot path. *)
@@ -33,16 +46,7 @@ let fact_of_element_sym ?index mapping doc id =
     | exception Mapping.Mapping_error m -> fail "%s" m
     | Mapping.Embedded | Mapping.Elided -> None
     | Mapping.Predicate schema ->
-      let cols =
-        List.map
-          (fun (c : Mapping.column) ->
-            match c.Mapping.source with
-            | Mapping.From_attr a ->
-              T.Str (Option.value ~default:"" (Doc.attr doc id a))
-            | Mapping.From_pcdata_child ch -> T.Str (embedded_text ?index doc id ch)
-            | Mapping.From_text -> T.Str (Doc.text_content doc id))
-          schema.Mapping.columns
-      in
+      let cols = columns ?index schema.Mapping.columns doc id in
       let parent = Doc.parent doc id in
       let pos =
         match index with
@@ -51,6 +55,74 @@ let fact_of_element_sym ?index mapping doc id =
       in
       Some (tag, node_const id :: T.Int pos :: node_const parent :: cols)
   end
+
+(* Streaming endpoint of the fused loader: the parser hands over each
+   completed element together with its position, so the store is filled
+   during the parse with no second walk and no position recomputation.
+   Shaped to plug in directly as [Xml_parser.sink].
+
+   The per-tag dispatch is compiled once per sink: the first element of
+   each type resolves its representation and pre-interns its column
+   names, later ones hit an array indexed by the tag symbol — no string
+   hashing and no mapping lookup on the per-element path. *)
+type compiled_repr =
+  | Skip
+  | Emit of (Doc.node_id -> T.const) list
+
+let sink ?count mapping doc store =
+  let compile tag =
+    match Mapping.repr_of_sym mapping tag with
+    | exception Mapping.Mapping_error m -> fail "%s" m
+    | Mapping.Embedded | Mapping.Elided -> Skip
+    | Mapping.Predicate schema ->
+      Emit
+        (List.map
+           (fun (c : Mapping.column) ->
+             match c.Mapping.source with
+             | Mapping.From_attr a ->
+               let ka = Doc.Symbol.intern a in
+               fun id ->
+                 T.Str (Option.value ~default:"" (Doc.attr_sym doc id ka))
+             | Mapping.From_pcdata_child ch ->
+               let kch = Doc.Symbol.intern ch in
+               fun id ->
+                 let found = ref Doc.no_node in
+                 Doc.iter_children doc id (fun c ->
+                     if
+                       !found = Doc.no_node && Doc.is_element doc c
+                       && Doc.Symbol.equal (Doc.tag doc c) kch
+                     then found := c);
+                 T.Str
+                   (if !found = Doc.no_node then ""
+                    else Doc.text_content doc !found)
+             | Mapping.From_text -> fun id -> T.Str (Doc.text_content doc id))
+           schema.Mapping.columns)
+  in
+  let memo = ref (Array.make (max 16 (Doc.Symbol.count ())) None) in
+  fun id ~pos ->
+    let tag = Doc.tag doc id in
+    let ti = Doc.Symbol.to_int tag in
+    if ti >= Array.length !memo then begin
+      let a = Array.make (max (ti + 1) (2 * Array.length !memo)) None in
+      Array.blit !memo 0 a 0 (Array.length !memo);
+      memo := a
+    end;
+    let repr =
+      match (!memo).(ti) with
+      | Some r -> r
+      | None ->
+        let r = compile tag in
+        (!memo).(ti) <- Some r;
+        r
+    in
+    match repr with
+    | Skip -> ()
+    | Emit cols ->
+      Store.add_sym store tag
+        (node_const id :: T.Int pos
+        :: node_const (Doc.parent doc id)
+        :: List.map (fun f -> f id) cols);
+      (match count with None -> () | Some r -> incr r)
 
 let fact_of_element ?index mapping doc id =
   Option.map
@@ -62,7 +134,7 @@ let shred_into ?index mapping doc store start =
     (match fact_of_element_sym ?index mapping doc id with
      | Some (pred, tuple) -> Store.add_sym store pred tuple
      | None -> ());
-    List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
+    Doc.iter_children doc id (fun c -> if Doc.is_element doc c then go c)
   in
   go start
 
@@ -71,7 +143,7 @@ let unshred_from ?index mapping doc store start =
     (match fact_of_element_sym ?index mapping doc id with
      | Some (pred, tuple) -> ignore (Store.remove_sym store pred tuple)
      | None -> ());
-    List.iter go (List.filter (Doc.is_element doc) (Doc.children doc id))
+    Doc.iter_children doc id (fun c -> if Doc.is_element doc c then go c)
   in
   go start
 

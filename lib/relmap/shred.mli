@@ -28,6 +28,17 @@ val fact_of_element_sym :
     shredding loops use this together with {!Xic_datalog.Store.add_sym}
     so the per-element dispatch never hashes a tag string. *)
 
+val sink :
+  ?count:int ref ->
+  Mapping.t -> Doc.t -> Xic_datalog.Store.t -> Doc.node_id -> pos:int -> unit
+(** Streaming shredder for the fused loader: the returned function has
+    the shape of [Xml_parser.sink] and adds each completed element's fact
+    to the store as the parser closes it — position comes from the
+    parser, embedded text and attributes from the freshly built arena, so
+    loading needs no second walk and no position recomputation.  [count],
+    when given, is incremented per fact emitted.
+    @raise Shred_error for element types outside the schema. *)
+
 val shred : ?index:Index.t -> Mapping.t -> Doc.t -> Xic_datalog.Store.t
 (** Shred all roots of the document/collection into a fresh store. *)
 

@@ -2,18 +2,52 @@ type t = int
 
 (* Copy-on-write snapshots.  Readers never lock: they grab the current
    snapshot with [Atomic.get]; a published snapshot is never mutated again,
-   so concurrent [Hashtbl.find_opt] / [Array.get] on it are safe.  Writers
-   serialize on [mutex], clone, extend, and publish.  Interning is rare
-   (schema-sized vocabularies), so the O(n) clone per insert is noise. *)
+   so concurrent probes on it are safe.  Writers serialize on [mutex],
+   clone, extend, and publish.  Interning a *new* name is rare
+   (schema-sized vocabularies), so the O(n) clone per insert is noise.
+
+   Two probe structures are kept in sync:
+   - [table]: string-keyed Hashtbl for [intern] / [mem] on whole strings;
+   - [buckets]: FNV-hashed chains of symbol ids for [intern_sub], which
+     must probe by a substring of a source buffer without allocating it.
+
+   Publish order matters for lock-free readers: [names] first (so any id
+   visible in a probe structure can be resolved), then [table], then
+   [buckets].  Readers load [buckets] before [names], so the names
+   snapshot they see is never older than the bucket snapshot. *)
 
 let mutex = Mutex.create ()
 let table : (string, int) Hashtbl.t Atomic.t = Atomic.make (Hashtbl.create 16)
 let names : string array Atomic.t = Atomic.make [||]
+let buckets : int array array Atomic.t = Atomic.make (Array.make 16 [||])
+
+(* FNV-1a over a byte slice; wraps mod 2^63, masked non-negative. *)
+let hash_sub s pos len =
+  let h = ref (-3750763034362895579) in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 1099511628211
+  done;
+  !h land max_int
 
 let name s =
   let a = Atomic.get names in
   if s < 0 || s >= Array.length a then invalid_arg "Symbol.name: unknown symbol"
   else Array.unsafe_get a s
+
+let rebuild_buckets (a : string array) =
+  let n = Array.length a in
+  let size =
+    let s = ref 16 in
+    while !s < 2 * n do s := !s * 2 done;
+    !s
+  in
+  let chains = Array.make size [] in
+  for id = n - 1 downto 0 do
+    let str = Array.unsafe_get a id in
+    let slot = hash_sub str 0 (String.length str) land (size - 1) in
+    chains.(slot) <- id :: chains.(slot)
+  done;
+  Array.map Array.of_list chains
 
 let intern str =
   match Hashtbl.find_opt (Atomic.get table) str with
@@ -32,14 +66,40 @@ let intern str =
           let tbl' = Hashtbl.copy tbl in
           Hashtbl.add tbl' str id;
           (* publish [names] first so any reader that can see the id in
-             [table] can already resolve it *)
+             [table] or [buckets] can already resolve it *)
           Atomic.set names a';
           Atomic.set table tbl';
+          Atomic.set buckets (rebuild_buckets a');
           id)
+
+let eq_sub nm s pos len =
+  String.length nm = len
+  &&
+  let rec go i =
+    i = len
+    || Char.equal (String.unsafe_get nm i) (String.unsafe_get s (pos + i))
+       && go (i + 1)
+  in
+  go 0
+
+let intern_sub s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Symbol.intern_sub";
+  let bk = Atomic.get buckets in
+  let nm = Atomic.get names in
+  let chain = Array.unsafe_get bk (hash_sub s pos len land (Array.length bk - 1)) in
+  let rec probe i =
+    if i = Array.length chain then intern (String.sub s pos len)
+    else
+      let id = Array.unsafe_get chain i in
+      if eq_sub (Array.unsafe_get nm id) s pos len then id else probe (i + 1)
+  in
+  probe 0
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 let hash (s : t) = s
 let to_int (s : t) = s
+let unsafe_of_int (i : int) : t = i
 let count () = Array.length (Atomic.get names)
 let mem str = Hashtbl.mem (Atomic.get table) str

@@ -20,6 +20,14 @@ val intern : string -> t
 (** Intern a string, returning its unique symbol.  Idempotent:
     [intern s == intern s] for equal strings, forever. *)
 
+val intern_sub : string -> int -> int -> t
+(** [intern_sub s pos len] interns the slice [s.[pos .. pos+len-1]]
+    without allocating the substring when the name is already interned —
+    the parser's fast path for tag and attribute names read straight off
+    the source buffer.  [intern_sub s pos len = intern (String.sub s pos
+    len)] always.
+    @raise Invalid_argument when the slice is out of bounds. *)
+
 val name : t -> string
 (** The string a symbol stands for.  [name (intern s) = s].
     @raise Invalid_argument on an integer that is not a live symbol. *)
@@ -34,6 +42,11 @@ val hash : t -> int
 
 val to_int : t -> int
 (** The dense index, for array-keyed dispatch tables. *)
+
+val unsafe_of_int : int -> t
+(** Reinterpret a dense index as a symbol, without checking that it is
+    live.  Only for reading back values previously stored with
+    [to_int] (e.g. the document arena's packed tag array). *)
 
 val count : unit -> int
 (** Number of symbols interned so far. *)

@@ -8,14 +8,6 @@ type kind =
   | Element of Symbol.t
   | Text of string
 
-type node = {
-  mutable parent : node_id;
-  mutable nkind : kind;
-  mutable nattrs : (Symbol.t * string) list;
-  mutable nchildren : node_id list;
-  mutable alive : bool;
-}
-
 (* Structural-change notifications, consumed by secondary indexes
    (Index.t).  [Attached]/[Attr_set] fire after the mutation, [Detaching]
    before it, while the parent link and sibling list are still intact —
@@ -25,17 +17,57 @@ type event =
   | Detaching of node_id
   | Attr_set of node_id * Symbol.t
 
+(* Struct-of-arrays arena.  A node is a row across packed int arrays:
+   parent / first_child / last_child / next_sib / prev_sib sibling links
+   give O(1) append, insert and detach with no per-node list cells.
+
+   [tagk] packs the kind and the payload in one int: an element stores
+   its interned tag id (>= 0), a text node stores [lnot i] (< 0) where
+   [i] indexes the [texts] pool.  Attributes live in a shared pool of
+   parallel arrays ([aname]/[avalue]/[anext]) chained per node from
+   [attr_head], preserving declaration order. *)
 type t = {
-  mutable nodes : node option array;
+  mutable parent : int array;
+  mutable first_child : int array;
+  mutable last_child : int array;
+  mutable next_sib : int array;
+  mutable prev_sib : int array;
+  mutable tagk : int array;
+  mutable attr_head : int array;
+  mutable dead : Bytes.t;
   mutable next_id : int;
+  mutable texts : string array;
+  mutable n_texts : int;
+  mutable aname : int array;
+  mutable avalue : string array;
+  mutable anext : int array;
+  mutable n_attrs : int;
   mutable root_ids : node_id list;  (* registration order *)
   mutable live_count : int;
   mutable observer : (event -> unit) option;
 }
 
-let create () =
-  { nodes = Array.make 64 None; next_id = 0; root_ids = []; live_count = 0;
-    observer = None }
+let create ?(capacity = 64) () =
+  let cap = max 16 capacity in
+  { parent = Array.make cap no_node;
+    first_child = Array.make cap no_node;
+    last_child = Array.make cap no_node;
+    next_sib = Array.make cap no_node;
+    prev_sib = Array.make cap no_node;
+    tagk = Array.make cap 0;
+    attr_head = Array.make cap (-1);
+    dead = Bytes.make cap '\000';
+    next_id = 0;
+    texts = Array.make (max 16 (capacity / 4)) "";
+    n_texts = 0;
+    aname = Array.make 16 0;
+    avalue = Array.make 16 "";
+    anext = Array.make 16 (-1);
+    n_attrs = 0;
+    root_ids = [];
+    live_count = 0;
+    observer = None;
+  }
 
 let set_observer doc f = doc.observer <- f
 
@@ -44,46 +76,124 @@ let notify doc e =
   | None -> ()
   | Some f -> f e
 
+let grow_int a len' fill =
+  let a' = Array.make len' fill in
+  Array.blit a 0 a' 0 (Array.length a);
+  a'
+
 let ensure_capacity doc n =
-  let len = Array.length doc.nodes in
+  let len = Array.length doc.parent in
   if n >= len then begin
     let len' = max (n + 1) (2 * len) in
-    let a = Array.make len' None in
-    Array.blit doc.nodes 0 a 0 len;
-    doc.nodes <- a
+    doc.parent <- grow_int doc.parent len' no_node;
+    doc.first_child <- grow_int doc.first_child len' no_node;
+    doc.last_child <- grow_int doc.last_child len' no_node;
+    doc.next_sib <- grow_int doc.next_sib len' no_node;
+    doc.prev_sib <- grow_int doc.prev_sib len' no_node;
+    doc.tagk <- grow_int doc.tagk len' 0;
+    doc.attr_head <- grow_int doc.attr_head len' (-1);
+    let d = Bytes.make len' '\000' in
+    Bytes.blit doc.dead 0 d 0 (Bytes.length doc.dead);
+    doc.dead <- d
   end
 
-let get doc id =
+let check doc id =
   if id < 0 || id >= doc.next_id then invalid_arg "Doc: unknown node id"
-  else
-    match doc.nodes.(id) with
-    | Some n when n.alive -> n
-    | _ -> invalid_arg "Doc: dead node id"
+  else if Bytes.unsafe_get doc.dead id <> '\000' then
+    invalid_arg "Doc: dead node id"
 
 let live doc id =
-  id >= 0 && id < doc.next_id
-  && (match doc.nodes.(id) with Some n -> n.alive | None -> false)
+  id >= 0 && id < doc.next_id && Bytes.unsafe_get doc.dead id = '\000'
 
-let alloc doc kind attrs =
+let alloc doc tagk =
   let id = doc.next_id in
   ensure_capacity doc id;
-  doc.nodes.(id) <-
-    Some { parent = no_node; nkind = kind; nattrs = attrs; nchildren = []; alive = true };
+  doc.tagk.(id) <- tagk;
+  (* the remaining columns hold their defaults from [ensure_capacity] /
+     [create]; ids are never reused, so no reset is needed *)
   doc.next_id <- id + 1;
   doc.live_count <- doc.live_count + 1;
   id
 
-let intern_attrs attrs = List.map (fun (k, v) -> (Symbol.intern k, v)) attrs
+let add_text_pool doc s =
+  let n = doc.n_texts in
+  if n >= Array.length doc.texts then begin
+    let a = Array.make (2 * Array.length doc.texts) "" in
+    Array.blit doc.texts 0 a 0 n;
+    doc.texts <- a
+  end;
+  doc.texts.(n) <- s;
+  doc.n_texts <- n + 1;
+  n
+
+let add_attr_pool doc k v nxt =
+  let n = doc.n_attrs in
+  if n >= Array.length doc.aname then begin
+    let len' = 2 * Array.length doc.aname in
+    doc.aname <- grow_int doc.aname len' 0;
+    let a = Array.make len' "" in
+    Array.blit doc.avalue 0 a 0 n;
+    doc.avalue <- a;
+    doc.anext <- grow_int doc.anext len' (-1)
+  end;
+  doc.aname.(n) <- Symbol.to_int k;
+  doc.avalue.(n) <- v;
+  doc.anext.(n) <- nxt;
+  doc.n_attrs <- n + 1;
+  n
+
+(* Chain fresh pool slots in declaration order, allocating front-to-back
+   so the pool itself also stays in document order. *)
+let set_attrs_list doc id attrs =
+  let rec alloc_fwd = function
+    | [] -> -1
+    | [ (k, v) ] -> add_attr_pool doc k v (-1)
+    | (k, v) :: rest ->
+      let slot = add_attr_pool doc k v (-1) in
+      let tail = alloc_fwd rest in
+      doc.anext.(slot) <- tail;
+      slot
+  in
+  doc.attr_head.(id) <- alloc_fwd attrs
+
+let make_element_sym doc ?(attrs = []) tag =
+  let id = alloc doc (Symbol.to_int tag) in
+  if attrs <> [] then set_attrs_list doc id attrs;
+  id
 
 let make_element doc ?(attrs = []) tag =
-  alloc doc (Element (Symbol.intern tag)) (intern_attrs attrs)
+  make_element_sym doc
+    ~attrs:(List.map (fun (k, v) -> (Symbol.intern k, v)) attrs)
+    (Symbol.intern tag)
 
-let make_text doc s = alloc doc (Text s) []
+let make_text doc s = alloc doc (lnot (add_text_pool doc s))
+
+let is_element doc id =
+  check doc id;
+  Array.unsafe_get doc.tagk id >= 0
+
+let is_text doc id = not (is_element doc id)
+
+let kind doc id =
+  check doc id;
+  let tk = Array.unsafe_get doc.tagk id in
+  if tk >= 0 then Element (Symbol.unsafe_of_int tk)
+  else Text doc.texts.(lnot tk)
+
+let tag doc id =
+  check doc id;
+  let tk = Array.unsafe_get doc.tagk id in
+  if tk >= 0 then Symbol.unsafe_of_int tk
+  else invalid_arg "Doc.tag: text node"
+
+let name doc id = Symbol.name (tag doc id)
+
+let parent doc id =
+  check doc id;
+  Array.unsafe_get doc.parent id
 
 let check_element doc id =
-  match (get doc id).nkind with
-  | Element _ -> ()
-  | Text _ -> invalid_arg "Doc.set_root: not an element"
+  if not (is_element doc id) then invalid_arg "Doc.set_root: not an element"
 
 let set_root doc id =
   check_element doc id;
@@ -108,157 +218,222 @@ let roots doc = doc.root_ids
 
 let has_root doc = doc.root_ids <> []
 
-let kind doc id = (get doc id).nkind
-let parent doc id = (get doc id).parent
-let children doc id = (get doc id).nchildren
+let iter_children doc id f =
+  check doc id;
+  let c = ref (Array.unsafe_get doc.first_child id) in
+  while !c <> no_node do
+    let next = Array.unsafe_get doc.next_sib !c in
+    f !c;
+    c := next
+  done
 
-let is_element doc id = match kind doc id with Element _ -> true | Text _ -> false
-let is_text doc id = not (is_element doc id)
+let children doc id =
+  check doc id;
+  let rec go c acc =
+    if c = no_node then List.rev acc
+    else go (Array.unsafe_get doc.next_sib c) (c :: acc)
+  in
+  go (Array.unsafe_get doc.first_child id) []
 
-let tag doc id =
-  match kind doc id with
-  | Element tag -> tag
-  | Text _ -> invalid_arg "Doc.tag: text node"
+let element_children doc id =
+  check doc id;
+  let rec go c acc =
+    if c = no_node then List.rev acc
+    else
+      go (Array.unsafe_get doc.next_sib c)
+        (if Array.unsafe_get doc.tagk c >= 0 then c :: acc else acc)
+  in
+  go (Array.unsafe_get doc.first_child id) []
 
-let name doc id = Symbol.name (tag doc id)
-
-let element_children doc id = List.filter (is_element doc) (children doc id)
-
-let attrs_sym doc id = (get doc id).nattrs
+let attrs_sym doc id =
+  check doc id;
+  let rec go slot acc =
+    if slot < 0 then List.rev acc
+    else
+      go doc.anext.(slot)
+        ((Symbol.unsafe_of_int doc.aname.(slot), doc.avalue.(slot)) :: acc)
+  in
+  go (Array.unsafe_get doc.attr_head id) []
 
 let attrs doc id =
   List.map (fun (k, v) -> (Symbol.name k, v)) (attrs_sym doc id)
 
-let rec assq_sym k = function
-  | [] -> None
-  | (k', v) :: rest -> if Symbol.equal k k' then Some v else assq_sym k rest
+let attr_sym doc id k =
+  check doc id;
+  let ki = Symbol.to_int k in
+  let rec go slot =
+    if slot < 0 then None
+    else if doc.aname.(slot) = ki then Some doc.avalue.(slot)
+    else go doc.anext.(slot)
+  in
+  go (Array.unsafe_get doc.attr_head id)
 
-let attr_sym doc id k = assq_sym k (attrs_sym doc id)
 let attr doc id k = attr_sym doc id (Symbol.intern k)
 
 let set_attr doc id k v =
   let k = Symbol.intern k in
-  let n = get doc id in
-  n.nattrs <-
-    (k, v) :: List.filter (fun (k', _) -> not (Symbol.equal k k')) n.nattrs;
+  check doc id;
+  let ki = Symbol.to_int k in
+  (* unlink an existing entry for [k], then reuse (or allocate) a slot at
+     the head of the chain — same order as the legacy representation's
+     [(k, v) :: filter ...]: the assigned key moves to the front. *)
+  let head = doc.attr_head.(id) in
+  let slot =
+    let rec unlink prev slot =
+      if slot < 0 then -1
+      else if doc.aname.(slot) = ki then begin
+        (if prev < 0 then doc.attr_head.(id) <- doc.anext.(slot)
+         else doc.anext.(prev) <- doc.anext.(slot));
+        slot
+      end
+      else unlink slot doc.anext.(slot)
+    in
+    unlink (-1) head
+  in
+  if slot >= 0 then begin
+    doc.avalue.(slot) <- v;
+    doc.anext.(slot) <- doc.attr_head.(id);
+    doc.attr_head.(id) <- slot
+  end
+  else doc.attr_head.(id) <- add_attr_pool doc k v doc.attr_head.(id);
   notify doc (Attr_set (id, k))
 
 let check_detached doc id =
-  let n = get doc id in
-  if n.parent <> no_node then invalid_arg "Doc: node already attached"
+  check doc id;
+  if doc.parent.(id) <> no_node then invalid_arg "Doc: node already attached"
+
+(* Link [child] as last child of [pid]; no event, no checks. *)
+let link_last doc pid child =
+  let last = doc.last_child.(pid) in
+  if last = no_node then doc.first_child.(pid) <- child
+  else doc.next_sib.(last) <- child;
+  doc.prev_sib.(child) <- last;
+  doc.next_sib.(child) <- no_node;
+  doc.last_child.(pid) <- child;
+  doc.parent.(child) <- pid
 
 let append_child doc ~parent:pid child =
   check_detached doc child;
-  let p = get doc pid in
-  p.nchildren <- p.nchildren @ [ child ];
-  (get doc child).parent <- pid;
+  check doc pid;
+  link_last doc pid child;
   notify doc (Attached child)
 
 let append_children doc ~parent:pid children =
   List.iter (check_detached doc) children;
-  let p = get doc pid in
-  p.nchildren <- p.nchildren @ children;
-  List.iter (fun c -> (get doc c).parent <- pid) children;
+  check doc pid;
+  List.iter (fun c -> link_last doc pid c) children;
   List.iter (fun c -> notify doc (Attached c)) children
 
 (* Splice [child] into the sibling list of [anchor]; [offset] 0 inserts
    before the anchor, 1 after it. *)
 let insert_sibling doc ~anchor ~offset child =
   check_detached doc child;
-  let pid = parent doc anchor in
+  check doc anchor;
+  let pid = doc.parent.(anchor) in
   if pid = no_node then invalid_arg "Doc.insert_sibling: anchor has no parent";
-  let p = get doc pid in
-  let rec splice = function
-    | [] -> invalid_arg "Doc.insert_sibling: anchor not among parent's children"
-    | c :: rest when c = anchor ->
-      if offset = 0 then child :: c :: rest else c :: child :: rest
-    | c :: rest -> c :: splice rest
+  let before, after =
+    if offset = 0 then (doc.prev_sib.(anchor), anchor)
+    else (anchor, doc.next_sib.(anchor))
   in
-  p.nchildren <- splice p.nchildren;
-  (get doc child).parent <- pid;
+  (if before = no_node then doc.first_child.(pid) <- child
+   else doc.next_sib.(before) <- child);
+  (if after = no_node then doc.last_child.(pid) <- child
+   else doc.prev_sib.(after) <- child);
+  doc.prev_sib.(child) <- before;
+  doc.next_sib.(child) <- after;
+  doc.parent.(child) <- pid;
   notify doc (Attached child)
 
 let insert_after doc ~anchor child = insert_sibling doc ~anchor ~offset:1 child
 let insert_before doc ~anchor child = insert_sibling doc ~anchor ~offset:0 child
 
 let detach doc id =
-  let n = get doc id in
+  check doc id;
   notify doc (Detaching id);
-  if n.parent <> no_node then begin
-    let p = get doc n.parent in
-    p.nchildren <- List.filter (fun c -> c <> id) p.nchildren;
-    n.parent <- no_node
+  let pid = doc.parent.(id) in
+  if pid <> no_node then begin
+    let before = doc.prev_sib.(id) and after = doc.next_sib.(id) in
+    (if before = no_node then doc.first_child.(pid) <- after
+     else doc.next_sib.(before) <- after);
+    (if after = no_node then doc.last_child.(pid) <- before
+     else doc.prev_sib.(after) <- before);
+    doc.parent.(id) <- no_node;
+    doc.prev_sib.(id) <- no_node;
+    doc.next_sib.(id) <- no_node
   end
   else doc.root_ids <- List.filter (fun r -> r <> id) doc.root_ids
 
 let rec free doc id =
-  match doc.nodes.(id) with
-  | Some n when n.alive ->
-    List.iter (free doc) n.nchildren;
-    n.alive <- false;
+  if live doc id then begin
+    iter_children doc id (fun c -> free doc c);
+    Bytes.unsafe_set doc.dead id '\001';
     doc.live_count <- doc.live_count - 1
-  | _ -> ()
+  end
 
 let delete_subtree doc id =
   detach doc id;
   free doc id
 
 let position doc id =
-  let pid = parent doc id in
-  if pid = no_node then 1
+  check doc id;
+  if doc.parent.(id) = no_node then 1
   else begin
-    let rec idx i = function
-      | [] -> 1
-      | c :: rest ->
-        if c = id then i
-        else if is_element doc c then idx (i + 1) rest
-        else idx i rest
-    in
-    idx 1 (children doc pid)
+    let n = ref 1 in
+    let c = ref (doc.prev_sib.(id)) in
+    while !c <> no_node do
+      if Array.unsafe_get doc.tagk !c >= 0 then incr n;
+      c := Array.unsafe_get doc.prev_sib !c
+    done;
+    !n
   end
 
 let text_content doc id =
   (* fast paths for the overwhelmingly common shapes in the hot loops of
      checking: a text node itself, and a leaf element with one text child *)
-  match kind doc id with
-  | Text s -> s
-  | Element _ ->
-    (match children doc id with
-     | [] -> ""
-     | [ c ] when (match kind doc c with Text _ -> true | Element _ -> false) ->
-       (match kind doc c with Text s -> s | Element _ -> assert false)
-     | kids ->
-       let buf = Buffer.create 32 in
-       let rec go id =
-         match kind doc id with
-         | Text s -> Buffer.add_string buf s
-         | Element _ -> List.iter go (children doc id)
-       in
-       List.iter go kids;
-       Buffer.contents buf)
+  check doc id;
+  let tk = Array.unsafe_get doc.tagk id in
+  if tk < 0 then doc.texts.(lnot tk)
+  else begin
+    let fc = doc.first_child.(id) in
+    if fc = no_node then ""
+    else if doc.next_sib.(fc) = no_node && doc.tagk.(fc) < 0 then
+      doc.texts.(lnot doc.tagk.(fc))
+    else begin
+      let buf = Buffer.create 32 in
+      let rec go id =
+        let tk = doc.tagk.(id) in
+        if tk < 0 then Buffer.add_string buf doc.texts.(lnot tk)
+        else iter_children doc id go
+      in
+      iter_children doc id go;
+      Buffer.contents buf
+    end
+  end
 
 let descendants doc id =
+  check doc id;
   let acc = ref [] in
-  let rec go id = List.iter (fun c -> acc := c :: !acc; go c) (children doc id) in
+  let rec go id =
+    iter_children doc id (fun c ->
+        acc := c :: !acc;
+        go c)
+  in
   go id;
   List.rev !acc
 
 let descendant_or_self doc id = id :: descendants doc id
 
-let siblings_split doc id =
-  let pid = parent doc id in
-  if pid = no_node then ([], [])
-  else begin
-    let rec split before = function
-      | [] -> (List.rev before, [])
-      | c :: rest when c = id -> (List.rev before, rest)
-      | c :: rest -> split (c :: before) rest
-    in
-    split [] (children doc pid)
-  end
+let following_siblings doc id =
+  check doc id;
+  let rec go c acc =
+    if c = no_node then List.rev acc else go (doc.next_sib.(c)) (c :: acc)
+  in
+  go (doc.next_sib.(id)) []
 
-let following_siblings doc id = snd (siblings_split doc id)
-let preceding_siblings doc id = fst (siblings_split doc id)
+let preceding_siblings doc id =
+  check doc id;
+  let rec go c acc = if c = no_node then acc else go (doc.prev_sib.(c)) (c :: acc) in
+  go (doc.prev_sib.(id)) []
 
 let ancestors doc id =
   let rec go id acc =
@@ -267,20 +442,24 @@ let ancestors doc id =
   in
   go id []
 
+(* 0-based index among all siblings, by walking the prev links. *)
+let sib_index doc id =
+  let n = ref 0 in
+  let c = ref (doc.prev_sib.(id)) in
+  while !c <> no_node do
+    incr n;
+    c := Array.unsafe_get doc.prev_sib !c
+  done;
+  !n
+
 (* Document-order key: (rank of the containing root, path of child indexes
    from that root).  Detached subtrees rank after all roots, keyed by the
    id of their top node. *)
 let order_key doc id =
+  check doc id;
   let rec go id acc =
-    let p = parent doc id in
-    if p = no_node then (id, acc)
-    else begin
-      let rec idx i = function
-        | [] -> invalid_arg "Doc.order_key: broken parent link"
-        | c :: rest -> if c = id then i else idx (i + 1) rest
-      in
-      go p (idx 0 (children doc p) :: acc)
-    end
+    let p = doc.parent.(id) in
+    if p = no_node then (id, acc) else go p (sib_index doc id :: acc)
   in
   let top, path = go id [] in
   let rank =
@@ -331,23 +510,26 @@ let iter_nodes doc f =
   done
 
 let copy doc =
-  let nodes =
-    Array.map
-      (function
-        | None -> None
-        | Some n ->
-          Some
-            { parent = n.parent;
-              nkind = n.nkind;
-              nattrs = n.nattrs;
-              nchildren = n.nchildren;
-              alive = n.alive;
-            })
-      doc.nodes
-  in
   (* the copy starts unobserved: an index watches exactly one document *)
-  { nodes; next_id = doc.next_id; root_ids = doc.root_ids;
-    live_count = doc.live_count; observer = None }
+  { parent = Array.copy doc.parent;
+    first_child = Array.copy doc.first_child;
+    last_child = Array.copy doc.last_child;
+    next_sib = Array.copy doc.next_sib;
+    prev_sib = Array.copy doc.prev_sib;
+    tagk = Array.copy doc.tagk;
+    attr_head = Array.copy doc.attr_head;
+    dead = Bytes.copy doc.dead;
+    next_id = doc.next_id;
+    texts = Array.copy doc.texts;
+    n_texts = doc.n_texts;
+    aname = Array.copy doc.aname;
+    avalue = Array.copy doc.avalue;
+    anext = Array.copy doc.anext;
+    n_attrs = doc.n_attrs;
+    root_ids = doc.root_ids;
+    live_count = doc.live_count;
+    observer = None;
+  }
 
 let equal_structure d1 d2 =
   let cmp_attr (k1, v1) (k2, v2) =

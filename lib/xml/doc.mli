@@ -44,8 +44,10 @@ val set_observer : t -> (event -> unit) option -> unit
     crash recovery all keep subscribers current without cooperation from
     the caller.  {!copy} does not carry the observer over. *)
 
-val create : unit -> t
-(** An empty document with no root element yet. *)
+val create : ?capacity:int -> unit -> t
+(** An empty document with no root element yet.  [capacity] preallocates
+    the arena columns for that many nodes (the parser derives it from the
+    input byte length so a cold load never regrows mid-parse). *)
 
 val set_root : t -> node_id -> unit
 (** Declare [id] as the document's only root element (replacing any
@@ -68,6 +70,11 @@ val has_root : t -> bool
 val make_element : t -> ?attrs:(string * string) list -> string -> node_id
 (** Allocate a detached element node. *)
 
+val make_element_sym : t -> ?attrs:(Symbol.t * string) list -> Symbol.t -> node_id
+(** As {!make_element}, with names already interned — the parser's fast
+    path (tags come straight off the source buffer via
+    [Symbol.intern_sub]). *)
+
 val make_text : t -> string -> node_id
 (** Allocate a detached text node. *)
 
@@ -77,6 +84,12 @@ val parent : t -> node_id -> node_id
 
 val children : t -> node_id -> node_id list
 (** All children (elements and text) in document order. *)
+
+val iter_children : t -> node_id -> (node_id -> unit) -> unit
+(** Iterate over the children in document order without materialising a
+    list — the non-allocating walk for hot loops (shredding, printing,
+    text aggregation).  The callback must not mutate this node's child
+    list; use {!children} to snapshot first when it does. *)
 
 val element_children : t -> node_id -> node_id list
 

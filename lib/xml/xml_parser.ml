@@ -1,3 +1,5 @@
+module Symbol = Xic_symbol.Symbol
+
 exception Parse_error of { line : int; col : int; msg : string }
 
 type result = {
@@ -5,50 +7,66 @@ type result = {
   dtd_text : string option;
 }
 
+type sink = Doc.node_id -> pos:int -> unit
+
+(* The state is a bare cursor: no per-character line/col bookkeeping.
+   Error locations are recomputed from the failure offset in [fail] —
+   the only place that needs them — so the happy path just bumps [pos]. *)
 type state = {
   src : string;
   mutable pos : int;
-  mutable line : int;
-  mutable col : int;
 }
 
-let make_state src = { src; pos = 0; line = 1; col = 1 }
+let make_state src = { src; pos = 0 }
 
-let fail st msg = raise (Parse_error { line = st.line; col = st.col; msg })
+(* Line/col of a byte offset, 1-based, newline resets the column —
+   identical to what the old per-character tracking accumulated. *)
+let line_col_of_offset src pos =
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if String.unsafe_get src i = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+let fail st msg =
+  let line, col = line_col_of_offset st.src st.pos in
+  raise (Parse_error { line; col; msg })
 
 let eof st = st.pos >= String.length st.src
 
-let peek st = if eof st then '\000' else st.src.[st.pos]
+let peek st = if eof st then '\000' else String.unsafe_get st.src st.pos
 
-let advance st =
-  if not (eof st) then begin
-    (if st.src.[st.pos] = '\n' then begin
-       st.line <- st.line + 1;
-       st.col <- 1
-     end
-     else st.col <- st.col + 1);
-    st.pos <- st.pos + 1
-  end
-
-let skip_n st n =
-  for _ = 1 to n do
-    advance st
-  done
+let advance st = if not (eof st) then st.pos <- st.pos + 1
 
 let looking_at st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  st.pos + n <= String.length st.src
+  &&
+  let rec go i =
+    i >= n
+    || Char.equal
+         (String.unsafe_get st.src (st.pos + i))
+         (String.unsafe_get s i)
+       && go (i + 1)
+  in
+  go 0
 
 let expect st s =
-  if looking_at st s then skip_n st (String.length s)
+  if looking_at st s then st.pos <- st.pos + String.length s
   else fail st (Printf.sprintf "expected %S" s)
 
 let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
 let skip_ws st =
-  while (not (eof st)) && is_ws (peek st) do
-    advance st
-  done
+  let len = String.length st.src in
+  let i = ref st.pos in
+  while !i < len && is_ws (String.unsafe_get st.src !i) do
+    incr i
+  done;
+  st.pos <- !i
 
 let is_name_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
@@ -56,13 +74,26 @@ let is_name_start c =
 let is_name_char c =
   is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
 
-let parse_name st =
+(* Scan a name in place, returning its (start, length) span so callers can
+   intern straight off the source buffer without a substring. *)
+let parse_name_span st =
   if not (is_name_start (peek st)) then fail st "expected a name";
+  let len = String.length st.src in
   let start = st.pos in
-  while (not (eof st)) && is_name_char (peek st) do
-    advance st
+  let i = ref (start + 1) in
+  while !i < len && is_name_char (String.unsafe_get st.src !i) do
+    incr i
   done;
-  String.sub st.src start (st.pos - start)
+  st.pos <- !i;
+  (start, !i - start)
+
+let parse_name st =
+  let start, len = parse_name_span st in
+  String.sub st.src start len
+
+let parse_name_sym st =
+  let start, len = parse_name_span st in
+  Symbol.intern_sub st.src start len
 
 (* Entity and character reference resolution ------------------------------ *)
 
@@ -124,26 +155,39 @@ let unescape s =
     Buffer.contents b
   end
 
+(* Unescape the slice [start, stop) of [src]: one substring when it holds
+   no reference (the overwhelming case), the buffer path otherwise.  The
+   scan must stay bounded by [stop] — [String.index_from_opt] would walk
+   to the end of the whole source on reference-free documents. *)
+let unescape_range src start stop =
+  let rec has_ref i = i < stop && (String.unsafe_get src i = '&' || has_ref (i + 1)) in
+  if has_ref start then unescape (String.sub src start (stop - start))
+  else String.sub src start (stop - start)
+
+let all_ws_range src start stop =
+  let rec go i = i >= stop || (is_ws (String.unsafe_get src i) && go (i + 1)) in
+  go start
+
 (* Lexical scanning of document pieces ------------------------------------ *)
 
 let parse_attr_value st =
   let quote = peek st in
   if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
-  advance st;
+  st.pos <- st.pos + 1;
   let start = st.pos in
-  while (not (eof st)) && peek st <> quote do
-    advance st
-  done;
-  if eof st then fail st "unterminated attribute value";
-  let raw = String.sub st.src start (st.pos - start) in
-  advance st;
-  try unescape raw with Failure m -> fail st m
+  match String.index_from_opt st.src start quote with
+  | None ->
+    st.pos <- String.length st.src;
+    fail st "unterminated attribute value"
+  | Some j ->
+    st.pos <- j + 1;
+    (try unescape_range st.src start j with Failure m -> fail st m)
 
-let parse_attrs st =
+let parse_attrs_sym st =
   let rec go acc =
     skip_ws st;
     if is_name_start (peek st) then begin
-      let k = parse_name st in
+      let k = parse_name_sym st in
       skip_ws st;
       expect st "=";
       skip_ws st;
@@ -155,20 +199,28 @@ let parse_attrs st =
   go []
 
 let skip_until st stop =
-  match
-    let rec find i =
-      if i + String.length stop > String.length st.src then None
-      else if String.sub st.src i (String.length stop) = stop then Some i
-      else find (i + 1)
-    in
-    find st.pos
-  with
+  let n = String.length stop in
+  let len = String.length st.src in
+  let c0 = String.unsafe_get stop 0 in
+  let rec find i =
+    if i + n > len then None
+    else if
+      Char.equal (String.unsafe_get st.src i) c0
+      &&
+      let rec eq k =
+        k >= n
+        || Char.equal (String.unsafe_get st.src (i + k)) (String.unsafe_get stop k)
+           && eq (k + 1)
+      in
+      eq 1
+    then Some i
+    else find (i + 1)
+  in
+  match find st.pos with
   | None -> fail st (Printf.sprintf "unterminated construct, expected %S" stop)
   | Some i ->
     let text = String.sub st.src st.pos (i - st.pos) in
-    while st.pos < i + String.length stop do
-      advance st
-    done;
+    st.pos <- i + n;
     text
 
 let skip_comment st =
@@ -201,70 +253,75 @@ let parse_doctype st =
   expect st ">";
   subset
 
-(* Content parsing --------------------------------------------------------- *)
+(* Content parsing ---------------------------------------------------------
 
-let all_ws s =
-  let ok = ref true in
-  String.iter (fun c -> if not (is_ws c) then ok := false) s;
-  !ok
+   One fused pass: nodes are allocated in document (pre-order) position —
+   elements on their open tag, before their children — and attached to
+   the parent immediately, so there is no child-list accumulation or
+   reversal and no second walk over the finished tree.  [sink], when
+   given, is invoked on each element as its close tag completes (its
+   children, hence its embedded text, already exist) with the element's
+   1-based position among its parent's element children, which the
+   content loop tracks for free. *)
 
-let rec parse_content st doc ~keep_ws acc =
-  if eof st then List.rev acc
-  else if looking_at st "</" then List.rev acc
-  else if looking_at st "<!--" then begin
-    skip_comment st;
-    parse_content st doc ~keep_ws acc
-  end
-  else if looking_at st "<![CDATA[" then begin
-    skip_n st 9;
-    let text = skip_until st "]]>" in
-    let id = Doc.make_text doc text in
-    parse_content st doc ~keep_ws (id :: acc)
-  end
-  else if looking_at st "<?" then begin
-    skip_pi st;
-    parse_content st doc ~keep_ws acc
-  end
-  else if peek st = '<' then begin
-    let id = parse_element st doc ~keep_ws in
-    parse_content st doc ~keep_ws (id :: acc)
-  end
-  else begin
-    let start = st.pos in
-    while (not (eof st)) && peek st <> '<' do
-      advance st
-    done;
-    let raw = String.sub st.src start (st.pos - start) in
-    if (not keep_ws) && all_ws raw then parse_content st doc ~keep_ws acc
-    else begin
-      let text = try unescape raw with Failure m -> fail st m in
-      let id = Doc.make_text doc text in
-      parse_content st doc ~keep_ws (id :: acc)
+let rec parse_content_into st doc ~keep_ws ~sink parent =
+  let elts = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if eof st then continue := false
+    else if String.unsafe_get st.src st.pos = '<' then begin
+      if looking_at st "</" then continue := false
+      else if looking_at st "<!--" then skip_comment st
+      else if looking_at st "<![CDATA[" then begin
+        st.pos <- st.pos + 9;
+        let text = skip_until st "]]>" in
+        Doc.append_child doc ~parent (Doc.make_text doc text)
+      end
+      else if looking_at st "<?" then skip_pi st
+      else begin
+        incr elts;
+        ignore (parse_element_into st doc ~keep_ws ~sink ~pos:!elts ~parent)
+      end
     end
-  end
+    else begin
+      let start = st.pos in
+      let stop =
+        match String.index_from_opt st.src start '<' with
+        | None -> String.length st.src
+        | Some i -> i
+      in
+      st.pos <- stop;
+      if keep_ws || not (all_ws_range st.src start stop) then begin
+        let text =
+          try unescape_range st.src start stop with Failure m -> fail st m
+        in
+        Doc.append_child doc ~parent (Doc.make_text doc text)
+      end
+    end
+  done
 
-and parse_element st doc ~keep_ws =
+and parse_element_into st doc ~keep_ws ~sink ~pos ~parent =
   expect st "<";
-  let tag = parse_name st in
-  let attrs = parse_attrs st in
+  let tag = parse_name_sym st in
+  let attrs = parse_attrs_sym st in
   skip_ws st;
-  let id = Doc.make_element doc ~attrs tag in
-  if looking_at st "/>" then begin
-    skip_n st 2;
-    id
-  end
-  else begin
-    expect st ">";
-    let kids = parse_content st doc ~keep_ws [] in
-    expect st "</";
-    let close = parse_name st in
-    if close <> tag then
-      fail st (Printf.sprintf "mismatched closing tag </%s> for <%s>" close tag);
-    skip_ws st;
-    expect st ">";
-    Doc.append_children doc ~parent:id kids;
-    id
-  end
+  let id = Doc.make_element_sym doc ~attrs tag in
+  if parent <> Doc.no_node then Doc.append_child doc ~parent id;
+  (if looking_at st "/>" then st.pos <- st.pos + 2
+   else begin
+     expect st ">";
+     parse_content_into st doc ~keep_ws ~sink id;
+     expect st "</";
+     let close = parse_name_sym st in
+     if not (Symbol.equal close tag) then
+       fail st
+         (Printf.sprintf "mismatched closing tag </%s> for <%s>"
+            (Symbol.name close) (Symbol.name tag));
+     skip_ws st;
+     expect st ">"
+   end);
+  (match sink with None -> () | Some f -> f id ~pos);
+  id
 
 let parse_prolog st =
   let dtd = ref None in
@@ -278,20 +335,28 @@ let parse_prolog st =
   done;
   !dtd
 
-let parse_string ?(keep_ws = false) src =
+let parse_document_into ?(keep_ws = false) ?sink doc src =
   let st = make_state src in
-  let doc = Doc.create () in
   let dtd_text = parse_prolog st in
   skip_ws st;
   if peek st <> '<' then fail st "expected root element";
-  let root = parse_element st doc ~keep_ws in
-  Doc.set_root doc root;
+  let root = parse_element_into st doc ~keep_ws ~sink ~pos:1 ~parent:Doc.no_node in
   skip_ws st;
   while not (eof st) do
     if looking_at st "<!--" then skip_comment st
     else if looking_at st "<?" then skip_pi st
     else fail st "content after root element"
   done;
+  (root, dtd_text)
+
+(* ~12 source bytes per node is a conservative fit for element-content
+   documents; overshooting merely leaves slack in the arena columns. *)
+let capacity_of_bytes len = (len / 12) + 16
+
+let parse_string ?keep_ws src =
+  let doc = Doc.create ~capacity:(capacity_of_bytes (String.length src)) () in
+  let root, dtd_text = parse_document_into ?keep_ws doc src in
+  Doc.set_root doc root;
   { doc; dtd_text }
 
 let parse_file ?keep_ws path =
@@ -303,6 +368,40 @@ let parse_file ?keep_ws path =
 
 let parse_fragment doc src =
   let st = make_state src in
-  let nodes = parse_content st doc ~keep_ws:false [] in
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    if eof st then continue := false
+    else if String.unsafe_get st.src st.pos = '<' then begin
+      if looking_at st "</" then continue := false
+      else if looking_at st "<!--" then skip_comment st
+      else if looking_at st "<![CDATA[" then begin
+        st.pos <- st.pos + 9;
+        let text = skip_until st "]]>" in
+        acc := Doc.make_text doc text :: !acc
+      end
+      else if looking_at st "<?" then skip_pi st
+      else
+        acc :=
+          parse_element_into st doc ~keep_ws:false ~sink:None ~pos:0
+            ~parent:Doc.no_node
+          :: !acc
+    end
+    else begin
+      let start = st.pos in
+      let stop =
+        match String.index_from_opt st.src start '<' with
+        | None -> String.length st.src
+        | Some i -> i
+      in
+      st.pos <- stop;
+      if not (all_ws_range st.src start stop) then begin
+        let text =
+          try unescape_range st.src start stop with Failure m -> fail st m
+        in
+        acc := Doc.make_text doc text :: !acc
+      end
+    end
+  done;
   if not (eof st) then fail st "trailing content in fragment";
-  nodes
+  List.rev !acc

@@ -10,12 +10,24 @@
     plain prefixed names; user-defined entity declarations are rejected. *)
 
 exception Parse_error of { line : int; col : int; msg : string }
+(** Locations are computed lazily: the parser tracks only a byte offset
+    and recovers line/col from it when raising, so the happy path pays
+    nothing for error reporting. *)
 
 type result = {
   doc : Doc.t;
   dtd_text : string option;
       (** Raw text between the brackets of an internal DTD subset, if any. *)
 }
+
+type sink = Doc.node_id -> pos:int -> unit
+(** Streaming consumer of parsed elements, called once per element as its
+    close tag (or self-closing [/>]) completes — its attributes, children
+    and embedded text already exist in the document, and its parent link
+    is set (except for the root).  [pos] is the element's 1-based
+    position among its parent's element children (1 for the root), which
+    the parser tracks for free — so a shredder never recomputes
+    positions.  Elements arrive in close-tag (post) order. *)
 
 val parse_string : ?keep_ws:bool -> string -> result
 (** Parse a complete document.  Unless [keep_ws] is set, text nodes that
@@ -24,6 +36,20 @@ val parse_string : ?keep_ws:bool -> string -> result
     @raise Parse_error on malformed input. *)
 
 val parse_file : ?keep_ws:bool -> string -> result
+
+val parse_document_into :
+  ?keep_ws:bool -> ?sink:sink -> Doc.t -> string -> Doc.node_id * string option
+(** Fused single-pass loader: parse a complete document (prolog, one root
+    element, trailing misc) allocating nodes directly into an existing
+    arena, feeding every completed element to [sink].  Nodes are
+    allocated in pre-order and attached on their open tag — no child-list
+    accumulation, no second walk; names are interned straight off the
+    source buffer.  Returns the (detached) root and the internal DTD
+    subset; the caller decides whether to register the root
+    ({!Doc.add_root}).  On [Parse_error] the partially built subtree
+    stays allocated but unreachable (never registered as a root).
+    @raise Parse_error on malformed input; anything [sink] raises
+    propagates. *)
 
 val parse_fragment : Doc.t -> string -> Doc.node_id list
 (** Parse a well-formed sequence of elements/text (no prolog) allocating the

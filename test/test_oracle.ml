@@ -1,12 +1,15 @@
 (* Differential test oracle (index layer): randomized conference-style
    documents, denials from the paper's constraint class, and random
-   XUpdate sequences.  Five evaluation routes must agree on every
+   XUpdate sequences.  Seven evaluation routes must agree on every
    check — the indexed planner, the scan interpreter, the Datalog
    evaluation of the shredded relational mapping, the cached compiled
-   plans, the parallel checker at [-j 2..4], and the fully traced
-   checker (spans + detailed metrics on) — and the incrementally
-   maintained indexes must equal indexes rebuilt from scratch after
-   every apply / undo / savepoint-rollback / crash-recovery sequence.
+   plans, the parallel checker at [-j 2..4], the fully traced checker
+   (spans + detailed metrics on), and the fused single-pass loader
+   (parse+intern+shred in one sweep, compared against the legacy
+   parse-then-shred pipeline relation by relation) — and the
+   incrementally maintained indexes must equal indexes rebuilt from
+   scratch after every apply / undo / savepoint-rollback /
+   crash-recovery sequence.
 
    Iteration count comes from [XIC_ORACLE_ITERS] (small by default so
    [dune runtest] stays fast); [dune build @oracle] runs 500.  The PRNG
@@ -95,6 +98,19 @@ let repo_of ~pub ~rev =
   repo
 
 let random_repo r = repo_of ~pub:(gen_pub r) ~rev:(gen_rev r)
+
+(* Same repository, built through the fused single-pass loader instead
+   of parse-then-shred: the store is filled by the parser's sink. *)
+let repo_of_fused ~pub ~rev =
+  let s = Conf.schema () in
+  let repo = Repository.create s in
+  Repository.load_fused repo pub;
+  Repository.load_fused repo rev;
+  List.iter
+    (Repository.add_constraint repo)
+    [ Conf.conflict s; Conf.workload s; Conf.track_load s ];
+  Repository.register_pattern repo (Conf.submission_pattern s);
+  repo
 
 (* ------------------------------------------------------------------ *)
 (* Oracle assertions                                                   *)
@@ -379,6 +395,64 @@ let test_recover_oracle () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Seventh route: fused loader vs legacy parse-then-shred              *)
+(* ------------------------------------------------------------------ *)
+
+module Store = Xic_datalog.Store
+
+(* Relation-by-relation comparison with a named culprit on mismatch —
+   [Store.equal] alone would only say "differs". *)
+let check_stores_equal ~seed what legacy fused =
+  let rels s = List.sort compare (Store.relations s) in
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: same relations" seed what)
+    (rels legacy) (rels fused);
+  List.iter
+    (fun rel ->
+      let ts s = List.sort compare (Store.tuples s rel) in
+      if ts legacy <> ts fused then
+        Alcotest.failf "[seed %d] %s: relation %s differs (%d vs %d tuples)"
+          seed what rel
+          (Store.cardinality legacy rel)
+          (Store.cardinality fused rel))
+    (rels legacy);
+  checkb
+    (Printf.sprintf "[seed %d] %s: stores equal" seed what)
+    true
+    (Store.equal legacy fused)
+
+let test_fused_loader_oracle () =
+  let run ~seed ~pub ~rev what =
+    let legacy = repo_of ~pub ~rev in
+    let fused = repo_of_fused ~pub ~rev in
+    check_stores_equal ~seed what (Repository.store legacy)
+      (Repository.store fused);
+    check_index_consistent ~seed fused what;
+    Alcotest.(check (list string))
+      (Printf.sprintf "[seed %d] %s: fused verdicts = legacy" seed what)
+      (sorted (Repository.check_full legacy))
+      (sorted (Repository.check_full fused));
+    Alcotest.(check (list string))
+      (Printf.sprintf "[seed %d] %s: fused datalog verdicts = legacy" seed what)
+      (sorted (Repository.check_full_datalog legacy))
+      (sorted (Repository.check_full_datalog fused))
+  in
+  (* The paper's running scenario: Example 1 (review conflict) and
+     Example 2 (reviewer workload) over the fixed pub/rev documents,
+     once consistent and once with a planted conflict (Carl reviews a
+     submission he co-authored). *)
+  run ~seed:0 ~pub:fixed_pub ~rev:fixed_rev "examples 1+2 consistent";
+  let conflicted_rev =
+    {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>Joint</title><auts><name>Carl</name></auts></sub></rev></track></review>|}
+  in
+  run ~seed:0 ~pub:fixed_pub ~rev:conflicted_rev "examples 1+2 violated";
+  for i = 1 to iters do
+    let seed = 13000 + i in
+    let r = Prng.create seed in
+    run ~seed ~pub:(gen_pub r) ~rev:(gen_rev r) "random"
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Symbol interning round trip                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -422,5 +496,6 @@ let () =
           Alcotest.test_case "apply/undo agreement" `Quick test_apply_undo_oracle;
           Alcotest.test_case "txn savepoints" `Quick test_txn_savepoint_oracle;
           Alcotest.test_case "crash recovery" `Quick test_recover_oracle;
+          Alcotest.test_case "fused loader" `Quick test_fused_loader_oracle;
         ] );
     ]

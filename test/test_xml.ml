@@ -168,6 +168,59 @@ let test_parse_errors () =
   checkb "bad entity" true (fails "<a>&nosuch;</a>");
   checkb "garbage after root" true (fails "<a/>junk")
 
+(* Locations are now recomputed lazily from the failure byte offset;
+   these pin the exact line/col values the eager per-character tracker
+   produced, so the lazy path is observably identical. *)
+let test_parse_error_locations () =
+  let loc s =
+    match Xml_parser.parse_string s with
+    | exception Xml_parser.Parse_error { line; col; _ } -> (line, col)
+    | _ -> Alcotest.failf "expected Parse_error on %S" s
+  in
+  let checklc what want s = Alcotest.(check (pair int int)) what want (loc s) in
+  checklc "mismatched close, one line" (1, 10) "<a><b></a>";
+  checklc "mismatched close, line 3" (3, 4) "<a>\n  <b>\n</a>";
+  checklc "mismatched close after attrs" (3, 8)
+    "<root>\n<child attr=\"v\">text\n</wrong>\n</root>";
+  checklc "unknown entity" (1, 12) "<a>&nosuch;</a>";
+  checklc "unterminated attribute" (1, 9) "<a x='1>";
+  checklc "content after root" (1, 5) "<a/><b/>";
+  checklc "eof inside element" (1, 4) "<a>";
+  checklc "text before root" (1, 1) "line1\n<a/>"
+
+let test_charref_edges () =
+  let text s =
+    let d = parse s in
+    Doc.text_content d (Doc.root d)
+  in
+  check "hex lower and upper X" "AB" (text "<a>&#x41;&#X42;</a>");
+  check "decimal + hex markup chars" "A<" (text "<a>&#65;&#x3C;</a>");
+  let fails s =
+    match Xml_parser.parse_string s with
+    | exception Xml_parser.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "unterminated entity" true (fails "<a>&amp</a>");
+  checkb "empty entity" true (fails "<a>&;</a>");
+  checkb "bad hex digits" true (fails "<a>&#xZZ;</a>");
+  checkb "empty charref" true (fails "<a>&#;</a>")
+
+let test_attr_quoting () =
+  let d = parse "<a k=\"it's\" m='say \"hi\"'/>" in
+  let r = Doc.root d in
+  check "double-quoted keeps single quote" "it's" (Option.get (Doc.attr d r "k"));
+  check "single-quoted keeps double quote" "say \"hi\""
+    (Option.get (Doc.attr d r "m"));
+  Alcotest.(check (list string))
+    "declaration order preserved" [ "k"; "m" ]
+    (List.map fst (Doc.attrs d r))
+
+let test_mixed_content_parse () =
+  let d = parse "<a>pre<b>mid</b>post</a>" in
+  let r = Doc.root d in
+  check "mixed text" "premidpost" (Doc.text_content d r);
+  checki "three children" 3 (List.length (Doc.children d r))
+
 let test_fragment () =
   let d = parse "<r/>" in
   let ns = Xml_parser.parse_fragment d "<a>1</a><b/>" in
@@ -193,37 +246,49 @@ let test_roundtrip_fixed () =
   let d2 = parse (Xml_printer.to_string d) in
   checkb "roundtrip" true (Doc.equal_structure d d2)
 
-(* Random tree generator for property tests. *)
+(* Random tree generator for property tests; attribute values cover the
+   characters the printer must escape. *)
 let gen_doc =
   let open QCheck2.Gen in
   let tag = oneofl [ "a"; "b"; "c"; "d" ] in
   let text = oneofl [ "x"; "hello"; "a&b"; "<tag>"; "it's \"quoted\"" ] in
+  let attrs =
+    map
+      (List.sort_uniq (fun (a, _) (b, _) -> compare (a : string) b))
+      (list_size (int_bound 2)
+         (pair
+            (oneofl [ "k"; "id"; "v" ])
+            (oneofl [ "1"; "a&b"; "it's"; "say \"hi\""; "<x>" ])))
+  in
   let rec tree depth =
     if depth = 0 then map (fun t -> `Text t) text
     else
       frequency
         [ (1, map (fun t -> `Text t) text);
           (3,
-           map2
-             (fun t kids -> `Elem (t, kids))
-             tag
+           map3
+             (fun t al kids -> `Elem (t, al, kids))
+             tag attrs
              (list_size (int_bound 3) (tree (depth - 1))));
         ]
   in
-  map2 (fun t kids -> `Elem (t, kids)) tag (list_size (int_bound 4) (tree 2))
+  map3
+    (fun t al kids -> `Elem (t, al, kids))
+    tag attrs
+    (list_size (int_bound 4) (tree 2))
 
 let build_doc spec =
   let d = Doc.create () in
   let rec go = function
     | `Text t -> Doc.make_text d t
-    | `Elem (tag, kids) ->
-      let e = Doc.make_element d tag in
+    | `Elem (tag, attrs, kids) ->
+      let e = Doc.make_element d ~attrs tag in
       List.iter (fun k -> Doc.append_child d ~parent:e (go k)) kids;
       e
   in
   (match spec with
    | `Elem _ -> Doc.set_root d (go spec)
-   | `Text _ -> Doc.set_root d (go (`Elem ("r", [ spec ]))));
+   | `Text _ -> Doc.set_root d (go (`Elem ("r", [], [ spec ]))));
   d
 
 let prop_roundtrip =
@@ -561,6 +626,11 @@ let () =
           Alcotest.test_case "doctype" `Quick test_parse_doctype;
           Alcotest.test_case "whitespace" `Quick test_parse_ws_handling;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error locations" `Quick
+            test_parse_error_locations;
+          Alcotest.test_case "charref edges" `Quick test_charref_edges;
+          Alcotest.test_case "attr quoting" `Quick test_attr_quoting;
+          Alcotest.test_case "mixed content" `Quick test_mixed_content_parse;
           Alcotest.test_case "fragment" `Quick test_fragment;
         ] );
       ( "printer",

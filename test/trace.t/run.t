@@ -67,8 +67,7 @@ cover every pipeline stage:
   "name":"datalog:eval"
   "name":"eval"
   "name":"index:build"
-  "name":"parse"
-  "name":"shred"
+  "name":"ingest"
   "name":"simplify"
   "name":"translate"
   $ grep -o '"ph":"X"' out.json | sort -u
@@ -78,8 +77,8 @@ cover every pipeline stage:
 and step counts masked):
 
   $ xicheck check --dtd pub.dtd=dblp --dtd rev.dtd=review --doc pub.xml --doc rev.xml --constraints constraints.xpl --trace - 2>&1 >/dev/null | sed -e 's/ [0-9][0-9.]*ms//' -e 's/steps=[0-9]*/steps=N/'
-  parse
-  parse
+  ingest
+  ingest
   translate denials=2
   check_full
     compile constraint=conflict
