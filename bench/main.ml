@@ -38,10 +38,15 @@ let time_ms ?(reps = 5) f =
 (* (median, min) wall-clock ms of [f] over at least 5 samples after one
    warm-up.  [batch] amortizes timer granularity for µs-scale runs: each
    sample times [batch] consecutive runs and reports the per-run mean. *)
-let time_stats ?(reps = 5) ?(batch = 1) f =
+(* [clean] runs a full major collection before each sample (outside the
+   timed window), so runs that drop MB-scale structures per rep — the
+   cold-start loaders — measure the operation itself rather than the
+   incremental collection of the previous rep's garbage. *)
+let time_stats ?(reps = 5) ?(batch = 1) ?(clean = false) f =
   ignore (f ());
   let reps = max reps 5 in
   let sample () =
+    if clean then Gc.full_major ();
     let t0 = now () in
     for _ = 1 to batch do
       ignore (f ())
@@ -373,6 +378,88 @@ let ingest ~sizes ~reps () =
       sizes
   in
   add_json "ingest" ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]");
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Cold start: parse vs fused load vs binary snapshot load             *)
+(* ------------------------------------------------------------------ *)
+
+(* A resident checker restarting (or a recovery) can skip XML entirely:
+   the snapshot holds the arena, symbol names and fact store verbatim.
+   Loading it must beat even the fused single-pass loader — the snapshot
+   is the cold-start fast path the checkpoint subsystem buys. *)
+let coldstart ~sizes ~reps () =
+  Printf.printf
+    "# Cold start (rebuild repo + store: XML parse vs fused load vs snapshot)\n";
+  Printf.printf "# %-12s %-10s %-15s %-12s %-14s %s\n" "size(bytes)" "subs"
+    "parse_only(ms)" "fused(ms)" "snapshot(ms)" "snap_speedup";
+  let rows =
+    List.map
+      (fun size ->
+        let s = Conf.schema () in
+        let ds = Gen.generate ~seed:42 ~target_bytes:size () in
+        let spath = Printf.sprintf "bench_coldstart_%d.xis" size in
+        let parse_only () =
+          ignore (Xic_xml.Xml_parser.parse_string ds.Gen.pub_xml);
+          ignore (Xic_xml.Xml_parser.parse_string ds.Gen.rev_xml)
+        in
+        let fused () =
+          let repo = Repository.create s in
+          Repository.load_fused ~validate:false repo ds.Gen.pub_xml;
+          Repository.load_fused ~validate:false repo ds.Gen.rev_xml;
+          ignore (Repository.store repo : Xic_datalog.Store.t);
+          repo
+        in
+        let snap_bytes =
+          (Repository.checkpoint (fused ()) spath).Repository.snapshot_bytes
+        in
+        let snap_load () =
+          let repo = Repository.create s in
+          ignore (Repository.load_snapshot repo spath);
+          ignore (Repository.store repo : Xic_datalog.Store.t);
+          repo
+        in
+        (* The snapshot must restore the exact state: same facts, same
+           verdicts on Examples 1 and 2, at every size. *)
+        let repo_f = fused () and repo_s = snap_load () in
+        if
+          not
+            (Xic_datalog.Store.equal (Repository.store repo_f)
+               (Repository.store repo_s))
+        then failwith "coldstart: snapshot and fused stores differ";
+        List.iter
+          (fun constraint_ ->
+            let c = constraint_ s in
+            Repository.add_constraint repo_f c;
+            Repository.add_constraint repo_s c;
+            let vf = Repository.check_full repo_f
+            and vs = Repository.check_full repo_s in
+            if vf <> vs then
+              failwith "coldstart: snapshot and fused verdicts differ")
+          [ Conf.conflict; Conf.workload ];
+        let p_med, p_min = time_stats ~reps ~clean:true (fun () -> parse_only ()) in
+        let f_med, f_min =
+          time_stats ~reps ~clean:true (fun () -> ignore (fused ()))
+        in
+        let s_med, s_min =
+          time_stats ~reps ~clean:true (fun () -> ignore (snap_load ()))
+        in
+        Sys.remove spath;
+        let speedup = f_med /. (s_med +. 1e-9) in
+        Printf.printf "%-14d %-10d %-15.3f %-12.3f %-14.3f %.1fx\n%!"
+          ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions p_med f_med s_med
+          speedup;
+        Printf.sprintf
+          "{\"bytes\": %d, \"subs\": %d, \"snapshot_bytes\": %d, \
+           \"parse_only_median_ms\": %.4f, \"parse_only_min_ms\": %.4f, \
+           \"fused_median_ms\": %.4f, \"fused_min_ms\": %.4f, \
+           \"snapshot_median_ms\": %.4f, \"snapshot_min_ms\": %.4f, \
+           \"snap_speedup\": %.1f}"
+          ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions snap_bytes p_med
+          p_min f_med f_min s_med s_min speedup)
+      sizes
+  in
+  add_json "coldstart" ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]");
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -729,7 +816,7 @@ let () =
       sizes := List.map int_of_string (String.split_on_char ',' s);
       parse rest
     | "--json" :: rest ->
-      json := Some "BENCH_PR5.json";
+      json := Some "BENCH_PR6.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -749,6 +836,7 @@ let () =
     | "pipeline" -> pipeline ~sizes ~reps ()
     | "stages" -> stages ~sizes ~reps ()
     | "ingest" -> ingest ~sizes ~reps ()
+    | "coldstart" -> coldstart ~sizes ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -760,13 +848,14 @@ let () =
       journal_bench ~sizes ~reps ();
       stages ~sizes ~reps ();
       ingest ~sizes ~reps ();
+      coldstart ~sizes ~reps ();
       pipeline ~sizes ~reps ();
       micro ()
     | other ->
       Printf.eprintf
         "unknown experiment %S (expected \
          fig1a|fig1b|fig_simp|ex45|ablations|index|journal|stages|ingest|\
-         pipeline|micro|all)\n"
+         coldstart|pipeline|micro|all)\n"
         other;
       exit 2
   in

@@ -29,14 +29,14 @@ let read_file path =
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("xicheck: " ^ s); exit 1) fmt
 
+(* All CLI outputs go through the shared atomic-write path: temp file,
+   fsync, rename, parent-directory fsync — a crash mid-write never
+   leaves a half-written output, and the rename itself is durable. *)
 let write_file path contents =
-  match open_out path with
-  | exception Sys_error m -> die "cannot write %s: %s" path m
-  | oc ->
-    output_string oc contents;
-    output_char oc '\n';
-    close_out oc;
-    Printf.printf "wrote %s\n" path
+  match Xic_journal.Atomic_file.replace path (contents ^ "\n") with
+  | () -> Printf.printf "wrote %s\n" path
+  | exception Xic_journal.Atomic_file.Atomic_file_error m ->
+    die "cannot write %s: %s" path m
 
 (* Dump the collection, one file per root. *)
 let write_roots repo prefix =
@@ -249,6 +249,51 @@ let load_repo ?(legacy = false) ~validate schema docs =
     docs;
   repo
 
+let snapshot_arg =
+  let doc =
+    "Load the document collection and its relational store from this \
+     snapshot checkpoint (see 'xicheck checkpoint') instead of parsing \
+     --doc XML.  With --journal, the journal's committed suffix (entries \
+     newer than the checkpoint) is replayed on top."
+  in
+  Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+
+let load_snapshot_repo s path =
+  let repo = Repository.create s in
+  match Repository.load_snapshot repo path with
+  | meta -> (repo, meta)
+  | exception Xic_snapshot.Snapshot.Snapshot_error (p, e) ->
+    die "snapshot %s: %s" p (Xic_snapshot.Snapshot.error_message e)
+  | exception Repository.Repository_error m -> die "%s" m
+
+(* Build the repository state either from XML documents or from a
+   snapshot checkpoint; returns the snapshot metadata when one was
+   loaded (needed to compute the journal replay skip). *)
+let load_state ?legacy ~validate s ~snapshot docs =
+  match snapshot with
+  | None -> (load_repo ?legacy ~validate s docs, None)
+  | Some path ->
+    if docs <> [] then die "--snapshot and --doc are mutually exclusive";
+    let repo, meta = load_snapshot_repo s path in
+    (repo, Some meta)
+
+(* Bring a snapshot-loaded repository up to date with the journal's
+   committed suffix (entries past the snapshot's watermark).  Constraints
+   must already be registered so replayed statements are re-checkable. *)
+let replay_onto_snapshot repo meta jpath =
+  if Sys.file_exists jpath then begin
+    let rr =
+      match Xic_journal.Journal.read jpath with
+      | rr -> rr
+      | exception Xic_journal.Journal.Journal_error m -> die "%s" m
+    in
+    let skip = Repository.recover_skip meta rr in
+    let r = Repository.recover ~skip rr repo in
+    List.iter
+      (fun (txn, m) -> die "replay error in journaled transaction %d: %s" txn m)
+      r.Repository.replay_errors
+  end
+
 let load_constraints schema = function
   | None -> []
   | Some path ->
@@ -399,8 +444,9 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run dtds docs constraints pattern no_validate legacy_loader use_datalog
-      explain no_index index_stats jobs plan_stats trace metrics slow_ms =
+  let run dtds docs snapshot constraints pattern no_validate legacy_loader
+      use_datalog explain no_index index_stats jobs plan_stats trace metrics
+      slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     (* --explain needs a traced run for its observed timings *)
     if explain then begin
@@ -408,8 +454,9 @@ let check_cmd =
       Obs.Metrics.set_detailed true
     end;
     let s = load_schema dtds in
-    let repo =
-      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    let repo, _meta =
+      load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
+        docs
     in
     if no_index then Repository.set_use_index repo false;
     (if jobs < 1 then die "--jobs must be at least 1"
@@ -454,10 +501,10 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Check integrity constraints against the documents")
     Term.(
-      const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ legacy_loader_arg $ datalog_arg $ explain_arg
-      $ no_index_arg $ index_stats_arg $ jobs_arg $ plan_stats_arg $ trace_arg
-      $ metrics_arg $ slow_ms_arg)
+      const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
+      $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ datalog_arg
+      $ explain_arg $ no_index_arg $ index_stats_arg $ jobs_arg
+      $ plan_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simplify                                                            *)
@@ -544,13 +591,14 @@ let guard_cmd =
     let doc = "XUpdate statement to execute under integrity control." in
     Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
   in
-  let run dtds docs constraints pattern no_validate legacy_loader runtime_simp
-      update output journal eval_budget no_index index_stats trace metrics
-      slow_ms =
+  let run dtds docs snapshot constraints pattern no_validate legacy_loader
+      runtime_simp update output journal eval_budget no_index index_stats trace
+      metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
-    let repo =
-      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    let repo, meta =
+      load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
+        docs
     in
     if no_index then Repository.set_use_index repo false;
     Repository.set_eval_budget repo eval_budget;
@@ -558,6 +606,9 @@ let guard_cmd =
     (match load_pattern s pattern with
      | Some p -> Repository.register_pattern repo p
      | None -> ());
+    (match (meta, journal) with
+     | Some m, Some jpath -> replay_onto_snapshot repo m jpath
+     | _ -> ());
     let u = parse_update update in
     let fallback =
       if runtime_simp then `Runtime_simplification else `Full_check
@@ -578,9 +629,9 @@ let guard_cmd =
     (Cmd.info "guard"
        ~doc:"Execute an XUpdate statement under integrity control")
     Term.(
-      const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg $ update_arg
-      $ output_arg $ journal_arg $ eval_budget_arg $ no_index_arg
+      const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
+      $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg
+      $ update_arg $ output_arg $ journal_arg $ eval_budget_arg $ no_index_arg
       $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -599,13 +650,14 @@ let txn_cmd =
     let doc = "Roll the transaction back at the end instead of committing." in
     Arg.(value & flag & info [ "abort" ] ~doc)
   in
-  let run dtds docs constraints pattern no_validate legacy_loader runtime_simp
-      updates output journal eval_budget abort no_index index_stats trace
-      metrics slow_ms =
+  let run dtds docs snapshot constraints pattern no_validate legacy_loader
+      runtime_simp updates output journal eval_budget abort no_index
+      index_stats trace metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
-    let repo =
-      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    let repo, meta =
+      load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
+        docs
     in
     if no_index then Repository.set_use_index repo false;
     Repository.set_eval_budget repo eval_budget;
@@ -613,6 +665,9 @@ let txn_cmd =
     (match load_pattern s pattern with
      | Some p -> Repository.register_pattern repo p
      | None -> ());
+    (match (meta, journal) with
+     | Some m, Some jpath -> replay_onto_snapshot repo m jpath
+     | _ -> ());
     let fallback =
       if runtime_simp then `Runtime_simplification else `Full_check
     in
@@ -650,34 +705,61 @@ let txn_cmd =
          "Apply several XUpdate statements as one journaled transaction \
           (each statement still guarded individually)")
     Term.(
-      const run $ dtd_arg $ docs_arg $ constraints_arg $ pattern_arg
-      $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg $ updates_arg
-      $ output_arg $ journal_arg $ eval_budget_arg $ abort_arg $ no_index_arg
-      $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
+      const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
+      $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg
+      $ updates_arg $ output_arg $ journal_arg $ eval_budget_arg $ abort_arg
+      $ no_index_arg $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* recover's exit codes form a taxonomy the torture harness (and any
+   supervisor) can branch on:
+     0  journal replayed cleanly (a torn *tail* is expected after a
+        crash mid-append and still recovers the committed prefix)
+     1  replay errors or post-replay violations
+     3  the journal file does not exist
+     4  a full-length record in the *middle* of the journal failed its
+        checksum: silent corruption, not a crash artifact; the valid
+        prefix was still replayed *)
 let recover_cmd =
   let journal_arg =
     let doc = "Journal file to recover from." in
-    Arg.(required & opt (some file) None & info [ "journal" ] ~docv:"FILE" ~doc)
+    Arg.(
+      required & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
-  let run dtds docs constraints no_validate legacy_loader journal output =
+  let run dtds docs snapshot constraints no_validate legacy_loader journal
+      output =
     let s = load_schema dtds in
-    let repo =
-      load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs
+    let repo, meta =
+      load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
+        docs
     in
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    if not (Sys.file_exists journal) then begin
+      Printf.eprintf "xicheck: journal %s not found\n" journal;
+      exit 3
+    end;
     let rr =
       match Xic_journal.Journal.read journal with
       | rr -> rr
       | exception Xic_journal.Journal.Journal_error m -> die "%s" m
     in
-    let r = Repository.recover rr repo in
-    if r.Repository.torn_tail then
-      print_endline "discarded a torn record at the end of the journal";
+    let module J = Xic_journal.Journal in
+    (match rr.J.tail with
+     | J.Clean -> ()
+     | J.Torn _ ->
+       print_endline "discarded a torn record at the end of the journal"
+     | J.Corrupt { dropped } ->
+       Printf.printf
+         "checksum mismatch inside the journal: discarded %d byte(s) from \
+          the first corrupt record onward\n"
+         dropped);
+    let skip =
+      match meta with Some m -> Repository.recover_skip m rr | None -> 0
+    in
+    let r = Repository.recover ~skip rr repo in
     Printf.printf "replayed %d transaction(s), %d statement(s); discarded %d\n"
       r.Repository.replayed_txns r.Repository.replayed_statements
       r.Repository.discarded_txns;
@@ -687,16 +769,93 @@ let recover_cmd =
     List.iter (Printf.printf "VIOLATED after replay: %s\n") r.Repository.post_violations;
     Option.iter (write_roots repo) output;
     if r.Repository.replay_errors <> [] || r.Repository.post_violations <> [] then
-      exit 1
+      exit 1;
+    match rr.J.tail with J.Corrupt _ -> exit 4 | J.Clean | J.Torn _ -> ()
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:
          "Replay the committed transactions of a write-ahead journal \
-          against freshly loaded base documents")
+          against freshly loaded base documents (or a snapshot)")
+    Term.(
+      const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
+      $ no_validate_arg $ legacy_loader_arg $ journal_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint_cmd =
+  let snapshot_out_arg =
+    let doc =
+      "Snapshot file to write.  If it already exists it is loaded first \
+       (so checkpointing is incremental: old snapshot + journal suffix -> \
+       new snapshot) and --doc is not allowed."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Write-ahead journal to fold into the snapshot.  Its committed \
+       suffix is replayed before the snapshot is written, and on success \
+       the journal is reset to a fresh generation."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run dtds docs constraints no_validate legacy_loader journal snapshot =
+    let s = load_schema dtds in
+    let repo, meta =
+      if Sys.file_exists snapshot then begin
+        if docs <> [] then
+          die "--doc is not allowed when %s already exists (the snapshot is \
+               the document source)"
+            snapshot;
+        let repo, meta = load_snapshot_repo s snapshot in
+        (repo, Some meta)
+      end
+      else
+        (load_repo ~legacy:legacy_loader ~validate:(not no_validate) s docs,
+         None)
+    in
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    (match (meta, journal) with
+     | Some m, Some jpath -> replay_onto_snapshot repo m jpath
+     | None, Some jpath when Sys.file_exists jpath ->
+       (* fresh documents: every committed journal entry is news *)
+       let rr =
+         match Xic_journal.Journal.read jpath with
+         | rr -> rr
+         | exception Xic_journal.Journal.Journal_error m -> die "%s" m
+       in
+       let r = Repository.recover rr repo in
+       List.iter
+         (fun (txn, m) ->
+           die "replay error in journaled transaction %d: %s" txn m)
+         r.Repository.replay_errors
+     | _ -> ());
+    let journal = Option.map open_journal journal in
+    let report =
+      match Repository.checkpoint ?journal repo snapshot with
+      | report -> report
+      | exception Repository.Repository_error m -> die "%s" m
+    in
+    Option.iter Xic_journal.Journal.close journal;
+    Printf.printf "checkpointed %d node(s), %d fact(s) to %s (%d bytes)\n"
+      report.Repository.snapshot_nodes report.Repository.snapshot_facts
+      report.Repository.snapshot_path report.Repository.snapshot_bytes;
+    if report.Repository.wal_reset then
+      Printf.printf "journal reset after folding %d entries\n"
+        report.Repository.wal_entries_folded
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Write a crash-consistent snapshot of the repository state and \
+          truncate the write-ahead journal")
     Term.(
       const run $ dtd_arg $ docs_arg $ constraints_arg $ no_validate_arg
-      $ legacy_loader_arg $ journal_arg $ output_arg)
+      $ legacy_loader_arg $ journal_arg $ snapshot_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* publish                                                             *)
@@ -766,4 +925,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ schema_cmd; compile_cmd; validate_cmd; check_cmd; simplify_cmd;
-            guard_cmd; txn_cmd; recover_cmd; publish_cmd; generate_cmd ]))
+            guard_cmd; txn_cmd; recover_cmd; checkpoint_cmd; publish_cmd;
+            generate_cmd ]))

@@ -3,7 +3,14 @@ module T = Xic_datalog.Term
 module XU = Xic_xupdate.Xupdate
 module J = Xic_journal.Journal
 module FP = Xic_journal.Failpoint
+module Snap = Xic_snapshot.Snapshot
 module Obs = Xic_obs.Obs
+
+(* Crash windows of the guarded-update and checkpoint pipelines,
+   declared so the torture harness can enumerate them. *)
+let () =
+  List.iter FP.declare
+    [ "before_apply"; "after_apply"; "before_commit"; "checkpoint_truncate" ]
 
 let log_src = Logs.Src.create "xic.repository" ~doc:"Guarded update engine"
 
@@ -737,16 +744,31 @@ type recovery_report = {
   post_violations : string list;
 }
 
-let recover (rr : J.read_result) t =
+let rec drop_entries k l =
+  if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop_entries (k - 1) tl
+
+(* How many leading journal entries a snapshot already covers.  The
+   generation decides: a journal *newer* than the snapshot was reset
+   after the checkpoint, so everything in it is new work; the *same*
+   generation replays only past the watermark; an *older* generation is
+   a stale pre-checkpoint leftover (the snapshot superseded it whole). *)
+let recover_skip (meta : Snap.meta) (rr : J.read_result) =
+  if rr.J.generation > meta.Snap.journal_generation then 0
+  else if rr.J.generation = meta.Snap.journal_generation then
+    min meta.Snap.journal_watermark (List.length rr.J.entries)
+  else List.length rr.J.entries
+
+let recover ?(skip = 0) (rr : J.read_result) t =
   Obs.Trace.with_span "recover" @@ fun () ->
-  let committed = J.committed rr.J.entries in
+  let entries = drop_entries skip rr.J.entries in
+  let committed = J.committed entries in
   let all_txns =
     List.sort_uniq compare
       (List.map
          (function
            | J.Intent { txn; _ } | J.Commit { txn } | J.Abort { txn }
            | J.Truncate { txn; _ } -> txn)
-         rr.J.entries)
+         entries)
   in
   let stmts = ref 0 in
   let errors = ref [] in
@@ -772,3 +794,60 @@ let recover (rr : J.read_result) t =
     replay_errors = List.rev !errors;
     post_violations = check_full t;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot checkpointing                                              *)
+(* ------------------------------------------------------------------ *)
+
+type checkpoint_report = {
+  snapshot_path : string;
+  snapshot_bytes : int;
+  snapshot_nodes : int;
+  snapshot_facts : int;
+  wal_entries_folded : int;
+  wal_reset : bool;
+}
+
+(* Checkpoint protocol: materialize the store, write the snapshot
+   atomically with the journal's (generation, entry-count) stamped into
+   it, and only then reset the journal.  Any crash ordering recovers
+   correctly: before the rename the old snapshot + full journal replay
+   still apply; after the rename but before the reset, the recorded
+   watermark makes replay skip exactly the entries the snapshot already
+   contains.  Must not run with an open journaled transaction — the
+   snapshot would capture uncommitted mutations. *)
+let checkpoint ?journal t path =
+  Obs.Trace.with_span "checkpoint" @@ fun () ->
+  let s = store t in
+  let jmeta =
+    match journal with
+    | Some j -> (J.generation j, J.entry_count j)
+    | None -> (0, 0)
+  in
+  let bytes =
+    try Snap.save ~journal:jmeta path t.doc s
+    with Xic_journal.Atomic_file.Atomic_file_error m ->
+      fail "checkpoint %s: %s" path m
+  in
+  FP.hit "checkpoint_truncate";
+  (match journal with Some j -> J.reset j | None -> ());
+  {
+    snapshot_path = path;
+    snapshot_bytes = bytes;
+    snapshot_nodes = Doc.node_count t.doc;
+    snapshot_facts = Xic_datalog.Store.total_tuples s;
+    wal_entries_folded = snd jmeta;
+    wal_reset = Option.is_some journal;
+  }
+
+(* Load a snapshot into a freshly created repository: the arena is
+   restored in place (node ids preserved) and the deserialized store
+   installed as the materialized mirror, so neither a parse nor a
+   re-shred happens.  Constraints and patterns are registered afterwards
+   as usual. *)
+let load_snapshot t path =
+  if Doc.has_root t.doc || Doc.id_bound t.doc > 0 then
+    fail "load_snapshot: the repository already contains documents";
+  let meta, s = Snap.load path t.doc in
+  t.store <- Some s;
+  meta

@@ -302,13 +302,60 @@ type recovery_report = {
           produced by guarded updates against the same base documents *)
 }
 
-val recover : Xic_journal.Journal.read_result -> t -> recovery_report
+val recover : ?skip:int -> Xic_journal.Journal.read_result -> t -> recovery_report
 (** Replay the committed transactions of a journal (see
     {!Xic_journal.Journal.read}) against the repository's freshly loaded
     base documents, in commit order.  Uncommitted and aborted
     transactions, savepoint-truncated statements, and any torn tail are
     discarded — after a crash at {e any} point, the repository recovers
-    to the last committed state. *)
+    to the last committed state.  [skip] (default 0) drops that many
+    leading journal entries first: the suffix replay after a snapshot
+    load (compute it with {!recover_skip}). *)
+
+val recover_skip :
+  Xic_snapshot.Snapshot.meta -> Xic_journal.Journal.read_result -> int
+(** How many leading journal entries the snapshot already covers, by the
+    generation rule: a journal generation {e newer} than the snapshot's
+    replays in full (0), the {e same} generation skips the snapshot's
+    watermark, an {e older} one is a stale pre-checkpoint journal and is
+    skipped entirely. *)
+
+(** {1 Snapshot checkpointing} *)
+
+type checkpoint_report = {
+  snapshot_path : string;
+  snapshot_bytes : int;
+  snapshot_nodes : int;  (** live document nodes persisted *)
+  snapshot_facts : int;  (** store tuples persisted *)
+  wal_entries_folded : int;
+      (** journal entries whose effects the snapshot now contains *)
+  wal_reset : bool;  (** whether a journal was truncated afterwards *)
+}
+
+val checkpoint : ?journal:Xic_journal.Journal.t -> t -> string -> checkpoint_report
+(** Write a crash-consistent snapshot of the current state (document
+    arena, symbol table, materialized store) to the given path — temp
+    file, fsync, rename, directory fsync — and, when [journal] is given,
+    stamp its (generation, entry count) into the snapshot and {e then}
+    reset it, bounding future recovery to the journal suffix written
+    after this call.  A crash at any point leaves a recoverable pair:
+    old snapshot + old journal, or new snapshot + old journal (replay
+    skips the watermarked prefix), or new snapshot + fresh journal.
+
+    Must not be called while a journaled transaction is open — the
+    snapshot would capture uncommitted mutations as committed state.
+    @raise Repository_error on I/O failure. *)
+
+val load_snapshot : t -> string -> Xic_snapshot.Snapshot.meta
+(** Restore a snapshot into a freshly created repository (no documents
+    loaded yet): rebuilds the arena in place with node ids preserved and
+    installs the deserialized store as the materialized mirror — no
+    parse, no shred.  Register constraints and patterns afterwards as
+    usual; journal suffix replay is {!recover} with
+    [~skip:(recover_skip meta rr)].
+    @raise Repository_error when the repository is non-empty;
+    @raise Xic_snapshot.Snapshot.Snapshot_error (with the classified
+    error taxonomy) when the file is missing, truncated or corrupt. *)
 
 val apply_unchecked : t -> Xic_xupdate.Xupdate.t -> Xic_xupdate.Xupdate.undo
 val rollback : t -> Xic_xupdate.Xupdate.undo -> unit

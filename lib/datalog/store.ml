@@ -19,7 +19,13 @@ type tuple = Term.const list
 type rel = {
   mutable tuples : tuple list;        (* reverse insertion order *)
   mutable count : int;
-  index : (Term.const, tuple list ref) Hashtbl.t;  (* first column → tuples *)
+  (* First column → tuples.  Built lazily on the first keyed probe:
+     a snapshot load materializes tens of thousands of tuples that may
+     never be probed before the next checkpoint, and the per-tuple
+     find+add (plus the preallocated bucket array) was the single
+     largest cost of a cold start.  Once built, it is maintained
+     incrementally by [add_sym] / [remove_sym] as before. *)
+  mutable index : (Term.const, tuple list ref) Hashtbl.t option;
 }
 
 type t = (Symbol.t, rel) Hashtbl.t
@@ -34,20 +40,32 @@ let get_rel_sym (s : t) sym =
   match Hashtbl.find_opt s sym with
   | Some r -> r
   | None ->
-    let r = { tuples = []; count = 0; index = Hashtbl.create 64 } in
+    let r = { tuples = []; count = 0; index = None } in
     Hashtbl.add s sym r;
     r
+
+let index_add idx tup =
+  match tup with
+  | [] -> ()
+  | key :: _ ->
+    (match Hashtbl.find_opt idx key with
+     | Some l -> l := tup :: !l
+     | None -> Hashtbl.add idx key (ref [ tup ]))
+
+let ensure_index r =
+  match r.index with
+  | Some idx -> idx
+  | None ->
+    let idx = Hashtbl.create (max 64 (2 * r.count)) in
+    List.iter (index_add idx) (List.rev r.tuples);
+    r.index <- Some idx;
+    idx
 
 let add_sym (s : t) sym (tup : tuple) =
   let r = get_rel_sym s sym in
   r.tuples <- tup :: r.tuples;
   r.count <- r.count + 1;
-  match tup with
-  | [] -> ()
-  | key :: _ ->
-    (match Hashtbl.find_opt r.index key with
-     | Some l -> l := tup :: !l
-     | None -> Hashtbl.add r.index key (ref [ tup ]))
+  match r.index with Some idx -> index_add idx tup | None -> ()
 
 let add (s : t) name tup = add_sym s (Symbol.intern name) tup
 
@@ -66,10 +84,10 @@ let remove_sym (s : t) sym (tup : tuple) =
     r.tuples <- drop_first r.tuples;
     if !removed then begin
       r.count <- r.count - 1;
-      (match tup with
-       | [] -> ()
-       | key :: _ ->
-         (match Hashtbl.find_opt r.index key with
+      (match (r.index, tup) with
+       | None, _ | _, [] -> ()
+       | Some idx, key :: _ ->
+         (match Hashtbl.find_opt idx key with
           | Some l ->
             let removed2 = ref false in
             let rec drop = function
@@ -101,7 +119,7 @@ let tuples_with_key_sym (s : t) sym (key : Term.const) =
   match Hashtbl.find_opt s sym with
   | None -> []
   | Some r ->
-    (match Hashtbl.find_opt r.index key with
+    (match Hashtbl.find_opt (ensure_index r) key with
      | Some l -> !l
      | None -> [])
 
@@ -144,6 +162,223 @@ let of_facts facts =
 
 let to_facts (s : t) =
   List.concat_map (fun name -> List.map (fun t -> (name, t)) (tuples s name)) (relations s)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot (de)serialization                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Xic_symbol.Wire
+
+(* Relations are stored by name (re-interned on load, so no symbol-id
+   remap is needed); tuples in insertion order, each constant tagged
+   with a one-byte kind.  Tuple strings go through a dedup table written
+   up front: the same name recurs across many facts (every author
+   appears in aut/name/text tuples), so occurrences are 1–2 byte
+   indices on disk, and the loader materializes ONE [Term.Str] per
+   distinct string, shared by every tuple that mentions it. *)
+let tag_of = function Term.Int _ -> 0 | Term.Str _ -> 1
+
+(* The per-column Int/Str shape shared by every tuple of the relation,
+   or [None] when tuples disagree (or the arity exceeds the one-byte
+   shape header). *)
+let signature r =
+  match r.tuples with
+  | [] -> None
+  | t0 :: rest ->
+    let s0 = List.map tag_of t0 in
+    let arity = List.length s0 in
+    if arity > 15 then None
+    else if
+      List.for_all
+        (fun t ->
+          List.compare_length_with t arity = 0
+          && List.for_all2 (fun tag v -> tag = tag_of v) s0 t)
+        rest
+    then Some s0
+    else None
+
+let serialize (s : t) buf =
+  let interned : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let order = ref [] and n_strings = ref 0 in
+  let intern v =
+    match Hashtbl.find_opt interned v with
+    | Some i -> i
+    | None ->
+      let i = !n_strings in
+      Hashtbl.add interned v i;
+      order := v :: !order;
+      incr n_strings;
+      i
+  in
+  Hashtbl.iter
+    (fun _ r ->
+      List.iter
+        (List.iter (function
+          | Term.Str v -> ignore (intern v)
+          | Term.Int _ -> ()))
+        r.tuples)
+    s;
+  Wire.add_int buf !n_strings;
+  List.iter (Wire.add_string buf) (List.rev !order);
+  Wire.add_int buf (Hashtbl.length s);
+  let add_value = function
+    | Term.Int i -> Wire.add_int buf i
+    | Term.Str v -> Wire.add_int buf (intern v)
+  in
+  Hashtbl.iter
+    (fun sym r ->
+      Wire.add_string buf (Symbol.name sym);
+      Wire.add_int buf r.count;
+      match signature r with
+      | Some sg ->
+        (* uniform shape: tags once up front, tuples are bare value
+           runs (the normal case — schema-mapped relations have a fixed
+           column layout) *)
+        Wire.add_u8 buf (List.length sg);
+        List.iter (Wire.add_u8 buf) sg;
+        List.iter (fun tup -> List.iter add_value tup) (List.rev r.tuples)
+      | None ->
+        (* mixed shapes: per-tuple arity, per-constant tag *)
+        Wire.add_u8 buf 0xff;
+        List.iter
+          (fun tup ->
+            Wire.add_u8 buf (List.length tup);
+            List.iter
+              (fun v ->
+                Wire.add_u8 buf (match v with Term.Int _ -> 0 | Term.Str _ -> 1);
+                add_value v)
+              tup)
+          (List.rev r.tuples))
+    s
+
+(* Shared [Term.Int] cells for the ids that dominate tuple columns
+   (first column is always a node id).  One 64k-entry table amortized
+   over every load keeps a cold start from boxing the same small ints
+   tens of thousands of times. *)
+let small_ints =
+  lazy (Array.init (1 lsl 16) (fun i -> Term.Int i))
+
+(* Cold-load fast path: the relation table is preallocated from the
+   serialized count and tuples go straight into the rel record — no
+   per-tuple [get_rel_sym] lookup, no table resizing, and no index
+   (built lazily on the first keyed probe). *)
+let deserialize c : t =
+  let n_strings = Wire.get_int c in
+  if n_strings < 0 || n_strings > Wire.remaining c then
+    raise (Wire.Error "store: bad string table length");
+  (* One shared [Term.Str] per distinct string: tuples alias these cells,
+     so a snapshot load allocates each constant once however many facts
+     mention it. *)
+  let strings =
+    Array.map (fun s -> Term.Str s) (Wire.get_string_array c n_strings)
+  in
+  let nrels = Wire.get_int c in
+  if nrels < 0 || nrels > Wire.remaining c then
+    raise (Wire.Error "store: bad relation count");
+  let s : t = Hashtbl.create (max 16 (2 * nrels)) in
+  let ints = Lazy.force small_ints in
+  let int_const () =
+    let i = Wire.get_int c in
+    if i >= 0 && i < Array.length ints then Array.unsafe_get ints i
+    else Term.Int i
+  in
+  let str_const () =
+    let i = Wire.get_int c in
+    if i < 0 || i >= n_strings then
+      raise (Wire.Error (Printf.sprintf "store: string index %d out of range" i));
+    strings.(i)
+  in
+  let const () =
+    match Wire.get_u8 c with
+    | 0 -> int_const ()
+    | 1 -> str_const ()
+    | k -> raise (Wire.Error (Printf.sprintf "store: bad const tag %d" k))
+  in
+  for _ = 1 to nrels do
+    let name = Wire.get_string c in
+    let sym = Symbol.intern name in
+    let count = Wire.get_int c in
+    if count < 0 || count > Wire.remaining c then
+      raise (Wire.Error ("store: bad cardinality for " ^ name));
+    let tuples = ref [] in
+    (match Wire.get_u8 c with
+     | 0xff ->
+       (* mixed shapes: per-tuple arity, per-constant tag *)
+       for _ = 1 to count do
+         (* build common arities directly in order — no [List.rev] copy *)
+         let tup =
+           match Wire.get_u8 c with
+           | 0 -> []
+           | 1 -> [ const () ]
+           | 2 ->
+             let a = const () in
+             let b = const () in
+             [ a; b ]
+           | 3 ->
+             let a = const () in
+             let b = const () in
+             let d = const () in
+             [ a; b; d ]
+           | arity ->
+             let rec go k acc =
+               if k = 0 then List.rev acc else go (k - 1) (const () :: acc)
+             in
+             go arity []
+         in
+         tuples := tup :: !tuples
+       done
+     | siglen ->
+       if siglen > 15 then
+         raise (Wire.Error (Printf.sprintf "store: bad shape header %d" siglen));
+       let sg = Array.init siglen (fun _ -> Wire.get_u8 c) in
+       Array.iter
+         (fun t ->
+           if t > 1 then
+             raise (Wire.Error (Printf.sprintf "store: bad column tag %d" t)))
+         sg;
+       (* tuple decode is the bulk of the section; [value] reads the
+          varint index directly and keeps the tag dispatch as one
+          predictable branch per column *)
+       let ilen = Array.length ints in
+       let value tag =
+         let v = Wire.get_int c in
+         if tag = 0 then
+           if v >= 0 && v < ilen then Array.unsafe_get ints v else Term.Int v
+         else if v >= 0 && v < n_strings then Array.unsafe_get strings v
+         else
+           raise
+             (Wire.Error
+                (Printf.sprintf "store: string index %d out of range" v))
+       in
+       (match sg with
+        | [||] -> for _ = 1 to count do tuples := [] :: !tuples done
+        | [| a |] -> for _ = 1 to count do tuples := [ value a ] :: !tuples done
+        | [| a; b |] ->
+          for _ = 1 to count do
+            let x = value a in
+            let y = value b in
+            tuples := [ x; y ] :: !tuples
+          done
+        | [| a; b; d |] ->
+          for _ = 1 to count do
+            let x = value a in
+            let y = value b in
+            let z = value d in
+            tuples := [ x; y; z ] :: !tuples
+          done
+        | sg ->
+          let rec row i =
+            if i = Array.length sg then []
+            else
+              let v = value sg.(i) in
+              v :: row (i + 1)
+          in
+          for _ = 1 to count do
+            tuples := row 0 :: !tuples
+          done));
+    Hashtbl.replace s sym { tuples = !tuples; count; index = None }
+  done;
+  s
 
 let equal (a : t) (b : t) =
   let norm s =

@@ -44,3 +44,17 @@ val add_sym : t -> Xic_symbol.Symbol.t -> tuple -> unit
 val remove_sym : t -> Xic_symbol.Symbol.t -> tuple -> bool
 val tuples_sym : t -> Xic_symbol.Symbol.t -> tuple list
 val tuples_with_key_sym : t -> Xic_symbol.Symbol.t -> Term.const -> tuple list
+
+(** {1 Snapshot (de)serialization} *)
+
+val serialize : t -> Buffer.t -> unit
+(** Append the store's binary image to the buffer: relations by {e name}
+    (no symbol ids, so no remap on load), tuples in insertion order.
+    See [Xic_snapshot.Snapshot] for the enclosing checksummed
+    container. *)
+
+val deserialize : Xic_symbol.Wire.cursor -> t
+(** Rebuild a serialized store, preallocating the relation and
+    first-column index tables from the stored cardinalities (the
+    snapshot cold-load fast path).
+    @raise Xic_symbol.Wire.Error on truncated or malformed input. *)

@@ -1,0 +1,121 @@
+(* Crash-safe file replacement and its building blocks, shared by the
+   journal and the snapshot writer. *)
+
+let c_dir_fsyncs = Xic_obs.Obs.Metrics.counter "dir_fsyncs"
+let c_io_retries = Xic_obs.Obs.Metrics.counter "io_retries"
+
+exception Atomic_file_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Atomic_file_error s)) fmt
+
+(* Transient errors worth a bounded retry.  Real EIO is rarely
+   transient, but the injected one (Failpoint.Eio) is by construction,
+   and a couple of cheap retries on the real thing cost nothing. *)
+let transient = function
+  | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EIO -> true
+  | _ -> false
+
+let retry_attempts = 4
+let backoff_base_s = 0.0005
+
+let with_retries ?(attempts = retry_attempts) f =
+  let rec go i =
+    try f ()
+    with Unix.Unix_error (e, _, _) when transient e && i < attempts ->
+      Xic_obs.Obs.Metrics.incr c_io_retries;
+      Unix.sleepf (backoff_base_s *. (2.0 ** float_of_int i));
+      go (i + 1)
+  in
+  go 0
+
+let write_plain fd s off len =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s off len in
+      go (off + n) (len - n)
+    end
+  in
+  go off len
+
+(* Write [len] bytes, mediated by failpoint site [fp] when given: an
+   armed torn-write action emits a prefix and crashes (or raises), an
+   injected EIO is retried with backoff like a real transient error. *)
+let write_all ?fp fd s off len =
+  let attempt () =
+    match fp with
+    | None -> write_plain fd s off len
+    | Some name ->
+      (match Failpoint.write_fault name ~len with
+       | Some keep ->
+         write_plain fd s off keep;
+         Failpoint.torn_crash name
+       | None -> write_plain fd s off len)
+  in
+  with_retries attempt
+
+let fsync ?fp fd =
+  (match fp with Some name -> Failpoint.hit name | None -> ());
+  (* only EINTR: an fsync that reports EIO may have dropped dirty pages,
+     so retrying would falsely report durability *)
+  let rec go () =
+    try Unix.fsync fd with Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* Make a directory entry change (create, rename) itself durable.  Best
+   effort: some platforms refuse to open or fsync directories. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dfd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.fsync dfd with
+        | () -> Xic_obs.Obs.Metrics.incr c_dir_fsyncs
+        | exception Unix.Unix_error _ -> ())
+
+let fsync_parent_dir path = fsync_dir (Filename.dirname path)
+
+(* Atomically replace [path] with [contents]: write a temp file in the
+   same directory, fsync it, rename over [path], fsync the directory so
+   the rename itself survives a crash.  A crash at any point leaves
+   either the old file or the new one — never a partial mix (at worst a
+   stale *.tmp to ignore).  [fp] prefixes the failpoint sites
+   FP_write / FP_fsync / FP_rename / FP_dirsync. *)
+let replace ?fp path contents =
+  let site suffix = Option.map (fun p -> p ^ "_" ^ suffix) fp in
+  let hit_site suffix =
+    match site suffix with Some name -> Failpoint.hit name | None -> ()
+  in
+  let dir = Filename.dirname path in
+  let tmp =
+    try Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp"
+    with Sys_error m -> fail "cannot create temp file in %s: %s" dir m
+  in
+  let fd =
+    try Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) -> fail "%s: %s" tmp (Unix.error_message e)
+  in
+  let fd_open = ref true in
+  let renamed = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if !fd_open then (try Unix.close fd with Unix.Unix_error _ -> ());
+      if not !renamed then (try Sys.remove tmp with Sys_error _ -> ()))
+  @@ fun () ->
+  (try
+     write_all ?fp:(site "write") fd contents 0 (String.length contents);
+     fsync ?fp:(site "fsync") fd;
+     Unix.chmod tmp 0o644
+   with Unix.Unix_error (e, _, _) ->
+     fail "writing %s: %s" tmp (Unix.error_message e));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  fd_open := false;
+  hit_site "rename";
+  (try with_retries (fun () -> Unix.rename tmp path)
+   with Unix.Unix_error (e, _, _) ->
+     fail "rename %s -> %s: %s" tmp path (Unix.error_message e));
+  renamed := true;
+  hit_site "dirsync";
+  fsync_dir dir

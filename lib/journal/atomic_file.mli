@@ -1,0 +1,49 @@
+(** The shared atomic-write path of the durability layer.
+
+    Crash-safe file replacement (temp file → fsync file → rename →
+    fsync parent directory) plus its building blocks — retrying writes,
+    fsync, directory fsync — all threaded through the {!Failpoint}
+    registry so the torture harness can tear, fail and crash each step.
+
+    The directory fsync matters: POSIX makes a rename atomic, but the
+    {e durability} of the new directory entry needs an fsync of the
+    parent directory — without it, a crash shortly after the rename can
+    bring the old file back (or, for a freshly created journal, no file
+    at all). *)
+
+exception Atomic_file_error of string
+
+val replace : ?fp:string -> string -> string -> unit
+(** [replace ?fp path contents] atomically replaces (or creates) [path]
+    with [contents].  A crash at any point leaves either the previous
+    file or the complete new one, never a torn mix; at worst a stale
+    [*.tmp] file remains in the directory, which readers ignore.
+
+    With [fp], each step consults a failpoint: [fp_write] (mediated, so
+    torn-write and EIO injection apply), [fp_fsync], [fp_rename] (fires
+    before the rename), [fp_dirsync] (fires after the rename, before the
+    directory fsync).
+    @raise Atomic_file_error on an unrecoverable I/O failure. *)
+
+val write_all : ?fp:string -> Unix.file_descr -> string -> int -> int -> unit
+(** [write_all ?fp fd s off len] writes the substring fully, retrying
+    transient errors (EINTR, EAGAIN, and — bounded, with exponential
+    backoff — EIO, notably the injected kind) and honouring a torn-write
+    failpoint at site [fp].
+    @raise Unix.Unix_error when retries are exhausted. *)
+
+val fsync : ?fp:string -> Unix.file_descr -> unit
+(** Fsync, retrying only EINTR — an fsync failing with EIO may already
+    have dropped dirty pages, so it propagates rather than lie about
+    durability.  [fp] names a plain failpoint site consulted first. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory (best effort: silently skipped on platforms that
+    refuse to fsync directories). *)
+
+val fsync_parent_dir : string -> unit
+(** {!fsync_dir} on [Filename.dirname path]. *)
+
+val with_retries : ?attempts:int -> (unit -> 'a) -> 'a
+(** Run [f], retrying transient [Unix_error]s (EINTR / EAGAIN / EIO) up
+    to [attempts] (default 4) times with exponential backoff. *)

@@ -4,27 +4,48 @@ type entry =
   | Abort of { txn : int }
   | Truncate of { txn : int; keep : int }
 
+type tail =
+  | Clean
+  | Torn of { dropped : int }
+  | Corrupt of { dropped : int }
+
 type read_result = {
   entries : entry list;
   torn : bool;
+  tail : tail;
+  generation : int;
 }
 
 exception Journal_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Journal_error s)) fmt
 
-let header = "XICJ1\n"
-let digest_len = 16  (* MD5 *)
+let header_v1 = "XICJ1\n"
+let header_v2 = "XICJ2\n"
+let header_len = String.length header_v2 (* both 6 bytes *)
+let gen_len = 8 (* v2: big-endian generation follows the magic *)
+let digest_len = 16 (* MD5 *)
+
+(* Failpoint sites of the append/reset path, declared up front so the
+   torture harness can enumerate them before any journal I/O happens. *)
+let () =
+  List.iter Failpoint.declare
+    [ "mid_write"; "journal_write"; "journal_fsync"; "journal_create";
+      "journal_reset"; "journal_reset_rename" ]
 
 type t = {
   jpath : string;
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   sync : bool;
   mutable next : int;
+  mutable gen : int;
+  mutable entries_written : int;  (* valid records currently in the file *)
   mutable closed : bool;
 }
 
 let path t = t.jpath
+let generation t = t.gen
+let entry_count t = t.entries_written
 
 let txn_of = function
   | Intent { txn; _ } | Commit { txn } | Abort { txn } | Truncate { txn; _ } -> txn
@@ -60,6 +81,12 @@ let entry_of_payload s =
   | [ "truncate"; txn; keep ] -> Truncate { txn = int_ txn; keep = int_ keep }
   | _ -> fail "unknown journal record %S" line
 
+let fresh_header gen =
+  let b = Bytes.create (header_len + gen_len) in
+  Bytes.blit_string header_v2 0 b 0 header_len;
+  Bytes.set_int64_be b header_len (Int64.of_int gen);
+  Bytes.to_string b
+
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -75,33 +102,45 @@ let input_upto ic buf len =
   go 0
 
 (* Scan all valid records; [valid_end] is the byte offset just past the
-   last intact record, where appends may safely resume. *)
+   last intact record, where appends may safely resume.  [tail]
+   distinguishes a truncated final record (the crash signature: bytes
+   missing at end of file) from a full-length record whose checksum
+   fails (corruption). *)
 let scan_file p =
   let ic = try open_in_bin p with Sys_error m -> fail "%s" m in
   Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-  (match really_input_string ic (String.length header) with
-   | h when h = header -> ()
-   | _ -> fail "%s: not a journal file (bad header)" p
-   | exception End_of_file -> fail "%s: not a journal file (truncated header)" p);
+  let size = in_channel_length ic in
+  let gen =
+    match really_input_string ic header_len with
+    | h when h = header_v1 -> 0
+    | h when h = header_v2 ->
+      (match really_input_string ic gen_len with
+       | g -> Int64.to_int (String.get_int64_be g 0)
+       | exception End_of_file -> fail "%s: not a journal file (truncated header)" p)
+    | _ -> fail "%s: not a journal file (bad header)" p
+    | exception End_of_file -> fail "%s: not a journal file (truncated header)" p
+  in
   let entries = ref [] in
-  let torn = ref false in
+  let tail = ref Clean in
   let valid_end = ref (pos_in ic) in
   let lenb = Bytes.create 4 in
+  let dropped () = size - !valid_end in
   let rec scan () =
     match input_upto ic lenb 4 with
     | 0 -> ()  (* clean end of file *)
-    | n when n < 4 -> torn := true
+    | n when n < 4 -> tail := Torn { dropped = dropped () }
     | _ ->
       let len = Int32.to_int (Bytes.get_int32_be lenb 0) in
-      if len < 0 then torn := true
+      if len < 0 then tail := Corrupt { dropped = dropped () }
       else
         (match really_input_string ic len with
-         | exception End_of_file -> torn := true
+         | exception End_of_file -> tail := Torn { dropped = dropped () }
          | payload ->
            (match really_input_string ic digest_len with
-            | exception End_of_file -> torn := true
+            | exception End_of_file -> tail := Torn { dropped = dropped () }
             | digest ->
-              if Digest.string payload <> digest then torn := true
+              if Digest.string payload <> digest then
+                tail := Corrupt { dropped = dropped () }
               else begin
                 entries := entry_of_payload payload :: !entries;
                 valid_end := pos_in ic;
@@ -109,55 +148,53 @@ let scan_file p =
               end))
   in
   scan ();
-  (List.rev !entries, !torn, !valid_end)
+  (List.rev !entries, !tail, !valid_end, gen)
 
 let read p =
-  let entries, torn, _ = scan_file p in
-  { entries; torn }
+  let entries, tail, _, generation = scan_file p in
+  { entries; torn = tail <> Clean; tail; generation }
 
 (* ------------------------------------------------------------------ *)
 (* Appending                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let write_all fd s off len =
-  let rec go off len =
-    if len > 0 then begin
-      let n =
-        try Unix.write_substring fd s off len
-        with Unix.Unix_error (e, _, _) -> fail "write failed: %s" (Unix.error_message e)
-      in
-      go (off + n) (len - n)
-    end
-  in
-  go off len
-
 let open_ ?(sync = true) p =
   let fresh =
     (not (Sys.file_exists p)) || (try (Unix.stat p).Unix.st_size = 0 with Unix.Unix_error _ -> true)
   in
-  let entries, valid_end =
-    if fresh then ([], String.length header)
+  let entries, valid_end, gen =
+    if fresh then ([], header_len + gen_len, 1)
     else
       (* the torn tail, if any, is truncated away below *)
-      let entries, _torn, valid_end = scan_file p in
-      (entries, valid_end)
+      let entries, _tail, valid_end, gen = scan_file p in
+      (entries, valid_end, gen)
   in
+  Failpoint.hit "journal_create";
   let fd =
     try Unix.openfile p [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
     with Unix.Unix_error (e, _, _) -> fail "%s: %s" p (Unix.error_message e)
   in
   (try
-     if fresh then write_all fd header 0 (String.length header)
+     if fresh then begin
+       let h = fresh_header gen in
+       Atomic_file.write_all fd h 0 (String.length h)
+     end
      else begin
        Unix.ftruncate fd valid_end;
        ignore (Unix.lseek fd valid_end Unix.SEEK_SET)
      end;
-     if sync then Unix.fsync fd
+     if sync then begin
+       Atomic_file.fsync fd;
+       (* a freshly created journal is a new directory entry: make the
+          entry itself durable, or a crash can lose the whole file *)
+       if fresh then Atomic_file.fsync_parent_dir p
+     end
    with Unix.Unix_error (e, _, _) ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      fail "%s: %s" p (Unix.error_message e));
   let next = 1 + List.fold_left (fun m e -> max m (txn_of e)) 0 entries in
-  { jpath = p; fd; sync; next; closed = false }
+  { jpath = p; fd; sync; next; gen;
+    entries_written = List.length entries; closed = false }
 
 let next_txn t =
   let id = t.next in
@@ -166,6 +203,7 @@ let next_txn t =
 
 let c_appends = Xic_obs.Obs.Metrics.counter "journal_appends"
 let c_fsyncs = Xic_obs.Obs.Metrics.counter "journal_fsyncs"
+let c_resets = Xic_obs.Obs.Metrics.counter "journal_resets"
 
 let append t e =
   if t.closed then fail "journal %s is closed" t.jpath;
@@ -174,23 +212,87 @@ let append t e =
   let lenb = Bytes.create 4 in
   Bytes.set_int32_be lenb 0 (Int32.of_int (String.length payload));
   let record = Bytes.to_string lenb ^ payload ^ Digest.string payload in
-  (* Two half-writes so the [mid_write] failpoint leaves a torn record. *)
+  (* Two half-writes so the [mid_write] failpoint leaves a torn record;
+     each half is mediated by [journal_write] (torn-write / EIO
+     injection with bounded retry). *)
+  let poison exn =
+    (* in-process injection: the tail may be torn; poison the handle *)
+    t.closed <- true;
+    (match exn with
+     | Unix.Unix_error (e, _, _) -> fail "write failed: %s" (Unix.error_message e)
+     | _ -> raise exn)
+  in
+  let guarded_write s off len =
+    match Atomic_file.write_all ~fp:"journal_write" t.fd s off len with
+    | () -> ()
+    | exception exn -> poison exn
+  in
   let half = String.length record / 2 in
-  write_all t.fd record 0 half;
+  guarded_write record 0 half;
   (match Failpoint.hit "mid_write" with
    | () -> ()
-   | exception exn ->
-     (* in-process (Raise) injection: the tail is torn; poison the handle *)
-     t.closed <- true;
-     raise exn);
-  write_all t.fd record half (String.length record - half);
+   | exception exn -> poison exn);
+  guarded_write record half (String.length record - half);
   (try
      if t.sync then begin
-       Unix.fsync t.fd;
+       Atomic_file.fsync ~fp:"journal_fsync" t.fd;
        Xic_obs.Obs.Metrics.incr c_fsyncs
      end
    with Unix.Unix_error (e, _, _) -> fail "fsync failed: %s" (Unix.error_message e));
+  t.entries_written <- t.entries_written + 1;
   if txn_of e >= t.next then t.next <- txn_of e + 1
+
+(* Atomically replace the journal with a fresh one of the next
+   generation.  Reset-by-rename rather than ftruncate: a crash between
+   truncating and rewriting the header would leave an unreadable file,
+   whereas rename leaves either the old journal (whose entries the
+   snapshot watermark skips) or the new empty one.  The new file's fd
+   stays valid across the rename (same inode), so the handle simply
+   swaps over. *)
+let reset t =
+  if t.closed then fail "journal %s is closed" t.jpath;
+  Failpoint.hit "journal_reset";
+  let gen' = t.gen + 1 in
+  let dir = Filename.dirname t.jpath in
+  let tmp =
+    try Filename.temp_file ~temp_dir:dir (Filename.basename t.jpath ^ ".") ".tmp"
+    with Sys_error m -> fail "cannot create temp file in %s: %s" dir m
+  in
+  let fd' =
+    try Unix.openfile tmp [ Unix.O_RDWR; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) -> fail "%s: %s" tmp (Unix.error_message e)
+  in
+  (try
+     let h = fresh_header gen' in
+     Atomic_file.write_all fd' h 0 (String.length h);
+     if t.sync then Atomic_file.fsync fd';
+     Unix.chmod tmp 0o644
+   with
+   | Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd' with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     fail "%s: %s" tmp (Unix.error_message e)
+   | exn ->
+     (try Unix.close fd' with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  (match Failpoint.hit "journal_reset_rename" with
+   | () -> ()
+   | exception exn ->
+     (try Unix.close fd' with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  (try Atomic_file.with_retries (fun () -> Unix.rename tmp t.jpath)
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd' with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     fail "rename %s -> %s: %s" tmp t.jpath (Unix.error_message e));
+  if t.sync then Atomic_file.fsync_dir dir;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- fd';
+  t.gen <- gen';
+  t.entries_written <- 0;
+  Xic_obs.Obs.Metrics.incr c_resets
 
 let close t =
   if not t.closed then begin

@@ -10,10 +10,17 @@
     documents; uncommitted or aborted transactions and a torn final
     record — the signature of a crash mid-write — are discarded.
 
-    On-disk format: a [XICJ1\n] header followed by records of the form
+    On-disk format: a [XICJ2\n] magic, an 8-byte big-endian {e generation}
+    number, then records of the form
     [length (4 bytes, big endian) | payload | MD5(payload) (16 bytes)].
-    The journal knows nothing about XML: statement payloads are opaque
-    strings, serialized and parsed by the repository layer. *)
+    Version-1 journals ([XICJ1\n], no generation field) are still read,
+    as generation 0.  The generation increments on every {!reset}
+    (checkpoint truncation), so a snapshot can record {e which} journal
+    incarnation its watermark counts into — recovery then replays
+    exactly the suffix past the checkpoint and never mistakes a regrown
+    journal for an already-applied one.  The journal knows nothing about
+    XML: statement payloads are opaque strings, serialized and parsed by
+    the repository layer. *)
 
 type t
 (** An open journal handle (append position after the last valid record). *)
@@ -30,9 +37,23 @@ type entry =
       (** rollback to a savepoint: only the first [keep] intents of
           [txn] remain effective *)
 
+(** How the journal file ends. *)
+type tail =
+  | Clean  (** last record intact, file ends on a record boundary *)
+  | Torn of { dropped : int }
+      (** the final record is cut short — bytes missing at end of file,
+          the signature of a crash mid-append; [dropped] bytes discarded *)
+  | Corrupt of { dropped : int }
+      (** a full-length record whose checksum fails — bit rot or an
+          overwritten region, {e not} a simple crash; scanning stops
+          there and [dropped] bytes (the bad record and everything
+          after) are discarded *)
+
 type read_result = {
   entries : entry list;  (** all valid records, file order *)
-  torn : bool;  (** the file ended in a torn or corrupt record (discarded) *)
+  torn : bool;  (** [tail <> Clean] (kept for older callers) *)
+  tail : tail;  (** how the file ended *)
+  generation : int;  (** the journal incarnation (0 for v1 files) *)
 }
 
 exception Journal_error of string
@@ -41,26 +62,44 @@ exception Journal_error of string
 val open_ : ?sync:bool -> string -> t
 (** Open [path] for appending, creating it if missing.  Existing records
     are scanned to seed {!next_txn}; a torn tail left by a crash is
-    truncated away so new records land on a valid prefix.  With
-    [sync = false] (default [true]) appends skip the fsync — faster, but
-    a crash may lose recent records (never corrupt the prefix). *)
+    truncated away so new records land on a valid prefix.  Creation
+    fsyncs the parent directory so the new entry itself is durable.
+    With [sync = false] (default [true]) appends skip the fsync —
+    faster, but a crash may lose recent records (never corrupt the
+    prefix). *)
 
 val path : t -> string
+
+val generation : t -> int
+(** The journal's current generation (bumped by {!reset}). *)
+
+val entry_count : t -> int
+(** Valid records currently in the file — the snapshot watermark. *)
 
 val next_txn : t -> int
 (** A fresh transaction id (greater than any id already journaled). *)
 
 val append : t -> entry -> unit
 (** Serialize, write and (unless [sync = false]) fsync one record.
-    Honours the [mid_write] failpoint: the process dies after writing
-    half of the record, leaving a torn tail for recovery to discard. *)
+    Failpoints: [mid_write] (crash half-way through the record, leaving
+    a torn tail), [journal_write] (mediated: torn-write and injected-EIO
+    actions apply, the latter retried with bounded backoff) and
+    [journal_fsync]. *)
+
+val reset : t -> unit
+(** Atomically replace the journal with an empty one of the next
+    generation — the checkpoint truncation.  Crash-safe by rename: a
+    crash during reset leaves either the old journal (all of whose
+    entries the snapshot's watermark covers) or the fresh empty one.
+    Failpoints: [journal_reset] (before anything), [journal_reset_rename]
+    (new file written, not yet renamed in). *)
 
 val close : t -> unit
 
 val read : string -> read_result
 (** Read all valid records of a journal file, stopping at the first torn
-    or corrupt record.  @raise Journal_error when the file cannot be read
-    or does not carry the journal header. *)
+    or corrupt record (see {!type:tail}).  @raise Journal_error when the
+    file cannot be read or does not carry a journal header. *)
 
 val committed : entry list -> (int * entry list) list
 (** The committed transactions in commit order, each with its effective

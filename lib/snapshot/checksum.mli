@@ -1,0 +1,21 @@
+(** Fast non-cryptographic checksum for snapshot sections.
+
+    Detects torn writes and bit rot at several GB/s — see the
+    implementation for the detection argument.  Not a substitute for a
+    cryptographic digest: an adversary can forge collisions trivially,
+    but the threat model of a crash-consistent checkpoint is hardware
+    and kernel misbehavior, not tampering. *)
+
+val sum : string -> int -> int -> int
+(** [sum s off len] checksums the slice [s.[off .. off+len-1]].
+    @raise Invalid_argument on an out-of-range slice. *)
+
+val width : int
+(** Stored size in bytes (8: a little-endian 63-bit value). *)
+
+val to_bytes : int -> string
+(** Little-endian encoding, [width] bytes. *)
+
+val check : string -> int -> int -> bool
+(** [check s off v] is true iff the [width] bytes at [off] encode [v].
+    @raise Invalid_argument when fewer than [width] bytes remain. *)

@@ -103,3 +103,4 @@ let to_int (s : t) = s
 let unsafe_of_int (i : int) : t = i
 let count () = Array.length (Atomic.get names)
 let mem str = Hashtbl.mem (Atomic.get table) str
+let all_names () = Atomic.get names

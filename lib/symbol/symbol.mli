@@ -53,3 +53,9 @@ val count : unit -> int
 
 val mem : string -> bool
 (** Whether the string has been interned (no side effect). *)
+
+val all_names : unit -> string array
+(** The current names snapshot, index = symbol id.  The returned array is
+    a published copy-on-write snapshot: treat it as read-only.  Used by
+    the snapshot serializer to persist the table so symbol ids can be
+    remapped on load in a process with a different interning history. *)

@@ -1,0 +1,186 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+
+let cursor ?(pos = 0) data = { data; pos }
+let remaining c = String.length c.data - c.pos
+
+let need c n what =
+  if n < 0 || c.pos + n > String.length c.data then
+    fail "truncated input: %s (need %d bytes at offset %d of %d)" what n c.pos
+      (String.length c.data)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Ints are zigzag LEB128 varints: snapshot payloads are dominated by
+   small non-negative values (node ids, lengths, column entries) with
+   the occasional -1 sentinel, so this is 1–3 bytes where a fixed
+   encoding costs 8 — and the file-size saving is read + checksum time
+   on the cold-start path.  Zigzag folds the sign into the low bit
+   ([0, -1, 1, -2, …] → [0, 1, 2, 3, …]); [asr 62] broadcasts the sign
+   of OCaml's 63-bit int. *)
+let add_int b (v : int) =
+  let rec go u =
+    if u land lnot 0x7f = 0 then Buffer.add_char b (Char.unsafe_chr u)
+    else begin
+      Buffer.add_char b (Char.unsafe_chr (u land 0x7f lor 0x80));
+      go (u lsr 7)
+    end
+  in
+  go ((v lsl 1) lxor (v asr 62))
+
+let add_u8 b (v : int) =
+  if v < 0 || v > 0xff then fail "add_u8: %d out of range" v;
+  Buffer.add_char b (Char.unsafe_chr v)
+
+let add_string b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_int_array b a n =
+  add_int b n;
+  for i = 0 to n - 1 do
+    add_int b (Array.unsafe_get a i)
+  done
+
+(* Index-relative encoding for arena columns whose entries correlate
+   with their position (parent, sibling and child links are almost
+   always a node id near [i]): storing [a.(i) - i] keeps nearly every
+   element in the one-byte zigzag range. *)
+let add_int_array_delta b a n =
+  add_int b n;
+  for i = 0 to n - 1 do
+    add_int b (Array.unsafe_get a i - i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Top-level so the tail-recursive loop compiles to a jump with no
+   closure allocation — [get_int] sits on every decode path. *)
+let rec varint_loop c data len pos shift acc =
+  if pos >= len then fail "truncated input: int (offset %d of %d)" pos len;
+  if shift > 63 then fail "varint too long (offset %d)" pos;
+  let byte = Char.code (String.unsafe_get data pos) in
+  let acc = acc lor ((byte land 0x7f) lsl shift) in
+  if byte land 0x80 <> 0 then varint_loop c data len (pos + 1) (shift + 7) acc
+  else begin
+    c.pos <- pos + 1;
+    (acc lsr 1) lxor - (acc land 1)
+  end
+
+let get_int c = varint_loop c c.data (String.length c.data) c.pos 0 0
+
+let get_u8 c =
+  need c 1 "byte";
+  let v = Char.code (String.unsafe_get c.data c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_string c =
+  let len = get_int c in
+  need c len "string";
+  let s = String.sub c.data c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let decode_int_array c ~delta =
+  let n = get_int c in
+  (* bound the allocation by the bytes actually present (a varint
+     element is at least one byte) *)
+  if n < 0 || n > remaining c then
+    fail "int array length %d exceeds remaining input (%d bytes)" n (remaining c);
+  if n = 0 then [||]
+  else begin
+    (* Hot path of the snapshot loader (every arena column comes through
+       here): track the position in a local instead of the cursor field,
+       and decode varints of up to three bytes inline — node-id-sized
+       values (ids into the millions) fit in three. *)
+    let data = c.data and len = String.length c.data in
+    let a = Array.make n 0 in
+    let pos = ref c.pos in
+    for i = 0 to n - 1 do
+      let p = !pos in
+      if p >= len then fail "truncated input: int (offset %d of %d)" p len;
+      let b0 = Char.code (String.unsafe_get data p) in
+      let v =
+        if b0 < 0x80 then begin
+          pos := p + 1;
+          (b0 lsr 1) lxor - (b0 land 1)
+        end
+        else if p + 1 < len
+                && Char.code (String.unsafe_get data (p + 1)) < 0x80 then begin
+          let u =
+            b0 land 0x7f lor (Char.code (String.unsafe_get data (p + 1)) lsl 7)
+          in
+          pos := p + 2;
+          (u lsr 1) lxor - (u land 1)
+        end
+        else if p + 2 < len
+                && Char.code (String.unsafe_get data (p + 2)) < 0x80 then begin
+          let u =
+            b0 land 0x7f
+            lor ((Char.code (String.unsafe_get data (p + 1)) land 0x7f) lsl 7)
+            lor (Char.code (String.unsafe_get data (p + 2)) lsl 14)
+          in
+          pos := p + 3;
+          (u lsr 1) lxor - (u land 1)
+        end
+        else begin
+          c.pos <- p;
+          let v = get_int c in
+          pos := c.pos;
+          v
+        end
+      in
+      Array.unsafe_set a i (if delta then v + i else v)
+    done;
+    c.pos <- !pos;
+    a
+  end
+
+let get_int_array c = decode_int_array c ~delta:false
+let get_int_array_delta c = decode_int_array c ~delta:true
+
+(* Bulk form of [get_string] for the snapshot's string pools (document
+   text nodes, the store's constant table): tens of thousands of short
+   strings whose one-byte length varint can be decoded inline, keeping
+   the per-string cost close to the unavoidable [String.sub]. *)
+let get_string_array c n =
+  if n < 0 || n > remaining c then
+    fail "string array length %d exceeds remaining input (%d bytes)" n
+      (remaining c);
+  if n = 0 then [||]
+  else begin
+    let data = c.data and len = String.length c.data in
+    let a = Array.make n "" in
+    let pos = ref c.pos in
+    for i = 0 to n - 1 do
+      let p = !pos in
+      if p >= len then fail "truncated input: string (offset %d of %d)" p len;
+      let b0 = Char.code (String.unsafe_get data p) in
+      let slen, p =
+        if b0 < 0x80 then ((b0 lsr 1) lxor - (b0 land 1), p + 1)
+        else begin
+          c.pos <- p;
+          let v = get_int c in
+          (v, c.pos)
+        end
+      in
+      if slen < 0 || p + slen > len then
+        fail "truncated input: string (need %d bytes at offset %d of %d)" slen p
+          len;
+      Array.unsafe_set a i (String.sub data p slen);
+      pos := p + slen
+    done;
+    c.pos <- !pos;
+    a
+  end

@@ -1,0 +1,55 @@
+(** Minimal binary codec shared by the snapshot serializers.
+
+    Zigzag LEB128 varint integers, length-prefixed strings, and
+    length-prefixed int arrays.  Snapshot payloads are dominated by
+    small ints (node ids, arena columns, lengths) with the occasional
+    [-1] sentinel, so varints cut the file to a fraction of a fixed
+    8-byte encoding — and snapshot cold-load time is bounded by bytes
+    read and checksummed, not by the decoder's branches.  It lives here
+    (rather than in [lib/snapshot]) because both the document arena and
+    the Datalog store serialize themselves and already depend on
+    [xic_symbol], avoiding a dependency cycle. *)
+
+exception Error of string
+(** Truncated or malformed input.  Decoders bounds-check every read, so a
+    corrupted length can never provoke an out-of-range access or an
+    unbounded allocation. *)
+
+type cursor = {
+  data : string;
+  mutable pos : int;
+}
+(** A read position over an immutable byte string. *)
+
+val cursor : ?pos:int -> string -> cursor
+val remaining : cursor -> int
+
+val add_int : Buffer.t -> int -> unit
+val add_u8 : Buffer.t -> int -> unit
+val add_string : Buffer.t -> string -> unit
+
+val add_int_array : Buffer.t -> int array -> int -> unit
+(** [add_int_array b a n] encodes the first [n] elements of [a]. *)
+
+val add_int_array_delta : Buffer.t -> int array -> int -> unit
+(** Like {!add_int_array} but stores [a.(i) - i]: for arena columns
+    whose entries track their own position (parent/sibling/child
+    links), the deltas stay in the one-byte varint range.  Decode with
+    {!get_int_array_delta}. *)
+
+val get_int : cursor -> int
+val get_u8 : cursor -> int
+val get_string : cursor -> string
+
+val get_int_array : cursor -> int array
+(** @raise Error when the encoded length exceeds the remaining input. *)
+
+val get_int_array_delta : cursor -> int array
+(** Inverse of {!add_int_array_delta}. *)
+
+val get_string_array : cursor -> int -> string array
+(** [get_string_array c n] reads [n] consecutive length-prefixed
+    strings.  Equivalent to [n] calls to {!get_string}, but with the
+    common one-byte length decoded inline — the snapshot's string pools
+    hold tens of thousands of short strings.
+    @raise Error on truncated input or a negative count. *)

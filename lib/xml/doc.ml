@@ -531,6 +531,156 @@ let copy doc =
     observer = None;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot (de)serialization                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Xic_symbol.Wire
+
+(* Dump the arena columns verbatim (prefix [0 .. next_id)), so node ids
+   survive a save/load round trip — the Datalog store's node-id tuples
+   and the journal's replay both rely on that. *)
+let serialize doc buf =
+  let n = doc.next_id in
+  Wire.add_int buf n;
+  Wire.add_int buf doc.live_count;
+  (* structural links are node ids near their own index — store them
+     index-relative so almost every varint is one byte; tagk (small
+     symbol ids) and attr_head (mostly -1) are already short as-is *)
+  Wire.add_int_array_delta buf doc.parent n;
+  Wire.add_int_array_delta buf doc.first_child n;
+  Wire.add_int_array_delta buf doc.last_child n;
+  Wire.add_int_array_delta buf doc.next_sib n;
+  Wire.add_int_array_delta buf doc.prev_sib n;
+  Wire.add_int_array buf doc.tagk n;
+  Wire.add_int_array buf doc.attr_head n;
+  Wire.add_string buf (Bytes.sub_string doc.dead 0 n);
+  Wire.add_int buf doc.n_texts;
+  for i = 0 to doc.n_texts - 1 do
+    Wire.add_string buf doc.texts.(i)
+  done;
+  Wire.add_int buf doc.n_attrs;
+  Wire.add_int_array buf doc.aname doc.n_attrs;
+  for i = 0 to doc.n_attrs - 1 do
+    Wire.add_string buf doc.avalue.(i)
+  done;
+  Wire.add_int_array buf doc.anext doc.n_attrs;
+  Wire.add_int buf (List.length doc.root_ids);
+  List.iter (Wire.add_int buf) doc.root_ids
+
+(* Restore a serialized arena in place into an empty document.  Symbol
+   ids are process-local (they depend on interning order), so every
+   stored tag and attribute-name id goes through [remap], built by the
+   snapshot loader from the saved names table. *)
+let restore doc ~remap c =
+  if doc.next_id > 0 || doc.root_ids <> [] then
+    invalid_arg "Doc.restore: document not empty";
+  let n = Wire.get_int c in
+  if n < 0 then invalid_arg "Doc.restore: negative node count";
+  let live_count = Wire.get_int c in
+  let col what a = if Array.length a <> n then
+      invalid_arg ("Doc.restore: column length mismatch in " ^ what) else a in
+  let parent = col "parent" (Wire.get_int_array_delta c) in
+  let first_child = col "first_child" (Wire.get_int_array_delta c) in
+  let last_child = col "last_child" (Wire.get_int_array_delta c) in
+  let next_sib = col "next_sib" (Wire.get_int_array_delta c) in
+  let prev_sib = col "prev_sib" (Wire.get_int_array_delta c) in
+  let tagk = col "tagk" (Wire.get_int_array c) in
+  let attr_head = col "attr_head" (Wire.get_int_array c) in
+  (* [get_string] already returns a fresh copy, safe to take ownership *)
+  let dead = Bytes.unsafe_of_string (Wire.get_string c) in
+  if Bytes.length dead <> n then invalid_arg "Doc.restore: dead column mismatch";
+  let n_texts = Wire.get_int c in
+  if n_texts < 0 || n_texts > Wire.remaining c then
+    invalid_arg "Doc.restore: bad text count";
+  let texts = Wire.get_string_array c n_texts in
+  let n_attrs = Wire.get_int c in
+  if n_attrs < 0 || n_attrs > Wire.remaining c then
+    invalid_arg "Doc.restore: bad attr count";
+  let aname = Wire.get_int_array c in
+  if Array.length aname <> n_attrs then invalid_arg "Doc.restore: aname mismatch";
+  let avalue = Wire.get_string_array c n_attrs in
+  let anext = Wire.get_int_array c in
+  if Array.length anext <> n_attrs then invalid_arg "Doc.restore: anext mismatch";
+  let n_roots = Wire.get_int c in
+  if n_roots < 0 || n_roots > Wire.remaining c then
+    invalid_arg "Doc.restore: bad root count";
+  let root_ids = List.init n_roots (fun _ -> Wire.get_int c) in
+  (* flatten the remap to raw ids once, so the per-node loop is two
+     array reads — it runs over every node of the arena *)
+  let nsyms = Array.length remap in
+  let ids = Array.map Symbol.to_int remap in
+  for i = 0 to n - 1 do
+    let k = Array.unsafe_get tagk i in
+    if k >= 0 then begin
+      if k >= nsyms then invalid_arg "Doc.restore: symbol id out of range";
+      Array.unsafe_set tagk i (Array.unsafe_get ids k)
+    end
+  done;
+  for i = 0 to n_attrs - 1 do
+    let k = Array.unsafe_get aname i in
+    if k < 0 || k >= nsyms then
+      invalid_arg "Doc.restore: symbol id out of range";
+    Array.unsafe_set aname i (Array.unsafe_get ids k)
+  done;
+  doc.parent <- parent;
+  doc.first_child <- first_child;
+  doc.last_child <- last_child;
+  doc.next_sib <- next_sib;
+  doc.prev_sib <- prev_sib;
+  doc.tagk <- tagk;
+  doc.attr_head <- attr_head;
+  doc.dead <- dead;
+  doc.next_id <- n;
+  doc.texts <- (if n_texts = 0 then Array.make 16 "" else texts);
+  doc.n_texts <- n_texts;
+  doc.aname <- (if n_attrs = 0 then Array.make 16 0 else aname);
+  doc.avalue <- (if n_attrs = 0 then Array.make 16 "" else avalue);
+  doc.anext <- (if n_attrs = 0 then Array.make 16 (-1) else anext);
+  doc.n_attrs <- n_attrs;
+  doc.root_ids <- root_ids;
+  doc.live_count <- live_count
+
+let transplant ~into src =
+  if into.next_id > 0 || into.root_ids <> [] then
+    invalid_arg "Doc.transplant: destination not empty";
+  into.parent <- src.parent;
+  into.first_child <- src.first_child;
+  into.last_child <- src.last_child;
+  into.next_sib <- src.next_sib;
+  into.prev_sib <- src.prev_sib;
+  into.tagk <- src.tagk;
+  into.attr_head <- src.attr_head;
+  into.dead <- src.dead;
+  into.next_id <- src.next_id;
+  into.texts <- src.texts;
+  into.n_texts <- src.n_texts;
+  into.aname <- src.aname;
+  into.avalue <- src.avalue;
+  into.anext <- src.anext;
+  into.n_attrs <- src.n_attrs;
+  into.root_ids <- src.root_ids;
+  into.live_count <- src.live_count;
+  (* leave [src] reusable but disconnected from the moved arena *)
+  let empty = create () in
+  src.parent <- empty.parent;
+  src.first_child <- empty.first_child;
+  src.last_child <- empty.last_child;
+  src.next_sib <- empty.next_sib;
+  src.prev_sib <- empty.prev_sib;
+  src.tagk <- empty.tagk;
+  src.attr_head <- empty.attr_head;
+  src.dead <- empty.dead;
+  src.next_id <- 0;
+  src.texts <- empty.texts;
+  src.n_texts <- 0;
+  src.aname <- empty.aname;
+  src.avalue <- empty.avalue;
+  src.anext <- empty.anext;
+  src.n_attrs <- 0;
+  src.root_ids <- [];
+  src.live_count <- 0
+
 let equal_structure d1 d2 =
   let cmp_attr (k1, v1) (k2, v2) =
     let c = Symbol.compare k1 k2 in

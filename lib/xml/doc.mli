@@ -181,3 +181,30 @@ val copy : t -> t
 val equal_structure : t -> t -> bool
 (** Structural equality of the trees reachable from the roots (ignores ids,
     compares tags, attribute sets, text and child order). *)
+
+val serialize : t -> Buffer.t -> unit
+(** Append the arena's binary image (all columns, pools and roots) to the
+    buffer, node ids preserved — see [Xic_snapshot.Snapshot] for the
+    enclosing checksummed container.  Tag and attribute names are stored
+    as symbol {e ids}; the snapshot layer persists the symbol table
+    alongside and remaps on load. *)
+
+val restore : t -> remap:Symbol.t array -> Xic_symbol.Wire.cursor -> unit
+(** Rebuild a serialized arena in place into [t], which must be empty
+    (freshly created).  [remap.(id)] is the loading process's symbol for
+    stored symbol id [id] (interning histories differ between
+    processes); an array rather than a function because the translation
+    loop touches every node.  A stored id outside the array is a
+    malformed image.  Node ids come back unchanged, so stored node-id
+    references (the Datalog mirror, journal replays) stay valid.  No
+    observer notifications fire.
+    @raise Invalid_argument on a non-empty document or a malformed image;
+    @raise Xic_symbol.Wire.Error on truncated input. *)
+
+val transplant : into:t -> t -> unit
+(** Move [src]'s arena into [into] (which must be empty), leaving [src]
+    empty.  O(1): the column arrays change owner, nothing is copied.
+    The snapshot loader restores into a scratch document and transplants
+    only once every section has decoded, so a caller's document is never
+    left half-restored by a failed load.  [into]'s observer is kept.
+    @raise Invalid_argument if [into] is not empty. *)

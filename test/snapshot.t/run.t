@@ -1,0 +1,115 @@
+Snapshot checkpointing end to end: cold start from a binary snapshot,
+journal folding, crash-injected saves, and the recovery error taxonomy.
+
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track*)>
+  > <!ELEMENT track (name, rev*)>
+  > <!ELEMENT rev (name, sub*)>
+  > <!ELEMENT sub (title, auts)>
+  > <!ELEMENT auts (name+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT title (#PCDATA)>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>First</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> R
+  > XEOF
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ cat > good.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Fresh</title><auts><name>Zoe</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+
+Checkpoint the parsed documents into a binary snapshot, then check
+directly from it — no XML parsing on the hot path:
+
+  $ xicheck checkpoint --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --snapshot state.xis
+  checkpointed 13 node(s), 7 fact(s) to state.xis (334 bytes)
+  $ xicheck check --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl
+  consistent
+
+--snapshot and --doc are two sources for the same state, never both:
+
+  $ xicheck check --dtd rev.dtd=review --snapshot state.xis --doc rev.xml --constraints constraints.xpl
+  xicheck: --snapshot and --doc are mutually exclusive
+  [1]
+
+Guarded updates run against the snapshot and journal their intents;
+checkpointing again folds the journal suffix in and truncates it:
+
+  $ xicheck guard --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal wal.j
+  applied (validated by the optimized pre-check)
+  $ xicheck checkpoint --dtd rev.dtd=review --constraints constraints.xpl --snapshot state.xis --journal wal.j
+  checkpointed 19 node(s), 10 fact(s) to state.xis (502 bytes)
+  journal reset after folding 2 entries
+  $ xicheck recover --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl --journal wal.j --output rec
+  replayed 0 transaction(s), 0 statement(s); discarded 0
+  wrote rec.0.xml
+  $ grep -c Fresh rec.0.xml
+  1
+
+A crash during the snapshot write (torn temp file, injected via
+XIC_FAILPOINT) leaves the previous snapshot untouched:
+
+  $ xicheck guard --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal wal.j
+  applied (validated by the optimized pre-check)
+  $ XIC_FAILPOINT=snapshot_write=torn:0.5 xicheck checkpoint --dtd rev.dtd=review --constraints constraints.xpl --snapshot state.xis --journal wal.j
+  [42]
+  $ xicheck check --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl
+  consistent
+
+And the journal survived un-truncated, so recovery still replays the
+committed suffix on top of the old snapshot:
+
+  $ xicheck recover --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl --journal wal.j --output rec2
+  replayed 1 transaction(s), 1 statement(s); discarded 0
+  wrote rec2.0.xml
+  $ grep -c Fresh rec2.0.xml
+  2
+
+A crash between the snapshot rename and the journal truncation is also
+safe: the journal's generation tells recovery the snapshot already
+contains its prefix (replayed 0, not doubled):
+
+  $ XIC_FAILPOINT=checkpoint_truncate xicheck checkpoint --dtd rev.dtd=review --constraints constraints.xpl --snapshot state.xis --journal wal.j
+  [42]
+  $ xicheck recover --dtd rev.dtd=review --snapshot state.xis --constraints constraints.xpl --journal wal.j
+  replayed 0 transaction(s), 0 statement(s); discarded 0
+
+The recovery error taxonomy, by exit code.  A missing journal is exit 3:
+
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal no-such.j
+  xicheck: journal no-such.j not found
+  [3]
+
+A torn tail (crash mid-append) is expected and recovers the committed
+prefix, exit 0:
+
+  $ XIC_FAILPOINT=mid_write xicheck guard --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal torn.j
+  [42]
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal torn.j
+  discarded a torn record at the end of the journal
+  replayed 0 transaction(s), 0 statement(s); discarded 0
+
+Mid-file corruption (a full-length record failing its checksum — bit
+rot, not a crash) replays the valid prefix but exits 4:
+
+  $ xicheck guard --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --update good.xml --journal rot.j
+  applied (validated by the optimized pre-check)
+  $ size=$(wc -c < rot.j)
+  $ printf '\377' | dd of=rot.j bs=1 seek=$((size - 18)) count=1 conv=notrunc status=none
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal rot.j
+  checksum mismatch inside the journal: discarded 28 byte(s) from the first corrupt record onward
+  replayed 0 transaction(s), 0 statement(s); discarded 1
+  [4]

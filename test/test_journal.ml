@@ -110,6 +110,137 @@ let test_journal_torn_tail () =
   checkb "clean after reopen + append" false rr.J.torn;
   checki "three records" 3 (List.length rr.J.entries)
 
+let read_bin path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_bin path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* "XICJ2\n" + 8-byte generation *)
+let header_len = 14
+
+(* Byte offset just past record [i] (records are
+   [4-byte BE length | payload | 16-byte MD5]). *)
+let record_end file i =
+  let pos = ref header_len in
+  for _ = 0 to i do
+    let b k = Char.code file.[!pos + k] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    pos := !pos + 4 + len + 16
+  done;
+  !pos
+
+(* Cut the journal at EVERY byte offset inside the last record: each
+   truncation must classify as a torn tail and keep exactly the intact
+   prefix — no cut point may corrupt recovery. *)
+let test_torn_at_every_byte_offset () =
+  let p = fresh_path () in
+  let j = J.open_ ~sync:false p in
+  J.append j
+    (J.Intent { txn = 1; seq = 0; strategy = "optimized"; payload = "payload-one" });
+  J.append j (J.Commit { txn = 1 });
+  J.close j;
+  let full = read_bin p in
+  let n = String.length full in
+  let rec1_end = record_end full 0 in
+  checki "two records span the file" n (record_end full 1);
+  let cut_path = fresh_path () in
+  for cut = header_len to n - 1 do
+    write_bin cut_path (String.sub full 0 cut);
+    let rr = J.read cut_path in
+    let expect_entries, prefix_end =
+      if cut >= rec1_end then (1, rec1_end) else (0, header_len)
+    in
+    checki
+      (Printf.sprintf "cut at %d keeps the intact prefix" cut)
+      expect_entries
+      (List.length rr.J.entries);
+    match rr.J.tail with
+    | J.Clean ->
+      checkb (Printf.sprintf "cut at %d clean only on a boundary" cut) true
+        (cut = prefix_end)
+    | J.Torn { dropped } ->
+      checki (Printf.sprintf "cut at %d dropped bytes" cut) (cut - prefix_end)
+        dropped
+    | J.Corrupt _ ->
+      Alcotest.fail
+        (Printf.sprintf "cut at %d: truncation must never read as corruption"
+           cut)
+  done;
+  (* reopening any truncation for append still works: the torn suffix is
+     discarded and fresh records land on the valid prefix *)
+  write_bin cut_path (String.sub full 0 (n - 3));
+  let j = J.open_ cut_path in
+  J.append j (J.Commit { txn = 9 });
+  J.close j;
+  let rr = J.read cut_path in
+  checkb "clean after reopen" true (rr.J.tail = J.Clean);
+  checki "prefix + fresh record" 2 (List.length rr.J.entries)
+
+(* A full-length record failing its checksum in the MIDDLE of the file
+   is not a crash artifact: it must classify as Corrupt (so `xicheck
+   recover` can exit 4), still replaying the valid prefix. *)
+let test_corrupt_mid_record () =
+  let p = fresh_path () in
+  let j = J.open_ ~sync:false p in
+  J.append j
+    (J.Intent { txn = 1; seq = 0; strategy = "optimized"; payload = "first" });
+  J.append j
+    (J.Intent { txn = 1; seq = 1; strategy = "optimized"; payload = "second" });
+  J.append j (J.Commit { txn = 1 });
+  J.close j;
+  let full = read_bin p in
+  let rec1_end = record_end full 0 in
+  let b = Bytes.of_string full in
+  (* flip a byte inside record 2's payload *)
+  let i = rec1_end + 5 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  write_bin p (Bytes.to_string b);
+  let rr = J.read p in
+  checki "valid prefix kept" 1 (List.length rr.J.entries);
+  (match rr.J.tail with
+   | J.Corrupt { dropped } ->
+     checki "bad record and everything after dropped"
+       (String.length full - rec1_end) dropped
+   | J.Clean | J.Torn _ ->
+     Alcotest.fail "mid-file checksum mismatch must classify as Corrupt");
+  checkb "legacy torn flag still raised" true rr.J.torn
+
+let test_reset_bumps_generation () =
+  let p = fresh_path () in
+  let j = J.open_ p in
+  checki "fresh journals start at generation 1" 1 (J.generation j);
+  checki "empty" 0 (J.entry_count j);
+  J.append j (J.Intent { txn = 1; seq = 0; strategy = "optimized"; payload = "x" });
+  J.append j (J.Commit { txn = 1 });
+  checki "two entries" 2 (J.entry_count j);
+  J.reset j;
+  checki "generation bumped" 2 (J.generation j);
+  checki "truncated" 0 (J.entry_count j);
+  (* the handle stays usable across the rename swap *)
+  J.append j (J.Commit { txn = 7 });
+  J.close j;
+  let rr = J.read p in
+  checki "read generation" 2 rr.J.generation;
+  checki "only post-reset records" 1 (List.length rr.J.entries);
+  (* a crash before the reset rename leaves the old journal intact *)
+  let p2 = fresh_path () in
+  let j2 = J.open_ p2 in
+  J.append j2 (J.Commit { txn = 3 });
+  FP.set ~action:FP.Raise "journal_reset_rename";
+  (Fun.protect ~finally:FP.clear @@ fun () ->
+   match J.reset j2 with
+   | exception FP.Triggered "journal_reset_rename" -> ()
+   | () -> Alcotest.fail "armed reset failpoint must fire");
+  J.close j2;
+  let rr = J.read p2 in
+  checki "old generation survives the crashed reset" 1 rr.J.generation;
+  checki "old entries survive" 1 (List.length rr.J.entries)
+
 let test_journal_not_a_journal () =
   let p = fresh_path () in
   let oc = open_out p in
@@ -443,6 +574,12 @@ let () =
         [
           Alcotest.test_case "round trip" `Quick test_journal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "torn at every byte offset" `Quick
+            test_torn_at_every_byte_offset;
+          Alcotest.test_case "corrupt mid-record" `Quick
+            test_corrupt_mid_record;
+          Alcotest.test_case "reset bumps the generation" `Quick
+            test_reset_bumps_generation;
           Alcotest.test_case "bad header" `Quick test_journal_not_a_journal;
           Alcotest.test_case "truncate grouping" `Quick test_committed_truncate;
           Alcotest.test_case "mid-write failpoint" `Quick test_failpoint_mid_write;
