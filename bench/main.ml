@@ -9,6 +9,7 @@
                 Optimize; early rejection vs rollback
      index      indexed vs scan evaluation of full and simplified checks
      journal    write-ahead journaling overhead on guarded updates
+     incremental  delta-maintained denial views vs full re-evaluation
      micro      Bechamel micro-benchmarks of the moving parts
      all        everything above (default)
 
@@ -798,6 +799,87 @@ let micro () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* PR 7: incremental (delta-driven) checking                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Post-update verdict cost, full re-evaluation vs the delta-maintained
+   views: per document size, dirty the store with a k-modification
+   statement, time one verdict, undo — so the full check faces a
+   document-sized problem every sample while the incremental check sees
+   only the delta.  Like the paper's optimized curves in Figure 1, the
+   incremental column should go flat in document size and scale with k
+   instead. *)
+let incremental_bench ~sizes ~reps () =
+  Printf.printf
+    "# Incremental checking — maintained views vs full re-evaluation\n";
+  Printf.printf "# %-12s %-6s %-14s %-16s %s\n" "size(bytes)" "stmts"
+    "full(ms)" "incremental(ms)" "speedup";
+  let ks = [ 1; 4; 16 ] in
+  let rows =
+    List.concat_map
+      (fun size ->
+        let { repo; ds; _ } = setup ~size ~constraint_:Conf.conflict () in
+        Repository.set_incremental repo true;
+        ignore (Repository.check_incremental repo : string list);
+        List.map
+          (fun k ->
+            let u =
+              List.concat
+                (List.init k (fun i ->
+                     Conf.insert_submission ~select:ds.Gen.legal_select
+                       ~title:(Printf.sprintf "Bench Paper %d" i)
+                       ~author:ds.Gen.legal_author))
+            in
+            (* verdict parity, once per row *)
+            let undo = Repository.apply_unchecked repo u in
+            let full = List.sort compare (Repository.check_full repo) in
+            let incr = List.sort compare (Repository.check_incremental repo) in
+            if full <> incr then failwith "incremental verdict diverged";
+            Repository.rollback repo undo;
+            ignore (Repository.check_incremental repo : string list);
+            let median f =
+              ignore (f ());
+              let n = max reps 5 in
+              let s = Array.init n (fun _ -> f ()) in
+              Array.sort Float.compare s;
+              s.(n / 2)
+            in
+            let sample_full () =
+              let undo = Repository.apply_unchecked repo u in
+              let t0 = now () in
+              ignore (Repository.check_full repo : string list);
+              let dt = (now () -. t0) *. 1000.0 in
+              Repository.rollback repo undo;
+              dt
+            in
+            let sample_incr () =
+              let undo = Repository.apply_unchecked repo u in
+              let t0 = now () in
+              ignore (Repository.check_incremental repo : string list);
+              let dt = (now () -. t0) *. 1000.0 in
+              Repository.rollback repo undo;
+              (* consume the inverse delta outside the timed window *)
+              ignore (Repository.check_incremental repo : string list);
+              dt
+            in
+            let full_ms = median sample_full in
+            let incr_ms = median sample_incr in
+            let speedup = full_ms /. (incr_ms +. 1e-9) in
+            Printf.printf "%-14d %-6d %-14.3f %-16.4f %.0fx\n%!"
+              ds.Gen.stats.Gen.bytes k full_ms incr_ms speedup;
+            Printf.sprintf
+              "{\"bytes\": %d, \"subs\": %d, \"stmts\": %d, \
+               \"full_median_ms\": %.4f, \"incremental_median_ms\": %.5f, \
+               \"speedup\": %.1f}"
+              ds.Gen.stats.Gen.bytes ds.Gen.stats.Gen.submissions k full_ms
+              incr_ms speedup)
+          ks)
+      sizes
+  in
+  add_json "incremental" ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]");
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -816,7 +898,7 @@ let () =
       sizes := List.map int_of_string (String.split_on_char ',' s);
       parse rest
     | "--json" :: rest ->
-      json := Some "BENCH_PR6.json";
+      json := Some "BENCH_PR7.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -833,6 +915,7 @@ let () =
     | "ablations" -> ablations ~reps ()
     | "index" -> index_bench ~sizes ~reps ()
     | "journal" -> journal_bench ~sizes ~reps ()
+    | "incremental" -> incremental_bench ~sizes ~reps ()
     | "pipeline" -> pipeline ~sizes ~reps ()
     | "stages" -> stages ~sizes ~reps ()
     | "ingest" -> ingest ~sizes ~reps ()
@@ -846,6 +929,7 @@ let () =
       ablations ~reps ();
       index_bench ~sizes ~reps ();
       journal_bench ~sizes ~reps ();
+      incremental_bench ~sizes ~reps ();
       stages ~sizes ~reps ();
       ingest ~sizes ~reps ();
       coldstart ~sizes ~reps ();
@@ -854,8 +938,8 @@ let () =
     | other ->
       Printf.eprintf
         "unknown experiment %S (expected \
-         fig1a|fig1b|fig_simp|ex45|ablations|index|journal|stages|ingest|\
-         coldstart|pipeline|micro|all)\n"
+         fig1a|fig1b|fig_simp|ex45|ablations|index|journal|incremental|\
+         stages|ingest|coldstart|pipeline|micro|all)\n"
         other;
       exit 2
   in

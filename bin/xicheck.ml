@@ -117,6 +117,34 @@ let plan_stats_arg =
   let doc = "Print plan-cache statistics (hits, misses, cached plans) at exit." in
   Arg.(value & flag & info [ "plan-stats" ] ~doc)
 
+let incremental_arg =
+  let doc =
+    "Maintain materialized denial views from fact deltas and route \
+     verdicts through them (semi-naive incremental checking): the cost \
+     of a check follows the size of the update, not the document.  \
+     Verdicts are identical to the full re-evaluation."
+  in
+  Arg.(value & flag & info [ "incremental" ] ~doc)
+
+let no_incremental_arg =
+  let doc = "Force full re-evaluation (the default)." in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let delta_stats_arg =
+  let doc =
+    "Print the delta maintenance report (mirror flushes, net facts, \
+     view evaluations) at exit."
+  in
+  Arg.(value & flag & info [ "delta-stats" ] ~doc)
+
+let apply_incremental repo ~incremental ~no_incremental =
+  if incremental && no_incremental then
+    die "--incremental and --no-incremental are mutually exclusive";
+  if incremental then Repository.set_incremental repo true
+
+let print_delta_stats repo ~delta_stats =
+  if delta_stats then print_endline (Repository.delta_stats_line repo)
+
 let trace_arg =
   let doc =
     "Trace every pipeline stage (parse, shred, simplify, translate, plan \
@@ -445,8 +473,8 @@ let check_cmd =
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
   let run dtds docs snapshot constraints pattern no_validate legacy_loader
-      use_datalog explain no_index index_stats jobs plan_stats trace metrics
-      slow_ms =
+      use_datalog explain no_index index_stats jobs plan_stats incremental
+      no_incremental delta_stats trace metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     (* --explain needs a traced run for its observed timings *)
     if explain then begin
@@ -465,6 +493,7 @@ let check_cmd =
     (match load_pattern s pattern with
      | Some p -> Repository.register_pattern repo p
      | None -> ());
+    apply_incremental repo ~incremental ~no_incremental;
     let consistent =
       if explain then begin
         match Repository.explain repo with
@@ -477,7 +506,8 @@ let check_cmd =
       end
       else begin
         let violated =
-          if use_datalog then Repository.check_full_datalog repo
+          if incremental then Repository.check_incremental repo
+          else if use_datalog then Repository.check_full_datalog repo
           else Repository.check_full repo
         in
         match violated with
@@ -495,6 +525,7 @@ let check_cmd =
       if slow_ms = None then print_slow_log ()
     end;
     print_stats repo ~plan_stats ~index_stats ~metrics;
+    print_delta_stats repo ~delta_stats;
     obs_finish ~trace ~slow_ms;
     if not consistent then exit 1
   in
@@ -504,7 +535,8 @@ let check_cmd =
       const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
       $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ datalog_arg
       $ explain_arg $ no_index_arg $ index_stats_arg $ jobs_arg
-      $ plan_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
+      $ plan_stats_arg $ incremental_arg $ no_incremental_arg
+      $ delta_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simplify                                                            *)
@@ -592,8 +624,8 @@ let guard_cmd =
     Arg.(required & opt (some file) None & info [ "update" ] ~docv:"FILE" ~doc)
   in
   let run dtds docs snapshot constraints pattern no_validate legacy_loader
-      runtime_simp update output journal eval_budget no_index index_stats trace
-      metrics slow_ms =
+      runtime_simp update output journal eval_budget no_index index_stats
+      incremental no_incremental delta_stats trace metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
     let repo, meta =
@@ -606,6 +638,7 @@ let guard_cmd =
     (match load_pattern s pattern with
      | Some p -> Repository.register_pattern repo p
      | None -> ());
+    apply_incremental repo ~incremental ~no_incremental;
     (match (meta, journal) with
      | Some m, Some jpath -> replay_onto_snapshot repo m jpath
      | _ -> ());
@@ -619,6 +652,7 @@ let guard_cmd =
     print_degradations report;
     print_outcome report.Repository.outcome;
     print_stats repo ~plan_stats:false ~index_stats ~metrics;
+    print_delta_stats repo ~delta_stats;
     obs_finish ~trace ~slow_ms;
     (match report.Repository.outcome with
      | Repository.Applied _ -> ()
@@ -632,7 +666,8 @@ let guard_cmd =
       const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
       $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg
       $ update_arg $ output_arg $ journal_arg $ eval_budget_arg $ no_index_arg
-      $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
+      $ index_stats_arg $ incremental_arg $ no_incremental_arg
+      $ delta_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* txn                                                                 *)
@@ -652,7 +687,7 @@ let txn_cmd =
   in
   let run dtds docs snapshot constraints pattern no_validate legacy_loader
       runtime_simp updates output journal eval_budget abort no_index
-      index_stats trace metrics slow_ms =
+      index_stats incremental no_incremental delta_stats trace metrics slow_ms =
     obs_setup ~trace ~metrics ~slow_ms;
     let s = load_schema dtds in
     let repo, meta =
@@ -665,6 +700,7 @@ let txn_cmd =
     (match load_pattern s pattern with
      | Some p -> Repository.register_pattern repo p
      | None -> ());
+    apply_incremental repo ~incremental ~no_incremental;
     (match (meta, journal) with
      | Some m, Some jpath -> replay_onto_snapshot repo m jpath
      | _ -> ());
@@ -695,6 +731,7 @@ let txn_cmd =
     end;
     Option.iter Xic_journal.Journal.close journal;
     print_stats repo ~plan_stats:false ~index_stats ~metrics;
+    print_delta_stats repo ~delta_stats;
     obs_finish ~trace ~slow_ms;
     Option.iter (write_roots repo) output;
     if !refused > 0 then exit 1
@@ -708,7 +745,8 @@ let txn_cmd =
       const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
       $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg
       $ updates_arg $ output_arg $ journal_arg $ eval_budget_arg $ abort_arg
-      $ no_index_arg $ index_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
+      $ no_index_arg $ index_stats_arg $ incremental_arg $ no_incremental_arg
+      $ delta_stats_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)
@@ -730,13 +768,14 @@ let recover_cmd =
       required & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
   let run dtds docs snapshot constraints no_validate legacy_loader journal
-      output =
+      incremental no_incremental delta_stats output =
     let s = load_schema dtds in
     let repo, meta =
       load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
         docs
     in
     List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    apply_incremental repo ~incremental ~no_incremental;
     if not (Sys.file_exists journal) then begin
       Printf.eprintf "xicheck: journal %s not found\n" journal;
       exit 3
@@ -767,6 +806,7 @@ let recover_cmd =
       (fun (txn, m) -> Printf.printf "REPLAY ERROR in transaction %d: %s\n" txn m)
       r.Repository.replay_errors;
     List.iter (Printf.printf "VIOLATED after replay: %s\n") r.Repository.post_violations;
+    print_delta_stats repo ~delta_stats;
     Option.iter (write_roots repo) output;
     if r.Repository.replay_errors <> [] || r.Repository.post_violations <> [] then
       exit 1;
@@ -779,7 +819,8 @@ let recover_cmd =
           against freshly loaded base documents (or a snapshot)")
     Term.(
       const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
-      $ no_validate_arg $ legacy_loader_arg $ journal_arg $ output_arg)
+      $ no_validate_arg $ legacy_loader_arg $ journal_arg $ incremental_arg
+      $ no_incremental_arg $ delta_stats_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* checkpoint                                                          *)

@@ -1,5 +1,8 @@
 open Xic_xml
 module T = Xic_datalog.Term
+module Delta = Xic_datalog.Delta
+module Incr = Xic_datalog.Incr
+module Mirror = Xic_relmap.Mirror
 module XU = Xic_xupdate.Xupdate
 module J = Xic_journal.Journal
 module FP = Xic_journal.Failpoint
@@ -27,6 +30,10 @@ let c_plan_hits = Obs.Metrics.counter "plan_cache_hits"
 let c_plan_misses = Obs.Metrics.counter "plan_cache_misses"
 let c_plan_requests = Obs.Metrics.counter "plan_compile_requests"
 let c_rollbacks = Obs.Metrics.counter "rollbacks"
+let c_checks_incremental = Obs.Metrics.counter "checks_incremental"
+let c_delta_facts_added = Obs.Metrics.counter "delta_facts_added"
+let c_delta_facts_removed = Obs.Metrics.counter "delta_facts_removed"
+let c_delta_flushes = Obs.Metrics.counter "delta_flushes"
 let c_ingest_fused = Obs.Metrics.counter "ingest_fused_docs"
 let c_ingest_legacy = Obs.Metrics.counter "ingest_legacy_docs"
 let c_ingest_bytes = Obs.Metrics.counter "ingest_bytes"
@@ -65,12 +72,26 @@ type plan_stats = {
   plan_misses : int;  (* compilations *)
 }
 
+(* Per-repository delta/incremental counters (the registry counters are
+   global across repositories; tests build many). *)
+type delta_counters = {
+  mutable flushes : int;
+  mutable facts_added : int;
+  mutable facts_removed : int;
+}
+
 type t = {
   schema : Schema.t;
   doc : Doc.t;
   mutable constraints : Constr.t list;
   mutable compiled : (Pattern.t * optimized_check list) list;
   mutable store : Xic_datalog.Store.t option;
+  (* event-driven store maintenance; attached iff [store] is [Some] *)
+  mutable mirror : Xic_relmap.Mirror.t option;
+  (* [true] = verdicts come from the materialized denial views *)
+  mutable incremental : bool;
+  mutable incr : Xic_datalog.Incr.t option;
+  deltas : delta_counters;
   mutable eval_budget : int option;
   mutable use_index : bool;
   mutable index : Index.t option;
@@ -85,6 +106,8 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
 
 let create schema =
   { schema; doc = Doc.create (); constraints = []; compiled = []; store = None;
+    mirror = None; incremental = false; incr = None;
+    deltas = { flushes = 0; facts_added = 0; facts_removed = 0 };
     eval_budget = None; use_index = true; index = None;
     full_plans = Hashtbl.create 16; parallelism = 1 }
 
@@ -178,7 +201,43 @@ let metrics_json t =
   sync_gauges t;
   Obs.Metrics.to_json ()
 
-let invalidate_store t = t.store <- None
+let invalidate_store t =
+  (match t.mirror with Some m -> Mirror.detach m | None -> ());
+  t.mirror <- None;
+  t.store <- None;
+  t.incr <- None
+
+(* Install a store known to be exact for the current documents and
+   attach the event-driven mirror that keeps it that way across updates,
+   undo, savepoint rollback and recovery replay. *)
+let install_store t s =
+  (match t.mirror with Some m -> Mirror.detach m | None -> ());
+  t.store <- Some s;
+  t.mirror <- Some (Mirror.create (Schema.mapping t.schema) t.doc s)
+
+(* Reconcile pending mutation marks into the store and feed the net
+   delta to the live materialized views (if any).  A view that cannot be
+   maintained (unsafe denial, exhausted budget) is dropped; the next
+   incremental check re-initializes from scratch. *)
+let sync_store t =
+  match (t.store, t.mirror) with
+  | Some s, Some m when Mirror.has_dirty m ->
+    Obs.Trace.with_span "delta_flush" (fun () ->
+        let d = Delta.create () in
+        Mirror.flush m ~into:d;
+        t.deltas.flushes <- t.deltas.flushes + 1;
+        t.deltas.facts_added <- t.deltas.facts_added + Delta.gross_added d;
+        t.deltas.facts_removed <- t.deltas.facts_removed + Delta.gross_removed d;
+        Obs.Metrics.incr c_delta_flushes;
+        Obs.Metrics.add c_delta_facts_added (Delta.gross_added d);
+        Obs.Metrics.add c_delta_facts_removed (Delta.gross_removed d);
+        match t.incr with
+        | Some inc when not (Delta.is_empty d) ->
+          (try Incr.apply_delta inc s d
+           with Xic_datalog.Eval.Unsafe _ | Xic_datalog.Eval.Budget_exceeded ->
+             t.incr <- None)
+        | _ -> ())
+  | _ -> ()
 
 let add_document_root ?(validate = true) t root =
   if validate then begin
@@ -232,6 +291,11 @@ let load_fused ?(validate = true) t source =
       let sink =
         match t.store with
         | Some s ->
+          (* the sink keeps the store exact in-pass; silence the mirror
+             so the parser's attach events don't mark the whole new
+             document dirty (flush any older marks first) *)
+          sync_store t;
+          (match t.mirror with Some m -> Mirror.set_active m false | None -> ());
           Some (Xic_relmap.Shred.sink ~count:facts (Schema.mapping t.schema) t.doc s)
         | None ->
           if Doc.has_root t.doc then None
@@ -257,6 +321,14 @@ let load_fused ?(validate = true) t source =
              invalidate_store t;
              fail "document rejected: %s" m);
         Doc.add_root t.doc root;
+        (* a whole new document's facts arrived outside the delta path:
+           rearm the mirror and drop any materialized views (the next
+           incremental check re-initializes against the new store) *)
+        (match (t.store, t.mirror) with
+         | Some _, Some m -> Mirror.set_active m true
+         | Some s, None -> install_store t s
+         | None, _ -> ());
+        t.incr <- None;
         Obs.Metrics.incr c_ingest_fused;
         Obs.Metrics.add c_ingest_bytes (String.length source);
         Obs.Metrics.add c_ingest_facts !facts)
@@ -282,6 +354,7 @@ let add_constraint ?(verify = false) t c =
     fail "the current documents already violate %s" c.Constr.name;
   t.constraints <- t.constraints @ [ c ];
   Hashtbl.reset t.full_plans;
+  t.incr <- None;  (* the view set changed; re-materialize on demand *)
   recompile t
 
 let register_pattern t p =
@@ -301,10 +374,12 @@ let optimized_checks t p =
 
 let store t =
   match t.store with
-  | Some s -> s
+  | Some s ->
+    sync_store t;
+    s
   | None ->
     let s = Xic_relmap.Shred.shred ?index:(index t) (Schema.mapping t.schema) t.doc in
-    t.store <- Some s;
+    install_store t s;
     s
 
 (* Full-check plan of one constraint, served from the cache. *)
@@ -358,6 +433,91 @@ let check_full_datalog t =
   List.filter_map
     (fun c -> if Constr.violated_datalog s c then Some c.Constr.name else None)
     t.constraints
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (delta-driven) checking                                 *)
+(* ------------------------------------------------------------------ *)
+
+let set_incremental t enabled =
+  if not enabled then t.incr <- None;
+  t.incremental <- enabled
+
+let incremental t = t.incremental
+
+let check_incremental t =
+  Obs.Trace.with_span "check_incremental" @@ fun () ->
+  let s = store t in  (* flushes the mirror and maintains any live views *)
+  let inc =
+    match t.incr with
+    | Some i -> i
+    | None ->
+      let i =
+        Incr.create
+          (List.map (fun (c : Constr.t) -> (c.Constr.name, c.Constr.datalog))
+             t.constraints)
+      in
+      Incr.initialize i s;
+      t.incr <- Some i;
+      i
+  in
+  Obs.Metrics.incr c_checks_incremental;
+  Incr.violated inc
+
+let incr_view t = Option.map Incr.view t.incr
+
+(* Post-state verdict of the guarded-update and recovery paths: the
+   materialized denial views when incremental checking is on (falling
+   back to the full check if a view cannot be built or maintained), the
+   full XQuery check otherwise. *)
+let post_check t =
+  if t.incremental then (
+    try check_incremental t
+    with Xic_datalog.Eval.Unsafe _ | Xic_datalog.Eval.Budget_exceeded ->
+      t.incr <- None;
+      check_full t)
+  else check_full t
+
+type delta_stats = {
+  delta_flushes : int;
+  delta_facts_added : int;
+  delta_facts_removed : int;
+  incr_entries : int;
+  incr_evals : int;
+  incr_reverifies : int;
+  incr_recomputes : int;
+  incr_skipped : int;
+  incr_view_rows : int;
+}
+
+let delta_stats t =
+  let entries, evals, reverifies, recomputes, skipped, rows =
+    match t.incr with
+    | None -> (0, 0, 0, 0, 0, 0)
+    | Some i ->
+      let s = Incr.stats i in
+      ( Incr.entry_count i, s.Incr.evals, s.Incr.reverifies, s.Incr.recomputes,
+        s.Incr.skipped, Xic_datalog.Store.total_tuples (Incr.view i) )
+  in
+  { delta_flushes = t.deltas.flushes;
+    delta_facts_added = t.deltas.facts_added;
+    delta_facts_removed = t.deltas.facts_removed;
+    incr_entries = entries;
+    incr_evals = evals;
+    incr_reverifies = reverifies;
+    incr_recomputes = recomputes;
+    incr_skipped = skipped;
+    incr_view_rows = rows }
+
+let delta_stats_line t =
+  let d = delta_stats t in
+  if t.incr = None && d.delta_flushes = 0 then "delta: idle"
+  else
+    Printf.sprintf
+      "delta: %d flushes, +%d/-%d facts; views: %d denials, %d rows, \
+       evals=%d reverifies=%d recomputes=%d skipped=%d"
+      d.delta_flushes d.delta_facts_added d.delta_facts_removed d.incr_entries
+      d.incr_view_rows d.incr_evals d.incr_reverifies d.incr_recomputes
+      d.incr_skipped
 
 let match_update t (u : XU.t) =
   match u with
@@ -513,35 +673,16 @@ type outcome =
   | Rejected_early of string
   | Rolled_back of string
 
-(* The relational mirror is maintained incrementally for insert-only
-   updates (the paper's focus); anything touching removal invalidates it
-   and the next [store] call re-shreds. *)
+(* The relational store is maintained by the event-driven mirror: every
+   mutation (insertions, removals, attribute writes, undo, savepoint
+   rollback, recovery replay) marks the touched nodes and the next
+   [store] demand reconciles them — no re-shred, ever. *)
 let apply_unchecked t u =
-  Obs.Trace.with_span "apply" (fun () ->
-      let undo = XU.apply ?index:(index t) t.doc u in
-      (match t.store with
-       | Some s when XU.removed_nodes undo = [] ->
-         List.iter
-           (Xic_relmap.Shred.shred_into ?index:(index t) (Schema.mapping t.schema)
-              t.doc s)
-           (XU.inserted_nodes undo)
-       | Some _ -> invalidate_store t
-       | None -> ());
-      undo)
+  Obs.Trace.with_span "apply" (fun () -> XU.apply ?index:(index t) t.doc u)
 
 let rollback t undo =
   Obs.Metrics.incr c_rollbacks;
-  Obs.Trace.with_span "rollback" (fun () ->
-  (match t.store with
-   | Some s when XU.removed_nodes undo = [] ->
-     (* unshred while the inserted nodes are still alive *)
-     List.iter
-       (Xic_relmap.Shred.unshred_from ?index:(index t) (Schema.mapping t.schema) t.doc
-          s)
-       (XU.inserted_nodes undo)
-   | Some _ -> invalidate_store t
-   | None -> ());
-  XU.rollback t.doc undo)
+  Obs.Trace.with_span "rollback" (fun () -> XU.rollback t.doc undo)
 
 (* Derive a one-off pattern from the concrete statement, simplify on the
    spot and pre-check; any failure along the way reverts to the
@@ -678,7 +819,7 @@ let txn_apply_report ?(fallback = `Full_check) tx (u : XU.t) =
       degs;
     let before = tx.txn_seq in
     let undo = exec "full_check" in
-    match check_full t with
+    match post_check t with
     | [] -> { outcome = Applied `Full_check; degradations = degs }
     | violated :: _ ->
       rollback t undo;
@@ -761,7 +902,7 @@ let recover_skip (meta : Snap.meta) (rr : J.read_result) =
 let recover ?(skip = 0) (rr : J.read_result) t =
   Obs.Trace.with_span "recover" @@ fun () ->
   let entries = drop_entries skip rr.J.entries in
-  let committed = J.committed entries in
+  let committed = J.committed_payloads entries in
   let all_txns =
     List.sort_uniq compare
       (List.map
@@ -773,18 +914,16 @@ let recover ?(skip = 0) (rr : J.read_result) t =
   let stmts = ref 0 in
   let errors = ref [] in
   List.iter
-    (fun (txn, intents) ->
+    (fun (txn, payloads) ->
       List.iter
-        (function
-          | J.Intent { payload; _ } ->
-            (match XU.parse_string payload with
-             | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors
-             | u ->
-               (match apply_unchecked t u with
-                | _undo -> incr stmts
-                | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors))
-          | _ -> ())
-        intents)
+        (fun payload ->
+          match XU.parse_string payload with
+          | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors
+          | u ->
+            (match apply_unchecked t u with
+             | _undo -> incr stmts
+             | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors))
+        payloads)
     committed;
   {
     replayed_txns = List.length committed;
@@ -792,7 +931,7 @@ let recover ?(skip = 0) (rr : J.read_result) t =
     discarded_txns = List.length all_txns - List.length committed;
     torn_tail = rr.J.torn;
     replay_errors = List.rev !errors;
-    post_violations = check_full t;
+    post_violations = post_check t;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -849,5 +988,5 @@ let load_snapshot t path =
   if Doc.has_root t.doc || Doc.id_bound t.doc > 0 then
     fail "load_snapshot: the repository already contains documents";
   let meta, s = Snap.load path t.doc in
-  t.store <- Some s;
+  install_store t s;
   meta

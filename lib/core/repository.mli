@@ -161,6 +161,56 @@ val check_full : t -> string list
 val check_full_datalog : t -> string list
 (** Same, evaluated over the relational mirror (shredded on demand). *)
 
+(** {1 Incremental (delta-driven) checking}
+
+    The relational store is kept exact across every mutation by an
+    event-driven mirror; each reconciliation yields a net fact delta.
+    With incremental checking enabled, per-denial violation witnesses
+    are materialized ([Xic_datalog.Incr]) and maintained from those
+    deltas, so the post-state verdict of a guarded update or a recovery
+    replay costs time proportional to the {e update}, not the document:
+    denials over untouched relations are skipped outright, monotone
+    denials evaluate only the delta-bound residual joins. *)
+
+val set_incremental : t -> bool -> unit
+(** Route the guarded-update fallback verdict and the recovery
+    post-check through the materialized denial views (default off:
+    those paths use {!check_full}).  Disabling drops the views. *)
+
+val incremental : t -> bool
+
+val check_incremental : t -> string list
+(** Names of currently violated constraints, from the materialized
+    views — initialized from the store on first use, maintained by
+    deltas afterwards.  Verdict-equivalent to {!check_full} (oracle
+    route 8 asserts this, plus [Store.equal] of the views against a
+    from-scratch recompute).
+    @raise Xic_datalog.Eval.Unsafe for denials outside the maintainable
+    fragment (parameters). *)
+
+val incr_view : t -> Xic_datalog.Store.t option
+(** The materialized witness store, when views exist — one relation
+    ["name#i"] per (constraint, denial), holding the bindings of the
+    denial's positive-literal variables.  For tests and oracles. *)
+
+(** Cumulative delta/view counters of this repository. *)
+type delta_stats = {
+  delta_flushes : int;  (** mirror reconciliations *)
+  delta_facts_added : int;  (** gross store insertions via deltas *)
+  delta_facts_removed : int;  (** gross store deletions via deltas *)
+  incr_entries : int;  (** materialized (constraint, denial) views *)
+  incr_evals : int;  (** delta-bound residual evaluations *)
+  incr_reverifies : int;  (** view rows re-checked after deletions *)
+  incr_recomputes : int;  (** full view re-evaluations *)
+  incr_skipped : int;  (** views untouched by a delta *)
+  incr_view_rows : int;  (** materialized witnesses right now *)
+}
+
+val delta_stats : t -> delta_stats
+
+val delta_stats_line : t -> string
+(** Human-readable one-liner for [xicheck --delta-stats]. *)
+
 val match_update : t -> Xic_xupdate.Xupdate.t -> (Pattern.t * Pattern.valuation) option
 (** Recognize a single-modification update against the registered
     patterns (first match wins). *)

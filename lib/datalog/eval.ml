@@ -80,13 +80,22 @@ let match_tuple ?(prior = []) env (args : Term.term list) (tup : Store.tuple) =
   in
   go prior args tup
 
+(* Probe the leftmost bound column: the first column (node id) when it
+   is ground, else any later ground column through the store's lazy
+   secondary indexes.  Downward joins (parent column bound) and value
+   joins (text column bound) would otherwise enumerate the whole
+   relation — on delta evaluation those scans dwarfed the delta. *)
 let candidate_tuples store env (a : Term.atom) =
-  match a.Term.args with
-  | first :: _ ->
-    (match term_value env first with
-     | Some key -> Store.tuples_with_key store a.Term.pred key
-     | None -> Store.tuples store a.Term.pred)
-  | [] -> Store.tuples store a.Term.pred
+  let rec probe col = function
+    | [] -> Store.tuples store a.Term.pred
+    | t :: rest ->
+      (match term_value env t with
+       | Some key ->
+         if col = 0 then Store.tuples_with_key store a.Term.pred key
+         else Store.tuples_with_col store a.Term.pred col key
+       | None -> probe (col + 1) rest)
+  in
+  probe 0 a.Term.args
 
 (* Number of argument positions already bound; used to pick the most
    selective literal first. *)
@@ -113,14 +122,24 @@ let const_int = function
    conjunctive pattern. *)
 let agg_matches store env (g : Term.agg) =
   let candidate_with_prior prior (a : Term.atom) =
-    (* Use the index also when the first argument is bound by a prior
-       local binding. *)
-    match a.Term.args with
-    | Term.Var v :: _ when lookup env v = None ->
-      (match List.assoc_opt v prior with
-       | Some key -> Store.tuples_with_key store a.Term.pred key
-       | None -> Store.tuples store a.Term.pred)
-    | _ -> candidate_tuples store env a
+    (* Use the indexes also when an argument is bound by a prior local
+       binding rather than the outer environment. *)
+    let value t =
+      match term_value env t with
+      | Some c -> Some c
+      | None ->
+        (match t with Term.Var v -> List.assoc_opt v prior | _ -> None)
+    in
+    let rec probe col = function
+      | [] -> Store.tuples store a.Term.pred
+      | t :: rest ->
+        (match value t with
+         | Some key ->
+           if col = 0 then Store.tuples_with_key store a.Term.pred key
+           else Store.tuples_with_col store a.Term.pred col key
+         | None -> probe (col + 1) rest)
+    in
+    probe 0 a.Term.args
   in
   List.fold_left
     (fun vecs atom ->

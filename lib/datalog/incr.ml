@@ -1,0 +1,271 @@
+(** Incremental (delta-driven) maintenance of materialized denial
+    results.
+
+    For every denial we keep the set of violation witnesses — the
+    bindings of its positive-literal variables — as a relation in a
+    private view store.  A transaction produces a net fact {!Delta};
+    instead of re-running each denial from scratch, {!apply_delta}
+    evaluates only delta rules:
+
+    - denials whose relations the delta does not touch are skipped
+      untouched (the common case: a one-statement transaction touches a
+      handful of relations out of the whole schema);
+    - {e monotone} denials (positive and comparison literals only) are
+      maintained exactly: net deletions can only retract witnesses, so
+      existing rows are re-verified against the post-state store; net
+      insertions can only add witnesses that use at least one inserted
+      fact, so each inserted fact is unified against each matching
+      positive literal and the residual denial is evaluated with that
+      literal bound (the semi-naive ΔR ⋈ R join);
+    - denials with negation or aggregates are re-evaluated in full, but
+      still only when the delta touches one of their relations.
+
+    The view store uses set semantics (witnesses are deduplicated), so
+    an incremental view and a from-scratch recompute are comparable with
+    [Store.equal] — which is exactly what oracle route 8 does. *)
+
+module Symbol = Xic_symbol.Symbol
+
+type klass = Monotone | Recompute
+
+type entry = {
+  name : string;  (* owning constraint *)
+  denial : Term.denial;
+  rel : Symbol.t;  (* view relation holding the witnesses *)
+  klass : klass;
+  preds : Symbol.t list;  (* every relation the body references *)
+  pos : (Symbol.t * Term.atom) list;  (* positive literals *)
+  proj : string list;  (* named vars of positive literals, in order *)
+}
+
+type stats = {
+  mutable evals : int;  (* residual delta evaluations *)
+  mutable reverifies : int;  (* view rows re-checked after deletions *)
+  mutable recomputes : int;  (* full re-evaluations (Not/Agg denials) *)
+  mutable skipped : int;  (* denials untouched by the delta *)
+  mutable rows_added : int;
+  mutable rows_removed : int;
+}
+
+type t = {
+  entries : entry list;
+  names : string list;  (* constraint order for [violated] *)
+  view : Store.t;
+  stats : stats;
+}
+
+let atom_preds atoms = List.map (fun a -> Symbol.intern a.Term.pred) atoms
+
+let classify body =
+  if
+    List.for_all
+      (function Term.Rel _ | Term.Cmp _ -> true | Term.Not _ | Term.Agg _ -> false)
+      body
+  then Monotone
+  else Recompute
+
+let named_vars_of_atoms atoms =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun t ->
+          match t with
+          | Term.Var v when not (Term.is_anon t) ->
+            if not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              acc := v :: !acc
+            end
+          | _ -> ())
+        a.Term.args)
+    atoms;
+  List.rev !acc
+
+let entry_of_denial ~name i (d : Term.denial) =
+  if Term.denial_params d <> [] then
+    raise
+      (Eval.Unsafe
+         (Printf.sprintf
+            "incremental maintenance needs parameter-free denials (%s has %s)"
+            name
+            (String.concat ", " (Term.denial_params d))));
+  let pos_atoms =
+    List.filter_map (function Term.Rel a -> Some a | _ -> None) d.Term.body
+  in
+  let preds =
+    List.concat_map
+      (function
+        | Term.Rel a | Term.Not a -> atom_preds [ a ]
+        | Term.Agg g -> atom_preds g.Term.atoms
+        | Term.Cmp _ -> [])
+      d.Term.body
+    |> List.sort_uniq compare
+  in
+  {
+    name;
+    denial = d;
+    rel = Symbol.intern (Printf.sprintf "%s#%d" name i);
+    klass = classify d.Term.body;
+    preds;
+    pos = List.map (fun a -> (Symbol.intern a.Term.pred, a)) pos_atoms;
+    proj = named_vars_of_atoms pos_atoms;
+  }
+
+let create (constraints : (string * Term.denial list) list) =
+  let entries =
+    List.concat_map
+      (fun (name, denials) -> List.mapi (entry_of_denial ~name) denials)
+      constraints
+  in
+  {
+    entries;
+    names = List.map fst constraints;
+    view = Store.create ();
+    stats =
+      {
+        evals = 0;
+        reverifies = 0;
+        recomputes = 0;
+        skipped = 0;
+        rows_added = 0;
+        rows_removed = 0;
+      };
+  }
+
+(* Project a witness onto the entry's row shape.  [theta0] holds the
+   bindings fixed by delta unification; [env] the solver's bindings for
+   the rest. *)
+let project e theta0 env =
+  List.map
+    (fun v ->
+      match Subst.find v theta0 with
+      | Some (Term.Const c) -> c
+      | _ -> (
+        match List.assoc_opt v env with
+        | Some c -> c
+        | None ->
+          (* Positive-literal variables are always bound in a witness. *)
+          invalid_arg ("Incr: unbound witness variable " ^ v)))
+    e.proj
+
+let add_row t e row =
+  if not (Store.mem_sym t.view e.rel row) then begin
+    Store.add_sym t.view e.rel row;
+    t.stats.rows_added <- t.stats.rows_added + 1
+  end
+
+let recompute_entry t store e =
+  let old = Store.tuples_sym t.view e.rel in
+  Store.clear_sym t.view e.rel;
+  t.stats.rows_removed <- t.stats.rows_removed + List.length old;
+  List.iter
+    (fun env -> add_row t e (project e Subst.empty env))
+    (Eval.violations store e.denial)
+
+let initialize t store =
+  List.iter
+    (fun e ->
+      t.stats.recomputes <- t.stats.recomputes + 1;
+      recompute_entry t store e)
+    t.entries
+
+(* Unify a positive literal against an inserted ground tuple.  Returns
+   the binding of the literal's variables, or [None] when the tuple
+   cannot match.  Every variable is bound — including the '_'-prefixed
+   compiler-generated ones, which are unique by construction and carry
+   the node-id joins: leaving them out of [theta0] would degrade the
+   residual to a full re-evaluation of the denial.  Repeated variables
+   must agree. *)
+let unify_atom (a : Term.atom) (tup : Store.tuple) =
+  if List.length a.Term.args <> List.length tup then None
+  else
+    let rec go subst args tup =
+      match (args, tup) with
+      | [], [] -> Some subst
+      | arg :: args, c :: tup -> (
+        match arg with
+        | Term.Const c' -> if c' = c then go subst args tup else None
+        | Term.Var v -> (
+          match Subst.find v subst with
+          | Some (Term.Const c') -> if c' = c then go subst args tup else None
+          | Some _ -> None
+          | None -> go (Subst.add v (Term.Const c) subst) args tup)
+        | Term.Param _ -> None)
+      | _ -> None
+    in
+    go Subst.empty a.Term.args tup
+
+let reverify_rows t store e =
+  let rows = Store.tuples_sym t.view e.rel in
+  List.iter
+    (fun row ->
+      t.stats.reverifies <- t.stats.reverifies + 1;
+      let theta =
+        Subst.of_list
+          (List.map2 (fun v c -> (v, Term.Const c)) e.proj row)
+      in
+      if not (Eval.violated store (Subst.apply_denial theta e.denial)) then begin
+        ignore (Store.remove_sym t.view e.rel row);
+        t.stats.rows_removed <- t.stats.rows_removed + 1
+      end)
+    rows
+
+let delta_insertions t store e delta =
+  List.iter
+    (fun (sym, tup, _mult) ->
+      List.iter
+        (fun (psym, atom) ->
+          if Symbol.equal psym sym then
+            match unify_atom atom tup with
+            | None -> ()
+            | Some theta0 ->
+              t.stats.evals <- t.stats.evals + 1;
+              let residual = Subst.apply_denial theta0 e.denial in
+              List.iter
+                (fun env -> add_row t e (project e theta0 env))
+                (Eval.violations store residual))
+        e.pos)
+    (Delta.added delta)
+
+let apply_delta t store delta =
+  let touched = Delta.touched delta in
+  let removals_touch e =
+    List.exists
+      (fun (sym, _, _) -> List.mem sym e.preds)
+      (Delta.removed delta)
+  in
+  List.iter
+    (fun e ->
+      if not (List.exists (fun s -> List.mem s e.preds) touched) then
+        t.stats.skipped <- t.stats.skipped + 1
+      else
+        match e.klass with
+        | Recompute ->
+          t.stats.recomputes <- t.stats.recomputes + 1;
+          recompute_entry t store e
+        | Monotone ->
+          (* Deletions first: rows must be re-verified before the
+             insertion pass adds rows that are already post-state. *)
+          if removals_touch e then reverify_rows t store e;
+          delta_insertions t store e delta)
+    t.entries
+
+let violated t =
+  List.filter
+    (fun name ->
+      List.exists
+        (fun e ->
+          String.equal e.name name && Store.cardinality_sym t.view e.rel > 0)
+        t.entries)
+    t.names
+
+let view t = t.view
+let stats t = t.stats
+let entry_count t = List.length t.entries
+
+let stats_line t =
+  let s = t.stats in
+  Printf.sprintf
+    "evals=%d reverifies=%d recomputes=%d skipped=%d rows+%d rows-%d"
+    s.evals s.reverifies s.recomputes s.skipped s.rows_added s.rows_removed

@@ -26,6 +26,15 @@ type rel = {
      largest cost of a cold start.  Once built, it is maintained
      incrementally by [add_sym] / [remove_sym] as before. *)
   mutable index : (Term.const, tuple list ref) Hashtbl.t option;
+  (* Secondary indexes, column position → (value → tuples), built
+     lazily per column on the first probe of that column.  Joins that
+     descend the document (parent column bound) or match on text values
+     (trailing columns bound) would otherwise scan the whole relation —
+     on the delta-evaluation path that scan dominated the check, making
+     "incremental" slower than a full re-evaluation.  Tuples shorter
+     than the indexed position are omitted: an atom binding that
+     position can never match them. *)
+  mutable col_index : (int * (Term.const, tuple list ref) Hashtbl.t) list;
 }
 
 type t = (Symbol.t, rel) Hashtbl.t
@@ -40,7 +49,7 @@ let get_rel_sym (s : t) sym =
   match Hashtbl.find_opt s sym with
   | Some r -> r
   | None ->
-    let r = { tuples = []; count = 0; index = None } in
+    let r = { tuples = []; count = 0; index = None; col_index = [] } in
     Hashtbl.add s sym r;
     r
 
@@ -61,11 +70,29 @@ let ensure_index r =
     r.index <- Some idx;
     idx
 
+let col_index_add idx col tup =
+  match List.nth_opt tup col with
+  | None -> ()
+  | Some key ->
+    (match Hashtbl.find_opt idx key with
+     | Some l -> l := tup :: !l
+     | None -> Hashtbl.add idx key (ref [ tup ]))
+
+let ensure_col_index r col =
+  match List.assoc_opt col r.col_index with
+  | Some idx -> idx
+  | None ->
+    let idx = Hashtbl.create (max 64 (2 * r.count)) in
+    List.iter (fun tup -> col_index_add idx col tup) (List.rev r.tuples);
+    r.col_index <- (col, idx) :: r.col_index;
+    idx
+
 let add_sym (s : t) sym (tup : tuple) =
   let r = get_rel_sym s sym in
   r.tuples <- tup :: r.tuples;
   r.count <- r.count + 1;
-  match r.index with Some idx -> index_add idx tup | None -> ()
+  (match r.index with Some idx -> index_add idx tup | None -> ());
+  List.iter (fun (col, idx) -> col_index_add idx col tup) r.col_index
 
 let add (s : t) name tup = add_sym s (Symbol.intern name) tup
 
@@ -84,21 +111,29 @@ let remove_sym (s : t) sym (tup : tuple) =
     r.tuples <- drop_first r.tuples;
     if !removed then begin
       r.count <- r.count - 1;
+      let drop_bucket idx key =
+        match Hashtbl.find_opt idx key with
+        | Some l ->
+          let removed2 = ref false in
+          let rec drop = function
+            | [] -> []
+            | t :: rest when (not !removed2) && t = tup ->
+              removed2 := true;
+              rest
+            | t :: rest -> t :: drop rest
+          in
+          l := drop !l
+        | None -> ()
+      in
       (match (r.index, tup) with
        | None, _ | _, [] -> ()
-       | Some idx, key :: _ ->
-         (match Hashtbl.find_opt idx key with
-          | Some l ->
-            let removed2 = ref false in
-            let rec drop = function
-              | [] -> []
-              | t :: rest when (not !removed2) && t = tup ->
-                removed2 := true;
-                rest
-              | t :: rest -> t :: drop rest
-            in
-            l := drop !l
-          | None -> ()))
+       | Some idx, key :: _ -> drop_bucket idx key);
+      List.iter
+        (fun (col, idx) ->
+          match List.nth_opt tup col with
+          | Some key -> drop_bucket idx key
+          | None -> ())
+        r.col_index
     end;
     !removed
 
@@ -128,6 +163,21 @@ let tuples_with_key (s : t) name key =
   | Some sym -> tuples_with_key_sym s sym key
   | None -> []
 
+let tuples_with_col_sym (s : t) sym col (key : Term.const) =
+  if col = 0 then tuples_with_key_sym s sym key
+  else
+    match Hashtbl.find_opt s sym with
+    | None -> []
+    | Some r ->
+      (match Hashtbl.find_opt (ensure_col_index r col) key with
+       | Some l -> !l
+       | None -> [])
+
+let tuples_with_col (s : t) name col key =
+  match sym_opt name with
+  | Some sym -> tuples_with_col_sym s sym col key
+  | None -> []
+
 let cardinality (s : t) name =
   match sym_opt name with
   | Some sym -> (match Hashtbl.find_opt s sym with Some r -> r.count | None -> 0)
@@ -139,14 +189,26 @@ let relations (s : t) =
 let total_tuples (s : t) =
   Hashtbl.fold (fun _ r acc -> acc + r.count) s 0
 
-let mem (s : t) name tup =
+let mem_sym (s : t) sym tup =
   match tup with
-  | key :: _ -> List.mem tup (tuples_with_key s name key)
+  | key :: _ -> List.mem tup (tuples_with_key_sym s sym key)
   | [] ->
-    (match sym_opt name with
-     | Some sym ->
-       (match Hashtbl.find_opt s sym with Some r -> r.tuples <> [] | None -> false)
-     | None -> false)
+    (match Hashtbl.find_opt s sym with Some r -> r.tuples <> [] | None -> false)
+
+let mem (s : t) name tup =
+  match sym_opt name with Some sym -> mem_sym s sym tup | None -> false
+
+let clear_sym (s : t) sym =
+  match Hashtbl.find_opt s sym with
+  | None -> ()
+  | Some r ->
+    r.tuples <- [];
+    r.count <- 0;
+    r.index <- None;
+    r.col_index <- []
+
+let cardinality_sym (s : t) sym =
+  match Hashtbl.find_opt s sym with Some r -> r.count | None -> 0
 
 let copy (s : t) : t =
   let s' = create () in
@@ -376,7 +438,7 @@ let deserialize c : t =
           for _ = 1 to count do
             tuples := row 0 :: !tuples
           done));
-    Hashtbl.replace s sym { tuples = !tuples; count; index = None }
+    Hashtbl.replace s sym { tuples = !tuples; count; index = None; col_index = [] }
   done;
   s
 

@@ -27,6 +27,13 @@ val tuples : t -> string -> tuple list
 val tuples_with_key : t -> string -> Term.const -> tuple list
 (** Tuples whose first column equals the key (indexed lookup). *)
 
+val tuples_with_col : t -> string -> int -> Term.const -> tuple list
+(** Tuples whose [col]-th column (0-based) equals the key.  Column 0 is
+    the always-available first-column index; other columns get a lazy
+    secondary index built on the first probe and maintained by
+    [add]/[remove] thereafter.  Lets joins that bind a parent id or a
+    text value avoid scanning the whole relation. *)
+
 val cardinality : t -> string -> int
 val relations : t -> string list
 val total_tuples : t -> int
@@ -44,6 +51,13 @@ val add_sym : t -> Xic_symbol.Symbol.t -> tuple -> unit
 val remove_sym : t -> Xic_symbol.Symbol.t -> tuple -> bool
 val tuples_sym : t -> Xic_symbol.Symbol.t -> tuple list
 val tuples_with_key_sym : t -> Xic_symbol.Symbol.t -> Term.const -> tuple list
+val tuples_with_col_sym : t -> Xic_symbol.Symbol.t -> int -> Term.const -> tuple list
+val mem_sym : t -> Xic_symbol.Symbol.t -> tuple -> bool
+val cardinality_sym : t -> Xic_symbol.Symbol.t -> int
+
+val clear_sym : t -> Xic_symbol.Symbol.t -> unit
+(** Drop every tuple of the relation (the relation itself stays
+    registered with cardinality 0, which {!equal} ignores). *)
 
 (** {1 Snapshot (de)serialization} *)
 

@@ -327,3 +327,14 @@ let committed entries =
   |> List.filter (fun txn -> not (Hashtbl.mem aborted txn))
   |> List.map (fun txn ->
          (txn, List.rev (try Hashtbl.find intents txn with Not_found -> [])))
+
+(* The [Intent] envelope (seq, strategy) only matters while the journal
+   is being written; replay needs just the statement strings. *)
+let committed_payloads entries =
+  List.map
+    (fun (txn, intents) ->
+      ( txn,
+        List.filter_map
+          (function Intent { payload; _ } -> Some payload | _ -> None)
+          intents ))
+    (committed entries)

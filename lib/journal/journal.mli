@@ -105,3 +105,8 @@ val committed : entry list -> (int * entry list) list
 (** The committed transactions in commit order, each with its effective
     [Intent] records: [Truncate] records drop rolled-back suffixes, and
     transactions without a [Commit] (or with an [Abort]) are omitted. *)
+
+val committed_payloads : entry list -> (int * string list) list
+(** {!committed} reduced to each transaction's statement payloads in
+    application order — the exact strings recovery re-parses and
+    replays. *)

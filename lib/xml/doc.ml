@@ -44,7 +44,8 @@ type t = {
   mutable n_attrs : int;
   mutable root_ids : node_id list;  (* registration order *)
   mutable live_count : int;
-  mutable observer : (event -> unit) option;
+  mutable observers : (int * (event -> unit)) list;
+  mutable next_token : int;
 }
 
 let create ?(capacity = 64) () =
@@ -66,15 +67,34 @@ let create ?(capacity = 64) () =
     n_attrs = 0;
     root_ids = [];
     live_count = 0;
-    observer = None;
+    observers = [];
+    next_token = 1;
   }
 
-let set_observer doc f = doc.observer <- f
+(* Token 0 is reserved for the single [set_observer] slot (the secondary
+   index); [subscribe] hands out tokens >= 1. *)
+let index_token = 0
+
+let set_observer doc f =
+  let rest = List.filter (fun (t, _) -> t <> index_token) doc.observers in
+  match f with
+  | None -> doc.observers <- rest
+  | Some f -> doc.observers <- (index_token, f) :: rest
+
+let subscribe doc f =
+  let t = doc.next_token in
+  doc.next_token <- t + 1;
+  doc.observers <- doc.observers @ [ (t, f) ];
+  t
+
+let unsubscribe doc t =
+  doc.observers <- List.filter (fun (t', _) -> t' <> t) doc.observers
 
 let notify doc e =
-  match doc.observer with
-  | None -> ()
-  | Some f -> f e
+  match doc.observers with
+  | [] -> ()
+  | [ (_, f) ] -> f e
+  | obs -> List.iter (fun (_, f) -> f e) obs
 
 let grow_int a len' fill =
   let a' = Array.make len' fill in
@@ -528,7 +548,8 @@ let copy doc =
     n_attrs = doc.n_attrs;
     root_ids = doc.root_ids;
     live_count = doc.live_count;
-    observer = None;
+    observers = [];
+    next_token = 1;
   }
 
 (* ------------------------------------------------------------------ *)

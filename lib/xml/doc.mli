@@ -37,12 +37,23 @@ type event =
   | Attr_set of node_id * Symbol.t  (** attribute [name] was (re)assigned *)
 
 val set_observer : t -> (event -> unit) option -> unit
-(** Install (or clear) the single mutation observer.  Every structural
-    mutator — [set_root], [add_root], [append_child(ren)],
-    [insert_after/before], [detach], [delete_subtree], [set_attr] —
-    notifies it, so XUpdate application, undo, savepoint rollback and
-    crash recovery all keep subscribers current without cooperation from
-    the caller.  {!copy} does not carry the observer over. *)
+(** Install (or clear) the primary mutation observer (the secondary
+    index's reserved slot).  Every structural mutator — [set_root],
+    [add_root], [append_child(ren)], [insert_after/before], [detach],
+    [delete_subtree], [set_attr] — notifies every observer, so XUpdate
+    application, undo, savepoint rollback and crash recovery all keep
+    subscribers current without cooperation from the caller.  {!copy}
+    does not carry observers over. *)
+
+val subscribe : t -> (event -> unit) -> int
+(** Register a further mutation observer alongside the {!set_observer}
+    slot (the Datalog store mirror uses this).  Observers are notified in
+    subscription order, the {!set_observer} slot first.  Returns a token
+    for {!unsubscribe}. *)
+
+val unsubscribe : t -> int -> unit
+(** Remove the observer registered under this token.  Unknown tokens are
+    ignored. *)
 
 val create : ?capacity:int -> unit -> t
 (** An empty document with no root element yet.  [capacity] preallocates

@@ -1,0 +1,69 @@
+Incremental (delta-driven) checking from the command line:
+--incremental routes verdicts through the materialized denial views,
+--delta-stats reports the maintenance counters, and verdicts always
+match the default full re-evaluation.
+
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track*)>
+  > <!ELEMENT track (name, rev*)>
+  > <!ELEMENT rev (name, sub*)>
+  > <!ELEMENT sub (title, auts)>
+  > <!ELEMENT auts (name+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT title (#PCDATA)>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>First</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > bad.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Ann</name><sub><title>First</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> R
+  > XEOF
+
+A consistent collection: the incremental verdict equals the default
+path, and the stats line shows the materialized views.
+
+  $ xicheck check --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl
+  consistent
+  $ xicheck check --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --incremental --delta-stats
+  consistent
+  delta: 0 flushes, +0/-0 facts; views: 1 denials, 0 rows, evals=0 reverifies=0 recomputes=1 skipped=0
+
+A violated collection: same verdict and exit code either way.
+
+  $ xicheck check --dtd rev.dtd=review --doc bad.xml --constraints constraints.xpl
+  VIOLATED: conflict
+  [1]
+  $ xicheck check --dtd rev.dtd=review --doc bad.xml --constraints constraints.xpl --incremental
+  VIOLATED: conflict
+  [1]
+
+The two flags are mutually exclusive.
+
+  $ xicheck check --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --incremental --no-incremental
+  xicheck: --incremental and --no-incremental are mutually exclusive
+  [1]
+
+A journaled transaction with incremental checking on: the fallback
+verdict after each statement is answered from the maintained views,
+and --delta-stats shows the flushed deltas.
+
+  $ cat > ins.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Fresh</title><auts><name>Zoe</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ xicheck txn --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --update ins.xml --journal wal.j --incremental --delta-stats
+  statement 1 (ins.xml): applied (validated by the full check)
+  transaction committed (1 statements)
+  delta: 1 flushes, +3/-0 facts; views: 1 denials, 0 rows, evals=0 reverifies=0 recomputes=1 skipped=0
+
+Recovery replays the journal with the views maintained delta by delta.
+
+  $ xicheck recover --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --journal wal.j --incremental --delta-stats
+  replayed 1 transaction(s), 1 statement(s); discarded 0
+  delta: 1 flushes, +3/-0 facts; views: 1 denials, 0 rows, evals=0 reverifies=0 recomputes=1 skipped=0

@@ -11,14 +11,9 @@ let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)
 
-(* Journal files live in the test's working directory (dune sandbox). *)
-let fresh_path =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    let p = Printf.sprintf "test_journal_%d.j" !n in
-    if Sys.file_exists p then Sys.remove p;
-    p
+(* Journal files live in a shared temp directory removed at exit (CI
+   runs these binaries from the repo root, not only dune's sandbox). *)
+let fresh_path () = Test_tmp.fresh "test_journal" ".j"
 
 let schema = lazy (Conf.schema ())
 

@@ -1,15 +1,16 @@
 (* Differential test oracle (index layer): randomized conference-style
    documents, denials from the paper's constraint class, and random
-   XUpdate sequences.  Seven evaluation routes must agree on every
+   XUpdate sequences.  Eight evaluation routes must agree on every
    check — the indexed planner, the scan interpreter, the Datalog
    evaluation of the shredded relational mapping, the cached compiled
    plans, the parallel checker at [-j 2..4], the fully traced checker
-   (spans + detailed metrics on), and the fused single-pass loader
+   (spans + detailed metrics on), the fused single-pass loader
    (parse+intern+shred in one sweep, compared against the legacy
-   parse-then-shred pipeline relation by relation) — and the
-   incrementally maintained indexes must equal indexes rebuilt from
-   scratch after every apply / undo / savepoint-rollback /
-   crash-recovery sequence.
+   parse-then-shred pipeline relation by relation), and the incremental
+   delta-maintained checker (materialized denial views vs from-scratch
+   recompute, [Store.equal] on the views) — and the incrementally
+   maintained indexes must equal indexes rebuilt from scratch after
+   every apply / undo / savepoint-rollback / crash-recovery sequence.
 
    Iteration count comes from [XIC_ORACLE_ITERS] (small by default so
    [dune runtest] stays fast); [dune build @oracle] runs 500.  The PRNG
@@ -354,13 +355,7 @@ let test_txn_savepoint_oracle () =
     check_agreement ~seed repo "after txn close"
   done
 
-let fresh_path =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    let p = Printf.sprintf "test_oracle_%d.j" !n in
-    if Sys.file_exists p then Sys.remove p;
-    p
+let fresh_path () = Test_tmp.fresh "test_oracle" ".j"
 
 let test_recover_oracle () =
   for i = 1 to max 1 (iters / 3) do
@@ -403,7 +398,14 @@ module Store = Xic_datalog.Store
 (* Relation-by-relation comparison with a named culprit on mismatch —
    [Store.equal] alone would only say "differs". *)
 let check_stores_equal ~seed what legacy fused =
-  let rels s = List.sort compare (Store.relations s) in
+  (* Compare non-empty relations only, matching [Store.equal]: removing
+     the last tuple of a relation leaves an empty record behind, which a
+     from-scratch build never creates. *)
+  let rels s =
+    Store.relations s
+    |> List.filter (fun n -> Store.cardinality s n > 0)
+    |> List.sort compare
+  in
   Alcotest.(check (list string))
     (Printf.sprintf "[seed %d] %s: same relations" seed what)
     (rels legacy) (rels fused);
@@ -453,6 +455,98 @@ let test_fused_loader_oracle () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Eighth route: incremental maintenance vs recompute                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Three-way agreement after every commit of a randomized transaction
+   stream: (a) the incremental verdict equals the full check, (b) the
+   event-maintained store equals a from-scratch re-shred, (c) the
+   delta-maintained denial views equal views recomputed from scratch on
+   the current store. *)
+let check_incremental_agreement ~seed repo what =
+  Alcotest.(check (list string))
+    (Printf.sprintf "[seed %d] %s: incremental verdict = full" seed what)
+    (sorted (Repository.check_full repo))
+    (sorted (Repository.check_incremental repo));
+  check_stores_equal ~seed
+    (what ^ " (maintained store vs re-shred)")
+    (Xic_relmap.Shred.shred
+       (Schema.mapping (Repository.schema repo))
+       (Repository.doc repo))
+    (Repository.store repo);
+  let maintained =
+    match Repository.incr_view repo with
+    | Some v -> Store.copy v
+    | None -> Alcotest.failf "[seed %d] %s: no materialized views" seed what
+  in
+  Repository.set_incremental repo false;  (* drop the views... *)
+  Repository.set_incremental repo true;
+  ignore (Repository.check_incremental repo : string list);  (* ...recompute *)
+  match Repository.incr_view repo with
+  | Some fresh ->
+    check_stores_equal ~seed (what ^ " (maintained views vs recompute)")
+      fresh maintained
+  | None -> Alcotest.failf "[seed %d] %s: recompute built no views" seed what
+
+let test_incremental_oracle () =
+  (* the paper's fixed scenario, consistent and violated *)
+  List.iter
+    (fun (what, rev) ->
+      let repo = repo_of ~pub:fixed_pub ~rev in
+      Repository.set_incremental repo true;
+      check_incremental_agreement ~seed:0 repo what)
+    [ ("examples consistent", fixed_rev);
+      ( "examples violated",
+        {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>Joint</title><auts><name>Carl</name></auts></sub></rev></track></review>|}
+      ) ];
+  for i = 1 to iters do
+    let seed = 17000 + i in
+    let r = Prng.create seed in
+    let repo = random_repo r in
+    Repository.set_incremental repo true;
+    check_incremental_agreement ~seed repo "initial";
+    let path = fresh_path () in
+    let j = J.open_ ~sync:false path in
+    for round = 1 to 1 + Prng.int r 3 do
+      let txn = Repository.begin_txn ~journal:j repo in
+      for _ = 1 to 1 + Prng.int r 2 do
+        match random_update r repo with
+        | Some u -> ignore (Repository.txn_apply txn u : Repository.outcome)
+        | None -> ()
+      done;
+      (* sometimes wind a savepoint forward and roll it back: the
+         inverse deltas must retract exactly what the forward pass
+         materialized *)
+      if Prng.bool r then begin
+        let sp = Repository.txn_savepoint txn in
+        (match random_update r repo with
+         | Some u -> ignore (Repository.txn_apply txn u : Repository.outcome)
+         | None -> ());
+        ignore (Repository.check_incremental repo : string list);
+        Repository.txn_rollback_to txn sp
+      end;
+      if Prng.int r 4 = 0 then Repository.rollback_txn txn
+      else Repository.commit_txn txn;
+      check_incremental_agreement ~seed repo
+        (Printf.sprintf "after txn round %d" round)
+    done;
+    J.close j;
+    (* replay the journal into a fresh repository with views materialized
+       before recovery: replay deltas must maintain them too *)
+    let r2 = Prng.create seed in
+    let repo2 = repo_of ~pub:(gen_pub r2) ~rev:(gen_rev r2) in
+    Repository.set_incremental repo2 true;
+    ignore (Repository.check_incremental repo2 : string list);
+    ignore (Repository.recover (J.read path) repo2 : Repository.recovery_report);
+    check_incremental_agreement ~seed repo2 "after recovery replay";
+    Alcotest.(check (list string))
+      (Printf.sprintf "[seed %d] recovered incremental verdict = original" seed)
+      (sorted (Repository.check_incremental repo))
+      (sorted (Repository.check_incremental repo2));
+    Sys.remove path
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Symbol interning round trip                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -497,5 +591,7 @@ let () =
           Alcotest.test_case "txn savepoints" `Quick test_txn_savepoint_oracle;
           Alcotest.test_case "crash recovery" `Quick test_recover_oracle;
           Alcotest.test_case "fused loader" `Quick test_fused_loader_oracle;
+          Alcotest.test_case "incremental recompute" `Quick
+            test_incremental_oracle;
         ] );
     ]

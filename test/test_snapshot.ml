@@ -14,14 +14,8 @@ let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)
 
-(* Snapshot files live in the test's working directory (dune sandbox). *)
-let fresh_path =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    let p = Printf.sprintf "test_snapshot_%d.xis" !n in
-    if Sys.file_exists p then Sys.remove p;
-    p
+(* Snapshot files live in a shared temp directory removed at exit. *)
+let fresh_path () = Test_tmp.fresh "test_snapshot" ".xis"
 
 let schema = lazy (Conf.schema ())
 

@@ -1,0 +1,37 @@
+(* Shared scratch directory for test artifacts (journals, snapshots).
+
+   Tests used to write journals into the current working directory and
+   never delete them — harmless under dune's sandbox, but `dune exec
+   test/test_x.exe` (the CI oracle/torture smokes) runs in the repo
+   root, which ended up littered with test_journal_*.j files.  Every
+   artifact now lands in one per-process temp directory that is removed
+   at exit. *)
+
+let dir =
+  lazy
+    (let d =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "xic_test_%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     at_exit (fun () ->
+         match Sys.readdir d with
+         | files ->
+           Array.iter
+             (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+             files;
+           (try Unix.rmdir d with Unix.Unix_error _ -> ())
+         | exception Sys_error _ -> ());
+     d)
+
+let file name = Filename.concat (Lazy.force dir) name
+
+(* Numbered fresh path, e.g. [fresh "test_journal" ".j"]. *)
+let fresh =
+  let n = ref 0 in
+  fun prefix ext ->
+    incr n;
+    let p = file (Printf.sprintf "%s_%d%s" prefix !n ext) in
+    if Sys.file_exists p then Sys.remove p;
+    p

@@ -128,6 +128,11 @@ let recover_state ~ctx jpath spath =
     end
   in
   Repository.add_constraint repo (Conf.conflict s);
+  (* materialize the incremental denial views *before* replay, so the
+     replay deltas must maintain them (and the recovery post-check reads
+     the maintained views, not a recompute) *)
+  Repository.set_incremental repo true;
+  ignore (Repository.check_incremental repo : string list);
   if Sys.file_exists jpath then begin
     let rr = J.read jpath in
     let skip =
@@ -140,6 +145,35 @@ let recover_state ~ctx jpath spath =
       (ctx ^ ": recovered state is consistent") []
       r.Repository.post_violations
   end;
+  (* no stale materialized state survives a crash: the event-maintained
+     store equals a from-scratch re-shred, and the delta-maintained
+     views equal a from-scratch recompute *)
+  let module Store = Xic_datalog.Store in
+  checkb
+    (ctx ^ ": maintained store = re-shred")
+    true
+    (Store.equal (Repository.store repo)
+       (Xic_relmap.Shred.shred
+          (Schema.mapping (Repository.schema repo))
+          (Repository.doc repo)));
+  let maintained =
+    match Repository.incr_view repo with
+    | Some v -> Store.copy v
+    | None -> Alcotest.fail (ctx ^ ": incremental views were dropped")
+  in
+  let verdict = Repository.check_incremental repo in
+  Repository.set_incremental repo false;  (* drop the views... *)
+  Repository.set_incremental repo true;
+  let verdict' = Repository.check_incremental repo in  (* ...recompute *)
+  Alcotest.(check (list string))
+    (ctx ^ ": maintained verdict = recomputed verdict") verdict' verdict;
+  (match Repository.incr_view repo with
+   | Some fresh ->
+     checkb
+       (ctx ^ ": maintained views = recomputed views")
+       true
+       (Store.equal maintained fresh)
+   | None -> Alcotest.fail (ctx ^ ": recompute produced no views"));
   xml repo
 
 (* ------------------------------------------------------------------ *)
@@ -170,7 +204,8 @@ let run_sweep seed =
     (fun site ->
       let ctx = Printf.sprintf "seed %d, crash at %s" seed site in
       let tag = Printf.sprintf "torture_%d_%s" seed site in
-      let jpath = tag ^ ".j" and spath = tag ^ ".xis" in
+      let jpath = Test_tmp.file (tag ^ ".j")
+      and spath = Test_tmp.file (tag ^ ".xis") in
       cleanup jpath;
       cleanup spath;
       FP.set ~action:(action_for site) ~after:(seed mod 3) site;
@@ -230,7 +265,8 @@ let test_injected_eio_absorbed () =
   let st = Random.State.make [| 0x7041c3; seed |] in
   let ops = gen_ops st 8 in
   let golden = golden_states ~seed ops in
-  let jpath = "torture_eio.j" and spath = "torture_eio.xis" in
+  let jpath = Test_tmp.file "torture_eio.j"
+  and spath = Test_tmp.file "torture_eio.xis" in
   cleanup jpath;
   cleanup spath;
   FP.set ~action:(FP.Eio { failures = 2 }) "journal_write";
@@ -254,7 +290,7 @@ let test_injected_eio_absorbed () =
 
 (* Exhausting the retry budget surfaces the error instead of spinning. *)
 let test_eio_exhaustion_fails_cleanly () =
-  let jpath = "torture_eio_exhaust.j" in
+  let jpath = Test_tmp.file "torture_eio_exhaust.j" in
   cleanup jpath;
   let repo = base_repo () in
   let j = J.open_ jpath in
@@ -266,7 +302,9 @@ let test_eio_exhaustion_fails_cleanly () =
    | _ -> Alcotest.fail "unbounded EIO must surface an error");
   (try J.close j with J.Journal_error _ -> ());
   (* the journal still recovers to the pre-update state *)
-  let recovered = recover_state ~ctx:"eio-exhaust" jpath "no_snapshot.xis" in
+  let recovered =
+    recover_state ~ctx:"eio-exhaust" jpath (Test_tmp.file "no_snapshot.xis")
+  in
   checks "no partial state" (xml (base_repo ())) recovered;
   cleanup jpath
 
