@@ -10,6 +10,7 @@
      index      indexed vs scan evaluation of full and simplified checks
      journal    write-ahead journaling overhead on guarded updates
      incremental  delta-maintained denial views vs full re-evaluation
+     server     resident check server vs one-shot loop; batched guards
      micro      Bechamel micro-benchmarks of the moving parts
      all        everything above (default)
 
@@ -880,6 +881,235 @@ let incremental_bench ~sizes ~reps () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* PR 8: the resident check server                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Xic_server.Server
+module Proto = Xic_server.Protocol
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+let frame_bytes payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring fd s off (n - off))
+  in
+  go 0
+
+(* Sustained service rate of the resident server versus paying the
+   load on every request (what a one-shot CLI loop does), plus the
+   per-request saving of batched guarded transactions.  The server runs
+   in a forked child over a Unix-domain socket with a durable (fsync)
+   journal; latencies are measured client side, whole round trips. *)
+let server_bench ~reps () =
+  let size = 256_000 in
+  let n_checks = max 200 (reps * 40) in
+  Printf.printf "# Resident server vs one-shot loop (%d bytes)\n" size;
+  let s = Conf.schema () in
+  let ds = Gen.generate ~seed:42 ~target_bytes:size () in
+  let sock = Filename.temp_file "bench_srv" ".sock" in
+  Sys.remove sock;
+  let jpath = Filename.temp_file "bench_srv" ".j" in
+  Sys.remove jpath;
+  (* one-shot: every request pays parse + shred + check *)
+  let oneshot () =
+    let repo = Repository.create s in
+    Repository.load_fused ~validate:false repo ds.Gen.pub_xml;
+    Repository.load_fused ~validate:false repo ds.Gen.rev_xml;
+    Repository.add_constraint repo (Conf.conflict s);
+    ignore (Repository.check_full repo : string list)
+  in
+  let oneshot_med, _ = time_stats ~reps ~clean:true oneshot in
+  (* resident: the child keeps everything warm *)
+  (match Unix.fork () with
+   | 0 ->
+     (try
+        let repo = Repository.create s in
+        Repository.load_fused ~validate:false repo ds.Gen.pub_xml;
+        Repository.load_fused ~validate:false repo ds.Gen.rev_xml;
+        Repository.add_constraint repo (Conf.conflict s);
+        Repository.register_pattern repo (Conf.submission_pattern s);
+        Repository.set_incremental repo true;
+        let j = Xic_journal.Journal.open_ jpath in
+        let srv =
+          Srv.create
+            ~config:{ Srv.default_config with journal = Some j }
+            repo
+        in
+        let lfd = Srv.listen (Proto.Unix_sock sock) in
+        Srv.serve ~idle_timeout:0.05 srv lfd;
+        Unix._exit 0
+      with _ -> Unix._exit 97)
+   | child ->
+     Fun.protect ~finally:(fun () ->
+         (try Unix.kill child Sys.sigkill with Unix.Unix_error _ -> ());
+         (try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ());
+         List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+           [ sock; jpath ])
+     @@ fun () ->
+     let rec connect n =
+       match Proto.connect (Proto.Unix_sock sock) with
+       | fd -> fd
+       | exception _ when n > 0 ->
+         ignore (Unix.select [] [] [] 0.1);
+         connect (n - 1)
+     in
+     let fd = connect 200 in
+     let check_req = Proto.Obj [ ("op", Proto.String "check") ] in
+     ignore (Proto.request fd check_req) (* warm up *);
+     let lat = Array.init n_checks (fun _ ->
+         let t0 = now () in
+         ignore (Proto.request fd check_req);
+         (now () -. t0) *. 1000.0)
+     in
+     Array.sort Float.compare lat;
+     let total = Array.fold_left ( +. ) 0.0 lat in
+     let rps = float_of_int n_checks /. (total /. 1000.0) in
+     let p50 = percentile lat 50.0 and p99 = percentile lat 99.0 in
+     let oneshot_rps = 1000.0 /. oneshot_med in
+     let speedup = rps /. oneshot_rps in
+     Printf.printf "# %-26s %-14s %-10s %s\n" "route" "checks/sec" "p50(ms)"
+       "p99(ms)";
+     Printf.printf "%-28s %-14.1f %-10.3f %.3f\n" "one-shot (load per check)"
+       oneshot_rps oneshot_med oneshot_med;
+     Printf.printf "%-28s %-14.1f %-10.4f %.4f\n" "resident server" rps p50 p99;
+     Printf.printf "sustained speedup: %.0fx over %d requests\n%!" speedup
+       n_checks;
+     (* guarded updates: serial round trips vs one pipelined batch.
+        Every statement journals durably, so the batch's single commit
+        fsync (and single composed view-maintenance flush) is the win. *)
+     let guard_payload i =
+       Proto.to_string
+         (Proto.Obj
+            [ ("op", Proto.String "guard");
+              ( "update",
+                Proto.String
+                  (Xic_xupdate.Xupdate.to_string
+                     (Conf.insert_submission ~select:ds.Gen.legal_select
+                        ~title:(Printf.sprintf "Bench %d" i)
+                        ~author:ds.Gen.legal_author)) ) ])
+     in
+     let read_applied () =
+       match Proto.read_frame fd with
+       | Some resp ->
+         if not (Proto.bool_field "ok" resp) then failwith "guard errored";
+         (match Proto.string_field "outcome" resp with
+          | Some "applied" -> ()
+          | o ->
+            failwith
+              ("guard not applied: " ^ Option.value ~default:"?" o))
+       | None -> failwith "server closed"
+     in
+     let serial_round k =
+       let t0 = now () in
+       for i = 1 to k do
+         write_all fd (frame_bytes (guard_payload i));
+         read_applied ()
+       done;
+       (now () -. t0) *. 1000.0 /. float_of_int k
+     in
+     let batched_round k =
+       let b = Buffer.create 4096 in
+       for i = 1 to k do
+         Buffer.add_string b (frame_bytes (guard_payload i))
+       done;
+       let t0 = now () in
+       (* one write syscall: the whole batch lands in one poll round *)
+       write_all fd (Buffer.contents b);
+       for _ = 1 to k do
+         read_applied ()
+       done;
+       (now () -. t0) *. 1000.0 /. float_of_int k
+     in
+     (* The document grows with every applied guard, so measuring all
+        serial rounds before all batched rounds would hand the batched
+        side a systematically larger instance.  Interleave them in
+        alternating order and take per-side medians: both populations
+        face the same document-size distribution. *)
+     let interleaved k =
+       ignore (serial_round k);
+       ignore (batched_round k);
+       let n = max reps 5 in
+       let ss = ref [] and bs = ref [] in
+       for i = 1 to n do
+         if i mod 2 = 1 then begin
+           ss := serial_round k :: !ss;
+           bs := batched_round k :: !bs
+         end
+         else begin
+           bs := batched_round k :: !bs;
+           ss := serial_round k :: !ss
+         end
+       done;
+       let med l =
+         let a = Array.of_list l in
+         Array.sort Float.compare a;
+         a.(Array.length a / 2)
+       in
+       (med !ss, med !bs)
+     in
+     Printf.printf "# %-8s %-22s %-22s %s\n" "batch" "serial(ms/request)"
+       "batched(ms/request)" "saving";
+     let guard_rows =
+       List.map
+         (fun k ->
+           let serial_ms, batched_ms = interleaved k in
+           let saving = (serial_ms -. batched_ms) /. serial_ms *. 100.0 in
+           Printf.printf "%-10d %-22.4f %-22.4f %.0f%%\n%!" k serial_ms
+             batched_ms saving;
+           Printf.sprintf
+             "{\"batch\": %d, \"serial_ms_per_request\": %.4f, \
+              \"batched_ms_per_request\": %.4f, \"saving_pct\": %.1f}"
+             k serial_ms batched_ms saving)
+         [ 1; 4; 16 ]
+     in
+     (* confirm the pipelined rounds really were applied as batches *)
+     let stats =
+       Proto.request fd (Proto.Obj [ ("op", Proto.String "stats") ])
+     in
+     (match Proto.member "server" stats with
+      | Some srv_stats ->
+        Printf.printf "server applied %d batches (%d guards batched)\n%!"
+          (Option.value ~default:0 (Proto.int_field "batches" srv_stats))
+          (Option.value ~default:0
+             (Proto.int_field "batched_guards" srv_stats))
+      | None -> ());
+     ignore (Proto.request fd (Proto.Obj [ ("op", Proto.String "shutdown") ]));
+     Unix.close fd;
+     (match Unix.waitpid [] child with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> failwith "server child did not exit cleanly");
+     add_json "server"
+       (Printf.sprintf
+          "{\n\
+          \    \"size_bytes\": %d,\n\
+          \    \"requests\": %d,\n\
+          \    \"oneshot_checks_per_sec\": %.2f,\n\
+          \    \"oneshot_median_ms\": %.4f,\n\
+          \    \"server_checks_per_sec\": %.2f,\n\
+          \    \"server_p50_ms\": %.4f,\n\
+          \    \"server_p99_ms\": %.4f,\n\
+          \    \"sustained_speedup\": %.1f,\n\
+          \    \"guards\": [%s]\n\
+          \  }"
+          ds.Gen.stats.Gen.bytes n_checks oneshot_rps oneshot_med rps p50 p99
+          speedup
+          (String.concat ", " guard_rows));
+     print_newline ())
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -898,7 +1128,7 @@ let () =
       sizes := List.map int_of_string (String.split_on_char ',' s);
       parse rest
     | "--json" :: rest ->
-      json := Some "BENCH_PR7.json";
+      json := Some "BENCH_PR8.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -920,6 +1150,7 @@ let () =
     | "stages" -> stages ~sizes ~reps ()
     | "ingest" -> ingest ~sizes ~reps ()
     | "coldstart" -> coldstart ~sizes ~reps ()
+    | "server" -> server_bench ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -934,12 +1165,13 @@ let () =
       ingest ~sizes ~reps ();
       coldstart ~sizes ~reps ();
       pipeline ~sizes ~reps ();
+      server_bench ~reps ();
       micro ()
     | other ->
       Printf.eprintf
         "unknown experiment %S (expected \
          fig1a|fig1b|fig_simp|ex45|ablations|index|journal|incremental|\
-         stages|ingest|coldstart|pipeline|micro|all)\n"
+         stages|ingest|coldstart|pipeline|server|micro|all)\n"
         other;
       exit 2
   in

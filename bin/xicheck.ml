@@ -925,6 +925,350 @@ let publish_cmd =
     Term.(const run $ dtd_arg $ constraints_arg $ pattern_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Xic_server.Server
+module Proto = Xic_server.Protocol
+
+let socket_arg =
+  let doc = "Serve (or reach the server) on this Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Serve (or reach the server) on this TCP address, as HOST:PORT." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let server_address socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Proto.Unix_sock path
+  | None, Some hp ->
+    (match Proto.address_of_string hp with
+     | Proto.Tcp _ as a -> a
+     | Proto.Unix_sock _ -> die "--tcp expects HOST:PORT, got %S" hp)
+  | Some _, Some _ -> die "--socket and --tcp are mutually exclusive"
+  | None, None -> die "one of --socket or --tcp is required"
+
+let serve_cmd =
+  let checkpoint_on_shutdown_arg =
+    let doc =
+      "Write a final checkpoint to the --snapshot path during graceful \
+       shutdown (SIGINT/SIGTERM or a 'shutdown' request)."
+    in
+    Arg.(value & flag & info [ "checkpoint-on-shutdown" ] ~doc)
+  in
+  let run dtds docs snapshot constraints pattern no_validate legacy_loader
+      runtime_simp journal eval_budget no_index jobs incremental
+      no_incremental socket tcp checkpoint_on_shutdown =
+    ignore incremental;
+    let s = load_schema dtds in
+    let repo, meta =
+      load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
+        docs
+    in
+    if no_index then Repository.set_use_index repo false;
+    Repository.set_eval_budget repo eval_budget;
+    (if jobs < 1 then die "--jobs must be at least 1"
+     else Repository.set_parallelism repo jobs);
+    List.iter (Repository.add_constraint repo) (load_constraints s constraints);
+    (match load_pattern s pattern with
+     | Some p -> Repository.register_pattern repo p
+     | None -> ());
+    (* a resident server wants the materialized views resident too:
+       incremental checking is ON unless explicitly disabled *)
+    if not no_incremental then Repository.set_incremental repo true;
+    (* bring the state up to date with the journal before serving *)
+    (match (meta, journal) with
+     | Some m, Some jpath -> replay_onto_snapshot repo m jpath
+     | None, Some jpath when Sys.file_exists jpath ->
+       let rr =
+         match Xic_journal.Journal.read jpath with
+         | rr -> rr
+         | exception Xic_journal.Journal.Journal_error m -> die "%s" m
+       in
+       let r = Repository.recover rr repo in
+       List.iter
+         (fun (txn, m) ->
+           die "replay error in journaled transaction %d: %s" txn m)
+         r.Repository.replay_errors
+     | _ -> ());
+    let journal = Option.map open_journal journal in
+    let config =
+      { Srv.journal; snapshot_path = snapshot; checkpoint_on_shutdown;
+        fallback =
+          (if runtime_simp then `Runtime_simplification else `Full_check) }
+    in
+    let server = Srv.create ~config repo in
+    let addr = server_address socket tcp in
+    let lfd =
+      match Srv.listen addr with
+      | fd -> fd
+      | exception Proto.Protocol_error m -> die "%s" m
+      | exception Unix.Unix_error (e, _, arg) ->
+        die "cannot listen on %s: %s %s"
+          (Proto.address_to_string addr)
+          (Unix.error_message e) arg
+    in
+    Printf.printf "serving on %s (pid %d)\n%!"
+      (Proto.address_to_string addr)
+      (Unix.getpid ());
+    Srv.serve server lfd;
+    (match addr with
+     | Proto.Unix_sock path ->
+       (try Sys.remove path with Sys_error _ -> ())
+     | Proto.Tcp _ -> ());
+    Printf.printf "served %d request(s); shutdown complete\n%!"
+      (Srv.requests server)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident check server: load once, keep the arena, store, \
+          plan cache, indexes and materialized views warm, and answer \
+          check/guard/txn/stats/checkpoint requests over a socket")
+    Term.(
+      const run $ dtd_arg $ docs_arg $ snapshot_arg $ constraints_arg
+      $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg
+      $ journal_arg $ eval_budget_arg $ no_index_arg $ jobs_arg
+      $ incremental_arg $ no_incremental_arg $ socket_arg $ tcp_arg
+      $ checkpoint_on_shutdown_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let expect_ok resp =
+  if not (Proto.bool_field "ok" resp) then
+    die "server error: %s"
+      (Option.value ~default:(Proto.to_string resp)
+         (Proto.string_field "error" resp));
+  resp
+
+(* Render a guard/statement response with the same wording as the local
+   [print_outcome], so server and one-shot CLI transcripts line up. *)
+let print_response_outcome resp =
+  let constraint_of () =
+    Option.value ~default:"?" (Proto.string_field "constraint" resp)
+  in
+  (match Proto.list_field "degradations" resp with
+   | Some ds ->
+     List.iter
+       (fun d ->
+         Printf.printf "note: optimized check %s degraded (%s)\n"
+           (Option.value ~default:"?" (Proto.string_field "check" d))
+           (Option.value ~default:"?" (Proto.string_field "reason" d)))
+       ds
+   | None -> ());
+  match Proto.string_field "outcome" resp with
+  | Some "applied" ->
+    (match Proto.string_field "strategy" resp with
+     | Some "optimized" ->
+       print_endline "applied (validated by the optimized pre-check)"
+     | Some "runtime_simplified" ->
+       print_endline "applied (validated by a runtime-simplified pre-check)"
+     | _ -> print_endline "applied (validated by the full check)");
+    true
+  | Some "rejected" ->
+    Printf.printf "rejected before execution: violates %s\n" (constraint_of ());
+    false
+  | Some "rolled_back" ->
+    Printf.printf "rolled back: violates %s\n" (constraint_of ());
+    false
+  | _ -> die "unexpected response: %s" (Proto.to_string resp)
+
+let client_cmd =
+  let op_arg =
+    let doc =
+      "Operation: ping, check, guard, batch, txn, begin, stmt, commit, \
+       abort, pin, unpin, checkpoint, stats, shutdown."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let updates_arg =
+    let doc = "XUpdate statement file (repeatable for batch/txn)." in
+    Arg.(value & opt_all file [] & info [ "update" ] ~docv:"FILE" ~doc)
+  in
+  let pin_arg =
+    let doc = "Pin id (for 'check --pin' and 'unpin')." in
+    Arg.(value & opt (some int) None & info [ "pin" ] ~docv:"N" ~doc)
+  in
+  let path_arg =
+    let doc = "Snapshot path for 'checkpoint' (server default otherwise)." in
+    Arg.(value & opt (some string) None & info [ "path" ] ~docv:"FILE" ~doc)
+  in
+  let abort_arg =
+    let doc = "For 'txn': apply the statements, then roll the batch back." in
+    Arg.(value & flag & info [ "abort" ] ~doc)
+  in
+  let run op socket tcp updates pin path runtime_simp abort =
+    let addr = server_address socket tcp in
+    let fd =
+      match Proto.connect addr with
+      | fd -> fd
+      | exception Proto.Protocol_error m -> die "%s" m
+    in
+    let rq j =
+      match Proto.request fd j with
+      | resp -> expect_ok resp
+      | exception Proto.Protocol_error m -> die "%s" m
+    in
+    let fallback_fields =
+      if runtime_simp then [ ("fallback", Proto.String "runtime") ] else []
+    in
+    let one_update () =
+      match updates with
+      | [ path ] -> read_file path
+      | _ -> die "%s requires exactly one --update FILE" op
+    in
+    let failed = ref false in
+    (match op with
+     | "ping" ->
+       ignore (rq (Proto.Obj [ ("op", Proto.String "ping") ]));
+       print_endline "pong"
+     | "check" ->
+       let fields =
+         ("op", Proto.String "check")
+         :: (match pin with Some id -> [ ("pin", Proto.Int id) ] | None -> [])
+       in
+       let resp = rq (Proto.Obj fields) in
+       (match Proto.list_field "violated" resp with
+        | Some [] | None ->
+          Printf.printf "consistent (generation %d, %s)\n"
+            (Option.value ~default:0 (Proto.int_field "generation" resp))
+            (Option.value ~default:"live"
+               (Proto.string_field "isolation" resp))
+        | Some vs ->
+          List.iter
+            (function
+              | Proto.String v -> Printf.printf "VIOLATED: %s\n" v
+              | _ -> ())
+            vs;
+          failed := true)
+     | "guard" ->
+       let resp =
+         rq
+           (Proto.Obj
+              (( [ ("op", Proto.String "guard");
+                   ("update", Proto.String (one_update ())) ]
+               @ fallback_fields )))
+       in
+       if not (print_response_outcome resp) then failed := true
+     | "batch" ->
+       (* pipeline every guard before reading any response: frames that
+          land in one server poll round apply as a single batch *)
+       if updates = [] then die "batch requires at least one --update FILE";
+       let stmts = List.map read_file updates in
+       List.iter
+         (fun u ->
+           Proto.write_frame fd
+             (Proto.Obj
+                (( [ ("op", Proto.String "guard"); ("update", Proto.String u) ]
+                 @ fallback_fields ))))
+         stmts;
+       List.iteri
+         (fun i _ ->
+           let resp =
+             match Proto.read_frame fd with
+             | Some r -> expect_ok r
+             | None -> die "server closed the connection"
+             | exception Proto.Protocol_error m -> die "%s" m
+           in
+           Printf.printf "statement %d: " (i + 1);
+           if not (print_response_outcome resp) then failed := true)
+         stmts
+     | "txn" ->
+       if updates = [] then die "txn requires at least one --update FILE";
+       let stmts = List.map read_file updates in
+       let resp =
+         rq
+           (Proto.Obj
+              (( [ ("op", Proto.String "txn");
+                   ( "updates",
+                     Proto.List
+                       (List.map (fun u -> Proto.String u) stmts) ) ]
+               @ fallback_fields
+               @ if abort then [ ("abort", Proto.Bool true) ] else [] )))
+       in
+       let applied = ref 0 in
+       (match Proto.list_field "results" resp with
+        | Some rs ->
+          List.iteri
+            (fun i r ->
+              Printf.printf "statement %d: " (i + 1);
+              if print_response_outcome r then incr applied
+              else failed := true)
+            rs
+        | None -> ());
+       if abort then print_endline "transaction rolled back"
+       else Printf.printf "transaction committed (%d statements)\n" !applied
+     | "begin" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "txn_begin") ]) in
+       Printf.printf "transaction %d open\n"
+         (Option.value ~default:0 (Proto.int_field "txn" resp))
+     | "stmt" ->
+       let resp =
+         rq
+           (Proto.Obj
+              (( [ ("op", Proto.String "txn_stmt");
+                   ("update", Proto.String (one_update ())) ]
+               @ fallback_fields )))
+       in
+       if not (print_response_outcome resp) then failed := true
+     | "commit" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "txn_commit") ]) in
+       Printf.printf "transaction committed (%d statements)\n"
+         (Option.value ~default:0 (Proto.int_field "statements" resp))
+     | "abort" ->
+       ignore (rq (Proto.Obj [ ("op", Proto.String "txn_abort") ]));
+       print_endline "transaction rolled back"
+     | "pin" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "pin") ]) in
+       Printf.printf "pin %d (generation %d)\n"
+         (Option.value ~default:0 (Proto.int_field "pin" resp))
+         (Option.value ~default:0 (Proto.int_field "generation" resp))
+     | "unpin" ->
+       (match pin with
+        | None -> die "unpin requires --pin N"
+        | Some id ->
+          ignore
+            (rq
+               (Proto.Obj
+                  [ ("op", Proto.String "unpin"); ("pin", Proto.Int id) ]));
+          Printf.printf "unpinned %d\n" id)
+     | "checkpoint" ->
+       let fields =
+         ("op", Proto.String "checkpoint")
+         :: (match path with
+             | Some p -> [ ("path", Proto.String p) ]
+             | None -> [])
+       in
+       let resp = rq (Proto.Obj fields) in
+       Printf.printf "checkpointed %d node(s), %d fact(s) to %s (%d bytes)\n"
+         (Option.value ~default:0 (Proto.int_field "nodes" resp))
+         (Option.value ~default:0 (Proto.int_field "facts" resp))
+         (Option.value ~default:"?" (Proto.string_field "path" resp))
+         (Option.value ~default:0 (Proto.int_field "bytes" resp))
+     | "stats" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "stats") ]) in
+       print_endline (Proto.to_string resp)
+     | "shutdown" ->
+       ignore (rq (Proto.Obj [ ("op", Proto.String "shutdown") ]));
+       print_endline "server stopping"
+     | op -> die "unknown client operation %S" op);
+    Unix.close fd;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running 'xicheck serve' instance (checks, guarded \
+          updates, batches, streaming transactions, pins, checkpoints, \
+          stats, shutdown)")
+    Term.(
+      const run $ op_arg $ socket_arg $ tcp_arg $ updates_arg $ pin_arg
+      $ path_arg $ runtime_simp_arg $ abort_arg)
+
+(* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -967,4 +1311,4 @@ let () =
        (Cmd.group info
           [ schema_cmd; compile_cmd; validate_cmd; check_cmd; simplify_cmd;
             guard_cmd; txn_cmd; recover_cmd; checkpoint_cmd; publish_cmd;
-            generate_cmd ]))
+            serve_cmd; client_cmd; generate_cmd ]))

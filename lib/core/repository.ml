@@ -78,6 +78,9 @@ type delta_counters = {
   mutable flushes : int;
   mutable facts_added : int;
   mutable facts_removed : int;
+  (* sequential composition of every flushed delta since the store was
+     installed: the net drift of the live store, bounded by its size *)
+  net : Delta.t;
 }
 
 type t = {
@@ -98,6 +101,9 @@ type t = {
   (* full-check plans, keyed by constraint name *)
   full_plans : (string, Xic_xquery.Eval.compiled) Hashtbl.t;
   mutable parallelism : int;
+  (* committed-transaction counter; {!pin} stamps it into snapshots so
+     readers can tell which state they are looking at *)
+  mutable generation : int;
 }
 
 exception Repository_error of string
@@ -107,9 +113,12 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Repository_error s)) fmt
 let create schema =
   { schema; doc = Doc.create (); constraints = []; compiled = []; store = None;
     mirror = None; incremental = false; incr = None;
-    deltas = { flushes = 0; facts_added = 0; facts_removed = 0 };
+    deltas =
+      { flushes = 0; facts_added = 0; facts_removed = 0; net = Delta.create () };
     eval_budget = None; use_index = true; index = None;
-    full_plans = Hashtbl.create 16; parallelism = 1 }
+    full_plans = Hashtbl.create 16; parallelism = 1; generation = 0 }
+
+let generation t = t.generation
 
 let set_eval_budget t b = t.eval_budget <- b
 let eval_budget t = t.eval_budget
@@ -213,6 +222,7 @@ let invalidate_store t =
 let install_store t s =
   (match t.mirror with Some m -> Mirror.detach m | None -> ());
   t.store <- Some s;
+  Delta.clear t.deltas.net;
   t.mirror <- Some (Mirror.create (Schema.mapping t.schema) t.doc s)
 
 (* Reconcile pending mutation marks into the store and feed the net
@@ -231,6 +241,7 @@ let sync_store t =
         Obs.Metrics.incr c_delta_flushes;
         Obs.Metrics.add c_delta_facts_added (Delta.gross_added d);
         Obs.Metrics.add c_delta_facts_removed (Delta.gross_removed d);
+        Delta.compose ~into:t.deltas.net d;
         match t.incr with
         | Some inc when not (Delta.is_empty d) ->
           (try Incr.apply_delta inc s d
@@ -435,6 +446,36 @@ let check_full_datalog t =
     t.constraints
 
 (* ------------------------------------------------------------------ *)
+(* Pinned snapshots (reader isolation)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A pin is a point-in-time copy of the materialized store stamped with
+   the generation it captured.  The live store is mutated in place by
+   the writer, so the copy is all the isolation a reader needs: checks
+   against it are unaffected by later commits, checkpoints or journal
+   truncation.  Verdicts over the relational mirror are equivalent to
+   the XQuery check (oracle-proven), so a pinned check is a real check,
+   not an approximation. *)
+type pin = {
+  pin_generation : int;
+  pin_store : Xic_datalog.Store.t;
+}
+
+let pin t =
+  let s = store t in  (* flush pending marks so the copy is exact *)
+  { pin_generation = t.generation; pin_store = Xic_datalog.Store.copy s }
+
+let pin_generation p = p.pin_generation
+let pin_store p = p.pin_store
+
+let check_pinned t (p : pin) =
+  List.filter_map
+    (fun (c : Constr.t) ->
+      if Constr.violated_datalog p.pin_store c then Some c.Constr.name
+      else None)
+    t.constraints
+
+(* ------------------------------------------------------------------ *)
 (* Incremental (delta-driven) checking                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -481,6 +522,8 @@ type delta_stats = {
   delta_flushes : int;
   delta_facts_added : int;
   delta_facts_removed : int;
+  delta_net_added : int;
+  delta_net_removed : int;
   incr_entries : int;
   incr_evals : int;
   incr_reverifies : int;
@@ -498,9 +541,12 @@ let delta_stats t =
       ( Incr.entry_count i, s.Incr.evals, s.Incr.reverifies, s.Incr.recomputes,
         s.Incr.skipped, Xic_datalog.Store.total_tuples (Incr.view i) )
   in
+  let net_count l = List.fold_left (fun acc (_, _, n) -> acc + n) 0 l in
   { delta_flushes = t.deltas.flushes;
     delta_facts_added = t.deltas.facts_added;
     delta_facts_removed = t.deltas.facts_removed;
+    delta_net_added = net_count (Delta.added t.deltas.net);
+    delta_net_removed = net_count (Delta.removed t.deltas.net);
     incr_entries = entries;
     incr_evals = evals;
     incr_reverifies = reverifies;
@@ -739,11 +785,16 @@ type txn = {
   mutable txn_seq : int;             (* statements currently applied *)
   mutable txn_journaled : bool;      (* any record written for this txn *)
   mutable txn_open : bool;
+  txn_group_commit : bool;
+      (* group commit: intent/truncate records ride on the commit (or
+         abort) record's fsync instead of syncing individually — safe
+         because a transaction without a durable closing record is
+         discarded by recovery whether or not its intents hit disk *)
 }
 
 type savepoint = int
 
-let begin_txn ?journal t =
+let begin_txn ?(group_commit = false) ?journal t =
   {
     txn_repo = t;
     txn_journal = journal;
@@ -752,6 +803,7 @@ let begin_txn ?journal t =
     txn_seq = 0;
     txn_journaled = false;
     txn_open = true;
+    txn_group_commit = group_commit;
   }
 
 let txn_id tx = tx.txn_id
@@ -764,7 +816,11 @@ let txn_record tx e =
   match tx.txn_journal with
   | None -> ()
   | Some j ->
-    J.append j e;
+    let defer_sync =
+      tx.txn_group_commit
+      && match e with J.Commit _ | J.Abort _ -> false | _ -> true
+    in
+    J.append ~defer_sync j e;
     tx.txn_journaled <- true
 
 let txn_savepoint tx =
@@ -850,16 +906,24 @@ let commit_txn tx =
   require_open tx;
   FP.hit "before_commit";
   if tx.txn_journaled then txn_record tx (J.Commit { txn = tx.txn_id });
+  if tx.txn_seq > 0 then
+    tx.txn_repo.generation <- tx.txn_repo.generation + 1;
   tx.txn_undos <- [];
   tx.txn_open <- false
 
 let rollback_txn tx =
   require_open tx;
+  (* The abort record is forced to disk *before* the in-memory undo runs:
+     once the decision to abort is durable, a crash (or a SIGTERM-driven
+     shutdown) anywhere in the compensation leaves a journal whose tail
+     record closes the transaction — recovery discards it either way, but
+     the journal never ends in a dangling intent when the process had a
+     chance to say otherwise. *)
+  if tx.txn_journaled then txn_record tx (J.Abort { txn = tx.txn_id });
+  tx.txn_open <- false;
   List.iter (rollback tx.txn_repo) tx.txn_undos;
   tx.txn_undos <- [];
-  tx.txn_seq <- 0;
-  if tx.txn_journaled then txn_record tx (J.Abort { txn = tx.txn_id });
-  tx.txn_open <- false
+  tx.txn_seq <- 0
 
 let guarded_update_report ?(fallback = `Full_check) ?journal t (u : XU.t) =
   let tx = begin_txn ?journal t in
@@ -871,6 +935,27 @@ let guarded_update_report ?(fallback = `Full_check) ?journal t (u : XU.t) =
 
 let guarded_update ?(fallback = `Full_check) ?journal t (u : XU.t) =
   (guarded_update_report ~fallback ?journal t u).outcome
+
+(* Batched guarded updates: the statements go through the same
+   per-statement strategy dispatch as serial guards (identical verdicts
+   by construction — oracle route 9 asserts it), but share one journaled
+   transaction, so the batch pays a single commit fsync; consecutive
+   pre-checked (optimized / runtime-simplified) statements leave their
+   mutation marks in the mirror, and the final reconciliation composes
+   them into one flush — one incremental view-maintenance pass for that
+   run instead of one per statement. *)
+let guarded_batch ?(fallback = `Full_check) ?journal t (us : XU.t list) =
+  match us with
+  | [] -> []
+  | us ->
+    Obs.Trace.with_span "guarded_batch" @@ fun () ->
+    let tx = begin_txn ~group_commit:true ?journal t in
+    let reports = List.map (fun u -> txn_apply_report ~fallback tx u) us in
+    if tx.txn_seq > 0 || tx.txn_journaled then commit_txn tx
+    else rollback_txn tx;
+    (* one mirror flush + view-maintenance pass for the whole batch *)
+    (match t.store with Some _ -> ignore (store t) | None -> ());
+    reports
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                      *)
@@ -925,6 +1010,7 @@ let recover ?(skip = 0) (rr : J.read_result) t =
              | exception XU.Xupdate_error m -> errors := (txn, m) :: !errors))
         payloads)
     committed;
+  t.generation <- t.generation + List.length committed;
   {
     replayed_txns = List.length committed;
     replayed_statements = !stmts;

@@ -161,6 +161,36 @@ val check_full : t -> string list
 val check_full_datalog : t -> string list
 (** Same, evaluated over the relational mirror (shredded on demand). *)
 
+(** {1 Pinned snapshots (reader isolation)}
+
+    A pin is a point-in-time copy of the materialized store stamped with
+    the {!generation} it captured.  The writer mutates the live store in
+    place, so a pinned reader's verdicts are unaffected by later
+    commits, checkpoints, and journal truncation — the snapshot-isolated
+    read side of the check server. *)
+
+val generation : t -> int
+(** Committed-transaction counter: starts at 0, incremented by every
+    {!commit_txn} that applied at least one statement (including
+    {!guarded_update} and {!guarded_batch} commits) and by each
+    committed transaction a {!recover} replays. *)
+
+type pin
+
+val pin : t -> pin
+(** Capture the current state (flushes pending mutation marks first).
+    Must not be taken while a transaction holds applied-but-uncommitted
+    statements — the copy would capture them as committed state; pin
+    before {!begin_txn}, or after the transaction closes. *)
+
+val pin_generation : pin -> int
+val pin_store : pin -> Xic_datalog.Store.t
+
+val check_pinned : t -> pin -> string list
+(** Names of constraints violated in the pinned state — the denials
+    evaluated over the pinned store, verdict-equivalent to
+    {!check_full} at the time the pin was taken. *)
+
 (** {1 Incremental (delta-driven) checking}
 
     The relational store is kept exact across every mutation by an
@@ -198,6 +228,10 @@ type delta_stats = {
   delta_flushes : int;  (** mirror reconciliations *)
   delta_facts_added : int;  (** gross store insertions via deltas *)
   delta_facts_removed : int;  (** gross store deletions via deltas *)
+  delta_net_added : int;
+      (** net insertions still standing, over the sequential composition
+          ([Delta.compose]) of every flush since the store was installed *)
+  delta_net_removed : int;  (** net deletions still standing, same window *)
   incr_entries : int;  (** materialized (constraint, denial) views *)
   incr_evals : int;  (** delta-bound residual evaluations *)
   incr_reverifies : int;  (** view rows re-checked after deletions *)
@@ -285,6 +319,24 @@ val guarded_update_report :
   report
 (** Like {!guarded_update} but also reports degradations. *)
 
+val guarded_batch :
+  ?fallback:[ `Full_check | `Runtime_simplification ] ->
+  ?journal:Xic_journal.Journal.t ->
+  t ->
+  Xic_xupdate.Xupdate.t list ->
+  report list
+(** Apply several guarded updates as one batch: each statement goes
+    through the same strategy dispatch as {!guarded_update} (reports are
+    in input order and verdict-identical to serial guards), but they
+    share one journaled transaction under group commit — intent records
+    are written unsynced and the single commit fsync makes the whole
+    batch durable at once — and runs of pre-checked statements are
+    reconciled into
+    the store by one composed delta flush (one incremental
+    view-maintenance pass) instead of one per statement.  Statements
+    refused or compensated individually do not abort the rest of the
+    batch. *)
+
 (** {1 Transactions}
 
     A transaction groups several guarded statements into one atomic,
@@ -296,7 +348,15 @@ val guarded_update_report :
 
 type txn
 
-val begin_txn : ?journal:Xic_journal.Journal.t -> t -> txn
+val begin_txn :
+  ?group_commit:bool -> ?journal:Xic_journal.Journal.t -> t -> txn
+(** [group_commit] (default [false]) defers the fsync of intent and
+    truncate records to the closing commit/abort record's fsync — one
+    durability point per transaction instead of one per statement.  Safe
+    because recovery discards transactions without a durable closing
+    record whether or not their intents reached disk.  {!guarded_batch}
+    enables it. *)
+
 val txn_id : txn -> int
 
 val txn_statements : txn -> int
@@ -333,7 +393,10 @@ val commit_txn : txn -> unit
 
 val rollback_txn : txn -> unit
 (** Undo every applied statement, journal an abort record, and close the
-    transaction. *)
+    transaction.  The abort record is forced to disk {e before} the
+    in-memory compensation runs, so a crash or signal-driven shutdown
+    anywhere in the undo still leaves the journal's last word on this
+    transaction a closing record, never a dangling intent. *)
 
 (** {1 Crash recovery} *)
 

@@ -205,7 +205,7 @@ let c_appends = Xic_obs.Obs.Metrics.counter "journal_appends"
 let c_fsyncs = Xic_obs.Obs.Metrics.counter "journal_fsyncs"
 let c_resets = Xic_obs.Obs.Metrics.counter "journal_resets"
 
-let append t e =
+let append ?(defer_sync = false) t e =
   if t.closed then fail "journal %s is closed" t.jpath;
   Xic_obs.Obs.Metrics.incr c_appends;
   let payload = entry_payload e in
@@ -234,7 +234,7 @@ let append t e =
    | exception exn -> poison exn);
   guarded_write record half (String.length record - half);
   (try
-     if t.sync then begin
+     if t.sync && not defer_sync then begin
        Atomic_file.fsync ~fp:"journal_fsync" t.fd;
        Xic_obs.Obs.Metrics.incr c_fsyncs
      end

@@ -79,8 +79,18 @@ val entry_count : t -> int
 val next_txn : t -> int
 (** A fresh transaction id (greater than any id already journaled). *)
 
-val append : t -> entry -> unit
+val append : ?defer_sync:bool -> t -> entry -> unit
 (** Serialize, write and (unless [sync = false]) fsync one record.
+
+    [~defer_sync:true] skips the per-record fsync even on a durable
+    journal: the bytes are written but their durability rides on the
+    next synced append — group commit.  Only correct for records whose
+    loss recovery already tolerates, i.e. [Intent]/[Truncate] records
+    of a transaction whose [Commit] is the synced record that follows:
+    fsync flushes the whole file, so a durable commit record implies
+    durable intents, and a crash before it discards the transaction
+    with or without its intents on disk.
+
     Failpoints: [mid_write] (crash half-way through the record, leaving
     a torn tail), [journal_write] (mediated: torn-write and injected-EIO
     actions apply, the latter retried with bounded backoff) and

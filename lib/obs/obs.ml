@@ -299,6 +299,13 @@ module Metrics = struct
 
   let observe_ms h ms = observe_ns h (int_of_float (ms *. 1e6))
 
+  let timed h f =
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        observe_ns h (Int64.to_int (Int64.sub (Clock.now_ns ()) t0)))
+      f
+
   type hsnap = { count : int; sum_ns : int; buckets : int array }
 
   let hsnap h =

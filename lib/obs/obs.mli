@@ -99,6 +99,13 @@ module Metrics : sig
   val observe_ns : histogram -> int -> unit
   val observe_ms : histogram -> float -> unit
 
+  (** [timed h f] runs [f] and observes its wall-clock duration into
+      [h], result or raise.  Unlike the per-check fast paths, this does
+      {e not} consult {!detailed} — meant for request-grained latency in
+      long-lived processes (the check server), where the histogram
+      {e is} the product. *)
+  val timed : histogram -> (unit -> 'a) -> 'a
+
   (** Bucket index for a nanosecond value: 0 for [ns <= 0], else
       [1 + floor(log2 ns)], capped at 63.  Exposed for tests. *)
   val bucket_of_ns : int -> int

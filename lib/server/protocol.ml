@@ -1,0 +1,379 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+  | Raw of string
+
+exception Protocol_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec print b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.12g" f)
+    else Buffer.add_string b "null"
+  | String s ->
+    Buffer.add_char b '"';
+    add_escaped b s;
+    Buffer.add_char b '"'
+  | List l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        print b v)
+      l;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        add_escaped b k;
+        Buffer.add_string b "\":";
+        print b v)
+      kvs;
+    Buffer.add_char b '}'
+  | Raw s -> Buffer.add_string b s
+
+let to_string j =
+  let b = Buffer.create 256 in
+  print b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent; no dependency)                          *)
+(* ------------------------------------------------------------------ *)
+
+let add_utf8 b code =
+  (* single-escape BMP code points; lone surrogates encode as-is *)
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+  end
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () =
+    if !pos >= n then err "json: unexpected end of input" else s.[!pos]
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let lit w v =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then begin
+      pos := !pos + l;
+      v
+    end
+    else err "json: invalid literal at offset %d" !pos
+  in
+  let is_digit c = c >= '0' && c <= '9' in
+  let parse_string () =
+    incr pos; (* opening quote *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then err "json: unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        if !pos >= n then err "json: unterminated escape";
+        (match s.[!pos] with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'n' -> Buffer.add_char b '\n'
+         | 'r' -> Buffer.add_char b '\r'
+         | 't' -> Buffer.add_char b '\t'
+         | 'u' ->
+           if !pos + 4 >= n then err "json: truncated \\u escape";
+           let code =
+             match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+             | Some c -> c
+             | None -> err "json: bad \\u escape at offset %d" !pos
+           in
+           pos := !pos + 4;
+           add_utf8 b code
+         | c -> err "json: bad escape '\\%c'" c);
+        incr pos;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = '-' then incr pos;
+    while !pos < n && is_digit s.[!pos] do incr pos done;
+    if !pos < n && s.[!pos] = '.' then begin
+      is_float := true;
+      incr pos;
+      while !pos < n && is_digit s.[!pos] do incr pos done
+    end;
+    if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+      is_float := true;
+      incr pos;
+      if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then incr pos;
+      while !pos < n && is_digit s.[!pos] do incr pos done
+    end;
+    let lex = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt lex with
+      | Some f -> Float f
+      | None -> err "json: bad number %S" lex
+    else
+      match int_of_string_opt lex with
+      | Some i -> Int i
+      | None ->
+        (match float_of_string_opt lex with
+         | Some f -> Float f
+         | None -> err "json: bad number %S" lex)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 'n' -> lit "null" Null
+    | 't' -> lit "true" (Bool true)
+    | 'f' -> lit "false" (Bool false)
+    | '"' -> String (parse_string ())
+    | '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = ']' then begin
+        incr pos;
+        List []
+      end
+      else
+        let rec go acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            go (v :: acc)
+          | ']' ->
+            incr pos;
+            List (List.rev (v :: acc))
+          | c -> err "json: expected ',' or ']', got '%c'" c
+        in
+        go []
+    | '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = '}' then begin
+        incr pos;
+        Obj []
+      end
+      else
+        let pair () =
+          skip_ws ();
+          if peek () <> '"' then err "json: expected object key at %d" !pos;
+          let k = parse_string () in
+          skip_ws ();
+          if peek () <> ':' then err "json: expected ':' at %d" !pos;
+          incr pos;
+          (k, parse_value ())
+        in
+        let rec go acc =
+          let kv = pair () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            incr pos;
+            go (kv :: acc)
+          | '}' ->
+            incr pos;
+            Obj (List.rev (kv :: acc))
+          | c -> err "json: expected ',' or '}', got '%c'" c
+        in
+        go []
+    | '-' | '0' .. '9' -> parse_number ()
+    | c -> err "json: unexpected character '%c' at offset %d" c !pos
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then err "json: trailing garbage at offset %d" !pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let string_field k j =
+  match member k j with Some (String s) -> Some s | _ -> None
+
+let int_field k j = match member k j with Some (Int i) -> Some i | _ -> None
+
+let bool_field ?(default = false) k j =
+  match member k j with Some (Bool b) -> b | _ -> default
+
+let list_field k j = match member k j with Some (List l) -> Some l | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd j =
+  let payload = to_string j in
+  let len = String.length payload in
+  if len > max_frame then err "frame too large (%d bytes)" len;
+  let b = Bytes.create (4 + len) in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 b 4 len;
+  write_all fd b 0 (4 + len)
+
+(* [`Eof] only when the stream ends exactly on a frame boundary
+   ([off = 0]); EOF mid-frame is a protocol error. *)
+let read_full fd b off0 len0 =
+  let rec go off len =
+    if len = 0 then `Ok
+    else
+      match Unix.read fd b off len with
+      | 0 -> if off = off0 then `Eof else err "connection closed mid-frame"
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off0 len0
+
+let frame_length b pos =
+  (Char.code (Bytes.get b pos) lsl 24)
+  lor (Char.code (Bytes.get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get b (pos + 3))
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  match read_full fd hdr 0 4 with
+  | `Eof -> None
+  | `Ok ->
+    let len = frame_length hdr 0 in
+    if len < 0 || len > max_frame then err "bad frame length %d" len;
+    let payload = Bytes.create len in
+    (match read_full fd payload 0 len with
+     | `Eof -> err "connection closed mid-frame"
+     | `Ok -> Some (of_string (Bytes.unsafe_to_string payload)))
+
+let split_frames data =
+  let n = String.length data in
+  let rec go pos acc =
+    if n - pos < 4 then (List.rev acc, String.sub data pos (n - pos))
+    else begin
+      let len =
+        (Char.code data.[pos] lsl 24)
+        lor (Char.code data.[pos + 1] lsl 16)
+        lor (Char.code data.[pos + 2] lsl 8)
+        lor Char.code data.[pos + 3]
+      in
+      if len < 0 || len > max_frame then err "bad frame length %d" len;
+      if n - pos - 4 < len then (List.rev acc, String.sub data pos (n - pos))
+      else go (pos + 4 + len) (String.sub data (pos + 4) len :: acc)
+    end
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Client side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_sock p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let address_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when not (String.contains s '/') -> Tcp (String.sub s 0 i, p)
+     | _ -> Unix_sock s)
+  | _ -> Unix_sock s
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> err "unknown host %s" host
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with Unix.Unix_error (e, _, _) ->
+     Unix.close fd;
+     err "connect %s: %s" (address_to_string addr) (Unix.error_message e));
+  fd
+
+let request fd j =
+  write_frame fd j;
+  match read_frame fd with
+  | Some r -> r
+  | None -> err "server closed the connection"

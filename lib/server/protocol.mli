@@ -1,0 +1,70 @@
+(** Wire protocol of the check server: length-prefixed JSON frames.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 JSON — trivial to speak from any client, no
+    delimiter-escaping, and the reader always knows how much to buffer.
+    The JSON value type is deliberately minimal (this repository takes
+    no external dependencies); {!Raw} embeds a pre-rendered JSON
+    document verbatim, which is how the server's [stats] response reuses
+    [Repository.metrics_json] without re-encoding it. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+  | Raw of string
+      (** printed verbatim (caller guarantees well-formed JSON); never
+          produced by the parser *)
+
+exception Protocol_error of string
+(** Malformed JSON, oversized or truncated frames, connection errors. *)
+
+val to_string : json -> string
+val of_string : string -> json
+
+(** {1 Field accessors} ([None] / default when absent or mistyped) *)
+
+val member : string -> json -> json option
+val string_field : string -> json -> string option
+val int_field : string -> json -> int option
+val bool_field : ?default:bool -> string -> json -> bool
+val list_field : string -> json -> json list option
+
+(** {1 Framing} *)
+
+val max_frame : int
+(** Refuse frames larger than this (16 MiB). *)
+
+val write_frame : Unix.file_descr -> json -> unit
+(** Serialize and write one frame (blocking, handles short writes). *)
+
+val read_frame : Unix.file_descr -> json option
+(** Read one frame (blocking); [None] on clean EOF before the header.
+    @raise Protocol_error on EOF mid-frame or a malformed payload. *)
+
+val split_frames : string -> string list * string
+(** Incremental decode for the server's read buffers: the payloads of
+    every complete frame at the front of [data], plus the unconsumed
+    remainder.  @raise Protocol_error on an oversized frame length. *)
+
+(** {1 Client side} *)
+
+type address =
+  | Unix_sock of string  (** filesystem path of a Unix-domain socket *)
+  | Tcp of string * int
+
+val address_to_string : address -> string
+
+val address_of_string : string -> address
+(** ["host:port"] (with an all-digit port) parses as {!Tcp}, anything
+    else as a {!Unix_sock} path. *)
+
+val connect : address -> Unix.file_descr
+
+val request : Unix.file_descr -> json -> json
+(** One synchronous round trip: write a frame, read the response.
+    @raise Protocol_error if the server closes the connection first. *)

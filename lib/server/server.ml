@@ -1,0 +1,587 @@
+module R = Xic_core.Repository
+module XU = Xic_xupdate.Xupdate
+module J = Xic_journal.Journal
+module FP = Xic_journal.Failpoint
+module Obs = Xic_obs.Obs
+module P = Protocol
+
+(* Crash window of the graceful-shutdown path, for the torture tests. *)
+let () = FP.declare "serve_shutdown"
+
+let log_src = Logs.Src.create "xic.server" ~doc:"Resident check server"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  journal : J.t option;
+  snapshot_path : string option;
+  checkpoint_on_shutdown : bool;
+  fallback : [ `Full_check | `Runtime_simplification ];
+}
+
+let default_config =
+  { journal = None; snapshot_path = None; checkpoint_on_shutdown = false;
+    fallback = `Full_check }
+
+type t = {
+  srepo : R.t;
+  config : config;
+  started_ns : int64;
+  mutable requests : int;
+  mutable batches : int;          (* guard runs applied via guarded_batch *)
+  mutable batched_guards : int;   (* guard requests inside those runs *)
+  (* the single streaming writer: (client-visible handle, transaction) *)
+  mutable open_txn : (int * R.txn) option;
+  mutable next_txn : int;
+  pins : (int, R.pin) Hashtbl.t;
+  mutable next_pin : int;
+  (* cache of the last committed generation's pin, serving plain checks
+     while the streaming transaction is open *)
+  mutable last_pin : R.pin option;
+  stop : bool ref;
+  mutable shut : bool;
+  op_hists : (string, Obs.Metrics.histogram) Hashtbl.t;
+}
+
+let create ?(config = default_config) repo =
+  { srepo = repo; config; started_ns = Obs.Clock.now_ns (); requests = 0;
+    batches = 0; batched_guards = 0; open_txn = None; next_txn = 1;
+    pins = Hashtbl.create 8; next_pin = 1; last_pin = None; stop = ref false;
+    shut = false; op_hists = Hashtbl.create 8 }
+
+let repo t = t.srepo
+let requests t = t.requests
+let request_stop t = t.stop := true
+let stop_requested t = !(t.stop)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ok fields = P.Obj (("ok", P.Bool true) :: fields)
+let error msg = P.Obj [ ("ok", P.Bool false); ("error", P.String msg) ]
+
+let outcome_fields = function
+  | R.Applied s ->
+    [ ("outcome", P.String "applied");
+      ( "strategy",
+        P.String
+          (match s with
+           | `Optimized -> "optimized"
+           | `Runtime_simplified -> "runtime_simplified"
+           | `Full_check -> "full_check") ) ]
+  | R.Rejected_early c ->
+    [ ("outcome", P.String "rejected"); ("constraint", P.String c) ]
+  | R.Rolled_back c ->
+    [ ("outcome", P.String "rolled_back"); ("constraint", P.String c) ]
+
+let report_json ?(extra = []) (r : R.report) =
+  let degs =
+    match r.R.degradations with
+    | [] -> []
+    | ds ->
+      [ ( "degradations",
+          P.List
+            (List.map
+               (fun (d : R.degradation) ->
+                 P.Obj
+                   [ ("check", P.String d.R.failed_check);
+                     ("reason", P.String d.R.reason) ])
+               ds) ) ]
+  in
+  ok (outcome_fields r.R.outcome @ degs @ extra)
+
+let check_response ~isolation ~generation violated =
+  ok
+    [ ("consistent", P.Bool (violated = []));
+      ("violated", P.List (List.map (fun v -> P.String v) violated));
+      ("generation", P.Int generation);
+      ("isolation", P.String isolation) ]
+
+(* ------------------------------------------------------------------ *)
+(* State helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Verdict over the live state, routed like the CLI's post-state check:
+   materialized views when incremental checking is on, full check as
+   the fallback. *)
+let live_check t =
+  if R.incremental t.srepo then (
+    try R.check_incremental t.srepo
+    with Xic_datalog.Eval.Unsafe _ | Xic_datalog.Eval.Budget_exceeded ->
+      R.check_full t.srepo)
+  else R.check_full t.srepo
+
+(* The last committed generation's pin.  Refreshed only while no
+   transaction is open (pinning mid-transaction would capture
+   uncommitted statements); [txn_begin] takes one eagerly so it is
+   always available while the writer runs. *)
+let committed_pin t =
+  match t.last_pin with
+  | Some p when R.pin_generation p = R.generation t.srepo -> p
+  | _ ->
+    if t.open_txn <> None then
+      failwith "internal: no committed pin while a transaction is open";
+    let p = R.pin t.srepo in
+    t.last_pin <- Some p;
+    p
+
+let fallback_of t req =
+  match P.string_field "fallback" req with
+  | Some "runtime" -> `Runtime_simplification
+  | Some "full" -> `Full_check
+  | _ -> t.config.fallback
+
+let parse_update ustr = XU.parse_string ustr
+
+let require_update req =
+  match P.string_field "update" req with
+  | Some u -> u
+  | None -> raise (P.Protocol_error "missing \"update\" field")
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let do_check t req =
+  match P.int_field "pin" req with
+  | Some id ->
+    (match Hashtbl.find_opt t.pins id with
+     | None -> error (Printf.sprintf "unknown pin %d" id)
+     | Some p ->
+       check_response ~isolation:"pinned" ~generation:(R.pin_generation p)
+         (R.check_pinned t.srepo p))
+  | None ->
+    (match t.open_txn with
+     | Some _ ->
+       (* snapshot isolation: a plain read never observes the open
+          writer's uncommitted statements *)
+       let p = committed_pin t in
+       check_response ~isolation:"pinned" ~generation:(R.pin_generation p)
+         (R.check_pinned t.srepo p)
+     | None ->
+       check_response ~isolation:"live" ~generation:(R.generation t.srepo)
+         (live_check t))
+
+let require_no_txn t what =
+  if t.open_txn <> None then
+    raise (P.Protocol_error (what ^ ": a streaming transaction is open"))
+
+let do_guard t req =
+  require_no_txn t "guard";
+  let u = parse_update (require_update req) in
+  let r =
+    R.guarded_update_report ~fallback:(fallback_of t req)
+      ?journal:t.config.journal t.srepo u
+  in
+  report_json r ~extra:[ ("generation", P.Int (R.generation t.srepo)) ]
+
+let do_txn t req =
+  require_no_txn t "txn";
+  let updates =
+    match P.list_field "updates" req with
+    | Some l ->
+      List.map
+        (function
+          | P.String u -> parse_update u
+          | _ -> raise (P.Protocol_error "\"updates\" must be strings"))
+        l
+    | None -> raise (P.Protocol_error "missing \"updates\" field")
+  in
+  let fallback = fallback_of t req in
+  let reports =
+    if P.bool_field "abort" req then begin
+      (* apply-then-abort, for exercising the rollback path end to end *)
+      let tx = R.begin_txn ?journal:t.config.journal t.srepo in
+      let rs = List.map (fun u -> R.txn_apply_report ~fallback tx u) updates in
+      R.rollback_txn tx;
+      rs
+    end
+    else R.guarded_batch ~fallback ?journal:t.config.journal t.srepo updates
+  in
+  ok
+    [ ("results", P.List (List.map (fun r -> report_json r) reports));
+      ("committed", P.Bool (not (P.bool_field "abort" req)));
+      ("generation", P.Int (R.generation t.srepo)) ]
+
+let do_txn_begin t =
+  match t.open_txn with
+  | Some (h, _) ->
+    error (Printf.sprintf "transaction %d is already open" h)
+  | None ->
+    (* pin the committed state first: reads during the transaction are
+       served from it *)
+    ignore (committed_pin t);
+    let tx = R.begin_txn ?journal:t.config.journal t.srepo in
+    let h = t.next_txn in
+    t.next_txn <- h + 1;
+    t.open_txn <- Some (h, tx);
+    ok [ ("txn", P.Int h); ("generation", P.Int (R.generation t.srepo)) ]
+
+let with_open_txn t req f =
+  match (t.open_txn, P.int_field "txn" req) with
+  | None, _ -> error "no open transaction"
+  | Some (h, _), Some h' when h <> h' ->
+    error (Printf.sprintf "transaction %d is not open (current: %d)" h' h)
+  | Some (h, tx), _ -> f h tx
+
+let do_txn_stmt t req =
+  with_open_txn t req @@ fun _h tx ->
+  let u = parse_update (require_update req) in
+  let r = R.txn_apply_report ~fallback:(fallback_of t req) tx u in
+  report_json r ~extra:[ ("statements", P.Int (R.txn_statements tx)) ]
+
+let do_txn_commit t req =
+  with_open_txn t req @@ fun h tx ->
+  let n = R.txn_statements tx in
+  t.open_txn <- None;
+  R.commit_txn tx;
+  ignore (R.store t.srepo);  (* one composed flush for the whole txn *)
+  ok
+    [ ("txn", P.Int h); ("committed", P.Bool true); ("statements", P.Int n);
+      ("generation", P.Int (R.generation t.srepo)) ]
+
+let do_txn_abort t req =
+  with_open_txn t req @@ fun h tx ->
+  t.open_txn <- None;
+  R.rollback_txn tx;
+  ok [ ("txn", P.Int h); ("aborted", P.Bool true) ]
+
+let do_pin t =
+  let p =
+    (* while a writer runs, a new pin sees the committed state *)
+    if t.open_txn <> None then committed_pin t else R.pin t.srepo
+  in
+  let id = t.next_pin in
+  t.next_pin <- id + 1;
+  Hashtbl.replace t.pins id p;
+  ok [ ("pin", P.Int id); ("generation", P.Int (R.pin_generation p)) ]
+
+let do_unpin t req =
+  match P.int_field "pin" req with
+  | None -> raise (P.Protocol_error "missing \"pin\" field")
+  | Some id ->
+    if not (Hashtbl.mem t.pins id) then
+      error (Printf.sprintf "unknown pin %d" id)
+    else begin
+      Hashtbl.remove t.pins id;
+      ok [ ("unpinned", P.Int id) ]
+    end
+
+let do_checkpoint t req =
+  require_no_txn t "checkpoint";
+  let path =
+    match P.string_field "path" req with
+    | Some p -> p
+    | None ->
+      (match t.config.snapshot_path with
+       | Some p -> p
+       | None -> raise (P.Protocol_error "checkpoint: no snapshot path"))
+  in
+  let r = R.checkpoint ?journal:t.config.journal t.srepo path in
+  ok
+    [ ("path", P.String r.R.snapshot_path);
+      ("bytes", P.Int r.R.snapshot_bytes);
+      ("nodes", P.Int r.R.snapshot_nodes);
+      ("facts", P.Int r.R.snapshot_facts);
+      ("wal_entries_folded", P.Int r.R.wal_entries_folded);
+      ("wal_reset", P.Bool r.R.wal_reset) ]
+
+let do_stats t =
+  let uptime_s =
+    Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t.started_ns) /. 1e9
+  in
+  let d = R.delta_stats t.srepo in
+  ok
+    [ ( "server",
+        P.Obj
+          [ ("uptime_s", P.Float uptime_s);
+            ("requests", P.Int t.requests);
+            ( "requests_per_sec",
+              P.Float
+                (if uptime_s > 0. then float_of_int t.requests /. uptime_s
+                 else 0.) );
+            ("batches", P.Int t.batches);
+            ("batched_guards", P.Int t.batched_guards);
+            ("generation", P.Int (R.generation t.srepo));
+            ("pins", P.Int (Hashtbl.length t.pins));
+            ("open_txn", P.Bool (t.open_txn <> None));
+            ("incremental", P.Bool (R.incremental t.srepo)) ] );
+      ( "delta",
+        P.Obj
+          [ ("flushes", P.Int d.R.delta_flushes);
+            ("net_added", P.Int d.R.delta_net_added);
+            ("net_removed", P.Int d.R.delta_net_removed) ] );
+      (* the exact document the CLI's --metrics prints: one formatter,
+         one schema (per-op serve_*_ms histograms included) *)
+      ("metrics", P.Raw (R.metrics_json t.srepo)) ]
+
+let dispatch t op req =
+  match op with
+  | "ping" -> ok [ ("pong", P.Bool true); ("protocol", P.Int 1) ]
+  | "check" -> do_check t req
+  | "guard" -> do_guard t req
+  | "txn" -> do_txn t req
+  | "txn_begin" -> do_txn_begin t
+  | "txn_stmt" -> do_txn_stmt t req
+  | "txn_commit" -> do_txn_commit t req
+  | "txn_abort" -> do_txn_abort t req
+  | "pin" -> do_pin t
+  | "unpin" -> do_unpin t req
+  | "checkpoint" -> do_checkpoint t req
+  | "stats" -> do_stats t
+  | "shutdown" ->
+    request_stop t;
+    ok [ ("stopping", P.Bool true) ]
+  | "_parse_error" ->
+    error
+      (match P.string_field "error" req with
+       | Some m -> "bad request: " ^ m
+       | None -> "bad request")
+  | op -> error (Printf.sprintf "unknown op %S" op)
+
+let op_hist t op =
+  match Hashtbl.find_opt t.op_hists op with
+  | Some h -> h
+  | None ->
+    let sane =
+      String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+        op
+    in
+    let h = Obs.Metrics.histogram (Printf.sprintf "serve_%s_ms" sane) in
+    Hashtbl.replace t.op_hists op h;
+    h
+
+let handle t req =
+  t.requests <- t.requests + 1;
+  let op =
+    match P.string_field "op" req with Some o -> o | None -> "_missing_op"
+  in
+  Obs.Metrics.timed (op_hist t op) @@ fun () ->
+  try
+    if Obs.Trace.is_enabled () then
+      Obs.Trace.with_span ~slow:true ("serve:" ^ op) (fun () ->
+          dispatch t op req)
+    else dispatch t op req
+  with
+  | R.Repository_error m -> error m
+  | XU.Xupdate_error m -> error ("xupdate: " ^ m)
+  | P.Protocol_error m -> error m
+  | J.Journal_error m -> error ("journal: " ^ m)
+  | Xic_datalog.Eval.Unsafe m -> error ("unsafe denial: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Round processing with guard batching                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_guard req = P.string_field "op" req = Some "guard"
+
+(* A run of >= 2 guard requests becomes one guarded_batch: a single
+   journaled transaction (one commit fsync), per-statement verdicts
+   identical to serial dispatch, and one composed delta flush for runs
+   of pre-checked statements.  Requests that fail to parse get error
+   responses and drop out of the batch.  The run shares the fallback of
+   its first request. *)
+let handle_guard_run t reqs =
+  match reqs with
+  | [ req ] -> [ handle t req ]
+  | [] -> []
+  | first :: _ ->
+    let n = List.length reqs in
+    t.requests <- t.requests + n;
+    t.batches <- t.batches + 1;
+    t.batched_guards <- t.batched_guards + n;
+    Obs.Metrics.timed (op_hist t "guard_batch") @@ fun () ->
+    let parsed =
+      List.map
+        (fun req ->
+          match P.string_field "update" req with
+          | None -> Error (error "missing \"update\" field")
+          | Some ustr ->
+            (match parse_update ustr with
+             | u -> Ok u
+             | exception XU.Xupdate_error m -> Error (error ("xupdate: " ^ m))))
+        reqs
+    in
+    let us = List.filter_map (function Ok u -> Some u | Error _ -> None) parsed in
+    match
+      R.guarded_batch ~fallback:(fallback_of t first)
+        ?journal:t.config.journal t.srepo us
+    with
+    | exception R.Repository_error m ->
+      List.map (fun _ -> error m) reqs
+    | reports ->
+      let gen = R.generation t.srepo in
+      let extra = [ ("generation", P.Int gen); ("batched", P.Bool true) ] in
+      let rec merge parsed reports acc =
+        match (parsed, reports) with
+        | [], [] -> List.rev acc
+        | Error resp :: rest, reports -> merge rest reports (resp :: acc)
+        | Ok _ :: rest, r :: reports ->
+          merge rest reports (report_json ~extra r :: acc)
+        | Ok _ :: _, [] | [], _ :: _ -> assert false
+      in
+      merge parsed reports []
+
+let handle_round t reqs =
+  let rec take_guards acc = function
+    | req :: rest when is_guard req -> take_guards (req :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | req :: _ as reqs when is_guard req && t.open_txn = None ->
+      let run, rest = take_guards [] reqs in
+      go (List.rev_append (handle_guard_run t run) acc) rest
+    | req :: rest -> go (handle t req :: acc) rest
+  in
+  go [] reqs
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Fun.protect
+      ~finally:(fun () ->
+        (* the journal closes no matter what the steps above did *)
+        match t.config.journal with
+        | Some j -> (try J.close j with J.Journal_error _ -> ())
+        | None -> ())
+      (fun () ->
+        FP.hit "serve_shutdown";
+        (match t.open_txn with
+         | Some (h, tx) ->
+           Log.info (fun m -> m "shutdown: aborting open transaction %d" h);
+           t.open_txn <- None;
+           (* abort record first, then the in-memory undo — the journal
+              never ends in a dangling intent on the graceful path *)
+           R.rollback_txn tx
+         | None -> ());
+        match (t.config.checkpoint_on_shutdown, t.config.snapshot_path) with
+        | true, Some path ->
+          ignore (R.checkpoint ?journal:t.config.journal t.srepo path)
+        | _ -> ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The serve loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable pending : string;
+  mutable alive : bool;
+}
+
+let listen addr =
+  match addr with
+  | P.Unix_sock path ->
+    (try
+       if (Unix.lstat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+     with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | P.Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let ip =
+      if host = "" || host = "localhost" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+           with Not_found ->
+             raise (P.Protocol_error ("unknown host " ^ host)))
+    in
+    Unix.bind fd (Unix.ADDR_INET (ip, port));
+    Unix.listen fd 64;
+    fd
+
+let read_conn c round =
+  let buf = Bytes.create 65536 in
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> c.alive <- false
+  | n ->
+    c.pending <- c.pending ^ Bytes.sub_string buf 0 n;
+    (match P.split_frames c.pending with
+     | frames, rest ->
+       c.pending <- rest;
+       List.iter
+         (fun payload ->
+           let req =
+             match P.of_string payload with
+             | req -> req
+             | exception P.Protocol_error m ->
+               P.Obj
+                 [ ("op", P.String "_parse_error"); ("error", P.String m) ]
+           in
+           round := (c, req) :: !round)
+         frames
+     | exception P.Protocol_error m ->
+       Log.warn (fun f -> f "dropping connection: %s" m);
+       c.alive <- false)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    c.alive <- false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let serve ?(idle_timeout = 0.25) t listen_fd =
+  let stop_handler = Sys.Signal_handle (fun _ -> request_stop t) in
+  let old_int = Sys.signal Sys.sigint stop_handler in
+  let old_term = Sys.signal Sys.sigterm stop_handler in
+  let conns = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown t;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        !conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigterm old_term)
+  @@ fun () ->
+  while not !(t.stop) do
+    let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
+    match Unix.select fds [] [] idle_timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      if List.memq listen_fd ready then begin
+        match Unix.accept listen_fd with
+        | fd, _ -> conns := !conns @ [ { fd; pending = ""; alive = true } ]
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          ()
+      end;
+      (* drain every readable connection, then answer the whole round —
+         consecutive guards across connections batch into one txn *)
+      let round = ref [] in
+      List.iter
+        (fun c -> if List.memq c.fd ready then read_conn c round)
+        !conns;
+      let round = List.rev !round in
+      let resps = handle_round t (List.map snd round) in
+      List.iter2
+        (fun (c, _) resp ->
+          if c.alive then
+            try P.write_frame c.fd resp
+            with
+            | P.Protocol_error _
+            | Unix.Unix_error _ -> c.alive <- false)
+        round resps;
+      conns :=
+        List.filter
+          (fun c ->
+            if c.alive then true
+            else begin
+              (try Unix.close c.fd with Unix.Unix_error _ -> ());
+              false
+            end)
+          !conns
+  done

@@ -1,0 +1,82 @@
+(** The resident check server.
+
+    A server wraps one {!Xic_core.Repository.t} — arena, Datalog store,
+    plan cache, secondary indexes, and materialized denial views all
+    stay resident — and answers {!Protocol} requests:
+
+    {ul
+    {- [ping], [stats], [shutdown];}
+    {- [check]: live verdict, or a pinned one ([{"pin":id}]) — while a
+       streaming transaction is open, plain checks are served from the
+       last {e committed} generation's pin (snapshot isolation: readers
+       never observe uncommitted statements);}
+    {- [pin] / [unpin]: capture / release a reader snapshot;}
+    {- [guard]: one guarded update ([{"update":stmt}]) — guard requests
+       arriving in the same poll round are applied as one
+       {!Xic_core.Repository.guarded_batch} (single commit fsync, one
+       composed delta flush) with per-request verdicts;}
+    {- [txn]: an atomic batch of statements in one request;}
+    {- [txn_begin] / [txn_stmt] / [txn_commit] / [txn_abort]: a
+       streaming transaction across requests (one writer at a time);}
+    {- [checkpoint]: snapshot + journal truncation
+       ({!Xic_core.Repository.checkpoint}).}}
+
+    Single-threaded [select] loop — on this container there is one CPU,
+    so concurrency is I/O multiplexing, not parallelism; the serialized
+    writer comes for free and readers are isolated by pinned store
+    copies. *)
+
+type config = {
+  journal : Xic_journal.Journal.t option;
+      (** guarded updates and transactions journal through this; the
+          server owns it from here on and closes it at shutdown *)
+  snapshot_path : string option;  (** default [checkpoint] target *)
+  checkpoint_on_shutdown : bool;
+      (** write a final checkpoint during graceful shutdown (requires
+          [snapshot_path]) *)
+  fallback : [ `Full_check | `Runtime_simplification ];
+      (** strategy for guards matching no registered pattern *)
+}
+
+val default_config : config
+(** No journal, no snapshot path, no shutdown checkpoint, [`Full_check]. *)
+
+type t
+
+val create : ?config:config -> Xic_core.Repository.t -> t
+val repo : t -> Xic_core.Repository.t
+val requests : t -> int
+(** Requests handled so far. *)
+
+val handle : t -> Protocol.json -> Protocol.json
+(** Process one request (exceptions become [{"ok":false,...}] error
+    responses).  Exposed for unit tests; the loop uses it too. *)
+
+val handle_round : t -> Protocol.json list -> Protocol.json list
+(** Process one poll round's requests in order, applying maximal
+    consecutive runs of [guard] requests as single batches.  Responses
+    are in request order. *)
+
+val request_stop : t -> unit
+(** Ask the serve loop to exit after the current round (signal-safe). *)
+
+val stop_requested : t -> bool
+
+val shutdown : t -> unit
+(** Graceful shutdown: abort any open streaming transaction (its abort
+    record is forced to disk before the in-memory undo — see
+    {!Xic_core.Repository.rollback_txn}), write the shutdown checkpoint
+    if configured, and close the journal.  The journal is closed even if
+    an earlier step raises.  Idempotent.  Failpoint: [serve_shutdown]
+    fires before the transaction abort, so the torture tests can kill
+    the process mid-shutdown. *)
+
+val listen : Protocol.address -> Unix.file_descr
+(** Bind + listen.  A Unix-domain path is unlinked first if stale. *)
+
+val serve : ?idle_timeout:float -> t -> Unix.file_descr -> unit
+(** Accept and serve connections until {!request_stop} (a [shutdown]
+    request, SIGINT or SIGTERM — handlers are installed for both), then
+    run {!shutdown} and close every connection and the listening
+    socket.  [idle_timeout] (default 0.25 s) bounds the select wait so
+    stop requests are honored promptly. *)

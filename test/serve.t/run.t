@@ -1,0 +1,129 @@
+The resident check server: one process loads the documents, keeps the
+arena, store, plan cache, indexes and materialized views warm, and
+answers clients over a Unix-domain socket.
+
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track*)>
+  > <!ELEMENT track (name, rev*)>
+  > <!ELEMENT rev (name, sub*)>
+  > <!ELEMENT sub (title, auts)>
+  > <!ELEMENT auts (name+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT title (#PCDATA)>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>First</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> R
+  > XEOF
+  $ cat > pattern.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="//sub">
+  >     <xupdate:element name="sub"><title>%t</title><auts><name>%n</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ cat > good.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Fresh</title><auts><name>Zoe</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+  $ cat > bad.xml <<'XEOF'
+  > <xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  >   <xupdate:insert-after select="/review/track[1]/rev[1]/sub[1]">
+  >     <xupdate:element name="sub"><title>Own</title><auts><name>Nora</name></auts></xupdate:element>
+  >   </xupdate:insert-after>
+  > </xupdate:modifications>
+  > XEOF
+
+Start the server in the background and wait for the socket:
+
+  $ xicheck serve --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --pattern pattern.xml --journal wal.j --socket srv.sock > serve.log 2>&1 &
+  $ for i in $(seq 1 150); do test -S srv.sock && break; sleep 0.1; done
+
+A round trip, a live check, a guarded update, and a refused one:
+
+  $ xicheck client ping --socket srv.sock
+  pong
+  $ xicheck client check --socket srv.sock
+  consistent (generation 0, live)
+  $ xicheck client guard --socket srv.sock --update good.xml
+  applied (validated by the optimized pre-check)
+  $ xicheck client guard --socket srv.sock --update bad.xml
+  rejected before execution: violates conflict
+  [1]
+
+Snapshot isolation: a pin keeps answering at its generation while
+later guards commit newer ones.
+
+  $ xicheck client pin --socket srv.sock
+  pin 1 (generation 1)
+  $ xicheck client guard --socket srv.sock --update good.xml
+  applied (validated by the optimized pre-check)
+  $ xicheck client check --socket srv.sock
+  consistent (generation 2, live)
+  $ xicheck client check --socket srv.sock --pin 1
+  consistent (generation 1, pinned)
+  $ xicheck client unpin --socket srv.sock --pin 1
+  unpinned 1
+
+Pipelined guards land in one server poll round and are applied as a
+single batched transaction (one commit fsync, one composed delta
+flush), with per-statement verdicts:
+
+  $ xicheck client batch --socket srv.sock --update good.xml --update good.xml --update bad.xml
+  statement 1: applied (validated by the optimized pre-check)
+  statement 2: applied (validated by the optimized pre-check)
+  statement 3: rejected before execution: violates conflict
+  [1]
+
+A streaming transaction: while it is open, plain checks are served
+from the last committed generation.  (The generation number depends on
+how the pipelined guards above landed in poll rounds, so it is
+masked.)
+
+  $ xicheck client begin --socket srv.sock
+  transaction 1 open
+  $ xicheck client stmt --socket srv.sock --update good.xml
+  applied (validated by the optimized pre-check)
+  $ xicheck client check --socket srv.sock | sed 's/generation [0-9]*/generation G/'
+  consistent (generation G, pinned)
+  $ xicheck client commit --socket srv.sock
+  transaction committed (1 statements)
+
+A checkpoint while serving truncates the journal under the pins:
+
+  $ xicheck client checkpoint --socket srv.sock --path snap.xics
+  checkpointed 43 node(s), 22 fact(s) to snap.xics (789 bytes)
+  $ test -f snap.xics
+
+The stats response carries server counters and the repository's own
+metrics document (per-operation latency histograms included):
+
+  $ xicheck client stats --socket srv.sock | grep -c '"requests"'
+  1
+  $ xicheck client stats --socket srv.sock | grep -c '"open_txn":false'
+  1
+  $ xicheck client stats --socket srv.sock | grep -c 'serve_guard_ms'
+  1
+
+Graceful shutdown, then the server's own log:
+
+  $ xicheck client shutdown --socket srv.sock
+  server stopping
+  $ wait
+  $ sed 's/pid [0-9]*/pid NNN/' serve.log
+  serving on srv.sock (pid NNN)
+  served 21 request(s); shutdown complete
+
+The mid-session checkpoint + truncated journal reconstruct the full
+committed state (all 5 applied statements) offline:
+
+  $ xicheck recover --dtd rev.dtd=review --snapshot snap.xics --constraints constraints.xpl --journal wal.j --output rec
+  replayed 0 transaction(s), 0 statement(s); discarded 0
+  wrote rec.0.xml
+  $ grep -c Fresh rec.0.xml
+  5

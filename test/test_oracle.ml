@@ -547,6 +547,241 @@ let test_incremental_oracle () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Route 9: the resident server                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A forked server child answers over a Unix-domain socket while the
+   parent mirrors the same randomized workload onto a shadow repository
+   through the library API.  Every step must agree verdict for verdict:
+   live checks, guarded updates, transactional batches, and pinned
+   reads (which must keep answering at their generation while newer
+   ones commit).  A checkpoint fires mid-stream — truncating the
+   server's journal under the pins — and after a graceful shutdown the
+   parent restarts from snapshot + journal suffix and re-checks
+   parity. *)
+
+module Srv = Xic_server.Server
+module Proto = Xic_server.Protocol
+
+let outcome_tag9 = function
+  | Repository.Applied `Optimized -> "applied:optimized"
+  | Repository.Applied `Runtime_simplified -> "applied:runtime_simplified"
+  | Repository.Applied `Full_check -> "applied:full_check"
+  | Repository.Rejected_early c -> "rejected:" ^ c
+  | Repository.Rolled_back c -> "rolled_back:" ^ c
+
+let response_tag resp =
+  if not (Proto.bool_field "ok" resp) then "error"
+  else
+    match Proto.string_field "outcome" resp with
+    | Some "applied" ->
+      (match Proto.string_field "strategy" resp with
+       | Some s -> "applied:" ^ s
+       | None -> "applied:?")
+    | Some o ->
+      o ^ ":"
+      ^ Option.value ~default:"?" (Proto.string_field "constraint" resp)
+    | None -> "error"
+
+let connect_retry sock =
+  let rec go n =
+    match Proto.connect (Proto.Unix_sock sock) with
+    | fd -> fd
+    | exception _ when n > 0 ->
+      ignore (Unix.select [] [] [] 0.05);
+      go (n - 1)
+  in
+  go 100
+
+let violated_of resp =
+  match Proto.list_field "violated" resp with
+  | Some vs ->
+    sorted
+      (List.filter_map
+         (function Proto.String v -> Some v | _ -> None)
+         vs)
+  | None -> [ "<malformed>" ]
+
+let test_server_oracle () =
+  for i = 1 to max 2 (iters / 5) do
+    let seed = 21000 + i in
+    let r = Prng.create seed in
+    let pub = gen_pub r and rev = gen_rev r in
+    let sock = Test_tmp.fresh "oracle_srv" ".sock" in
+    let jpath = Test_tmp.fresh "oracle_srv" ".j" in
+    let spath = Test_tmp.fresh "oracle_srv" ".xics" in
+    (match Unix.fork () with
+     | 0 ->
+       (try
+          let repo = repo_of ~pub ~rev in
+          Repository.set_incremental repo true;
+          let j = J.open_ ~sync:false jpath in
+          let srv =
+            Srv.create
+              ~config:
+                { Srv.journal = Some j; snapshot_path = Some spath;
+                  checkpoint_on_shutdown = false; fallback = `Full_check }
+              repo
+          in
+          let lfd = Srv.listen (Proto.Unix_sock sock) in
+          Srv.serve ~idle_timeout:0.05 srv lfd;
+          Unix._exit 0
+        with _ -> Unix._exit 97)
+     | child ->
+       (* whatever happens, never leave the server child running — an
+          orphan would hold the test runner's output pipe open forever *)
+       Fun.protect ~finally:(fun () ->
+           (try Unix.kill child Sys.sigkill with Unix.Unix_error _ -> ());
+           (try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ()))
+       @@ fun () ->
+       let shadow = repo_of ~pub ~rev in
+       Repository.set_incremental shadow true;
+       let fd = connect_retry sock in
+       let rq j = Proto.request fd j in
+       let fail fmt = Alcotest.failf ("[seed %d] server oracle: " ^^ fmt) seed in
+       let errors = ref 0 in
+       let guard_one u =
+         let resp =
+           rq
+             (Proto.Obj
+                [ ("op", Proto.String "guard");
+                  ("update", Proto.String (XU.to_string u)) ])
+         in
+         let shadow_tag =
+           match Repository.guarded_update shadow u with
+           | o -> outcome_tag9 o
+           | exception _ -> incr errors; "error"
+         in
+         let server_tag = response_tag resp in
+         if shadow_tag <> server_tag then
+           fail "guard diverged: server %s, shadow %s" server_tag shadow_tag
+       in
+       let check_parity what =
+         let resp = rq (Proto.Obj [ ("op", Proto.String "check") ]) in
+         Alcotest.(check (list string))
+           (Printf.sprintf "[seed %d] %s: server check = shadow" seed what)
+           (sorted (Repository.check_full shadow))
+           (violated_of resp)
+       in
+       let steps = 8 + Prng.int r 6 in
+       let checkpoint_at = steps / 2 in
+       for step = 1 to steps do
+         (match Prng.int r 4 with
+          | 0 -> check_parity (Printf.sprintf "step %d" step)
+          | 1 ->
+            (match random_update r shadow with
+             | Some u -> guard_one u
+             | None -> ())
+          | 2 ->
+            (* a transactional batch, 1-3 statements generated against
+               the pre-batch state on both sides *)
+            let us =
+              List.filter_map
+                (fun _ -> random_update r shadow)
+                (List.init (1 + Prng.int r 3) Fun.id)
+            in
+            if us <> [] then begin
+              let resp =
+                rq
+                  (Proto.Obj
+                     [ ("op", Proto.String "txn");
+                       ( "updates",
+                         Proto.List
+                           (List.map
+                              (fun u -> Proto.String (XU.to_string u))
+                              us) ) ])
+              in
+              let shadow_tags =
+                match Repository.guarded_batch shadow us with
+                | rs ->
+                  List.map (fun x -> outcome_tag9 x.Repository.outcome) rs
+                | exception _ ->
+                  incr errors;
+                  List.map (fun _ -> "error") us
+              in
+              let server_tags =
+                if not (Proto.bool_field "ok" resp) then begin
+                  incr errors;
+                  List.map (fun _ -> "error") us
+                end
+                else
+                  match Proto.list_field "results" resp with
+                  | Some rs -> List.map response_tag rs
+                  | None -> [ "<malformed>" ]
+              in
+              Alcotest.(check (list string))
+                (Printf.sprintf "[seed %d] step %d: txn batch verdicts" seed
+                   step)
+                shadow_tags server_tags
+            end
+          | _ ->
+            (* a pinned reader opened before a write must keep answering
+               the pre-write verdict *)
+            let pre = sorted (Repository.check_full shadow) in
+            let presp = rq (Proto.Obj [ ("op", Proto.String "pin") ]) in
+            let pid =
+              match Proto.int_field "pin" presp with
+              | Some p -> p
+              | None -> fail "pin request failed"
+            in
+            (match random_update r shadow with
+             | Some u -> guard_one u
+             | None -> ());
+            let pinned =
+              rq
+                (Proto.Obj
+                   [ ("op", Proto.String "check"); ("pin", Proto.Int pid) ])
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "[seed %d] step %d: pinned verdict is pre-write"
+                 seed step)
+              pre (violated_of pinned);
+            ignore
+              (rq
+                 (Proto.Obj
+                    [ ("op", Proto.String "unpin"); ("pin", Proto.Int pid) ])));
+         if step = checkpoint_at then begin
+           let cresp = rq (Proto.Obj [ ("op", Proto.String "checkpoint") ]) in
+           if not (Proto.bool_field "ok" cresp) then
+             fail "mid-stream checkpoint failed";
+           check_parity "after mid-stream checkpoint"
+         end
+       done;
+       check_parity "final";
+       ignore (rq (Proto.Obj [ ("op", Proto.String "shutdown") ]));
+       Unix.close fd;
+       let _, status = Unix.waitpid [] child in
+       (match status with
+        | Unix.WEXITED 0 -> ()
+        | Unix.WEXITED n -> fail "server child exited %d" n
+        | _ -> fail "server child killed");
+       (* restart from the durable pair and re-check parity — skipped if
+          an apply error interrupted a batch (both sides diverge from
+          the journal identically, but not durably) *)
+       if !errors = 0 && Sys.file_exists spath then begin
+         let s = Conf.schema () in
+         let repo2 = Repository.create s in
+         List.iter
+           (Repository.add_constraint repo2)
+           [ Conf.conflict s; Conf.workload s; Conf.track_load s ];
+         Repository.register_pattern repo2 (Conf.submission_pattern s);
+         let meta = Repository.load_snapshot repo2 spath in
+         let rr = J.read jpath in
+         ignore
+           (Repository.recover ~skip:(Repository.recover_skip meta rr) rr
+              repo2
+             : Repository.recovery_report);
+         Alcotest.(check (list string))
+           (Printf.sprintf "[seed %d] verdict after restart = shadow" seed)
+           (sorted (Repository.check_full shadow))
+           (sorted (Repository.check_full repo2))
+       end;
+       List.iter
+         (fun p -> try Sys.remove p with Sys_error _ -> ())
+         [ sock; jpath; spath ])
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Symbol interning round trip                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -593,5 +828,6 @@ let () =
           Alcotest.test_case "fused loader" `Quick test_fused_loader_oracle;
           Alcotest.test_case "incremental recompute" `Quick
             test_incremental_oracle;
+          Alcotest.test_case "resident server" `Quick test_server_oracle;
         ] );
     ]

@@ -1,0 +1,430 @@
+(* The resident check server: protocol codec round trips, snapshot
+   isolation (pinned readers vs a committing writer, and across
+   checkpoint truncation), batched guarded updates vs serial parity,
+   and graceful-shutdown durability — including a failpoint-driven
+   crash in the shutdown path while a streaming transaction is open. *)
+
+open Xic_core
+module Conf = Xic_workload.Conference
+module XU = Xic_xupdate.Xupdate
+module J = Xic_journal.Journal
+module FP = Xic_journal.Failpoint
+module P = Xic_server.Protocol
+module Srv = Xic_server.Server
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+let checksl = Alcotest.(check (list string))
+
+let tmp_path =
+  let n = ref 0 in
+  fun suffix ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xic_server_%d_%d_%s" (Unix.getpid ()) !n suffix)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures (the pub/rev conference pair from the paper)               *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_pub =
+  {|<dblp><pub><title>Joint</title><aut><name>Carl</name></aut><aut><name>Nora</name></aut></pub><pub><title>Solo</title><aut><name>Ann</name></aut></pub></dblp>|}
+
+let fixed_rev =
+  {|<review><track><name>DB</name><rev><name>Carl</name><sub><title>S1</title><auts><name>Ann</name></auts></sub></rev><rev><name>Rita</name><sub><title>S2</title><auts><name>Bob</name></auts></sub></rev></track></review>|}
+
+let make_repo ?(incremental = false) () =
+  let s = Conf.schema () in
+  let repo = Repository.create s in
+  Repository.load_document repo fixed_pub;
+  Repository.load_document repo fixed_rev;
+  List.iter
+    (Repository.add_constraint repo)
+    [ Conf.conflict s; Conf.workload s; Conf.track_load s ];
+  Repository.register_pattern repo (Conf.submission_pattern s);
+  if incremental then Repository.set_incremental repo true;
+  repo
+
+let legal_insert ?(title = "Fresh") ?(author = "Zoe") () =
+  Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title
+    ~author
+
+(* Inserting Carl as an author of a submission Carl reviews violates
+   the conflict-of-interest denial. *)
+let illegal_insert () =
+  Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]"
+    ~title:"Own" ~author:"Carl"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    P.Obj
+      [ ("op", P.String "check");
+        ("n", P.Int (-42));
+        ("x", P.Float 1.5);
+        ("t", P.Bool true);
+        ("z", P.Null);
+        ("esc", P.String "a\"b\\c\nd\te\r\x01f");
+        ("uni", P.String "caf\xc3\xa9");
+        ("l", P.List [ P.Int 1; P.String "two"; P.List []; P.Obj [] ]) ]
+  in
+  let s = P.to_string v in
+  checkb "round trip" true (P.of_string s = v);
+  (* escapes survive a second round *)
+  checks "stable" s (P.to_string (P.of_string s));
+  (* \uXXXX escapes decode to UTF-8 *)
+  (match P.of_string "{\"u\":\"\\u00e9A\"}" with
+   | P.Obj [ ("u", P.String s) ] -> checks "unicode escape" "\xc3\xa9A" s
+   | _ -> Alcotest.fail "unicode escape object expected");
+  checkb "whitespace tolerated" true
+    (P.of_string " { \"a\" : [ 1 , 2 ] } " = P.Obj [ ("a", P.List [ P.Int 1; P.Int 2 ]) ])
+
+let test_json_raw () =
+  checks "raw embedded verbatim"
+    {|{"ok":true,"metrics":{"a":[1,2]}}|}
+    (P.to_string
+       (P.Obj [ ("ok", P.Bool true); ("metrics", P.Raw {|{"a":[1,2]}|}) ]))
+
+let test_json_errors () =
+  let fails s =
+    match P.of_string s with
+    | exception P.Protocol_error _ -> true
+    | _ -> false
+  in
+  checkb "trailing garbage" true (fails {|{"a":1} x|});
+  checkb "truncated" true (fails {|{"a":|});
+  checkb "bad literal" true (fails "trve");
+  checkb "unterminated string" true (fails {|"abc|})
+
+let frame payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  Bytes.to_string hdr ^ payload
+
+let test_split_frames () =
+  let a = frame "{\"a\":1}" and b = frame "{\"b\":2}" in
+  let partial = String.sub (frame "{\"c\":3}") 0 6 in
+  let payloads, rest = P.split_frames (a ^ b ^ partial) in
+  checksl "two complete frames" [ "{\"a\":1}"; "{\"b\":2}" ] payloads;
+  checks "partial remainder" partial rest;
+  let payloads, rest = P.split_frames "\x00\x00" in
+  checkb "short header kept" true (payloads = [] && rest = "\x00\x00");
+  (match P.split_frames "\x7f\xff\xff\xff rest" with
+   | exception P.Protocol_error _ -> ()
+   | _ -> Alcotest.fail "oversized frame length must be refused")
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot isolation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pin_across_commit () =
+  let repo = make_repo () in
+  checki "fresh repository at generation 0" 0 (Repository.generation repo);
+  let p0 = Repository.pin repo in
+  checki "pin records the generation" 0 (Repository.pin_generation p0);
+  checksl "pinned state consistent" [] (Repository.check_pinned repo p0);
+  (* the writer commits generation 1 *)
+  (match Repository.guarded_update repo (legal_insert ()) with
+   | Repository.Applied _ -> ()
+   | _ -> Alcotest.fail "legal insertion should apply");
+  checki "commit bumps the generation" 1 (Repository.generation repo);
+  checksl "old pin verdict unchanged" [] (Repository.check_pinned repo p0);
+  (* mutate the live store into a violating state behind the pin's back *)
+  ignore (Repository.apply_unchecked repo (illegal_insert ()) : XU.undo);
+  checkb "live state violated" true (Repository.check_full repo <> []);
+  checksl "pinned reader still sees generation 0 as consistent" []
+    (Repository.check_pinned repo p0);
+  let p1 = Repository.pin repo in
+  checkb "fresh pin sees the violation" true
+    (Repository.check_pinned repo p1 <> [])
+
+let test_pin_across_checkpoint () =
+  let jpath = tmp_path "pin.j" and spath = tmp_path "pin.xics" in
+  let j = J.open_ jpath in
+  let repo = make_repo () in
+  (match Repository.guarded_update ~journal:j repo (legal_insert ()) with
+   | Repository.Applied _ -> ()
+   | _ -> Alcotest.fail "legal insertion should apply");
+  let p = Repository.pin repo in
+  checki "pin at generation 1" 1 (Repository.pin_generation p);
+  (* checkpoint truncates the journal the pinned generation was built
+     from; the pin must not care *)
+  let r = Repository.checkpoint ~journal:j repo spath in
+  checkb "journal reset by checkpoint" true r.Repository.wal_reset;
+  checksl "pin survives checkpoint truncation" []
+    (Repository.check_pinned repo p);
+  (match Repository.guarded_update ~journal:j repo (legal_insert ~title:"Next" ~author:"Kim" ()) with
+   | Repository.Applied _ -> ()
+   | _ -> Alcotest.fail "post-checkpoint insertion should apply");
+  checksl "pin unaffected by post-checkpoint commits" []
+    (Repository.check_pinned repo p);
+  J.close j;
+  Sys.remove jpath;
+  Sys.remove spath
+
+(* Through the server: a pinned check keeps answering at its generation
+   while guards commit newer ones, and plain checks during a streaming
+   transaction are served from the last committed pin. *)
+let test_server_isolation () =
+  let repo = make_repo ~incremental:true () in
+  let srv = Srv.create repo in
+  let rq j = Srv.handle srv j in
+  let gen resp = Option.value ~default:(-1) (P.int_field "generation" resp) in
+  let pin_resp = rq (P.Obj [ ("op", P.String "pin") ]) in
+  let pid = Option.get (P.int_field "pin" pin_resp) in
+  checki "pin at generation 0" 0 (gen pin_resp);
+  let g =
+    rq
+      (P.Obj
+         [ ("op", P.String "guard");
+           ("update", P.String (XU.to_string (legal_insert ()))) ])
+  in
+  checks "guard applied" "applied" (Option.get (P.string_field "outcome" g));
+  let live = rq (P.Obj [ ("op", P.String "check") ]) in
+  checki "live check at generation 1" 1 (gen live);
+  checks "live isolation" "live" (Option.get (P.string_field "isolation" live));
+  let pinned = rq (P.Obj [ ("op", P.String "check"); ("pin", P.Int pid) ]) in
+  checki "pinned check stays at generation 0" 0 (gen pinned);
+  checks "pinned isolation" "pinned"
+    (Option.get (P.string_field "isolation" pinned));
+  (* while a streaming transaction holds uncommitted statements, a plain
+     check is served from the last committed generation *)
+  ignore (rq (P.Obj [ ("op", P.String "txn_begin") ]));
+  let s =
+    rq
+      (P.Obj
+         [ ("op", P.String "txn_stmt");
+           ("update", P.String (XU.to_string (legal_insert ~title:"Mid" ~author:"Kim" ()))) ])
+  in
+  checks "statement applied" "applied"
+    (Option.get (P.string_field "outcome" s));
+  let during = rq (P.Obj [ ("op", P.String "check") ]) in
+  checks "check during txn is pinned" "pinned"
+    (Option.get (P.string_field "isolation" during));
+  checki "check during txn sees the committed generation" 1 (gen during);
+  ignore (rq (P.Obj [ ("op", P.String "txn_commit") ]));
+  let after = rq (P.Obj [ ("op", P.String "check") ]) in
+  checks "check after commit is live again" "live"
+    (Option.get (P.string_field "isolation" after));
+  checki "commit bumped the generation" 2 (gen after)
+
+(* ------------------------------------------------------------------ *)
+(* Batched guards                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let batch_updates () =
+  [ legal_insert ();
+    legal_insert ~title:"Second" ~author:"Kim" ();
+    illegal_insert ();
+    legal_insert ~title:"Third" ~author:"Uma" () ]
+
+let outcome_tag = function
+  | Repository.Applied _ -> "applied"
+  | Repository.Rejected_early c -> "rejected:" ^ c
+  | Repository.Rolled_back c -> "rolled_back:" ^ c
+
+let test_batch_serial_parity () =
+  let ja = tmp_path "batch_a.j" and jb = tmp_path "batch_b.j" in
+  let a = make_repo ~incremental:true () in
+  let b = make_repo ~incremental:true () in
+  let japh = J.open_ ja and jbph = J.open_ jb in
+  let batched =
+    Repository.guarded_batch ~journal:japh a (batch_updates ())
+    |> List.map (fun r -> outcome_tag r.Repository.outcome)
+  in
+  let serial =
+    List.map
+      (fun u -> outcome_tag (Repository.guarded_update ~journal:jbph b u))
+      (batch_updates ())
+  in
+  checksl "batched outcomes = serial outcomes" serial batched;
+  checksl "same final verdict" (Repository.check_full b)
+    (Repository.check_full a);
+  (* the batch journals ONE transaction; serial journals one per guard *)
+  let committed path =
+    match J.read path with
+    | { J.entries; _ } -> J.committed_payloads entries
+  in
+  checki "batch = one journaled txn" 1 (List.length (committed ja));
+  checki "serial = one txn per applied guard" 3 (List.length (committed jb));
+  (* replaying both journals converges to the same state *)
+  let replay path =
+    let r = make_repo ~incremental:true () in
+    let rep = Repository.recover (J.read path) r in
+    checksl "no replay errors" []
+      (List.map snd rep.Repository.replay_errors);
+    Repository.check_full r
+  in
+  checksl "replayed batch = replayed serial" (replay jb) (replay ja);
+  J.close japh;
+  J.close jbph;
+  Sys.remove ja;
+  Sys.remove jb
+
+let test_round_batching () =
+  let repo = make_repo ~incremental:true () in
+  let srv = Srv.create repo in
+  let guard u =
+    P.Obj [ ("op", P.String "guard"); ("update", P.String (XU.to_string u)) ]
+  in
+  let reqs =
+    [ P.Obj [ ("op", P.String "ping") ];
+      guard (legal_insert ());
+      guard (illegal_insert ());
+      guard (legal_insert ~title:"Tail" ~author:"Kim" ());
+      P.Obj [ ("op", P.String "check") ] ]
+  in
+  let resps = Srv.handle_round srv reqs in
+  checki "one response per request" (List.length reqs) (List.length resps);
+  let nth n = List.nth resps n in
+  checkb "guards in the run are marked batched" true
+    (P.bool_field "batched" (nth 1)
+     && P.bool_field "batched" (nth 2)
+     && P.bool_field "batched" (nth 3));
+  checksl "per-request verdicts inside the batch"
+    [ "applied"; "rejected"; "applied" ]
+    (List.filter_map (fun i -> P.string_field "outcome" (nth i)) [ 1; 2; 3 ]);
+  checks "rejected statement names its constraint" "conflict"
+    (Option.get (P.string_field "constraint" (nth 2)));
+  (* all batched responses share the batch's commit generation *)
+  let gens =
+    List.filter_map (fun i -> P.int_field "generation" (nth i)) [ 1; 2; 3 ]
+  in
+  checkb "one shared generation" true
+    (match gens with [ a; b; c ] -> a = b && b = c | _ -> false);
+  (* a singleton guard is not batched *)
+  let solo = Srv.handle_round srv [ guard (legal_insert ~title:"Solo" ~author:"Ann" ()) ] in
+  checkb "singleton guard unbatched" true
+    (match solo with [ r ] -> not (P.bool_field "batched" r) | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let last_entry_is_abort path txn =
+  match J.read path with
+  | { J.entries; _ } ->
+    (match List.rev entries with
+     | J.Abort { txn = t } :: _ -> t = txn
+     | _ -> false)
+
+let test_shutdown_aborts_open_txn () =
+  let jpath = tmp_path "shutdown.j" in
+  let j = J.open_ jpath in
+  let repo = make_repo () in
+  let srv = Srv.create ~config:{ Srv.default_config with journal = Some j } repo in
+  let t = Srv.handle srv (P.Obj [ ("op", P.String "txn_begin") ]) in
+  let txn_id = Option.get (P.int_field "txn" t) in
+  let s =
+    Srv.handle srv
+      (P.Obj
+         [ ("op", P.String "txn_stmt");
+           ("update", P.String (XU.to_string (legal_insert ()))) ])
+  in
+  checks "statement applied in txn" "applied"
+    (Option.get (P.string_field "outcome" s));
+  Srv.shutdown srv;
+  Srv.shutdown srv (* idempotent *);
+  checkb "journal's last word on the in-flight txn is an Abort" true
+    (last_entry_is_abort jpath txn_id);
+  (* recovery finds nothing to replay: the interrupted txn is gone *)
+  let fresh = make_repo () in
+  let rep = Repository.recover (J.read jpath) fresh in
+  checki "no committed txns to replay" 0 rep.Repository.replayed_txns;
+  checki "the aborted txn is discarded (explicitly, not inferred)" 1
+    rep.Repository.discarded_txns;
+  checksl "recovered state is the pre-txn state" [] (Repository.check_full fresh);
+  Sys.remove jpath
+
+(* A SIGTERM-style crash *inside* the shutdown path, before the open
+   transaction's abort runs: the journal is left with a dangling intent
+   and recovery must discard it.  The child process arms the
+   [serve_shutdown] failpoint and dies with exit code 42. *)
+let test_shutdown_crash_failpoint () =
+  let jpath = tmp_path "crash.j" in
+  (match Unix.fork () with
+   | 0 ->
+     (* child: never let test-runner machinery run *)
+     (try
+        FP.set ~action:FP.Exit "serve_shutdown";
+        let j = J.open_ jpath in
+        let repo = make_repo () in
+        let srv =
+          Srv.create ~config:{ Srv.default_config with journal = Some j } repo
+        in
+        ignore (Srv.handle srv (P.Obj [ ("op", P.String "txn_begin") ]));
+        ignore
+          (Srv.handle srv
+             (P.Obj
+                [ ("op", P.String "txn_stmt");
+                  ("update", P.String (XU.to_string (legal_insert ()))) ]));
+        Srv.shutdown srv;
+        (* unreachable: the failpoint exits first *)
+        Unix._exit 99
+      with _ -> Unix._exit 98)
+   | pid ->
+     let _, status = Unix.waitpid [] pid in
+     (match status with
+      | Unix.WEXITED 42 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "child exited %d, wanted 42" n
+      | _ -> Alcotest.fail "child did not exit normally");
+     (* the journal holds a dangling intent, no closing record *)
+     (match J.read jpath with
+      | { J.entries; _ } ->
+        checkb "intent present" true
+          (List.exists (function J.Intent _ -> true | _ -> false) entries);
+        checkb "no commit, no abort" true
+          (not
+             (List.exists
+                (function J.Commit _ | J.Abort _ -> true | _ -> false)
+                entries)));
+     let fresh = make_repo () in
+     let rep = Repository.recover (J.read jpath) fresh in
+     checki "in-flight txn discarded" 1 rep.Repository.discarded_txns;
+     checki "nothing replayed" 0 rep.Repository.replayed_txns;
+     checksl "recovered to the pre-txn state" [] (Repository.check_full fresh);
+     Sys.remove jpath)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "raw embedding" `Quick test_json_raw;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "incremental framing" `Quick test_split_frames;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "pin across writer commit" `Quick
+            test_pin_across_commit;
+          Alcotest.test_case "pin across checkpoint" `Quick
+            test_pin_across_checkpoint;
+          Alcotest.test_case "server-level isolation" `Quick
+            test_server_isolation;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batch = serial verdicts" `Quick
+            test_batch_serial_parity;
+          Alcotest.test_case "round batching over the wire shape" `Quick
+            test_round_batching;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "graceful abort of open txn" `Quick
+            test_shutdown_aborts_open_txn;
+          Alcotest.test_case "crash inside shutdown (failpoint)" `Quick
+            test_shutdown_crash_failpoint;
+        ] );
+    ]
