@@ -1109,6 +1109,160 @@ let server_bench ~reps () =
           (String.concat ", " guard_rows));
      print_newline ())
 
+(* Serve-path cost of the observability stack: request latency against
+   a plain server vs one with structured debug logging, request tracing
+   and the slow-request ring all enabled.  Both servers are alive at
+   once and the measurement rounds alternate between them in
+   interleaved order, so the two populations face the same machine
+   state; per-side medians are compared. *)
+let server_obs_bench ~reps () =
+  let size = 256_000 in
+  Printf.printf "# Observability overhead on the serve path (%d bytes)\n" size;
+  let s = Conf.schema () in
+  let ds = Gen.generate ~seed:42 ~target_bytes:size () in
+  (* three configurations: the PR 8 server, the production observability
+     setting (info-level structured log + metrics — per-request debug
+     lines are filtered before rendering), and the full diagnostic
+     stack (per-request debug lines, request tracing, slow ring). *)
+  let configs = [ ("plain", `Plain); ("log+metrics", `Info);
+                  ("debug+trace", `Debug) ] in
+  let spawn mode sock logpath =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         (match mode with
+          | `Plain -> ()
+          | `Info | `Debug ->
+            Xic_obs.Log.set_format Xic_obs.Log.Json;
+            Xic_obs.Log.set_level
+              (match mode with
+               | `Debug -> Xic_obs.Log.Debug
+               | _ -> Xic_obs.Log.Info);
+            (match Xic_obs.Log.open_path logpath with
+             | Ok () -> ()
+             | Error m -> failwith m);
+            if mode = `Debug then Xic_obs.Obs.Trace.set_enabled true);
+         let repo = Repository.create s in
+         Repository.load_fused ~validate:false repo ds.Gen.pub_xml;
+         Repository.load_fused ~validate:false repo ds.Gen.rev_xml;
+         Repository.add_constraint repo (Conf.conflict s);
+         Repository.set_incremental repo true;
+         let srv = Srv.create repo in
+         let lfd = Srv.listen (Proto.Unix_sock sock) in
+         Srv.serve ~idle_timeout:0.05 srv lfd;
+         Unix._exit 0
+       with _ -> Unix._exit 97)
+    | pid -> pid
+  in
+  let servers =
+    List.map
+      (fun (name, mode) ->
+        let sock = Filename.temp_file "bench_obs" ".sock" in
+        let logpath = Filename.temp_file "bench_obs" ".log" in
+        Sys.remove sock;
+        (name, sock, logpath, spawn mode sock logpath))
+      configs
+  in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun (_, sock, logpath, pid) ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ sock; logpath ])
+        servers)
+  @@ fun () ->
+  let rec connect sock n =
+    match Proto.connect (Proto.Unix_sock sock) with
+    | fd -> fd
+    | exception _ when n > 0 ->
+      ignore (Unix.select [] [] [] 0.1);
+      connect sock (n - 1)
+  in
+  let fds =
+    List.map (fun (name, sock, _, _) -> (name, connect sock 200)) servers
+  in
+  let check_req = Proto.Obj [ ("op", Proto.String "check") ] in
+  let round fd k =
+    let t0 = now () in
+    for _ = 1 to k do
+      ignore (Proto.request fd check_req)
+    done;
+    (now () -. t0) *. 1000.0 /. float_of_int k
+  in
+  (* rounds long enough (~7ms) that scheduler jitter does not dominate
+     the microsecond-scale per-check differences being measured *)
+  let k = 500 in
+  List.iter (fun (_, fd) -> ignore (round fd k)) fds;
+  List.iter (fun (_, fd) -> ignore (round fd k)) fds;
+  let n = max (6 * reps) 30 in
+  let nc = List.length fds in
+  let fda = Array.of_list fds in
+  let samples = Array.make_matrix nc n 0.0 in
+  (* rotate the visiting order every round so no configuration always
+     runs first (or last) within a round *)
+  for i = 0 to n - 1 do
+    for j = 0 to nc - 1 do
+      let c = (i + j) mod nc in
+      samples.(c).(i) <- round (snd fda.(c)) k
+    done
+  done;
+  let med arr =
+    let a = Array.copy arr in
+    Array.sort Float.compare a;
+    a.(Array.length a / 2)
+  in
+  let meds =
+    List.mapi (fun c (name, _) -> (name, med samples.(c))) fds
+  in
+  (* overhead from the per-configuration minima: scheduler and cache
+     noise on a shared machine is strictly additive, so the minimum
+     over rounds is the closest estimate of each configuration's true
+     cost, and the ratio of minima the most stable overhead figure *)
+  let plain_idx =
+    let rec find i = function
+      | ("plain", _) :: _ -> i
+      | _ :: rest -> find (i + 1) rest
+      | [] -> assert false
+    in
+    find 0 fds
+  in
+  let minimum arr = Array.fold_left Float.min arr.(0) arr in
+  let overhead_of c =
+    (minimum samples.(c) /. minimum samples.(plain_idx) -. 1.0) *. 100.0
+  in
+  let overheads =
+    List.mapi (fun c (name, _) -> (name, overhead_of c)) fds
+  in
+  let plain_ms = List.assoc "plain" meds in
+  Printf.printf "# %-30s %-18s %s\n" "configuration" "ms/check (median)"
+    "overhead";
+  List.iter
+    (fun (name, ms) ->
+      Printf.printf "%-32s %-18.4f %+.1f%%\n" name ms
+        (List.assoc name overheads))
+    meds;
+  Printf.printf "(%d checks/round, %d rounds per configuration)\n%!" k n;
+  List.iter
+    (fun (_, fd) ->
+      ignore (Proto.request fd (Proto.Obj [ ("op", Proto.String "shutdown") ]));
+      Unix.close fd)
+    fds;
+  let log_ms = List.assoc "log+metrics" meds in
+  let dbg_ms = List.assoc "debug+trace" meds in
+  add_json "server_obs"
+    (Printf.sprintf
+       "{\"checks_per_round\": %d, \"rounds\": %d, \"plain_ms_per_check\": \
+        %.4f, \"log_metrics_ms_per_check\": %.4f, \
+        \"log_metrics_overhead_pct\": %.2f, \"debug_trace_ms_per_check\": \
+        %.4f, \"debug_trace_overhead_pct\": %.2f}"
+       k n plain_ms log_ms
+       (List.assoc "log+metrics" overheads)
+       dbg_ms
+       (List.assoc "debug+trace" overheads));
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -1128,7 +1282,7 @@ let () =
       sizes := List.map int_of_string (String.split_on_char ',' s);
       parse rest
     | "--json" :: rest ->
-      json := Some "BENCH_PR8.json";
+      json := Some "BENCH_PR9.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -1151,6 +1305,7 @@ let () =
     | "ingest" -> ingest ~sizes ~reps ()
     | "coldstart" -> coldstart ~sizes ~reps ()
     | "server" -> server_bench ~reps ()
+    | "server_obs" -> server_obs_bench ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -1166,12 +1321,13 @@ let () =
       coldstart ~sizes ~reps ();
       pipeline ~sizes ~reps ();
       server_bench ~reps ();
+      server_obs_bench ~reps ();
       micro ()
     | other ->
       Printf.eprintf
         "unknown experiment %S (expected \
          fig1a|fig1b|fig_simp|ex45|ablations|index|journal|incremental|\
-         stages|ingest|coldstart|pipeline|server|micro|all)\n"
+         stages|ingest|coldstart|pipeline|server|server_obs|micro|all)\n"
         other;
       exit 2
   in

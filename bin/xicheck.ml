@@ -19,6 +19,7 @@
 open Cmdliner
 open Xic_core
 module Obs = Xic_obs.Obs
+module XLog = Xic_obs.Log
 
 let read_file path =
   let ic = open_in_bin path in
@@ -957,10 +958,56 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "checkpoint-on-shutdown" ] ~doc)
   in
+  let log_arg =
+    let doc =
+      "Write structured server logs to $(docv) ('-' = stderr).  Every \
+       line is stamped with the monotonic clock and, while a request is \
+       being handled, its trace id."
+    in
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+  in
+  let log_level_arg =
+    let doc = "Log level: debug, info, warn or error." in
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_format_arg =
+    let doc = "Log line format: text or json (JSON-lines)." in
+    Arg.(value & opt string "text" & info [ "log-format" ] ~docv:"FMT" ~doc)
+  in
+  let serve_trace_arg =
+    let doc =
+      "Trace every request: each one becomes a span tagged with its op, \
+       generation, route and the caller's trace id.  At shutdown the \
+       session's spans are written to $(docv) as Chrome trace_event \
+       JSON — or, when $(docv) is '-', as an indented text tree to \
+       stderr."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let slow_requests_arg =
+    let doc = "How many slowest requests the 'slow' op retains." in
+    Arg.(value & opt int 8 & info [ "slow-requests" ] ~docv:"N" ~doc)
+  in
   let run dtds docs snapshot constraints pattern no_validate legacy_loader
       runtime_simp journal eval_budget no_index jobs incremental
-      no_incremental socket tcp checkpoint_on_shutdown =
+      no_incremental socket tcp checkpoint_on_shutdown log log_level
+      log_format trace slow_requests =
     ignore incremental;
+    (* instrumentation first, so document-load spans join the session *)
+    (match XLog.level_of_string log_level with
+     | Some l -> XLog.set_level l
+     | None -> die "unknown log level %S (debug|info|warn|error)" log_level);
+    (match log_format with
+     | "text" -> XLog.set_format XLog.Text
+     | "json" -> XLog.set_format XLog.Json
+     | f -> die "unknown log format %S (text|json)" f);
+    (match log with
+     | None -> ()
+     | Some path ->
+       (match XLog.open_path path with
+        | Ok () -> ()
+        | Error m -> die "cannot open log: %s" m));
+    if trace <> None then Obs.Trace.set_enabled true;
     let s = load_schema dtds in
     let repo, meta =
       load_state ~legacy:legacy_loader ~validate:(not no_validate) s ~snapshot
@@ -996,7 +1043,8 @@ let serve_cmd =
     let config =
       { Srv.journal; snapshot_path = snapshot; checkpoint_on_shutdown;
         fallback =
-          (if runtime_simp then `Runtime_simplification else `Full_check) }
+          (if runtime_simp then `Runtime_simplification else `Full_check);
+        slow_capacity = max 1 slow_requests }
     in
     let server = Srv.create ~config repo in
     let addr = server_address socket tcp in
@@ -1017,6 +1065,20 @@ let serve_cmd =
      | Proto.Unix_sock path ->
        (try Sys.remove path with Sys_error _ -> ())
      | Proto.Tcp _ -> ());
+    (match trace with
+     | None -> ()
+     | Some "-" -> prerr_string (Obs.Trace.to_text (Srv.trace_roots server))
+     | Some path ->
+       let oc =
+         match open_out path with
+         | oc -> oc
+         | exception Sys_error m -> die "cannot write %s: %s" path m
+       in
+       output_string oc (Obs.Trace.to_chrome_json (Srv.trace_roots server));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "wrote trace %s\n" path);
+    XLog.close ();
     Printf.printf "served %d request(s); shutdown complete\n%!"
       (Srv.requests server)
   in
@@ -1031,7 +1093,8 @@ let serve_cmd =
       $ pattern_arg $ no_validate_arg $ legacy_loader_arg $ runtime_simp_arg
       $ journal_arg $ eval_budget_arg $ no_index_arg $ jobs_arg
       $ incremental_arg $ no_incremental_arg $ socket_arg $ tcp_arg
-      $ checkpoint_on_shutdown_arg)
+      $ checkpoint_on_shutdown_arg $ log_arg $ log_level_arg $ log_format_arg
+      $ serve_trace_arg $ slow_requests_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -1080,9 +1143,17 @@ let client_cmd =
   let op_arg =
     let doc =
       "Operation: ping, check, guard, batch, txn, begin, stmt, commit, \
-       abort, pin, unpin, checkpoint, stats, shutdown."
+       abort, pin, unpin, checkpoint, stats, metrics, slow, shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let trace_id_arg =
+    let doc =
+      "Send $(docv) as the request's trace_id: the server stamps it on \
+       the request span and every log line, and echoes it on the \
+       response."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID" ~doc)
   in
   let updates_arg =
     let doc = "XUpdate statement file (repeatable for batch/txn)." in
@@ -1100,15 +1171,24 @@ let client_cmd =
     let doc = "For 'txn': apply the statements, then roll the batch back." in
     Arg.(value & flag & info [ "abort" ] ~doc)
   in
-  let run op socket tcp updates pin path runtime_simp abort =
+  let run op socket tcp updates pin path runtime_simp abort trace_id =
     let addr = server_address socket tcp in
     let fd =
       match Proto.connect addr with
       | fd -> fd
       | exception Proto.Protocol_error m -> die "%s" m
     in
+    (* every frame this invocation sends carries the trace id *)
+    let with_trace = function
+      | Proto.Obj fields ->
+        Proto.Obj
+          (match trace_id with
+           | Some id -> fields @ [ ("trace_id", Proto.String id) ]
+           | None -> fields)
+      | j -> j
+    in
     let rq j =
-      match Proto.request fd j with
+      match Proto.request fd (with_trace j) with
       | resp -> expect_ok resp
       | exception Proto.Protocol_error m -> die "%s" m
     in
@@ -1161,9 +1241,11 @@ let client_cmd =
        List.iter
          (fun u ->
            Proto.write_frame fd
-             (Proto.Obj
-                (( [ ("op", Proto.String "guard"); ("update", Proto.String u) ]
-                 @ fallback_fields ))))
+             (with_trace
+                (Proto.Obj
+                   (( [ ("op", Proto.String "guard");
+                        ("update", Proto.String u) ]
+                    @ fallback_fields )))))
          stmts;
        List.iteri
          (fun i _ ->
@@ -1251,6 +1333,13 @@ let client_cmd =
      | "stats" ->
        let resp = rq (Proto.Obj [ ("op", Proto.String "stats") ]) in
        print_endline (Proto.to_string resp)
+     | "metrics" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "metrics") ]) in
+       print_string
+         (Option.value ~default:"" (Proto.string_field "body" resp))
+     | "slow" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "slow") ]) in
+       print_endline (Proto.to_string resp)
      | "shutdown" ->
        ignore (rq (Proto.Obj [ ("op", Proto.String "shutdown") ]));
        print_endline "server stopping"
@@ -1266,7 +1355,135 @@ let client_cmd =
           stats, shutdown)")
     Term.(
       const run $ op_arg $ socket_arg $ tcp_arg $ updates_arg $ pin_arg
-      $ path_arg $ runtime_simp_arg $ abort_arg)
+      $ path_arg $ runtime_simp_arg $ abort_arg $ trace_id_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Live one-screen summary of a running server: polls the stats,
+   metrics and slow ops and renders the headline numbers, the per-op
+   latency quantiles, the serve gauges and the slowest requests. *)
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after $(docv) refreshes (default: until interrupted)." in
+    Arg.(value & opt (some int) None & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let no_clear_arg =
+    let doc = "Do not clear the screen between refreshes (append instead)." in
+    Arg.(value & flag & info [ "no-clear" ] ~doc)
+  in
+  let run socket tcp interval iterations no_clear =
+    let addr = server_address socket tcp in
+    let fd =
+      match Proto.connect addr with
+      | fd -> fd
+      | exception Proto.Protocol_error m -> die "%s" m
+    in
+    let rq j =
+      match Proto.request fd j with
+      | resp -> expect_ok resp
+      | exception Proto.Protocol_error m -> die "%s" m
+    in
+    let num = function
+      | Some (Proto.Int i) -> float_of_int i
+      | Some (Proto.Float f) -> f
+      | _ -> 0.
+    in
+    let render () =
+      let stats = rq (Proto.Obj [ ("op", Proto.String "stats") ]) in
+      let slow = rq (Proto.Obj [ ("op", Proto.String "slow") ]) in
+      let metrics = rq (Proto.Obj [ ("op", Proto.String "metrics") ]) in
+      if not no_clear then print_string "\027[2J\027[H";
+      let srv = Option.value ~default:Proto.Null (Proto.member "server" stats) in
+      let f name = num (Proto.member name srv) in
+      Printf.printf "xicheck top — %s\n" (Proto.address_to_string addr);
+      Printf.printf
+        "uptime %.1fs  requests %.0f (%.1f/s)  batches %.0f  generation %.0f\n"
+        (f "uptime_s") (f "requests") (f "requests_per_sec") (f "batches")
+        (f "generation");
+      Printf.printf "pins %.0f  open_txn %b  incremental %b\n" (f "pins")
+        (Proto.bool_field "open_txn" srv)
+        (Proto.bool_field "incremental" srv);
+      (* serve gauges, straight off the Prometheus exposition *)
+      let body = Option.value ~default:"" (Proto.string_field "body" metrics) in
+      let gauges =
+        List.filter
+          (fun line ->
+            String.length line > 10
+            && String.sub line 0 10 = "xic_serve_"
+            && not (String.contains line '{')
+            && not
+                 (let base =
+                    match String.index_opt line ' ' with
+                    | Some i -> String.sub line 0 i
+                    | None -> line
+                  in
+                  let n = String.length base in
+                  n > 8 && String.sub base (n - 8) 8 = "_seconds"
+                  || (n > 4 && String.sub base (n - 4) 4 = "_sum")
+                  || (n > 6 && String.sub base (n - 6) 6 = "_count")))
+          (String.split_on_char '\n' body)
+      in
+      if gauges <> [] then begin
+        print_endline "";
+        List.iter print_endline gauges
+      end;
+      (match Proto.member "ops" stats with
+       | Some (Proto.Obj []) | None -> ()
+       | Some (Proto.Obj ops) ->
+         Printf.printf "\n%-16s %8s %9s %9s %9s\n" "op" "count" "p50_ms"
+           "p90_ms" "p99_ms";
+         List.iter
+           (fun (op, o) ->
+             Printf.printf "%-16s %8.0f %9.3f %9.3f %9.3f\n" op
+               (num (Proto.member "count" o))
+               (num (Proto.member "p50_ms" o))
+               (num (Proto.member "p90_ms" o))
+               (num (Proto.member "p99_ms" o)))
+           ops
+       | Some _ -> ());
+      (match Proto.list_field "slow" slow with
+       | Some (_ :: _ as entries) ->
+         Printf.printf "\nslowest requests:\n";
+         List.iter
+           (fun e ->
+             Printf.printf "  %9.3fms  %-12s span=%s%s\n"
+               (num (Proto.member "ms" e))
+               (Option.value ~default:"?" (Proto.string_field "op" e))
+               (Option.value ~default:"?" (Proto.string_field "span_id" e))
+               (match Proto.string_field "trace_id" e with
+                | Some id -> " trace=" ^ id
+                | None -> ""))
+           entries
+       | _ -> ());
+      flush stdout
+    in
+    (match iterations with
+     | Some n ->
+       for i = 1 to n do
+         render ();
+         if i < n then Unix.sleepf interval
+       done
+     | None ->
+       while true do
+         render ();
+         Unix.sleepf interval
+       done);
+    Unix.close fd
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live one-screen summary of a running 'xicheck serve' instance \
+          (polls stats, metrics and slow)")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ interval_arg $ iterations_arg
+      $ no_clear_arg)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -1311,4 +1528,4 @@ let () =
        (Cmd.group info
           [ schema_cmd; compile_cmd; validate_cmd; check_cmd; simplify_cmd;
             guard_cmd; txn_cmd; recover_cmd; checkpoint_cmd; publish_cmd;
-            serve_cmd; client_cmd; generate_cmd ]))
+            serve_cmd; client_cmd; top_cmd; generate_cmd ]))

@@ -15,9 +15,9 @@ let () =
   List.iter FP.declare
     [ "before_apply"; "after_apply"; "before_commit"; "checkpoint_truncate" ]
 
-let log_src = Logs.Src.create "xic.repository" ~doc:"Guarded update engine"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
+module Log = struct
+  let warn f = Xic_obs.Log.warn ~src:"xic.repository" f
+end
 
 (* Registry cells for the pipeline counters.  The plan-cache counters
    are the primary store now — the legacy [plan_stats] accessor is a
@@ -186,11 +186,11 @@ let index_stats_line t =
    per-repository); they enter the registry as gauges synced at snapshot
    time, which makes [metrics] agree with the legacy [index_stats] /
    [plan_stats_line] shims by construction — both read the same cells. *)
-let g_index_hits = Obs.Metrics.counter "index_hits"
-let g_index_misses = Obs.Metrics.counter "index_misses"
-let g_index_fallbacks = Obs.Metrics.counter "index_fallbacks"
-let g_index_events = Obs.Metrics.counter "index_events"
-let g_plan_cached = Obs.Metrics.counter "plan_cached"
+let g_index_hits = Obs.Metrics.gauge "index_hits"
+let g_index_misses = Obs.Metrics.gauge "index_misses"
+let g_index_fallbacks = Obs.Metrics.gauge "index_fallbacks"
+let g_index_events = Obs.Metrics.gauge "index_events"
+let g_plan_cached = Obs.Metrics.gauge "plan_cached"
 
 let sync_gauges t =
   (match index_stats t with
@@ -209,6 +209,10 @@ let metrics t =
 let metrics_json t =
   sync_gauges t;
   Obs.Metrics.to_json ()
+
+let metrics_prometheus t =
+  sync_gauges t;
+  Obs.Metrics.to_prometheus ()
 
 let invalidate_store t =
   (match t.mirror with Some m -> Mirror.detach m | None -> ());

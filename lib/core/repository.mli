@@ -105,6 +105,10 @@ val metrics_json : t -> string
 (** Same snapshot rendered as a JSON object
     [{"counters":{…},"histograms":{…}}] for [xicheck --metrics]. *)
 
+val metrics_prometheus : t -> string
+(** Same snapshot rendered as Prometheus text exposition (the server's
+    [metrics] op). *)
+
 val load_document : ?validate:bool -> t -> string -> unit
 (** Parse an XML document and add it to the collection; with [validate]
     (default true) it must conform to the DTD declaring its root type.

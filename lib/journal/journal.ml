@@ -47,6 +47,12 @@ let path t = t.jpath
 let generation t = t.gen
 let entry_count t = t.entries_written
 
+(* Appended bytes in the current generation (since the last reset) —
+   the file position, since the journal is append-only.  Exposed as the
+   server's journal_bytes_since_checkpoint gauge. *)
+let bytes t =
+  if t.closed then 0 else Unix.lseek t.fd 0 Unix.SEEK_CUR
+
 let txn_of = function
   | Intent { txn; _ } | Commit { txn } | Abort { txn } | Truncate { txn; _ } -> txn
 

@@ -76,6 +76,10 @@ val generation : t -> int
 val entry_count : t -> int
 (** Valid records currently in the file — the snapshot watermark. *)
 
+val bytes : t -> int
+(** Bytes in the current journal generation (header included): the
+    write position of an append-only file.  0 once closed. *)
+
 val next_txn : t -> int
 (** A fresh transaction id (greater than any id already journaled). *)
 

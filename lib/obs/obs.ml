@@ -252,6 +252,11 @@ module Metrics = struct
   let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
   let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+  (* Names registered via [gauge]: same cells as counters, but the
+     Prometheus exposition types them [gauge] (their value may go
+     down — open transactions, pinned generations, …). *)
+  let gauge_names : (string, unit) Hashtbl.t = Hashtbl.create 16
+
   (* Histograms on the per-check fast path are only populated when
      [detailed] is set (xicheck sets it for --metrics/--trace runs);
      plain counters are always live. *)
@@ -271,6 +276,14 @@ module Metrics = struct
   let add c n = ignore (Atomic.fetch_and_add c n)
   let set c n = Atomic.set c n
   let value c = Atomic.get c
+
+  let gauge name =
+    Mutex.protect registry_mutex (fun () ->
+        Hashtbl.replace gauge_names name ());
+    counter name
+
+  let is_gauge name =
+    Mutex.protect registry_mutex (fun () -> Hashtbl.mem gauge_names name)
 
   let histogram name =
     Mutex.protect registry_mutex (fun () ->
@@ -372,6 +385,51 @@ module Metrics = struct
         Buffer.add_string b (Printf.sprintf ",\"%s\":%s" (Trace.json_escape k) v))
       extra;
     Buffer.add_char b '}';
+    Buffer.contents b
+
+  (* Prometheus text exposition (format version 0.0.4).  Counters and
+     gauges export as [xic_<name>]; latency histograms export as
+     summaries in seconds — [xic_<base>_seconds{quantile="…"}] plus
+     [_sum]/[_count] — with the registry's [_ms] suffix rewritten, so
+     scrapers see base units. *)
+  let to_prometheus () =
+    let cs, hs = snapshot () in
+    let sanitize name =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+          | _ -> '_')
+        name
+    in
+    let b = Buffer.create 2048 in
+    List.iter
+      (fun (name, v) ->
+        let n = "xic_" ^ sanitize name in
+        let ty = if is_gauge name then "gauge" else "counter" in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" n ty);
+        Buffer.add_string b (Printf.sprintf "%s %d\n" n v))
+      cs;
+    List.iter
+      (fun (name, s) ->
+        let base =
+          let n = sanitize name in
+          if Filename.check_suffix n "_ms" then
+            String.sub n 0 (String.length n - 3) ^ "_seconds"
+          else n ^ "_seconds"
+        in
+        let n = "xic_" ^ base in
+        Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+        List.iter
+          (fun q ->
+            Buffer.add_string b
+              (Printf.sprintf "%s{quantile=\"%g\"} %.9g\n" n q
+                 (hsnap_quantile s q /. 1e3)))
+          [ 0.5; 0.9; 0.99 ];
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum %.9g\n" n (float_of_int s.sum_ns /. 1e9));
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" n s.count))
+      hs;
     Buffer.contents b
 
   let reset () =

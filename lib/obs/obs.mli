@@ -93,6 +93,12 @@ module Metrics : sig
 
   val value : counter -> int
 
+  (** Like {!counter}, but the name is typed [gauge] in the Prometheus
+      exposition (its value may go down). *)
+  val gauge : string -> counter
+
+  val is_gauge : string -> bool
+
   (** Intern a log-scale (power-of-two ns buckets) latency histogram. *)
   val histogram : string -> histogram
 
@@ -124,6 +130,11 @@ module Metrics : sig
   (** JSON object [{"counters":{...},"histograms":{...}}]; [extra]
       appends pre-rendered JSON fields at the top level. *)
   val to_json : ?extra:(string * string) list -> unit -> string
+
+  (** Prometheus text exposition (0.0.4): counters/gauges as
+      [xic_<name>], histograms as summaries in seconds
+      ([xic_<base>_seconds] with [quantile] labels, [_sum], [_count]). *)
+  val to_prometheus : unit -> string
 
   (** Zero every registered counter and histogram. *)
   val reset : unit -> unit

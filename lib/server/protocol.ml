@@ -265,6 +265,14 @@ let list_field k j = match member k j with Some (List l) -> Some l | _ -> None
 
 let max_frame = 16 * 1024 * 1024
 
+(* One wording for every cap violation, wherever it is caught: the
+   offending length and the cap, by name, so a client staring at a
+   garbage or hostile stream knows exactly what was refused and why. *)
+let bad_length len =
+  if len > max_frame then
+    err "frame length %d exceeds the %d-byte (16 MiB) frame cap" len max_frame
+  else err "malformed frame length %d (not a length-prefixed frame?)" len
+
 let rec write_all fd b off len =
   if len > 0 then begin
     let n =
@@ -277,7 +285,9 @@ let rec write_all fd b off len =
 let write_frame fd j =
   let payload = to_string j in
   let len = String.length payload in
-  if len > max_frame then err "frame too large (%d bytes)" len;
+  if len > max_frame then
+    err "cannot send a %d-byte frame: exceeds the %d-byte (16 MiB) frame cap"
+      len max_frame;
   let b = Bytes.create (4 + len) in
   Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
   Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
@@ -311,7 +321,7 @@ let read_frame fd =
   | `Eof -> None
   | `Ok ->
     let len = frame_length hdr 0 in
-    if len < 0 || len > max_frame then err "bad frame length %d" len;
+    if len < 0 || len > max_frame then bad_length len;
     let payload = Bytes.create len in
     (match read_full fd payload 0 len with
      | `Eof -> err "connection closed mid-frame"
@@ -328,7 +338,7 @@ let split_frames data =
         lor (Char.code data.[pos + 2] lsl 8)
         lor Char.code data.[pos + 3]
       in
-      if len < 0 || len > max_frame then err "bad frame length %d" len;
+      if len < 0 || len > max_frame then bad_length len;
       if n - pos - 4 < len then (List.rev acc, String.sub data pos (n - pos))
       else go (pos + 4 + len) (String.sub data (pos + 4) len :: acc)
     end

@@ -8,20 +8,46 @@ module P = Protocol
 (* Crash window of the graceful-shutdown path, for the torture tests. *)
 let () = FP.declare "serve_shutdown"
 
-let log_src = Logs.Src.create "xic.server" ~doc:"Resident check server"
+module XLog = Xic_obs.Log
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+module Log = struct
+  let src = "xic.server"
+  let debug f = XLog.debug ~src f
+  let info f = XLog.info ~src f
+  let warn f = XLog.warn ~src f
+end
+
+(* Point-in-time server gauges, synced into the registry before every
+   stats/metrics exposition so a Prometheus scrape sees live values. *)
+let g_open_txns = Obs.Metrics.gauge "serve_open_txns"
+let g_pins = Obs.Metrics.gauge "serve_pinned_generations"
+let g_journal_bytes = Obs.Metrics.gauge "serve_journal_bytes_since_checkpoint"
+let g_store_facts = Obs.Metrics.gauge "serve_store_facts"
+let g_connections = Obs.Metrics.gauge "serve_connections"
 
 type config = {
   journal : J.t option;
   snapshot_path : string option;
   checkpoint_on_shutdown : bool;
   fallback : [ `Full_check | `Runtime_simplification ];
+  slow_capacity : int;
 }
 
 let default_config =
   { journal = None; snapshot_path = None; checkpoint_on_shutdown = false;
-    fallback = `Full_check }
+    fallback = `Full_check; slow_capacity = 8 }
+
+(* One entry of the slowest-requests ring: everything needed to explain
+   the request after the fact — including its span tree when request
+   tracing was on. *)
+type slow_entry = {
+  se_op : string;
+  se_trace_id : string option;
+  se_span_id : string;
+  se_ms : float;
+  se_args : string;            (* the request document, truncated *)
+  se_span : Obs.Trace.span option;
+}
 
 type t = {
   srepo : R.t;
@@ -41,18 +67,78 @@ type t = {
   stop : bool ref;
   mutable shut : bool;
   op_hists : (string, Obs.Metrics.histogram) Hashtbl.t;
+  mutable next_span : int;        (* server-side span-id generator *)
+  (* request spans captured while tracing is enabled, newest-first,
+     trimmed to [spans_cap] roots *)
+  mutable spans : Obs.Trace.span list;
+  mutable spans_n : int;
+  spans_cap : int;
+  (* the N slowest requests, worst-first *)
+  mutable slow : slow_entry list;
+  mutable connections : int;
 }
 
 let create ?(config = default_config) repo =
+  (* spans completed before the server existed (document load, journal
+     replay) belong to the serve-session trace too *)
+  let preload = if Obs.Trace.is_enabled () then Obs.Trace.drain () else [] in
   { srepo = repo; config; started_ns = Obs.Clock.now_ns (); requests = 0;
     batches = 0; batched_guards = 0; open_txn = None; next_txn = 1;
     pins = Hashtbl.create 8; next_pin = 1; last_pin = None; stop = ref false;
-    shut = false; op_hists = Hashtbl.create 8 }
+    shut = false; op_hists = Hashtbl.create 8; next_span = 1;
+    spans = List.rev preload; spans_n = List.length preload;
+    spans_cap = 4096; slow = []; connections = 0 }
 
 let repo t = t.srepo
 let requests t = t.requests
 let request_stop t = t.stop := true
 let stop_requested t = !(t.stop)
+
+(* Completed request spans (plus pre-serve load spans), oldest first —
+   the serve session's Chrome-trace export. *)
+let trace_roots t = List.rev t.spans
+
+let fresh_span_id t =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  Printf.sprintf "s%06x" id
+
+let push_spans t roots =
+  t.spans <- List.rev_append roots t.spans;
+  t.spans_n <- t.spans_n + List.length roots;
+  (* amortized trim: cut back to the cap only after 2x overshoot *)
+  if t.spans_n > 2 * t.spans_cap then begin
+    t.spans <- List.filteri (fun i _ -> i < t.spans_cap) t.spans;
+    t.spans_n <- t.spans_cap
+  end
+
+(* Would a request of [ms] enter the slowest-N ring?  The ring is
+   worst-first, so the cutoff is its last entry; checking before
+   building the entry keeps the fast path free of the request-document
+   rendering below. *)
+let slow_qualifies t ms =
+  let cap = max 1 t.config.slow_capacity in
+  let n = List.length t.slow in
+  n < cap || ms > (List.nth t.slow (n - 1)).se_ms
+
+(* Record a request in the slowest-N ring (worst-first, fixed size). *)
+let note_slow t entry =
+  let cap = max 1 t.config.slow_capacity in
+  let rec insert = function
+    | [] -> [ entry ]
+    | e :: rest when entry.se_ms > e.se_ms -> entry :: e :: rest
+    | e :: rest -> e :: insert rest
+  in
+  let rec trim n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: trim (n - 1) rest
+  in
+  t.slow <- trim cap (insert t.slow)
+
+let req_summary req =
+  let s = P.to_string req in
+  if String.length s <= 512 then s else String.sub s 0 509 ^ "..."
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -107,10 +193,17 @@ let check_response ~isolation ~generation violated =
    the fallback. *)
 let live_check t =
   if R.incremental t.srepo then (
-    try R.check_incremental t.srepo
+    try
+      let v = R.check_incremental t.srepo in
+      Obs.Trace.add_attr "route" "incremental";
+      v
     with Xic_datalog.Eval.Unsafe _ | Xic_datalog.Eval.Budget_exceeded ->
+      Obs.Trace.add_attr "route" "recompute";
       R.check_full t.srepo)
-  else R.check_full t.srepo
+  else begin
+    Obs.Trace.add_attr "route" "full";
+    R.check_full t.srepo
+  end
 
 (* The last committed generation's pin.  Refreshed only while no
    transaction is open (pinning mid-transaction would capture
@@ -149,6 +242,8 @@ let do_check t req =
     (match Hashtbl.find_opt t.pins id with
      | None -> error (Printf.sprintf "unknown pin %d" id)
      | Some p ->
+       Obs.Trace.add_attr "route" "pinned";
+       Obs.Trace.add_attr "pin" (string_of_int id);
        check_response ~isolation:"pinned" ~generation:(R.pin_generation p)
          (R.check_pinned t.srepo p))
   | None ->
@@ -157,6 +252,7 @@ let do_check t req =
        (* snapshot isolation: a plain read never observes the open
           writer's uncommitted statements *)
        let p = committed_pin t in
+       Obs.Trace.add_attr "route" "pinned";
        check_response ~isolation:"pinned" ~generation:(R.pin_generation p)
          (R.check_pinned t.srepo p)
      | None ->
@@ -167,6 +263,14 @@ let require_no_txn t what =
   if t.open_txn <> None then
     raise (P.Protocol_error (what ^ ": a streaming transaction is open"))
 
+(* The check route a guarded update actually took, for the span. *)
+let route_of_outcome = function
+  | R.Applied `Optimized -> "compiled"
+  | R.Applied `Runtime_simplified -> "runtime_simplified"
+  | R.Applied `Full_check -> "recompute"
+  | R.Rejected_early _ -> "rejected"
+  | R.Rolled_back _ -> "rolled_back"
+
 let do_guard t req =
   require_no_txn t "guard";
   let u = parse_update (require_update req) in
@@ -174,6 +278,7 @@ let do_guard t req =
     R.guarded_update_report ~fallback:(fallback_of t req)
       ?journal:t.config.journal t.srepo u
   in
+  Obs.Trace.add_attr "route" (route_of_outcome r.R.outcome);
   report_json r ~extra:[ ("generation", P.Int (R.generation t.srepo)) ]
 
 let do_txn t req =
@@ -287,7 +392,38 @@ let do_checkpoint t req =
       ("wal_entries_folded", P.Int r.R.wal_entries_folded);
       ("wal_reset", P.Bool r.R.wal_reset) ]
 
+(* Refresh the point-in-time serve gauges so stats / Prometheus
+   expositions see live values. *)
+let sync_gauges t =
+  Obs.Metrics.set g_open_txns (if t.open_txn = None then 0 else 1);
+  Obs.Metrics.set g_pins (Hashtbl.length t.pins);
+  Obs.Metrics.set g_journal_bytes
+    (match t.config.journal with Some j -> J.bytes j | None -> 0);
+  Obs.Metrics.set g_store_facts
+    (Xic_datalog.Store.total_tuples (R.store t.srepo));
+  Obs.Metrics.set g_connections t.connections
+
+(* Per-op latency quantiles straight from the serve_<op>_ms histograms,
+   surfaced in the stats response so clients need no histogram math. *)
+let op_quantiles t =
+  let ops =
+    Hashtbl.fold (fun op h acc -> (op, Obs.Metrics.hsnap h) :: acc) t.op_hists []
+    |> List.filter (fun (_, (s : Obs.Metrics.hsnap)) -> s.Obs.Metrics.count > 0)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  P.Obj
+    (List.map
+       (fun (op, s) ->
+         ( op,
+           P.Obj
+             [ ("count", P.Int s.Obs.Metrics.count);
+               ("p50_ms", P.Float (Obs.Metrics.hsnap_quantile s 0.5));
+               ("p90_ms", P.Float (Obs.Metrics.hsnap_quantile s 0.9));
+               ("p99_ms", P.Float (Obs.Metrics.hsnap_quantile s 0.99)) ] ))
+       ops)
+
 let do_stats t =
+  sync_gauges t;
   let uptime_s =
     Int64.to_float (Int64.sub (Obs.Clock.now_ns ()) t.started_ns) /. 1e9
   in
@@ -307,6 +443,7 @@ let do_stats t =
             ("pins", P.Int (Hashtbl.length t.pins));
             ("open_txn", P.Bool (t.open_txn <> None));
             ("incremental", P.Bool (R.incremental t.srepo)) ] );
+      ("ops", op_quantiles t);
       ( "delta",
         P.Obj
           [ ("flushes", P.Int d.R.delta_flushes);
@@ -315,6 +452,41 @@ let do_stats t =
       (* the exact document the CLI's --metrics prints: one formatter,
          one schema (per-op serve_*_ms histograms included) *)
       ("metrics", P.Raw (R.metrics_json t.srepo)) ]
+
+let do_metrics t =
+  sync_gauges t;
+  ok
+    [ ("format", P.String "prometheus");
+      ("body", P.String (R.metrics_prometheus t.srepo)) ]
+
+let rec span_json (s : Obs.Trace.span) =
+  P.Obj
+    [ ("name", P.String s.Obs.Trace.name);
+      ("ms", P.Float (Obs.Trace.duration_ms s));
+      ( "attrs",
+        P.Obj
+          (List.rev_map (fun (k, v) -> (k, P.String v)) s.Obs.Trace.attrs) );
+      ("children", P.List (List.rev_map span_json s.Obs.Trace.children)) ]
+
+let do_slow t =
+  ok
+    [ ("capacity", P.Int (max 1 t.config.slow_capacity));
+      ( "slow",
+        P.List
+          (List.map
+             (fun e ->
+               P.Obj
+                 ([ ("op", P.String e.se_op);
+                    ("ms", P.Float e.se_ms);
+                    ("span_id", P.String e.se_span_id) ]
+                 @ (match e.se_trace_id with
+                    | Some id -> [ ("trace_id", P.String id) ]
+                    | None -> [])
+                 @ [ ("request", P.String e.se_args) ]
+                 @ (match e.se_span with
+                    | Some s -> [ ("span", span_json s) ]
+                    | None -> [])))
+             t.slow) ) ]
 
 let dispatch t op req =
   match op with
@@ -330,6 +502,8 @@ let dispatch t op req =
   | "unpin" -> do_unpin t req
   | "checkpoint" -> do_checkpoint t req
   | "stats" -> do_stats t
+  | "metrics" -> do_metrics t
+  | "slow" -> do_slow t
   | "shutdown" ->
     request_stop t;
     ok [ ("stopping", P.Bool true) ]
@@ -354,23 +528,83 @@ let op_hist t op =
     Hashtbl.replace t.op_hists op h;
     h
 
+let resp_ok = function
+  | P.Obj (("ok", P.Bool b) :: _) -> b
+  | _ -> false
+
+(* Echo the caller's trace_id (if any) and the server-assigned span_id
+   on a response, so both sides of the wire name the same request. *)
+let echo_trace ~trace_id ~span_id = function
+  | P.Obj fields ->
+    P.Obj
+      (fields
+      @ (match trace_id with
+         | Some id -> [ ("trace_id", P.String id) ]
+         | None -> [])
+      @ [ ("span_id", P.String span_id) ])
+  | other -> other
+
+(* The request span just completed: the serve loop keeps no span open
+   between requests, so the last drained root is this request's. *)
+let capture_request_span t =
+  if Obs.Trace.is_enabled () then
+    match Obs.Trace.drain () with
+    | [] -> None
+    | roots ->
+      push_spans t roots;
+      Some (List.nth roots (List.length roots - 1))
+  else None
+
 let handle t req =
   t.requests <- t.requests + 1;
   let op =
     match P.string_field "op" req with Some o -> o | None -> "_missing_op"
   in
-  Obs.Metrics.timed (op_hist t op) @@ fun () ->
-  try
+  let trace_id = P.string_field "trace_id" req in
+  let parent_span = P.string_field "span_id" req in
+  let span_id = fresh_span_id t in
+  XLog.set_trace_id (Some (Option.value trace_id ~default:span_id));
+  Fun.protect ~finally:(fun () -> XLog.set_trace_id None) @@ fun () ->
+  let t0 = Obs.Clock.now_ns () in
+  let run () =
+    try dispatch t op req with
+    | R.Repository_error m -> error m
+    | XU.Xupdate_error m -> error ("xupdate: " ^ m)
+    | P.Protocol_error m -> error m
+    | J.Journal_error m -> error ("journal: " ^ m)
+    | Xic_datalog.Eval.Unsafe m -> error ("unsafe denial: " ^ m)
+  in
+  let resp =
     if Obs.Trace.is_enabled () then
-      Obs.Trace.with_span ~slow:true ("serve:" ^ op) (fun () ->
-          dispatch t op req)
-    else dispatch t op req
-  with
-  | R.Repository_error m -> error m
-  | XU.Xupdate_error m -> error ("xupdate: " ^ m)
-  | P.Protocol_error m -> error m
-  | J.Journal_error m -> error ("journal: " ^ m)
-  | Xic_datalog.Eval.Unsafe m -> error ("unsafe denial: " ^ m)
+      Obs.Trace.with_span ~slow:true
+        ~attrs:
+          ([ ("op", op);
+             ("span_id", span_id);
+             ("generation", string_of_int (R.generation t.srepo)) ]
+          @ (match trace_id with
+             | Some id -> [ ("trace_id", id) ]
+             | None -> [])
+          @ (match parent_span with
+             | Some id -> [ ("parent_span_id", id) ]
+             | None -> []))
+        ("serve:" ^ op)
+        (fun () ->
+          let r = run () in
+          Obs.Trace.add_attr "ok" (string_of_bool (resp_ok r));
+          r)
+    else run ()
+  in
+  let dt_ns = Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0) in
+  Obs.Metrics.observe_ns (op_hist t op) dt_ns;
+  let ms = float_of_int dt_ns /. 1e6 in
+  let span = capture_request_span t in
+  if slow_qualifies t ms then
+    note_slow t
+      { se_op = op; se_trace_id = trace_id; se_span_id = span_id; se_ms = ms;
+        se_args = req_summary req; se_span = span };
+  Log.debug (fun m ->
+      m "%s span=%s ok=%b %.3fms" op span_id (resp_ok resp) ms);
+  echo_trace ~trace_id ~span_id resp
 
 (* ------------------------------------------------------------------ *)
 (* Round processing with guard batching                                *)
@@ -393,37 +627,83 @@ let handle_guard_run t reqs =
     t.requests <- t.requests + n;
     t.batches <- t.batches + 1;
     t.batched_guards <- t.batched_guards + n;
-    Obs.Metrics.timed (op_hist t "guard_batch") @@ fun () ->
-    let parsed =
-      List.map
-        (fun req ->
-          match P.string_field "update" req with
-          | None -> Error (error "missing \"update\" field")
-          | Some ustr ->
-            (match parse_update ustr with
-             | u -> Ok u
-             | exception XU.Xupdate_error m -> Error (error ("xupdate: " ^ m))))
-        reqs
+    let span_id = fresh_span_id t in
+    let member_traces =
+      List.filter_map (fun r -> P.string_field "trace_id" r) reqs
     in
-    let us = List.filter_map (function Ok u -> Some u | Error _ -> None) parsed in
-    match
-      R.guarded_batch ~fallback:(fallback_of t first)
-        ?journal:t.config.journal t.srepo us
-    with
-    | exception R.Repository_error m ->
-      List.map (fun _ -> error m) reqs
-    | reports ->
-      let gen = R.generation t.srepo in
-      let extra = [ ("generation", P.Int gen); ("batched", P.Bool true) ] in
-      let rec merge parsed reports acc =
-        match (parsed, reports) with
-        | [], [] -> List.rev acc
-        | Error resp :: rest, reports -> merge rest reports (resp :: acc)
-        | Ok _ :: rest, r :: reports ->
-          merge rest reports (report_json ~extra r :: acc)
-        | Ok _ :: _, [] | [], _ :: _ -> assert false
+    XLog.set_trace_id
+      (Some (match member_traces with id :: _ -> id | [] -> span_id));
+    Fun.protect ~finally:(fun () -> XLog.set_trace_id None) @@ fun () ->
+    let t0 = Obs.Clock.now_ns () in
+    let run () =
+      let parsed =
+        List.map
+          (fun req ->
+            match P.string_field "update" req with
+            | None -> Error (error "missing \"update\" field")
+            | Some ustr ->
+              (match parse_update ustr with
+               | u -> Ok u
+               | exception XU.Xupdate_error m ->
+                 Error (error ("xupdate: " ^ m))))
+          reqs
       in
-      merge parsed reports []
+      let us =
+        List.filter_map (function Ok u -> Some u | Error _ -> None) parsed
+      in
+      match
+        R.guarded_batch ~fallback:(fallback_of t first)
+          ?journal:t.config.journal t.srepo us
+      with
+      | exception R.Repository_error m ->
+        List.map (fun _ -> error m) reqs
+      | reports ->
+        let gen = R.generation t.srepo in
+        let extra = [ ("generation", P.Int gen); ("batched", P.Bool true) ] in
+        let rec merge parsed reports acc =
+          match (parsed, reports) with
+          | [], [] -> List.rev acc
+          | Error resp :: rest, reports -> merge rest reports (resp :: acc)
+          | Ok _ :: rest, r :: reports ->
+            merge rest reports (report_json ~extra r :: acc)
+          | Ok _ :: _, [] | [], _ :: _ -> assert false
+        in
+        merge parsed reports []
+    in
+    let resps =
+      if Obs.Trace.is_enabled () then
+        Obs.Trace.with_span ~slow:true
+          ~attrs:
+            ([ ("op", "guard_batch");
+               ("span_id", span_id);
+               ("batch", string_of_int n);
+               ("generation", string_of_int (R.generation t.srepo)) ]
+            @
+            match member_traces with
+            | [] -> []
+            | ids -> [ ("trace_ids", String.concat "," ids) ])
+          "serve:guard_batch" run
+      else run ()
+    in
+    let dt_ns = Int64.to_int (Int64.sub (Obs.Clock.now_ns ()) t0) in
+    Obs.Metrics.observe_ns (op_hist t "guard_batch") dt_ns;
+    let ms = float_of_int dt_ns /. 1e6 in
+    let span = capture_request_span t in
+    if slow_qualifies t ms then
+      note_slow t
+        { se_op = "guard_batch";
+          se_trace_id =
+            (match member_traces with id :: _ -> Some id | [] -> None);
+          se_span_id = span_id; se_ms = ms;
+          se_args =
+            Printf.sprintf "batch of %d guards; first: %s" n
+              (req_summary first);
+          se_span = span };
+    Log.debug (fun m -> m "guard_batch n=%d span=%s %.3fms" n span_id ms);
+    List.map2
+      (fun req resp ->
+        echo_trace ~trace_id:(P.string_field "trace_id" req) ~span_id resp)
+      reqs resps
 
 let handle_round t reqs =
   let rec take_guards acc = function
@@ -464,7 +744,10 @@ let shutdown t =
          | None -> ());
         match (t.config.checkpoint_on_shutdown, t.config.snapshot_path) with
         | true, Some path ->
-          ignore (R.checkpoint ?journal:t.config.journal t.srepo path)
+          let r = R.checkpoint ?journal:t.config.journal t.srepo path in
+          Log.info (fun m ->
+              m "shutdown checkpoint: %s (%d bytes, %d facts)"
+                r.R.snapshot_path r.R.snapshot_bytes r.R.snapshot_facts)
         | _ -> ())
   end
 
@@ -536,15 +819,20 @@ let serve ?(idle_timeout = 0.25) t listen_fd =
   let old_int = Sys.signal Sys.sigint stop_handler in
   let old_term = Sys.signal Sys.sigterm stop_handler in
   let conns = ref [] in
+  Log.info (fun m -> m "serve loop started (idle timeout %.2fs)" idle_timeout);
   Fun.protect
     ~finally:(fun () ->
       shutdown t;
       List.iter
         (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
         !conns;
+      t.connections <- 0;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       Sys.set_signal Sys.sigint old_int;
-      Sys.set_signal Sys.sigterm old_term)
+      Sys.set_signal Sys.sigterm old_term;
+      Log.info (fun m ->
+          m "serve loop stopped after %d requests (%d batched)" t.requests
+            t.batched_guards))
   @@ fun () ->
   while not !(t.stop) do
     let fds = listen_fd :: List.map (fun c -> c.fd) !conns in
@@ -553,7 +841,10 @@ let serve ?(idle_timeout = 0.25) t listen_fd =
     | ready, _, _ ->
       if List.memq listen_fd ready then begin
         match Unix.accept listen_fd with
-        | fd, _ -> conns := !conns @ [ { fd; pending = ""; alive = true } ]
+        | fd, _ ->
+          conns := !conns @ [ { fd; pending = ""; alive = true } ];
+          t.connections <- List.length !conns;
+          Log.debug (fun m -> m "accepted connection (%d live)" t.connections)
         | exception
             Unix.Unix_error
               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
@@ -583,5 +874,6 @@ let serve ?(idle_timeout = 0.25) t listen_fd =
               (try Unix.close c.fd with Unix.Unix_error _ -> ());
               false
             end)
-          !conns
+          !conns;
+      t.connections <- List.length !conns
   done

@@ -6,6 +6,13 @@
 
     {ul
     {- [ping], [stats], [shutdown];}
+    {- [metrics]: Prometheus text exposition of every counter, gauge and
+       latency histogram (serve gauges — open transactions, pins,
+       journal bytes since checkpoint, resident store facts, live
+       connections — are synced just before rendering);}
+    {- [slow]: the N slowest requests so far (worst first), each with
+       its op, duration, trace identifiers, truncated request document,
+       and — when request tracing is on — its full span tree;}
     {- [check]: live verdict, or a pinned one ([{"pin":id}]) — while a
        streaming transaction is open, plain checks are served from the
        last {e committed} generation's pin (snapshot isolation: readers
@@ -36,10 +43,13 @@ type config = {
           [snapshot_path]) *)
   fallback : [ `Full_check | `Runtime_simplification ];
       (** strategy for guards matching no registered pattern *)
+  slow_capacity : int;
+      (** how many slowest requests the [slow] op retains (min 1) *)
 }
 
 val default_config : config
-(** No journal, no snapshot path, no shutdown checkpoint, [`Full_check]. *)
+(** No journal, no snapshot path, no shutdown checkpoint, [`Full_check],
+    8 slow-request slots. *)
 
 type t
 
@@ -50,7 +60,20 @@ val requests : t -> int
 
 val handle : t -> Protocol.json -> Protocol.json
 (** Process one request (exceptions become [{"ok":false,...}] error
-    responses).  Exposed for unit tests; the loop uses it too. *)
+    responses).  Exposed for unit tests; the loop uses it too.
+
+    Trace propagation: a request may carry [trace_id] (an opaque
+    client-chosen correlation id) and [span_id] (the client's span);
+    both are attached to the per-request server span, the [trace_id] is
+    stamped on every log line emitted while handling the request, and
+    the response echoes the [trace_id] plus the server-assigned
+    [span_id]. *)
+
+val trace_roots : t -> Xic_obs.Obs.Trace.span list
+(** Completed request spans (plus any spans drained at {!create} time,
+    e.g. document load), oldest first — the serve session's trace,
+    ready for {!Xic_obs.Obs.Trace.to_chrome_json}.  Empty unless
+    tracing was enabled. *)
 
 val handle_round : t -> Protocol.json list -> Protocol.json list
 (** Process one poll round's requests in order, applying maximal

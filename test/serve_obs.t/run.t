@@ -1,0 +1,127 @@
+Server observability: trace propagation from client to server spans
+and log lines, structured JSON logs, Prometheus metrics exposition,
+the slow-request ring, and the live `top` summary.
+
+  $ cat > rev.dtd <<'XEOF'
+  > <!ELEMENT review (track*)>
+  > <!ELEMENT track (name, rev*)>
+  > <!ELEMENT rev (name, sub*)>
+  > <!ELEMENT sub (title, auts)>
+  > <!ELEMENT auts (name+)>
+  > <!ELEMENT name (#PCDATA)>
+  > <!ELEMENT title (#PCDATA)>
+  > XEOF
+  $ cat > rev.xml <<'XEOF'
+  > <review><track><name>DB</name><rev><name>Nora</name><sub><title>First</title><auts><name>Ann</name></auts></sub></rev></track></review>
+  > XEOF
+  $ cat > constraints.xpl <<'XEOF'
+  > conflict: <- //rev[name/text() -> R]/sub/auts/name/text() -> R
+  > XEOF
+
+Serve with JSON logs at debug level, a Chrome trace, and a small
+slow-request ring:
+
+  $ xicheck serve --dtd rev.dtd=review --doc rev.xml --constraints constraints.xpl --socket srv.sock --log serve.jsonl --log-level debug --log-format json --trace trace.json --slow-requests 4 > serve.log 2>&1 &
+  $ for i in $(seq 1 150); do test -S srv.sock && break; sleep 0.1; done
+
+A client-supplied trace id rides the request frame, is echoed in the
+response, and tags the server-side span and log lines:
+
+  $ xicheck client ping --socket srv.sock --trace-id t-cram01
+  pong
+  $ xicheck client check --socket srv.sock --trace-id t-cram01
+  consistent (generation 0, live)
+
+The metrics op returns Prometheus text exposition — counters, the
+serve gauges, and per-op latency summaries in seconds:
+
+  $ xicheck client metrics --socket srv.sock > metrics.prom
+  $ grep -c '^# TYPE xic_serve_open_txns gauge$' metrics.prom
+  1
+  $ grep '^xic_serve_pinned_generations ' metrics.prom
+  xic_serve_pinned_generations 0
+  $ grep '^xic_serve_store_facts ' metrics.prom
+  xic_serve_store_facts 7
+  $ grep -c 'xic_serve_check_seconds{quantile="0.99"}' metrics.prom
+  1
+  $ grep -c '^xic_serve_check_seconds_count ' metrics.prom
+  1
+
+Every exposition line is either a TYPE comment or `name value`:
+
+  $ grep -vE '^# TYPE [a-z_]+ (counter|gauge|summary)$' metrics.prom | grep -vcE '^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9][0-9.eE+-]*$' || true
+  0
+
+The stats response carries per-op latency quantiles:
+
+  $ xicheck client stats --socket srv.sock | grep -c '"p99_ms"'
+  1
+
+The slow op returns the worst requests with their full span trees;
+the check entry carries its trace id and the route the check took:
+
+  $ xicheck client slow --socket srv.sock > slow.json
+  $ grep -c '"capacity":4' slow.json
+  1
+  $ grep -c '"name":"serve:check".*"trace_id":"t-cram01".*"route":"incremental"' slow.json
+  1
+
+The live summary renders gauges, per-op quantiles, and the slow ring
+in one screen (numeric latencies masked):
+
+  $ xicheck top --socket srv.sock --iterations 1 --no-clear | grep -v '^xicheck top' | grep -v '^uptime' | grep -vE '^ +[0-9.]+ms' | grep -v '^$' | sed -E 's/ +[0-9]+( +[0-9.]+){3}$/ N/'
+  pins 0  open_txn false  incremental true
+  xic_serve_connections 1
+  xic_serve_journal_bytes_since_checkpoint 0
+  xic_serve_open_txns 0
+  xic_serve_pinned_generations 0
+  xic_serve_store_facts 7
+  op                  count    p50_ms    p90_ms    p99_ms
+  check N
+  metrics N
+  ping N
+  slow N
+  stats N
+  slowest requests:
+
+  $ xicheck client shutdown --socket srv.sock
+  server stopping
+  $ wait
+  $ sed 's/pid [0-9]*/pid NNN/' serve.log
+  serving on srv.sock (pid NNN)
+  wrote trace trace.json
+  served 9 request(s); shutdown complete
+
+Structured log lines are JSON, stamped with level and source; the
+lines for traced requests carry the client's trace id:
+
+  $ grep -c '"level":"info".*"src":"xic.server"' serve.jsonl
+  2
+  $ grep '"trace":"t-cram01"' serve.jsonl | grep -c 'span='
+  2
+
+The Chrome trace export contains the correlated request spans:
+
+  $ grep -o '"name":"serve:check"' trace.json | wc -l
+  1
+  $ grep -o '"trace_id":"t-cram01"' trace.json | wc -l
+  2
+
+A reply that is not a length-prefixed frame produces a clear client
+error naming the 16 MiB cap and the offending length:
+
+  $ python3 - > fake.log 2>&1 <<'EOF' &
+  > import socket
+  > s = socket.socket(socket.AF_UNIX)
+  > s.bind("bogus.sock")
+  > s.listen(1)
+  > c, _ = s.accept()
+  > c.recv(65536)
+  > c.sendall(b"JUNKDATA")
+  > c.close()
+  > EOF
+  $ for i in $(seq 1 50); do test -S bogus.sock && break; sleep 0.1; done
+  $ xicheck client ping --socket bogus.sock
+  xicheck: frame length 1247104587 exceeds the 16777216-byte (16 MiB) frame cap
+  [1]
+  $ wait

@@ -256,6 +256,138 @@ let test_json_escape () =
   checks "newline" {|a\nb|} (Trace.json_escape "a\nb");
   checks "control" {|a\u0001b|} (Trace.json_escape "a\001b")
 
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition and the structured logger                     *)
+(* ------------------------------------------------------------------ *)
+
+module Log = Xic_obs.Log
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_prometheus_exposition () =
+  let c = Metrics.counter "test_prom_counter" in
+  Metrics.add c 7;
+  let g = Metrics.gauge "test_prom_gauge" in
+  Metrics.set g 3;
+  let h = Metrics.histogram "test_prom_lat_ms" in
+  Metrics.observe_ns h 1_000_000;
+  let body = Metrics.to_prometheus () in
+  checkb "counter typed" true
+    (contains body "# TYPE xic_test_prom_counter counter");
+  checkb "counter value" true (contains body "xic_test_prom_counter 7");
+  checkb "gauge typed" true (contains body "# TYPE xic_test_prom_gauge gauge");
+  checkb "gauge value" true (contains body "xic_test_prom_gauge 3");
+  (* _ms histograms export as summaries in seconds *)
+  checkb "summary typed" true
+    (contains body "# TYPE xic_test_prom_lat_seconds summary");
+  checkb "median label" true
+    (contains body "xic_test_prom_lat_seconds{quantile=\"0.5\"}");
+  checkb "sum in seconds" true (contains body "xic_test_prom_lat_seconds_sum");
+  checkb "count" true (contains body "xic_test_prom_lat_seconds_count 1");
+  (* every line parses: TYPE comment or name/value with a float value *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        if line.[0] = '#' then
+          checkb "only TYPE comments" true
+            (String.length line > 7 && String.sub line 0 7 = "# TYPE ")
+        else
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "no value: %s" line
+          | Some i ->
+            checkb "float value" true
+              (float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+               <> None))
+    (String.split_on_char '\n' body)
+
+let read_all path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let with_log ?(level = Log.Debug) ?(format = Log.Text) f =
+  let path =
+    Filename.temp_file
+      (Printf.sprintf "xic_obs_log_%d" (Unix.getpid ()))
+      ".log"
+  in
+  (match Log.open_path path with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  Log.set_level level;
+  Log.set_format format;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.close ();
+      Log.set_level Log.Info;
+      Log.set_format Log.Text;
+      Log.set_trace_id None;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  f path
+
+let test_log_levels () =
+  with_log ~level:Log.Warn @@ fun path ->
+  let before = Log.lines_emitted () in
+  checkb "warn enabled" true (Log.enabled Log.Warn);
+  checkb "info filtered" false (Log.enabled Log.Info);
+  (* a filtered level never renders the message *)
+  let rendered = ref false in
+  Log.debug (fun m ->
+      rendered := true;
+      m "never");
+  checkb "closure not run when filtered" false !rendered;
+  Log.warn ~src:"test" (fun m -> m "kept %d" 1);
+  Log.error ~src:"test" (fun m -> m "also kept");
+  Log.close ();
+  checki "two lines reached the sink" 2 (Log.lines_emitted () - before);
+  let body = read_all path in
+  checkb "warn line present" true (contains body "kept 1");
+  checkb "level rendered" true (contains body "level=warn")
+
+let test_log_json_format () =
+  with_log ~format:Log.Json @@ fun path ->
+  Log.set_trace_id (Some "t-42");
+  Log.info ~src:"test.src"
+    ~fields:[ ("k", "v with \"quotes\"") ]
+    (fun m -> m "hello %s" "world");
+  Log.set_trace_id None;
+  Log.close ();
+  let body = read_all path in
+  checkb "one json object per line" true
+    (String.length body > 0 && body.[0] = '{');
+  checkb "message" true (contains body {|"msg":"hello world"|});
+  checkb "source" true (contains body {|"src":"test.src"|});
+  checkb "trace id" true (contains body {|"trace":"t-42"|});
+  checkb "field escaped" true (contains body {|"k":"v with \"quotes\""|});
+  checkb "level" true (contains body {|"level":"info"|});
+  checkb "timestamp" true (contains body {|"ts_ms":|})
+
+let test_log_text_quoting () =
+  with_log @@ fun path ->
+  Log.info (fun m -> m "plain");
+  Log.info ~fields:[ ("key", "has space") ] (fun m -> m "with=equals");
+  Log.close ();
+  let body = read_all path in
+  checkb "bare value unquoted" true (contains body "msg=plain");
+  checkb "spacey value quoted" true (contains body {|key="has space"|});
+  checkb "equals forces quoting" true (contains body {|msg="with=equals"|})
+
+let test_log_disabled_without_sink () =
+  (* no sink installed: logging is a no-op and the closure never runs *)
+  Log.close ();
+  let rendered = ref false in
+  Log.error (fun m ->
+      rendered := true;
+      m "dropped");
+  checkb "no sink, no render" false !rendered;
+  checkb "disabled" false (Log.enabled Log.Error)
+
 let () =
   Alcotest.run "obs"
     [
@@ -283,5 +415,15 @@ let () =
           Alcotest.test_case "chrome json" `Quick test_chrome_json_shape;
           Alcotest.test_case "text tree" `Quick test_text_tree_shape;
           Alcotest.test_case "json escape" `Quick test_json_escape;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level filtering" `Quick test_log_levels;
+          Alcotest.test_case "json lines" `Quick test_log_json_format;
+          Alcotest.test_case "text quoting" `Quick test_log_text_quoting;
+          Alcotest.test_case "no sink, no cost" `Quick
+            test_log_disabled_without_sink;
         ] );
     ]

@@ -619,8 +619,8 @@ let test_server_oracle () =
           let srv =
             Srv.create
               ~config:
-                { Srv.journal = Some j; snapshot_path = Some spath;
-                  checkpoint_on_shutdown = false; fallback = `Full_check }
+                { Srv.default_config with
+                  Srv.journal = Some j; snapshot_path = Some spath }
               repo
           in
           let lfd = Srv.listen (Proto.Unix_sock sock) in

@@ -394,6 +394,225 @@ let test_shutdown_crash_failpoint () =
      checksl "recovered to the pre-txn state" [] (Repository.check_full fresh);
      Sys.remove jpath)
 
+(* ------------------------------------------------------------------ *)
+(* Observability: trace propagation, quantiles, exposition, slow ring, *)
+(* frame-cap errors                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Xic_obs.Obs
+module XLog = Xic_obs.Log
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_tracing f =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+    f
+
+(* Client sends a trace_id -> the response echoes it, the server span
+   carries it, and the Chrome export contains it. *)
+let test_trace_roundtrip () =
+  with_tracing @@ fun () ->
+  let srv = Srv.create (make_repo ()) in
+  let resp =
+    Srv.handle srv
+      (P.Obj
+         [ ("op", P.String "check");
+           ("trace_id", P.String "t-cafe01");
+           ("span_id", P.String "client-7") ])
+  in
+  checkb "ok" true (P.bool_field "ok" resp);
+  checks "trace id echoed" "t-cafe01"
+    (Option.get (P.string_field "trace_id" resp));
+  let span_id = Option.get (P.string_field "span_id" resp) in
+  checkb "server span id assigned" true (span_id <> "");
+  let roots = Srv.trace_roots srv in
+  checkb "request span captured" true (roots <> []);
+  let span = List.nth roots (List.length roots - 1) in
+  checks "span name" "serve:check" span.Obs.Trace.name;
+  let attr k = List.assoc_opt k span.Obs.Trace.attrs in
+  checkb "span carries the trace id" true (attr "trace_id" = Some "t-cafe01");
+  checkb "span carries the client span" true
+    (attr "parent_span_id" = Some "client-7");
+  checkb "span carries its own id" true (attr "span_id" = Some span_id);
+  checkb "span carries the op" true (attr "op" = Some "check");
+  checkb "chrome export carries the trace id" true
+    (contains (Obs.Trace.to_chrome_json roots) "t-cafe01")
+
+(* A log line emitted while handling a request carries its trace id. *)
+let test_log_trace_correlation () =
+  let logfile = tmp_path "srv.log" in
+  (match XLog.open_path logfile with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  XLog.set_level XLog.Debug;
+  XLog.set_format XLog.Json;
+  Fun.protect
+    ~finally:(fun () ->
+      XLog.close ();
+      XLog.set_level XLog.Info;
+      XLog.set_format XLog.Text;
+      try Sys.remove logfile with Sys_error _ -> ())
+  @@ fun () ->
+  let srv = Srv.create (make_repo ()) in
+  ignore
+    (Srv.handle srv
+       (P.Obj [ ("op", P.String "ping"); ("trace_id", P.String "t-log42") ]));
+  XLog.close ();
+  let ic = open_in logfile in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  checkb "log line carries the trace id" true
+    (contains body {|"trace":"t-log42"|});
+  checkb "trace id cleared between requests" true
+    (XLog.trace_id () = None)
+
+(* The stats response surfaces per-op latency quantiles directly. *)
+let test_stats_quantiles () =
+  let srv = Srv.create (make_repo ()) in
+  (* the serve_<op>_ms histograms are process-global, so measure the
+     count as a delta across this test's own requests *)
+  let check_count () =
+    let resp = Srv.handle srv (P.Obj [ ("op", P.String "stats") ]) in
+    match P.member "ops" resp with
+    | Some (P.Obj ops) ->
+      (match List.assoc_opt "check" ops with
+       | Some o -> Option.value ~default:0 (P.int_field "count" o)
+       | None -> 0)
+    | _ -> Alcotest.fail "stats response lacks ops"
+  in
+  let before = check_count () in
+  for _ = 1 to 5 do
+    ignore (Srv.handle srv (P.Obj [ ("op", P.String "check") ]))
+  done;
+  let resp = Srv.handle srv (P.Obj [ ("op", P.String "stats") ]) in
+  let num j k =
+    match P.member k j with
+    | Some (P.Float f) -> f
+    | Some (P.Int i) -> float_of_int i
+    | _ -> Alcotest.failf "missing %s" k
+  in
+  checkb "count grew by at least the five checks" true
+    (check_count () >= before + 5);
+  match P.member "ops" resp with
+  | Some (P.Obj ops) ->
+    (match List.assoc_opt "check" ops with
+     | Some o ->
+       let p50 = num o "p50_ms" and p99 = num o "p99_ms" in
+       checkb "p50 positive" true (p50 > 0.0);
+       checkb "p99 >= p50" true (p99 >= p50)
+     | None -> Alcotest.fail "stats.ops lacks the check op")
+  | _ -> Alcotest.fail "stats response lacks ops"
+
+(* The metrics op returns parseable Prometheus text exposition with the
+   serve gauges synced. *)
+let test_metrics_exposition () =
+  let srv = Srv.create (make_repo ()) in
+  ignore (Srv.handle srv (P.Obj [ ("op", P.String "check") ]));
+  ignore (Srv.handle srv (P.Obj [ ("op", P.String "pin") ]));
+  let resp = Srv.handle srv (P.Obj [ ("op", P.String "metrics") ]) in
+  checks "format" "prometheus"
+    (Option.get (P.string_field "format" resp));
+  let body = Option.get (P.string_field "body" resp) in
+  (* line-format check: every non-empty line is a TYPE comment or
+     "name[{labels}] value" with a float value *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        if String.length line >= 1 && line.[0] = '#' then begin
+          if not (String.length line > 7 && String.sub line 0 7 = "# TYPE ")
+          then Alcotest.failf "unexpected comment line: %s" line
+        end
+        else
+          match String.rindex_opt line ' ' with
+          | None -> Alcotest.failf "no value on line: %s" line
+          | Some i ->
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            (match float_of_string_opt v with
+             | Some _ -> ()
+             | None -> Alcotest.failf "unparseable value on line: %s" line))
+    (String.split_on_char '\n' body);
+  checkb "serve gauge present" true (contains body "xic_serve_open_txns 0");
+  checkb "pin gauge live" true (contains body "xic_serve_pinned_generations 1");
+  checkb "gauge typed as gauge" true
+    (contains body "# TYPE xic_serve_pinned_generations gauge");
+  checkb "latency summary quantiles" true (contains body "quantile=\"0.5\"");
+  checkb "ms histograms exported in seconds" true
+    (contains body "xic_serve_check_seconds")
+
+(* The slow ring keeps the worst requests, worst-first, capped, with
+   span trees when tracing is on. *)
+let test_slow_ring () =
+  with_tracing @@ fun () ->
+  let config = { Srv.default_config with slow_capacity = 2 } in
+  let srv = Srv.create ~config (make_repo ()) in
+  ignore (Srv.handle srv (P.Obj [ ("op", P.String "ping") ]));
+  for _ = 1 to 3 do
+    ignore (Srv.handle srv (P.Obj [ ("op", P.String "check") ]))
+  done;
+  let resp = Srv.handle srv (P.Obj [ ("op", P.String "slow") ]) in
+  checki "capacity reported" 2 (Option.get (P.int_field "capacity" resp));
+  match P.list_field "slow" resp with
+  | Some entries ->
+    checki "ring capped" 2 (List.length entries);
+    let ms e =
+      match P.member "ms" e with
+      | Some (P.Float f) -> f
+      | Some (P.Int i) -> float_of_int i
+      | _ -> Alcotest.fail "entry lacks ms"
+    in
+    (match entries with
+     | [ a; b ] ->
+       checkb "worst first" true (ms a >= ms b);
+       checkb "entry names its op" true (P.string_field "op" a <> None);
+       checkb "entry has a span id" true (P.string_field "span_id" a <> None);
+       checkb "entry keeps the request document" true
+         (P.string_field "request" a <> None);
+       (match P.member "span" a with
+        | Some span ->
+          checkb "span tree attached" true
+            (match P.string_field "name" span with
+             | Some n -> contains n "serve:"
+             | None -> false)
+        | None -> Alcotest.fail "tracing was on: span tree expected")
+     | _ -> Alcotest.fail "two entries expected")
+  | None -> Alcotest.fail "slow response lacks entries"
+
+(* Oversized and malformed frame lengths are refused with the cap and
+   the offending length spelled out, on both the read and write side. *)
+let test_frame_cap_errors () =
+  let big = String.make (P.max_frame + 1) 'x' in
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+  @@ fun () ->
+  (match P.write_frame a (P.String big) with
+   | () -> Alcotest.fail "oversized write must be refused"
+   | exception P.Protocol_error m ->
+     checkb "write error names the cap" true (contains m "16 MiB");
+     checkb "write error names the length" true
+       (contains m (string_of_int (P.max_frame + 3))));
+  (* a bogus header: ASCII "JUNK" decodes to a huge length *)
+  ignore (Unix.write_substring a "JUNK" 0 4);
+  (match P.read_frame b with
+   | _ -> Alcotest.fail "bogus length must be refused"
+   | exception P.Protocol_error m ->
+     checkb "read error names the cap" true (contains m "16 MiB");
+     checkb "read error names the length" true (contains m "1247104587"));
+  (match P.split_frames "\x7f\xff\xff\xff rest" with
+   | _ -> Alcotest.fail "split must refuse the oversized length"
+   | exception P.Protocol_error m ->
+     checkb "split error names the cap" true (contains m "16 MiB"))
+
 let () =
   Alcotest.run "server"
     [
@@ -426,5 +645,16 @@ let () =
             test_shutdown_aborts_open_txn;
           Alcotest.test_case "crash inside shutdown (failpoint)" `Quick
             test_shutdown_crash_failpoint;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace id round trip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "log/trace correlation" `Quick
+            test_log_trace_correlation;
+          Alcotest.test_case "stats quantiles" `Quick test_stats_quantiles;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_metrics_exposition;
+          Alcotest.test_case "slow ring" `Quick test_slow_ring;
+          Alcotest.test_case "frame cap errors" `Quick test_frame_cap_errors;
         ] );
     ]
