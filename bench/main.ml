@@ -11,6 +11,8 @@
      journal    write-ahead journaling overhead on guarded updates
      incremental  delta-maintained denial views vs full re-evaluation
      server     resident check server vs one-shot loop; batched guards
+     pins       generation pin open latency vs document size
+     server_pins  pinned readers under writer churn over the socket
      micro      Bechamel micro-benchmarks of the moving parts
      all        everything above (default)
 
@@ -1264,6 +1266,238 @@ let server_obs_bench ~reps () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* PR 10: copy-on-write generation pins                                *)
+(* ------------------------------------------------------------------ *)
+
+module DStore = Xic_datalog.Store
+
+(* Pin open latency versus document size.  A generation handle is an
+   O(#relations) pointer capture over the copy-on-write store, so both
+   the steady pin (retained-table reuse) and the cold freeze must stay
+   flat while the legacy copy-based pin of PR 8 — rebuild every
+   relation into a private store — grows linearly with the document. *)
+let pins_bench ~sizes ~reps () =
+  Printf.printf "# Generation pin open latency vs document size\n";
+  Printf.printf "# %-12s %-8s %-14s %-14s %-16s %s\n" "size(bytes)" "facts"
+    "pin_open(us)" "freeze(us)" "copy_pin(us)" "speedup";
+  let rows =
+    List.map
+      (fun size ->
+        let { repo; ds; _ } = setup ~size ~constraint_:Conf.conflict () in
+        let st = Repository.store repo in
+        let facts = DStore.total_tuples st in
+        (* the steady pin: retained-table reuse plus refcounting — what
+           the server pays per pin request *)
+        let pin_ms, _ =
+          time_stats ~reps ~batch:1000 (fun () ->
+              let p = Repository.pin repo in
+              Repository.unpin repo p)
+        in
+        (* the cold handle capture behind the first pin of a generation *)
+        let freeze_ms, _ =
+          time_stats ~reps ~batch:1000 (fun () -> DStore.freeze st)
+        in
+        (* what PR 8 paid: rebuild every relation into a private store *)
+        let copy_ms, _ =
+          time_stats ~reps (fun () -> DStore.of_facts (DStore.to_facts st))
+        in
+        let pin_us = pin_ms *. 1000.0 in
+        let freeze_us = freeze_ms *. 1000.0 in
+        let copy_us = copy_ms *. 1000.0 in
+        let speedup = copy_us /. Float.max pin_us freeze_us in
+        Printf.printf "%-14d %-8d %-14.3f %-14.3f %-16.1f %.0fx\n%!" size
+          facts pin_us freeze_us copy_us speedup;
+        Printf.sprintf
+          "{\"bytes\": %d, \"facts\": %d, \"pin_open_us\": %.3f, \
+           \"freeze_us\": %.3f, \"copy_pin_us\": %.1f, \"speedup\": %.0f}"
+          ds.Gen.stats.Gen.bytes facts pin_us freeze_us copy_us speedup)
+      sizes
+  in
+  add_json "pins" ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]");
+  print_newline ()
+
+(* Concurrent pinned readers under writer churn, over the socket: pin
+   open round trips, plain-check service rate while the pins are held
+   and guards keep committing (the versioning layer must not tax the
+   hot path), the heap each held pin retains beyond the live store
+   once the writer has moved on, and read-under-pin latency (a full
+   evaluation over the frozen handle). *)
+let server_pins_bench ~reps () =
+  let sizes = [ 256_000; 1_024_000 ] in
+  let pins_held = 8 and bursts = 8 in
+  let commits_per_burst = 2 in
+  Printf.printf "# Pinned readers under writer churn (%d pins held, %d \
+                 writer commits)\n"
+    pins_held (bursts * commits_per_burst);
+  Printf.printf "# %-12s %-20s %-18s %-12s %-24s %s\n" "size(bytes)"
+    "pin_open p50/p99(us)" "mixed checks/sec" "pin(bytes)"
+    "read_under_pin p50/p99(ms)" "retained";
+  let s = Conf.schema () in
+  let rows =
+    List.map
+      (fun size ->
+        let ds = Gen.generate ~seed:42 ~target_bytes:size () in
+        let sock = Filename.temp_file "bench_pins" ".sock" in
+        Sys.remove sock;
+        let jpath = Filename.temp_file "bench_pins" ".j" in
+        Sys.remove jpath;
+        match Unix.fork () with
+        | 0 ->
+          (try
+             let repo = Repository.create s in
+             Repository.load_fused ~validate:false repo ds.Gen.pub_xml;
+             Repository.load_fused ~validate:false repo ds.Gen.rev_xml;
+             Repository.add_constraint repo (Conf.conflict s);
+             Repository.register_pattern repo (Conf.submission_pattern s);
+             Repository.set_incremental repo true;
+             let j = Xic_journal.Journal.open_ jpath in
+             let srv =
+               Srv.create
+                 ~config:{ Srv.default_config with journal = Some j }
+                 repo
+             in
+             let lfd = Srv.listen (Proto.Unix_sock sock) in
+             Srv.serve ~idle_timeout:0.05 srv lfd;
+             Unix._exit 0
+           with _ -> Unix._exit 97)
+        | child ->
+          Fun.protect ~finally:(fun () ->
+              (try Unix.kill child Sys.sigkill with Unix.Unix_error _ -> ());
+              (try ignore (Unix.waitpid [] child) with Unix.Unix_error _ -> ());
+              List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+                [ sock; jpath ])
+          @@ fun () ->
+          let rec connect n =
+            match Proto.connect (Proto.Unix_sock sock) with
+            | fd -> fd
+            | exception _ when n > 0 ->
+              ignore (Unix.select [] [] [] 0.1);
+              connect (n - 1)
+          in
+          let fd = connect 200 in
+          let rq j = Proto.request fd j in
+          let check_req = Proto.Obj [ ("op", Proto.String "check") ] in
+          ignore (rq check_req) (* warm up *);
+          (* pin open latency over the wire; the opened pins are real,
+             the first [pins_held] stay held through the churn below *)
+          let n_pins = max 100 (reps * 20) in
+          let pin_ids = ref [] in
+          let pin_lat =
+            Array.init n_pins (fun _ ->
+                let t0 = now () in
+                let resp = rq (Proto.Obj [ ("op", Proto.String "pin") ]) in
+                let dt = (now () -. t0) *. 1e6 in
+                (match Proto.int_field "pin" resp with
+                 | Some id -> pin_ids := id :: !pin_ids
+                 | None -> failwith "pin request failed");
+                dt)
+          in
+          Array.sort Float.compare pin_lat;
+          let pin_p50 = percentile pin_lat 50.0
+          and pin_p99 = percentile pin_lat 99.0 in
+          let held, spare =
+            let ids = List.rev !pin_ids in
+            (List.filteri (fun i _ -> i < pins_held) ids,
+             List.filteri (fun i _ -> i >= pins_held) ids)
+          in
+          List.iter
+            (fun id ->
+              ignore
+                (rq
+                   (Proto.Obj
+                      [ ("op", Proto.String "unpin"); ("pin", Proto.Int id) ])))
+            spare;
+          (* mixed workload: timed plain-check bursts with (untimed)
+             guard commits between them — every burst runs against a
+             newer generation while the held pins stay at the old one *)
+          let guard i =
+            let resp =
+              rq
+                (Proto.Obj
+                   [ ("op", Proto.String "guard");
+                     ( "update",
+                       Proto.String
+                         (Xic_xupdate.Xupdate.to_string
+                            (Conf.insert_submission ~select:ds.Gen.legal_select
+                               ~title:(Printf.sprintf "Churn %d" i)
+                               ~author:ds.Gen.legal_author)) ) ])
+            in
+            match Proto.string_field "outcome" resp with
+            | Some "applied" -> ()
+            | o ->
+              failwith ("churn guard not applied: " ^ Option.value ~default:"?" o)
+          in
+          let checks_per_burst = 1000 in
+          let timed = ref 0.0 and commits = ref 0 in
+          for b = 1 to bursts do
+            let t0 = now () in
+            for _ = 1 to checks_per_burst do
+              ignore (rq check_req)
+            done;
+            timed := !timed +. (now () -. t0);
+            for k = 1 to commits_per_burst do
+              incr commits;
+              guard ((b * 100) + k)
+            done
+          done;
+          let mixed_rps = float_of_int (bursts * checks_per_burst) /. !timed in
+          (* what the held pins cost now that the writer has moved on *)
+          let hist = rq (Proto.Obj [ ("op", Proto.String "history") ]) in
+          let pin_bytes =
+            Option.value ~default:0 (Proto.int_field "pin_bytes" hist)
+          in
+          let retained =
+            match Proto.list_field "retained" hist with
+            | Some rs -> List.length rs
+            | None -> 0
+          in
+          let per_pin_bytes = pin_bytes / max 1 pins_held in
+          (* read-under-pin: a full evaluation over the frozen handle *)
+          let first_pin = List.hd held in
+          let pinned_req =
+            Proto.Obj
+              [ ("op", Proto.String "check"); ("pin", Proto.Int first_pin) ]
+          in
+          ignore (rq pinned_req) (* warm up *);
+          let n_reads = max 30 (reps * 6) in
+          let read_lat =
+            Array.init n_reads (fun _ ->
+                let t0 = now () in
+                ignore (rq pinned_req);
+                (now () -. t0) *. 1000.0)
+          in
+          Array.sort Float.compare read_lat;
+          let read_p50 = percentile read_lat 50.0
+          and read_p99 = percentile read_lat 99.0 in
+          List.iter
+            (fun id ->
+              ignore
+                (rq
+                   (Proto.Obj
+                      [ ("op", Proto.String "unpin"); ("pin", Proto.Int id) ])))
+            held;
+          ignore (rq (Proto.Obj [ ("op", Proto.String "shutdown") ]));
+          Unix.close fd;
+          (match Unix.waitpid [] child with
+           | _, Unix.WEXITED 0 -> ()
+           | _ -> failwith "server child did not exit cleanly");
+          Printf.printf "%-14d %7.1f / %-10.1f %-18.1f %-12d %10.3f / %-11.3f %d\n%!"
+            size pin_p50 pin_p99 mixed_rps per_pin_bytes read_p50 read_p99
+            retained;
+          Printf.sprintf
+            "{\"bytes\": %d, \"pins_held\": %d, \"writer_commits\": %d, \
+             \"pin_open_p50_us\": %.2f, \"pin_open_p99_us\": %.2f, \
+             \"mixed_checks_per_sec\": %.1f, \"per_pin_bytes\": %d, \
+             \"read_under_pin_p50_ms\": %.4f, \"read_under_pin_p99_ms\": \
+             %.4f, \"retained_generations\": %d}"
+            ds.Gen.stats.Gen.bytes pins_held !commits pin_p50 pin_p99
+            mixed_rps per_pin_bytes read_p50 read_p99 retained)
+      sizes
+  in
+  add_json "server_pins" ("[\n    " ^ String.concat ",\n    " rows ^ "\n  ]");
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1282,7 +1516,7 @@ let () =
       sizes := List.map int_of_string (String.split_on_char ',' s);
       parse rest
     | "--json" :: rest ->
-      json := Some "BENCH_PR9.json";
+      json := Some "BENCH_PR10.json";
       parse rest
     | x :: rest ->
       which := x :: !which;
@@ -1306,6 +1540,8 @@ let () =
     | "coldstart" -> coldstart ~sizes ~reps ()
     | "server" -> server_bench ~reps ()
     | "server_obs" -> server_obs_bench ~reps ()
+    | "pins" -> pins_bench ~sizes ~reps ()
+    | "server_pins" -> server_pins_bench ~reps ()
     | "micro" -> micro ()
     | "all" ->
       fig1a ~sizes ~reps ();
@@ -1322,12 +1558,15 @@ let () =
       pipeline ~sizes ~reps ();
       server_bench ~reps ();
       server_obs_bench ~reps ();
+      pins_bench ~sizes ~reps ();
+      server_pins_bench ~reps ();
       micro ()
     | other ->
       Printf.eprintf
         "unknown experiment %S (expected \
          fig1a|fig1b|fig_simp|ex45|ablations|index|journal|incremental|\
-         stages|ingest|coldstart|pipeline|server|server_obs|micro|all)\n"
+         stages|ingest|coldstart|pipeline|server|server_obs|pins|\
+         server_pins|micro|all)\n"
         other;
       exit 2
   in

@@ -84,7 +84,13 @@ let headline =
           "incremental_median_ms" };
     { name = "coldstart.snapshot_median_ms";
       dir = Lower_better;
-      extract = per_size "coldstart" "snapshot_median_ms" } ]
+      extract = per_size "coldstart" "snapshot_median_ms" };
+    { name = "pins.pin_open_us";
+      dir = Lower_better;
+      extract = per_size "pins" "pin_open_us" };
+    { name = "server_pins.mixed_checks_per_sec";
+      dir = Higher_better;
+      extract = per_size "server_pins" "mixed_checks_per_sec" } ]
 
 let () =
   let tolerance = ref 15.0 in

@@ -1143,7 +1143,8 @@ let client_cmd =
   let op_arg =
     let doc =
       "Operation: ping, check, guard, batch, txn, begin, stmt, commit, \
-       abort, pin, unpin, checkpoint, stats, metrics, slow, shutdown."
+       abort, pin, unpin, history, checkpoint, stats, metrics, slow, \
+       shutdown."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
@@ -1163,6 +1164,21 @@ let client_cmd =
     let doc = "Pin id (for 'check --pin' and 'unpin')." in
     Arg.(value & opt (some int) None & info [ "pin" ] ~docv:"N" ~doc)
   in
+  let as_of_arg =
+    let doc =
+      "For 'check': time-travel verdict at retained generation $(docv) \
+       instead of the live store (see 'history' for what is retained)."
+    in
+    Arg.(value & opt (some int) None & info [ "as-of" ] ~docv:"GEN" ~doc)
+  in
+  let generation_arg =
+    let doc =
+      "For 'pin': pin retained generation $(docv) instead of the current \
+       committed one."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "generation" ] ~docv:"GEN" ~doc)
+  in
   let path_arg =
     let doc = "Snapshot path for 'checkpoint' (server default otherwise)." in
     Arg.(value & opt (some string) None & info [ "path" ] ~docv:"FILE" ~doc)
@@ -1171,7 +1187,8 @@ let client_cmd =
     let doc = "For 'txn': apply the statements, then roll the batch back." in
     Arg.(value & flag & info [ "abort" ] ~doc)
   in
-  let run op socket tcp updates pin path runtime_simp abort trace_id =
+  let run op socket tcp updates pin as_of generation path runtime_simp abort
+      trace_id =
     let addr = server_address socket tcp in
     let fd =
       match Proto.connect addr with
@@ -1208,7 +1225,11 @@ let client_cmd =
      | "check" ->
        let fields =
          ("op", Proto.String "check")
-         :: (match pin with Some id -> [ ("pin", Proto.Int id) ] | None -> [])
+         :: ((match pin with Some id -> [ ("pin", Proto.Int id) ] | None -> [])
+             @
+             match as_of with
+             | Some g -> [ ("as_of", Proto.Int g) ]
+             | None -> [])
        in
        let resp = rq (Proto.Obj fields) in
        (match Proto.list_field "violated" resp with
@@ -1304,7 +1325,13 @@ let client_cmd =
        ignore (rq (Proto.Obj [ ("op", Proto.String "txn_abort") ]));
        print_endline "transaction rolled back"
      | "pin" ->
-       let resp = rq (Proto.Obj [ ("op", Proto.String "pin") ]) in
+       let fields =
+         ("op", Proto.String "pin")
+         :: (match generation with
+             | Some g -> [ ("generation", Proto.Int g) ]
+             | None -> [])
+       in
+       let resp = rq (Proto.Obj fields) in
        Printf.printf "pin %d (generation %d)\n"
          (Option.value ~default:0 (Proto.int_field "pin" resp))
          (Option.value ~default:0 (Proto.int_field "generation" resp))
@@ -1317,6 +1344,23 @@ let client_cmd =
                (Proto.Obj
                   [ ("op", Proto.String "unpin"); ("pin", Proto.Int id) ]));
           Printf.printf "unpinned %d\n" id)
+     | "history" ->
+       let resp = rq (Proto.Obj [ ("op", Proto.String "history") ]) in
+       Printf.printf "generation %d, %d retained, %d pin byte(s)\n"
+         (Option.value ~default:0 (Proto.int_field "generation" resp))
+         (match Proto.list_field "retained" resp with
+          | Some rs -> List.length rs
+          | None -> 0)
+         (Option.value ~default:0 (Proto.int_field "pin_bytes" resp));
+       (match Proto.list_field "retained" resp with
+        | Some rs ->
+          List.iter
+            (fun r ->
+              Printf.printf "  generation %d: %d ref(s)\n"
+                (Option.value ~default:0 (Proto.int_field "generation" r))
+                (Option.value ~default:0 (Proto.int_field "refs" r)))
+            rs
+        | None -> ())
      | "checkpoint" ->
        let fields =
          ("op", Proto.String "checkpoint")
@@ -1355,7 +1399,8 @@ let client_cmd =
           stats, shutdown)")
     Term.(
       const run $ op_arg $ socket_arg $ tcp_arg $ updates_arg $ pin_arg
-      $ path_arg $ runtime_simp_arg $ abort_arg $ trace_id_arg)
+      $ as_of_arg $ generation_arg $ path_arg $ runtime_simp_arg $ abort_arg
+      $ trace_id_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top                                                                 *)

@@ -83,6 +83,15 @@ type delta_counters = {
   net : Delta.t;
 }
 
+(* One retained generation: a frozen store handle shared by every pin
+   of that generation, refcounted so the table can tell in-flight
+   readers from history kept purely for time-travel checks. *)
+type retained = {
+  r_store : Xic_datalog.Store.t;  (* frozen *)
+  r_mut : int;  (* mutation stamp at freeze time, for freshness checks *)
+  mutable r_refs : int;
+}
+
 type t = {
   schema : Schema.t;
   doc : Doc.t;
@@ -104,6 +113,16 @@ type t = {
   (* committed-transaction counter; {!pin} stamps it into snapshots so
      readers can tell which state they are looking at *)
   mutable generation : int;
+  (* raw mutation counter (every applied or rolled-back statement, every
+     load): a retained entry is reused by {!pin} only when its stamp
+     still matches — the generation number alone cannot tell a clean
+     committed state from mid-flight document surgery *)
+  mutable mutations : int;
+  (* generation → frozen handle; entries with [r_refs = 0] are history
+     kept for time-travel checks, bounded by [retain_keep] and dropped
+     wholesale at checkpoints *)
+  retained : (int, retained) Hashtbl.t;
+  retain_keep : int;
 }
 
 exception Repository_error of string
@@ -116,7 +135,8 @@ let create schema =
     deltas =
       { flushes = 0; facts_added = 0; facts_removed = 0; net = Delta.create () };
     eval_budget = None; use_index = true; index = None;
-    full_plans = Hashtbl.create 16; parallelism = 1; generation = 0 }
+    full_plans = Hashtbl.create 16; parallelism = 1; generation = 0;
+    mutations = 0; retained = Hashtbl.create 8; retain_keep = 8 }
 
 let generation t = t.generation
 
@@ -218,7 +238,11 @@ let invalidate_store t =
   (match t.mirror with Some m -> Mirror.detach m | None -> ());
   t.mirror <- None;
   t.store <- None;
-  t.incr <- None
+  t.incr <- None;
+  (* generation numbers no longer name states of the store being
+     dropped; outstanding pins keep their handles, the table does not *)
+  Hashtbl.reset t.retained;
+  t.mutations <- t.mutations + 1
 
 (* Install a store known to be exact for the current documents and
    attach the event-driven mirror that keeps it that way across updates,
@@ -227,6 +251,8 @@ let install_store t s =
   (match t.mirror with Some m -> Mirror.detach m | None -> ());
   t.store <- Some s;
   Delta.clear t.deltas.net;
+  Hashtbl.reset t.retained;
+  t.mutations <- t.mutations + 1;
   t.mirror <- Some (Mirror.create (Schema.mapping t.schema) t.doc s)
 
 (* Reconcile pending mutation marks into the store and feed the net
@@ -344,6 +370,7 @@ let load_fused ?(validate = true) t source =
          | Some s, None -> install_store t s
          | None, _ -> ());
         t.incr <- None;
+        t.mutations <- t.mutations + 1;
         Obs.Metrics.incr c_ingest_fused;
         Obs.Metrics.add c_ingest_bytes (String.length source);
         Obs.Metrics.add c_ingest_facts !facts)
@@ -453,21 +480,82 @@ let check_full_datalog t =
 (* Pinned snapshots (reader isolation)                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* A pin is a point-in-time copy of the materialized store stamped with
-   the generation it captured.  The live store is mutated in place by
-   the writer, so the copy is all the isolation a reader needs: checks
-   against it are unaffected by later commits, checkpoints or journal
-   truncation.  Verdicts over the relational mirror are equivalent to
-   the XQuery check (oracle-proven), so a pinned check is a real check,
-   not an approximation. *)
+(* A pin is a frozen generation handle of the materialized store,
+   stamped with the generation it captured.  Freezing is an
+   O(#relations) pointer capture ([Store.freeze]): the handle shares the
+   per-relation insertion logs with the live writer, which only ever
+   conses onto its own head, so checks against a pin are unaffected by
+   later commits, checkpoints or journal truncation — at no copy cost
+   and O(delta) retained memory.  Verdicts over the relational mirror
+   are equivalent to the XQuery check (oracle-proven), so a pinned check
+   is a real check, not an approximation.
+
+   Handles live in a refcounted retained-generation table: pins of the
+   same generation share one handle (amortizing its lazy index builds
+   across readers), {!unpin} decrements, and zero-ref entries linger as
+   bounded history for {!pin_as_of} time-travel checks until
+   [retain_keep] evicts the oldest or a {!checkpoint} drops them all. *)
 type pin = {
   pin_generation : int;
   pin_store : Xic_datalog.Store.t;
 }
 
+(* Evict zero-ref history beyond the [retain_keep] most recent
+   generations (referenced entries are never evicted — a pin record
+   holds its handle directly, so eviction can never dangle a reader). *)
+let prune_retained ?(keep_history = true) t =
+  let keep = if keep_history then t.retain_keep else 0 in
+  let zero =
+    Hashtbl.fold
+      (fun g r acc -> if r.r_refs <= 0 then g :: acc else acc)
+      t.retained []
+    |> List.sort compare
+  in
+  let drop = List.length zero - keep in
+  if drop > 0 then
+    List.iteri (fun i g -> if i < drop then Hashtbl.remove t.retained g) zero
+
 let pin t =
-  let s = store t in  (* flush pending marks so the copy is exact *)
-  { pin_generation = t.generation; pin_store = Xic_datalog.Store.copy s }
+  let g = t.generation in
+  match Hashtbl.find_opt t.retained g with
+  | Some r when r.r_mut = t.mutations ->
+    r.r_refs <- r.r_refs + 1;
+    { pin_generation = g; pin_store = r.r_store }
+  | _ ->
+    let s = store t in  (* flush pending marks so the freeze is exact *)
+    let f = Xic_datalog.Store.freeze s in
+    Hashtbl.replace t.retained g
+      { r_store = f; r_mut = t.mutations; r_refs = 1 };
+    prune_retained t;
+    { pin_generation = g; pin_store = f }
+
+let unpin t (p : pin) =
+  (match Hashtbl.find_opt t.retained p.pin_generation with
+   | Some r when r.r_store == p.pin_store && r.r_refs > 0 ->
+     r.r_refs <- r.r_refs - 1
+   | _ -> ());  (* already evicted (reset, checkpoint): nothing to release *)
+  prune_retained t
+
+let pin_as_of t g =
+  match Hashtbl.find_opt t.retained g with
+  | Some r ->
+    r.r_refs <- r.r_refs + 1;
+    Some { pin_generation = g; pin_store = r.r_store }
+  | None -> None
+
+let retained_generations t =
+  Hashtbl.fold (fun g r acc -> (g, r.r_refs) :: acc) t.retained []
+  |> List.sort compare
+
+let retained_bytes t =
+  match t.store with
+  | None -> 0
+  | Some live ->
+    sync_store t;
+    Hashtbl.fold
+      (fun _ r acc ->
+        acc + Xic_datalog.Store.unshared_bytes ~live r.r_store)
+      t.retained 0
 
 let pin_generation p = p.pin_generation
 let pin_store p = p.pin_store
@@ -478,6 +566,14 @@ let check_pinned t (p : pin) =
       if Constr.violated_datalog p.pin_store c then Some c.Constr.name
       else None)
     t.constraints
+
+let check_as_of t g =
+  match pin_as_of t g with
+  | None -> None
+  | Some p ->
+    let v = check_pinned t p in
+    unpin t p;
+    Some v
 
 (* ------------------------------------------------------------------ *)
 (* Incremental (delta-driven) checking                                 *)
@@ -728,9 +824,11 @@ type outcome =
    rollback, recovery replay) marks the touched nodes and the next
    [store] demand reconciles them — no re-shred, ever. *)
 let apply_unchecked t u =
+  t.mutations <- t.mutations + 1;
   Obs.Trace.with_span "apply" (fun () -> XU.apply ?index:(index t) t.doc u)
 
 let rollback t undo =
+  t.mutations <- t.mutations + 1;
   Obs.Metrics.incr c_rollbacks;
   Obs.Trace.with_span "rollback" (fun () -> XU.rollback t.doc undo)
 
@@ -1060,6 +1158,9 @@ let checkpoint ?journal t path =
   in
   FP.hit "checkpoint_truncate";
   (match journal with Some j -> J.reset j | None -> ());
+  (* the snapshot now owns this state durably: unreferenced history is
+     reclaimable (in-flight pins keep their handles regardless) *)
+  prune_retained ~keep_history:false t;
   {
     snapshot_path = path;
     snapshot_bytes = bytes;

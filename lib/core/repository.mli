@@ -165,13 +165,22 @@ val check_full : t -> string list
 val check_full_datalog : t -> string list
 (** Same, evaluated over the relational mirror (shredded on demand). *)
 
-(** {1 Pinned snapshots (reader isolation)}
+(** {1 Pinned generations (reader isolation, O(1))}
 
-    A pin is a point-in-time copy of the materialized store stamped with
-    the {!generation} it captured.  The writer mutates the live store in
-    place, so a pinned reader's verdicts are unaffected by later
-    commits, checkpoints, and journal truncation — the snapshot-isolated
-    read side of the check server. *)
+    A pin is a frozen generation handle of the materialized store
+    ([Store.freeze]) stamped with the {!generation} it captured: an
+    O(#relations) pointer capture sharing the per-relation insertion
+    logs with the live writer, {e not} a copy.  The writer only ever
+    conses onto its own log heads, so a pinned reader's verdicts are
+    unaffected by later commits, checkpoints, and journal truncation —
+    the snapshot-isolated read side of the check server — while a pin
+    retains only the unshared log suffix in memory.
+
+    Handles are refcounted in a retained-generation table: pins of the
+    same generation share one handle, {!unpin} releases it, and
+    zero-reference entries linger as bounded history ({!pin_as_of}
+    time-travel checks) until evicted by newer history or a
+    {!checkpoint}. *)
 
 val generation : t -> int
 (** Committed-transaction counter: starts at 0, incremented by every
@@ -182,10 +191,37 @@ val generation : t -> int
 type pin
 
 val pin : t -> pin
-(** Capture the current state (flushes pending mutation marks first).
-    Must not be taken while a transaction holds applied-but-uncommitted
-    statements — the copy would capture them as committed state; pin
-    before {!begin_txn}, or after the transaction closes. *)
+(** Capture the current state in O(1) (flushes pending mutation marks
+    first, then freezes — no copy).  Repeated pins of an unchanged
+    generation return the same shared handle.  Must not be taken while
+    a transaction holds applied-but-uncommitted statements — the handle
+    would capture them as committed state; pin before {!begin_txn}, or
+    after the transaction closes. *)
+
+val unpin : t -> pin -> unit
+(** Release one reference on the pin's retained generation.  Dropped
+    generations become reclaimable history; unpinning a pin whose entry
+    was already evicted (store reload, checkpoint) is a no-op — the pin
+    record itself keeps its handle alive for its holder regardless. *)
+
+val pin_as_of : t -> int -> pin option
+(** A pin of a {e retained} past generation — time travel over the
+    history kept by the retained-generation table ([None] when that
+    generation is no longer retained).  Balance with {!unpin}. *)
+
+val check_as_of : t -> int -> string list option
+(** Verdict at a retained past generation: {!check_pinned} over a
+    transient {!pin_as_of} handle ([None] when not retained). *)
+
+val retained_generations : t -> (int * int) list
+(** The retained-generation table as [(generation, refcount)] pairs in
+    ascending generation order — refcount 0 marks history kept only for
+    time-travel checks. *)
+
+val retained_bytes : t -> int
+(** Rough heap estimate of what the retained handles hold {e beyond}
+    the structure they share with the live store — 0 in the steady
+    state where every log is still a suffix of the writer's. *)
 
 val pin_generation : pin -> int
 val pin_store : pin -> Xic_datalog.Store.t

@@ -22,7 +22,16 @@
 
     The view store uses set semantics (witnesses are deduplicated), so
     an incremental view and a from-scratch recompute are comparable with
-    [Store.equal] — which is exactly what oracle route 8 does. *)
+    [Store.equal] — which is exactly what oracle route 8 does.
+
+    The view lives in a copy-on-write versioned store: row retractions
+    are tombstones over an append log, masked on read and reclaimed by
+    the writer's auto-compaction, so a frozen generation handle taken
+    from a repository (which snapshots the base store, not the view)
+    never observes torn maintenance.  {!initialize} compacts the view
+    eagerly — a re-initialization (document reload, constraint
+    re-registration) retracts every row at once, which is exactly the
+    tombstone spike worth collecting up front. *)
 
 module Symbol = Xic_symbol.Symbol
 
@@ -168,7 +177,10 @@ let initialize t store =
     (fun e ->
       t.stats.recomputes <- t.stats.recomputes + 1;
       recompute_entry t store e)
-    t.entries
+    t.entries;
+  (* A (re)initialization retracts every existing row before repopulating;
+     collect the tombstone spike instead of carrying it into steady state. *)
+  Store.compact t.view
 
 (* Unify a positive literal against an inserted ground tuple.  Returns
    the binding of the literal's variables, or [None] when the tuple

@@ -1,4 +1,15 @@
-(** A mutable fact store: relation name → bag of tuples.
+(** A copy-on-write versioned fact store: relation name → bag of tuples.
+
+    Each relation keeps an immutable, newest-first cons {e log} of every
+    insertion plus a persistent tombstone multiset masking removed
+    occurrences.  Because both structures are persistent, {!freeze} and
+    {!copy} are O(#relations) pointer captures that share the log with
+    the live writer: a frozen generation handle stays bit-stable while
+    the writer keeps consing onto its own head, and dropping a handle
+    releases only the unshared suffix to the GC.  The writer compacts a
+    relation (rebuilding the log without its tombstoned cells) once the
+    dead mass dominates, so masked scans stay amortized linear in the
+    live size.
 
     Tuples are lists of constants.  The store keeps insertion order and
     supports removal of single tuples so that update transactions can be
@@ -16,42 +27,118 @@ module Symbol = Xic_symbol.Symbol
 
 type tuple = Term.const list
 
+module TupleMap = Map.Make (struct
+  type t = Term.const list
+
+  (* polymorphic compare is total on [Term.const] (Int/Str only) *)
+  let compare = compare
+end)
+
 type rel = {
-  mutable tuples : tuple list;        (* reverse insertion order *)
-  mutable count : int;
+  (* newest-first insertion log; the cons cells are never mutated, so
+     any number of generation handles share them with the writer *)
+  mutable log : tuple list;
+  mutable nlive : int;  (* log occurrences not masked by a tombstone *)
+  (* tombstone multiset: [dead] maps a tuple to how many of its newest
+     log occurrences are deleted; persistent, so handles snapshot it by
+     pointer *)
+  mutable dead : int TupleMap.t;
+  mutable ndead : int;
   (* First column → tuples.  Built lazily on the first keyed probe:
      a snapshot load materializes tens of thousands of tuples that may
      never be probed before the next checkpoint, and the per-tuple
      find+add (plus the preallocated bucket array) was the single
      largest cost of a cold start.  Once built, it is maintained
-     incrementally by [add_sym] / [remove_sym] as before. *)
+     incrementally by [add_sym] / [remove_sym].  Indexes hold live
+     tuples only and are private to each handle (never shared). *)
   mutable index : (Term.const, tuple list ref) Hashtbl.t option;
   (* Secondary indexes, column position → (value → tuples), built
-     lazily per column on the first probe of that column.  Joins that
-     descend the document (parent column bound) or match on text values
-     (trailing columns bound) would otherwise scan the whole relation —
-     on the delta-evaluation path that scan dominated the check, making
-     "incremental" slower than a full re-evaluation.  Tuples shorter
-     than the indexed position are omitted: an atom binding that
-     position can never match them. *)
+     lazily per column on the first probe of that column.  Tuples
+     shorter than the indexed position are omitted: an atom binding
+     that position can never match them. *)
   mutable col_index : (int * (Term.const, tuple list ref) Hashtbl.t) list;
 }
 
-type t = (Symbol.t, rel) Hashtbl.t
+type t = {
+  rels : (Symbol.t, rel) Hashtbl.t;
+  frozen : bool;  (* generation handle: all mutation entry points raise *)
+}
 
-let create () : t = Hashtbl.create 16
+let create () : t = { rels = Hashtbl.create 16; frozen = false }
+
+let is_frozen (s : t) = s.frozen
+
+let check_writable (s : t) =
+  if s.frozen then
+    invalid_arg "Xic_datalog.Store: frozen generation handles are immutable"
 
 (* Read-only name lookup: never interns, so probing a relation that was
    never populated does not grow the global symbol table. *)
 let sym_opt name = if Symbol.mem name then Some (Symbol.intern name) else None
 
 let get_rel_sym (s : t) sym =
-  match Hashtbl.find_opt s sym with
+  match Hashtbl.find_opt s.rels sym with
   | Some r -> r
   | None ->
-    let r = { tuples = []; count = 0; index = None; col_index = [] } in
-    Hashtbl.add s sym r;
+    let r =
+      { log = []; nlive = 0; dead = TupleMap.empty; ndead = 0; index = None;
+        col_index = [] }
+    in
+    Hashtbl.add s.rels sym r;
     r
+
+let dead_count r tup =
+  match TupleMap.find_opt tup r.dead with Some k -> k | None -> 0
+
+(* Iterate the live tuples of [r], newest first: scanning from the head
+   of the log, the first [dead tup] occurrences of each tombstoned tuple
+   are skipped — removal masks the newest matching occurrence, exactly
+   as the in-place list surgery it replaced used to drop it. *)
+let iter_live_newest_first f r =
+  if r.ndead = 0 then List.iter f r.log
+  else begin
+    let dead = ref r.dead in
+    let remaining = ref r.ndead in
+    List.iter
+      (fun tup ->
+        if !remaining = 0 then f tup
+        else
+          match TupleMap.find_opt tup !dead with
+          | Some k ->
+            decr remaining;
+            dead :=
+              (if k = 1 then TupleMap.remove tup !dead
+               else TupleMap.add tup (k - 1) !dead)
+          | None -> f tup)
+      r.log
+  end
+
+(* Live tuples in insertion order (prepending while scanning newest
+   first reverses for free). *)
+let live_list r =
+  if r.ndead = 0 then List.rev r.log
+  else begin
+    let acc = ref [] in
+    iter_live_newest_first (fun tup -> acc := tup :: !acc) r;
+    !acc
+  end
+
+(* Writer-side compaction: once the tombstoned mass dominates the live
+   tuples, rebuild the log without the dead cells.  Handles frozen
+   before the compaction keep their old log pointers (only structural
+   sharing with them is lost), so this never invalidates a reader. *)
+let compact_rel r =
+  if r.ndead > 0 then begin
+    r.log <- List.rev (live_list r);
+    r.dead <- TupleMap.empty;
+    r.ndead <- 0
+  end
+
+let maybe_compact r = if r.ndead > 64 && r.ndead > r.nlive then compact_rel r
+
+let compact (s : t) =
+  check_writable s;
+  Hashtbl.iter (fun _ r -> compact_rel r) s.rels
 
 let index_add idx tup =
   match tup with
@@ -65,8 +152,8 @@ let ensure_index r =
   match r.index with
   | Some idx -> idx
   | None ->
-    let idx = Hashtbl.create (max 64 (2 * r.count)) in
-    List.iter (index_add idx) (List.rev r.tuples);
+    let idx = Hashtbl.create (max 64 (2 * r.nlive)) in
+    List.iter (index_add idx) (live_list r);
     r.index <- Some idx;
     idx
 
@@ -82,35 +169,42 @@ let ensure_col_index r col =
   match List.assoc_opt col r.col_index with
   | Some idx -> idx
   | None ->
-    let idx = Hashtbl.create (max 64 (2 * r.count)) in
-    List.iter (fun tup -> col_index_add idx col tup) (List.rev r.tuples);
+    let idx = Hashtbl.create (max 64 (2 * r.nlive)) in
+    List.iter (fun tup -> col_index_add idx col tup) (live_list r);
     r.col_index <- (col, idx) :: r.col_index;
     idx
 
 let add_sym (s : t) sym (tup : tuple) =
+  check_writable s;
   let r = get_rel_sym s sym in
-  r.tuples <- tup :: r.tuples;
-  r.count <- r.count + 1;
+  r.log <- tup :: r.log;
+  r.nlive <- r.nlive + 1;
   (match r.index with Some idx -> index_add idx tup | None -> ());
   List.iter (fun (col, idx) -> col_index_add idx col tup) r.col_index
 
 let add (s : t) name tup = add_sym s (Symbol.intern name) tup
 
 let remove_sym (s : t) sym (tup : tuple) =
-  match Hashtbl.find_opt s sym with
+  check_writable s;
+  match Hashtbl.find_opt s.rels sym with
   | None -> false
   | Some r ->
-    let removed = ref false in
-    let rec drop_first = function
-      | [] -> []
-      | t :: rest when (not !removed) && t = tup ->
-        removed := true;
-        rest
-      | t :: rest -> t :: drop_first rest
+    let present =
+      match tup with
+      | [] ->
+        (* arity-0 tuples have no index key; count live occurrences *)
+        let occ = ref 0 in
+        List.iter (fun t -> if t = [] then incr occ) r.log;
+        !occ - dead_count r [] > 0
+      | key :: _ ->
+        (match Hashtbl.find_opt (ensure_index r) key with
+         | Some l -> List.mem tup !l
+         | None -> false)
     in
-    r.tuples <- drop_first r.tuples;
-    if !removed then begin
-      r.count <- r.count - 1;
+    if present then begin
+      r.dead <- TupleMap.add tup (dead_count r tup + 1) r.dead;
+      r.ndead <- r.ndead + 1;
+      r.nlive <- r.nlive - 1;
       let drop_bucket idx key =
         match Hashtbl.find_opt idx key with
         | Some l ->
@@ -133,9 +227,10 @@ let remove_sym (s : t) sym (tup : tuple) =
           match List.nth_opt tup col with
           | Some key -> drop_bucket idx key
           | None -> ())
-        r.col_index
+        r.col_index;
+      maybe_compact r
     end;
-    !removed
+    present
 
 let remove (s : t) name tup =
   match sym_opt name with
@@ -143,15 +238,15 @@ let remove (s : t) name tup =
   | None -> false
 
 let tuples_sym (s : t) sym =
-  match Hashtbl.find_opt s sym with
-  | Some r -> List.rev r.tuples
+  match Hashtbl.find_opt s.rels sym with
+  | Some r -> live_list r
   | None -> []
 
 let tuples (s : t) name =
   match sym_opt name with Some sym -> tuples_sym s sym | None -> []
 
 let tuples_with_key_sym (s : t) sym (key : Term.const) =
-  match Hashtbl.find_opt s sym with
+  match Hashtbl.find_opt s.rels sym with
   | None -> []
   | Some r ->
     (match Hashtbl.find_opt (ensure_index r) key with
@@ -166,7 +261,7 @@ let tuples_with_key (s : t) name key =
 let tuples_with_col_sym (s : t) sym col (key : Term.const) =
   if col = 0 then tuples_with_key_sym s sym key
   else
-    match Hashtbl.find_opt s sym with
+    match Hashtbl.find_opt s.rels sym with
     | None -> []
     | Some r ->
       (match Hashtbl.find_opt (ensure_col_index r col) key with
@@ -178,44 +273,101 @@ let tuples_with_col (s : t) name col key =
   | Some sym -> tuples_with_col_sym s sym col key
   | None -> []
 
+let cardinality_sym (s : t) sym =
+  match Hashtbl.find_opt s.rels sym with Some r -> r.nlive | None -> 0
+
 let cardinality (s : t) name =
-  match sym_opt name with
-  | Some sym -> (match Hashtbl.find_opt s sym with Some r -> r.count | None -> 0)
-  | None -> 0
+  match sym_opt name with Some sym -> cardinality_sym s sym | None -> 0
 
 let relations (s : t) =
-  Hashtbl.fold (fun sym _ acc -> Symbol.name sym :: acc) s [] |> List.sort compare
+  Hashtbl.fold (fun sym _ acc -> Symbol.name sym :: acc) s.rels []
+  |> List.sort compare
 
 let total_tuples (s : t) =
-  Hashtbl.fold (fun _ r acc -> acc + r.count) s 0
+  Hashtbl.fold (fun _ r acc -> acc + r.nlive) s.rels 0
 
 let mem_sym (s : t) sym tup =
   match tup with
   | key :: _ -> List.mem tup (tuples_with_key_sym s sym key)
   | [] ->
-    (match Hashtbl.find_opt s sym with Some r -> r.tuples <> [] | None -> false)
+    (match Hashtbl.find_opt s.rels sym with
+     | Some r -> r.nlive > 0
+     | None -> false)
 
 let mem (s : t) name tup =
   match sym_opt name with Some sym -> mem_sym s sym tup | None -> false
 
 let clear_sym (s : t) sym =
-  match Hashtbl.find_opt s sym with
+  check_writable s;
+  match Hashtbl.find_opt s.rels sym with
   | None -> ()
   | Some r ->
-    r.tuples <- [];
-    r.count <- 0;
+    r.log <- [];
+    r.nlive <- 0;
+    r.dead <- TupleMap.empty;
+    r.ndead <- 0;
     r.index <- None;
     r.col_index <- []
 
-let cardinality_sym (s : t) sym =
-  match Hashtbl.find_opt s sym with Some r -> r.count | None -> 0
+(* ------------------------------------------------------------------ *)
+(* Generations: O(1) freeze / copy by structural sharing               *)
+(* ------------------------------------------------------------------ *)
 
-let copy (s : t) : t =
-  let s' = create () in
+(* Both forks capture the log and tombstone pointers of every relation —
+   O(#relations) — and start with no indexes (the writer keeps mutating
+   its own indexes in place, so sharing them would corrupt the fork;
+   each handle rebuilds lazily on its first probe, and the repository
+   shares one handle per generation so that build is amortized across
+   its readers). *)
+let fork ~frozen (s : t) : t =
+  let rels = Hashtbl.create (max 16 (2 * Hashtbl.length s.rels)) in
   Hashtbl.iter
-    (fun sym r -> List.iter (fun tup -> add_sym s' sym tup) (List.rev r.tuples))
-    s;
-  s'
+    (fun sym r ->
+      Hashtbl.add rels sym
+        { log = r.log; nlive = r.nlive; dead = r.dead; ndead = r.ndead;
+          index = None; col_index = [] })
+    s.rels;
+  { rels; frozen }
+
+let freeze (s : t) : t = fork ~frozen:true s
+let copy (s : t) : t = fork ~frozen:false s
+
+(* Rough heap estimate of one tuple: the log spine cons cell plus, per
+   column, a list cons cell and a boxed constant (3 + 5·arity words). *)
+let tuple_bytes tup = 8 * (3 + (5 * List.length tup))
+
+let live_bytes (s : t) =
+  Hashtbl.fold
+    (fun _ r acc ->
+      let b = ref acc in
+      iter_live_newest_first (fun tup -> b := !b + tuple_bytes tup) r;
+      !b)
+    s.rels 0
+
+let log_len r = r.nlive + r.ndead
+
+let rec drop_cells n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop_cells (n - 1) tl
+
+(* Memory a handle retains beyond what it shares with [live]: per
+   relation, the handle's log is either a physical suffix of the live
+   log (the writer only consed on top — zero retained cost, checked in
+   O(live − handle) cell hops) or, after a writer-side compaction or
+   clear, an unshared list the handle keeps alive in full. *)
+let unshared_bytes ~(live : t) (h : t) =
+  Hashtbl.fold
+    (fun sym hr acc ->
+      let shared =
+        match Hashtbl.find_opt live.rels sym with
+        | None -> hr.log == []
+        | Some lr ->
+          let extra = log_len lr - log_len hr in
+          extra >= 0 && drop_cells extra lr.log == hr.log
+      in
+      if shared then acc
+      else
+        acc + List.fold_left (fun b tup -> b + tuple_bytes tup) 0 hr.log)
+    h.rels 0
 
 let of_facts facts =
   let s = create () in
@@ -232,19 +384,21 @@ let to_facts (s : t) =
 module Wire = Xic_symbol.Wire
 
 (* Relations are stored by name (re-interned on load, so no symbol-id
-   remap is needed); tuples in insertion order, each constant tagged
-   with a one-byte kind.  Tuple strings go through a dedup table written
-   up front: the same name recurs across many facts (every author
-   appears in aut/name/text tuples), so occurrences are 1–2 byte
-   indices on disk, and the loader materializes ONE [Term.Str] per
-   distinct string, shared by every tuple that mentions it. *)
+   remap is needed); only the {e live} tuples are written — the snapshot
+   holds the compacted head of the log, never the tombstoned history —
+   in insertion order, each constant tagged with a one-byte kind.  Tuple
+   strings go through a dedup table written up front: the same name
+   recurs across many facts (every author appears in aut/name/text
+   tuples), so occurrences are 1–2 byte indices on disk, and the loader
+   materializes ONE [Term.Str] per distinct string, shared by every
+   tuple that mentions it. *)
 let tag_of = function Term.Int _ -> 0 | Term.Str _ -> 1
 
 (* The per-column Int/Str shape shared by every tuple of the relation,
    or [None] when tuples disagree (or the arity exceeds the one-byte
    shape header). *)
-let signature r =
-  match r.tuples with
+let signature live =
+  match live with
   | [] -> None
   | t0 :: rest ->
     let s0 = List.map tag_of t0 in
@@ -274,31 +428,32 @@ let serialize (s : t) buf =
   in
   Hashtbl.iter
     (fun _ r ->
-      List.iter
+      iter_live_newest_first
         (List.iter (function
           | Term.Str v -> ignore (intern v)
           | Term.Int _ -> ()))
-        r.tuples)
-    s;
+        r)
+    s.rels;
   Wire.add_int buf !n_strings;
   List.iter (Wire.add_string buf) (List.rev !order);
-  Wire.add_int buf (Hashtbl.length s);
+  Wire.add_int buf (Hashtbl.length s.rels);
   let add_value = function
     | Term.Int i -> Wire.add_int buf i
     | Term.Str v -> Wire.add_int buf (intern v)
   in
   Hashtbl.iter
     (fun sym r ->
+      let live = live_list r in
       Wire.add_string buf (Symbol.name sym);
-      Wire.add_int buf r.count;
-      match signature r with
+      Wire.add_int buf r.nlive;
+      match signature live with
       | Some sg ->
         (* uniform shape: tags once up front, tuples are bare value
            runs (the normal case — schema-mapped relations have a fixed
            column layout) *)
         Wire.add_u8 buf (List.length sg);
         List.iter (Wire.add_u8 buf) sg;
-        List.iter (fun tup -> List.iter add_value tup) (List.rev r.tuples)
+        List.iter (fun tup -> List.iter add_value tup) live
       | None ->
         (* mixed shapes: per-tuple arity, per-constant tag *)
         Wire.add_u8 buf 0xff;
@@ -310,8 +465,8 @@ let serialize (s : t) buf =
                 Wire.add_u8 buf (match v with Term.Int _ -> 0 | Term.Str _ -> 1);
                 add_value v)
               tup)
-          (List.rev r.tuples))
-    s
+          live)
+    s.rels
 
 (* Shared [Term.Int] cells for the ids that dominate tuple columns
    (first column is always a node id).  One 64k-entry table amortized
@@ -337,7 +492,7 @@ let deserialize c : t =
   let nrels = Wire.get_int c in
   if nrels < 0 || nrels > Wire.remaining c then
     raise (Wire.Error "store: bad relation count");
-  let s : t = Hashtbl.create (max 16 (2 * nrels)) in
+  let rels : (Symbol.t, rel) Hashtbl.t = Hashtbl.create (max 16 (2 * nrels)) in
   let ints = Lazy.force small_ints in
   let int_const () =
     let i = Wire.get_int c in
@@ -438,9 +593,11 @@ let deserialize c : t =
           for _ = 1 to count do
             tuples := row 0 :: !tuples
           done));
-    Hashtbl.replace s sym { tuples = !tuples; count; index = None; col_index = [] }
+    Hashtbl.replace rels sym
+      { log = !tuples; nlive = count; dead = TupleMap.empty; ndead = 0;
+        index = None; col_index = [] }
   done;
-  s
+  { rels; frozen = false }
 
 let equal (a : t) (b : t) =
   let norm s =

@@ -1,10 +1,17 @@
-(** A mutable fact store: relation name → bag of tuples.
+(** A copy-on-write versioned fact store: relation name → bag of tuples.
 
     Tuples are lists of constants.  The store keeps insertion order and
     supports removal of single tuples so that update transactions can be
     rolled back; a first-argument hash index accelerates the joins
     performed by {!Eval} (the first column of every mapped relation is the
     node id, the most selective join key of the Section 4.1 schema).
+
+    Internally each relation is an immutable newest-first insertion log
+    plus a persistent tombstone multiset, so {!freeze} and {!copy} are
+    O(#relations) pointer captures sharing structure with the live
+    writer — the basis of the repository's O(1) generation pins — while
+    the whole read/write API below is unchanged: a generation handle IS
+    a store, and every evaluator works on it unmodified.
 
     Relations are keyed by interned symbols; the [_sym] variants let
     callers that already hold a tag symbol (the shredder) skip string
@@ -19,7 +26,8 @@ val create : unit -> t
 val add : t -> string -> tuple -> unit
 
 val remove : t -> string -> tuple -> bool
-(** Remove one occurrence; [false] when absent. *)
+(** Remove one occurrence (the newest); [false] when absent.  Internally
+    a tombstone: O(index bucket), never a log rebuild. *)
 
 val tuples : t -> string -> tuple list
 (** All tuples of a relation, insertion order. *)
@@ -38,12 +46,45 @@ val cardinality : t -> string -> int
 val relations : t -> string list
 val total_tuples : t -> int
 val mem : t -> string -> tuple -> bool
-val copy : t -> t
 val of_facts : (string * tuple) list -> t
 val to_facts : t -> (string * tuple) list
 
 val equal : t -> t -> bool
 (** Same relations with the same tuple multisets. *)
+
+(** {1 Generations (copy-on-write versioning)} *)
+
+val freeze : t -> t
+(** An immutable point-in-time handle sharing the insertion logs and
+    tombstones of the source by pointer — O(#relations), independent of
+    tuple count.  The handle stays bit-stable under any later mutation
+    of the source (writers cons onto their own log heads); mutating the
+    handle itself raises [Invalid_argument].  Handles serve the whole
+    read API, building their lazy indexes privately on first probe. *)
+
+val is_frozen : t -> bool
+
+val copy : t -> t
+(** A mutable fork, O(#relations) by the same structural sharing as
+    {!freeze}: both sides may keep mutating independently, each consing
+    onto its own log head and tombstoning in its own persistent set. *)
+
+val compact : t -> unit
+(** Rebuild every relation's log without its tombstoned cells (writers
+    do this automatically once dead mass dominates a relation).  Frozen
+    handles keep their old log pointers — compaction never invalidates
+    a reader, it only ends structural sharing with older generations.
+    @raise Invalid_argument on a frozen handle. *)
+
+val live_bytes : t -> int
+(** Rough heap estimate (bytes) of the live tuples. *)
+
+val unshared_bytes : live:t -> t -> int
+(** Rough heap estimate of what handle [h] retains {e beyond} the
+    structure it shares with [live]: 0 when every relation's log is
+    still a physical suffix of the live writer's (the steady state,
+    checked in O(delta) cell hops), the full relation cost once a
+    writer-side compaction or clear ended the sharing. *)
 
 (** {1 Symbol-keyed variants} *)
 
@@ -63,7 +104,8 @@ val clear_sym : t -> Xic_symbol.Symbol.t -> unit
 
 val serialize : t -> Buffer.t -> unit
 (** Append the store's binary image to the buffer: relations by {e name}
-    (no symbol ids, so no remap on load), tuples in insertion order.
+    (no symbol ids, so no remap on load), live tuples in insertion order
+    — the compacted head of each log, never the tombstoned history.
     See [Xic_snapshot.Snapshot] for the enclosing checksummed
     container. *)
 

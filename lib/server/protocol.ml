@@ -10,6 +10,11 @@ type json =
 
 exception Protocol_error of string
 
+(* Version of the request vocabulary, echoed by the server's [ping].
+   2 added generation handles: pin {generation}, check {as_of}, and the
+   history op over the retained-generation table. *)
+let version = 2
+
 let err fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
 
 (* ------------------------------------------------------------------ *)

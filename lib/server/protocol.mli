@@ -23,6 +23,11 @@ type json =
 exception Protocol_error of string
 (** Malformed JSON, oversized or truncated frames, connection errors. *)
 
+val version : int
+(** Request-vocabulary version, echoed by the server's [ping] response
+    ([protocol] field).  Version 2 added generation handles:
+    [pin {generation}], [check {as_of}], and the [history] op. *)
+
 val to_string : json -> string
 val of_string : string -> json
 

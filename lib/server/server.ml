@@ -25,6 +25,13 @@ let g_journal_bytes = Obs.Metrics.gauge "serve_journal_bytes_since_checkpoint"
 let g_store_facts = Obs.Metrics.gauge "serve_store_facts"
 let g_connections = Obs.Metrics.gauge "serve_connections"
 
+(* COW-versioning gauges: how many generations the repository retains
+   (in-flight pins plus time-travel history) and a rough estimate of the
+   heap they hold beyond what they share with the live store.  Exported
+   as xic_serve_retained_generations / xic_serve_pin_bytes. *)
+let g_retained = Obs.Metrics.gauge "serve_retained_generations"
+let g_pin_bytes = Obs.Metrics.gauge "serve_pin_bytes"
+
 type config = {
   journal : J.t option;
   snapshot_path : string option;
@@ -216,8 +223,19 @@ let committed_pin t =
     if t.open_txn <> None then
       failwith "internal: no committed pin while a transaction is open";
     let p = R.pin t.srepo in
+    (* release the superseded generation's reference: it becomes
+       bounded time-travel history in the retained table *)
+    (match t.last_pin with Some old -> R.unpin t.srepo old | None -> ());
     t.last_pin <- Some p;
     p
+
+(* Drop the committed-pin cache entirely (checkpoint eviction). *)
+let evict_committed_pin t =
+  match t.last_pin with
+  | Some p ->
+    t.last_pin <- None;
+    R.unpin t.srepo p
+  | None -> ()
 
 let fallback_of t req =
   match P.string_field "fallback" req with
@@ -237,8 +255,10 @@ let require_update req =
 (* ------------------------------------------------------------------ *)
 
 let do_check t req =
-  match P.int_field "pin" req with
-  | Some id ->
+  match (P.int_field "pin" req, P.int_field "as_of" req) with
+  | Some _, Some _ ->
+    error "check: \"pin\" and \"as_of\" are mutually exclusive"
+  | Some id, None ->
     (match Hashtbl.find_opt t.pins id with
      | None -> error (Printf.sprintf "unknown pin %d" id)
      | Some p ->
@@ -246,7 +266,14 @@ let do_check t req =
        Obs.Trace.add_attr "pin" (string_of_int id);
        check_response ~isolation:"pinned" ~generation:(R.pin_generation p)
          (R.check_pinned t.srepo p))
-  | None ->
+  | None, Some g ->
+    (* time travel: the verdict at a retained past generation *)
+    (match R.check_as_of t.srepo g with
+     | None -> error (Printf.sprintf "generation %d is not retained" g)
+     | Some violated ->
+       Obs.Trace.add_attr "route" "as_of";
+       check_response ~isolation:"as_of" ~generation:g violated)
+  | None, None ->
     (match t.open_txn with
      | Some _ ->
        (* snapshot isolation: a plain read never observes the open
@@ -352,26 +379,54 @@ let do_txn_abort t req =
   R.rollback_txn tx;
   ok [ ("txn", P.Int h); ("aborted", P.Bool true) ]
 
-let do_pin t =
-  let p =
-    (* while a writer runs, a new pin sees the committed state *)
-    if t.open_txn <> None then committed_pin t else R.pin t.srepo
+let do_pin t req =
+  let pinned =
+    match P.int_field "generation" req with
+    | Some g ->
+      (* time-travel pin of a retained past generation *)
+      (match R.pin_as_of t.srepo g with
+       | Some p -> Ok p
+       | None -> Error (Printf.sprintf "generation %d is not retained" g))
+    | None ->
+      (* while a writer runs, a new pin sees the committed state; the
+         extra reference keeps the generation retained until unpin *)
+      if t.open_txn <> None then
+        let p = committed_pin t in
+        Ok (Option.get (R.pin_as_of t.srepo (R.pin_generation p)))
+      else Ok (R.pin t.srepo)
   in
-  let id = t.next_pin in
-  t.next_pin <- id + 1;
-  Hashtbl.replace t.pins id p;
-  ok [ ("pin", P.Int id); ("generation", P.Int (R.pin_generation p)) ]
+  match pinned with
+  | Error m -> error m
+  | Ok p ->
+    let id = t.next_pin in
+    t.next_pin <- id + 1;
+    Hashtbl.replace t.pins id p;
+    ok [ ("pin", P.Int id); ("generation", P.Int (R.pin_generation p)) ]
 
 let do_unpin t req =
   match P.int_field "pin" req with
   | None -> raise (P.Protocol_error "missing \"pin\" field")
   | Some id ->
-    if not (Hashtbl.mem t.pins id) then
-      error (Printf.sprintf "unknown pin %d" id)
-    else begin
-      Hashtbl.remove t.pins id;
-      ok [ ("unpinned", P.Int id) ]
-    end
+    (match Hashtbl.find_opt t.pins id with
+     | None -> error (Printf.sprintf "unknown pin %d" id)
+     | Some p ->
+       Hashtbl.remove t.pins id;
+       R.unpin t.srepo p;
+       ok [ ("unpinned", P.Int id) ])
+
+(* The retained-generation table: every generation still materialized —
+   by in-flight pins (refs > 0) or as time-travel history (refs = 0) —
+   plus the memory those handles hold beyond the live store. *)
+let do_history t =
+  ok
+    [ ("generation", P.Int (R.generation t.srepo));
+      ( "retained",
+        P.List
+          (List.map
+             (fun (g, refs) ->
+               P.Obj [ ("generation", P.Int g); ("refs", P.Int refs) ])
+             (R.retained_generations t.srepo)) );
+      ("pin_bytes", P.Int (R.retained_bytes t.srepo)) ]
 
 let do_checkpoint t req =
   require_no_txn t "checkpoint";
@@ -383,6 +438,10 @@ let do_checkpoint t req =
        | Some p -> p
        | None -> raise (P.Protocol_error "checkpoint: no snapshot path"))
   in
+  (* the cached committed pin is released before the checkpoint prunes
+     the retained table, so the snapshot leaves no zero-ref history
+     behind; the next read re-pins the (now checkpointed) state O(1) *)
+  evict_committed_pin t;
   let r = R.checkpoint ?journal:t.config.journal t.srepo path in
   ok
     [ ("path", P.String r.R.snapshot_path);
@@ -401,6 +460,9 @@ let sync_gauges t =
     (match t.config.journal with Some j -> J.bytes j | None -> 0);
   Obs.Metrics.set g_store_facts
     (Xic_datalog.Store.total_tuples (R.store t.srepo));
+  Obs.Metrics.set g_retained
+    (List.length (R.retained_generations t.srepo));
+  Obs.Metrics.set g_pin_bytes (R.retained_bytes t.srepo);
   Obs.Metrics.set g_connections t.connections
 
 (* Per-op latency quantiles straight from the serve_<op>_ms histograms,
@@ -441,6 +503,8 @@ let do_stats t =
             ("batched_guards", P.Int t.batched_guards);
             ("generation", P.Int (R.generation t.srepo));
             ("pins", P.Int (Hashtbl.length t.pins));
+            ( "retained_generations",
+              P.Int (List.length (R.retained_generations t.srepo)) );
             ("open_txn", P.Bool (t.open_txn <> None));
             ("incremental", P.Bool (R.incremental t.srepo)) ] );
       ("ops", op_quantiles t);
@@ -490,7 +554,7 @@ let do_slow t =
 
 let dispatch t op req =
   match op with
-  | "ping" -> ok [ ("pong", P.Bool true); ("protocol", P.Int 1) ]
+  | "ping" -> ok [ ("pong", P.Bool true); ("protocol", P.Int P.version) ]
   | "check" -> do_check t req
   | "guard" -> do_guard t req
   | "txn" -> do_txn t req
@@ -498,8 +562,9 @@ let dispatch t op req =
   | "txn_stmt" -> do_txn_stmt t req
   | "txn_commit" -> do_txn_commit t req
   | "txn_abort" -> do_txn_abort t req
-  | "pin" -> do_pin t
+  | "pin" -> do_pin t req
   | "unpin" -> do_unpin t req
+  | "history" -> do_history t
   | "checkpoint" -> do_checkpoint t req
   | "stats" -> do_stats t
   | "metrics" -> do_metrics t

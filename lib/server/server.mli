@@ -13,11 +13,20 @@
     {- [slow]: the N slowest requests so far (worst first), each with
        its op, duration, trace identifiers, truncated request document,
        and — when request tracing is on — its full span tree;}
-    {- [check]: live verdict, or a pinned one ([{"pin":id}]) — while a
-       streaming transaction is open, plain checks are served from the
-       last {e committed} generation's pin (snapshot isolation: readers
-       never observe uncommitted statements);}
-    {- [pin] / [unpin]: capture / release a reader snapshot;}
+    {- [check]: live verdict, a pinned one ([{"pin":id}]), or a
+       time-travel one at a retained past generation
+       ([{"as_of":generation}]) — while a streaming transaction is open,
+       plain checks are served from the last {e committed} generation's
+       pin (snapshot isolation: readers never observe uncommitted
+       statements);}
+    {- [pin] / [unpin]: capture / release a reader generation handle —
+       O(1) copy-on-write freezes sharing structure with the live
+       writer, never store copies; [{"generation":g}] pins a retained
+       past generation instead of the current one;}
+    {- [history]: the retained-generation table — every generation still
+       materialized (in-flight pins and bounded time-travel history)
+       with its refcount, plus the heap those handles hold beyond the
+       live store ([pin_bytes]);}
     {- [guard]: one guarded update ([{"update":stmt}]) — guard requests
        arriving in the same poll round are applied as one
        {!Xic_core.Repository.guarded_batch} (single commit fsync, one
@@ -26,12 +35,15 @@
     {- [txn_begin] / [txn_stmt] / [txn_commit] / [txn_abort]: a
        streaming transaction across requests (one writer at a time);}
     {- [checkpoint]: snapshot + journal truncation
-       ({!Xic_core.Repository.checkpoint}).}}
+       ({!Xic_core.Repository.checkpoint}); evicts the committed-pin
+       cache and the zero-ref retained history — the snapshot owns that
+       state durably.}}
 
     Single-threaded [select] loop — on this container there is one CPU,
     so concurrency is I/O multiplexing, not parallelism; the serialized
-    writer comes for free and readers are isolated by pinned store
-    copies. *)
+    writer comes for free and readers are isolated by frozen generation
+    handles that cost O(1) to open and retain only the unshared log
+    suffix. *)
 
 type config = {
   journal : Xic_journal.Journal.t option;

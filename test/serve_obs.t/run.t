@@ -74,7 +74,9 @@ in one screen (numeric latencies masked):
   xic_serve_connections 1
   xic_serve_journal_bytes_since_checkpoint 0
   xic_serve_open_txns 0
+  xic_serve_pin_bytes 0
   xic_serve_pinned_generations 0
+  xic_serve_retained_generations 0
   xic_serve_store_facts 7
   op                  count    p50_ms    p90_ms    p99_ms
   check N

@@ -6,6 +6,7 @@ module T = Xic_datalog.Term
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)
+let checksl = Alcotest.(check (list string))
 
 let schema = lazy (Conf.schema ())
 
@@ -587,7 +588,7 @@ let test_optimized_equals_full_decision () =
 
 let test_store_mirror_consistency () =
   let repo = guarded_repo () in
-  let s1 = Xic_datalog.Store.copy (Repository.store repo) in
+  let s1 = Xic_datalog.Store.freeze (Repository.store repo) in
   let u =
     Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]" ~title:"T"
       ~author:"Zoe"
@@ -613,7 +614,7 @@ let test_rollback_mirror_agreement () =
   (* after a compensated (rolled back) update, the incrementally
      maintained relational mirror must agree with the XQuery full check *)
   let repo = guarded_repo () in
-  let before = Xic_datalog.Store.copy (Repository.store repo) in
+  let before = Xic_datalog.Store.freeze (Repository.store repo) in
   let u =
     [ { XU.op = XU.Append;
         select = Xic_xpath.Parser.parse "/review/track[1]/rev[1]";
@@ -671,6 +672,46 @@ let test_guarded_deletion () =
   checki "one author left" 1
     (List.length
        (Xic_xpath.Eval.select (Repository.doc repo) (Xic_xpath.Parser.parse "//auts")))
+
+let test_pin_retention () =
+  let repo = make_repo () in
+  (* pins of the same clean generation share one frozen handle *)
+  let p0 = Repository.pin repo in
+  let p0' = Repository.pin repo in
+  checkb "same generation, same handle" true
+    (Repository.pin_store p0 == Repository.pin_store p0');
+  checkb "handle is frozen" true
+    (Xic_datalog.Store.is_frozen (Repository.pin_store p0));
+  (match Repository.retained_generations repo with
+   | [ (0, 2) ] -> ()
+   | rs ->
+     Alcotest.failf "expected [(0, 2)], got [%s]"
+       (String.concat "; "
+          (List.map (fun (g, r) -> Printf.sprintf "(%d, %d)" g r) rs)));
+  (* a pristine suffix-sharing pin retains no heap beyond the writer *)
+  checki "pristine pin retains nothing" 0 (Repository.retained_bytes repo);
+  (* an uncommitted mutation must NOT be served from the stale handle *)
+  let u =
+    Conf.insert_submission ~select:"/review/track[1]/rev[1]/sub[1]"
+      ~title:"Mid" ~author:"Zoe"
+  in
+  let undo = Repository.apply_unchecked repo u in
+  let pm = Repository.pin repo in
+  checkb "mutated state gets a fresh handle" true
+    (Repository.pin_store pm != Repository.pin_store p0);
+  Repository.rollback repo undo;
+  Repository.unpin repo pm;
+  Repository.unpin repo p0;
+  Repository.unpin repo p0';
+  (* released generations stay addressable as bounded history *)
+  (match Repository.pin_as_of repo 0 with
+   | Some p ->
+     checksl "time-travel verdict" [] (Repository.check_pinned repo p);
+     Repository.unpin repo p
+   | None -> Alcotest.fail "generation 0 must remain retained");
+  checkb "check_as_of agrees" true (Repository.check_as_of repo 0 = Some []);
+  checkb "unknown generation refused" true
+    (Repository.check_as_of repo 99 = None)
 
 let test_runtime_simplification () =
   (* no pattern registered: the runtime-simplification fallback derives a
@@ -776,6 +817,7 @@ let () =
           Alcotest.test_case "fallback full check" `Quick test_guarded_fallback_full_check;
           Alcotest.test_case "fallback rollback" `Quick test_guarded_fallback_rollback;
           Alcotest.test_case "optimized = full decision" `Quick test_optimized_equals_full_decision;
+          Alcotest.test_case "pin retention" `Quick test_pin_retention;
           Alcotest.test_case "store mirror" `Quick test_store_mirror_consistency;
           Alcotest.test_case "rollback mirror agreement" `Quick
             test_rollback_mirror_agreement;

@@ -50,7 +50,35 @@ let test_store_copy_equal () =
   let st' = S.copy st in
   checkb "copies equal" true (S.equal st st');
   S.add st' "p" [ i 9 ];
-  checkb "diverged" false (S.equal st st')
+  checkb "diverged" false (S.equal st st');
+  (* ...and the fork is two-way: the original keeps mutating too *)
+  S.add st "q" [ i 3; s "c" ];
+  checkb "fork isolated" false (S.mem st' "q" [ i 3; s "c" ])
+
+let frozen_exn = Invalid_argument
+    "Xic_datalog.Store: frozen generation handles are immutable"
+
+let test_store_freeze () =
+  let st = S.of_facts [ ("p", [ i 1 ]); ("p", [ i 1 ]); ("q", [ i 2; s "b" ]) ] in
+  let g = S.freeze st in
+  checkb "handle frozen" true (S.is_frozen g);
+  checkb "writer not frozen" false (S.is_frozen st);
+  checkb "handle equal" true (S.equal st g);
+  Alcotest.check_raises "add raises" frozen_exn (fun () ->
+    S.add g "p" [ i 9 ]);
+  Alcotest.check_raises "remove raises" frozen_exn (fun () ->
+    ignore (S.remove g "p" [ i 1 ]));
+  Alcotest.check_raises "compact raises" frozen_exn (fun () ->
+    S.compact g);
+  (* the handle still serves indexed reads, privately *)
+  checki "indexed read" 2 (List.length (S.tuples_with_key g "p" (i 1)));
+  (* writer churn is invisible to the handle *)
+  ignore (S.remove st "p" [ i 1 ]);
+  S.add st "q" [ i 7; s "z" ];
+  checki "handle p stable" 2 (S.cardinality g "p");
+  checkb "handle q stable" false (S.mem g "q" [ i 7; s "z" ]);
+  (* a fresh suffix-sharing handle costs no unshared heap *)
+  checki "pristine pin is free" 0 (S.unshared_bytes ~live:st (S.freeze st))
 
 (* ------------------------------------------------------------------ *)
 (* Parser and printing                                                 *)
@@ -350,6 +378,69 @@ let prop_order_independence =
       in
       E.violated st d = E.violated st permuted)
 
+(* A frozen generation must be bit-stable — byte-identical serialized
+   image — under arbitrary writer mutations, including the compactions
+   they trigger; and rolling every mutation back (inverse ops, reverse
+   order — exactly what [Repository.rollback] replays) must bring the
+   writer back to multiset equality with the generation. *)
+let prop_frozen_generation_stable =
+  let open QCheck2.Gen in
+  let const = map (fun n -> i n) (int_bound 3) in
+  let fact =
+    oneof
+      [ map2 (fun a b -> ("p", [ a; b ])) const const;
+        map (fun a -> ("q", [ a ])) const ]
+  in
+  let op =
+    frequency
+      [ (4, map (fun f -> `Add f) fact);
+        (3, map (fun f -> `Remove f) fact);
+        (1, return `Clear_q);
+        (1, return `Compact) ]
+  in
+  QCheck2.Test.make ~name:"frozen generation bit-stable under writer churn"
+    ~count:200
+    (pair gen_store (list_size (int_bound 24) op))
+    (fun (st, ops) ->
+      let image s =
+        let b = Buffer.create 256 in
+        S.serialize s b;
+        Buffer.contents b
+      in
+      let gen = S.freeze st in
+      let before = image gen in
+      let undo =
+        List.filter_map
+          (fun op ->
+            match op with
+            | `Add (p, tup) ->
+              S.add st p tup;
+              Some (`Unadd (p, tup))
+            | `Remove (p, tup) ->
+              if S.remove st p tup then Some (`Unremove (p, tup)) else None
+            | `Clear_q ->
+              let saved = S.tuples st "q" in
+              S.clear_sym st (Xic_symbol.Symbol.intern "q");
+              Some (`Unclear saved)
+            | `Compact ->
+              S.compact st;
+              None)
+          ops
+      in
+      let mid = image gen in
+      List.iter
+        (fun u ->
+          match u with
+          | `Unadd (p, tup) -> ignore (S.remove st p tup)
+          | `Unremove (p, tup) -> S.add st p tup
+          | `Unclear saved -> List.iter (S.add st "q") saved)
+        (List.rev undo);
+      let after = image gen in
+      S.is_frozen gen
+      && String.equal before mid
+      && String.equal before after
+      && S.equal st gen)
+
 let test_eval_param_only_atom () =
   let st = S.of_facts [ ("p", [ i 7 ]) ] in
   let d = P.parse_denial ":- p(%k)" in
@@ -408,6 +499,7 @@ let () =
           Alcotest.test_case "remove" `Quick test_store_remove;
           Alcotest.test_case "index" `Quick test_store_index;
           Alcotest.test_case "copy/equal" `Quick test_store_copy_equal;
+          Alcotest.test_case "freeze" `Quick test_store_freeze;
         ] );
       ( "parser",
         [
@@ -468,5 +560,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_subsumption_semantic;
           QCheck_alcotest.to_alcotest prop_cnt_matches_length;
           QCheck_alcotest.to_alcotest prop_order_independence;
+          QCheck_alcotest.to_alcotest prop_frozen_generation_stable;
         ] );
     ]

@@ -223,7 +223,7 @@ let prop_savepoint_rollback =
       let verdict0 = Repository.check_incremental repo in
       let view0 =
         match Repository.incr_view repo with
-        | Some v -> Store.copy v
+        | Some v -> Store.freeze v
         | None -> Alcotest.fail "no materialized views"
       in
       let sp = Repository.txn_savepoint txn in

@@ -476,7 +476,7 @@ let check_incremental_agreement ~seed repo what =
     (Repository.store repo);
   let maintained =
     match Repository.incr_view repo with
-    | Some v -> Store.copy v
+    | Some v -> Store.freeze v
     | None -> Alcotest.failf "[seed %d] %s: no materialized views" seed what
   in
   Repository.set_incremental repo false;  (* drop the views... *)
@@ -640,6 +640,13 @@ let test_server_oracle () =
        let rq j = Proto.request fd j in
        let fail fmt = Alcotest.failf ("[seed %d] server oracle: " ^^ fmt) seed in
        let errors = ref 0 in
+       (* durable statement prefix (newest first) and the pin points
+          recorded against it, for the end-of-run time-travel oracle *)
+       let applied = ref [] in
+       let asof_records = ref [] in
+       let record_applied u tag =
+         if String.starts_with ~prefix:"applied" tag then applied := u :: !applied
+       in
        let guard_one u =
          let resp =
            rq
@@ -654,7 +661,8 @@ let test_server_oracle () =
          in
          let server_tag = response_tag resp in
          if shadow_tag <> server_tag then
-           fail "guard diverged: server %s, shadow %s" server_tag shadow_tag
+           fail "guard diverged: server %s, shadow %s" server_tag shadow_tag;
+         record_applied u shadow_tag
        in
        let check_parity what =
          let resp = rq (Proto.Obj [ ("op", Proto.String "check") ]) in
@@ -712,7 +720,9 @@ let test_server_oracle () =
               Alcotest.(check (list string))
                 (Printf.sprintf "[seed %d] step %d: txn batch verdicts" seed
                    step)
-                shadow_tags server_tags
+                shadow_tags server_tags;
+              if List.length us = List.length shadow_tags then
+                List.iter2 record_applied us shadow_tags
             end
           | _ ->
             (* a pinned reader opened before a write must keep answering
@@ -724,6 +734,11 @@ let test_server_oracle () =
               | Some p -> p
               | None -> fail "pin request failed"
             in
+            (* remember the generation and the statement prefix it
+               closed over — the time-travel oracle below replays it *)
+            (match Proto.int_field "generation" presp with
+             | Some g -> asof_records := (g, List.length !applied) :: !asof_records
+             | None -> fail "pin response lacks a generation");
             (match random_update r shadow with
              | Some u -> guard_one u
              | None -> ());
@@ -748,6 +763,47 @@ let test_server_oracle () =
          end
        done;
        check_parity "final";
+       (* time-travel oracle: every recorded pin generation still in the
+          server's retained history must answer exactly what a fresh
+          repository replayed to that statement prefix answers; pruned
+          generations (mid-stream checkpoint, retention bound) must be
+          refused, never served stale *)
+       if !errors = 0 then begin
+         let hist = rq (Proto.Obj [ ("op", Proto.String "history") ]) in
+         if not (Proto.bool_field "ok" hist) then fail "history failed";
+         let still_retained =
+           match Proto.list_field "retained" hist with
+           | Some rs ->
+             List.filter_map (fun x -> Proto.int_field "generation" x) rs
+           | None -> []
+         in
+         let applied_fwd = Array.of_list (List.rev !applied) in
+         List.iter
+           (fun (g, n) ->
+             let resp =
+               rq
+                 (Proto.Obj
+                    [ ("op", Proto.String "check"); ("as_of", Proto.Int g) ])
+             in
+             if List.mem g still_retained then begin
+               if not (Proto.bool_field "ok" resp) then
+                 fail "as_of %d refused though retained" g;
+               let replay = repo_of ~pub ~rev in
+               Repository.set_incremental replay true;
+               for k = 0 to n - 1 do
+                 ignore (Repository.guarded_update replay applied_fwd.(k))
+               done;
+               Alcotest.(check (list string))
+                 (Printf.sprintf
+                    "[seed %d] as_of %d = fresh replay of %d statement(s)"
+                    seed g n)
+                 (sorted (Repository.check_full replay))
+                 (violated_of resp)
+             end
+             else if Proto.bool_field "ok" resp then
+               fail "as_of %d served though pruned from retention" g)
+           !asof_records
+       end;
        ignore (rq (Proto.Obj [ ("op", Proto.String "shutdown") ]));
        Unix.close fd;
        let _, status = Unix.waitpid [] child in

@@ -84,7 +84,7 @@ let test_s41_update_mapping () =
           </xupdate:insert-after>
         </xupdate:modifications>|}
   in
-  let store_before = Xic_datalog.Store.copy (Repository.store repo) in
+  let store_before = Xic_datalog.Store.freeze (Repository.store repo) in
   let undo = Repository.apply_unchecked repo u in
   let store_after = Repository.store repo in
   (* exactly one new sub and one new auts fact *)

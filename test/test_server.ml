@@ -217,6 +217,87 @@ let test_server_isolation () =
     (Option.get (P.string_field "isolation" after));
   checki "commit bumped the generation" 2 (gen after)
 
+(* Time travel over retained generations: released pins stay in the
+   bounded history and answer [check {as_of}] until a checkpoint prunes
+   them; a still-referenced generation survives the checkpoint. *)
+let test_time_travel () =
+  let spath = tmp_path "tt.xics" in
+  let repo = make_repo ~incremental:true () in
+  let srv =
+    Srv.create
+      ~config:{ Srv.default_config with snapshot_path = Some spath }
+      repo
+  in
+  let rq j = Srv.handle srv j in
+  let guard u =
+    let resp =
+      rq
+        (P.Obj
+           [ ("op", P.String "guard"); ("update", P.String (XU.to_string u)) ])
+    in
+    checks "guard applied" "applied"
+      (Option.get (P.string_field "outcome" resp))
+  in
+  let pin_release () =
+    let resp = rq (P.Obj [ ("op", P.String "pin") ]) in
+    let pid = Option.get (P.int_field "pin" resp) in
+    let g = Option.get (P.int_field "generation" resp) in
+    ignore (rq (P.Obj [ ("op", P.String "unpin"); ("pin", P.Int pid) ]));
+    g
+  in
+  let g0 = pin_release () in
+  guard (legal_insert ());
+  let g1 = pin_release () in
+  guard (legal_insert ~title:"Two" ~author:"Kim" ());
+  checki "first pin at generation 0" 0 g0;
+  checki "second pin at generation 1" 1 g1;
+  (* both released generations sit in the retained history *)
+  let retained () =
+    let hist = rq (P.Obj [ ("op", P.String "history") ]) in
+    checkb "history ok" true (P.bool_field "ok" hist);
+    match P.list_field "retained" hist with
+    | Some rs -> List.filter_map (fun x -> P.int_field "generation" x) rs
+    | None -> []
+  in
+  let gens = retained () in
+  checkb "generation 0 retained" true (List.mem g0 gens);
+  checkb "generation 1 retained" true (List.mem g1 gens);
+  let asof g = rq (P.Obj [ ("op", P.String "check"); ("as_of", P.Int g) ]) in
+  let r0 = asof g0 in
+  checkb "as_of 0 ok" true (P.bool_field "ok" r0);
+  checks "as_of isolation tag" "as_of"
+    (Option.get (P.string_field "isolation" r0));
+  checki "as_of echoes its generation" g0
+    (Option.get (P.int_field "generation" r0));
+  (* pin and as_of in one request are refused *)
+  checkb "pin+as_of refused" false
+    (P.bool_field "ok"
+       (rq
+          (P.Obj
+             [ ("op", P.String "check");
+               ("pin", P.Int 0);
+               ("as_of", P.Int g0) ])));
+  (* an explicit pin of a retained past generation reads through it *)
+  let presp = rq (P.Obj [ ("op", P.String "pin"); ("generation", P.Int g1) ]) in
+  checkb "pin {generation} ok" true (P.bool_field "ok" presp);
+  checki "pin {generation} echoes it" g1
+    (Option.get (P.int_field "generation" presp));
+  let pid = Option.get (P.int_field "pin" presp) in
+  let through =
+    rq (P.Obj [ ("op", P.String "check"); ("pin", P.Int pid) ])
+  in
+  checki "read through the past pin" g1
+    (Option.get (P.int_field "generation" through));
+  (* checkpoint prunes the zero-ref history but not the held pin *)
+  checkb "checkpoint ok" true
+    (P.bool_field "ok" (rq (P.Obj [ ("op", P.String "checkpoint") ])));
+  checkb "generation 0 pruned by checkpoint" false
+    (P.bool_field "ok" (asof g0));
+  checkb "held generation survives checkpoint" true
+    (P.bool_field "ok" (asof g1));
+  ignore (rq (P.Obj [ ("op", P.String "unpin"); ("pin", P.Int pid) ]));
+  (try Sys.remove spath with Sys_error _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Batched guards                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -629,6 +710,8 @@ let () =
             test_pin_across_commit;
           Alcotest.test_case "pin across checkpoint" `Quick
             test_pin_across_checkpoint;
+          Alcotest.test_case "time travel over retained generations" `Quick
+            test_time_travel;
           Alcotest.test_case "server-level isolation" `Quick
             test_server_isolation;
         ] );

@@ -158,7 +158,7 @@ let recover_state ~ctx jpath spath =
           (Repository.doc repo)));
   let maintained =
     match Repository.incr_view repo with
-    | Some v -> Store.copy v
+    | Some v -> Store.freeze v
     | None -> Alcotest.fail (ctx ^ ": incremental views were dropped")
   in
   let verdict = Repository.check_incremental repo in
